@@ -1,0 +1,84 @@
+//! Figure 2 — the four-map zoom series: choropleth + scatter at fine zoom,
+//! cluster-marker maps at district and city zoom.
+//!
+//! Regenerates the figure's content (written to
+//! `target/indice-artifacts/bench/fig2_*`), reports the aggregation
+//! behaviour per zoom level (the qualitative shape of the figure: the same
+//! certificates collapse into fewer, larger markers as the view zooms
+//! out), and benchmarks the rendering cost of each map type.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epc_model::{wellknown as wk, Granularity};
+use epc_synth::{EpcGenerator, NoiseConfig, SynthConfig};
+use epc_viz::clustermarker::ClusterMarkerMap;
+use indice::dashboard::figure2_maps;
+
+fn setup(n: usize) -> epc_synth::epcgen::SyntheticCollection {
+    let mut c = EpcGenerator::new(SynthConfig {
+        n_records: n,
+        ..SynthConfig::default()
+    })
+    .generate();
+    epc_synth::noise::apply_noise(&mut c, &NoiseConfig::none());
+    c
+}
+
+fn report_zoom_series(c: &epc_synth::epcgen::SyntheticCollection) {
+    let s = c.dataset.schema();
+    let lat = s.require(wk::LATITUDE).unwrap();
+    let lon = s.require(wk::LONGITUDE).unwrap();
+    let uw = s.require(wk::U_WINDOWS).unwrap();
+    eprintln!("\n== Figure 2: marker aggregation per zoom level ({} certificates) ==", c.dataset.n_rows());
+    eprintln!("{:<16} {:>9} {:>12} {:>14}", "zoom level", "markers", "max marker", "mean Uw range");
+    for level in Granularity::ALL {
+        let mut map = ClusterMarkerMap::new("fig2", "Uw", level);
+        for r in 0..c.dataset.n_rows() {
+            if let (Some(a), Some(b)) = (c.dataset.num(r, lat), c.dataset.num(r, lon)) {
+                map.add_point(epc_geo::point::GeoPoint { lat: a, lon: b }, c.dataset.num(r, uw));
+            }
+        }
+        let markers = map.markers();
+        let max = markers.iter().map(|m| m.count).max().unwrap_or(0);
+        let means: Vec<f64> = markers.iter().filter_map(|m| m.mean_value).collect();
+        let lo = means.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        eprintln!(
+            "{:<16} {:>9} {:>12} {:>7.2}-{:.2}",
+            level.to_string(),
+            markers.len(),
+            max,
+            lo,
+            hi
+        );
+    }
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let collection = setup(25_000);
+    report_zoom_series(&collection);
+
+    // Persist the actual figure artifacts once.
+    let maps = figure2_maps(&collection.dataset, &collection.city.hierarchy, wk::U_WINDOWS)
+        .expect("maps render");
+    let dir = std::path::Path::new("target/indice-artifacts/bench");
+    std::fs::create_dir_all(dir).ok();
+    for (name, svg) in &maps {
+        std::fs::write(dir.join(name), svg).ok();
+    }
+    eprintln!("figure 2 SVGs written to {}", dir.display());
+
+    let mut group = c.benchmark_group("fig2_maps");
+    group.sample_size(10);
+    for n in [5_000usize, 25_000] {
+        let coll = setup(n);
+        group.bench_with_input(BenchmarkId::new("four_map_series", n), &coll, |b, coll| {
+            b.iter(|| {
+                figure2_maps(&coll.dataset, &coll.city.hierarchy, wk::U_WINDOWS).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

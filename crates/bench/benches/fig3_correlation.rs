@@ -1,0 +1,82 @@
+//! Figure 3 — the correlation plot matrix of the five case-study features.
+//!
+//! Prints the ρ matrix (the figure's content: all pairs weakly correlated
+//! ⇒ the feature set is eligible for clustering), writes the grayscale SVG,
+//! and benchmarks matrix computation + rendering at the 25 000-row scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epc_model::wellknown as wk;
+use epc_stats::correlation::correlation_matrix;
+use epc_synth::{EpcGenerator, SynthConfig};
+use epc_viz::corrplot::CorrelationPlot;
+
+fn feature_columns(
+    dataset: &epc_model::Dataset,
+) -> (Vec<&'static str>, Vec<Vec<f64>>) {
+    let names: Vec<&'static str> = wk::CASE_STUDY_FEATURES.to_vec();
+    let columns: Vec<Vec<f64>> = names
+        .iter()
+        .map(|n| {
+            let id = dataset.schema().require(n).unwrap();
+            dataset
+                .numeric_column(id)
+                .iter()
+                .map(|v| v.unwrap_or(f64::NAN))
+                .collect()
+        })
+        .collect();
+    (names, columns)
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let collection = EpcGenerator::new(SynthConfig {
+        n_records: 25_000,
+        ..SynthConfig::default()
+    })
+    .generate();
+    let (names, columns) = feature_columns(&collection.dataset);
+    let refs: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+    let matrix = correlation_matrix(&names, &refs);
+
+    eprintln!("\n== Figure 3: Pearson correlation matrix (25 000 EPCs) ==");
+    eprint!("{:>14}", "");
+    for n in &matrix.names {
+        eprint!("{n:>14}");
+    }
+    eprintln!();
+    for i in 0..matrix.len() {
+        eprint!("{:>14}", matrix.names[i]);
+        for j in 0..matrix.len() {
+            eprint!("{:>14.3}", matrix.get(i, j));
+        }
+        eprintln!();
+    }
+    let (i, j, rho) = matrix.max_abs_off_diagonal().unwrap();
+    eprintln!(
+        "strongest pair: {} / {} (rho = {rho:.3}); eligible (<0.8): {}",
+        matrix.names[i],
+        matrix.names[j],
+        matrix.eligible_for_analytics(0.8)
+    );
+
+    let dir = std::path::Path::new("target/indice-artifacts/bench");
+    std::fs::create_dir_all(dir).ok();
+    std::fs::write(
+        dir.join("fig3_correlation_matrix.svg"),
+        CorrelationPlot::default().render(&matrix),
+    )
+    .ok();
+
+    let mut group = c.benchmark_group("fig3_correlation");
+    group.sample_size(20);
+    group.bench_function("matrix_5x5_25k_rows", |b| {
+        b.iter(|| correlation_matrix(&names, &refs))
+    });
+    group.bench_function("render_svg", |b| {
+        b.iter(|| CorrelationPlot::default().render(&matrix))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! Address model and normalization.
+//!
+//! "The address attribute is usually collected as a free text field, it
+//! often contains numerous typos and input errors" (§2.1.1). Before
+//! Levenshtein matching, both the noisy addresses and the referenced street
+//! map are normalized: lowercase, punctuation removal, whitespace collapse,
+//! and expansion of the Italian odonym abbreviations that dominate the
+//! Piedmont collection (`c.so` → `corso`, `v.` → `via`, …).
+
+use serde::{Deserialize, Serialize};
+
+/// A structured address as it appears in an EPC (possibly incomplete).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Address {
+    /// Street (odonym), free text.
+    pub street: String,
+    /// House/civic number, free text (may include suffixes like `12/B`).
+    pub house_number: Option<String>,
+    /// ZIP code, if present.
+    pub zip: Option<String>,
+}
+
+impl Address {
+    /// Creates an address with all three components.
+    pub fn new(street: &str, house_number: Option<&str>, zip: Option<&str>) -> Self {
+        Address {
+            street: street.to_owned(),
+            house_number: house_number.map(str::to_owned),
+            zip: zip.map(str::to_owned),
+        }
+    }
+
+    /// The normalized street string used for matching.
+    pub fn normalized_street(&self) -> String {
+        normalize_street(&self.street)
+    }
+}
+
+/// Italian odonym abbreviations → canonical expansion.
+///
+/// Matching is done on whole normalized tokens.
+const ABBREVIATIONS: &[(&str, &str)] = &[
+    ("c.so", "corso"),
+    ("cso", "corso"),
+    ("c.sо", "corso"), // common OCR confusion (cyrillic о)
+    ("v.", "via"),
+    ("v.le", "viale"),
+    ("vle", "viale"),
+    ("p.za", "piazza"),
+    ("p.zza", "piazza"),
+    ("pza", "piazza"),
+    ("pzza", "piazza"),
+    ("l.go", "largo"),
+    ("lgo", "largo"),
+    ("str.", "strada"),
+    ("s.da", "strada"),
+    ("b.go", "borgo"),
+    ("fraz.", "frazione"),
+    ("loc.", "localita"),
+];
+
+/// Normalizes a street string for comparison: lowercase, accents folded,
+/// punctuation (except `.` inside abbreviations, handled first) removed,
+/// abbreviations expanded, whitespace collapsed.
+pub fn normalize_street(raw: &str) -> String {
+    // Lowercase + fold the accented vowels common in Italian street names.
+    let lower: String = raw
+        .chars()
+        .flat_map(|c| c.to_lowercase())
+        .map(fold_accent)
+        .collect();
+
+    // Token-wise abbreviation expansion (tokens split on whitespace).
+    let mut tokens: Vec<String> = Vec::new();
+    for tok in lower.split_whitespace() {
+        let expanded = ABBREVIATIONS
+            .iter()
+            .find(|(abbr, _)| *abbr == tok)
+            .map(|(_, full)| (*full).to_owned());
+        match expanded {
+            Some(full) => tokens.push(full),
+            None => {
+                // Strip residual punctuation from the token.
+                let clean: String = tok.chars().filter(|c| c.is_alphanumeric()).collect();
+                if !clean.is_empty() {
+                    tokens.push(clean);
+                }
+            }
+        }
+    }
+    tokens.join(" ")
+}
+
+fn fold_accent(c: char) -> char {
+    match c {
+        'à' | 'á' | 'â' | 'ä' => 'a',
+        'è' | 'é' | 'ê' | 'ë' => 'e',
+        'ì' | 'í' | 'î' | 'ï' => 'i',
+        'ò' | 'ó' | 'ô' | 'ö' => 'o',
+        'ù' | 'ú' | 'û' | 'ü' => 'u',
+        _ => c,
+    }
+}
+
+/// Normalizes a house number: trims, uppercases suffix letters, removes
+/// internal spaces (`"12 /B"` → `"12/B"`).
+pub fn normalize_house_number(raw: &str) -> String {
+    raw.chars()
+        .filter(|c| !c.is_whitespace())
+        .flat_map(|c| c.to_uppercase())
+        .collect()
+}
+
+/// `true` when the string looks like a plausible 5-digit Italian ZIP code.
+pub fn is_plausible_zip(zip: &str) -> bool {
+    zip.len() == 5 && zip.chars().all(|c| c.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercase_and_collapse() {
+        assert_eq!(normalize_street("  VIA   ROMA "), "via roma");
+    }
+
+    #[test]
+    fn abbreviations_expand() {
+        assert_eq!(normalize_street("C.so Vittorio Emanuele II"), "corso vittorio emanuele ii");
+        assert_eq!(normalize_street("P.za Castello"), "piazza castello");
+        assert_eq!(normalize_street("v.le Monviso"), "viale monviso");
+        assert_eq!(normalize_street("L.go Dora"), "largo dora");
+    }
+
+    #[test]
+    fn accents_fold() {
+        assert_eq!(normalize_street("Via Nizza è qui"), "via nizza e qui");
+        assert_eq!(normalize_street("Località Può"), "localita puo");
+    }
+
+    #[test]
+    fn punctuation_is_stripped() {
+        assert_eq!(normalize_street("via roma, 10!"), "via roma 10");
+        assert_eq!(normalize_street("via s. chiara"), "via s chiara");
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        for raw in ["C.so Francia", "  VIA   PO ", "P.zza Vittorio Véneto"] {
+            let once = normalize_street(raw);
+            assert_eq!(normalize_street(&once), once);
+        }
+    }
+
+    #[test]
+    fn equal_after_normalization() {
+        let a = normalize_street("C.SO VITTORIO EMANUELE II");
+        let b = normalize_street("corso Vittorio Emanuele II");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn house_numbers() {
+        assert_eq!(normalize_house_number("12 /b"), "12/B");
+        assert_eq!(normalize_house_number(" 7 bis "), "7BIS");
+        assert_eq!(normalize_house_number("42"), "42");
+    }
+
+    #[test]
+    fn zip_plausibility() {
+        assert!(is_plausible_zip("10121"));
+        assert!(!is_plausible_zip("1012"));
+        assert!(!is_plausible_zip("1012A"));
+        assert!(!is_plausible_zip("101210"));
+        assert!(!is_plausible_zip(""));
+    }
+
+    #[test]
+    fn address_struct_helpers() {
+        let a = Address::new("C.so Francia", Some("10/B"), Some("10143"));
+        assert_eq!(a.normalized_street(), "corso francia");
+        assert_eq!(a.house_number.as_deref(), Some("10/B"));
+        let empty = Address::default();
+        assert_eq!(empty.normalized_street(), "");
+    }
+}

@@ -1,0 +1,493 @@
+//! The multi-step geospatial cleaning algorithm of §2.1.1.
+//!
+//! For each EPC address:
+//!
+//! 1. the (normalized) street is compared with every street of the
+//!    referenced street map via Levenshtein similarity;
+//! 2. when the best similarity reaches the user-defined threshold φ, the
+//!    referenced entry replaces the noisy fields — street name, ZIP code,
+//!    latitude and longitude are repaired from the reference;
+//! 3. otherwise a geocoding request is sent to the (quota-limited)
+//!    [`crate::geocode::Geocoder`] fallback;
+//! 4. addresses neither matched nor geocoded remain unresolved (and are
+//!    typically excluded from map views downstream).
+
+use crate::address::{is_plausible_zip, normalize_house_number, Address};
+use crate::geocode::Geocoder;
+use crate::point::GeoPoint;
+use crate::streetmap::StreetMap;
+
+/// One address to clean, identified by the caller's row id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AddressQuery {
+    /// Caller-side identifier (e.g. dataset row index).
+    pub id: usize,
+    /// The (possibly noisy) address.
+    pub address: Address,
+    /// The (possibly wrong or missing) geolocation.
+    pub point: Option<GeoPoint>,
+}
+
+/// How an address was resolved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CleaningOutcome {
+    /// Matched against the referenced street map with this similarity.
+    ResolvedByReference {
+        /// Levenshtein similarity of the accepted match (≥ φ).
+        similarity: f64,
+    },
+    /// Resolved through the geocoding fallback.
+    ResolvedByGeocoder,
+    /// Could not be resolved; original fields kept.
+    Unresolved,
+}
+
+/// Bit-flags of the fields the cleaning step repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CorrectedFields {
+    /// The street string was replaced.
+    pub street: bool,
+    /// The house number was replaced/normalized.
+    pub house_number: bool,
+    /// The ZIP code was filled in or fixed.
+    pub zip: bool,
+    /// Latitude/longitude were filled in or fixed.
+    pub coords: bool,
+}
+
+impl CorrectedFields {
+    /// Number of repaired fields.
+    pub fn count(&self) -> usize {
+        usize::from(self.street)
+            + usize::from(self.house_number)
+            + usize::from(self.zip)
+            + usize::from(self.coords)
+    }
+}
+
+/// A cleaned address: repaired fields plus provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleanedAddress {
+    /// The caller's id, copied from the query.
+    pub id: usize,
+    /// Resolution outcome.
+    pub outcome: CleaningOutcome,
+    /// The repaired (or original, when unresolved) address.
+    pub address: Address,
+    /// The repaired (or original) geolocation.
+    pub point: Option<GeoPoint>,
+    /// District of the matched entry, when known.
+    pub district: Option<String>,
+    /// Neighbourhood of the matched entry, when known.
+    pub neighbourhood: Option<String>,
+    /// Which fields were changed.
+    pub corrected: CorrectedFields,
+}
+
+/// Configuration of the cleaning step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleaningConfig {
+    /// The similarity threshold φ of §2.1.1 (matches with similarity ≥ φ
+    /// are accepted).
+    pub phi: f64,
+    /// Coordinates farther than this many meters from the referenced entry
+    /// are considered wrong and replaced.
+    pub max_coord_error_m: f64,
+}
+
+impl Default for CleaningConfig {
+    fn default() -> Self {
+        CleaningConfig {
+            phi: 0.85,
+            max_coord_error_m: 250.0,
+        }
+    }
+}
+
+/// Aggregate statistics of one cleaning run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CleaningReport {
+    /// Total addresses processed.
+    pub total: usize,
+    /// Resolved against the referenced street map.
+    pub by_reference: usize,
+    /// Of which: matched with similarity 1 after normalization.
+    pub exact_matches: usize,
+    /// Resolved through the geocoder fallback.
+    pub by_geocoder: usize,
+    /// Left unresolved.
+    pub unresolved: usize,
+    /// Geocoding requests actually issued.
+    pub geocoder_requests: usize,
+    /// Count of repaired ZIP codes.
+    pub zips_fixed: usize,
+    /// Count of repaired coordinate pairs.
+    pub coords_fixed: usize,
+    /// Count of repaired street strings.
+    pub streets_fixed: usize,
+}
+
+/// Runs the §2.1.1 cleaning algorithm over `queries`.
+///
+/// `geocoder` is consulted only for addresses the reference map cannot
+/// resolve (pass a [`crate::geocode::QuotaGeocoder`] to model the free-tier
+/// limit; pass `None` to disable the fallback entirely — the ablation of
+/// the benchmark suite).
+pub fn clean_addresses(
+    queries: &[AddressQuery],
+    reference: &StreetMap,
+    geocoder: Option<&dyn Geocoder>,
+    config: &CleaningConfig,
+) -> (Vec<CleanedAddress>, CleaningReport) {
+    let mut report = CleaningReport {
+        total: queries.len(),
+        ..CleaningReport::default()
+    };
+    let requests_before = geocoder.map(|g| g.requests_made()).unwrap_or(0);
+
+    let mut out = Vec::with_capacity(queries.len());
+    for q in queries {
+        let cleaned = clean_one(q, reference, geocoder, config);
+        match cleaned.outcome {
+            CleaningOutcome::ResolvedByReference { similarity } => {
+                report.by_reference += 1;
+                if similarity >= 1.0 {
+                    report.exact_matches += 1;
+                }
+            }
+            CleaningOutcome::ResolvedByGeocoder => report.by_geocoder += 1,
+            CleaningOutcome::Unresolved => report.unresolved += 1,
+        }
+        if cleaned.corrected.zip {
+            report.zips_fixed += 1;
+        }
+        if cleaned.corrected.coords {
+            report.coords_fixed += 1;
+        }
+        if cleaned.corrected.street {
+            report.streets_fixed += 1;
+        }
+        out.push(cleaned);
+    }
+    report.geocoder_requests = geocoder
+        .map(|g| g.requests_made() - requests_before)
+        .unwrap_or(0);
+    (out, report)
+}
+
+fn clean_one(
+    q: &AddressQuery,
+    reference: &StreetMap,
+    geocoder: Option<&dyn Geocoder>,
+    config: &CleaningConfig,
+) -> CleanedAddress {
+    // Step 1-2: referenced street map with threshold φ.
+    if let Some(hit) = reference.best_match(&q.address.street, config.phi) {
+        if let Some(entry) = reference.lookup(&hit.street_key, q.address.house_number.as_deref())
+        {
+            return repair_from(
+                q,
+                CleaningOutcome::ResolvedByReference {
+                    similarity: hit.similarity,
+                },
+                &entry.street,
+                &entry.house_number,
+                &entry.zip,
+                entry.point,
+                Some(entry.district.clone()),
+                Some(entry.neighbourhood.clone()),
+                config,
+            );
+        }
+    }
+    // Step 3: geocoder fallback.
+    if let Some(g) = geocoder {
+        if let Some(res) = g.geocode(&q.address) {
+            return repair_from(
+                q,
+                CleaningOutcome::ResolvedByGeocoder,
+                &res.street,
+                &res.house_number,
+                &res.zip,
+                res.point,
+                res.district,
+                res.neighbourhood,
+                config,
+            );
+        }
+    }
+    // Step 4: unresolved.
+    CleanedAddress {
+        id: q.id,
+        outcome: CleaningOutcome::Unresolved,
+        address: q.address.clone(),
+        point: q.point,
+        district: None,
+        neighbourhood: None,
+        corrected: CorrectedFields::default(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn repair_from(
+    q: &AddressQuery,
+    outcome: CleaningOutcome,
+    street: &str,
+    house_number: &str,
+    zip: &str,
+    point: GeoPoint,
+    district: Option<String>,
+    neighbourhood: Option<String>,
+    config: &CleaningConfig,
+) -> CleanedAddress {
+    let mut corrected = CorrectedFields::default();
+
+    if q.address.street != street {
+        corrected.street = true;
+    }
+    let repaired_hn = match q.address.house_number.as_deref() {
+        Some(hn) if normalize_house_number(hn) == normalize_house_number(house_number) => {
+            // Keep the canonical form but don't count a pure-format change
+            // as a correction.
+            house_number.to_owned()
+        }
+        Some(_) | None => {
+            corrected.house_number = true;
+            house_number.to_owned()
+        }
+    };
+    let zip_ok = q
+        .address
+        .zip
+        .as_deref()
+        .map(|z| is_plausible_zip(z) && z == zip)
+        .unwrap_or(false);
+    if !zip_ok {
+        corrected.zip = true;
+    }
+    let coords_ok = q
+        .point
+        .map(|p| p.is_valid() && p.haversine_m(&point) <= config.max_coord_error_m)
+        .unwrap_or(false);
+    let final_point = if coords_ok {
+        q.point.unwrap()
+    } else {
+        corrected.coords = true;
+        point
+    };
+
+    CleanedAddress {
+        id: q.id,
+        outcome,
+        address: Address {
+            street: street.to_owned(),
+            house_number: Some(repaired_hn),
+            zip: Some(zip.to_owned()),
+        },
+        point: Some(final_point),
+        district,
+        neighbourhood,
+        corrected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geocode::{QuotaGeocoder, SimulatedGeocoder};
+    use crate::streetmap::StreetEntry;
+
+    fn entry(street: &str, hn: &str, zip: &str, lat: f64, lon: f64) -> StreetEntry {
+        StreetEntry {
+            street: street.to_owned(),
+            house_number: hn.to_owned(),
+            zip: zip.to_owned(),
+            point: GeoPoint::new(lat, lon),
+            district: "Centro".into(),
+            neighbourhood: "Quadrilatero".into(),
+        }
+    }
+
+    fn reference() -> StreetMap {
+        StreetMap::from_entries(vec![
+            entry("Via Roma", "10", "10121", 45.0700, 7.6800),
+            entry("Via Roma", "12", "10121", 45.0702, 7.6803),
+            entry("Corso Francia", "5", "10143", 45.0780, 7.6400),
+        ])
+    }
+
+    fn cfg() -> CleaningConfig {
+        CleaningConfig::default()
+    }
+
+    #[test]
+    fn clean_address_passes_through_unchanged() {
+        let q = AddressQuery {
+            id: 0,
+            address: Address::new("Via Roma", Some("10"), Some("10121")),
+            point: Some(GeoPoint::new(45.0700, 7.6800)),
+        };
+        let (res, report) = clean_addresses(&[q], &reference(), None, &cfg());
+        let c = &res[0];
+        assert!(matches!(
+            c.outcome,
+            CleaningOutcome::ResolvedByReference { similarity } if similarity == 1.0
+        ));
+        assert_eq!(c.corrected.count(), 0, "nothing should change: {:?}", c.corrected);
+        assert_eq!(report.exact_matches, 1);
+        assert_eq!(report.by_reference, 1);
+    }
+
+    #[test]
+    fn typo_street_is_repaired() {
+        let q = AddressQuery {
+            id: 3,
+            address: Address::new("via rma", Some("10"), None),
+            point: None,
+        };
+        let (res, report) = clean_addresses(&[q], &reference(), None, &cfg());
+        let c = &res[0];
+        assert_eq!(c.address.street, "Via Roma");
+        assert_eq!(c.address.zip.as_deref(), Some("10121"));
+        assert!(c.corrected.street && c.corrected.zip && c.corrected.coords);
+        assert_eq!(c.point.unwrap(), GeoPoint::new(45.0700, 7.6800));
+        assert_eq!(c.district.as_deref(), Some("Centro"));
+        assert_eq!(report.streets_fixed, 1);
+        assert_eq!(report.zips_fixed, 1);
+        assert_eq!(report.coords_fixed, 1);
+    }
+
+    #[test]
+    fn wrong_coordinates_are_replaced() {
+        let q = AddressQuery {
+            id: 1,
+            address: Address::new("Via Roma", Some("12"), Some("10121")),
+            // ~11 km off: clearly wrong.
+            point: Some(GeoPoint::new(45.17, 7.68)),
+        };
+        let (res, _) = clean_addresses(&[q], &reference(), None, &cfg());
+        let c = &res[0];
+        assert!(c.corrected.coords);
+        assert_eq!(c.point.unwrap(), GeoPoint::new(45.0702, 7.6803));
+    }
+
+    #[test]
+    fn nearby_coordinates_are_kept() {
+        let original = GeoPoint::new(45.07005, 7.68005); // a few meters off
+        let q = AddressQuery {
+            id: 1,
+            address: Address::new("Via Roma", Some("10"), Some("10121")),
+            point: Some(original),
+        };
+        let (res, _) = clean_addresses(&[q], &reference(), None, &cfg());
+        assert!(!res[0].corrected.coords);
+        assert_eq!(res[0].point.unwrap(), original);
+    }
+
+    #[test]
+    fn below_phi_goes_to_geocoder() {
+        // Ground truth contains a street missing from the local reference.
+        let mut truth = reference();
+        truth.insert(entry("Via Garibaldi", "7", "10122", 45.0730, 7.6820));
+        let geocoder = QuotaGeocoder::new(SimulatedGeocoder::new(truth, 0.6, 0.0), 10);
+        let q = AddressQuery {
+            id: 9,
+            address: Address::new("via garibaldi", Some("7"), None),
+            point: None,
+        };
+        let (res, report) =
+            clean_addresses(&[q], &reference(), Some(&geocoder), &cfg());
+        assert!(matches!(res[0].outcome, CleaningOutcome::ResolvedByGeocoder));
+        assert_eq!(res[0].address.zip.as_deref(), Some("10122"));
+        assert_eq!(report.by_geocoder, 1);
+        assert_eq!(report.geocoder_requests, 1);
+    }
+
+    #[test]
+    fn unresolved_keeps_original() {
+        let q = AddressQuery {
+            id: 7,
+            address: Address::new("xyzxyzxyz", None, Some("99999")),
+            point: None,
+        };
+        let (res, report) = clean_addresses(std::slice::from_ref(&q), &reference(), None, &cfg());
+        assert!(matches!(res[0].outcome, CleaningOutcome::Unresolved));
+        assert_eq!(res[0].address, q.address);
+        assert_eq!(res[0].point, None);
+        assert_eq!(report.unresolved, 1);
+    }
+
+    #[test]
+    fn quota_limits_geocoder_usage() {
+        let truth = {
+            let mut t = reference();
+            t.insert(entry("Via Garibaldi", "7", "10122", 45.0730, 7.6820));
+            t
+        };
+        let geocoder = QuotaGeocoder::new(SimulatedGeocoder::new(truth, 0.6, 0.0), 1);
+        let queries: Vec<AddressQuery> = (0..3)
+            .map(|i| AddressQuery {
+                id: i,
+                address: Address::new("via garibaldi", Some("7"), None),
+                point: None,
+            })
+            .collect();
+        let (res, report) = clean_addresses(&queries, &reference(), Some(&geocoder), &cfg());
+        assert_eq!(report.by_geocoder, 1);
+        assert_eq!(report.unresolved, 2);
+        assert_eq!(report.geocoder_requests, 1, "refused calls don't count");
+        assert!(matches!(res[0].outcome, CleaningOutcome::ResolvedByGeocoder));
+        assert!(matches!(res[2].outcome, CleaningOutcome::Unresolved));
+    }
+
+    #[test]
+    fn phi_controls_acceptance() {
+        let q = AddressQuery {
+            id: 0,
+            address: Address::new("via rqmq", Some("10"), None), // 2 edits from "via roma"
+            point: None,
+        };
+        let strict = CleaningConfig { phi: 0.95, ..cfg() };
+        let (res, _) = clean_addresses(std::slice::from_ref(&q), &reference(), None, &strict);
+        assert!(matches!(res[0].outcome, CleaningOutcome::Unresolved));
+
+        let lenient = CleaningConfig { phi: 0.7, ..cfg() };
+        let (res, _) = clean_addresses(&[q], &reference(), None, &lenient);
+        assert!(matches!(
+            res[0].outcome,
+            CleaningOutcome::ResolvedByReference { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_zip_is_filled_in() {
+        let q = AddressQuery {
+            id: 0,
+            address: Address::new("Via Roma", Some("10"), None),
+            point: Some(GeoPoint::new(45.0700, 7.6800)),
+        };
+        let (res, _) = clean_addresses(&[q], &reference(), None, &cfg());
+        assert_eq!(res[0].address.zip.as_deref(), Some("10121"));
+        assert!(res[0].corrected.zip);
+        assert!(!res[0].corrected.coords);
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let queries = vec![
+            AddressQuery {
+                id: 0,
+                address: Address::new("Via Roma", Some("10"), Some("10121")),
+                point: Some(GeoPoint::new(45.0700, 7.6800)),
+            },
+            AddressQuery {
+                id: 1,
+                address: Address::new("zzzzzz", None, None),
+                point: None,
+            },
+        ];
+        let (_, r) = clean_addresses(&queries, &reference(), None, &cfg());
+        assert_eq!(r.total, 2);
+        assert_eq!(r.by_reference + r.by_geocoder + r.unresolved, r.total);
+    }
+}

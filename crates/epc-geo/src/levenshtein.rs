@@ -1,0 +1,171 @@
+//! Levenshtein edit distance and the normalized similarity of §2.1.1.
+//!
+//! "For each couple of addresses Levenshtein distance is computed … The
+//! similarity computed from Levenshtein distance takes values in the range
+//! [0, 1], where 0 indicates total dissimilarity and 1 equality of the
+//! compared strings." The cleaning algorithm accepts a referenced address
+//! when `similarity ≥ φ` for a user-defined threshold φ.
+
+/// Levenshtein edit distance (unit costs) between two strings, computed on
+/// Unicode scalar values with the classic two-row dynamic program —
+/// `O(|a|·|b|)` time, `O(min(|a|,|b|))` space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    // Iterate over the longer string, keep rows sized by the shorter one.
+    let (outer, inner) = if a_chars.len() >= b_chars.len() {
+        (&a_chars, &b_chars)
+    } else {
+        (&b_chars, &a_chars)
+    };
+    if inner.is_empty() {
+        return outer.len();
+    }
+    let mut prev: Vec<usize> = (0..=inner.len()).collect();
+    let mut curr: Vec<usize> = vec![0; inner.len() + 1];
+    for (i, &oc) in outer.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &ic) in inner.iter().enumerate() {
+            let cost = usize::from(oc != ic);
+            curr[j + 1] = (prev[j + 1] + 1) // deletion
+                .min(curr[j] + 1) // insertion
+                .min(prev[j] + cost); // substitution
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[inner.len()]
+}
+
+/// Normalized Levenshtein similarity in `[0, 1]`:
+/// `1 − distance / max(|a|, |b|)`; two empty strings are fully similar.
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Distance with an early-exit upper bound: returns `None` as soon as the
+/// distance provably exceeds `bound`. Useful when scanning a large
+/// referenced street map for a best match.
+pub fn levenshtein_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    if a_chars.len().abs_diff(b_chars.len()) > bound {
+        return None;
+    }
+    let (outer, inner) = if a_chars.len() >= b_chars.len() {
+        (&a_chars, &b_chars)
+    } else {
+        (&b_chars, &a_chars)
+    };
+    if inner.is_empty() {
+        return (outer.len() <= bound).then_some(outer.len());
+    }
+    let mut prev: Vec<usize> = (0..=inner.len()).collect();
+    let mut curr: Vec<usize> = vec![0; inner.len() + 1];
+    for (i, &oc) in outer.iter().enumerate() {
+        curr[0] = i + 1;
+        let mut row_min = curr[0];
+        for (j, &ic) in inner.iter().enumerate() {
+            let cost = usize::from(oc != ic);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+            row_min = row_min.min(curr[j + 1]);
+        }
+        if row_min > bound {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let d = prev[inner.len()];
+    (d <= bound).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn unicode_is_per_scalar() {
+        // Accented characters count as single edits.
+        assert_eq!(levenshtein("città", "citta"), 1);
+        assert_eq!(levenshtein("über", "uber"), 1);
+    }
+
+    #[test]
+    fn symmetry() {
+        let pairs = [("via roma", "via torino"), ("abc", "ya"), ("", "x")];
+        for (a, b) in pairs {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+            assert!((similarity(a, b) - similarity(b, a)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn similarity_bounds_and_anchors() {
+        assert_eq!(similarity("", ""), 1.0);
+        assert_eq!(similarity("abc", "abc"), 1.0);
+        assert_eq!(similarity("abc", "xyz"), 0.0);
+        let s = similarity("via garibaldi", "via garibaldo");
+        assert!(s > 0.9 && s < 1.0);
+    }
+
+    #[test]
+    fn typo_keeps_similarity_high() {
+        // The address-cleaning use case: one or two typos in a street name.
+        let clean = "corso vittorio emanuele ii";
+        let noisy = "corso vitorio emanuele ii";
+        assert!(similarity(clean, noisy) >= 0.9);
+    }
+
+    #[test]
+    fn bounded_matches_unbounded_when_within() {
+        let pairs = [
+            ("kitten", "sitting"),
+            ("via po", "via pio"),
+            ("", ""),
+            ("abcdef", "abcdef"),
+        ];
+        for (a, b) in pairs {
+            let d = levenshtein(a, b);
+            assert_eq!(levenshtein_bounded(a, b, d), Some(d));
+            assert_eq!(levenshtein_bounded(a, b, d + 5), Some(d));
+            if d > 0 {
+                assert_eq!(levenshtein_bounded(a, b, d - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_early_exit_on_length_gap() {
+        assert_eq!(levenshtein_bounded("ab", "abcdefghij", 3), None);
+        assert_eq!(levenshtein_bounded("abc", "", 2), None);
+        assert_eq!(levenshtein_bounded("abc", "", 3), Some(3));
+    }
+
+    #[test]
+    fn triangle_inequality_holds_on_samples() {
+        let words = ["via roma", "via rома", "corso francia", "c.so francia", ""];
+        for a in words {
+            for b in words {
+                for c in words {
+                    let ab = levenshtein(a, b);
+                    let bc = levenshtein(b, c);
+                    let ac = levenshtein(a, c);
+                    assert!(ac <= ab + bc, "{a:?} {b:?} {c:?}");
+                }
+            }
+        }
+    }
+}

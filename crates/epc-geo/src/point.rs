@@ -1,0 +1,145 @@
+//! WGS84 points and great-circle distances.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in meters (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A WGS84 coordinate pair in decimal degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in decimal degrees (positive north).
+    pub lat: f64,
+    /// Longitude in decimal degrees (positive east).
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point; debug-asserts plausible ranges.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        debug_assert!((-90.0..=90.0).contains(&lat), "latitude {lat} out of range");
+        debug_assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude {lon} out of range"
+        );
+        GeoPoint { lat, lon }
+    }
+
+    /// `true` when both coordinates are finite and within WGS84 bounds.
+    pub fn is_valid(&self) -> bool {
+        self.lat.is_finite()
+            && self.lon.is_finite()
+            && (-90.0..=90.0).contains(&self.lat)
+            && (-180.0..=180.0).contains(&self.lon)
+    }
+
+    /// Great-circle (haversine) distance to `other` in meters.
+    pub fn haversine_m(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+
+    /// Midpoint with `other` (adequate for the city scales INDICE maps).
+    pub fn midpoint(&self, other: &GeoPoint) -> GeoPoint {
+        GeoPoint {
+            lat: (self.lat + other.lat) / 2.0,
+            lon: (self.lon + other.lon) / 2.0,
+        }
+    }
+
+    /// Centroid of a non-empty point set; `None` when empty.
+    pub fn centroid(points: &[GeoPoint]) -> Option<GeoPoint> {
+        if points.is_empty() {
+            return None;
+        }
+        let n = points.len() as f64;
+        Some(GeoPoint {
+            lat: points.iter().map(|p| p.lat).sum::<f64>() / n,
+            lon: points.iter().map(|p| p.lon).sum::<f64>() / n,
+        })
+    }
+
+    /// Offsets the point by approximately `(dn, de)` meters (north, east) —
+    /// used by the synthetic city generator to lay out house numbers.
+    pub fn offset_m(&self, dn: f64, de: f64) -> GeoPoint {
+        let dlat = dn / EARTH_RADIUS_M * (180.0 / std::f64::consts::PI);
+        let dlon = de / (EARTH_RADIUS_M * self.lat.to_radians().cos())
+            * (180.0 / std::f64::consts::PI);
+        GeoPoint {
+            lat: self.lat + dlat,
+            lon: self.lon + dlon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Piazza Castello, Turin — the city of the case study.
+    const TURIN: GeoPoint = GeoPoint {
+        lat: 45.0703,
+        lon: 7.6869,
+    };
+    /// Milan Duomo.
+    const MILAN: GeoPoint = GeoPoint {
+        lat: 45.4642,
+        lon: 9.1900,
+    };
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        assert_eq!(TURIN.haversine_m(&TURIN), 0.0);
+    }
+
+    #[test]
+    fn haversine_turin_milan_is_about_125_km() {
+        let d = TURIN.haversine_m(&MILAN);
+        assert!((d - 125_000.0).abs() < 5_000.0, "got {d} m");
+    }
+
+    #[test]
+    fn haversine_is_symmetric() {
+        assert!((TURIN.haversine_m(&MILAN) - MILAN.haversine_m(&TURIN)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn small_distances_are_accurate() {
+        // 1 degree of latitude ≈ 111.2 km
+        let a = GeoPoint::new(45.0, 7.0);
+        let b = GeoPoint::new(46.0, 7.0);
+        let d = a.haversine_m(&b);
+        assert!((d - 111_195.0).abs() < 100.0, "got {d}");
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let p = TURIN.offset_m(1000.0, 500.0);
+        let d = TURIN.haversine_m(&p);
+        let expected = (1000.0f64 * 1000.0 + 500.0 * 500.0).sqrt();
+        assert!((d - expected).abs() < 5.0, "got {d}, want ~{expected}");
+    }
+
+    #[test]
+    fn midpoint_and_centroid() {
+        let m = TURIN.midpoint(&MILAN);
+        assert!((m.lat - (TURIN.lat + MILAN.lat) / 2.0).abs() < 1e-12);
+        let c = GeoPoint::centroid(&[TURIN, MILAN]).unwrap();
+        assert!((c.lat - m.lat).abs() < 1e-12);
+        assert!((c.lon - m.lon).abs() < 1e-12);
+        assert_eq!(GeoPoint::centroid(&[]), None);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(TURIN.is_valid());
+        assert!(!GeoPoint { lat: f64::NAN, lon: 0.0 }.is_valid());
+        assert!(!GeoPoint { lat: 95.0, lon: 0.0 }.is_valid());
+        assert!(!GeoPoint { lat: 0.0, lon: 200.0 }.is_valid());
+    }
+}

@@ -1,0 +1,336 @@
+//! A point quadtree over geographic coordinates.
+//!
+//! Backs the spatial selections of the query engine and the greedy marker
+//! clustering of the cluster-marker maps: both need fast "all points in this
+//! rectangle" queries over ~25 000 certificate locations.
+
+use crate::bbox::BoundingBox;
+use crate::point::GeoPoint;
+
+const NODE_CAPACITY: usize = 16;
+const MAX_DEPTH: usize = 16;
+
+/// A point quadtree storing `(GeoPoint, payload)` pairs.
+#[derive(Debug, Clone)]
+pub struct QuadTree<T> {
+    bounds: BoundingBox,
+    root: Node<T>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf(Vec<(GeoPoint, T)>),
+    /// Children in quadrant order SW, SE, NW, NE (see
+    /// [`BoundingBox::quadrants`]).
+    Internal(Box<[NodeSlot<T>; 4]>),
+}
+
+#[derive(Debug, Clone)]
+struct NodeSlot<T> {
+    bounds: BoundingBox,
+    node: Node<T>,
+}
+
+impl<T: Clone> QuadTree<T> {
+    /// An empty tree over `bounds`. Points outside the bounds are rejected
+    /// by [`QuadTree::insert`].
+    pub fn new(bounds: BoundingBox) -> Self {
+        QuadTree {
+            bounds,
+            root: Node::Leaf(Vec::new()),
+            len: 0,
+        }
+    }
+
+    /// Builds a tree sized to `points` (with a small margin) and inserts
+    /// them all. Returns `None` for empty input.
+    pub fn from_points(items: Vec<(GeoPoint, T)>) -> Option<Self> {
+        let pts: Vec<GeoPoint> = items.iter().map(|(p, _)| *p).collect();
+        let bounds = BoundingBox::from_points(&pts)?.with_margin(1e-9);
+        let mut tree = QuadTree::new(bounds);
+        for (p, v) in items {
+            tree.insert(p, v);
+        }
+        Some(tree)
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The tree bounds.
+    pub fn bounds(&self) -> &BoundingBox {
+        &self.bounds
+    }
+
+    /// Inserts a point; returns `false` (and stores nothing) when the point
+    /// is outside the tree bounds.
+    pub fn insert(&mut self, point: GeoPoint, value: T) -> bool {
+        if !self.bounds.contains(&point) {
+            return false;
+        }
+        insert_rec(&mut self.root, &self.bounds, point, value, 0);
+        self.len += 1;
+        true
+    }
+
+    /// All `(point, payload)` pairs inside `rect` (edges inclusive).
+    pub fn query_rect(&self, rect: &BoundingBox) -> Vec<(GeoPoint, &T)> {
+        let mut out = Vec::new();
+        query_rec(&self.root, &self.bounds, rect, &mut out);
+        out
+    }
+
+    /// Number of points inside `rect` without materializing them.
+    pub fn count_rect(&self, rect: &BoundingBox) -> usize {
+        count_rec(&self.root, &self.bounds, rect)
+    }
+
+    /// The nearest stored point to `target` (by haversine distance), with
+    /// its payload; `None` when empty. Linear in the worst case but prunes
+    /// whole quadrants via bounding-box distance.
+    pub fn nearest(&self, target: &GeoPoint) -> Option<(GeoPoint, &T, f64)> {
+        let mut best: Option<(GeoPoint, &T, f64)> = None;
+        nearest_rec(&self.root, &self.bounds, target, &mut best);
+        best
+    }
+}
+
+fn insert_rec<T: Clone>(
+    node: &mut Node<T>,
+    bounds: &BoundingBox,
+    point: GeoPoint,
+    value: T,
+    depth: usize,
+) {
+    match node {
+        Node::Leaf(items) => {
+            if items.len() < NODE_CAPACITY || depth >= MAX_DEPTH {
+                items.push((point, value));
+                return;
+            }
+            // Split: redistribute existing items into children.
+            let quads = bounds.quadrants();
+            let mut slots: [NodeSlot<T>; 4] = [
+                NodeSlot { bounds: quads[0], node: Node::Leaf(Vec::new()) },
+                NodeSlot { bounds: quads[1], node: Node::Leaf(Vec::new()) },
+                NodeSlot { bounds: quads[2], node: Node::Leaf(Vec::new()) },
+                NodeSlot { bounds: quads[3], node: Node::Leaf(Vec::new()) },
+            ];
+            for (p, v) in items.drain(..) {
+                let slot = slots
+                    .iter_mut()
+                    .find(|s| s.bounds.contains(&p))
+                    .expect("point must fall in a quadrant");
+                let b = slot.bounds;
+                insert_rec(&mut slot.node, &b, p, v, depth + 1);
+            }
+            *node = Node::Internal(Box::new(slots));
+            insert_rec(node, bounds, point, value, depth);
+        }
+        Node::Internal(slots) => {
+            let slot = slots
+                .iter_mut()
+                .find(|s| s.bounds.contains(&point))
+                .expect("point inside parent must fall in a quadrant");
+            let b = slot.bounds;
+            insert_rec(&mut slot.node, &b, point, value, depth + 1);
+        }
+    }
+}
+
+fn query_rec<'a, T>(
+    node: &'a Node<T>,
+    bounds: &BoundingBox,
+    rect: &BoundingBox,
+    out: &mut Vec<(GeoPoint, &'a T)>,
+) {
+    if !bounds.intersects(rect) {
+        return;
+    }
+    match node {
+        Node::Leaf(items) => {
+            for (p, v) in items {
+                if rect.contains(p) {
+                    out.push((*p, v));
+                }
+            }
+        }
+        Node::Internal(slots) => {
+            for slot in slots.iter() {
+                query_rec(&slot.node, &slot.bounds, rect, out);
+            }
+        }
+    }
+}
+
+fn count_rec<T>(node: &Node<T>, bounds: &BoundingBox, rect: &BoundingBox) -> usize {
+    if !bounds.intersects(rect) {
+        return 0;
+    }
+    match node {
+        Node::Leaf(items) => items.iter().filter(|(p, _)| rect.contains(p)).count(),
+        Node::Internal(slots) => slots
+            .iter()
+            .map(|s| count_rec(&s.node, &s.bounds, rect))
+            .sum(),
+    }
+}
+
+fn nearest_rec<'a, T>(
+    node: &'a Node<T>,
+    bounds: &BoundingBox,
+    target: &GeoPoint,
+    best: &mut Option<(GeoPoint, &'a T, f64)>,
+) {
+    // Prune: closest possible point of this box to the target.
+    if let Some((_, _, best_d)) = best {
+        let clamped = GeoPoint {
+            lat: target.lat.clamp(bounds.min_lat, bounds.max_lat),
+            lon: target.lon.clamp(bounds.min_lon, bounds.max_lon),
+        };
+        if clamped.haversine_m(target) > *best_d {
+            return;
+        }
+    }
+    match node {
+        Node::Leaf(items) => {
+            for (p, v) in items {
+                let d = p.haversine_m(target);
+                if best.as_ref().map(|(_, _, bd)| d < *bd).unwrap_or(true) {
+                    *best = Some((*p, v, d));
+                }
+            }
+        }
+        Node::Internal(slots) => {
+            // Visit the quadrant containing the target first for tighter
+            // pruning.
+            let mut order: Vec<&NodeSlot<T>> = slots.iter().collect();
+            order.sort_by_key(|s| !s.bounds.contains(target) as u8);
+            for slot in order {
+                nearest_rec(&slot.node, &slot.bounds, target, best);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random point cloud around Turin.
+    fn cloud(n: usize) -> Vec<(GeoPoint, usize)> {
+        (0..n)
+            .map(|i| {
+                let a = ((i * 2654435761) % 10_000) as f64 / 10_000.0;
+                let b = ((i * 40503 + 7) % 10_000) as f64 / 10_000.0;
+                (GeoPoint::new(45.0 + a * 0.2, 7.6 + b * 0.2), i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let mut t = QuadTree::new(BoundingBox::new(0.0, 0.0, 1.0, 1.0));
+        assert!(t.is_empty());
+        assert!(t.insert(GeoPoint::new(0.5, 0.5), "a"));
+        assert!(!t.insert(GeoPoint::new(2.0, 2.0), "outside"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let pts = cloud(2000);
+        let tree = QuadTree::from_points(pts.clone()).unwrap();
+        assert_eq!(tree.len(), 2000);
+        let rect = BoundingBox::new(45.05, 7.65, 45.12, 7.72);
+        let mut got: Vec<usize> = tree.query_rect(&rect).iter().map(|(_, &v)| v).collect();
+        got.sort_unstable();
+        let mut expected: Vec<usize> = pts
+            .iter()
+            .filter(|(p, _)| rect.contains(p))
+            .map(|(_, v)| *v)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+        assert!(!got.is_empty(), "rect should contain some points");
+        assert_eq!(tree.count_rect(&rect), got.len());
+    }
+
+    #[test]
+    fn query_outside_bounds_is_empty() {
+        let tree = QuadTree::from_points(cloud(100)).unwrap();
+        let far = BoundingBox::new(0.0, 0.0, 1.0, 1.0);
+        assert!(tree.query_rect(&far).is_empty());
+        assert_eq!(tree.count_rect(&far), 0);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = cloud(500);
+        let tree = QuadTree::from_points(pts.clone()).unwrap();
+        for target in [
+            GeoPoint::new(45.1, 7.7),
+            GeoPoint::new(45.0, 7.6),
+            GeoPoint::new(45.19, 7.79),
+        ] {
+            let (_, &got, gd) = tree.nearest(&target).unwrap();
+            let (bp, bv) = pts
+                .iter()
+                .min_by(|(a, _), (b, _)| {
+                    a.haversine_m(&target)
+                        .partial_cmp(&b.haversine_m(&target))
+                        .unwrap()
+                })
+                .unwrap();
+            assert_eq!(got, *bv);
+            assert!((gd - bp.haversine_m(&target)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_all_kept() {
+        let p = GeoPoint::new(45.05, 7.65);
+        let items: Vec<(GeoPoint, usize)> = (0..100).map(|i| (p, i)).collect();
+        // All duplicates would overflow a leaf without the MAX_DEPTH stop.
+        let mut tree = QuadTree::new(BoundingBox::new(45.0, 7.6, 45.1, 7.7));
+        for (pt, v) in items {
+            assert!(tree.insert(pt, v));
+        }
+        assert_eq!(tree.len(), 100);
+        let rect = BoundingBox::new(45.049, 7.649, 45.051, 7.651);
+        assert_eq!(tree.count_rect(&rect), 100);
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t: Option<QuadTree<u8>> = QuadTree::from_points(vec![]);
+        assert!(t.is_none());
+        let t = QuadTree::<u8>::new(BoundingBox::new(0.0, 0.0, 1.0, 1.0));
+        assert!(t.nearest(&GeoPoint::new(0.5, 0.5)).is_none());
+    }
+
+    #[test]
+    fn boundary_points_are_found() {
+        let b = BoundingBox::new(45.0, 7.6, 45.2, 7.8);
+        let mut t = QuadTree::new(b);
+        // Corners and center lines (quadrant boundaries).
+        let pts = [
+            GeoPoint::new(45.0, 7.6),
+            GeoPoint::new(45.2, 7.8),
+            GeoPoint::new(45.1, 7.7), // exact center
+            GeoPoint::new(45.1, 7.6),
+        ];
+        for (i, p) in pts.iter().enumerate() {
+            assert!(t.insert(*p, i), "insert {p:?}");
+        }
+        assert_eq!(t.count_rect(&b), pts.len());
+    }
+}

@@ -1,0 +1,262 @@
+//! Administrative regions (districts and neighbourhoods) as polygons, with
+//! point-in-polygon assignment — the backbone of the city → district →
+//! neighbourhood → housing-unit drill-down of the dashboards.
+
+use crate::bbox::BoundingBox;
+use crate::point::GeoPoint;
+use epc_model::Granularity;
+use serde::{Deserialize, Serialize};
+
+/// A simple polygon as a ring of vertices (implicitly closed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    /// The vertex ring (last vertex connects back to the first).
+    pub vertices: Vec<GeoPoint>,
+}
+
+impl Polygon {
+    /// Creates a polygon; needs at least 3 vertices to be meaningful.
+    pub fn new(vertices: Vec<GeoPoint>) -> Self {
+        debug_assert!(vertices.len() >= 3, "polygon needs ≥ 3 vertices");
+        Polygon { vertices }
+    }
+
+    /// A rectangle polygon from a bounding box (counter-clockwise).
+    pub fn from_bbox(b: &BoundingBox) -> Self {
+        Polygon::new(vec![
+            GeoPoint::new(b.min_lat, b.min_lon),
+            GeoPoint::new(b.min_lat, b.max_lon),
+            GeoPoint::new(b.max_lat, b.max_lon),
+            GeoPoint::new(b.max_lat, b.min_lon),
+        ])
+    }
+
+    /// Even-odd (ray-casting) point-in-polygon test; boundary points may
+    /// fall on either side, which is acceptable for map binning.
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        let v = &self.vertices;
+        let n = v.len();
+        if n < 3 {
+            return false;
+        }
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let (xi, yi) = (v[i].lon, v[i].lat);
+            let (xj, yj) = (v[j].lon, v[j].lat);
+            if ((yi > p.lat) != (yj > p.lat))
+                && (p.lon < (xj - xi) * (p.lat - yi) / (yj - yi) + xi)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// The tight bounding box of the polygon.
+    pub fn bbox(&self) -> Option<BoundingBox> {
+        BoundingBox::from_points(&self.vertices)
+    }
+
+    /// The vertex centroid (adequate for label placement on city maps).
+    pub fn centroid(&self) -> Option<GeoPoint> {
+        GeoPoint::centroid(&self.vertices)
+    }
+}
+
+/// A named administrative region at some granularity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Region name (e.g. `"Circoscrizione 1"`, `"San Salvario"`).
+    pub name: String,
+    /// Granularity level of the region.
+    pub level: Granularity,
+    /// Name of the parent region (district of a neighbourhood, city of a
+    /// district); `None` for the city itself.
+    pub parent: Option<String>,
+    /// Region boundary.
+    pub polygon: Polygon,
+}
+
+/// The city → districts → neighbourhoods hierarchy.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RegionHierarchy {
+    /// City name.
+    pub city: String,
+    /// City boundary.
+    pub city_polygon: Option<Polygon>,
+    /// District regions.
+    pub districts: Vec<Region>,
+    /// Neighbourhood regions.
+    pub neighbourhoods: Vec<Region>,
+}
+
+impl RegionHierarchy {
+    /// An empty hierarchy for `city`.
+    pub fn new(city: &str) -> Self {
+        RegionHierarchy {
+            city: city.to_owned(),
+            ..RegionHierarchy::default()
+        }
+    }
+
+    /// The regions at `level` (`City` yields an empty slice — the city is
+    /// implicit).
+    pub fn regions_at(&self, level: Granularity) -> &[Region] {
+        match level {
+            Granularity::District => &self.districts,
+            Granularity::Neighbourhood => &self.neighbourhoods,
+            _ => &[],
+        }
+    }
+
+    /// The district containing `p`, if any.
+    pub fn district_of(&self, p: &GeoPoint) -> Option<&Region> {
+        self.districts.iter().find(|r| r.polygon.contains(p))
+    }
+
+    /// The neighbourhood containing `p`, if any.
+    pub fn neighbourhood_of(&self, p: &GeoPoint) -> Option<&Region> {
+        self.neighbourhoods.iter().find(|r| r.polygon.contains(p))
+    }
+
+    /// The region name `p` belongs to at `level` (`City` → the city name,
+    /// `HousingUnit` → `None`: units aren't regions).
+    pub fn assign(&self, p: &GeoPoint, level: Granularity) -> Option<String> {
+        match level {
+            Granularity::City => Some(self.city.clone()),
+            Granularity::District => self.district_of(p).map(|r| r.name.clone()),
+            Granularity::Neighbourhood => self.neighbourhood_of(p).map(|r| r.name.clone()),
+            Granularity::HousingUnit => None,
+        }
+    }
+
+    /// A region by name, searching both levels.
+    pub fn by_name(&self, name: &str) -> Option<&Region> {
+        self.districts
+            .iter()
+            .chain(&self.neighbourhoods)
+            .find(|r| r.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(lat0: f64, lon0: f64, size: f64) -> Polygon {
+        Polygon::from_bbox(&BoundingBox::new(lat0, lon0, lat0 + size, lon0 + size))
+    }
+
+    #[test]
+    fn square_containment() {
+        let p = square(45.0, 7.6, 0.1);
+        assert!(p.contains(&GeoPoint::new(45.05, 7.65)));
+        assert!(!p.contains(&GeoPoint::new(45.15, 7.65)));
+        assert!(!p.contains(&GeoPoint::new(45.05, 7.75)));
+    }
+
+    #[test]
+    fn concave_polygon() {
+        // An L-shape: the notch must be outside.
+        let l = Polygon::new(vec![
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(0.0, 2.0),
+            GeoPoint::new(1.0, 2.0),
+            GeoPoint::new(1.0, 1.0),
+            GeoPoint::new(2.0, 1.0),
+            GeoPoint::new(2.0, 0.0),
+        ]);
+        assert!(l.contains(&GeoPoint::new(0.5, 0.5)));
+        assert!(l.contains(&GeoPoint::new(0.5, 1.5)));
+        assert!(l.contains(&GeoPoint::new(1.5, 0.5)));
+        assert!(!l.contains(&GeoPoint::new(1.5, 1.5)), "the notch");
+    }
+
+    #[test]
+    fn bbox_and_centroid() {
+        let p = square(45.0, 7.6, 0.2);
+        let b = p.bbox().unwrap();
+        assert_eq!(b.min_lat, 45.0);
+        assert_eq!(b.max_lon, 7.8);
+        let c = p.centroid().unwrap();
+        assert!((c.lat - 45.1).abs() < 1e-12);
+        assert!((c.lon - 7.7).abs() < 1e-12);
+    }
+
+    fn hierarchy() -> RegionHierarchy {
+        let mut h = RegionHierarchy::new("Torino");
+        h.districts.push(Region {
+            name: "D1".into(),
+            level: Granularity::District,
+            parent: Some("Torino".into()),
+            polygon: square(45.0, 7.6, 0.1),
+        });
+        h.districts.push(Region {
+            name: "D2".into(),
+            level: Granularity::District,
+            parent: Some("Torino".into()),
+            polygon: square(45.0, 7.7, 0.1),
+        });
+        h.neighbourhoods.push(Region {
+            name: "N1a".into(),
+            level: Granularity::Neighbourhood,
+            parent: Some("D1".into()),
+            polygon: square(45.0, 7.6, 0.05),
+        });
+        h.neighbourhoods.push(Region {
+            name: "N1b".into(),
+            level: Granularity::Neighbourhood,
+            parent: Some("D1".into()),
+            polygon: square(45.05, 7.6, 0.05),
+        });
+        h
+    }
+
+    #[test]
+    fn assignment_at_all_levels() {
+        let h = hierarchy();
+        let p = GeoPoint::new(45.02, 7.62);
+        assert_eq!(h.assign(&p, Granularity::City).as_deref(), Some("Torino"));
+        assert_eq!(h.assign(&p, Granularity::District).as_deref(), Some("D1"));
+        assert_eq!(
+            h.assign(&p, Granularity::Neighbourhood).as_deref(),
+            Some("N1a")
+        );
+        assert_eq!(h.assign(&p, Granularity::HousingUnit), None);
+    }
+
+    #[test]
+    fn point_outside_every_region() {
+        let h = hierarchy();
+        let p = GeoPoint::new(44.0, 7.0);
+        assert_eq!(h.district_of(&p), None);
+        assert_eq!(h.assign(&p, Granularity::District), None);
+    }
+
+    #[test]
+    fn second_district_is_found() {
+        let h = hierarchy();
+        let p = GeoPoint::new(45.05, 7.75);
+        assert_eq!(h.district_of(&p).unwrap().name, "D2");
+        assert_eq!(h.neighbourhood_of(&p), None);
+    }
+
+    #[test]
+    fn regions_at_levels() {
+        let h = hierarchy();
+        assert_eq!(h.regions_at(Granularity::District).len(), 2);
+        assert_eq!(h.regions_at(Granularity::Neighbourhood).len(), 2);
+        assert!(h.regions_at(Granularity::City).is_empty());
+        assert!(h.regions_at(Granularity::HousingUnit).is_empty());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let h = hierarchy();
+        assert_eq!(h.by_name("D2").unwrap().level, Granularity::District);
+        assert_eq!(h.by_name("N1b").unwrap().parent.as_deref(), Some("D1"));
+        assert!(h.by_name("missing").is_none());
+    }
+}

@@ -1,0 +1,413 @@
+//! The referenced street map of §2.1.1.
+//!
+//! "The referenced street map should contain all the detailed information on
+//! streets, including street names, house numbers, ZIP Code and geolocation."
+//! INDICE matches each noisy EPC address against this map with Levenshtein
+//! similarity, and uses the matched entry to repair ZIP code, house number,
+//! latitude and longitude.
+
+use crate::address::{normalize_house_number, normalize_street};
+use crate::levenshtein::{levenshtein_bounded, similarity};
+use crate::point::GeoPoint;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One civic-number entry of the referenced street map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreetEntry {
+    /// Canonical street name (already clean).
+    pub street: String,
+    /// Canonical house number (`"12"`, `"12/B"`, …).
+    pub house_number: String,
+    /// ZIP code of the entry.
+    pub zip: String,
+    /// Geolocation of the entrance.
+    pub point: GeoPoint,
+    /// District the entry belongs to.
+    pub district: String,
+    /// Neighbourhood the entry belongs to.
+    pub neighbourhood: String,
+}
+
+/// The referenced street map: entries indexed by normalized street name.
+#[derive(Debug, Clone, Default)]
+pub struct StreetMap {
+    entries: Vec<StreetEntry>,
+    /// normalized street name → indices into `entries`
+    by_street: HashMap<String, Vec<usize>>,
+    /// distinct normalized street names (kept for fuzzy scans)
+    street_names: Vec<String>,
+}
+
+/// A fuzzy street-name match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreetMatch {
+    /// The normalized street name matched.
+    pub street_key: String,
+    /// The Levenshtein similarity achieved, in `[0, 1]`.
+    pub similarity: f64,
+}
+
+impl StreetMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        StreetMap::default()
+    }
+
+    /// Builds a map from entries.
+    pub fn from_entries(entries: Vec<StreetEntry>) -> Self {
+        let mut map = StreetMap::new();
+        for e in entries {
+            map.insert(e);
+        }
+        map
+    }
+
+    /// Adds one entry.
+    pub fn insert(&mut self, entry: StreetEntry) {
+        let key = normalize_street(&entry.street);
+        let idx = self.entries.len();
+        self.entries.push(entry);
+        match self.by_street.get_mut(&key) {
+            Some(v) => v.push(idx),
+            None => {
+                self.by_street.insert(key.clone(), vec![idx]);
+                self.street_names.push(key);
+            }
+        }
+    }
+
+    /// Total number of civic-number entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of distinct streets.
+    pub fn n_streets(&self) -> usize {
+        self.street_names.len()
+    }
+
+    /// All entries (for iteration / serialization).
+    pub fn entries(&self) -> &[StreetEntry] {
+        &self.entries
+    }
+
+    /// `true` when the normalized street name exists verbatim.
+    pub fn contains_street(&self, street: &str) -> bool {
+        self.by_street.contains_key(&normalize_street(street))
+    }
+
+    /// The best fuzzy match for a (raw) street name, or `None` when no
+    /// street reaches `min_similarity`. Exact normalized matches short-
+    /// circuit; otherwise every distinct street name is scanned with a
+    /// bounded Levenshtein (the bound derived from `min_similarity`).
+    pub fn best_match(&self, raw_street: &str, min_similarity: f64) -> Option<StreetMatch> {
+        let query = normalize_street(raw_street);
+        if query.is_empty() {
+            return None;
+        }
+        if self.by_street.contains_key(&query) {
+            return Some(StreetMatch {
+                street_key: query,
+                similarity: 1.0,
+            });
+        }
+        let q_len = query.chars().count();
+        let mut best: Option<StreetMatch> = None;
+        for name in &self.street_names {
+            let n_len = name.chars().count();
+            let max_len = q_len.max(n_len);
+            // similarity ≥ s  ⇔  distance ≤ (1 − s)·max_len
+            let bound = ((1.0 - min_similarity) * max_len as f64).floor() as usize;
+            if let Some(d) = levenshtein_bounded(&query, name, bound) {
+                let sim = 1.0 - d as f64 / max_len as f64;
+                let better = best
+                    .as_ref()
+                    .map(|b| sim > b.similarity)
+                    .unwrap_or(sim >= min_similarity);
+                if better && sim >= min_similarity {
+                    best = Some(StreetMatch {
+                        street_key: name.clone(),
+                        similarity: sim,
+                    });
+                    if sim == 1.0 {
+                        break;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Looks up the entry for `(street_key, house_number)`; when the exact
+    /// civic number is absent, falls back to the numerically closest civic
+    /// number on the street (how geocoders interpolate unknown numbers).
+    /// `street_key` must be a normalized street name (e.g. from
+    /// [`StreetMap::best_match`]).
+    pub fn lookup(&self, street_key: &str, house_number: Option<&str>) -> Option<&StreetEntry> {
+        let idxs = self.by_street.get(street_key)?;
+        let hn = house_number.map(normalize_house_number);
+        if let Some(hn) = &hn {
+            // Exact civic match first.
+            if let Some(&i) = idxs
+                .iter()
+                .find(|&&i| normalize_house_number(&self.entries[i].house_number) == *hn)
+            {
+                return Some(&self.entries[i]);
+            }
+            // Closest numeric civic number.
+            if let Some(target) = leading_number(hn) {
+                let best = idxs.iter().min_by_key(|&&i| {
+                    leading_number(&self.entries[i].house_number)
+                        .map(|n| n.abs_diff(target))
+                        .unwrap_or(u64::MAX)
+                });
+                if let Some(&i) = best {
+                    return Some(&self.entries[i]);
+                }
+            }
+        }
+        // No (usable) house number: return the first entry of the street.
+        idxs.first().map(|&i| &self.entries[i])
+    }
+
+    /// The exact-similarity scan used by diagnostics: similarity of `raw`
+    /// against every distinct street, sorted descending. Expensive; only
+    /// for tests and reports.
+    pub fn similarity_profile(&self, raw_street: &str) -> Vec<(String, f64)> {
+        let query = normalize_street(raw_street);
+        let mut v: Vec<(String, f64)> = self
+            .street_names
+            .iter()
+            .map(|n| (n.clone(), similarity(&query, n)))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        v
+    }
+}
+
+impl StreetMap {
+    /// Serializes the map to a semicolon-separated text format (one entry
+    /// per line: `street;house;zip;lat;lon;district;neighbourhood`).
+    ///
+    /// Fields containing `;` or newlines are rejected with an error — real
+    /// odonyms never contain either.
+    pub fn to_text(&self) -> Result<String, String> {
+        let mut out = String::from("street;house_number;zip;lat;lon;district;neighbourhood\n");
+        for e in &self.entries {
+            for field in [&e.street, &e.house_number, &e.zip, &e.district, &e.neighbourhood] {
+                if field.contains(';') || field.contains('\n') {
+                    return Err(format!("field {field:?} contains a separator"));
+                }
+            }
+            out.push_str(&format!(
+                "{};{};{};{};{};{};{}\n",
+                e.street, e.house_number, e.zip, e.point.lat, e.point.lon, e.district, e.neighbourhood
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Parses the [`StreetMap::to_text`] format.
+    pub fn from_text(text: &str) -> Result<StreetMap, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty street map file")?;
+        if !header.starts_with("street;") {
+            return Err(format!("unexpected header {header:?}"));
+        }
+        let mut map = StreetMap::new();
+        for (i, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.split(';').collect();
+            if parts.len() != 7 {
+                return Err(format!("line {}: expected 7 fields, got {}", i + 2, parts.len()));
+            }
+            let lat: f64 = parts[3]
+                .parse()
+                .map_err(|e| format!("line {}: bad latitude: {e}", i + 2))?;
+            let lon: f64 = parts[4]
+                .parse()
+                .map_err(|e| format!("line {}: bad longitude: {e}", i + 2))?;
+            map.insert(StreetEntry {
+                street: parts[0].to_owned(),
+                house_number: parts[1].to_owned(),
+                zip: parts[2].to_owned(),
+                point: GeoPoint::new(lat, lon),
+                district: parts[5].to_owned(),
+                neighbourhood: parts[6].to_owned(),
+            });
+        }
+        Ok(map)
+    }
+}
+
+/// Extracts the leading integer of a house number (`"12/B"` → 12).
+fn leading_number(s: &str) -> Option<u64> {
+    let digits: String = s.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(street: &str, hn: &str, zip: &str, lat: f64, lon: f64) -> StreetEntry {
+        StreetEntry {
+            street: street.to_owned(),
+            house_number: hn.to_owned(),
+            zip: zip.to_owned(),
+            point: GeoPoint::new(lat, lon),
+            district: "D1".into(),
+            neighbourhood: "N1".into(),
+        }
+    }
+
+    fn sample_map() -> StreetMap {
+        StreetMap::from_entries(vec![
+            entry("Via Roma", "1", "10121", 45.07, 7.68),
+            entry("Via Roma", "3", "10121", 45.0701, 7.6801),
+            entry("Via Roma", "25", "10121", 45.0710, 7.6810),
+            entry("Corso Francia", "10", "10143", 45.075, 7.65),
+            entry("Corso Vittorio Emanuele II", "76", "10128", 45.062, 7.67),
+            entry("Piazza Castello", "5", "10122", 45.0708, 7.6863),
+        ])
+    }
+
+    #[test]
+    fn sizes() {
+        let m = sample_map();
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.n_streets(), 4);
+        assert!(!m.is_empty());
+        assert!(StreetMap::new().is_empty());
+    }
+
+    #[test]
+    fn exact_match_short_circuits() {
+        let m = sample_map();
+        let hit = m.best_match("VIA ROMA", 0.8).unwrap();
+        assert_eq!(hit.street_key, "via roma");
+        assert_eq!(hit.similarity, 1.0);
+    }
+
+    #[test]
+    fn abbreviation_matches_exactly() {
+        let m = sample_map();
+        let hit = m.best_match("C.so Vittorio Emanuele II", 0.8).unwrap();
+        assert_eq!(hit.street_key, "corso vittorio emanuele ii");
+        assert_eq!(hit.similarity, 1.0);
+    }
+
+    #[test]
+    fn typo_matches_fuzzily() {
+        let m = sample_map();
+        let hit = m.best_match("corso vitorio emanuele ii", 0.85).unwrap();
+        assert_eq!(hit.street_key, "corso vittorio emanuele ii");
+        assert!(hit.similarity >= 0.85 && hit.similarity < 1.0);
+    }
+
+    #[test]
+    fn below_threshold_is_none() {
+        let m = sample_map();
+        assert!(m.best_match("via garibaldi", 0.8).is_none());
+        assert!(m.best_match("", 0.5).is_none());
+    }
+
+    #[test]
+    fn best_match_picks_the_closest_street() {
+        let mut m = sample_map();
+        m.insert(entry("Via Romita", "2", "10121", 45.08, 7.69));
+        // "via romaa" (1 edit from "via roma", 2 from "via romita")
+        let hit = m.best_match("via romaa", 0.7).unwrap();
+        assert_eq!(hit.street_key, "via roma");
+    }
+
+    #[test]
+    fn lookup_exact_civic() {
+        let m = sample_map();
+        let e = m.lookup("via roma", Some("3")).unwrap();
+        assert_eq!(e.house_number, "3");
+        assert_eq!(e.zip, "10121");
+    }
+
+    #[test]
+    fn lookup_nearest_civic_fallback() {
+        let m = sample_map();
+        // 4 is closest to 3 (|4-3| = 1 < |4-1| = 3 < |4-25|).
+        let e = m.lookup("via roma", Some("4")).unwrap();
+        assert_eq!(e.house_number, "3");
+        // 100 is closest to 25.
+        let e = m.lookup("via roma", Some("100")).unwrap();
+        assert_eq!(e.house_number, "25");
+    }
+
+    #[test]
+    fn lookup_without_house_number() {
+        let m = sample_map();
+        let e = m.lookup("corso francia", None).unwrap();
+        assert_eq!(e.street, "Corso Francia");
+        assert!(m.lookup("via inesistente", None).is_none());
+    }
+
+    #[test]
+    fn lookup_suffix_civic_normalization() {
+        let mut m = sample_map();
+        m.insert(entry("Via Po", "12/B", "10124", 45.068, 7.695));
+        let e = m.lookup("via po", Some("12 /b")).unwrap();
+        assert_eq!(e.house_number, "12/B");
+    }
+
+    #[test]
+    fn similarity_profile_is_sorted() {
+        let m = sample_map();
+        let profile = m.similarity_profile("via roma");
+        assert_eq!(profile[0].0, "via roma");
+        for w in profile.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let m = sample_map();
+        let text = m.to_text().unwrap();
+        let back = StreetMap::from_text(&text).unwrap();
+        assert_eq!(back.entries(), m.entries());
+        assert_eq!(back.n_streets(), m.n_streets());
+        // Fuzzy matching still works on the round-tripped map.
+        assert!(back.best_match("via roma", 0.8).is_some());
+    }
+
+    #[test]
+    fn text_rejects_separator_in_fields() {
+        let mut m = StreetMap::new();
+        m.insert(entry("Via; Evil", "1", "10121", 45.0, 7.6));
+        assert!(m.to_text().is_err());
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_input() {
+        assert!(StreetMap::from_text("").is_err());
+        assert!(StreetMap::from_text("wrong header\n").is_err());
+        assert!(StreetMap::from_text("street;house_number;zip;lat;lon;district;neighbourhood\nonly;three;fields\n").is_err());
+        assert!(StreetMap::from_text(
+            "street;house_number;zip;lat;lon;district;neighbourhood\nVia Roma;1;10121;abc;7.6;D;N\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn contains_street_normalizes() {
+        let m = sample_map();
+        assert!(m.contains_street("VIA ROMA"));
+        assert!(m.contains_street("P.za Castello"));
+        assert!(!m.contains_street("via milano"));
+    }
+}

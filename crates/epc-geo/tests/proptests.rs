@@ -1,0 +1,143 @@
+//! Property-based tests of the geospatial substrate: Levenshtein metric
+//! axioms, normalization idempotence, quadtree/brute-force agreement, and
+//! projection invariants.
+
+use epc_geo::address::{normalize_house_number, normalize_street};
+use epc_geo::bbox::BoundingBox;
+use epc_geo::levenshtein::{levenshtein, levenshtein_bounded, similarity};
+use epc_geo::point::GeoPoint;
+use epc_geo::quadtree::QuadTree;
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-z ]{0,24}"
+}
+
+fn geo_point() -> impl Strategy<Value = GeoPoint> {
+    (44.9f64..45.3, 7.5f64..7.9).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    #[test]
+    fn levenshtein_identity(a in word()) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(similarity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn levenshtein_symmetry(a in word(), b in word()) {
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn levenshtein_triangle(a in word(), b in word(), c in word()) {
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn levenshtein_length_bounds(a in word(), b in word()) {
+        let d = levenshtein(&a, &b);
+        let (la, lb) = (a.chars().count(), b.chars().count());
+        prop_assert!(d >= la.abs_diff(lb));
+        prop_assert!(d <= la.max(lb));
+    }
+
+    #[test]
+    fn bounded_agrees_with_unbounded(a in word(), b in word(), bound in 0usize..30) {
+        let d = levenshtein(&a, &b);
+        match levenshtein_bounded(&a, &b, bound) {
+            Some(bd) => {
+                prop_assert_eq!(bd, d);
+                prop_assert!(d <= bound);
+            }
+            None => prop_assert!(d > bound),
+        }
+    }
+
+    #[test]
+    fn similarity_in_unit_interval(a in word(), b in word()) {
+        let s = similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn street_normalization_is_idempotent(a in "[a-zA-Z.,' ]{0,30}") {
+        let once = normalize_street(&a);
+        prop_assert_eq!(normalize_street(&once), once.clone());
+        // Normalized output is lowercase alphanumeric + single spaces.
+        prop_assert!(!once.contains("  "));
+        prop_assert!(once.chars().all(|c| c.is_alphanumeric() || c == ' '));
+    }
+
+    #[test]
+    fn house_number_normalization_is_idempotent(a in "[0-9a-zA-Z/ ]{0,8}") {
+        let once = normalize_house_number(&a);
+        prop_assert_eq!(normalize_house_number(&once), once);
+    }
+
+    #[test]
+    fn haversine_metric_axioms(a in geo_point(), b in geo_point()) {
+        prop_assert!((a.haversine_m(&b) - b.haversine_m(&a)).abs() < 1e-6);
+        prop_assert!(a.haversine_m(&b) >= 0.0);
+        prop_assert_eq!(a.haversine_m(&a), 0.0);
+    }
+
+    #[test]
+    fn bbox_from_points_contains_all(pts in prop::collection::vec(geo_point(), 1..50)) {
+        let b = BoundingBox::from_points(&pts).unwrap();
+        for p in &pts {
+            prop_assert!(b.contains(p));
+        }
+    }
+
+    #[test]
+    fn quadtree_query_matches_brute_force(
+        pts in prop::collection::vec(geo_point(), 1..120),
+        q1 in geo_point(),
+        q2 in geo_point(),
+    ) {
+        let items: Vec<(GeoPoint, usize)> = pts.iter().copied().zip(0..).collect();
+        let tree = QuadTree::from_points(items).unwrap();
+        let rect = BoundingBox::new(
+            q1.lat.min(q2.lat),
+            q1.lon.min(q2.lon),
+            q1.lat.max(q2.lat),
+            q1.lon.max(q2.lon),
+        );
+        let mut got: Vec<usize> = tree.query_rect(&rect).iter().map(|(_, &v)| v).collect();
+        got.sort_unstable();
+        let mut expected: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| rect.contains(p))
+            .map(|(i, _)| i)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(tree.count_rect(&rect), tree.query_rect(&rect).len());
+    }
+
+    #[test]
+    fn quadtree_nearest_matches_brute_force(
+        pts in prop::collection::vec(geo_point(), 1..80),
+        target in geo_point(),
+    ) {
+        let items: Vec<(GeoPoint, usize)> = pts.iter().copied().zip(0..).collect();
+        let tree = QuadTree::from_points(items).unwrap();
+        let (_, _, got_d) = tree.nearest(&target).unwrap();
+        let best = pts
+            .iter()
+            .map(|p| p.haversine_m(&target))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((got_d - best).abs() < 1e-6, "{got_d} vs {best}");
+    }
+
+    #[test]
+    fn offset_round_trip(p in geo_point(), dn in -2000.0f64..2000.0, de in -2000.0f64..2000.0) {
+        let q = p.offset_m(dn, de);
+        let expected = (dn * dn + de * de).sqrt();
+        let actual = p.haversine_m(&q);
+        // Flat-earth approximation at city scale: within 1%.
+        prop_assert!((actual - expected).abs() <= 0.01 * expected + 0.5);
+    }
+}

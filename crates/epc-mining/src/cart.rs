@@ -1,0 +1,338 @@
+//! A single-feature CART regression tree (Breiman), used by INDICE's
+//! discretization step (§2.2.2): "creating a decision CART for each
+//! variable, using as response variable the annual primary energy demand
+//! normalized on the floor area. The tree splits are used as bins in the
+//! discretization process."
+
+/// CART configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CartConfig {
+    /// Maximum tree depth (depth 0 = a single leaf).
+    pub max_depth: usize,
+    /// Minimum samples required in a node to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must keep.
+    pub min_samples_leaf: usize,
+    /// Minimum SSE improvement a split must achieve (absolute).
+    pub min_impurity_decrease: f64,
+}
+
+impl Default for CartConfig {
+    fn default() -> Self {
+        CartConfig {
+            max_depth: 2, // depth 2 → up to 4 leaves → up to 3 split bins
+            min_samples_split: 20,
+            min_samples_leaf: 10,
+            min_impurity_decrease: 1e-12,
+        }
+    }
+}
+
+/// A fitted regression tree over one feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        prediction: f64,
+        n: usize,
+    },
+    Split {
+        /// `x ≤ threshold` goes left.
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+impl RegressionTree {
+    /// Fits a tree of `y` on the single feature `x`. Returns `None` when
+    /// the inputs are empty or of different lengths.
+    pub fn fit(x: &[f64], y: &[f64], config: &CartConfig) -> Option<Self> {
+        if x.is_empty() || x.len() != y.len() {
+            return None;
+        }
+        // Sort (x, y) jointly by x once; nodes work on index ranges.
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        order.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("NaN feature value"));
+        let xs: Vec<f64> = order.iter().map(|&i| x[i]).collect();
+        let ys: Vec<f64> = order.iter().map(|&i| y[i]).collect();
+
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        tree.build(&xs, &ys, 0, xs.len(), 0, config);
+        Some(tree)
+    }
+
+    /// Builds the subtree over `xs[lo..hi]`, returning its node index.
+    fn build(
+        &mut self,
+        xs: &[f64],
+        ys: &[f64],
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        config: &CartConfig,
+    ) -> usize {
+        let n = hi - lo;
+        let mean = ys[lo..hi].iter().sum::<f64>() / n as f64;
+        let make_leaf = |this: &mut Self| {
+            this.nodes.push(Node::Leaf {
+                prediction: mean,
+                n,
+            });
+            this.nodes.len() - 1
+        };
+        if depth >= config.max_depth || n < config.min_samples_split {
+            return make_leaf(self);
+        }
+        match best_split(&xs[lo..hi], &ys[lo..hi], config) {
+            None => make_leaf(self),
+            Some((offset, threshold)) => {
+                // Reserve this node's slot before children are built.
+                let idx = self.nodes.len();
+                self.nodes.push(Node::Leaf {
+                    prediction: mean,
+                    n,
+                });
+                let left = self.build(xs, ys, lo, lo + offset, depth + 1, config);
+                let right = self.build(xs, ys, lo + offset, hi, depth + 1, config);
+                self.nodes[idx] = Node::Split {
+                    threshold,
+                    left,
+                    right,
+                };
+                idx
+            }
+        }
+    }
+
+    /// Predicts the response for a feature value.
+    pub fn predict(&self, x: f64) -> f64 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { prediction, .. } => return *prediction,
+                Node::Split {
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// All split thresholds, ascending — the discretization bin edges of
+    /// footnote 4.
+    pub fn split_thresholds(&self) -> Vec<f64> {
+        let mut t: Vec<f64> = self
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Split { threshold, .. } => Some(*threshold),
+                _ => None,
+            })
+            .collect();
+        t.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        t.dedup();
+        t
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+}
+
+/// Finds the best split of the (x-sorted) range: returns
+/// `(offset, threshold)` where `offset` is the size of the left child, or
+/// `None` when no admissible split improves impurity.
+fn best_split(xs: &[f64], ys: &[f64], config: &CartConfig) -> Option<(usize, f64)> {
+    let n = xs.len();
+    if n < 2 * config.min_samples_leaf {
+        return None;
+    }
+    // Prefix sums of y and y² for O(1) SSE of any prefix/suffix.
+    let mut sum = 0.0;
+    let mut sum2 = 0.0;
+    let mut prefix_sum = Vec::with_capacity(n + 1);
+    let mut prefix_sum2 = Vec::with_capacity(n + 1);
+    prefix_sum.push(0.0);
+    prefix_sum2.push(0.0);
+    for &y in ys {
+        sum += y;
+        sum2 += y * y;
+        prefix_sum.push(sum);
+        prefix_sum2.push(sum2);
+    }
+    let total_sse = sum2 - sum * sum / n as f64;
+
+    let sse = |a: usize, b: usize| -> f64 {
+        // SSE of ys[a..b]
+        let s = prefix_sum[b] - prefix_sum[a];
+        let s2 = prefix_sum2[b] - prefix_sum2[a];
+        let m = (b - a) as f64;
+        (s2 - s * s / m).max(0.0)
+    };
+
+    let mut best: Option<(usize, f64, f64)> = None; // (offset, threshold, sse)
+    for i in config.min_samples_leaf..=(n - config.min_samples_leaf) {
+        // Only split between distinct x values.
+        if i == n || xs[i - 1] == xs[i] {
+            continue;
+        }
+        let candidate = sse(0, i) + sse(i, n);
+        if best.map(|(_, _, b)| candidate < b).unwrap_or(true) {
+            let threshold = (xs[i - 1] + xs[i]) / 2.0;
+            best = Some((i, threshold, candidate));
+        }
+    }
+    let (offset, threshold, best_sse) = best?;
+    if total_sse - best_sse < config.min_impurity_decrease {
+        return None;
+    }
+    Some((offset, threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A step function: y = 0 for x < 5, y = 10 for x ≥ 5.
+    fn step_data() -> (Vec<f64>, Vec<f64>) {
+        let x: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = x.iter().map(|&v| if v < 5.0 { 0.0 } else { 10.0 }).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn single_step_is_found() {
+        let (x, y) = step_data();
+        let cfg = CartConfig {
+            max_depth: 1,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            ..Default::default()
+        };
+        let tree = RegressionTree::fit(&x, &y, &cfg).unwrap();
+        let t = tree.split_thresholds();
+        assert_eq!(t.len(), 1);
+        assert!((t[0] - 4.95).abs() < 0.1, "threshold ≈ 5, got {}", t[0]);
+        assert_eq!(tree.n_leaves(), 2);
+        assert!(tree.predict(1.0) < 1e-9);
+        assert!((tree.predict(9.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_level_staircase_gives_two_or_three_splits() {
+        let x: Vec<f64> = (0..300).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| {
+                if v < 10.0 {
+                    1.0
+                } else if v < 20.0 {
+                    5.0
+                } else {
+                    9.0
+                }
+            })
+            .collect();
+        let tree = RegressionTree::fit(&x, &y, &CartConfig::default()).unwrap();
+        let t = tree.split_thresholds();
+        assert!(t.len() >= 2, "{t:?}");
+        assert!(t.iter().any(|&v| (v - 10.0).abs() < 0.5), "{t:?}");
+        assert!(t.iter().any(|&v| (v - 20.0).abs() < 0.5), "{t:?}");
+    }
+
+    #[test]
+    fn constant_response_grows_no_splits() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y = vec![3.0; 100];
+        let tree = RegressionTree::fit(&x, &y, &CartConfig::default()).unwrap();
+        assert!(tree.split_thresholds().is_empty());
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.predict(42.0), 3.0);
+    }
+
+    #[test]
+    fn constant_feature_cannot_split() {
+        let x = vec![1.0; 50];
+        let y: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let tree = RegressionTree::fit(&x, &y, &CartConfig::default()).unwrap();
+        assert!(tree.split_thresholds().is_empty());
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let (x, y) = step_data();
+        let cfg = CartConfig {
+            max_depth: 5,
+            min_samples_split: 2,
+            min_samples_leaf: 30,
+            ..Default::default()
+        };
+        let tree = RegressionTree::fit(&x, &y, &cfg).unwrap();
+        // With 100 points and ≥30 per leaf, at most 3 leaves.
+        assert!(tree.n_leaves() <= 3);
+    }
+
+    #[test]
+    fn max_depth_zero_is_single_leaf() {
+        let (x, y) = step_data();
+        let cfg = CartConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
+        let tree = RegressionTree::fit(&x, &y, &cfg).unwrap();
+        assert_eq!(tree.n_leaves(), 1);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((tree.predict(0.0) - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_is_piecewise_constant_mean() {
+        let (x, y) = step_data();
+        let cfg = CartConfig {
+            max_depth: 1,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            ..Default::default()
+        };
+        let tree = RegressionTree::fit(&x, &y, &cfg).unwrap();
+        // Predictions at many points are one of the two leaf means.
+        for &v in &x {
+            let p = tree.predict(v);
+            assert!(p.abs() < 1e-9 || (p - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(RegressionTree::fit(&[], &[], &CartConfig::default()).is_none());
+        assert!(RegressionTree::fit(&[1.0], &[1.0, 2.0], &CartConfig::default()).is_none());
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let x = vec![9.0, 1.0, 8.0, 2.0, 7.0, 3.0, 6.0, 4.0, 5.0, 0.0];
+        let y: Vec<f64> = x.iter().map(|&v| if v < 4.5 { 0.0 } else { 1.0 }).collect();
+        let cfg = CartConfig {
+            max_depth: 1,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            ..Default::default()
+        };
+        let tree = RegressionTree::fit(&x, &y, &cfg).unwrap();
+        let t = tree.split_thresholds();
+        assert_eq!(t.len(), 1);
+        assert!((t[0] - 4.5).abs() < 1e-9);
+    }
+}

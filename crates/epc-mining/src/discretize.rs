@@ -1,0 +1,230 @@
+//! Discretization of continuous attributes into labelled bins.
+//!
+//! Association-rule mining "operates on a transactional dataset of
+//! categorical attributes, \[so\] a discretization step is needed to convert
+//! the original continuously-valued measurements into categorical bins"
+//! (§2.2.2). INDICE derives the bin edges from CART split points; footnote 4
+//! of the paper lists the concrete bins used in the case study (e.g. Uw:
+//! Low = [1.1, 2.05], Medium = (2.05, 2.45], High = (2.45, 3.35],
+//! Very high = (3.35, 5.5]).
+
+use crate::cart::{CartConfig, RegressionTree};
+
+/// Default ordinal labels assigned to bins, coarsest scheme first.
+const LABEL_SCHEMES: &[&[&str]] = &[
+    &["All"],
+    &["Low", "High"],
+    &["Low", "Medium", "High"],
+    &["Low", "Medium", "High", "Very high"],
+    &["Very low", "Low", "Medium", "High", "Very high"],
+];
+
+/// A labelled binning of one continuous attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discretizer {
+    /// The attribute name the bins describe.
+    pub attribute: String,
+    /// Interior bin edges, ascending. `k` edges define `k + 1` bins:
+    /// bin 0 = `(-∞, e0]`, bin i = `(e(i-1), ei]`, bin k = `(ek-1, +∞)`.
+    pub edges: Vec<f64>,
+    /// One label per bin (`edges.len() + 1` labels).
+    pub labels: Vec<String>,
+}
+
+impl Discretizer {
+    /// Builds a discretizer from explicit edges and labels.
+    /// `labels.len()` must be `edges.len() + 1` and edges must ascend.
+    pub fn new(attribute: &str, edges: Vec<f64>, labels: Vec<String>) -> Option<Self> {
+        if labels.len() != edges.len() + 1 {
+            return None;
+        }
+        if edges.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        Some(Discretizer {
+            attribute: attribute.to_owned(),
+            edges,
+            labels,
+        })
+    }
+
+    /// Builds a discretizer from edges with automatic ordinal labels
+    /// (Low / Medium / High …, matching the paper's naming).
+    pub fn with_auto_labels(attribute: &str, edges: Vec<f64>) -> Option<Self> {
+        let n_bins = edges.len() + 1;
+        let labels: Vec<String> = match LABEL_SCHEMES.get(n_bins - 1) {
+            Some(scheme) => scheme.iter().map(|s| s.to_string()).collect(),
+            None => (0..n_bins).map(|i| format!("Bin{i}")).collect(),
+        };
+        Discretizer::new(attribute, edges, labels)
+    }
+
+    /// The paper's pipeline: fit a CART of `response` on `values` and use
+    /// its split points as bin edges. Returns `None` when CART cannot fit.
+    pub fn from_cart(
+        attribute: &str,
+        values: &[f64],
+        response: &[f64],
+        config: &CartConfig,
+    ) -> Option<Self> {
+        let tree = RegressionTree::fit(values, response, config)?;
+        Discretizer::with_auto_labels(attribute, tree.split_thresholds())
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The bin index of a value.
+    pub fn bin_index(&self, x: f64) -> usize {
+        // First edge ≥ x decides the bin (bins are right-closed).
+        match self
+            .edges
+            .iter()
+            .position(|&e| x <= e)
+        {
+            Some(i) => i,
+            None => self.edges.len(),
+        }
+    }
+
+    /// The bin label of a value.
+    pub fn bin_label(&self, x: f64) -> &str {
+        &self.labels[self.bin_index(x)]
+    }
+
+    /// An item string for the transactional encoding:
+    /// `"attribute=Label"`.
+    pub fn item(&self, x: f64) -> String {
+        format!("{}={}", self.attribute, self.bin_label(x))
+    }
+
+    /// Human-readable description of each bin's interval, in the footnote-4
+    /// style (`"Medium = (2.05, 2.45]"`).
+    pub fn describe_bins(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.n_bins());
+        for (i, label) in self.labels.iter().enumerate() {
+            let lo = if i == 0 {
+                "-inf".to_owned()
+            } else {
+                format!("{}", self.edges[i - 1])
+            };
+            let hi = if i == self.edges.len() {
+                "+inf".to_owned()
+            } else {
+                format!("{}", self.edges[i])
+            };
+            out.push(format!("{label} = ({lo}, {hi}]"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's footnote-4 bins for the average U-value of the windows.
+    fn uw_discretizer() -> Discretizer {
+        Discretizer::with_auto_labels("u_windows", vec![2.05, 2.45, 3.35]).unwrap()
+    }
+
+    #[test]
+    fn footnote4_uw_bins() {
+        let d = uw_discretizer();
+        assert_eq!(d.n_bins(), 4);
+        assert_eq!(d.bin_label(1.5), "Low");
+        assert_eq!(d.bin_label(2.05), "Low", "right-closed at 2.05");
+        assert_eq!(d.bin_label(2.2), "Medium");
+        assert_eq!(d.bin_label(2.45), "Medium");
+        assert_eq!(d.bin_label(3.0), "High");
+        assert_eq!(d.bin_label(4.0), "Very high");
+        assert_eq!(d.item(4.0), "u_windows=Very high");
+    }
+
+    #[test]
+    fn three_bin_scheme() {
+        // Footnote 4, Uo: Low [0.15, 0.45], Medium (0.45, 0.65], High (0.65, 1.1].
+        let d = Discretizer::with_auto_labels("u_opaque", vec![0.45, 0.65]).unwrap();
+        assert_eq!(d.labels, vec!["Low", "Medium", "High"]);
+        assert_eq!(d.bin_label(0.3), "Low");
+        assert_eq!(d.bin_label(0.5), "Medium");
+        assert_eq!(d.bin_label(0.9), "High");
+    }
+
+    #[test]
+    fn bins_partition_the_line() {
+        let d = uw_discretizer();
+        for x in [-5.0, 0.0, 2.05, 2.06, 2.45, 3.35, 3.36, 100.0] {
+            let idx = d.bin_index(x);
+            assert!(idx < d.n_bins());
+        }
+        // Monotone: bigger x never gets a smaller bin.
+        let mut prev = 0;
+        for i in 0..100 {
+            let idx = d.bin_index(i as f64 / 10.0);
+            assert!(idx >= prev);
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn no_edges_single_bin() {
+        let d = Discretizer::with_auto_labels("x", vec![]).unwrap();
+        assert_eq!(d.n_bins(), 1);
+        assert_eq!(d.bin_label(1e9), "All");
+        assert_eq!(d.bin_label(-1e9), "All");
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert!(Discretizer::new("x", vec![1.0, 2.0], vec!["a".into()]).is_none());
+        assert!(Discretizer::new(
+            "x",
+            vec![2.0, 1.0],
+            vec!["a".into(), "b".into(), "c".into()]
+        )
+        .is_none());
+        assert!(Discretizer::new(
+            "x",
+            vec![1.0, 1.0],
+            vec!["a".into(), "b".into(), "c".into()]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn many_bins_get_generated_labels() {
+        let d = Discretizer::with_auto_labels("x", (1..=9).map(|i| i as f64).collect()).unwrap();
+        assert_eq!(d.n_bins(), 10);
+        assert_eq!(d.bin_label(0.5), "Bin0");
+        assert_eq!(d.bin_label(9.5), "Bin9");
+    }
+
+    #[test]
+    fn from_cart_recovers_a_step_boundary() {
+        let x: Vec<f64> = (0..200).map(|i| i as f64 / 20.0).collect();
+        let y: Vec<f64> = x.iter().map(|&v| if v < 5.0 { 10.0 } else { 90.0 }).collect();
+        let cfg = CartConfig {
+            max_depth: 1,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            ..Default::default()
+        };
+        let d = Discretizer::from_cart("eph_driver", &x, &y, &cfg).unwrap();
+        assert_eq!(d.n_bins(), 2);
+        assert_eq!(d.labels, vec!["Low", "High"]);
+        assert_eq!(d.bin_label(1.0), "Low");
+        assert_eq!(d.bin_label(9.0), "High");
+    }
+
+    #[test]
+    fn describe_bins_mentions_edges() {
+        let d = uw_discretizer();
+        let desc = d.describe_bins();
+        assert_eq!(desc.len(), 4);
+        assert!(desc[0].contains("Low") && desc[0].contains("2.05"));
+        assert!(desc[3].contains("Very high") && desc[3].contains("+inf"));
+    }
+}

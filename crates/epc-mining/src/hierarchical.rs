@@ -1,0 +1,259 @@
+//! Agglomerative hierarchical clustering — one of the "other analytics
+//! techniques (both supervised and unsupervised)" the paper's future-work
+//! section (§4) plans to integrate into INDICE.
+//!
+//! Classic bottom-up agglomeration with selectable linkage, implemented
+//! over a condensed distance matrix with Lance–Williams updates — `O(n³)`
+//! worst case, fine for the cluster-level analyses INDICE runs on feature
+//! samples.
+
+use crate::matrix::{euclidean, Matrix};
+
+/// Linkage criterion for merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance (chains easily).
+    Single,
+    /// Maximum pairwise distance (compact clusters).
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+}
+
+/// One merge step of the dendrogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Merge {
+    /// First merged cluster id (see [`Dendrogram`] id scheme).
+    pub a: usize,
+    /// Second merged cluster id.
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+    /// Size of the resulting cluster.
+    pub size: usize,
+}
+
+/// A full agglomeration history.
+///
+/// Ids `0..n` are the original points; merge `i` creates cluster `n + i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    /// Number of points clustered.
+    pub n_points: usize,
+    /// The `n − 1` merges, in agglomeration order (non-decreasing distance
+    /// for complete/average linkage on metric data).
+    pub merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Cuts the dendrogram into exactly `k` clusters, returning a label per
+    /// point (labels are `0..k`, assigned in first-appearance order).
+    /// Returns `None` when `k` is 0 or exceeds the number of points.
+    pub fn cut(&self, k: usize) -> Option<Vec<usize>> {
+        if k == 0 || k > self.n_points {
+            return None;
+        }
+        // Apply the first n − k merges with a union-find.
+        let mut parent: Vec<usize> = (0..self.n_points + self.merges.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (i, m) in self.merges.iter().take(self.n_points - k).enumerate() {
+            let new_id = self.n_points + i;
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra] = new_id;
+            parent[rb] = new_id;
+        }
+        // Compact roots to 0..k labels.
+        let mut labels = vec![usize::MAX; self.n_points];
+        let mut next = 0usize;
+        let mut map = std::collections::HashMap::new();
+        for (p, slot) in labels.iter_mut().enumerate() {
+            let root = find(&mut parent, p);
+            let label = *map.entry(root).or_insert_with(|| {
+                let l = next;
+                next += 1;
+                l
+            });
+            *slot = label;
+        }
+        debug_assert_eq!(next, k);
+        Some(labels)
+    }
+}
+
+/// Runs agglomerative clustering over the rows of `data` with the given
+/// linkage. Returns `None` for fewer than 2 rows.
+pub fn agglomerative(data: &Matrix, linkage: Linkage) -> Option<Dendrogram> {
+    let n = data.n_rows();
+    if n < 2 {
+        return None;
+    }
+    // Active cluster list: (id, size); dist[i][j] between active entries.
+    let mut ids: Vec<usize> = (0..n).collect();
+    let mut sizes: Vec<usize> = vec![1; n];
+    let mut dist: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| euclidean(data.row(i), data.row(j)))
+                .collect()
+        })
+        .collect();
+    let mut active: Vec<bool> = vec![true; n];
+    let mut merges = Vec::with_capacity(n - 1);
+    let mut next_id = n;
+
+    for _ in 0..n - 1 {
+        // Find the closest active pair.
+        let mut best = (0usize, 0usize, f64::INFINITY);
+        for i in 0..dist.len() {
+            if !active[i] {
+                continue;
+            }
+            for j in (i + 1)..dist.len() {
+                if active[j] && dist[i][j] < best.2 {
+                    best = (i, j, dist[i][j]);
+                }
+            }
+        }
+        let (i, j, d) = best;
+        let merged_size = sizes[i] + sizes[j];
+        merges.push(Merge {
+            a: ids[i],
+            b: ids[j],
+            distance: d,
+            size: merged_size,
+        });
+        // Lance–Williams update into slot i; deactivate j.
+        for m in 0..dist.len() {
+            if !active[m] || m == i || m == j {
+                continue;
+            }
+            let dim = dist[i][m];
+            let djm = dist[j][m];
+            let new = match linkage {
+                Linkage::Single => dim.min(djm),
+                Linkage::Complete => dim.max(djm),
+                Linkage::Average => {
+                    (sizes[i] as f64 * dim + sizes[j] as f64 * djm) / merged_size as f64
+                }
+            };
+            dist[i][m] = new;
+            dist[m][i] = new;
+        }
+        active[j] = false;
+        sizes[i] = merged_size;
+        ids[i] = next_id;
+        next_id += 1;
+    }
+    Some(Dendrogram {
+        n_points: n,
+        merges,
+    })
+}
+
+/// Convenience: agglomerate and cut at `k`.
+pub fn hierarchical_clusters(data: &Matrix, k: usize, linkage: Linkage) -> Option<Vec<usize>> {
+    agglomerative(data, linkage)?.cut(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (10.0, 0.0), (5.0, 12.0)] {
+            for i in 0..10 {
+                let dx = ((i * 13) % 10) as f64 / 10.0;
+                let dy = ((i * 7) % 10) as f64 / 10.0;
+                rows.push(vec![cx + dx, cy + dy]);
+            }
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn recovers_blobs_with_every_linkage() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let labels = hierarchical_clusters(&blobs(), 3, linkage).unwrap();
+            assert_eq!(labels.len(), 30);
+            for blob in 0..3 {
+                let l0 = labels[blob * 10];
+                for i in 0..10 {
+                    assert_eq!(labels[blob * 10 + i], l0, "{linkage:?}");
+                }
+            }
+            let mut distinct = labels.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert_eq!(distinct, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn dendrogram_has_n_minus_one_merges() {
+        let d = agglomerative(&blobs(), Linkage::Average).unwrap();
+        assert_eq!(d.merges.len(), 29);
+        assert_eq!(d.merges.last().unwrap().size, 30);
+    }
+
+    #[test]
+    fn merge_distances_are_nondecreasing_for_complete_linkage() {
+        let d = agglomerative(&blobs(), Linkage::Complete).unwrap();
+        for w in d.merges.windows(2) {
+            assert!(w[1].distance >= w[0].distance - 1e-12);
+        }
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let d = agglomerative(&blobs(), Linkage::Average).unwrap();
+        let all_separate = d.cut(30).unwrap();
+        let mut u = all_separate.clone();
+        u.sort_unstable();
+        u.dedup();
+        assert_eq!(u.len(), 30);
+        let one = d.cut(1).unwrap();
+        assert!(one.iter().all(|&l| l == 0));
+        assert_eq!(d.cut(0), None);
+        assert_eq!(d.cut(31), None);
+    }
+
+    #[test]
+    fn single_linkage_chains_where_complete_does_not() {
+        // A chain of points: single linkage keeps it one cluster at k=2
+        // split only at the biggest gap; complete linkage splits mid-chain.
+        let rows: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![i as f64 + if i >= 6 { 3.0 } else { 0.0 }, 0.0])
+            .collect();
+        let m = Matrix::from_rows(&rows);
+        let single = hierarchical_clusters(&m, 2, Linkage::Single).unwrap();
+        // The gap between index 5 (5.0) and 6 (9.0) is the split point.
+        assert_eq!(single[..6].iter().collect::<std::collections::HashSet<_>>().len(), 1);
+        assert_eq!(single[6..].iter().collect::<std::collections::HashSet<_>>().len(), 1);
+        assert_ne!(single[0], single[6]);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let m = Matrix::from_rows(&[vec![0.0]]);
+        assert!(agglomerative(&m, Linkage::Average).is_none());
+        let m = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let d = agglomerative(&m, Linkage::Average).unwrap();
+        assert_eq!(d.merges.len(), 1);
+        assert_eq!(d.cut(2).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = hierarchical_clusters(&blobs(), 3, Linkage::Average).unwrap();
+        let b = hierarchical_clusters(&blobs(), 3, Linkage::Average).unwrap();
+        assert_eq!(a, b);
+    }
+}

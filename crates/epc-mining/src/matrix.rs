@@ -1,0 +1,188 @@
+//! A dense row-major feature matrix (points × features) with the Euclidean
+//! metric the paper's clustering uses ("to measure the similarity between
+//! EPCs, the Euclidean distance is computed", §2.2.2).
+
+/// Dense row-major matrix of `f64` features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl Matrix {
+    /// Builds a matrix from row-major data; `data.len()` must equal
+    /// `n_rows * n_cols`.
+    pub fn from_vec(data: Vec<f64>, n_rows: usize, n_cols: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            n_rows * n_cols,
+            "matrix data length must be rows × cols"
+        );
+        Matrix {
+            data,
+            n_rows,
+            n_cols,
+        }
+    }
+
+    /// Builds a matrix from a slice of rows (all rows must share a length).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map(Vec::len).unwrap_or(0);
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for r in rows {
+            assert_eq!(r.len(), n_cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            data,
+            n_rows,
+            n_cols,
+        }
+    }
+
+    /// An all-zero matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Matrix {
+            data: vec![0.0; n_rows * n_cols],
+            n_rows,
+            n_cols,
+        }
+    }
+
+    /// Number of rows (points).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns (features).
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// `true` when the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Mutable row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Element `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n_cols + j]
+    }
+
+    /// Sets element `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n_cols + j] = v;
+    }
+
+    /// Column `j` as an owned vector.
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        (0..self.n_rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Iterates rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.n_cols.max(1))
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// Squared Euclidean distance between two equally sized slices.
+#[inline]
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance between two equally sized slices.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    sq_euclidean(a, b).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_index() {
+        let m = Matrix::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), 3);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.column(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn from_rows_matches_from_vec() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows × cols")]
+    fn bad_length_panics() {
+        let _ = Matrix::from_vec(vec![1.0, 2.0, 3.0], 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn mutation() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 1, 5.0);
+        m.row_mut(1)[0] = 7.0;
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.get(1, 0), 7.0);
+    }
+
+    #[test]
+    fn rows_iterator() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let rows: Vec<&[f64]> = m.rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(sq_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Matrix::zeros(0, 3);
+        assert!(m.is_empty());
+        assert_eq!(m.rows().count(), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Gaussian naive Bayes — the *supervised* technique of the paper's
+//! future-work section (§4): INDICE's energy scientists "explore and
+//! characterize through supervised and unsupervised techniques groups of
+//! buildings". The canonical INDICE use: predict the EPC class of an
+//! uncertified building from its thermo-physical attributes.
+
+use crate::matrix::Matrix;
+use std::collections::HashMap;
+
+/// A fitted Gaussian naive Bayes classifier over string labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianNb {
+    classes: Vec<String>,
+    /// Log prior per class.
+    log_priors: Vec<f64>,
+    /// Per class, per feature: (mean, variance).
+    params: Vec<Vec<(f64, f64)>>,
+}
+
+/// Variance floor avoiding singular likelihoods on near-constant features.
+const VAR_FLOOR: f64 = 1e-9;
+
+impl GaussianNb {
+    /// Fits the classifier on `data` rows with one label per row.
+    /// Returns `None` when inputs are empty/mismatched or any class has
+    /// fewer than 2 samples (variance undefined).
+    pub fn fit(data: &Matrix, labels: &[&str]) -> Option<Self> {
+        let n = data.n_rows();
+        if n == 0 || labels.len() != n {
+            return None;
+        }
+        let d = data.n_cols();
+        let mut by_class: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, &l) in labels.iter().enumerate() {
+            by_class.entry(l).or_default().push(i);
+        }
+        let mut classes: Vec<String> = by_class.keys().map(|s| s.to_string()).collect();
+        classes.sort();
+        let mut log_priors = Vec::with_capacity(classes.len());
+        let mut params = Vec::with_capacity(classes.len());
+        for class in &classes {
+            let rows = &by_class[class.as_str()];
+            if rows.len() < 2 {
+                return None;
+            }
+            log_priors.push((rows.len() as f64 / n as f64).ln());
+            let mut class_params = Vec::with_capacity(d);
+            for j in 0..d {
+                let values: Vec<f64> = rows.iter().map(|&r| data.get(r, j)).collect();
+                let mean = values.iter().sum::<f64>() / values.len() as f64;
+                let var = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                    / values.len() as f64;
+                class_params.push((mean, var.max(VAR_FLOOR)));
+            }
+            params.push(class_params);
+        }
+        Some(GaussianNb {
+            classes,
+            log_priors,
+            params,
+        })
+    }
+
+    /// The classes known to the model, sorted.
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+
+    /// Log joint `log P(class) + Σ log N(x_j; μ, σ²)` per class.
+    pub fn log_joint(&self, x: &[f64]) -> Vec<f64> {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(c, _)| {
+                let mut lj = self.log_priors[c];
+                for (j, &(mean, var)) in self.params[c].iter().enumerate() {
+                    let diff = x[j] - mean;
+                    lj += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
+                }
+                lj
+            })
+            .collect()
+    }
+
+    /// Predicts the most probable class.
+    pub fn predict(&self, x: &[f64]) -> &str {
+        let lj = self.log_joint(x);
+        let best = lj
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite log joint"))
+            .map(|(i, _)| i)
+            .expect("at least one class");
+        &self.classes[best]
+    }
+
+    /// Accuracy over a labelled evaluation set.
+    pub fn accuracy(&self, data: &Matrix, labels: &[&str]) -> f64 {
+        if data.n_rows() == 0 {
+            return 0.0;
+        }
+        let correct = (0..data.n_rows())
+            .filter(|&i| self.predict(data.row(i)) == labels[i])
+            .count();
+        correct as f64 / data.n_rows() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian-ish classes in 2-D.
+    fn toy() -> (Matrix, Vec<&'static str>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let jitter = ((i * 31) % 20) as f64 / 20.0 - 0.5;
+            rows.push(vec![0.0 + jitter, 0.0 + jitter / 2.0]);
+            labels.push("low");
+            rows.push(vec![5.0 + jitter, 5.0 - jitter / 2.0]);
+            labels.push("high");
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn separable_classes_are_learned_perfectly() {
+        let (m, labels) = toy();
+        let nb = GaussianNb::fit(&m, &labels).unwrap();
+        assert_eq!(nb.accuracy(&m, &labels), 1.0);
+        assert_eq!(nb.predict(&[0.1, 0.0]), "low");
+        assert_eq!(nb.predict(&[5.2, 4.9]), "high");
+        assert_eq!(nb.classes(), &["high".to_string(), "low".to_string()]);
+    }
+
+    #[test]
+    fn priors_break_ties_in_ambiguous_regions() {
+        // 90% of points are "common": a midpoint sample should lean there.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..90 {
+            rows.push(vec![((i % 10) as f64 - 5.0) * 0.4]);
+            labels.push("common");
+        }
+        for i in 0..10 {
+            rows.push(vec![((i % 10) as f64 - 5.0) * 0.4]);
+            labels.push("rare");
+        }
+        let m = Matrix::from_rows(&rows);
+        let nb = GaussianNb::fit(&m, &labels).unwrap();
+        // Identical likelihoods → the prior decides.
+        assert_eq!(nb.predict(&[0.0]), "common");
+    }
+
+    #[test]
+    fn log_joint_orders_like_distance() {
+        let (m, labels) = toy();
+        let nb = GaussianNb::fit(&m, &labels).unwrap();
+        let lj = nb.log_joint(&[0.0, 0.0]);
+        let low_idx = nb.classes().iter().position(|c| c == "low").unwrap();
+        let high_idx = 1 - low_idx;
+        assert!(lj[low_idx] > lj[high_idx]);
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let rows = vec![
+            vec![1.0, 7.0],
+            vec![1.2, 7.0],
+            vec![5.0, 7.0],
+            vec![5.1, 7.0],
+        ];
+        let m = Matrix::from_rows(&rows);
+        let nb = GaussianNb::fit(&m, &["a", "a", "b", "b"]).unwrap();
+        let p = nb.predict(&[1.1, 7.0]);
+        assert_eq!(p, "a");
+        assert!(nb.log_joint(&[1.1, 7.0]).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        assert!(GaussianNb::fit(&m, &["a"]).is_none(), "length mismatch");
+        assert!(GaussianNb::fit(&m, &["a", "b"]).is_none(), "singleton classes");
+        assert!(GaussianNb::fit(&Matrix::zeros(0, 1), &[]).is_none());
+    }
+
+    #[test]
+    fn accuracy_on_held_out_split() {
+        let (m, labels) = toy();
+        // Stratified split: pairs (low, high) alternate, so taking blocks
+        // of 2 rows alternately keeps both classes in both splits.
+        let train_idx: Vec<usize> = (0..m.n_rows()).filter(|i| (i / 2) % 2 == 0).collect();
+        let test_idx: Vec<usize> = (0..m.n_rows()).filter(|i| (i / 2) % 2 == 1).collect();
+        let train_rows: Vec<Vec<f64>> = train_idx.iter().map(|&i| m.row(i).to_vec()).collect();
+        let train_labels: Vec<&str> = train_idx.iter().map(|&i| labels[i]).collect();
+        let test_rows: Vec<Vec<f64>> = test_idx.iter().map(|&i| m.row(i).to_vec()).collect();
+        let test_labels: Vec<&str> = test_idx.iter().map(|&i| labels[i]).collect();
+        let nb = GaussianNb::fit(&Matrix::from_rows(&train_rows), &train_labels).unwrap();
+        let acc = nb.accuracy(&Matrix::from_rows(&test_rows), &test_labels);
+        assert!(acc > 0.95, "held-out accuracy {acc}");
+    }
+}

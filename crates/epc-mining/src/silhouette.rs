@@ -1,0 +1,125 @@
+//! Silhouette coefficient — a cluster-cohesion quality index complementing
+//! the paper's SSE: useful to validate the elbow-chosen K and to compare
+//! K-means with the hierarchical alternative of the future-work section.
+
+use crate::matrix::{euclidean, Matrix};
+
+/// Mean silhouette coefficient over all points, in `[-1, 1]`.
+///
+/// `s(i) = (b(i) − a(i)) / max(a(i), b(i))` with `a` the mean intra-cluster
+/// distance and `b` the mean distance to the nearest other cluster.
+/// Singleton clusters contribute `s = 0` (the scikit-learn convention).
+/// Returns `None` when fewer than 2 clusters are populated or labels don't
+/// match the matrix.
+pub fn silhouette_score(data: &Matrix, labels: &[usize]) -> Option<f64> {
+    let n = data.n_rows();
+    if n == 0 || labels.len() != n {
+        return None;
+    }
+    let k = labels.iter().copied().max()? + 1;
+    let mut sizes = vec![0usize; k];
+    for &l in labels {
+        sizes[l] += 1;
+    }
+    if sizes.iter().filter(|&&s| s > 0).count() < 2 {
+        return None;
+    }
+
+    let mut total = 0.0;
+    for i in 0..n {
+        // Mean distance from i to each cluster.
+        let mut sums = vec![0.0f64; k];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += euclidean(data.row(i), data.row(j));
+            }
+        }
+        let own = labels[i];
+        if sizes[own] <= 1 {
+            continue; // silhouette of a singleton is 0
+        }
+        let a = sums[own] / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let s = if a.max(b) > 0.0 { (b - a) / a.max(b) } else { 0.0 };
+        total += s;
+    }
+    Some(total / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(sep: f64) -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (c, (cx, cy)) in [(0.0, 0.0), (sep, 0.0)].iter().enumerate() {
+            for i in 0..15 {
+                rows.push(vec![
+                    cx + ((i * 13) % 10) as f64 / 10.0,
+                    cy + ((i * 7) % 10) as f64 / 10.0,
+                ]);
+                labels.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn well_separated_blobs_score_high() {
+        let (m, labels) = blobs(20.0);
+        let s = silhouette_score(&m, &labels).unwrap();
+        assert!(s > 0.9, "got {s}");
+    }
+
+    #[test]
+    fn overlapping_blobs_score_low() {
+        let (m, labels) = blobs(0.5);
+        let s = silhouette_score(&m, &labels).unwrap();
+        assert!(s < 0.4, "got {s}");
+    }
+
+    #[test]
+    fn separation_increases_score_monotonically() {
+        let mut prev = -1.0;
+        for sep in [1.0, 3.0, 8.0, 20.0] {
+            let (m, labels) = blobs(sep);
+            let s = silhouette_score(&m, &labels).unwrap();
+            assert!(s >= prev, "sep {sep}: {s} < {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn shuffled_labels_score_much_worse() {
+        let (m, labels) = blobs(20.0);
+        // Alternate assignments regardless of geometry: each "cluster"
+        // straddles both blobs — a terrible fit.
+        let wrong: Vec<usize> = (0..labels.len()).map(|i| i % 2).collect();
+        let s = silhouette_score(&m, &wrong).unwrap();
+        let good = silhouette_score(&m, &labels).unwrap();
+        assert!(s < 0.1, "mixed labels should score near zero, got {s}");
+        assert!(good > s + 0.5);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (m, labels) = blobs(5.0);
+        assert_eq!(silhouette_score(&m, &labels[..10]), None, "length mismatch");
+        let one_cluster = vec![0usize; m.n_rows()];
+        assert_eq!(silhouette_score(&m, &one_cluster), None);
+        assert_eq!(silhouette_score(&Matrix::zeros(0, 2), &[]), None);
+    }
+
+    #[test]
+    fn singletons_are_neutral() {
+        let m = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![10.0]]);
+        let labels = vec![0, 0, 1]; // cluster 1 is a singleton
+        let s = silhouette_score(&m, &labels).unwrap();
+        // Two points contribute ~1, the singleton 0 → mean ≈ 2/3.
+        assert!(s > 0.6 && s < 0.7, "got {s}");
+    }
+}

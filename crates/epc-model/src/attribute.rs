@@ -1,0 +1,160 @@
+//! Attribute definitions: names, kinds, units, and stable identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A stable, schema-relative attribute identifier.
+///
+/// Ids are dense indices into the schema's attribute list, so they can be
+/// used to index the dataset's column vector directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The kind of an attribute: quantitative or categorical.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrKind {
+    /// Continuous quantitative attribute with an optional measurement unit.
+    Numeric {
+        /// Unit of measure, e.g. `"W/m2K"` — empty when dimensionless.
+        unit: String,
+    },
+    /// Categorical attribute (dictionary-encoded in columns).
+    Categorical,
+}
+
+impl AttrKind {
+    /// Shorthand for a dimensionless numeric attribute.
+    pub fn numeric() -> Self {
+        AttrKind::Numeric { unit: String::new() }
+    }
+
+    /// Shorthand for a numeric attribute with a unit.
+    pub fn numeric_unit(unit: &str) -> Self {
+        AttrKind::Numeric { unit: unit.to_owned() }
+    }
+
+    /// `true` for [`AttrKind::Numeric`].
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, AttrKind::Numeric { .. })
+    }
+
+    /// `true` for [`AttrKind::Categorical`].
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, AttrKind::Categorical)
+    }
+
+    /// A static name used in error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttrKind::Numeric { .. } => "numeric",
+            AttrKind::Categorical => "categorical",
+        }
+    }
+}
+
+/// Full definition of a single EPC attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributeDef {
+    /// Machine name (snake_case, unique within a schema).
+    pub name: String,
+    /// Kind (numeric with unit, or categorical).
+    pub kind: AttrKind,
+    /// Human-readable description shown in dashboards.
+    pub description: String,
+}
+
+impl AttributeDef {
+    /// Creates a numeric attribute definition.
+    pub fn numeric(name: &str, unit: &str, description: &str) -> Self {
+        AttributeDef {
+            name: name.to_owned(),
+            kind: AttrKind::numeric_unit(unit),
+            description: description.to_owned(),
+        }
+    }
+
+    /// Creates a categorical attribute definition.
+    pub fn categorical(name: &str, description: &str) -> Self {
+        AttributeDef {
+            name: name.to_owned(),
+            kind: AttrKind::Categorical,
+            description: description.to_owned(),
+        }
+    }
+
+    /// The unit of measure for numeric attributes (empty otherwise).
+    pub fn unit(&self) -> &str {
+        match &self.kind {
+            AttrKind::Numeric { unit } => unit,
+            AttrKind::Categorical => "",
+        }
+    }
+
+    /// A label suitable for axis titles: `"name [unit]"` or just `"name"`.
+    pub fn axis_label(&self) -> String {
+        let unit = self.unit();
+        if unit.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{} [{}]", self.name, unit)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_id_index() {
+        assert_eq!(AttrId(7).index(), 7);
+        assert_eq!(AttrId(7).to_string(), "#7");
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AttrKind::numeric().is_numeric());
+        assert!(!AttrKind::numeric().is_categorical());
+        assert!(AttrKind::Categorical.is_categorical());
+        assert_eq!(AttrKind::numeric_unit("kWh").name(), "numeric");
+        assert_eq!(AttrKind::Categorical.name(), "categorical");
+    }
+
+    #[test]
+    fn numeric_def_carries_unit() {
+        let def = AttributeDef::numeric("u_windows", "W/m2K", "Average U-value of the windows");
+        assert_eq!(def.unit(), "W/m2K");
+        assert_eq!(def.axis_label(), "u_windows [W/m2K]");
+        assert!(def.kind.is_numeric());
+    }
+
+    #[test]
+    fn categorical_def_has_no_unit() {
+        let def = AttributeDef::categorical("building_category", "Intended use (DPR 412/93)");
+        assert_eq!(def.unit(), "");
+        assert_eq!(def.axis_label(), "building_category");
+        assert!(def.kind.is_categorical());
+    }
+
+    #[test]
+    fn defs_compare_structurally() {
+        let a = AttributeDef::numeric("x", "", "d");
+        let b = AttributeDef::numeric("x", "", "d");
+        assert_eq!(a, b);
+        let c = AttributeDef::numeric("x", "m", "d");
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,302 @@
+//! Minimal CSV (de)serialization for datasets.
+//!
+//! The Piedmont EPC collection is distributed as CSV open data; this module
+//! provides a dependency-free reader/writer sufficient for round-tripping
+//! datasets produced by the synthetic generator: comma-separated, RFC-4180
+//! style quoting (`"` doubling), header row with attribute names, empty
+//! fields read as missing.
+
+use crate::dataset::{Dataset, Record};
+use crate::error::ModelError;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Serializes a dataset to CSV with a header row.
+pub fn to_csv(ds: &Dataset) -> String {
+    let mut out = String::new();
+    let header: Vec<&str> = ds.schema().iter().map(|(_, d)| d.name.as_str()).collect();
+    write_row(&mut out, header.iter().map(|s| s.to_string()));
+    for row in ds.rows() {
+        let fields = (0..ds.n_cols()).map(|i| {
+            match row.value(crate::attribute::AttrId(i as u32)) {
+                Value::Num(x) => format_num(x),
+                Value::Cat(s) => s,
+                Value::Missing => String::new(),
+            }
+        });
+        write_row(&mut out, fields);
+    }
+    out
+}
+
+/// Formats a float without trailing noise (integers render without ".0").
+fn format_num(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+fn write_row(out: &mut String, fields: impl Iterator<Item = String>) {
+    let mut first = true;
+    for field in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if field.contains(',') || field.contains('"') || field.contains('\n') {
+            out.push('"');
+            for ch in field.chars() {
+                if ch == '"' {
+                    out.push('"');
+                }
+                out.push(ch);
+            }
+            out.push('"');
+        } else {
+            out.push_str(&field);
+        }
+    }
+    out.push('\n');
+}
+
+/// Parses a CSV document into a dataset over `schema`.
+///
+/// The header must list exactly the schema's attribute names in schema
+/// order. Empty fields become [`Value::Missing`]; fields of numeric columns
+/// that fail to parse as `f64` are an error.
+pub fn from_csv(schema: Arc<Schema>, text: &str) -> Result<Dataset, ModelError> {
+    let mut lines = split_records(text);
+    let header = lines.next().ok_or(ModelError::Csv {
+        line: 1,
+        reason: "empty document".into(),
+    })?;
+    let header_fields = parse_record(&header, 1)?;
+    let expected: Vec<&str> = schema.iter().map(|(_, d)| d.name.as_str()).collect();
+    if header_fields.len() != expected.len()
+        || header_fields.iter().zip(&expected).any(|(a, b)| a != b)
+    {
+        return Err(ModelError::Csv {
+            line: 1,
+            reason: format!(
+                "header does not match schema (got {} fields, expected {})",
+                header_fields.len(),
+                expected.len()
+            ),
+        });
+    }
+
+    let mut ds = Dataset::new(schema);
+    for (idx, raw) in lines.enumerate() {
+        let line_no = idx + 2;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_record(&raw, line_no)?;
+        if fields.len() != ds.n_cols() {
+            return Err(ModelError::Csv {
+                line: line_no,
+                reason: format!("expected {} fields, got {}", ds.n_cols(), fields.len()),
+            });
+        }
+        let mut values = Vec::with_capacity(fields.len());
+        for (field, (_, def)) in fields.into_iter().zip(ds.schema().iter()) {
+            let value = if field.is_empty() {
+                Value::Missing
+            } else if def.kind.is_numeric() {
+                let x: f64 = field.parse().map_err(|_| ModelError::Csv {
+                    line: line_no,
+                    reason: format!("invalid number {field:?} for attribute {}", def.name),
+                })?;
+                Value::Num(x)
+            } else {
+                Value::Cat(field)
+            };
+            values.push(value);
+        }
+        ds.push_record(Record::from_values(values))?;
+    }
+    Ok(ds)
+}
+
+/// Splits a CSV document into logical records, honouring quoted newlines.
+fn split_records(text: &str) -> impl Iterator<Item = String> + '_ {
+    let mut records = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    for ch in text.chars() {
+        match ch {
+            '"' => {
+                in_quotes = !in_quotes;
+                current.push(ch);
+            }
+            '\n' if !in_quotes => {
+                records.push(std::mem::take(&mut current));
+                // trailing \r from CRLF files
+                if records.last().map(|r| r.ends_with('\r')).unwrap_or(false) {
+                    let last = records.last_mut().unwrap();
+                    last.pop();
+                }
+            }
+            _ => current.push(ch),
+        }
+    }
+    if !current.is_empty() {
+        records.push(current);
+    }
+    records.into_iter()
+}
+
+/// Parses one logical record into fields, handling quotes.
+fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>, ModelError> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        current.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => current.push(ch),
+            }
+        } else {
+            match ch {
+                '"' => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut current)),
+                _ => current.push(ch),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(ModelError::Csv {
+            line: line_no,
+            reason: "unterminated quote".into(),
+        });
+    }
+    fields.push(current);
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::{AttrId, AttributeDef};
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![
+                AttributeDef::numeric("x", "", ""),
+                AttributeDef::categorical("name", ""),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn sample() -> Dataset {
+        let mut ds = Dataset::new(schema());
+        for (x, name) in [
+            (Some(1.5), Some("plain")),
+            (Some(2.0), Some("with, comma")),
+            (None, Some("with \"quote\"")),
+            (Some(-3.25), None),
+        ] {
+            let mut r = ds.empty_record();
+            r.set(AttrId(0), Value::from(x)).unwrap();
+            r.set(AttrId(1), name.map(Value::cat).unwrap_or(Value::Missing))
+                .unwrap();
+            ds.push_record(r).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let ds = sample();
+        let text = to_csv(&ds);
+        let back = from_csv(schema(), &text).unwrap();
+        assert_eq!(back.n_rows(), ds.n_rows());
+        for row in 0..ds.n_rows() {
+            assert_eq!(back.num(row, AttrId(0)), ds.num(row, AttrId(0)));
+            assert_eq!(back.cat(row, AttrId(1)), ds.cat(row, AttrId(1)));
+        }
+    }
+
+    #[test]
+    fn header_is_first_line() {
+        let text = to_csv(&sample());
+        assert!(text.starts_with("x,name\n"));
+    }
+
+    #[test]
+    fn quoting_is_applied() {
+        let text = to_csv(&sample());
+        assert!(text.contains("\"with, comma\""));
+        assert!(text.contains("\"with \"\"quote\"\"\""));
+    }
+
+    #[test]
+    fn integers_render_without_decimal_point() {
+        let mut ds = Dataset::new(schema());
+        let mut r = ds.empty_record();
+        r.set(AttrId(0), Value::num(2016.0)).unwrap();
+        ds.push_record(r).unwrap();
+        assert!(to_csv(&ds).contains("2016,"));
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let err = from_csv(schema(), "a,b\n1,2\n").unwrap_err();
+        assert!(matches!(err, ModelError::Csv { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_number_is_rejected_with_line() {
+        let err = from_csv(schema(), "x,name\nnot_a_number,ok\n").unwrap_err();
+        match err {
+            ModelError::Csv { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("not_a_number"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_field_count_is_rejected() {
+        let err = from_csv(schema(), "x,name\n1\n").unwrap_err();
+        assert!(matches!(err, ModelError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_is_rejected() {
+        let err = from_csv(schema(), "x,name\n1,\"oops\n").unwrap_err();
+        assert!(matches!(err, ModelError::Csv { .. }));
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let ds = from_csv(schema(), "x,name\n1,a\n\n2,b\n").unwrap();
+        assert_eq!(ds.n_rows(), 2);
+    }
+
+    #[test]
+    fn quoted_newline_stays_in_field() {
+        let mut ds = Dataset::new(schema());
+        let mut r = ds.empty_record();
+        r.set(AttrId(0), Value::num(1.0)).unwrap();
+        r.set(AttrId(1), Value::cat("line1\nline2")).unwrap();
+        ds.push_record(r).unwrap();
+        let text = to_csv(&ds);
+        let back = from_csv(schema(), &text).unwrap();
+        assert_eq!(back.cat(0, AttrId(1)), Some("line1\nline2"));
+    }
+}

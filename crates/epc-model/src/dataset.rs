@@ -1,0 +1,698 @@
+//! Columnar in-memory dataset.
+//!
+//! Storage is column-major: numeric columns are `Vec<Option<f64>>`, while
+//! categorical columns are dictionary-encoded (`Vec<String>` dictionary plus
+//! `Vec<Option<u32>>` codes). This keeps the ~25 000 × 132 collection of the
+//! paper compact and makes the per-attribute scans of the pre-processing and
+//! analytics stages cache-friendly.
+
+use crate::attribute::{AttrId, AttrKind};
+use crate::error::ModelError;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Dictionary-encoded categorical column.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CatColumn {
+    dict: Vec<String>,
+    index: HashMap<String, u32>,
+    codes: Vec<Option<u32>>,
+}
+
+impl CatColumn {
+    /// Interns `label` and returns its code.
+    pub fn intern(&mut self, label: &str) -> u32 {
+        if let Some(&code) = self.index.get(label) {
+            return code;
+        }
+        let code = self.dict.len() as u32;
+        self.dict.push(label.to_owned());
+        self.index.insert(label.to_owned(), code);
+        code
+    }
+
+    /// The label for a code.
+    pub fn label(&self, code: u32) -> Option<&str> {
+        self.dict.get(code as usize).map(String::as_str)
+    }
+
+    /// The code for a label, if already interned.
+    pub fn code(&self, label: &str) -> Option<u32> {
+        self.index.get(label).copied()
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn cardinality(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Raw codes, one per row.
+    pub fn codes(&self) -> &[Option<u32>] {
+        &self.codes
+    }
+
+    /// The label at a row, if present.
+    pub fn get(&self, row: usize) -> Option<&str> {
+        self.codes
+            .get(row)
+            .copied()
+            .flatten()
+            .and_then(|c| self.label(c))
+    }
+}
+
+/// The payload of a column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Quantitative values (missing = `None`).
+    Numeric(Vec<Option<f64>>),
+    /// Dictionary-encoded categorical values.
+    Categorical(CatColumn),
+}
+
+/// A single dataset column: payload plus a cached missing-value count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    missing: usize,
+}
+
+impl Column {
+    fn new(kind: &AttrKind) -> Self {
+        let data = match kind {
+            AttrKind::Numeric { .. } => ColumnData::Numeric(Vec::new()),
+            AttrKind::Categorical => ColumnData::Categorical(CatColumn::default()),
+        };
+        Column { data, missing: 0 }
+    }
+
+    /// The column payload.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Number of missing values in the column.
+    pub fn missing_count(&self) -> usize {
+        self.missing
+    }
+
+    fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Numeric(v) => v.len(),
+            ColumnData::Categorical(c) => c.codes.len(),
+        }
+    }
+
+    fn push(&mut self, value: Value, attr_name: &str) -> Result<(), ModelError> {
+        match (&mut self.data, value) {
+            (ColumnData::Numeric(v), Value::Num(x)) => v.push(Some(x)),
+            (ColumnData::Numeric(v), Value::Missing) => {
+                v.push(None);
+                self.missing += 1;
+            }
+            (ColumnData::Categorical(c), Value::Cat(s)) => {
+                let code = c.intern(&s);
+                c.codes.push(Some(code));
+            }
+            (ColumnData::Categorical(c), Value::Missing) => {
+                c.codes.push(None);
+                self.missing += 1;
+            }
+            (_, v) => {
+                return Err(ModelError::KindMismatch {
+                    attribute: attr_name.to_owned(),
+                    expected: match self.data {
+                        ColumnData::Numeric(_) => "numeric",
+                        ColumnData::Categorical(_) => "categorical",
+                    },
+                    got: v.kind_name(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn get(&self, row: usize) -> Value {
+        match &self.data {
+            ColumnData::Numeric(v) => match v.get(row).copied().flatten() {
+                Some(x) => Value::Num(x),
+                None => Value::Missing,
+            },
+            ColumnData::Categorical(c) => match c.get(row) {
+                Some(s) => Value::Cat(s.to_owned()),
+                None => Value::Missing,
+            },
+        }
+    }
+
+    fn set(&mut self, row: usize, value: Value, attr_name: &str) -> Result<(), ModelError> {
+        let was_missing = self.get(row).is_missing();
+        match (&mut self.data, value) {
+            (ColumnData::Numeric(v), Value::Num(x)) => v[row] = Some(x),
+            (ColumnData::Numeric(v), Value::Missing) => v[row] = None,
+            (ColumnData::Categorical(c), Value::Cat(s)) => {
+                let code = c.intern(&s);
+                c.codes[row] = Some(code);
+            }
+            (ColumnData::Categorical(c), Value::Missing) => c.codes[row] = None,
+            (_, v) => {
+                return Err(ModelError::KindMismatch {
+                    attribute: attr_name.to_owned(),
+                    expected: match self.data {
+                        ColumnData::Numeric(_) => "numeric",
+                        ColumnData::Categorical(_) => "categorical",
+                    },
+                    got: v.kind_name(),
+                })
+            }
+        }
+        let is_missing = self.get(row).is_missing();
+        match (was_missing, is_missing) {
+            (true, false) => self.missing -= 1,
+            (false, true) => self.missing += 1,
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// A row under construction, validated against the schema on push.
+#[derive(Debug, Clone)]
+pub struct Record {
+    values: Vec<Value>,
+}
+
+impl Record {
+    /// A record of all-missing values with the given arity.
+    pub fn missing(arity: usize) -> Self {
+        Record {
+            values: vec![Value::Missing; arity],
+        }
+    }
+
+    /// Builds a record from a full value vector.
+    pub fn from_values(values: Vec<Value>) -> Self {
+        Record { values }
+    }
+
+    /// Sets a field by attribute id.
+    pub fn set(&mut self, id: AttrId, value: Value) -> Result<(), ModelError> {
+        let slot = self
+            .values
+            .get_mut(id.index())
+            .ok_or(ModelError::InvalidAttrId(id.0))?;
+        *slot = value;
+        Ok(())
+    }
+
+    /// Sets a field by attribute name, resolving through `schema`.
+    pub fn set_by_name(
+        &mut self,
+        schema: &Schema,
+        name: &str,
+        value: Value,
+    ) -> Result<(), ModelError> {
+        let id = schema.require(name)?;
+        self.set(id, value)
+    }
+
+    /// Reads a field by attribute id.
+    pub fn get(&self, id: AttrId) -> Option<&Value> {
+        self.values.get(id.index())
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Consumes the record into its value vector.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+/// A read-only view over one dataset row.
+#[derive(Debug, Clone, Copy)]
+pub struct RowView<'a> {
+    dataset: &'a Dataset,
+    row: usize,
+}
+
+impl<'a> RowView<'a> {
+    /// The row index inside the dataset.
+    pub fn row_index(&self) -> usize {
+        self.row
+    }
+
+    /// The value of an attribute by id (owned; categorical labels are cloned).
+    pub fn value(&self, id: AttrId) -> Value {
+        self.dataset.value(self.row, id)
+    }
+
+    /// The numeric value of an attribute, if present and numeric.
+    pub fn num(&self, id: AttrId) -> Option<f64> {
+        self.dataset.num(self.row, id)
+    }
+
+    /// The categorical label of an attribute, if present and categorical.
+    pub fn cat(&self, id: AttrId) -> Option<&'a str> {
+        self.dataset.cat(self.row, id)
+    }
+
+    /// Shorthand: numeric value looked up by attribute name.
+    pub fn num_by_name(&self, name: &str) -> Option<f64> {
+        self.dataset
+            .schema()
+            .attr_id(name)
+            .and_then(|id| self.num(id))
+    }
+
+    /// Shorthand: categorical label looked up by attribute name.
+    pub fn cat_by_name(&self, name: &str) -> Option<&'a str> {
+        self.dataset
+            .schema()
+            .attr_id(name)
+            .and_then(|id| self.cat(id))
+    }
+}
+
+/// Columnar dataset of EPC records sharing one [`Schema`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    schema: Arc<Schema>,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Dataset {
+    /// An empty dataset over `schema`.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        let columns = schema.iter().map(|(_, d)| Column::new(&d.kind)).collect();
+        Dataset {
+            schema,
+            columns,
+            n_rows: 0,
+        }
+    }
+
+    /// The dataset schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// A clone of the shared schema handle.
+    pub fn schema_arc(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns (= schema length).
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// `true` when the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// A new all-missing record with the right arity for this dataset.
+    pub fn empty_record(&self) -> Record {
+        Record::missing(self.schema.len())
+    }
+
+    /// Appends one record, validating arity and value kinds.
+    pub fn push_record(&mut self, record: Record) -> Result<(), ModelError> {
+        if record.arity() != self.schema.len() {
+            return Err(ModelError::ArityMismatch {
+                expected: self.schema.len(),
+                got: record.arity(),
+            });
+        }
+        // Validate every value kind before touching any column, so a failed
+        // push leaves all columns at the same length.
+        for (value, (_, def)) in record.values.iter().zip(self.schema.iter()) {
+            let ok = matches!(
+                (value, &def.kind),
+                (Value::Missing, _)
+                    | (Value::Num(_), AttrKind::Numeric { .. })
+                    | (Value::Cat(_), AttrKind::Categorical)
+            );
+            if !ok {
+                return Err(ModelError::KindMismatch {
+                    attribute: def.name.clone(),
+                    expected: def.kind.name(),
+                    got: value.kind_name(),
+                });
+            }
+        }
+        for ((col, value), (_, def)) in self
+            .columns
+            .iter_mut()
+            .zip(record.into_values())
+            .zip(self.schema.iter())
+        {
+            col.push(value, &def.name)?;
+        }
+        self.n_rows += 1;
+        debug_assert!(self.columns.iter().all(|c| c.len() == self.n_rows));
+        Ok(())
+    }
+
+    /// The column for an attribute id.
+    pub fn column(&self, id: AttrId) -> Option<&Column> {
+        self.columns.get(id.index())
+    }
+
+    /// The column for an attribute name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.schema.attr_id(name).and_then(|id| self.column(id))
+    }
+
+    /// The value at `(row, attribute)` — `Missing` when absent.
+    pub fn value(&self, row: usize, id: AttrId) -> Value {
+        self.columns
+            .get(id.index())
+            .map(|c| c.get(row))
+            .unwrap_or(Value::Missing)
+    }
+
+    /// The numeric value at `(row, attribute)`, if present.
+    pub fn num(&self, row: usize, id: AttrId) -> Option<f64> {
+        match self.columns.get(id.index()).map(|c| &c.data) {
+            Some(ColumnData::Numeric(v)) => v.get(row).copied().flatten(),
+            _ => None,
+        }
+    }
+
+    /// The categorical label at `(row, attribute)`, if present.
+    pub fn cat(&self, row: usize, id: AttrId) -> Option<&str> {
+        match self.columns.get(id.index()).map(|c| &c.data) {
+            Some(ColumnData::Categorical(c)) => c.get(row),
+            _ => None,
+        }
+    }
+
+    /// Overwrites one cell (used by the cleaning step to repair fields).
+    pub fn set_value(&mut self, row: usize, id: AttrId, value: Value) -> Result<(), ModelError> {
+        if row >= self.n_rows {
+            return Err(ModelError::RowOutOfBounds {
+                row,
+                n_rows: self.n_rows,
+            });
+        }
+        let name = self
+            .schema
+            .def(id)
+            .ok_or(ModelError::InvalidAttrId(id.0))?
+            .name
+            .clone();
+        self.columns[id.index()].set(row, value, &name)
+    }
+
+    /// A view over row `row`.
+    pub fn row(&self, row: usize) -> Result<RowView<'_>, ModelError> {
+        if row >= self.n_rows {
+            return Err(ModelError::RowOutOfBounds {
+                row,
+                n_rows: self.n_rows,
+            });
+        }
+        Ok(RowView { dataset: self, row })
+    }
+
+    /// Iterates all rows.
+    pub fn rows(&self) -> impl Iterator<Item = RowView<'_>> {
+        (0..self.n_rows).map(move |row| RowView { dataset: self, row })
+    }
+
+    /// Dense copy of a numeric column (missing values skipped), together
+    /// with the row index of each kept value.
+    pub fn numeric_with_rows(&self, id: AttrId) -> (Vec<f64>, Vec<usize>) {
+        let mut values = Vec::new();
+        let mut rows = Vec::new();
+        if let Some(ColumnData::Numeric(v)) = self.columns.get(id.index()).map(|c| &c.data) {
+            for (row, x) in v.iter().enumerate() {
+                if let Some(x) = x {
+                    values.push(*x);
+                    rows.push(row);
+                }
+            }
+        }
+        (values, rows)
+    }
+
+    /// Dense copy of a numeric column (missing values skipped).
+    pub fn numeric_values(&self, id: AttrId) -> Vec<f64> {
+        self.numeric_with_rows(id).0
+    }
+
+    /// Numeric column as `Option<f64>` per row (empty for categorical ids).
+    pub fn numeric_column(&self, id: AttrId) -> &[Option<f64>] {
+        match self.columns.get(id.index()).map(|c| &c.data) {
+            Some(ColumnData::Numeric(v)) => v,
+            _ => &[],
+        }
+    }
+
+    /// New dataset containing the rows at `indices`, in that order.
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Dataset, ModelError> {
+        let mut out = Dataset::new(self.schema_arc());
+        for &row in indices {
+            if row >= self.n_rows {
+                return Err(ModelError::RowOutOfBounds {
+                    row,
+                    n_rows: self.n_rows,
+                });
+            }
+            let values: Vec<Value> = (0..self.schema.len())
+                .map(|i| self.value(row, AttrId(i as u32)))
+                .collect();
+            out.push_record(Record::from_values(values))?;
+        }
+        Ok(out)
+    }
+
+    /// New dataset keeping rows where `mask[row]` is `true`.
+    ///
+    /// `mask` must have exactly `n_rows` entries.
+    pub fn filter_mask(&self, mask: &[bool]) -> Result<Dataset, ModelError> {
+        if mask.len() != self.n_rows {
+            return Err(ModelError::ArityMismatch {
+                expected: self.n_rows,
+                got: mask.len(),
+            });
+        }
+        let indices: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, keep)| keep.then_some(i))
+            .collect();
+        self.select_rows(&indices)
+    }
+
+    /// Appends all rows of `other` (same schema required).
+    pub fn append(&mut self, other: &Dataset) -> Result<(), ModelError> {
+        if *self.schema != *other.schema {
+            return Err(ModelError::SchemaMismatch);
+        }
+        for row in other.rows() {
+            let values: Vec<Value> = (0..self.schema.len())
+                .map(|i| row.value(AttrId(i as u32)))
+                .collect();
+            self.push_record(Record::from_values(values))?;
+        }
+        Ok(())
+    }
+
+    /// Total number of missing cells across all columns.
+    pub fn total_missing(&self) -> usize {
+        self.columns.iter().map(|c| c.missing_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::AttributeDef;
+
+    fn small_schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![
+                AttributeDef::numeric("x", "", "x value"),
+                AttributeDef::categorical("label", "a label"),
+                AttributeDef::numeric("y", "m", "y value"),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn push(ds: &mut Dataset, x: Option<f64>, label: Option<&str>, y: Option<f64>) {
+        let mut r = ds.empty_record();
+        r.set(AttrId(0), Value::from(x)).unwrap();
+        r.set(AttrId(1), label.map(Value::cat).unwrap_or(Value::Missing))
+            .unwrap();
+        r.set(AttrId(2), Value::from(y)).unwrap();
+        ds.push_record(r).unwrap();
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut ds = Dataset::new(small_schema());
+        push(&mut ds, Some(1.0), Some("a"), Some(2.0));
+        push(&mut ds, Some(3.0), Some("b"), None);
+        push(&mut ds, None, Some("a"), Some(4.0));
+
+        assert_eq!(ds.n_rows(), 3);
+        assert_eq!(ds.n_cols(), 3);
+        assert_eq!(ds.num(0, AttrId(0)), Some(1.0));
+        assert_eq!(ds.cat(1, AttrId(1)), Some("b"));
+        assert_eq!(ds.num(1, AttrId(2)), None);
+        assert_eq!(ds.value(2, AttrId(0)), Value::Missing);
+        assert_eq!(ds.total_missing(), 2);
+    }
+
+    #[test]
+    fn categorical_dictionary_is_shared() {
+        let mut ds = Dataset::new(small_schema());
+        for _ in 0..100 {
+            push(&mut ds, Some(0.0), Some("same"), Some(0.0));
+        }
+        match ds.column(AttrId(1)).unwrap().data() {
+            ColumnData::Categorical(c) => {
+                assert_eq!(c.cardinality(), 1);
+                assert_eq!(c.codes().len(), 100);
+            }
+            _ => panic!("expected categorical"),
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let mut ds = Dataset::new(small_schema());
+        let mut r = ds.empty_record();
+        r.set(AttrId(0), Value::cat("oops")).unwrap();
+        let err = ds.push_record(r).unwrap_err();
+        assert!(matches!(err, ModelError::KindMismatch { .. }));
+        // A failed push must not corrupt row count.
+        assert_eq!(ds.n_rows(), 0);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut ds = Dataset::new(small_schema());
+        let err = ds.push_record(Record::missing(2)).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::ArityMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn set_value_updates_missing_counts() {
+        let mut ds = Dataset::new(small_schema());
+        push(&mut ds, None, None, Some(1.0));
+        assert_eq!(ds.column(AttrId(0)).unwrap().missing_count(), 1);
+        ds.set_value(0, AttrId(0), Value::num(5.0)).unwrap();
+        assert_eq!(ds.column(AttrId(0)).unwrap().missing_count(), 0);
+        assert_eq!(ds.num(0, AttrId(0)), Some(5.0));
+        ds.set_value(0, AttrId(0), Value::Missing).unwrap();
+        assert_eq!(ds.column(AttrId(0)).unwrap().missing_count(), 1);
+
+        ds.set_value(0, AttrId(1), Value::cat("fixed")).unwrap();
+        assert_eq!(ds.cat(0, AttrId(1)), Some("fixed"));
+        assert_eq!(ds.column(AttrId(1)).unwrap().missing_count(), 0);
+    }
+
+    #[test]
+    fn set_value_out_of_bounds() {
+        let mut ds = Dataset::new(small_schema());
+        let err = ds.set_value(0, AttrId(0), Value::num(1.0)).unwrap_err();
+        assert!(matches!(err, ModelError::RowOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn numeric_with_rows_skips_missing() {
+        let mut ds = Dataset::new(small_schema());
+        push(&mut ds, Some(1.0), None, None);
+        push(&mut ds, None, None, None);
+        push(&mut ds, Some(3.0), None, None);
+        let (vals, rows) = ds.numeric_with_rows(AttrId(0));
+        assert_eq!(vals, vec![1.0, 3.0]);
+        assert_eq!(rows, vec![0, 2]);
+    }
+
+    #[test]
+    fn select_and_filter_rows() {
+        let mut ds = Dataset::new(small_schema());
+        for i in 0..5 {
+            push(&mut ds, Some(i as f64), Some(if i % 2 == 0 { "even" } else { "odd" }), None);
+        }
+        let sel = ds.select_rows(&[4, 0]).unwrap();
+        assert_eq!(sel.n_rows(), 2);
+        assert_eq!(sel.num(0, AttrId(0)), Some(4.0));
+        assert_eq!(sel.num(1, AttrId(0)), Some(0.0));
+
+        let mask: Vec<bool> = (0..5).map(|i| i % 2 == 0).collect();
+        let filtered = ds.filter_mask(&mask).unwrap();
+        assert_eq!(filtered.n_rows(), 3);
+        for row in filtered.rows() {
+            assert_eq!(row.cat(AttrId(1)), Some("even"));
+        }
+    }
+
+    #[test]
+    fn filter_mask_requires_full_length() {
+        let mut ds = Dataset::new(small_schema());
+        push(&mut ds, Some(1.0), None, None);
+        assert!(ds.filter_mask(&[]).is_err());
+    }
+
+    #[test]
+    fn row_views_expose_named_lookups() {
+        let mut ds = Dataset::new(small_schema());
+        push(&mut ds, Some(1.5), Some("a"), Some(2.5));
+        let row = ds.row(0).unwrap();
+        assert_eq!(row.num_by_name("x"), Some(1.5));
+        assert_eq!(row.cat_by_name("label"), Some("a"));
+        assert_eq!(row.num_by_name("label"), None);
+        assert_eq!(row.row_index(), 0);
+        assert!(ds.row(1).is_err());
+    }
+
+    #[test]
+    fn append_requires_same_schema() {
+        let mut a = Dataset::new(small_schema());
+        let mut b = Dataset::new(small_schema());
+        push(&mut a, Some(1.0), Some("a"), None);
+        push(&mut b, Some(2.0), Some("b"), None);
+        a.append(&b).unwrap();
+        assert_eq!(a.n_rows(), 2);
+        assert_eq!(a.cat(1, AttrId(1)), Some("b"));
+
+        let other = Dataset::new(Arc::new(
+            Schema::new(vec![AttributeDef::numeric("z", "", "")]).unwrap(),
+        ));
+        assert_eq!(a.append(&other).unwrap_err(), ModelError::SchemaMismatch);
+    }
+
+    #[test]
+    fn record_set_by_name() {
+        let schema = small_schema();
+        let mut r = Record::missing(schema.len());
+        r.set_by_name(&schema, "y", Value::num(9.0)).unwrap();
+        assert_eq!(r.get(AttrId(2)), Some(&Value::Num(9.0)));
+        assert!(r.set_by_name(&schema, "nope", Value::num(0.0)).is_err());
+        assert!(r.set(AttrId(99), Value::num(0.0)).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Error types for the data-model layer.
+
+use std::fmt;
+
+/// Errors produced while building schemas, mutating datasets, or parsing CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// An attribute id was out of range for the schema.
+    InvalidAttrId(u32),
+    /// A value of the wrong kind was supplied for an attribute
+    /// (e.g. a categorical label for a numeric column).
+    KindMismatch {
+        /// Attribute the value was destined for.
+        attribute: String,
+        /// What the schema expects ("numeric" or "categorical").
+        expected: &'static str,
+        /// What was supplied.
+        got: &'static str,
+    },
+    /// A record had a different number of fields than the schema.
+    ArityMismatch {
+        /// Number of attributes in the schema.
+        expected: usize,
+        /// Number of fields in the record.
+        got: usize,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// The offending index.
+        row: usize,
+        /// Number of rows in the dataset.
+        n_rows: usize,
+    },
+    /// Two attribute definitions share the same name.
+    DuplicateAttribute(String),
+    /// A CSV line could not be parsed.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Datasets with different schemas were combined.
+    SchemaMismatch,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownAttribute(name) => {
+                write!(f, "unknown attribute: {name:?}")
+            }
+            ModelError::InvalidAttrId(id) => write!(f, "invalid attribute id: {id}"),
+            ModelError::KindMismatch {
+                attribute,
+                expected,
+                got,
+            } => write!(
+                f,
+                "kind mismatch for attribute {attribute:?}: expected {expected}, got {got}"
+            ),
+            ModelError::ArityMismatch { expected, got } => {
+                write!(f, "record arity mismatch: schema has {expected} attributes, record has {got}")
+            }
+            ModelError::RowOutOfBounds { row, n_rows } => {
+                write!(f, "row {row} out of bounds (dataset has {n_rows} rows)")
+            }
+            ModelError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute name: {name:?}")
+            }
+            ModelError::Csv { line, reason } => write!(f, "CSV parse error at line {line}: {reason}"),
+            ModelError::SchemaMismatch => write!(f, "datasets have different schemas"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::UnknownAttribute("foo".into());
+        assert!(e.to_string().contains("foo"));
+
+        let e = ModelError::KindMismatch {
+            attribute: "u_windows".into(),
+            expected: "numeric",
+            got: "categorical",
+        };
+        let s = e.to_string();
+        assert!(s.contains("u_windows") && s.contains("numeric") && s.contains("categorical"));
+
+        let e = ModelError::ArityMismatch {
+            expected: 132,
+            got: 3,
+        };
+        assert!(e.to_string().contains("132"));
+
+        let e = ModelError::RowOutOfBounds { row: 9, n_rows: 5 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('5'));
+
+        let e = ModelError::Csv {
+            line: 17,
+            reason: "unterminated quote".into(),
+        };
+        assert!(e.to_string().contains("17"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            ModelError::SchemaMismatch,
+            ModelError::SchemaMismatch
+        );
+        assert_ne!(
+            ModelError::InvalidAttrId(1),
+            ModelError::InvalidAttrId(2)
+        );
+    }
+}

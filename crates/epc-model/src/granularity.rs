@@ -1,0 +1,141 @@
+//! Spatial granularity levels.
+//!
+//! INDICE presents knowledge "at different spatial granularity levels such as
+//! city, district, neighbourhood, or housing unit" (§2.3); the dashboards
+//! switch map type as the user drills down. This module models that
+//! hierarchy and its mapping to map zoom levels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four spatial granularity levels of the paper, coarsest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Granularity {
+    /// Whole city (coarsest).
+    City,
+    /// Administrative district.
+    District,
+    /// Neighbourhood.
+    Neighbourhood,
+    /// Single housing unit / certificate (finest).
+    HousingUnit,
+}
+
+impl Granularity {
+    /// All levels, coarsest first.
+    pub const ALL: [Granularity; 4] = [
+        Granularity::City,
+        Granularity::District,
+        Granularity::Neighbourhood,
+        Granularity::HousingUnit,
+    ];
+
+    /// The next finer level (drill-down), if any.
+    pub fn finer(self) -> Option<Granularity> {
+        match self {
+            Granularity::City => Some(Granularity::District),
+            Granularity::District => Some(Granularity::Neighbourhood),
+            Granularity::Neighbourhood => Some(Granularity::HousingUnit),
+            Granularity::HousingUnit => None,
+        }
+    }
+
+    /// The next coarser level (roll-up), if any.
+    pub fn coarser(self) -> Option<Granularity> {
+        match self {
+            Granularity::City => None,
+            Granularity::District => Some(Granularity::City),
+            Granularity::Neighbourhood => Some(Granularity::District),
+            Granularity::HousingUnit => Some(Granularity::Neighbourhood),
+        }
+    }
+
+    /// A representative web-map zoom level for the granularity, used when
+    /// sizing marker-cluster cells (city ≈ 11 … housing unit ≈ 17).
+    pub fn zoom_level(self) -> u8 {
+        match self {
+            Granularity::City => 11,
+            Granularity::District => 13,
+            Granularity::Neighbourhood => 15,
+            Granularity::HousingUnit => 17,
+        }
+    }
+
+    /// Maps a web-map zoom level back to the granularity INDICE uses at that
+    /// zoom (drill-down switches view when the user zooms).
+    pub fn from_zoom(zoom: u8) -> Granularity {
+        match zoom {
+            0..=11 => Granularity::City,
+            12..=13 => Granularity::District,
+            14..=15 => Granularity::Neighbourhood,
+            _ => Granularity::HousingUnit,
+        }
+    }
+
+    /// `true` when `self` is at least as fine as `other`.
+    pub fn at_least_as_fine_as(self, other: Granularity) -> bool {
+        self >= other
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Granularity::City => "city",
+            Granularity::District => "district",
+            Granularity::Neighbourhood => "neighbourhood",
+            Granularity::HousingUnit => "housing-unit",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_coarse_to_fine() {
+        assert!(Granularity::City < Granularity::District);
+        assert!(Granularity::District < Granularity::Neighbourhood);
+        assert!(Granularity::Neighbourhood < Granularity::HousingUnit);
+        assert!(Granularity::HousingUnit.at_least_as_fine_as(Granularity::City));
+        assert!(!Granularity::City.at_least_as_fine_as(Granularity::District));
+    }
+
+    #[test]
+    fn finer_and_coarser_are_inverse() {
+        for g in Granularity::ALL {
+            if let Some(f) = g.finer() {
+                assert_eq!(f.coarser(), Some(g));
+            }
+            if let Some(c) = g.coarser() {
+                assert_eq!(c.finer(), Some(g));
+            }
+        }
+        assert_eq!(Granularity::HousingUnit.finer(), None);
+        assert_eq!(Granularity::City.coarser(), None);
+    }
+
+    #[test]
+    fn zoom_round_trips() {
+        for g in Granularity::ALL {
+            assert_eq!(Granularity::from_zoom(g.zoom_level()), g);
+        }
+        assert_eq!(Granularity::from_zoom(0), Granularity::City);
+        assert_eq!(Granularity::from_zoom(20), Granularity::HousingUnit);
+    }
+
+    #[test]
+    fn zoom_is_monotone_in_granularity() {
+        for pair in Granularity::ALL.windows(2) {
+            assert!(pair[0].zoom_level() < pair[1].zoom_level());
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Granularity::City.to_string(), "city");
+        assert_eq!(Granularity::HousingUnit.to_string(), "housing-unit");
+    }
+}

@@ -1,0 +1,406 @@
+//! The EPC schema: an ordered list of attribute definitions with name lookup,
+//! plus the standard 132-attribute schema of the Piedmont collection.
+
+use crate::attribute::{AttrId, AttributeDef};
+use crate::error::ModelError;
+use crate::wellknown as wk;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An immutable, shareable attribute schema.
+///
+/// Attribute ids are dense indices in definition order, so `Schema` can be
+/// used to index columnar storage directly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schema {
+    attrs: Vec<AttributeDef>,
+    #[serde(skip)]
+    by_name: HashMap<String, AttrId>,
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.attrs == other.attrs
+    }
+}
+impl Eq for Schema {}
+
+impl Schema {
+    /// Builds a schema from attribute definitions.
+    ///
+    /// Returns [`ModelError::DuplicateAttribute`] when two definitions share
+    /// a name.
+    pub fn new(attrs: Vec<AttributeDef>) -> Result<Self, ModelError> {
+        let mut by_name = HashMap::with_capacity(attrs.len());
+        for (i, def) in attrs.iter().enumerate() {
+            if by_name
+                .insert(def.name.clone(), AttrId(i as u32))
+                .is_some()
+            {
+                return Err(ModelError::DuplicateAttribute(def.name.clone()));
+            }
+        }
+        Ok(Schema { attrs, by_name })
+    }
+
+    /// Rebuilds the name index (needed after deserialization, where the
+    /// index is skipped).
+    pub fn reindex(&mut self) {
+        self.by_name = self
+            .attrs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.clone(), AttrId(i as u32)))
+            .collect();
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// `true` when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Looks up an attribute id by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up an attribute id by name, or errors.
+    pub fn require(&self, name: &str) -> Result<AttrId, ModelError> {
+        self.attr_id(name)
+            .ok_or_else(|| ModelError::UnknownAttribute(name.to_owned()))
+    }
+
+    /// The definition of an attribute by id.
+    pub fn def(&self, id: AttrId) -> Option<&AttributeDef> {
+        self.attrs.get(id.index())
+    }
+
+    /// The definition of an attribute by name.
+    pub fn def_by_name(&self, name: &str) -> Option<&AttributeDef> {
+        self.attr_id(name).and_then(|id| self.def(id))
+    }
+
+    /// Iterates `(id, definition)` pairs in schema order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &AttributeDef)> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (AttrId(i as u32), d))
+    }
+
+    /// Ids of all numeric attributes.
+    pub fn numeric_ids(&self) -> Vec<AttrId> {
+        self.iter()
+            .filter(|(_, d)| d.kind.is_numeric())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Ids of all categorical attributes.
+    pub fn categorical_ids(&self) -> Vec<AttrId> {
+        self.iter()
+            .filter(|(_, d)| d.kind.is_categorical())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Counts of (numeric, categorical) attributes.
+    pub fn kind_counts(&self) -> (usize, usize) {
+        let numeric = self.attrs.iter().filter(|d| d.kind.is_numeric()).count();
+        (numeric, self.attrs.len() - numeric)
+    }
+}
+
+/// Builds the standard 132-attribute EPC schema mirroring the Piedmont
+/// collection analysed by the paper: 43 quantitative and 89 categorical
+/// attributes, including the geospatial fields repaired by the cleaning
+/// step and the thermo-physical features of the case study.
+pub fn standard_epc_schema() -> Arc<Schema> {
+    let mut defs: Vec<AttributeDef> = Vec::with_capacity(132);
+
+    // --- Categorical: identification & geography (8) ---
+    defs.push(AttributeDef::categorical(wk::CERTIFICATE_ID, "Unique certificate identifier"));
+    defs.push(AttributeDef::categorical(wk::ADDRESS, "Free-text street address (noisy)"));
+    defs.push(AttributeDef::categorical(wk::HOUSE_NUMBER, "Civic number"));
+    defs.push(AttributeDef::categorical(wk::ZIP_CODE, "Postal code"));
+    defs.push(AttributeDef::categorical(wk::CITY, "Municipality"));
+    defs.push(AttributeDef::categorical(wk::DISTRICT, "Administrative district"));
+    defs.push(AttributeDef::categorical(wk::NEIGHBOURHOOD, "Neighbourhood"));
+    defs.push(AttributeDef::categorical(wk::ISSUE_YEAR, "Year the certificate was issued"));
+
+    // --- Numeric: geolocation (2) ---
+    defs.push(AttributeDef::numeric(wk::LATITUDE, "deg", "WGS84 latitude"));
+    defs.push(AttributeDef::numeric(wk::LONGITUDE, "deg", "WGS84 longitude"));
+
+    // --- Numeric: case-study thermo-physical features (6) ---
+    defs.push(AttributeDef::numeric(wk::ASPECT_RATIO, "1/m", "Aspect ratio S/V (dispersing surface over heated volume)"));
+    defs.push(AttributeDef::numeric(wk::U_OPAQUE, "W/m2K", "Average U-value of the vertical opaque envelope"));
+    defs.push(AttributeDef::numeric(wk::U_WINDOWS, "W/m2K", "Average U-value of the windows"));
+    defs.push(AttributeDef::numeric(wk::HEAT_SURFACE, "m2", "Heated floor area"));
+    defs.push(AttributeDef::numeric(wk::ETA_H, "", "Average global efficiency for space heating (ETAH)"));
+    defs.push(AttributeDef::numeric(wk::EPH, "kWh/m2yr", "Normalized primary heating energy consumption (response variable)"));
+
+    // --- Numeric: other energy-performance indices (7) ---
+    for (name, unit, desc) in [
+        (wk::EP_GLOBAL, "kWh/m2yr", "Global energy-performance index"),
+        ("ep_cooling", "kWh/m2yr", "Cooling energy-performance index"),
+        ("ep_dhw", "kWh/m2yr", "Domestic-hot-water energy-performance index"),
+        ("ep_lighting", "kWh/m2yr", "Lighting energy-performance index"),
+        ("co2_emissions", "kg/m2yr", "Specific CO2 emissions"),
+        ("renewable_share", "%", "Share of demand covered by renewables"),
+        ("energy_cost_index", "EUR/m2yr", "Estimated specific running cost"),
+    ] {
+        defs.push(AttributeDef::numeric(name, unit, desc));
+    }
+
+    // --- Numeric: geometry (11) ---
+    for (name, unit, desc) in [
+        (wk::HEATED_VOLUME, "m3", "Gross heated volume"),
+        ("floor_area", "m2", "Net floor area"),
+        ("glazed_surface", "m2", "Total glazed surface"),
+        ("opaque_surface", "m2", "Total opaque dispersing surface"),
+        ("dispersing_surface", "m2", "Total dispersing surface"),
+        ("n_floors", "", "Number of floors of the building"),
+        ("floor_height", "m", "Average inter-floor height"),
+        ("window_area_ratio", "", "Glazed over total facade surface"),
+        ("n_apartments", "", "Number of housing units in the building"),
+        ("shading_factor", "", "Average external shading reduction factor"),
+        ("thermal_bridge_factor", "", "Thermal-bridging surcharge factor"),
+    ] {
+        defs.push(AttributeDef::numeric(name, unit, desc));
+    }
+
+    // --- Numeric: envelope detail (3) ---
+    for (name, unit, desc) in [
+        ("roof_u_value", "W/m2K", "Average U-value of the roof"),
+        ("floor_u_value", "W/m2K", "Average U-value of the lowest floor"),
+        ("air_change_rate", "1/h", "Average air-change rate"),
+    ] {
+        defs.push(AttributeDef::numeric(name, unit, desc));
+    }
+
+    // --- Numeric: plant & subsystem efficiencies (9) ---
+    for (name, unit, desc) in [
+        (wk::ETA_GENERATION, "", "Generation-subsystem efficiency"),
+        (wk::ETA_DISTRIBUTION, "", "Distribution-subsystem efficiency"),
+        (wk::ETA_EMISSION, "", "Emission-subsystem efficiency"),
+        (wk::ETA_CONTROL, "", "Control-subsystem efficiency"),
+        ("boiler_power", "kW", "Nominal generator power"),
+        ("boiler_efficiency", "", "Nominal generator efficiency"),
+        ("dhw_demand", "kWh/yr", "Annual domestic-hot-water demand"),
+        ("solar_thermal_area", "m2", "Installed solar-thermal collector area"),
+        ("pv_power", "kW", "Installed photovoltaic peak power"),
+    ] {
+        defs.push(AttributeDef::numeric(name, unit, desc));
+    }
+
+    // --- Numeric: context & operation (5) ---
+    for (name, unit, desc) in [
+        (wk::CONSTRUCTION_YEAR, "", "Year of construction"),
+        ("renovation_year", "", "Year of the last major renovation"),
+        ("degree_days", "", "Heating degree-days of the location"),
+        ("indoor_temp_setpoint", "C", "Heating set-point temperature"),
+        ("heating_hours", "h/day", "Daily heating-plant activation hours"),
+    ] {
+        defs.push(AttributeDef::numeric(name, unit, desc));
+    }
+
+    // --- Categorical: building & plant taxonomy (33) ---
+    for (name, desc) in [
+        (wk::BUILDING_CATEGORY, "Intended use per DPR 412/93 (E.1.1 = permanent residence)"),
+        (wk::EPC_CLASS, "Energy-performance class (A4..G)"),
+        (wk::HEATING_FUEL, "Heating-system fuel"),
+        ("dhw_fuel", "Domestic-hot-water fuel"),
+        ("boiler_type", "Generator type"),
+        ("emitter_type", "Emission terminal type"),
+        ("distribution_type", "Distribution-network type"),
+        ("control_type", "Regulation/control-system type"),
+        ("ventilation_type", "Ventilation-system type"),
+        (wk::CONSTRUCTION_PERIOD, "Construction-period band"),
+        ("wall_type", "Prevailing vertical-envelope technology"),
+        ("roof_type", "Roof technology"),
+        ("floor_type", "Lowest-floor technology"),
+        ("window_frame", "Prevailing window-frame material"),
+        ("glazing_type", "Prevailing glazing type"),
+        ("shading_device", "External shading device"),
+        ("occupancy_type", "Occupancy profile"),
+        ("ownership", "Ownership regime"),
+        ("certifier_qualification", "Qualification of the certifier"),
+        ("inspection_type", "On-site inspection modality"),
+        ("climate_zone", "Italian climate zone (A..F)"),
+        ("exposure", "Prevailing facade exposure"),
+        ("adjacency", "Adjacency condition of the unit"),
+        ("basement_type", "Basement condition"),
+        ("attic_type", "Attic condition"),
+        ("renewable_type", "Installed renewable technology"),
+        ("cooling_system", "Cooling-system type"),
+        ("heat_pump_type", "Heat-pump type, if any"),
+        ("solar_orientation", "Main solar orientation"),
+        ("facade_condition", "Facade conservation state"),
+        ("retrofit_level", "Depth of past energy retrofits"),
+        ("energy_vector", "Main delivered energy vector"),
+        ("heating_emission_layout", "Emitter placement layout"),
+    ] {
+        defs.push(AttributeDef::categorical(name, desc));
+    }
+
+    // --- Categorical: boolean equipment/condition flags (28) ---
+    for (name, desc) in [
+        ("has_condensing_boiler", "Condensing generator installed"),
+        ("has_solar_thermal", "Solar-thermal system installed"),
+        ("has_pv", "Photovoltaic system installed"),
+        ("has_heat_pump", "Heat pump installed"),
+        ("has_district_heating", "Connected to district heating"),
+        ("has_thermostatic_valves", "Thermostatic valves installed"),
+        ("has_double_glazing", "Double (or better) glazing"),
+        ("has_roof_insulation", "Roof insulation present"),
+        ("has_wall_insulation", "Wall insulation present"),
+        ("has_floor_insulation", "Floor insulation present"),
+        ("has_mechanical_ventilation", "Mechanical ventilation present"),
+        ("has_heat_recovery", "Ventilation heat recovery present"),
+        ("has_bms", "Building management system present"),
+        ("has_led_lighting", "Prevailing LED lighting"),
+        ("has_elevator", "Elevator present"),
+        ("has_garage", "Garage attached"),
+        ("has_balcony", "Balconies present"),
+        ("has_cellar", "Cellar present"),
+        ("has_smart_thermostat", "Smart thermostat installed"),
+        ("has_ev_charging", "EV charging point present"),
+        ("has_green_roof", "Green roof present"),
+        ("has_rainwater_reuse", "Rainwater-reuse system present"),
+        ("is_listed_building", "Building under heritage protection"),
+        ("is_social_housing", "Social-housing unit"),
+        ("is_detached", "Detached building"),
+        ("is_corner_unit", "Corner housing unit"),
+        ("is_top_floor", "Top-floor unit"),
+        ("is_ground_floor", "Ground-floor unit"),
+    ] {
+        defs.push(AttributeDef::categorical(name, desc));
+    }
+
+    // --- Categorical: recommended interventions & administrative (20) ---
+    for (name, desc) in [
+        ("reco_envelope", "Recommended envelope intervention"),
+        ("reco_windows", "Recommended window intervention"),
+        ("reco_boiler", "Recommended generator intervention"),
+        ("reco_renewables", "Recommended renewable intervention"),
+        ("reco_controls", "Recommended control intervention"),
+        ("subsidy_eligibility", "Eligible subsidy scheme"),
+        ("gas_meter_type", "Gas-meter type"),
+        ("electric_meter_type", "Electric-meter type"),
+        ("water_heating_location", "DHW generator placement"),
+        ("chimney_type", "Flue/chimney type"),
+        ("radiator_material", "Radiator material"),
+        ("pipe_insulation_level", "Distribution-pipe insulation level"),
+        ("window_shutter_type", "Shutter/blind type"),
+        ("entrance_orientation", "Entrance orientation"),
+        ("stairwell_heated", "Stairwell heating condition"),
+        ("party_wall_exposure", "Party-wall exposure condition"),
+        ("certificate_purpose", "Reason the EPC was issued (sale/rent/new)"),
+        ("previous_class", "Class in the previous certificate, if any"),
+        ("calculation_software", "Software used for the standard calculation"),
+        ("data_quality_flag", "Certifier-declared input-data quality"),
+    ] {
+        defs.push(AttributeDef::categorical(name, desc));
+    }
+
+    let schema = Schema::new(defs).expect("standard schema has unique names");
+    debug_assert_eq!(schema.len(), 132, "standard schema must have 132 attributes");
+    Arc::new(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_schema_has_paper_shape() {
+        let s = standard_epc_schema();
+        assert_eq!(s.len(), 132);
+        let (numeric, categorical) = s.kind_counts();
+        assert_eq!(numeric, 43, "paper: 43 quantitative attributes");
+        assert_eq!(categorical, 89, "paper: 89 categorical attributes");
+    }
+
+    #[test]
+    fn standard_schema_contains_case_study_attributes() {
+        let s = standard_epc_schema();
+        for name in wk::CASE_STUDY_FEATURES {
+            let def = s.def_by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(def.kind.is_numeric(), "{name} must be numeric");
+        }
+        assert!(s.def_by_name(wk::EPH).unwrap().kind.is_numeric());
+        for name in wk::GEO_ATTRIBUTES {
+            assert!(s.def_by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let s = standard_epc_schema();
+        for (i, (id, def)) in s.iter().enumerate() {
+            assert_eq!(id.index(), i);
+            assert_eq!(s.attr_id(&def.name), Some(id));
+            assert_eq!(s.def(id).unwrap().name, def.name);
+        }
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let defs = vec![
+            AttributeDef::numeric("x", "", ""),
+            AttributeDef::categorical("x", ""),
+        ];
+        assert_eq!(
+            Schema::new(defs).unwrap_err(),
+            ModelError::DuplicateAttribute("x".into())
+        );
+    }
+
+    #[test]
+    fn require_errors_on_unknown() {
+        let s = standard_epc_schema();
+        assert!(s.require(wk::EPH).is_ok());
+        assert_eq!(
+            s.require("nope").unwrap_err(),
+            ModelError::UnknownAttribute("nope".into())
+        );
+    }
+
+    #[test]
+    fn numeric_and_categorical_ids_partition_schema() {
+        let s = standard_epc_schema();
+        let n = s.numeric_ids();
+        let c = s.categorical_ids();
+        assert_eq!(n.len() + c.len(), s.len());
+        for id in &n {
+            assert!(s.def(*id).unwrap().kind.is_numeric());
+        }
+        for id in &c {
+            assert!(s.def(*id).unwrap().kind.is_categorical());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_with_reindex() {
+        let s = standard_epc_schema();
+        let json = serde_json::to_string(&*s).unwrap();
+        let mut back: Schema = serde_json::from_str(&json).unwrap();
+        back.reindex();
+        assert_eq!(*s, back);
+        assert_eq!(back.attr_id(wk::EPH), s.attr_id(wk::EPH));
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new(vec![]).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.kind_counts(), (0, 0));
+    }
+}

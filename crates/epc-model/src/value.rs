@@ -1,0 +1,146 @@
+//! Typed attribute values.
+//!
+//! EPC attributes are either quantitative (continuous, stored as `f64`) or
+//! categorical (stored as strings, dictionary-encoded inside columns). Every
+//! attribute may also be missing — real EPC collections are full of holes,
+//! and the cleaning step of the paper exists precisely to repair some of them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single attribute value of an EPC record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A quantitative measurement (e.g. `u_windows = 2.7` W/m²K).
+    Num(f64),
+    /// A categorical label (e.g. `building_category = "E.1.1"`).
+    Cat(String),
+    /// The value is absent from the certificate.
+    Missing,
+}
+
+impl Value {
+    /// Convenience constructor for a numeric value.
+    pub fn num(v: f64) -> Self {
+        Value::Num(v)
+    }
+
+    /// Convenience constructor for a categorical value.
+    pub fn cat(v: impl Into<String>) -> Self {
+        Value::Cat(v.into())
+    }
+
+    /// `true` if the value is [`Value::Missing`].
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Value::Missing)
+    }
+
+    /// Returns the numeric payload, if any.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the categorical payload, if any.
+    pub fn as_cat(&self) -> Option<&str> {
+        match self {
+            Value::Cat(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A static name for the value's kind, used in error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Num(_) => "numeric",
+            Value::Cat(_) => "categorical",
+            Value::Missing => "missing",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(v) => write!(f, "{v}"),
+            Value::Cat(s) => write!(f, "{s}"),
+            Value::Missing => write!(f, ""),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Num(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Cat(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Cat(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(v) => v.into(),
+            None => Value::Missing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::num(1.5).as_num(), Some(1.5));
+        assert_eq!(Value::num(1.5).as_cat(), None);
+        assert_eq!(Value::cat("E.1.1").as_cat(), Some("E.1.1"));
+        assert_eq!(Value::cat("E.1.1").as_num(), None);
+        assert!(Value::Missing.is_missing());
+        assert!(!Value::num(0.0).is_missing());
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(Value::num(1.0).kind_name(), "numeric");
+        assert_eq!(Value::cat("x").kind_name(), "categorical");
+        assert_eq!(Value::Missing.kind_name(), "missing");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(2.0), Value::Num(2.0));
+        assert_eq!(Value::from("abc"), Value::Cat("abc".into()));
+        assert_eq!(Value::from(String::from("abc")), Value::Cat("abc".into()));
+        assert_eq!(Value::from(Option::<f64>::None), Value::Missing);
+        assert_eq!(Value::from(Some(3.0)), Value::Num(3.0));
+    }
+
+    #[test]
+    fn display_round_trip_for_numbers() {
+        assert_eq!(Value::num(2.25).to_string(), "2.25");
+        assert_eq!(Value::cat("via Roma").to_string(), "via Roma");
+        assert_eq!(Value::Missing.to_string(), "");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for v in [Value::num(1.25), Value::cat("x"), Value::Missing] {
+            let json = serde_json::to_string(&v).unwrap();
+            let back: Value = serde_json::from_str(&json).unwrap();
+            assert_eq!(v, back);
+        }
+    }
+}

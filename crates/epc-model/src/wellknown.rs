@@ -1,0 +1,123 @@
+//! Canonical attribute names of the standard EPC schema.
+//!
+//! The case study of the paper names a handful of attributes explicitly; the
+//! pipeline addresses them through these constants rather than string
+//! literals scattered through the code. The remaining attributes of the
+//! 132-feature Piedmont collection are defined in [`crate::schema`].
+
+/// Certificate identifier (categorical, unique per EPC).
+pub const CERTIFICATE_ID: &str = "certificate_id";
+
+// --- Geospatial attributes repaired by the cleaning step (§2.1.1) ---
+
+/// Free-text street address (the noisiest field of the collection).
+pub const ADDRESS: &str = "address";
+/// House / civic number.
+pub const HOUSE_NUMBER: &str = "house_number";
+/// Postal (ZIP) code.
+pub const ZIP_CODE: &str = "zip_code";
+/// Municipality name.
+pub const CITY: &str = "city";
+/// Administrative district (circoscrizione) — one level below the city.
+pub const DISTRICT: &str = "district";
+/// Neighbourhood (quartiere) — one level below the district.
+pub const NEIGHBOURHOOD: &str = "neighbourhood";
+/// WGS84 latitude in decimal degrees.
+pub const LATITUDE: &str = "latitude";
+/// WGS84 longitude in decimal degrees.
+pub const LONGITUDE: &str = "longitude";
+
+// --- Case-study thermo-physical attributes (§3) ---
+
+/// Aspect ratio S/V: dispersing surface over heated volume \[1/m\].
+pub const ASPECT_RATIO: &str = "aspect_ratio";
+/// Average U-value of the vertical opaque envelope \[W/m²K\] (Uo).
+pub const U_OPAQUE: &str = "u_opaque";
+/// Average U-value of the windows \[W/m²K\] (Uw).
+pub const U_WINDOWS: &str = "u_windows";
+/// Heated floor area \[m²\] (Sr, "Heat surface").
+pub const HEAT_SURFACE: &str = "heat_surface";
+/// Average global efficiency for space heating (ETAH, dimensionless).
+pub const ETA_H: &str = "eta_h";
+/// Normalized primary heating energy consumption \[kWh/m²·yr\] (EPH) —
+/// the response variable of the case study.
+pub const EPH: &str = "eph";
+
+// --- Other frequently used attributes ---
+
+/// Intended-use category per Italian DPR 412/93 (the case study filters
+/// on `E.1.1`, permanent residences).
+pub const BUILDING_CATEGORY: &str = "building_category";
+/// Energy-performance class label (A4..G).
+pub const EPC_CLASS: &str = "epc_class";
+/// Year the certificate was issued (2016..2018 in the paper's collection).
+pub const ISSUE_YEAR: &str = "issue_year";
+/// Heating-system fuel.
+pub const HEATING_FUEL: &str = "heating_fuel";
+/// Construction period band of the building.
+pub const CONSTRUCTION_PERIOD: &str = "construction_period";
+/// Generation-subsystem efficiency (expert-driven univariate analysis, §2.1.2).
+pub const ETA_GENERATION: &str = "eta_generation";
+/// Distribution-subsystem efficiency (expert-driven univariate analysis, §2.1.2).
+pub const ETA_DISTRIBUTION: &str = "eta_distribution";
+/// Emission-subsystem efficiency.
+pub const ETA_EMISSION: &str = "eta_emission";
+/// Control-subsystem efficiency.
+pub const ETA_CONTROL: &str = "eta_control";
+/// Global EP index \[kWh/m²·yr\].
+pub const EP_GLOBAL: &str = "ep_global";
+/// Construction year (numeric).
+pub const CONSTRUCTION_YEAR: &str = "construction_year";
+/// Heated volume \[m³\].
+pub const HEATED_VOLUME: &str = "heated_volume";
+
+/// The five clustering features of the case study, in paper order:
+/// S/V, Uo, Uw, Sr, ETAH.
+pub const CASE_STUDY_FEATURES: [&str; 5] =
+    [ASPECT_RATIO, U_OPAQUE, U_WINDOWS, HEAT_SURFACE, ETA_H];
+
+/// The attributes the paper's expert-driven univariate analysis covers:
+/// thermo-physical characteristics plus heating-subsystem efficiencies.
+pub const EXPERT_ANALYSIS_ATTRIBUTES: [&str; 5] = [
+    ASPECT_RATIO,
+    U_OPAQUE,
+    U_WINDOWS,
+    ETA_DISTRIBUTION,
+    ETA_GENERATION,
+];
+
+/// Geospatial attributes the cleaning algorithm reads and repairs.
+pub const GEO_ATTRIBUTES: [&str; 5] = [ADDRESS, HOUSE_NUMBER, ZIP_CODE, LATITUDE, LONGITUDE];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_features_match_paper_order() {
+        assert_eq!(
+            CASE_STUDY_FEATURES,
+            ["aspect_ratio", "u_opaque", "u_windows", "heat_surface", "eta_h"]
+        );
+    }
+
+    #[test]
+    fn geo_attributes_cover_cleaning_fields() {
+        assert!(GEO_ATTRIBUTES.contains(&ADDRESS));
+        assert!(GEO_ATTRIBUTES.contains(&ZIP_CODE));
+        assert!(GEO_ATTRIBUTES.contains(&LATITUDE));
+        assert!(GEO_ATTRIBUTES.contains(&LONGITUDE));
+        assert!(GEO_ATTRIBUTES.contains(&HOUSE_NUMBER));
+    }
+
+    #[test]
+    fn no_duplicate_names_across_lists() {
+        let mut all: Vec<&str> = Vec::new();
+        all.extend(CASE_STUDY_FEATURES);
+        all.extend(GEO_ATTRIBUTES);
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len());
+    }
+}

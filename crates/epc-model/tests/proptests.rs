@@ -1,0 +1,124 @@
+//! Property-based tests of the data-model layer: CSV round-trips over
+//! arbitrary content, dataset selection invariants, and schema lookups.
+
+use epc_model::{csv, AttrId, AttributeDef, Dataset, Record, Schema, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::new(vec![
+            AttributeDef::numeric("x", "", ""),
+            AttributeDef::categorical("label", ""),
+            AttributeDef::numeric("y", "m", ""),
+        ])
+        .unwrap(),
+    )
+}
+
+type Row = (Option<f64>, Option<String>, Option<f64>);
+
+fn row_strategy() -> impl Strategy<Value = Row> {
+    (
+        prop::option::of(-1e9f64..1e9),
+        prop::option::of("[ -~]{0,20}"), // printable ASCII incl. commas/quotes
+        prop::option::of(-1e9f64..1e9),
+    )
+}
+
+fn build(rows: &[Row]) -> Dataset {
+    let mut ds = Dataset::new(schema());
+    for (x, label, y) in rows {
+        let mut r = ds.empty_record();
+        r.set(AttrId(0), Value::from(*x)).unwrap();
+        r.set(
+            AttrId(1),
+            label.clone().map(Value::Cat).unwrap_or(Value::Missing),
+        )
+        .unwrap();
+        r.set(AttrId(2), Value::from(*y)).unwrap();
+        ds.push_record(r).unwrap();
+    }
+    ds
+}
+
+proptest! {
+    #[test]
+    fn csv_round_trip_preserves_values(rows in prop::collection::vec(row_strategy(), 0..40)) {
+        let ds = build(&rows);
+        let text = csv::to_csv(&ds);
+        let back = csv::from_csv(ds.schema_arc(), &text).unwrap();
+        prop_assert_eq!(back.n_rows(), ds.n_rows());
+        for row in 0..ds.n_rows() {
+            // Numbers survive through decimal formatting.
+            match (ds.num(row, AttrId(0)), back.num(row, AttrId(0))) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs())),
+                (a, b) => prop_assert_eq!(a.is_none(), b.is_none()),
+            }
+            // Labels survive exactly — unless the label was the empty
+            // string, which is indistinguishable from missing in CSV.
+            let orig = ds.cat(row, AttrId(1));
+            let got = back.cat(row, AttrId(1));
+            match orig {
+                Some("") => prop_assert_eq!(got, None),
+                other => prop_assert_eq!(got, other),
+            }
+        }
+    }
+
+    #[test]
+    fn select_rows_is_faithful(rows in prop::collection::vec(row_strategy(), 1..30), indices in prop::collection::vec(0usize..30, 0..15)) {
+        let ds = build(&rows);
+        let valid: Vec<usize> = indices.into_iter().filter(|&i| i < ds.n_rows()).collect();
+        let sel = ds.select_rows(&valid).unwrap();
+        prop_assert_eq!(sel.n_rows(), valid.len());
+        for (new_row, &orig) in valid.iter().enumerate() {
+            prop_assert_eq!(sel.value(new_row, AttrId(0)), ds.value(orig, AttrId(0)));
+            prop_assert_eq!(sel.value(new_row, AttrId(1)), ds.value(orig, AttrId(1)));
+        }
+    }
+
+    #[test]
+    fn filter_mask_keeps_exactly_true_rows(rows in prop::collection::vec(row_strategy(), 1..30), seed in 0u64..1000) {
+        let ds = build(&rows);
+        let mask: Vec<bool> = (0..ds.n_rows()).map(|i| !(i as u64 + seed).is_multiple_of(3)).collect();
+        let filtered = ds.filter_mask(&mask).unwrap();
+        prop_assert_eq!(filtered.n_rows(), mask.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn missing_counts_match_scan(rows in prop::collection::vec(row_strategy(), 0..40)) {
+        let ds = build(&rows);
+        let by_scan = (0..ds.n_rows())
+            .map(|r| {
+                usize::from(ds.value(r, AttrId(0)).is_missing())
+                    + usize::from(ds.value(r, AttrId(1)).is_missing())
+                    + usize::from(ds.value(r, AttrId(2)).is_missing())
+            })
+            .sum::<usize>();
+        prop_assert_eq!(ds.total_missing(), by_scan);
+    }
+
+    #[test]
+    fn set_value_then_get_round_trips(rows in prop::collection::vec(row_strategy(), 1..20), v in -1e9f64..1e9) {
+        let mut ds = build(&rows);
+        let row = ds.n_rows() - 1;
+        ds.set_value(row, AttrId(0), Value::num(v)).unwrap();
+        prop_assert_eq!(ds.num(row, AttrId(0)), Some(v));
+        ds.set_value(row, AttrId(1), Value::cat("patched")).unwrap();
+        prop_assert_eq!(ds.cat(row, AttrId(1)), Some("patched"));
+    }
+
+    #[test]
+    fn records_reject_wrong_kinds(x in -1e9f64..1e9) {
+        let mut ds = Dataset::new(schema());
+        let mut r = Record::missing(3);
+        r.set(AttrId(1), Value::num(x)).unwrap(); // numeric into categorical
+        prop_assert!(ds.push_record(r).is_err());
+        prop_assert_eq!(ds.n_rows(), 0);
+        // And the dataset stays usable.
+        let mut ok = ds.empty_record();
+        ok.set(AttrId(0), Value::num(x)).unwrap();
+        prop_assert!(ds.push_record(ok).is_ok());
+    }
+}

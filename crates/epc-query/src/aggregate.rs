@@ -1,0 +1,197 @@
+//! Group-by aggregation: the per-area statistics behind choropleth colours
+//! ("each area is colored according to the average value of the considered
+//! variable", §2.3) and cluster-marker labels.
+
+use epc_model::{Dataset, ModelError};
+use epc_stats::quantile::median;
+
+/// Aggregation function over a numeric attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Arithmetic mean.
+    Mean,
+    /// Number of non-missing values.
+    Count,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Median.
+    Median,
+    /// Sample standard deviation.
+    Std,
+}
+
+impl AggFn {
+    /// Applies the aggregate to a dense value slice. `None` when the slice
+    /// is empty (except `Count`, which is 0).
+    pub fn apply(&self, values: &[f64]) -> Option<f64> {
+        match self {
+            AggFn::Count => Some(values.len() as f64),
+            AggFn::Mean => epc_stats::descriptive::mean(values),
+            AggFn::Min => epc_stats::descriptive::min(values),
+            AggFn::Max => epc_stats::descriptive::max(values),
+            AggFn::Median => median(values),
+            AggFn::Std => epc_stats::descriptive::sample_std(values).or(if values.len() == 1 {
+                Some(0.0)
+            } else {
+                None
+            }),
+        }
+    }
+
+    /// Display name used in table headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFn::Mean => "mean",
+            AggFn::Count => "count",
+            AggFn::Min => "min",
+            AggFn::Max => "max",
+            AggFn::Median => "median",
+            AggFn::Std => "std",
+        }
+    }
+}
+
+/// One group's aggregate results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRow {
+    /// The grouping label (e.g. a district name).
+    pub group: String,
+    /// Number of rows in the group (including missing-value rows).
+    pub n_rows: usize,
+    /// One value per requested aggregate (aligned with the input order);
+    /// `None` when the aggregate is undefined for the group.
+    pub values: Vec<Option<f64>>,
+}
+
+/// Groups `ds` by a categorical attribute and aggregates a numeric
+/// attribute with each function in `aggs`. Rows with a missing group label
+/// are collected under `"(missing)"`. Results are sorted by group label.
+pub fn group_by(
+    ds: &Dataset,
+    group_attr: &str,
+    value_attr: &str,
+    aggs: &[AggFn],
+) -> Result<Vec<GroupRow>, ModelError> {
+    let gid = ds.schema().require(group_attr)?;
+    let vid = ds.schema().require(value_attr)?;
+    let mut groups: std::collections::BTreeMap<String, (usize, Vec<f64>)> =
+        std::collections::BTreeMap::new();
+    for row in 0..ds.n_rows() {
+        let label = ds.cat(row, gid).unwrap_or("(missing)").to_owned();
+        let entry = groups.entry(label).or_default();
+        entry.0 += 1;
+        if let Some(x) = ds.num(row, vid) {
+            entry.1.push(x);
+        }
+    }
+    Ok(groups
+        .into_iter()
+        .map(|(group, (n_rows, values))| GroupRow {
+            group,
+            n_rows,
+            values: aggs.iter().map(|a| a.apply(&values)).collect(),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epc_model::{AttrId, AttributeDef, Schema, Value};
+    use std::sync::Arc;
+
+    fn dataset() -> Dataset {
+        let schema = Arc::new(
+            Schema::new(vec![
+                AttributeDef::categorical("district", ""),
+                AttributeDef::numeric("eph", "", ""),
+            ])
+            .unwrap(),
+        );
+        let mut ds = Dataset::new(schema);
+        for (d, e) in [
+            (Some("D1"), Some(100.0)),
+            (Some("D1"), Some(200.0)),
+            (Some("D2"), Some(50.0)),
+            (Some("D2"), None),
+            (None, Some(75.0)),
+        ] {
+            let mut r = ds.empty_record();
+            r.set(AttrId(0), d.map(Value::cat).unwrap_or(Value::Missing))
+                .unwrap();
+            r.set(AttrId(1), Value::from(e)).unwrap();
+            ds.push_record(r).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn mean_per_group() {
+        let rows = group_by(&dataset(), "district", "eph", &[AggFn::Mean]).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Sorted: (missing), D1, D2
+        assert_eq!(rows[0].group, "(missing)");
+        assert_eq!(rows[1].group, "D1");
+        assert_eq!(rows[1].values[0], Some(150.0));
+        assert_eq!(rows[2].group, "D2");
+        assert_eq!(rows[2].values[0], Some(50.0));
+    }
+
+    #[test]
+    fn counts_exclude_missing_values_but_n_rows_does_not() {
+        let rows = group_by(&dataset(), "district", "eph", &[AggFn::Count]).unwrap();
+        let d2 = rows.iter().find(|r| r.group == "D2").unwrap();
+        assert_eq!(d2.n_rows, 2);
+        assert_eq!(d2.values[0], Some(1.0), "one non-missing eph in D2");
+    }
+
+    #[test]
+    fn multiple_aggregates_align() {
+        let rows = group_by(
+            &dataset(),
+            "district",
+            "eph",
+            &[AggFn::Min, AggFn::Max, AggFn::Median, AggFn::Std],
+        )
+        .unwrap();
+        let d1 = rows.iter().find(|r| r.group == "D1").unwrap();
+        assert_eq!(d1.values[0], Some(100.0));
+        assert_eq!(d1.values[1], Some(200.0));
+        assert_eq!(d1.values[2], Some(150.0));
+        assert!((d1.values[3].unwrap() - 70.710678).abs() < 1e-5);
+    }
+
+    #[test]
+    fn std_of_single_value_group_is_zero() {
+        let rows = group_by(&dataset(), "district", "eph", &[AggFn::Std]).unwrap();
+        let d2 = rows.iter().find(|r| r.group == "D2").unwrap();
+        assert_eq!(d2.values[0], Some(0.0));
+    }
+
+    #[test]
+    fn unknown_attributes_error() {
+        assert!(group_by(&dataset(), "nope", "eph", &[AggFn::Mean]).is_err());
+        assert!(group_by(&dataset(), "district", "nope", &[AggFn::Mean]).is_err());
+    }
+
+    #[test]
+    fn agg_fn_names() {
+        assert_eq!(AggFn::Mean.name(), "mean");
+        assert_eq!(AggFn::Count.name(), "count");
+    }
+
+    #[test]
+    fn empty_dataset_gives_no_groups() {
+        let schema = Arc::new(
+            Schema::new(vec![
+                AttributeDef::categorical("g", ""),
+                AttributeDef::numeric("v", "", ""),
+            ])
+            .unwrap(),
+        );
+        let ds = Dataset::new(schema);
+        assert!(group_by(&ds, "g", "v", &[AggFn::Mean]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! The expert-configuration store of §2.1.2.
+//!
+//! "By collecting and storing expert user (e.g., energy scientists) INDICE
+//! configurations, the non-expert users can receive interesting and
+//! effective suggestions to properly deal with noisy data … their choices
+//! are automatically stored as default configurations for non-expert
+//! users."
+//!
+//! The store is keyed by attribute name and generic over the configuration
+//! payload (the `indice` crate instantiates it with its outlier-method
+//! enum). It is thread-safe: dashboards record choices from interactive
+//! sessions while analytics pipelines read suggestions concurrently.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A concurrent, frequency-ranked store of expert configurations.
+#[derive(Debug, Default)]
+pub struct ExpertConfigStore<C>
+where
+    C: Clone + Eq + Hash,
+{
+    // attribute name → (config → times chosen by an expert)
+    by_attribute: RwLock<HashMap<String, HashMap<C, usize>>>,
+}
+
+impl<C> ExpertConfigStore<C>
+where
+    C: Clone + Eq + Hash,
+{
+    /// An empty store.
+    pub fn new() -> Self {
+        ExpertConfigStore {
+            by_attribute: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Records that an expert chose `config` for `attribute`.
+    pub fn record(&self, attribute: &str, config: C) {
+        let mut guard = self.by_attribute.write();
+        *guard
+            .entry(attribute.to_owned())
+            .or_default()
+            .entry(config)
+            .or_insert(0) += 1;
+    }
+
+    /// The configuration most frequently chosen by experts for
+    /// `attribute`, if any — what a non-expert is offered as default.
+    pub fn suggest(&self, attribute: &str) -> Option<C> {
+        let guard = self.by_attribute.read();
+        let counts = guard.get(attribute)?;
+        counts
+            .iter()
+            .max_by_key(|&(_, n)| *n)
+            .map(|(c, _)| c.clone())
+    }
+
+    /// Number of recorded choices for `attribute`.
+    pub fn n_records(&self, attribute: &str) -> usize {
+        self.by_attribute
+            .read()
+            .get(attribute)
+            .map(|m| m.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Attributes with at least one recorded choice, sorted.
+    pub fn attributes(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.by_attribute.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Clears all recorded choices.
+    pub fn clear(&self) {
+        self.by_attribute.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum Method {
+        Boxplot,
+        Gesd,
+        Mad,
+    }
+
+    #[test]
+    fn empty_store_suggests_nothing() {
+        let store: ExpertConfigStore<Method> = ExpertConfigStore::new();
+        assert_eq!(store.suggest("u_windows"), None);
+        assert_eq!(store.n_records("u_windows"), 0);
+        assert!(store.attributes().is_empty());
+    }
+
+    #[test]
+    fn majority_choice_wins() {
+        let store = ExpertConfigStore::new();
+        store.record("u_windows", Method::Gesd);
+        store.record("u_windows", Method::Mad);
+        store.record("u_windows", Method::Gesd);
+        assert_eq!(store.suggest("u_windows"), Some(Method::Gesd));
+        assert_eq!(store.n_records("u_windows"), 3);
+    }
+
+    #[test]
+    fn suggestions_are_per_attribute() {
+        let store = ExpertConfigStore::new();
+        store.record("u_windows", Method::Gesd);
+        store.record("aspect_ratio", Method::Boxplot);
+        assert_eq!(store.suggest("u_windows"), Some(Method::Gesd));
+        assert_eq!(store.suggest("aspect_ratio"), Some(Method::Boxplot));
+        assert_eq!(store.suggest("eta_h"), None);
+        assert_eq!(store.attributes(), vec!["aspect_ratio", "u_windows"]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let store = ExpertConfigStore::new();
+        store.record("x", Method::Mad);
+        store.clear();
+        assert_eq!(store.suggest("x"), None);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe_and_lossless() {
+        let store = Arc::new(ExpertConfigStore::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let m = if t % 2 == 0 { Method::Gesd } else { Method::Mad };
+                    store.record("eph", m);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.n_records("eph"), 800);
+        // 4 threads × 100 each → tie between Gesd and Mad broken by map
+        // iteration; either is acceptable, but the suggestion must exist.
+        assert!(store.suggest("eph").is_some());
+    }
+
+    #[test]
+    fn updated_majority_flips_suggestion() {
+        let store = ExpertConfigStore::new();
+        store.record("x", Method::Boxplot);
+        assert_eq!(store.suggest("x"), Some(Method::Boxplot));
+        store.record("x", Method::Mad);
+        store.record("x", Method::Mad);
+        assert_eq!(store.suggest("x"), Some(Method::Mad));
+    }
+}

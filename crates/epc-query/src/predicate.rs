@@ -1,0 +1,330 @@
+//! A predicate AST over EPC attributes.
+//!
+//! Predicates are written against attribute *names* (what a dashboard's
+//! filter panel produces) and compiled against a concrete schema into
+//! [`BoundPredicate`]s holding attribute ids, so evaluation over 25 000
+//! rows doesn't do string lookups.
+
+use epc_model::{AttrId, Dataset, ModelError, Schema};
+
+/// An unbound predicate over attribute names.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Numeric attribute within `[min, max]` (either bound optional).
+    NumRange {
+        /// Attribute name.
+        attr: String,
+        /// Inclusive lower bound, if any.
+        min: Option<f64>,
+        /// Inclusive upper bound, if any.
+        max: Option<f64>,
+    },
+    /// Categorical attribute equals the label.
+    CatEq {
+        /// Attribute name.
+        attr: String,
+        /// Label to match.
+        value: String,
+    },
+    /// Categorical attribute is one of the labels.
+    CatIn {
+        /// Attribute name.
+        attr: String,
+        /// Accepted labels.
+        values: Vec<String>,
+    },
+    /// The attribute value is missing.
+    IsMissing(String),
+    /// The attribute value is present.
+    IsPresent(String),
+    /// Both sub-predicates hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Either sub-predicate holds.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// The sub-predicate does not hold.
+    Not(Box<Predicate>),
+    /// Always true (neutral element for folds).
+    True,
+}
+
+impl Predicate {
+    /// `attr ∈ [min, max]` helper.
+    pub fn between(attr: &str, min: f64, max: f64) -> Predicate {
+        Predicate::NumRange {
+            attr: attr.to_owned(),
+            min: Some(min),
+            max: Some(max),
+        }
+    }
+
+    /// `attr = value` helper.
+    pub fn eq(attr: &str, value: &str) -> Predicate {
+        Predicate::CatEq {
+            attr: attr.to_owned(),
+            value: value.to_owned(),
+        }
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper.
+    #[allow(clippy::should_implement_trait)] // builder-style, not an operator
+    pub fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Compiles the predicate against a schema, resolving names to ids.
+    pub fn bind(&self, schema: &Schema) -> Result<BoundPredicate, ModelError> {
+        Ok(match self {
+            Predicate::NumRange { attr, min, max } => BoundPredicate::NumRange {
+                attr: schema.require(attr)?,
+                min: *min,
+                max: *max,
+            },
+            Predicate::CatEq { attr, value } => BoundPredicate::CatEq {
+                attr: schema.require(attr)?,
+                value: value.clone(),
+            },
+            Predicate::CatIn { attr, values } => BoundPredicate::CatIn {
+                attr: schema.require(attr)?,
+                values: values.clone(),
+            },
+            Predicate::IsMissing(attr) => BoundPredicate::IsMissing(schema.require(attr)?),
+            Predicate::IsPresent(attr) => BoundPredicate::IsPresent(schema.require(attr)?),
+            Predicate::And(a, b) => {
+                BoundPredicate::And(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
+            }
+            Predicate::Or(a, b) => {
+                BoundPredicate::Or(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
+            }
+            Predicate::Not(p) => BoundPredicate::Not(Box::new(p.bind(schema)?)),
+            Predicate::True => BoundPredicate::True,
+        })
+    }
+}
+
+/// A predicate compiled against a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundPredicate {
+    /// See [`Predicate::NumRange`].
+    NumRange {
+        /// Attribute id.
+        attr: AttrId,
+        /// Inclusive lower bound.
+        min: Option<f64>,
+        /// Inclusive upper bound.
+        max: Option<f64>,
+    },
+    /// See [`Predicate::CatEq`].
+    CatEq {
+        /// Attribute id.
+        attr: AttrId,
+        /// Label to match.
+        value: String,
+    },
+    /// See [`Predicate::CatIn`].
+    CatIn {
+        /// Attribute id.
+        attr: AttrId,
+        /// Accepted labels.
+        values: Vec<String>,
+    },
+    /// See [`Predicate::IsMissing`].
+    IsMissing(AttrId),
+    /// See [`Predicate::IsPresent`].
+    IsPresent(AttrId),
+    /// Conjunction.
+    And(Box<BoundPredicate>, Box<BoundPredicate>),
+    /// Disjunction.
+    Or(Box<BoundPredicate>, Box<BoundPredicate>),
+    /// Negation.
+    Not(Box<BoundPredicate>),
+    /// Always true.
+    True,
+}
+
+impl BoundPredicate {
+    /// Evaluates the predicate on one dataset row.
+    ///
+    /// Missing values make comparison predicates false (three-valued logic
+    /// collapsed to false, as SQL's `WHERE` does).
+    pub fn eval(&self, ds: &Dataset, row: usize) -> bool {
+        match self {
+            BoundPredicate::NumRange { attr, min, max } => match ds.num(row, *attr) {
+                Some(x) => {
+                    min.map(|m| x >= m).unwrap_or(true) && max.map(|m| x <= m).unwrap_or(true)
+                }
+                None => false,
+            },
+            BoundPredicate::CatEq { attr, value } => {
+                ds.cat(row, *attr).map(|s| s == value).unwrap_or(false)
+            }
+            BoundPredicate::CatIn { attr, values } => ds
+                .cat(row, *attr)
+                .map(|s| values.iter().any(|v| v == s))
+                .unwrap_or(false),
+            BoundPredicate::IsMissing(attr) => ds.value(row, *attr).is_missing(),
+            BoundPredicate::IsPresent(attr) => !ds.value(row, *attr).is_missing(),
+            BoundPredicate::And(a, b) => a.eval(ds, row) && b.eval(ds, row),
+            BoundPredicate::Or(a, b) => a.eval(ds, row) || b.eval(ds, row),
+            BoundPredicate::Not(p) => !p.eval(ds, row),
+            BoundPredicate::True => true,
+        }
+    }
+
+    /// Evaluates the predicate over all rows, returning a keep-mask.
+    pub fn mask(&self, ds: &Dataset) -> Vec<bool> {
+        (0..ds.n_rows()).map(|r| self.eval(ds, r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epc_model::{AttributeDef, Value};
+    use std::sync::Arc;
+
+    fn dataset() -> Dataset {
+        let schema = Arc::new(
+            Schema::new(vec![
+                AttributeDef::numeric("eph", "kWh/m2yr", ""),
+                AttributeDef::categorical("category", ""),
+                AttributeDef::numeric("year", "", ""),
+            ])
+            .unwrap(),
+        );
+        let mut ds = Dataset::new(schema);
+        for (eph, cat, year) in [
+            (Some(250.0), Some("E.1.1"), Some(1950.0)),
+            (Some(40.0), Some("E.1.1"), Some(2015.0)),
+            (Some(120.0), Some("E.8"), Some(1980.0)),
+            (None, Some("E.1.1"), Some(2000.0)),
+            (Some(300.0), None, None),
+        ] {
+            let mut r = ds.empty_record();
+            r.set(AttrId(0), Value::from(eph)).unwrap();
+            r.set(AttrId(1), cat.map(Value::cat).unwrap_or(Value::Missing))
+                .unwrap();
+            r.set(AttrId(2), Value::from(year)).unwrap();
+            ds.push_record(r).unwrap();
+        }
+        ds
+    }
+
+    fn rows(p: &Predicate, ds: &Dataset) -> Vec<usize> {
+        let bound = p.bind(ds.schema()).unwrap();
+        bound
+            .mask(ds)
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect()
+    }
+
+    #[test]
+    fn num_range_both_bounds() {
+        let ds = dataset();
+        assert_eq!(rows(&Predicate::between("eph", 100.0, 260.0), &ds), vec![0, 2]);
+    }
+
+    #[test]
+    fn num_range_open_bounds() {
+        let ds = dataset();
+        let p = Predicate::NumRange {
+            attr: "eph".into(),
+            min: Some(200.0),
+            max: None,
+        };
+        assert_eq!(rows(&p, &ds), vec![0, 4]);
+        let p = Predicate::NumRange {
+            attr: "eph".into(),
+            min: None,
+            max: Some(120.0),
+        };
+        assert_eq!(rows(&p, &ds), vec![1, 2]);
+    }
+
+    #[test]
+    fn missing_values_fail_comparisons() {
+        let ds = dataset();
+        // Row 3 has missing eph: excluded from every range.
+        let p = Predicate::NumRange {
+            attr: "eph".into(),
+            min: None,
+            max: None,
+        };
+        assert_eq!(rows(&p, &ds), vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn cat_eq_and_in() {
+        let ds = dataset();
+        assert_eq!(rows(&Predicate::eq("category", "E.1.1"), &ds), vec![0, 1, 3]);
+        let p = Predicate::CatIn {
+            attr: "category".into(),
+            values: vec!["E.8".into(), "E.2".into()],
+        };
+        assert_eq!(rows(&p, &ds), vec![2]);
+    }
+
+    #[test]
+    fn missing_and_present() {
+        let ds = dataset();
+        assert_eq!(rows(&Predicate::IsMissing("category".into()), &ds), vec![4]);
+        assert_eq!(
+            rows(&Predicate::IsPresent("eph".into()), &ds),
+            vec![0, 1, 2, 4]
+        );
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let ds = dataset();
+        // The public-administration case-study filter: E.1.1 and consuming.
+        let p = Predicate::eq("category", "E.1.1").and(Predicate::between("eph", 200.0, 1e9));
+        assert_eq!(rows(&p, &ds), vec![0]);
+
+        let p = Predicate::eq("category", "E.8").or(Predicate::between("year", 2010.0, 2020.0));
+        assert_eq!(rows(&p, &ds), vec![1, 2]);
+
+        let p = Predicate::eq("category", "E.1.1").not();
+        assert_eq!(rows(&p, &ds), vec![2, 4]);
+    }
+
+    #[test]
+    fn true_matches_everything() {
+        let ds = dataset();
+        assert_eq!(rows(&Predicate::True, &ds).len(), 5);
+    }
+
+    #[test]
+    fn unknown_attribute_fails_at_bind() {
+        let ds = dataset();
+        let err = Predicate::eq("nope", "x").bind(ds.schema()).unwrap_err();
+        assert_eq!(err, ModelError::UnknownAttribute("nope".into()));
+        // Nested errors propagate too.
+        let err = Predicate::True
+            .and(Predicate::eq("nope", "x"))
+            .bind(ds.schema())
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownAttribute(_)));
+    }
+
+    #[test]
+    fn de_morgan_consistency() {
+        let ds = dataset();
+        let a = Predicate::eq("category", "E.1.1");
+        let b = Predicate::between("eph", 0.0, 100.0);
+        let lhs = a.clone().and(b.clone()).not();
+        let rhs = a.not().or(b.not());
+        assert_eq!(rows(&lhs, &ds), rows(&rhs, &ds));
+    }
+}

@@ -1,0 +1,158 @@
+//! Filter + projection + limit over a dataset — the selection step that
+//! precedes analytics and visualization.
+
+use crate::predicate::Predicate;
+use epc_model::{Dataset, ModelError};
+use std::fmt;
+
+/// Query-evaluation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// A predicate or projection referenced an unknown attribute.
+    Model(ModelError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Model(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ModelError> for QueryError {
+    fn from(e: ModelError) -> Self {
+        QueryError::Model(e)
+    }
+}
+
+/// A declarative query over an EPC dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Row filter (`Predicate::True` keeps everything).
+    pub filter: Predicate,
+    /// Maximum number of rows returned (`None` = unlimited).
+    pub limit: Option<usize>,
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Query {
+            filter: Predicate::True,
+            limit: None,
+        }
+    }
+}
+
+impl Query {
+    /// A query with just a filter.
+    pub fn filtered(filter: Predicate) -> Self {
+        Query {
+            filter,
+            limit: None,
+        }
+    }
+
+    /// Sets the row limit.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Indices of the rows matching the filter (respecting the limit), in
+    /// dataset order.
+    pub fn matching_rows(&self, ds: &Dataset) -> Result<Vec<usize>, QueryError> {
+        let bound = self.filter.bind(ds.schema())?;
+        let mut rows = Vec::new();
+        for r in 0..ds.n_rows() {
+            if self.limit.map(|l| rows.len() >= l).unwrap_or(false) {
+                break;
+            }
+            if bound.eval(ds, r) {
+                rows.push(r);
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Materializes the result as a new dataset.
+    pub fn run(&self, ds: &Dataset) -> Result<Dataset, QueryError> {
+        let rows = self.matching_rows(ds)?;
+        Ok(ds.select_rows(&rows)?)
+    }
+
+    /// Counts matching rows without materializing.
+    pub fn count(&self, ds: &Dataset) -> Result<usize, QueryError> {
+        Ok(self.matching_rows(ds)?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epc_model::{AttrId, AttributeDef, Schema, Value};
+    use std::sync::Arc;
+
+    fn dataset() -> Dataset {
+        let schema = Arc::new(
+            Schema::new(vec![
+                AttributeDef::numeric("x", "", ""),
+                AttributeDef::categorical("kind", ""),
+            ])
+            .unwrap(),
+        );
+        let mut ds = Dataset::new(schema);
+        for i in 0..20 {
+            let mut r = ds.empty_record();
+            r.set(AttrId(0), Value::num(i as f64)).unwrap();
+            r.set(AttrId(1), Value::cat(if i % 2 == 0 { "even" } else { "odd" }))
+                .unwrap();
+            ds.push_record(r).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn default_query_returns_everything() {
+        let ds = dataset();
+        let out = Query::default().run(&ds).unwrap();
+        assert_eq!(out.n_rows(), 20);
+    }
+
+    #[test]
+    fn filter_and_limit() {
+        let ds = dataset();
+        let q = Query::filtered(Predicate::eq("kind", "even")).with_limit(3);
+        let rows = q.matching_rows(&ds).unwrap();
+        assert_eq!(rows, vec![0, 2, 4]);
+        let out = q.run(&ds).unwrap();
+        assert_eq!(out.n_rows(), 3);
+        assert_eq!(out.num(2, AttrId(0)), Some(4.0));
+    }
+
+    #[test]
+    fn count_matches_run() {
+        let ds = dataset();
+        let q = Query::filtered(Predicate::between("x", 5.0, 9.0));
+        assert_eq!(q.count(&ds).unwrap(), 5);
+        assert_eq!(q.run(&ds).unwrap().n_rows(), 5);
+    }
+
+    #[test]
+    fn bad_attribute_is_reported() {
+        let ds = dataset();
+        let q = Query::filtered(Predicate::eq("ghost", "x"));
+        let err = q.run(&ds).unwrap_err();
+        assert!(matches!(err, QueryError::Model(ModelError::UnknownAttribute(_))));
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn limit_zero_returns_empty() {
+        let ds = dataset();
+        let q = Query::default().with_limit(0);
+        assert_eq!(q.run(&ds).unwrap().n_rows(), 0);
+    }
+}

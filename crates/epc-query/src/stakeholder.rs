@@ -1,0 +1,205 @@
+//! Stakeholder profiles (§2.2.1).
+//!
+//! "Possible stakeholders may be citizens, public administration and energy
+//! scientists. … Based on the target of each stakeholder, the system is
+//! able to automatically propose to the specific end-user an optimal set of
+//! interesting reports and graphical representations."
+
+use epc_model::{wellknown as wk, Granularity};
+use serde::{Deserialize, Serialize};
+
+/// The three stakeholder roles of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stakeholder {
+    /// A citizen exploring where the efficient buildings are (e.g. to buy
+    /// a well-performing flat).
+    Citizen,
+    /// The public administration identifying areas to target with
+    /// renovation incentives.
+    PublicAdministration,
+    /// An energy scientist running benchmarking analyses with supervised
+    /// and unsupervised techniques.
+    EnergyScientist,
+}
+
+impl Stakeholder {
+    /// All roles.
+    pub const ALL: [Stakeholder; 3] = [
+        Stakeholder::Citizen,
+        Stakeholder::PublicAdministration,
+        Stakeholder::EnergyScientist,
+    ];
+
+    /// `true` when the role counts as a domain expert whose configuration
+    /// choices should be recorded as defaults for others (§2.1.2).
+    pub fn is_expert(&self) -> bool {
+        matches!(self, Stakeholder::EnergyScientist)
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stakeholder::Citizen => "citizen",
+            Stakeholder::PublicAdministration => "public administration",
+            Stakeholder::EnergyScientist => "energy scientist",
+        }
+    }
+}
+
+/// The kinds of report a dashboard can contain (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReportKind {
+    /// Choropleth map of an attribute average per area.
+    ChoroplethMap,
+    /// Scatter map of individual certificates.
+    ScatterMap,
+    /// Cluster-marker map (multi-variable aggregated markers).
+    ClusterMarkerMap,
+    /// Frequency-distribution plot.
+    FrequencyDistribution,
+    /// Association-rule table.
+    AssociationRules,
+    /// Correlation matrix.
+    CorrelationMatrix,
+    /// Per-cluster summary table.
+    ClusterSummary,
+    /// Boxplots of the expert-analysis attributes with flagged outliers
+    /// (the "graphic boxplot method" view of §2.1.2).
+    OutlierBoxplots,
+}
+
+/// The report proposal INDICE generates for a stakeholder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportSpec {
+    /// Who this proposal targets.
+    pub stakeholder: Stakeholder,
+    /// Attributes the proposal focuses on.
+    pub attributes: Vec<String>,
+    /// Response variable coloured/analysed against.
+    pub response: String,
+    /// Report kinds to include, in presentation order.
+    pub reports: Vec<ReportKind>,
+    /// Initial spatial granularity of the maps.
+    pub granularity: Granularity,
+}
+
+/// Builds the default proposal for a stakeholder (the paper's automatic
+/// "optimal set of interesting reports"); the user can override any field.
+pub fn default_report_spec(stakeholder: Stakeholder) -> ReportSpec {
+    match stakeholder {
+        // Citizens: where are the efficient buildings? Simple maps and
+        // distributions at neighbourhood level.
+        Stakeholder::Citizen => ReportSpec {
+            stakeholder,
+            attributes: vec![wk::EPH.into(), wk::EPC_CLASS.into(), wk::HEAT_SURFACE.into()],
+            response: wk::EPH.into(),
+            reports: vec![
+                ReportKind::ChoroplethMap,
+                ReportKind::ScatterMap,
+                ReportKind::FrequencyDistribution,
+            ],
+            granularity: Granularity::Neighbourhood,
+        },
+        // PA: the case-study profile — thermo-physical features, clustering
+        // and rules at district level.
+        Stakeholder::PublicAdministration => ReportSpec {
+            stakeholder,
+            attributes: wk::CASE_STUDY_FEATURES.iter().map(|s| s.to_string()).collect(),
+            response: wk::EPH.into(),
+            reports: vec![
+                ReportKind::CorrelationMatrix,
+                ReportKind::ClusterMarkerMap,
+                ReportKind::FrequencyDistribution,
+                ReportKind::AssociationRules,
+                ReportKind::ClusterSummary,
+            ],
+            granularity: Granularity::District,
+        },
+        // Scientists: everything, starting from the full correlation
+        // structure at unit level.
+        Stakeholder::EnergyScientist => ReportSpec {
+            stakeholder,
+            attributes: vec![
+                wk::ASPECT_RATIO.into(),
+                wk::U_OPAQUE.into(),
+                wk::U_WINDOWS.into(),
+                wk::HEAT_SURFACE.into(),
+                wk::ETA_H.into(),
+                wk::ETA_GENERATION.into(),
+                wk::ETA_DISTRIBUTION.into(),
+            ],
+            response: wk::EPH.into(),
+            reports: vec![
+                ReportKind::CorrelationMatrix,
+                ReportKind::OutlierBoxplots,
+                ReportKind::ClusterSummary,
+                ReportKind::AssociationRules,
+                ReportKind::ScatterMap,
+                ReportKind::FrequencyDistribution,
+                ReportKind::ClusterMarkerMap,
+            ],
+            granularity: Granularity::HousingUnit,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_the_scientist_is_expert() {
+        assert!(Stakeholder::EnergyScientist.is_expert());
+        assert!(!Stakeholder::Citizen.is_expert());
+        assert!(!Stakeholder::PublicAdministration.is_expert());
+    }
+
+    #[test]
+    fn pa_profile_matches_the_case_study() {
+        let spec = default_report_spec(Stakeholder::PublicAdministration);
+        assert_eq!(
+            spec.attributes,
+            vec!["aspect_ratio", "u_opaque", "u_windows", "heat_surface", "eta_h"]
+        );
+        assert_eq!(spec.response, "eph");
+        assert_eq!(spec.granularity, Granularity::District);
+        assert!(spec.reports.contains(&ReportKind::ClusterMarkerMap));
+        assert!(spec.reports.contains(&ReportKind::AssociationRules));
+        assert!(spec.reports.contains(&ReportKind::CorrelationMatrix));
+    }
+
+    #[test]
+    fn citizen_profile_is_simpler() {
+        let spec = default_report_spec(Stakeholder::Citizen);
+        assert!(!spec.reports.contains(&ReportKind::AssociationRules));
+        assert!(!spec.reports.contains(&ReportKind::CorrelationMatrix));
+        assert_eq!(spec.granularity, Granularity::Neighbourhood);
+    }
+
+    #[test]
+    fn scientist_profile_is_the_richest() {
+        let c = default_report_spec(Stakeholder::Citizen);
+        let pa = default_report_spec(Stakeholder::PublicAdministration);
+        let s = default_report_spec(Stakeholder::EnergyScientist);
+        assert!(s.reports.len() >= pa.reports.len());
+        assert!(pa.reports.len() > c.reports.len());
+        assert!(s.attributes.len() > pa.attributes.len());
+    }
+
+    #[test]
+    fn every_profile_names_a_response() {
+        for role in Stakeholder::ALL {
+            let spec = default_report_spec(role);
+            assert!(!spec.response.is_empty());
+            assert!(!spec.attributes.is_empty());
+            assert!(!spec.reports.is_empty());
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Stakeholder::Citizen.name(), "citizen");
+        assert_eq!(Stakeholder::PublicAdministration.name(), "public administration");
+        assert_eq!(Stakeholder::EnergyScientist.name(), "energy scientist");
+    }
+}

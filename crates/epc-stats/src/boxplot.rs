@@ -1,0 +1,177 @@
+//! The graphic boxplot (whiskers-plot) outlier method of §2.1.2.
+//!
+//! Following Tukey, values outside `[q1 − k·IQR, q3 + k·IQR]` (k = 1.5 by
+//! default) are flagged. The paper lets the analyst "manually remove the
+//! outliers (the values smaller and greater than the minimum and the
+//! maximum) through value filters" — the fences here are those whisker
+//! extremes.
+
+use crate::descriptive::NumericSummary;
+use crate::quantile::quartiles;
+
+/// Everything a boxplot displays: quartiles, whiskers, and outlier indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxplotSummary {
+    /// First quartile (box bottom).
+    pub q1: f64,
+    /// Median (box line).
+    pub median: f64,
+    /// Third quartile (box top).
+    pub q3: f64,
+    /// Lower fence `q1 − k·IQR`.
+    pub lower_fence: f64,
+    /// Upper fence `q3 + k·IQR`.
+    pub upper_fence: f64,
+    /// Lowest datum inside the fences (lower whisker end).
+    pub whisker_low: f64,
+    /// Highest datum inside the fences (upper whisker end).
+    pub whisker_high: f64,
+    /// Indices (into the input slice) of points outside the fences,
+    /// ascending.
+    pub outliers: Vec<usize>,
+    /// The multiplier `k` used for the fences.
+    pub k: f64,
+}
+
+/// Computes the Tukey fences `[q1 − k·IQR, q3 + k·IQR]`; `None` for empty
+/// input.
+pub fn tukey_fences(data: &[f64], k: f64) -> Option<(f64, f64)> {
+    let (q1, _, q3) = quartiles(data)?;
+    let iqr = q3 - q1;
+    Some((q1 - k * iqr, q3 + k * iqr))
+}
+
+/// Indices of points outside the Tukey fences, ascending. Empty input yields
+/// an empty vector.
+pub fn tukey_outliers(data: &[f64], k: f64) -> Vec<usize> {
+    match tukey_fences(data, k) {
+        None => Vec::new(),
+        Some((lo, hi)) => data
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x < lo || x > hi)
+            .map(|(i, _)| i)
+            .collect(),
+    }
+}
+
+/// Full boxplot summary of `data` with fence multiplier `k`; `None` for
+/// empty input.
+pub fn boxplot_summary(data: &[f64], k: f64) -> Option<BoxplotSummary> {
+    let (q1, median, q3) = quartiles(data)?;
+    let iqr = q3 - q1;
+    let lower_fence = q1 - k * iqr;
+    let upper_fence = q3 + k * iqr;
+    let mut outliers = Vec::new();
+    let mut whisker_low = f64::INFINITY;
+    let mut whisker_high = f64::NEG_INFINITY;
+    for (i, &x) in data.iter().enumerate() {
+        if x < lower_fence || x > upper_fence {
+            outliers.push(i);
+        } else {
+            whisker_low = whisker_low.min(x);
+            whisker_high = whisker_high.max(x);
+        }
+    }
+    // Degenerate case: everything flagged (cannot happen with k ≥ 0 and
+    // finite data, but stay defensive).
+    if !whisker_low.is_finite() {
+        whisker_low = q1;
+        whisker_high = q3;
+    }
+    Some(BoxplotSummary {
+        q1,
+        median,
+        q3,
+        lower_fence,
+        upper_fence,
+        whisker_low,
+        whisker_high,
+        outliers,
+        k,
+    })
+}
+
+/// Convenience: the boxplot summary plus the plain numeric summary, as shown
+/// together in the dashboard's distribution panel.
+pub fn boxplot_with_summary(data: &[f64], k: f64) -> Option<(BoxplotSummary, NumericSummary)> {
+    Some((boxplot_summary(data, k)?, NumericSummary::from_slice(data)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_outliers_in_uniform_data() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(tukey_outliers(&data, 1.5).is_empty());
+    }
+
+    #[test]
+    fn flags_extreme_points_on_both_sides() {
+        let mut data: Vec<f64> = (0..50).map(|i| 10.0 + i as f64 * 0.1).collect();
+        data.push(1000.0); // index 50
+        data.push(-1000.0); // index 51
+        let out = tukey_outliers(&data, 1.5);
+        assert_eq!(out, vec![50, 51]);
+    }
+
+    #[test]
+    fn larger_k_flags_fewer_points() {
+        let mut data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+        data.push(9.0);
+        data.push(12.0);
+        let strict = tukey_outliers(&data, 1.0);
+        let loose = tukey_outliers(&data, 3.0);
+        assert!(loose.len() <= strict.len());
+        for i in &loose {
+            assert!(strict.contains(i), "k=3 outliers must be a subset of k=1");
+        }
+    }
+
+    #[test]
+    fn fences_match_hand_computation() {
+        // data 1..=8: q1 = 2.75, q3 = 6.25, IQR = 3.5 (type-7)
+        let data: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+        let (lo, hi) = tukey_fences(&data, 1.5).unwrap();
+        assert!((lo - (2.75 - 5.25)).abs() < 1e-12);
+        assert!((hi - (6.25 + 5.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_whiskers_are_inside_fences() {
+        let mut data: Vec<f64> = (0..60).map(|i| (i % 10) as f64).collect();
+        data.push(100.0);
+        let s = boxplot_summary(&data, 1.5).unwrap();
+        assert!(s.whisker_low >= s.lower_fence);
+        assert!(s.whisker_high <= s.upper_fence);
+        assert!(s.q1 <= s.median && s.median <= s.q3);
+        assert_eq!(s.outliers, vec![60]);
+        assert_eq!(s.k, 1.5);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(tukey_fences(&[], 1.5), None);
+        assert!(tukey_outliers(&[], 1.5).is_empty());
+        assert!(boxplot_summary(&[], 1.5).is_none());
+    }
+
+    #[test]
+    fn constant_data_has_no_outliers() {
+        let data = [5.0; 20];
+        assert!(tukey_outliers(&data, 1.5).is_empty());
+        let s = boxplot_summary(&data, 1.5).unwrap();
+        assert_eq!(s.whisker_low, 5.0);
+        assert_eq!(s.whisker_high, 5.0);
+    }
+
+    #[test]
+    fn with_summary_combines_both() {
+        let data: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let (b, n) = boxplot_with_summary(&data, 1.5).unwrap();
+        assert_eq!(b.median, n.median);
+        assert_eq!(n.count, 10);
+    }
+}

@@ -1,0 +1,272 @@
+//! Pearson correlation and correlation matrices (§2.3, Figure 3).
+//!
+//! INDICE computes the correlation plot matrix before clustering "to reduce
+//! the complexity of the analysis and remove correlated attributes"; a
+//! feature set is "eligible for the analytic task" when no pair shows an
+//! evident linear correlation.
+
+/// Covariance of two equally long slices (sample, n−1); `None` when `n < 2`
+/// or lengths differ.
+pub fn covariance(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let s: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    Some(s / (n - 1.0))
+}
+
+/// Pearson correlation coefficient ρ(x, y) ∈ [−1, 1].
+///
+/// Returns `None` when lengths differ, `n < 2`, or either variable is
+/// constant (undefined correlation).
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    // Clamp to [-1, 1] against floating-point drift.
+    Some((sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0))
+}
+
+/// A symmetric correlation matrix over named variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelationMatrix {
+    /// Variable names, in column order.
+    pub names: Vec<String>,
+    /// Row-major ρ values; `NaN` marks undefined pairs (constant columns).
+    pub values: Vec<f64>,
+}
+
+impl CorrelationMatrix {
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when the matrix has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// ρ between variables `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.names.len() + j]
+    }
+
+    /// The strongest absolute off-diagonal correlation, with its pair —
+    /// `None` when fewer than two variables or all pairs undefined.
+    pub fn max_abs_off_diagonal(&self) -> Option<(usize, usize, f64)> {
+        let n = self.len();
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = self.get(i, j);
+                if v.is_nan() {
+                    continue;
+                }
+                if best.map(|(_, _, b)| v.abs() > b.abs()).unwrap_or(true) {
+                    best = Some((i, j, v));
+                }
+            }
+        }
+        best
+    }
+
+    /// The paper's eligibility check: `true` when every defined off-diagonal
+    /// |ρ| is below `threshold` — "when the selected set of attributes has
+    /// no evident linear correlation, it is eligible for the analytic task".
+    pub fn eligible_for_analytics(&self, threshold: f64) -> bool {
+        match self.max_abs_off_diagonal() {
+            Some((_, _, v)) => v.abs() < threshold,
+            None => true,
+        }
+    }
+
+    /// Pairs with |ρ| ≥ `threshold`, strongest first — the attributes the
+    /// analyst should drop before clustering.
+    pub fn correlated_pairs(&self, threshold: f64) -> Vec<(String, String, f64)> {
+        let n = self.len();
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = self.get(i, j);
+                if !v.is_nan() && v.abs() >= threshold {
+                    pairs.push((self.names[i].clone(), self.names[j].clone(), v));
+                }
+            }
+        }
+        pairs.sort_by(|a, b| b.2.abs().partial_cmp(&a.2.abs()).unwrap());
+        pairs
+    }
+}
+
+/// Builds the correlation matrix of several named columns.
+///
+/// Columns must all have the same length; rows where *any* column is NaN
+/// are dropped pairwise-complete style (per pair). Undefined correlations
+/// (constant columns) become NaN cells; the diagonal is always 1.
+pub fn correlation_matrix(names: &[&str], columns: &[&[f64]]) -> CorrelationMatrix {
+    assert_eq!(names.len(), columns.len(), "one name per column");
+    let n = names.len();
+    let mut values = vec![f64::NAN; n * n];
+    for i in 0..n {
+        values[i * n + i] = 1.0;
+        for j in (i + 1)..n {
+            // Pairwise-complete: keep rows where both entries are finite.
+            let (xs, ys): (Vec<f64>, Vec<f64>) = columns[i]
+                .iter()
+                .zip(columns[j])
+                .filter(|(a, b)| a.is_finite() && b.is_finite())
+                .map(|(a, b)| (*a, *b))
+                .unzip();
+            let rho = pearson(&xs, &ys).unwrap_or(f64::NAN);
+            values[i * n + j] = rho;
+            values[j * n + i] = rho;
+        }
+    }
+    CorrelationMatrix {
+        names: names.iter().map(|s| s.to_string()).collect(),
+        values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_is_undefined() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&x, &y), None);
+        assert_eq!(pearson(&y, &x), None);
+    }
+
+    #[test]
+    fn mismatched_or_tiny_inputs() {
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None);
+        assert_eq!(covariance(&[1.0], &[2.0]), None);
+    }
+
+    #[test]
+    fn covariance_hand_example() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 6.0, 8.0];
+        // cov = Σ(dx·dy)/(n−1) = (1·2 + 0 + 1·2)/2 = 2
+        assert!((covariance(&x, &y).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_bounded() {
+        let x = [0.3, 1.7, 2.2, 5.0, 3.1, 0.9];
+        let y = [1.0, 0.2, 3.3, 2.8, 2.9, 1.1];
+        let a = pearson(&x, &y).unwrap();
+        let b = pearson(&y, &x).unwrap();
+        assert!((a - b).abs() < 1e-15);
+        assert!((-1.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn pearson_invariant_to_affine_transform() {
+        let x = [0.3, 1.7, 2.2, 5.0, 3.1, 0.9];
+        let y = [1.0, 0.2, 3.3, 2.8, 2.9, 1.1];
+        let y2: Vec<f64> = y.iter().map(|v| 3.0 * v + 10.0).collect();
+        let a = pearson(&x, &y).unwrap();
+        let b = pearson(&x, &y2).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_diagonal_and_symmetry() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 1.0, 4.0, 3.0, 6.0];
+        let c = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let m = correlation_matrix(&["a", "b", "c"], &[&a, &b, &c]);
+        assert_eq!(m.len(), 3);
+        for i in 0..3 {
+            assert_eq!(m.get(i, i), 1.0);
+            for j in 0..3 {
+                assert_eq!(m.get(i, j).to_bits(), m.get(j, i).to_bits());
+            }
+        }
+        // a vs c is perfectly anti-correlated
+        assert!((m.get(0, 2) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_complete_drops_nan_rows() {
+        let a = [1.0, 2.0, f64::NAN, 4.0, 5.0];
+        let b = [2.0, 4.0, 100.0, 8.0, 10.0];
+        let m = correlation_matrix(&["a", "b"], &[&a, &b]);
+        assert!((m.get(0, 1) - 1.0).abs() < 1e-12, "NaN row must be ignored");
+    }
+
+    #[test]
+    fn eligibility_threshold() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let m = correlation_matrix(&["a", "b"], &[&a, &b]);
+        assert!(!m.eligible_for_analytics(0.9));
+        let c = [1.0, -1.0, 2.0, -3.0];
+        let m2 = correlation_matrix(&["a", "c"], &[&a, &c]);
+        assert!(m2.eligible_for_analytics(0.95));
+    }
+
+    #[test]
+    fn correlated_pairs_sorted_by_strength() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.1, 2.0, 2.9, 4.2, 5.0]; // near-perfect with a
+        let c = [5.0, 4.1, 3.0, 1.9, 1.0]; // near-perfect negative with a
+        let m = correlation_matrix(&["a", "b", "c"], &[&a, &b, &c]);
+        let pairs = m.correlated_pairs(0.9);
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs[0].2.abs() >= pairs[1].2.abs());
+        assert!(pairs[1].2.abs() >= pairs[2].2.abs());
+    }
+
+    #[test]
+    fn constant_column_in_matrix_is_nan_but_diagonal_one() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 2.0, 3.0];
+        let m = correlation_matrix(&["const", "b"], &[&a, &b]);
+        assert!(m.get(0, 1).is_nan());
+        assert_eq!(m.get(0, 0), 1.0);
+        assert!(m.eligible_for_analytics(0.5), "undefined pairs don't block");
+        assert_eq!(m.max_abs_off_diagonal(), None);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = correlation_matrix(&[], &[]);
+        assert!(m.is_empty());
+        assert!(m.eligible_for_analytics(0.5));
+    }
+}

@@ -1,0 +1,128 @@
+//! Frequency tables for categorical attributes.
+//!
+//! §2.3: "for categorical attributes, the count, the most common value's
+//! frequency (i.e., mode) and the top-k frequent values are reported."
+
+use std::collections::HashMap;
+
+/// One entry of a categorical frequency table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreqEntry {
+    /// The category label.
+    pub label: String,
+    /// Number of occurrences.
+    pub count: usize,
+}
+
+/// The categorical summary the dashboards display.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CategoricalSummary {
+    /// Number of non-missing values.
+    pub count: usize,
+    /// Number of distinct labels.
+    pub distinct: usize,
+    /// The most common label (ties broken lexicographically).
+    pub mode: String,
+    /// Occurrences of the mode.
+    pub mode_count: usize,
+    /// The `k` most frequent labels, descending by count (ties broken
+    /// lexicographically for determinism).
+    pub top_k: Vec<FreqEntry>,
+}
+
+/// Full frequency table of `labels`, descending by count then label.
+pub fn frequency_table<'a, I>(labels: I) -> Vec<FreqEntry>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    let mut entries: Vec<FreqEntry> = counts
+        .into_iter()
+        .map(|(label, count)| FreqEntry {
+            label: label.to_owned(),
+            count,
+        })
+        .collect();
+    entries.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.label.cmp(&b.label)));
+    entries
+}
+
+/// Summarizes categorical data, keeping the `k` most frequent labels.
+/// Returns `None` for empty input.
+pub fn categorical_summary<'a, I>(labels: I, k: usize) -> Option<CategoricalSummary>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let table = frequency_table(labels);
+    let first = table.first()?;
+    let count = table.iter().map(|e| e.count).sum();
+    Some(CategoricalSummary {
+        count,
+        distinct: table.len(),
+        mode: first.label.clone(),
+        mode_count: first.count,
+        top_k: table.into_iter().take(k).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_desc_then_lexicographic() {
+        let data = ["b", "a", "b", "c", "a", "b"];
+        let t = frequency_table(data.iter().copied());
+        assert_eq!(t[0], FreqEntry { label: "b".into(), count: 3 });
+        assert_eq!(t[1], FreqEntry { label: "a".into(), count: 2 });
+        assert_eq!(t[2], FreqEntry { label: "c".into(), count: 1 });
+    }
+
+    #[test]
+    fn ties_break_lexicographically() {
+        let data = ["z", "a", "z", "a"];
+        let t = frequency_table(data.iter().copied());
+        assert_eq!(t[0].label, "a");
+        assert_eq!(t[1].label, "z");
+    }
+
+    #[test]
+    fn summary_reports_mode_and_top_k() {
+        let data = ["E.1.1"; 10]
+            .iter()
+            .copied()
+            .chain(["E.8"; 3])
+            .chain(["E.2"; 5])
+            .collect::<Vec<_>>();
+        let s = categorical_summary(data.iter().copied(), 2).unwrap();
+        assert_eq!(s.count, 18);
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.mode, "E.1.1");
+        assert_eq!(s.mode_count, 10);
+        assert_eq!(s.top_k.len(), 2);
+        assert_eq!(s.top_k[1].label, "E.2");
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        assert!(categorical_summary(std::iter::empty(), 3).is_none());
+        assert!(frequency_table(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_distinct_is_fine() {
+        let s = categorical_summary(["x", "y"], 10).unwrap();
+        assert_eq!(s.top_k.len(), 2);
+    }
+
+    #[test]
+    fn single_label() {
+        let s = categorical_summary(std::iter::repeat_n("only", 7), 3).unwrap();
+        assert_eq!(s.mode, "only");
+        assert_eq!(s.mode_count, 7);
+        assert_eq!(s.distinct, 1);
+    }
+}

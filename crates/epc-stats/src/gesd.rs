@@ -1,0 +1,227 @@
+//! The parametric generalized Extreme Studentized Deviate (gESD) test of
+//! Rosner (1983), the second univariate outlier method of §2.1.2.
+//!
+//! Given an upper bound `k` on the number of potential outliers, the test
+//! performs `k` sequential ESD tests; "the number of outliers is determined
+//! by finding the largest value r (with r ≤ k) such that the corresponding
+//! test gives a value higher than the critical one" — exactly what
+//! [`gesd_outliers`] implements.
+
+use crate::descriptive::{mean, sample_std};
+use crate::special::t_quantile;
+
+/// One step of the sequential ESD test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GesdStep {
+    /// 1-based step index `i`.
+    pub i: usize,
+    /// Test statistic `R_i = max |x − mean| / s` on the remaining data.
+    pub r: f64,
+    /// Critical value `λ_i` at the configured significance level.
+    pub lambda: f64,
+    /// Index (into the original slice) of the most extreme point at this
+    /// step.
+    pub candidate: usize,
+}
+
+/// Full report of a gESD run: the per-step table and the resulting outliers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GesdReport {
+    /// All `k` steps, in order.
+    pub steps: Vec<GesdStep>,
+    /// Number of outliers found (largest `r` with `R_r > λ_r`).
+    pub n_outliers: usize,
+    /// Indices of the outliers in the original slice (the first
+    /// `n_outliers` candidates), ascending.
+    pub outliers: Vec<usize>,
+    /// Significance level used.
+    pub alpha: f64,
+}
+
+/// Critical value `λ_i` of the ESD test (Rosner 1983).
+///
+/// `n` is the original sample size, `i` is the 1-based step, `alpha` the
+/// significance level.
+pub fn gesd_lambda(n: usize, i: usize, alpha: f64) -> f64 {
+    let n = n as f64;
+    let i = i as f64;
+    let p = 1.0 - alpha / (2.0 * (n - i + 1.0));
+    let df = n - i - 1.0;
+    if df <= 0.0 {
+        return f64::INFINITY;
+    }
+    let t = t_quantile(p, df);
+    ((n - i) * t) / ((df + t * t) * (n - i + 1.0)).sqrt()
+}
+
+/// Runs the gESD test on `data` for at most `k` outliers at significance
+/// `alpha` (0.05 is the customary default).
+///
+/// Returns `None` when the sample is too small to test (`n < 3` or
+/// `k == 0`). NaN values must be filtered out by the caller.
+pub fn gesd_test(data: &[f64], k: usize, alpha: f64) -> Option<GesdReport> {
+    let n = data.len();
+    if n < 3 || k == 0 {
+        return None;
+    }
+    let k = k.min(n - 2); // need at least 2 points left for the statistic
+    let mut remaining: Vec<(usize, f64)> = data.iter().copied().enumerate().collect();
+    let mut steps = Vec::with_capacity(k);
+
+    for i in 1..=k {
+        let values: Vec<f64> = remaining.iter().map(|&(_, x)| x).collect();
+        let m = mean(&values)?;
+        let s = sample_std(&values)?;
+        if s == 0.0 {
+            // Constant remainder: no further outliers distinguishable.
+            break;
+        }
+        let (pos, &(orig_idx, x)) = remaining
+            .iter()
+            .enumerate()
+            .max_by(|(_, (_, a)), (_, (_, b))| {
+                ((a - m).abs())
+                    .partial_cmp(&(b - m).abs())
+                    .expect("NaN in gESD input")
+            })?;
+        let r = (x - m).abs() / s;
+        let lambda = gesd_lambda(n, i, alpha);
+        steps.push(GesdStep {
+            i,
+            r,
+            lambda,
+            candidate: orig_idx,
+        });
+        remaining.swap_remove(pos);
+    }
+
+    let n_outliers = steps
+        .iter()
+        .rev()
+        .find(|st| st.r > st.lambda)
+        .map(|st| st.i)
+        .unwrap_or(0);
+    let mut outliers: Vec<usize> = steps[..n_outliers].iter().map(|s| s.candidate).collect();
+    outliers.sort_unstable();
+    Some(GesdReport {
+        steps,
+        n_outliers,
+        outliers,
+        alpha,
+    })
+}
+
+/// Indices of gESD outliers (empty when the test cannot run).
+pub fn gesd_outliers(data: &[f64], k: usize, alpha: f64) -> Vec<usize> {
+    gesd_test(data, k, alpha)
+        .map(|r| r.outliers)
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rosner's classic example dataset (NIST e-handbook §1.3.5.17.3):
+    /// 54 values, gESD with k = 10, α = 0.05 finds exactly 3 outliers.
+    fn rosner_data() -> Vec<f64> {
+        vec![
+            -0.25, 0.68, 0.94, 1.15, 1.20, 1.26, 1.26, 1.34, 1.38, 1.43, 1.49, 1.49, 1.55, 1.56,
+            1.58, 1.65, 1.69, 1.70, 1.76, 1.77, 1.81, 1.91, 1.94, 1.96, 1.99, 2.06, 2.09, 2.10,
+            2.14, 2.15, 2.23, 2.24, 2.26, 2.35, 2.37, 2.40, 2.47, 2.54, 2.62, 2.64, 2.90, 2.92,
+            2.92, 2.93, 3.21, 3.26, 3.30, 3.59, 3.68, 4.30, 4.64, 5.34, 5.42, 6.01,
+        ]
+    }
+
+    #[test]
+    fn nist_reference_case_finds_three_outliers() {
+        let data = rosner_data();
+        let report = gesd_test(&data, 10, 0.05).unwrap();
+        assert_eq!(report.n_outliers, 3, "NIST reference: 3 outliers");
+        // The three largest values (6.01, 5.42, 5.34) are the outliers.
+        let mut flagged: Vec<f64> = report.outliers.iter().map(|&i| data[i]).collect();
+        flagged.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(flagged, vec![5.34, 5.42, 6.01]);
+    }
+
+    #[test]
+    fn nist_reference_statistics() {
+        // NIST: R1 = 3.118, λ1 = 3.158; R3 = 3.179, λ3 = 3.144
+        let report = gesd_test(&rosner_data(), 10, 0.05).unwrap();
+        assert!((report.steps[0].r - 3.118).abs() < 5e-3, "R1 = {}", report.steps[0].r);
+        assert!((report.steps[0].lambda - 3.158).abs() < 5e-3);
+        assert!((report.steps[2].r - 3.179).abs() < 5e-3);
+        assert!((report.steps[2].lambda - 3.144).abs() < 5e-3);
+    }
+
+    #[test]
+    fn clean_gaussianish_data_has_no_outliers() {
+        // Deterministic low-discrepancy "gaussian-ish" sample.
+        let data: Vec<f64> = (0..200)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / 200.0;
+                // inverse-ish sigmoid spread, bounded
+                (u / (1.0 - u)).ln()
+            })
+            .collect();
+        let report = gesd_test(&data, 5, 0.05).unwrap();
+        assert_eq!(report.n_outliers, 0, "steps: {:?}", report.steps);
+    }
+
+    #[test]
+    fn single_spike_is_found() {
+        let mut data: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64 / 100.0).collect();
+        data[42] = 50.0;
+        let out = gesd_outliers(&data, 5, 0.05);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn k_caps_detection() {
+        let mut data: Vec<f64> = (0..100).map(|i| ((i * 17) % 100) as f64 / 100.0).collect();
+        data[0] = 100.0;
+        data[1] = -100.0;
+        data[2] = 90.0;
+        let out = gesd_outliers(&data, 2, 0.05);
+        assert_eq!(out.len(), 2, "k = 2 bounds the number of outliers");
+    }
+
+    #[test]
+    fn too_small_samples_are_rejected() {
+        assert!(gesd_test(&[1.0, 2.0], 1, 0.05).is_none());
+        assert!(gesd_test(&[], 3, 0.05).is_none());
+        assert!(gesd_test(&[1.0, 2.0, 3.0], 0, 0.05).is_none());
+        assert!(gesd_outliers(&[1.0], 3, 0.05).is_empty());
+    }
+
+    #[test]
+    fn constant_data_yields_no_outliers() {
+        let data = [3.0; 30];
+        let report = gesd_test(&data, 5, 0.05).unwrap();
+        assert_eq!(report.n_outliers, 0);
+        assert!(report.steps.is_empty());
+    }
+
+    #[test]
+    fn outlier_indices_are_sorted_and_unique() {
+        let mut data: Vec<f64> = (0..60).map(|i| (i % 7) as f64).collect();
+        data[10] = 500.0;
+        data[55] = -400.0;
+        data[3] = 450.0;
+        let out = gesd_outliers(&data, 6, 0.05);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(out, sorted);
+        assert!(out.contains(&10) && out.contains(&55) && out.contains(&3));
+    }
+
+    #[test]
+    fn lambda_decreases_with_step() {
+        // For fixed n and alpha, λ_i decreases as i grows (fewer points).
+        let l: Vec<f64> = (1..=10).map(|i| gesd_lambda(54, i, 0.05)).collect();
+        for w in l.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Histograms for the frequency-distribution plots of §2.3.
+
+/// One histogram bin `[lo, hi)` (the last bin is closed on both sides).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramBin {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge (inclusive for the last bin).
+    pub hi: f64,
+    /// Number of points in the bin.
+    pub count: usize,
+}
+
+/// An equal-width histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// The bins, in ascending order.
+    pub bins: Vec<HistogramBin>,
+    /// Total number of points binned.
+    pub total: usize,
+}
+
+impl Histogram {
+    /// Builds an equal-width histogram with `n_bins` bins spanning the data
+    /// range. Returns `None` for empty input or `n_bins == 0`.
+    pub fn equal_width(data: &[f64], n_bins: usize) -> Option<Histogram> {
+        if data.is_empty() || n_bins == 0 {
+            return None;
+        }
+        let lo = data.iter().copied().reduce(f64::min)?;
+        let hi = data.iter().copied().reduce(f64::max)?;
+        let width = if hi > lo {
+            (hi - lo) / n_bins as f64
+        } else {
+            1.0 // degenerate: all values equal — single logical bin
+        };
+        let mut bins: Vec<HistogramBin> = (0..n_bins)
+            .map(|i| HistogramBin {
+                lo: lo + i as f64 * width,
+                hi: lo + (i + 1) as f64 * width,
+                count: 0,
+            })
+            .collect();
+        for &x in data {
+            let mut idx = ((x - lo) / width).floor() as usize;
+            if idx >= n_bins {
+                idx = n_bins - 1; // the max lands in the last (closed) bin
+            }
+            bins[idx].count += 1;
+        }
+        Some(Histogram {
+            bins,
+            total: data.len(),
+        })
+    }
+
+    /// Builds a histogram with an automatic bin count: the Freedman–Diaconis
+    /// rule, falling back to Sturges when the IQR is zero, clamped to
+    /// `[1, 100]` bins.
+    pub fn auto(data: &[f64]) -> Option<Histogram> {
+        if data.is_empty() {
+            return None;
+        }
+        let n = data.len() as f64;
+        let (q1, _, q3) = crate::quantile::quartiles(data)?;
+        let iqr = q3 - q1;
+        let lo = data.iter().copied().reduce(f64::min)?;
+        let hi = data.iter().copied().reduce(f64::max)?;
+        let range = hi - lo;
+        let n_bins = if iqr > 0.0 && range > 0.0 {
+            let width = 2.0 * iqr / n.cbrt();
+            (range / width).ceil() as usize
+        } else {
+            // Sturges
+            (n.log2().ceil() as usize) + 1
+        };
+        Self::equal_width(data, n_bins.clamp(1, 100))
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The tallest bin's count (0 for an empty histogram).
+    pub fn max_count(&self) -> usize {
+        self.bins.iter().map(|b| b.count).max().unwrap_or(0)
+    }
+
+    /// Relative frequencies (count / total) per bin.
+    pub fn frequencies(&self) -> Vec<f64> {
+        self.bins
+            .iter()
+            .map(|b| b.count as f64 / self.total.max(1) as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sum_to_total() {
+        let data: Vec<f64> = (0..500).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let h = Histogram::equal_width(&data, 17).unwrap();
+        assert_eq!(h.bins.iter().map(|b| b.count).sum::<usize>(), 500);
+        assert_eq!(h.total, 500);
+        assert_eq!(h.n_bins(), 17);
+    }
+
+    #[test]
+    fn edges_are_contiguous_and_cover_range() {
+        let data = [1.0, 2.0, 3.5, 9.0];
+        let h = Histogram::equal_width(&data, 4).unwrap();
+        assert_eq!(h.bins[0].lo, 1.0);
+        assert!((h.bins[3].hi - 9.0).abs() < 1e-12);
+        for w in h.bins.windows(2) {
+            assert!((w[0].hi - w[1].lo).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bin() {
+        let data = [0.0, 10.0];
+        let h = Histogram::equal_width(&data, 5).unwrap();
+        assert_eq!(h.bins[4].count, 1);
+        assert_eq!(h.bins[0].count, 1);
+    }
+
+    #[test]
+    fn uniform_data_fills_bins_evenly() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64 / 10.0).collect();
+        let h = Histogram::equal_width(&data, 10).unwrap();
+        for b in &h.bins {
+            assert_eq!(b.count, 100);
+        }
+    }
+
+    #[test]
+    fn constant_data_single_logical_bin() {
+        let data = [3.0; 42];
+        let h = Histogram::equal_width(&data, 5).unwrap();
+        assert_eq!(h.bins[0].count, 42);
+        assert_eq!(h.bins.iter().map(|b| b.count).sum::<usize>(), 42);
+    }
+
+    #[test]
+    fn empty_and_zero_bins_rejected() {
+        assert!(Histogram::equal_width(&[], 5).is_none());
+        assert!(Histogram::equal_width(&[1.0], 0).is_none());
+        assert!(Histogram::auto(&[]).is_none());
+    }
+
+    #[test]
+    fn auto_picks_reasonable_bin_count() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 31) % 997) as f64).collect();
+        let h = Histogram::auto(&data).unwrap();
+        assert!(h.n_bins() >= 2 && h.n_bins() <= 100, "got {}", h.n_bins());
+        assert_eq!(h.total, 1000);
+    }
+
+    #[test]
+    fn auto_handles_zero_iqr() {
+        // 90% identical values → IQR = 0 → Sturges fallback.
+        let mut data = vec![5.0; 90];
+        data.extend((0..10).map(|i| i as f64));
+        let h = Histogram::auto(&data).unwrap();
+        assert!(h.n_bins() >= 1);
+        assert_eq!(h.bins.iter().map(|b| b.count).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let data: Vec<f64> = (0..64).map(|i| (i % 8) as f64).collect();
+        let h = Histogram::equal_width(&data, 8).unwrap();
+        let s: f64 = h.frequencies().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        // Each of the 8 distinct values falls in its own bin, 8 points each.
+        assert_eq!(h.max_count(), 8);
+    }
+}

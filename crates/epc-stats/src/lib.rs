@@ -1,0 +1,36 @@
+//! # epc-stats
+//!
+//! Statistics substrate for the INDICE reproduction: descriptive statistics,
+//! the three univariate outlier-detection methods of §2.1.2 of the paper
+//! (Tukey boxplot, generalized ESD, MAD modified z-score), Pearson
+//! correlation matrices (§2.3, Figure 3), and the frequency-distribution
+//! summaries the dashboards display.
+//!
+//! Everything here is implemented from scratch on `f64` slices — including
+//! the Student-t quantile function the gESD test needs (log-gamma +
+//! regularized incomplete beta + bisection).
+//!
+//! ```
+//! use epc_stats::boxplot::tukey_outliers;
+//! let data = [1.0, 2.0, 2.5, 3.0, 2.2, 1.8, 50.0];
+//! let outliers = tukey_outliers(&data, 1.5);
+//! assert_eq!(outliers, vec![6]); // index of the 50.0
+//! ```
+
+pub mod boxplot;
+pub mod correlation;
+pub mod descriptive;
+pub mod freq;
+pub mod gesd;
+pub mod histogram;
+pub mod mad;
+pub mod quantile;
+pub mod special;
+
+pub use boxplot::{tukey_fences, tukey_outliers, BoxplotSummary};
+pub use correlation::{correlation_matrix, pearson, CorrelationMatrix};
+pub use descriptive::{mean, sample_std, sample_var, NumericSummary};
+pub use gesd::{gesd_outliers, GesdReport};
+pub use histogram::{Histogram, HistogramBin};
+pub use mad::{mad, mad_outliers, modified_z_scores};
+pub use quantile::{median, quantile, quartiles};

@@ -1,0 +1,143 @@
+//! The non-parametric Median Absolute Deviation (MAD) outlier method of
+//! §2.1.2 — the third univariate technique INDICE integrates.
+//!
+//! Following Iglewicz & Hoaglin (1993), the modified z-score is
+//! `M_i = 0.6745 · (x_i − median) / MAD`, and "every point with a score
+//! above 3.5 is considered an outlier" — the cut-off the paper adopts.
+
+use crate::quantile::median;
+
+/// The consistency constant making MAD comparable to the standard deviation
+/// for normal data (`Φ⁻¹(0.75) ≈ 0.6745`).
+pub const MAD_CONSISTENCY: f64 = 0.6745;
+
+/// The paper's cut-off on the absolute modified z-score.
+pub const DEFAULT_CUTOFF: f64 = 3.5;
+
+/// Median absolute deviation from the median; `None` for empty input.
+pub fn mad(data: &[f64]) -> Option<f64> {
+    let med = median(data)?;
+    let deviations: Vec<f64> = data.iter().map(|x| (x - med).abs()).collect();
+    median(&deviations)
+}
+
+/// Modified z-scores `0.6745 · (x − median) / MAD` for every point.
+///
+/// When the MAD is zero (more than half the data identical), scores are 0
+/// for points equal to the median and ±∞ otherwise, so equality-heavy data
+/// still flags genuinely different points.
+pub fn modified_z_scores(data: &[f64]) -> Vec<f64> {
+    let Some(med) = median(data) else {
+        return Vec::new();
+    };
+    let m = mad(data).unwrap_or(0.0);
+    data.iter()
+        .map(|&x| {
+            let dev = x - med;
+            if m == 0.0 {
+                if dev == 0.0 {
+                    0.0
+                } else {
+                    dev.signum() * f64::INFINITY
+                }
+            } else {
+                MAD_CONSISTENCY * dev / m
+            }
+        })
+        .collect()
+}
+
+/// Indices of points whose |modified z-score| exceeds `cutoff`
+/// ([`DEFAULT_CUTOFF`] = 3.5 in the paper), ascending.
+pub fn mad_outliers(data: &[f64], cutoff: f64) -> Vec<usize> {
+    modified_z_scores(data)
+        .into_iter()
+        .enumerate()
+        .filter(|(_, z)| z.abs() > cutoff)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mad_hand_example() {
+        // data = [1, 1, 2, 2, 4, 6, 9]; median = 2; |dev| = [1,1,0,0,2,4,7];
+        // median of deviations = 1.
+        let data = [1.0, 1.0, 2.0, 2.0, 4.0, 6.0, 9.0];
+        assert_eq!(mad(&data), Some(1.0));
+    }
+
+    #[test]
+    fn mad_empty() {
+        assert_eq!(mad(&[]), None);
+        assert!(modified_z_scores(&[]).is_empty());
+    }
+
+    #[test]
+    fn scores_are_zero_at_median() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let z = modified_z_scores(&data);
+        assert_eq!(z[2], 0.0);
+        assert!(z[0] < 0.0 && z[4] > 0.0);
+        assert!((z[0] + z[4]).abs() < 1e-12, "symmetric data → symmetric scores");
+    }
+
+    #[test]
+    fn spike_is_flagged_at_default_cutoff() {
+        let mut data: Vec<f64> = (0..50).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
+        data.push(1000.0);
+        let out = mad_outliers(&data, DEFAULT_CUTOFF);
+        assert_eq!(out, vec![50]);
+    }
+
+    #[test]
+    fn robust_to_nearly_half_contamination() {
+        // 40% of the data is wildly off — the classic case where
+        // mean/std-based methods break but MAD survives.
+        let mut data: Vec<f64> = (0..60).map(|i| 5.0 + (i % 3) as f64 * 0.01).collect();
+        for i in 0..40 {
+            data.push(1e6 + i as f64);
+        }
+        let out = mad_outliers(&data, DEFAULT_CUTOFF);
+        assert_eq!(out.len(), 40);
+        assert!(out.iter().all(|&i| i >= 60));
+    }
+
+    #[test]
+    fn zero_mad_flags_only_different_points() {
+        // More than half the data identical → MAD = 0.
+        let data = [2.0, 2.0, 2.0, 2.0, 2.0, 7.0];
+        let z = modified_z_scores(&data);
+        assert_eq!(z[0], 0.0);
+        assert_eq!(z[5], f64::INFINITY);
+        assert_eq!(mad_outliers(&data, 3.5), vec![5]);
+    }
+
+    #[test]
+    fn constant_data_has_no_outliers() {
+        let data = [4.0; 10];
+        assert!(mad_outliers(&data, 3.5).is_empty());
+    }
+
+    #[test]
+    fn cutoff_is_monotone() {
+        let mut data: Vec<f64> = (0..100).map(|i| (i % 11) as f64).collect();
+        data.push(100.0);
+        data.push(60.0);
+        let strict = mad_outliers(&data, 2.0);
+        let loose = mad_outliers(&data, 5.0);
+        assert!(loose.len() <= strict.len());
+        for i in &loose {
+            assert!(strict.contains(i));
+        }
+    }
+
+    #[test]
+    fn consistency_constant_is_documented_value() {
+        assert!((MAD_CONSISTENCY - 0.6745).abs() < 1e-12);
+        assert!((DEFAULT_CUTOFF - 3.5).abs() < 1e-12);
+    }
+}

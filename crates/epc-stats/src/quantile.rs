@@ -1,0 +1,137 @@
+//! Quantiles with linear interpolation (R type-7, the default of NumPy and
+//! pandas — what the paper's Python stack would have computed).
+
+/// Returns the `p`-quantile (0 ≤ p ≤ 1) of `data` using linear interpolation
+/// between order statistics. Returns `None` for empty input or `p` outside
+/// `[0, 1]`. NaN values must be filtered out by the caller.
+pub fn quantile(data: &[f64], p: f64) -> Option<f64> {
+    if data.is_empty() || !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(quantile_sorted(&sorted, p))
+}
+
+/// `p`-quantile of already-sorted data (no allocation). Panics in debug mode
+/// if `data` is unsorted. Empty input yields NaN — prefer [`quantile`].
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = p * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] + (sorted[hi.min(n - 1)] - sorted[lo]) * frac
+}
+
+/// The median (0.5 quantile).
+pub fn median(data: &[f64]) -> Option<f64> {
+    quantile(data, 0.5)
+}
+
+/// `(q1, median, q3)` — the three quartiles the dashboards report.
+pub fn quartiles(data: &[f64]) -> Option<(f64, f64, f64)> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quartiles input"));
+    Some((
+        quantile_sorted(&sorted, 0.25),
+        quantile_sorted(&sorted, 0.5),
+        quantile_sorted(&sorted, 0.75),
+    ))
+}
+
+/// The nine deciles (p = 0.1 … 0.9), used by frequency-distribution plots.
+pub fn deciles(data: &[f64]) -> Option<[f64; 9]> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in deciles input"));
+    let mut out = [0.0; 9];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = quantile_sorted(&sorted, (i + 1) as f64 / 10.0);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+        assert_eq!(median(&[7.0]), Some(7.0));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn extremes_are_min_and_max() {
+        let data = [5.0, 1.0, 9.0, 3.0];
+        assert_eq!(quantile(&data, 0.0), Some(1.0));
+        assert_eq!(quantile(&data, 1.0), Some(9.0));
+    }
+
+    #[test]
+    fn type7_interpolation_matches_numpy() {
+        // numpy.percentile([1,2,3,4], 25) == 1.75
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&data, 0.25).unwrap() - 1.75).abs() < 1e-12);
+        // numpy.percentile([1,2,3,4,5], 40) == 2.6
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!((quantile(&data, 0.4).unwrap() - 2.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_p_is_rejected() {
+        assert_eq!(quantile(&[1.0], -0.1), None);
+        assert_eq!(quantile(&[1.0], 1.1), None);
+        assert_eq!(quantile(&[1.0], f64::NAN), None);
+    }
+
+    #[test]
+    fn quartiles_are_ordered() {
+        let data: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let (q1, q2, q3) = quartiles(&data).unwrap();
+        assert_eq!((q1, q2, q3), (25.0, 50.0, 75.0));
+    }
+
+    #[test]
+    fn deciles_are_monotone() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).sqrt()).collect();
+        let d = deciles(&data).unwrap();
+        for w in d.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(deciles(&[]), None);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_p() {
+        let data = [2.0, 8.0, 1.0, 5.0, 3.0, 9.0, 4.0];
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = quantile(&data, i as f64 / 20.0).unwrap();
+            assert!(q >= prev);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn single_element_is_every_quantile() {
+        for p in [0.0, 0.3, 0.5, 0.99, 1.0] {
+            assert_eq!(quantile(&[42.0], p), Some(42.0));
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Special functions needed by the gESD test: log-gamma, the regularized
+//! incomplete beta function, and the Student-t distribution (CDF and
+//! quantile). Implemented from scratch (Lanczos approximation + Lentz
+//! continued fraction + bisection), accurate to ~1e-10 over the parameter
+//! ranges outlier testing uses.
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7, n = 9).
+///
+/// Valid for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for g=7, n=9 (Godfrey / Numerical Recipes style).
+    #[allow(clippy::excessive_precision)]
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    debug_assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction of Lentz's method. Valid for `a, b > 0`, `0 ≤ x ≤ 1`.
+pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    debug_assert!(a > 0.0 && b > 0.0);
+    debug_assert!((0.0..=1.0).contains(&x));
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    // Use the symmetry relation to keep the continued fraction convergent.
+    // Both branches are computed directly (no recursion) so the boundary
+    // case x == (a+1)/(a+b+2) cannot loop.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (ln_front.exp() * betacf(a, b, x)) / a
+    } else {
+        1.0 - (ln_front.exp() * betacf(b, a, 1.0 - x)) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta function (modified Lentz).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-15;
+    const FPMIN: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// CDF of the Student-t distribution with `df` degrees of freedom.
+pub fn t_cdf(t: f64, df: f64) -> f64 {
+    debug_assert!(df > 0.0);
+    if t.is_infinite() {
+        return if t > 0.0 { 1.0 } else { 0.0 };
+    }
+    let x = df / (df + t * t);
+    let p = 0.5 * inc_beta(0.5 * df, 0.5, x);
+    if t > 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Quantile (inverse CDF) of the Student-t distribution, computed by
+/// bisection on [`t_cdf`] — robust and accurate to ~1e-10, which is far more
+/// than the gESD critical values need.
+pub fn t_quantile(p: f64, df: f64) -> f64 {
+    debug_assert!(df > 0.0);
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "t_quantile probability out of range: {p}"
+    );
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    if (p - 0.5).abs() < 1e-16 {
+        return 0.0;
+    }
+    // Expand brackets until they straddle p.
+    let mut lo = -1.0;
+    let mut hi = 1.0;
+    while t_cdf(lo, df) > p {
+        lo *= 2.0;
+        if lo < -1e10 {
+            break;
+        }
+    }
+    while t_cdf(hi, df) < p {
+        hi *= 2.0;
+        if hi > 1e10 {
+            break;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if t_cdf(mid, df) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 * (1.0 + mid.abs()) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let facts: [f64; 7] = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (n, &f) in facts.iter().enumerate() {
+            let lg = ln_gamma((n + 1) as f64);
+            assert!(
+                (lg - f.ln()).abs() < 1e-10,
+                "Γ({}) mismatch: {lg}",
+                n + 1
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(π)
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+        // Γ(3/2) = sqrt(π)/2
+        assert!((ln_gamma(1.5) - (std::f64::consts::PI.sqrt() / 2.0).ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inc_beta_boundaries() {
+        assert_eq!(inc_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(inc_beta(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn inc_beta_symmetric_case() {
+        // I_x(a, a) at x = 0.5 is exactly 0.5.
+        for a in [0.5, 1.0, 2.0, 7.5] {
+            assert!((inc_beta(a, a, 0.5) - 0.5).abs() < 1e-10, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn inc_beta_uniform_special_case() {
+        // I_x(1, 1) = x.
+        for x in [0.1, 0.25, 0.7, 0.99] {
+            assert!((inc_beta(1.0, 1.0, x) - x).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn t_cdf_symmetry_and_center() {
+        for df in [1.0, 3.0, 10.0, 100.0] {
+            assert!((t_cdf(0.0, df) - 0.5).abs() < 1e-12);
+            for t in [0.5, 1.3, 2.7] {
+                let p = t_cdf(t, df);
+                let q = t_cdf(-t, df);
+                assert!((p + q - 1.0).abs() < 1e-10, "df={df} t={t}");
+                assert!(p > 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn t_cdf_matches_reference_values() {
+        // Reference values from R: pt(q, df)
+        #[allow(clippy::unnecessary_cast)]
+        let cases = [
+            // (t, df, pt)
+            (1.0, 1.0, 0.75),                 // Cauchy: arctan
+            (2.0, 10.0, 0.963_306_061_8),     // pt(2, 10)
+            (1.812_461, 10.0, 0.95),          // qt(0.95, 10) = 1.812461
+            (2.570_582, 5.0, 0.975),          // qt(0.975, 5)
+            (-1.644_854, 1e6, 0.05),          // ~normal for huge df
+        ];
+        for (t, df, p) in cases {
+            let got = t_cdf(t, df);
+            assert!((got - p).abs() < 1e-5, "t={t} df={df}: got {got}, want {p}");
+        }
+    }
+
+    #[test]
+    fn t_quantile_inverts_cdf() {
+        for df in [2.0, 5.0, 30.0, 200.0] {
+            for p in [0.01, 0.05, 0.25, 0.5, 0.9, 0.975, 0.999] {
+                let q = t_quantile(p, df);
+                let back = t_cdf(q, df);
+                assert!((back - p).abs() < 1e-9, "df={df} p={p}: q={q} back={back}");
+            }
+        }
+    }
+
+    #[test]
+    fn t_quantile_reference_values() {
+        // R: qt(0.975, 24) = 2.063899, qt(0.95, 9) = 1.833113
+        assert!((t_quantile(0.975, 24.0) - 2.063_899).abs() < 1e-4);
+        assert!((t_quantile(0.95, 9.0) - 1.833_113).abs() < 1e-4);
+        assert!((t_quantile(0.5, 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_quantile_extremes() {
+        assert_eq!(t_quantile(0.0, 5.0), f64::NEG_INFINITY);
+        assert_eq!(t_quantile(1.0, 5.0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the statistical invariants the pipeline relies
+//! on.
+
+use epc_stats::boxplot::{boxplot_summary, tukey_outliers};
+use epc_stats::correlation::pearson;
+use epc_stats::descriptive::{mean, sample_std, NumericSummary};
+use epc_stats::histogram::Histogram;
+use epc_stats::mad::{mad, modified_z_scores};
+use epc_stats::quantile::{median, quantile, quartiles};
+use epc_stats::special::{t_cdf, t_quantile};
+use proptest::prelude::*;
+
+fn data_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn quantiles_are_bounded_by_extremes(data in data_strategy(), p in 0.0f64..=1.0) {
+        let q = quantile(&data, p).unwrap();
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(q >= lo - 1e-9 && q <= hi + 1e-9);
+    }
+
+    #[test]
+    fn quantile_monotone_in_p(data in data_strategy(), p1 in 0.0f64..=1.0, p2 in 0.0f64..=1.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(quantile(&data, lo).unwrap() <= quantile(&data, hi).unwrap() + 1e-12);
+    }
+
+    #[test]
+    fn quartiles_are_ordered(data in data_strategy()) {
+        let (q1, q2, q3) = quartiles(&data).unwrap();
+        prop_assert!(q1 <= q2 && q2 <= q3);
+    }
+
+    #[test]
+    fn mean_between_extremes(data in data_strategy()) {
+        let m = mean(&data).unwrap();
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn std_is_nonnegative_and_shift_invariant(data in prop::collection::vec(-1e5f64..1e5, 2..100), shift in -1e5f64..1e5) {
+        let s1 = sample_std(&data).unwrap();
+        prop_assert!(s1 >= 0.0);
+        let shifted: Vec<f64> = data.iter().map(|x| x + shift).collect();
+        let s2 = sample_std(&shifted).unwrap();
+        prop_assert!((s1 - s2).abs() < 1e-6 * (1.0 + s1.abs()), "{s1} vs {s2}");
+    }
+
+    #[test]
+    fn summary_fields_are_consistent(data in data_strategy()) {
+        let s = NumericSummary::from_slice(&data).unwrap();
+        prop_assert!(s.min <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.max + 1e-9);
+        prop_assert_eq!(s.count, data.len());
+    }
+
+    #[test]
+    fn tukey_outliers_lie_outside_the_box(data in prop::collection::vec(-1e4f64..1e4, 4..150), k in 0.5f64..3.0) {
+        let s = boxplot_summary(&data, k).unwrap();
+        for &i in &s.outliers {
+            prop_assert!(data[i] < s.lower_fence || data[i] > s.upper_fence);
+        }
+        // Complement: everything else is inside.
+        for (i, &x) in data.iter().enumerate() {
+            if !s.outliers.contains(&i) {
+                prop_assert!(x >= s.lower_fence && x <= s.upper_fence);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_k_flags_subset(data in prop::collection::vec(-1e4f64..1e4, 4..150)) {
+        let strict = tukey_outliers(&data, 1.0);
+        let loose = tukey_outliers(&data, 2.5);
+        for i in &loose {
+            prop_assert!(strict.contains(i));
+        }
+    }
+
+    #[test]
+    fn mad_is_translation_invariant(data in prop::collection::vec(-1e4f64..1e4, 1..100), shift in -1e4f64..1e4) {
+        let m1 = mad(&data).unwrap();
+        let shifted: Vec<f64> = data.iter().map(|x| x + shift).collect();
+        let m2 = mad(&shifted).unwrap();
+        prop_assert!((m1 - m2).abs() < 1e-6 * (1.0 + m1.abs()));
+    }
+
+    #[test]
+    fn modified_z_score_of_median_is_zero(data in prop::collection::vec(-1e4f64..1e4, 1..100)) {
+        let med = median(&data).unwrap();
+        let mut with_median = data.clone();
+        with_median.push(med);
+        let z = modified_z_scores(&with_median);
+        // The appended median point: its score must be ~0 whenever the new
+        // median equals the old one (odd→even can shift it slightly).
+        let new_med = median(&with_median).unwrap();
+        if (new_med - med).abs() < 1e-12 {
+            prop_assert!(z.last().unwrap().abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pearson_self_correlation_is_one(data in prop::collection::vec(-1e4f64..1e4, 2..100)) {
+        // Skip constant vectors (undefined correlation).
+        if sample_std(&data).unwrap() > 1e-9 {
+            let rho = pearson(&data, &data).unwrap();
+            prop_assert!((rho - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pearson_sign_flips_with_negation(data in prop::collection::vec(-1e4f64..1e4, 3..100)) {
+        if sample_std(&data).unwrap() > 1e-9 {
+            let neg: Vec<f64> = data.iter().map(|x| -x).collect();
+            let rho = pearson(&data, &neg).unwrap();
+            prop_assert!((rho + 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_mass(data in data_strategy(), bins in 1usize..40) {
+        let h = Histogram::equal_width(&data, bins).unwrap();
+        prop_assert_eq!(h.bins.iter().map(|b| b.count).sum::<usize>(), data.len());
+    }
+
+    #[test]
+    fn t_cdf_is_monotone(df in 1.0f64..100.0, a in -20.0f64..20.0, b in -20.0f64..20.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(t_cdf(lo, df) <= t_cdf(hi, df) + 1e-12);
+    }
+
+    #[test]
+    fn t_quantile_round_trips(df in 1.0f64..200.0, p in 0.001f64..0.999) {
+        let q = t_quantile(p, df);
+        prop_assert!((t_cdf(q, df) - p).abs() < 1e-7);
+    }
+}

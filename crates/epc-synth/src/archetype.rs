@@ -1,0 +1,312 @@
+//! Building archetypes: construction-period profiles whose attribute
+//! distributions generate the correlated structure the case study mines.
+//!
+//! The marginals are calibrated to the paper's footnote-4 bins — Uw spans
+//! `[1.1, 5.5]` W/m²K, Uo `[0.15, 1.1]`, ETAH `[0.20, 1.1]` — and the EPH
+//! response follows a simplified steady-state heat-balance law, so that
+//! thermally poor archetypes really do consume more (the signal the
+//! association rules and the cluster-markers surface).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal, Normal};
+
+/// Index into [`ARCHETYPES`].
+pub type ArchetypeId = usize;
+
+/// A `(mean, std)` pair for a clamped normal draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gauss {
+    /// Mean of the normal.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std: f64,
+    /// Hard clamp range.
+    pub clamp: (f64, f64),
+}
+
+impl Gauss {
+    /// Draws a clamped sample.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        let n = Normal::new(self.mean, self.std).expect("valid normal");
+        n.sample(rng).clamp(self.clamp.0, self.clamp.1)
+    }
+}
+
+/// A building archetype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Archetype {
+    /// Display name.
+    pub name: &'static str,
+    /// Construction-year range.
+    pub years: (u32, u32),
+    /// Label used for the `construction_period` attribute.
+    pub period_label: &'static str,
+    /// Aspect ratio S/V \[1/m\].
+    pub aspect_ratio: Gauss,
+    /// Average U-value of the vertical opaque envelope \[W/m²K\].
+    pub u_opaque: Gauss,
+    /// Average U-value of the windows \[W/m²K\].
+    pub u_windows: Gauss,
+    /// Global heating efficiency ETAH.
+    pub eta_h: Gauss,
+    /// Heated surface log-normal parameters `(ln-mean, ln-std)` \[m²\].
+    pub heat_surface_ln: (f64, f64),
+    /// Probability that the envelope was insulated in a retrofit.
+    pub insulation_prob: f64,
+    /// Probability of a condensing generator.
+    pub condensing_prob: f64,
+    /// Probability of double (or better) glazing.
+    pub double_glazing_prob: f64,
+    /// Heating-fuel propensities `(natural gas, district heating, oil,
+    /// heat pump/electric)` — must sum to 1.
+    pub fuel_probs: [f64; 4],
+}
+
+impl Archetype {
+    /// Draws a construction year inside the archetype's range.
+    pub fn sample_year(&self, rng: &mut StdRng) -> u32 {
+        rng.gen_range(self.years.0..=self.years.1)
+    }
+
+    /// Draws a heated surface.
+    pub fn sample_heat_surface(&self, rng: &mut StdRng) -> f64 {
+        let ln = LogNormal::new(self.heat_surface_ln.0, self.heat_surface_ln.1)
+            .expect("valid lognormal");
+        ln.sample(rng).clamp(25.0, 2_000.0)
+    }
+
+    /// Draws a heating fuel label.
+    pub fn sample_fuel(&self, rng: &mut StdRng) -> &'static str {
+        const FUELS: [&str; 4] = [
+            "natural gas",
+            "district heating",
+            "oil",
+            "heat pump",
+        ];
+        let draw: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, &p) in self.fuel_probs.iter().enumerate() {
+            acc += p;
+            if draw < acc {
+                return FUELS[i];
+            }
+        }
+        FUELS[0]
+    }
+}
+
+/// The six construction-period archetypes of the synthetic Turin.
+pub const ARCHETYPES: [Archetype; 6] = [
+    Archetype {
+        name: "historic masonry",
+        years: (1880, 1918),
+        period_label: "before 1919",
+        aspect_ratio: Gauss { mean: 0.62, std: 0.10, clamp: (0.25, 1.10) },
+        u_opaque: Gauss { mean: 0.95, std: 0.10, clamp: (0.15, 1.10) },
+        u_windows: Gauss { mean: 4.40, std: 0.45, clamp: (1.10, 5.50) },
+        eta_h: Gauss { mean: 0.62, std: 0.08, clamp: (0.20, 1.10) },
+        heat_surface_ln: (4.55, 0.45),
+        insulation_prob: 0.08,
+        condensing_prob: 0.10,
+        double_glazing_prob: 0.25,
+        fuel_probs: [0.72, 0.12, 0.14, 0.02],
+    },
+    Archetype {
+        name: "interwar",
+        years: (1919, 1945),
+        period_label: "1919-1945",
+        aspect_ratio: Gauss { mean: 0.58, std: 0.09, clamp: (0.25, 1.10) },
+        u_opaque: Gauss { mean: 0.88, std: 0.10, clamp: (0.15, 1.10) },
+        u_windows: Gauss { mean: 4.00, std: 0.45, clamp: (1.10, 5.50) },
+        eta_h: Gauss { mean: 0.66, std: 0.08, clamp: (0.20, 1.10) },
+        heat_surface_ln: (4.45, 0.42),
+        insulation_prob: 0.12,
+        condensing_prob: 0.14,
+        double_glazing_prob: 0.35,
+        fuel_probs: [0.74, 0.12, 0.12, 0.02],
+    },
+    Archetype {
+        name: "postwar boom slab",
+        years: (1946, 1975),
+        period_label: "1946-1975",
+        aspect_ratio: Gauss { mean: 0.48, std: 0.08, clamp: (0.25, 1.10) },
+        u_opaque: Gauss { mean: 0.80, std: 0.11, clamp: (0.15, 1.10) },
+        u_windows: Gauss { mean: 3.40, std: 0.50, clamp: (1.10, 5.50) },
+        eta_h: Gauss { mean: 0.72, std: 0.08, clamp: (0.20, 1.10) },
+        heat_surface_ln: (4.35, 0.40),
+        insulation_prob: 0.22,
+        condensing_prob: 0.22,
+        double_glazing_prob: 0.55,
+        fuel_probs: [0.70, 0.20, 0.07, 0.03],
+    },
+    Archetype {
+        name: "late 20th century",
+        years: (1976, 1990),
+        period_label: "1976-1990",
+        aspect_ratio: Gauss { mean: 0.45, std: 0.08, clamp: (0.25, 1.10) },
+        u_opaque: Gauss { mean: 0.62, std: 0.10, clamp: (0.15, 1.10) },
+        u_windows: Gauss { mean: 2.80, std: 0.40, clamp: (1.10, 5.50) },
+        eta_h: Gauss { mean: 0.78, std: 0.07, clamp: (0.20, 1.10) },
+        heat_surface_ln: (4.40, 0.40),
+        insulation_prob: 0.45,
+        condensing_prob: 0.35,
+        double_glazing_prob: 0.80,
+        fuel_probs: [0.72, 0.20, 0.03, 0.05],
+    },
+    Archetype {
+        name: "transitional",
+        years: (1991, 2005),
+        period_label: "1991-2005",
+        aspect_ratio: Gauss { mean: 0.42, std: 0.07, clamp: (0.25, 1.10) },
+        u_opaque: Gauss { mean: 0.48, std: 0.09, clamp: (0.15, 1.10) },
+        u_windows: Gauss { mean: 2.30, std: 0.35, clamp: (1.10, 5.50) },
+        eta_h: Gauss { mean: 0.84, std: 0.06, clamp: (0.20, 1.10) },
+        heat_surface_ln: (4.45, 0.38),
+        insulation_prob: 0.70,
+        condensing_prob: 0.55,
+        double_glazing_prob: 0.95,
+        fuel_probs: [0.70, 0.18, 0.02, 0.10],
+    },
+    Archetype {
+        name: "modern efficient",
+        years: (2006, 2018),
+        period_label: "after 2005",
+        aspect_ratio: Gauss { mean: 0.38, std: 0.07, clamp: (0.25, 1.10) },
+        u_opaque: Gauss { mean: 0.30, std: 0.07, clamp: (0.15, 1.10) },
+        u_windows: Gauss { mean: 1.60, std: 0.25, clamp: (1.10, 5.50) },
+        eta_h: Gauss { mean: 0.92, std: 0.06, clamp: (0.20, 1.10) },
+        heat_surface_ln: (4.50, 0.38),
+        insulation_prob: 0.97,
+        condensing_prob: 0.90,
+        double_glazing_prob: 1.0,
+        fuel_probs: [0.55, 0.15, 0.0, 0.30],
+    },
+];
+
+/// Turin's heating degree-days (climate zone E).
+pub const TURIN_DEGREE_DAYS: f64 = 2_617.0;
+
+/// The simplified steady-state EPH law used by the generator:
+/// `EPH = C · (S/V) · (0.7·Uo + 0.3·Uw) / ETAH`, with `C` calibrated so a
+/// modern flat lands near 40 kWh/m²·yr and a historic one near 250.
+pub fn eph_model(aspect_ratio: f64, u_opaque: f64, u_windows: f64, eta_h: f64) -> f64 {
+    const C: f64 = 132.0;
+    C * aspect_ratio * (0.7 * u_opaque + 0.3 * u_windows) / eta_h.max(0.05)
+}
+
+/// Maps an EPH value to the Italian EPC class letter (simplified bands).
+pub fn epc_class(eph: f64) -> &'static str {
+    match eph {
+        e if e < 30.0 => "A",
+        e if e < 50.0 => "B",
+        e if e < 70.0 => "C",
+        e if e < 100.0 => "D",
+        e if e < 150.0 => "E",
+        e if e < 220.0 => "F",
+        _ => "G",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn archetype_parameters_stay_in_footnote4_ranges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for a in &ARCHETYPES {
+            for _ in 0..200 {
+                let uo = a.u_opaque.sample(&mut rng);
+                let uw = a.u_windows.sample(&mut rng);
+                let eta = a.eta_h.sample(&mut rng);
+                assert!((0.15..=1.10).contains(&uo));
+                assert!((1.10..=5.50).contains(&uw));
+                assert!((0.20..=1.10).contains(&eta));
+            }
+        }
+    }
+
+    #[test]
+    fn newer_archetypes_are_more_efficient() {
+        for w in ARCHETYPES.windows(2) {
+            assert!(w[0].u_opaque.mean >= w[1].u_opaque.mean);
+            assert!(w[0].u_windows.mean >= w[1].u_windows.mean);
+            assert!(w[0].eta_h.mean <= w[1].eta_h.mean);
+            assert!(w[0].years.1 < w[1].years.1);
+        }
+    }
+
+    #[test]
+    fn eph_model_orders_archetypes() {
+        let historic = &ARCHETYPES[0];
+        let modern = &ARCHETYPES[5];
+        let eph_old = eph_model(
+            historic.aspect_ratio.mean,
+            historic.u_opaque.mean,
+            historic.u_windows.mean,
+            historic.eta_h.mean,
+        );
+        let eph_new = eph_model(
+            modern.aspect_ratio.mean,
+            modern.u_opaque.mean,
+            modern.u_windows.mean,
+            modern.eta_h.mean,
+        );
+        assert!(eph_old > 180.0, "historic EPH ≈ {eph_old}");
+        assert!(eph_new < 60.0, "modern EPH ≈ {eph_new}");
+        assert!(eph_old > 3.0 * eph_new);
+    }
+
+    #[test]
+    fn epc_classes_cover_the_scale() {
+        assert_eq!(epc_class(20.0), "A");
+        assert_eq!(epc_class(45.0), "B");
+        assert_eq!(epc_class(65.0), "C");
+        assert_eq!(epc_class(90.0), "D");
+        assert_eq!(epc_class(120.0), "E");
+        assert_eq!(epc_class(180.0), "F");
+        assert_eq!(epc_class(400.0), "G");
+    }
+
+    #[test]
+    fn fuel_probs_sum_to_one() {
+        for a in &ARCHETYPES {
+            let s: f64 = a.fuel_probs.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "{}: {s}", a.name);
+        }
+    }
+
+    #[test]
+    fn sampled_fuel_is_valid_and_deterministic() {
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let a = &ARCHETYPES[2];
+        for _ in 0..50 {
+            let f1 = a.sample_fuel(&mut rng1);
+            let f2 = a.sample_fuel(&mut rng2);
+            assert_eq!(f1, f2);
+            assert!([
+                "natural gas",
+                "district heating",
+                "oil",
+                "heat pump"
+            ]
+            .contains(&f1));
+        }
+    }
+
+    #[test]
+    fn year_and_surface_ranges() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for a in &ARCHETYPES {
+            for _ in 0..100 {
+                let y = a.sample_year(&mut rng);
+                assert!(y >= a.years.0 && y <= a.years.1);
+                let s = a.sample_heat_surface(&mut rng);
+                assert!((25.0..=2_000.0).contains(&s));
+            }
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! The procedural city: district/neighbourhood polygons plus a complete
+//! referenced street map — the stand-in for Turin's municipal open data the
+//! paper's cleaning step matches against (see DESIGN.md).
+
+use crate::names;
+use epc_geo::bbox::BoundingBox;
+use epc_geo::point::GeoPoint;
+use epc_geo::region::{Polygon, Region, RegionHierarchy};
+use epc_geo::streetmap::{StreetEntry, StreetMap};
+use epc_model::Granularity;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the procedural city.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CityConfig {
+    /// City name.
+    pub name: String,
+    /// City centre (defaults to Turin's Piazza Castello).
+    pub center: GeoPoint,
+    /// Number of districts (laid on a near-square grid).
+    pub n_districts: usize,
+    /// Neighbourhoods per district (subdivided 2×2, 2×3, …).
+    pub neighbourhoods_per_district: usize,
+    /// Streets per neighbourhood.
+    pub streets_per_neighbourhood: usize,
+    /// House numbers per street.
+    pub houses_per_street: usize,
+    /// Side length of a district cell in meters.
+    pub district_size_m: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CityConfig {
+    fn default() -> Self {
+        CityConfig {
+            name: "Torino".into(),
+            center: GeoPoint::new(45.0703, 7.6869),
+            n_districts: 8, // Turin has 8 circoscrizioni
+            neighbourhoods_per_district: 4,
+            streets_per_neighbourhood: 6,
+            houses_per_street: 20,
+            district_size_m: 2_500.0,
+            seed: 1,
+        }
+    }
+}
+
+/// The generated city: regions + referenced street map.
+#[derive(Debug, Clone)]
+pub struct CityPlan {
+    /// The configuration that produced the plan.
+    pub config: CityConfig,
+    /// District/neighbourhood hierarchy.
+    pub hierarchy: RegionHierarchy,
+    /// The referenced street map (ground truth for cleaning).
+    pub street_map: StreetMap,
+}
+
+impl CityPlan {
+    /// Generates a city from `config` (fully deterministic).
+    pub fn generate(config: CityConfig) -> CityPlan {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut hierarchy = RegionHierarchy::new(&config.name);
+        let mut street_map = StreetMap::new();
+
+        // Districts on a near-square grid centred on the city centre.
+        let grid_cols = (config.n_districts as f64).sqrt().ceil() as usize;
+        let grid_rows = config.n_districts.div_ceil(grid_cols);
+        let cell_deg_lat = config.district_size_m / 111_195.0;
+        let cell_deg_lon =
+            config.district_size_m / (111_195.0 * config.center.lat.to_radians().cos());
+        let origin_lat = config.center.lat - cell_deg_lat * grid_rows as f64 / 2.0;
+        let origin_lon = config.center.lon - cell_deg_lon * grid_cols as f64 / 2.0;
+
+        // Neighbourhood subdivision of each district cell. Boxes are laid
+        // out first, then *named by distance from the city centre*, so the
+        // central-sounding names ("Centro Storico", "Quadrilatero") really
+        // are central — matching the historic-centre energy pattern the
+        // generator creates.
+        let n_cols = (config.neighbourhoods_per_district as f64).sqrt().ceil() as usize;
+        let n_rows = config.neighbourhoods_per_district.div_ceil(n_cols);
+
+        let mut neighbourhood_boxes: Vec<(usize, BoundingBox)> = Vec::new(); // (district, box)
+        for d in 0..config.n_districts {
+            let row = d / grid_cols;
+            let col = d % grid_cols;
+            let d_box = BoundingBox::new(
+                origin_lat + row as f64 * cell_deg_lat,
+                origin_lon + col as f64 * cell_deg_lon,
+                origin_lat + (row + 1) as f64 * cell_deg_lat,
+                origin_lon + (col + 1) as f64 * cell_deg_lon,
+            );
+            hierarchy.districts.push(Region {
+                name: names::district_name(d),
+                level: Granularity::District,
+                parent: Some(config.name.clone()),
+                polygon: Polygon::from_bbox(&d_box),
+            });
+            for nh in 0..config.neighbourhoods_per_district {
+                let nrow = nh / n_cols;
+                let ncol = nh % n_cols;
+                let lat_step = d_box.lat_span() / n_rows as f64;
+                let lon_step = d_box.lon_span() / n_cols as f64;
+                neighbourhood_boxes.push((
+                    d,
+                    BoundingBox::new(
+                        d_box.min_lat + nrow as f64 * lat_step,
+                        d_box.min_lon + ncol as f64 * lon_step,
+                        d_box.min_lat + (nrow + 1) as f64 * lat_step,
+                        d_box.min_lon + (ncol + 1) as f64 * lon_step,
+                    ),
+                ));
+            }
+        }
+        // Central boxes get the early (central) names of the bank.
+        neighbourhood_boxes.sort_by(|a, b| {
+            let da = a.1.center().haversine_m(&config.center);
+            let db = b.1.center().haversine_m(&config.center);
+            da.partial_cmp(&db).expect("finite distances")
+        });
+
+        let mut street_idx = 0usize;
+        for (neighbourhood_idx, (d, n_box)) in neighbourhood_boxes.iter().enumerate() {
+            let d_name = names::district_name(*d);
+            let n_name = names::neighbourhood_name(neighbourhood_idx);
+            // ZIP codes in Turin run 10121..10156; extend the scheme.
+            let zip = format!("{}", 10121 + neighbourhood_idx);
+            hierarchy.neighbourhoods.push(Region {
+                name: n_name.clone(),
+                level: Granularity::Neighbourhood,
+                parent: Some(d_name.clone()),
+                polygon: Polygon::from_bbox(n_box),
+            });
+            for _ in 0..config.streets_per_neighbourhood {
+                let street = names::street_name(street_idx);
+                street_idx += 1;
+                lay_street(
+                    &mut street_map,
+                    &mut rng,
+                    &street,
+                    &zip,
+                    &d_name,
+                    &n_name,
+                    n_box,
+                    config.houses_per_street,
+                );
+            }
+        }
+
+        // City polygon = outer hull of the district grid.
+        let city_box = BoundingBox::new(
+            origin_lat,
+            origin_lon,
+            origin_lat + grid_rows as f64 * cell_deg_lat,
+            origin_lon + grid_cols as f64 * cell_deg_lon,
+        );
+        hierarchy.city_polygon = Some(Polygon::from_bbox(&city_box));
+
+        CityPlan {
+            config,
+            hierarchy,
+            street_map,
+        }
+    }
+
+    /// Total number of addressable entries (house numbers).
+    pub fn n_addresses(&self) -> usize {
+        self.street_map.len()
+    }
+}
+
+/// Lays one street inside a neighbourhood box: a straight segment with
+/// evenly spaced house numbers (odd on one side, even on the other, as in
+/// Italian numbering).
+#[allow(clippy::too_many_arguments)]
+fn lay_street(
+    map: &mut StreetMap,
+    rng: &mut StdRng,
+    street: &str,
+    zip: &str,
+    district: &str,
+    neighbourhood: &str,
+    bounds: &BoundingBox,
+    houses: usize,
+) {
+    let horizontal: bool = rng.gen();
+    // Random anchor inside the box, inset from the edges.
+    let t = 0.15 + rng.gen::<f64>() * 0.7;
+    let start = 0.1 + rng.gen::<f64>() * 0.2;
+    let end = 0.7 + rng.gen::<f64>() * 0.25;
+    for h in 0..houses {
+        let frac = start + (end - start) * h as f64 / houses.max(1) as f64;
+        // Odd numbers on one side (small lateral offset), even on the other.
+        let side = if h % 2 == 0 { 1.0 } else { -1.0 };
+        let lateral = t + side * 0.01;
+        let (lat, lon) = if horizontal {
+            (
+                bounds.min_lat + lateral * bounds.lat_span(),
+                bounds.min_lon + frac * bounds.lon_span(),
+            )
+        } else {
+            (
+                bounds.min_lat + frac * bounds.lat_span(),
+                bounds.min_lon + lateral * bounds.lon_span(),
+            )
+        };
+        map.insert(StreetEntry {
+            street: street.to_owned(),
+            house_number: format!("{}", h + 1),
+            zip: zip.to_owned(),
+            point: GeoPoint::new(lat, lon),
+            district: district.to_owned(),
+            neighbourhood: neighbourhood.to_owned(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> CityConfig {
+        CityConfig {
+            n_districts: 4,
+            neighbourhoods_per_district: 4,
+            streets_per_neighbourhood: 3,
+            houses_per_street: 10,
+            ..CityConfig::default()
+        }
+    }
+
+    #[test]
+    fn plan_has_expected_counts() {
+        let plan = CityPlan::generate(small_config());
+        assert_eq!(plan.hierarchy.districts.len(), 4);
+        assert_eq!(plan.hierarchy.neighbourhoods.len(), 16);
+        assert_eq!(plan.street_map.n_streets(), 48);
+        assert_eq!(plan.n_addresses(), 480);
+    }
+
+    #[test]
+    fn every_address_lies_in_its_neighbourhood_and_district() {
+        let plan = CityPlan::generate(small_config());
+        for e in plan.street_map.entries() {
+            let d = plan
+                .hierarchy
+                .district_of(&e.point)
+                .unwrap_or_else(|| panic!("address {e:?} outside every district"));
+            assert_eq!(d.name, e.district);
+            let n = plan.hierarchy.neighbourhood_of(&e.point).unwrap();
+            assert_eq!(n.name, e.neighbourhood);
+        }
+    }
+
+    #[test]
+    fn zip_codes_are_per_neighbourhood_and_plausible() {
+        let plan = CityPlan::generate(small_config());
+        for e in plan.street_map.entries() {
+            assert!(epc_geo::address::is_plausible_zip(&e.zip), "{}", e.zip);
+        }
+        // All entries of one neighbourhood share a ZIP.
+        let first = &plan.street_map.entries()[0];
+        for e in plan.street_map.entries() {
+            if e.neighbourhood == first.neighbourhood {
+                assert_eq!(e.zip, first.zip);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = CityPlan::generate(small_config());
+        let b = CityPlan::generate(small_config());
+        assert_eq!(a.street_map.entries(), b.street_map.entries());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CityPlan::generate(small_config());
+        let b = CityPlan::generate(CityConfig {
+            seed: 99,
+            ..small_config()
+        });
+        assert_ne!(a.street_map.entries(), b.street_map.entries());
+    }
+
+    #[test]
+    fn default_city_is_turin_sized() {
+        let plan = CityPlan::generate(CityConfig::default());
+        assert_eq!(plan.hierarchy.districts.len(), 8);
+        assert_eq!(plan.hierarchy.city, "Torino");
+        // 8 districts × 4 neighbourhoods × 6 streets × 20 houses = 3840.
+        assert_eq!(plan.n_addresses(), 3840);
+        // City box contains the centre.
+        let poly = plan.hierarchy.city_polygon.as_ref().unwrap();
+        assert!(poly.contains(&plan.config.center));
+    }
+
+    #[test]
+    fn house_numbers_run_one_to_n() {
+        let plan = CityPlan::generate(small_config());
+        let street0 = &plan.street_map.entries()[0].street;
+        let numbers: Vec<&str> = plan
+            .street_map
+            .entries()
+            .iter()
+            .filter(|e| &e.street == street0)
+            .map(|e| e.house_number.as_str())
+            .collect();
+        assert_eq!(numbers.len(), 10);
+        assert!(numbers.contains(&"1") && numbers.contains(&"10"));
+    }
+
+    #[test]
+    fn street_names_are_unique_citywide() {
+        let plan = CityPlan::generate(small_config());
+        let mut names: Vec<&str> = plan
+            .street_map
+            .entries()
+            .iter()
+            .map(|e| e.street.as_str())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), plan.street_map.n_streets());
+    }
+}

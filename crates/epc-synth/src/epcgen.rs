@@ -1,0 +1,602 @@
+//! The EPC generator: emits the full 132-attribute dataset plus per-record
+//! ground truth (true address, geolocation, archetype), so downstream
+//! stages can be *evaluated*, not just run.
+//!
+//! Spatial structure mirrors the real Turin the paper maps: central
+//! districts skew towards historic, thermally poor archetypes; peripheral
+//! ones towards modern construction — which is exactly the pattern the
+//! choropleth and cluster-marker maps are supposed to reveal.
+
+use crate::archetype::{epc_class, eph_model, Archetype, ArchetypeId, Gauss, ARCHETYPES, TURIN_DEGREE_DAYS};
+use crate::city::{CityConfig, CityPlan};
+use epc_geo::point::GeoPoint;
+use epc_geo::streetmap::StreetEntry;
+use epc_model::{wellknown as wk, Dataset, Record, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+
+/// Generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthConfig {
+    /// Number of certificates to generate (the paper's collection has
+    /// ~25 000).
+    pub n_records: usize,
+    /// The procedural city to draw addresses from.
+    pub city: CityConfig,
+    /// Fraction of certificates with intended use `E.1.1` (permanent
+    /// residences — the case-study filter).
+    pub e11_fraction: f64,
+    /// RNG seed (independent of the city seed).
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            n_records: 25_000,
+            city: CityConfig::default(),
+            e11_fraction: 0.8,
+            seed: 2024,
+        }
+    }
+}
+
+/// Per-record ground truth kept alongside the (possibly corrupted) dataset.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Archetype of each record.
+    pub archetypes: Vec<ArchetypeId>,
+    /// True canonical street of each record.
+    pub streets: Vec<String>,
+    /// True house number.
+    pub house_numbers: Vec<String>,
+    /// True ZIP code.
+    pub zips: Vec<String>,
+    /// True geolocation.
+    pub points: Vec<GeoPoint>,
+    /// True district name.
+    pub districts: Vec<String>,
+    /// True neighbourhood name.
+    pub neighbourhoods: Vec<String>,
+    /// Rows whose attributes were later corrupted into outliers (filled by
+    /// the noise stage).
+    pub injected_outliers: Vec<usize>,
+    /// Rows whose addresses were later corrupted (filled by the noise
+    /// stage).
+    pub corrupted_addresses: Vec<usize>,
+}
+
+/// A generated collection: dataset + city + ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticCollection {
+    /// The EPC dataset (clean until a noise stage corrupts it).
+    pub dataset: Dataset,
+    /// The city plan (regions + referenced street map).
+    pub city: CityPlan,
+    /// Ground truth for evaluation.
+    pub truth: GroundTruth,
+}
+
+/// The EPC generator.
+#[derive(Debug, Clone)]
+pub struct EpcGenerator {
+    config: SynthConfig,
+}
+
+impl EpcGenerator {
+    /// Creates a generator.
+    pub fn new(config: SynthConfig) -> Self {
+        EpcGenerator { config }
+    }
+
+    /// Generates the collection (deterministic in the config seeds).
+    pub fn generate(&self) -> SyntheticCollection {
+        let city = CityPlan::generate(self.config.city.clone());
+        let schema = epc_model::schema::standard_epc_schema();
+        let mut dataset = Dataset::new(schema);
+        let mut truth = GroundTruth::default();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        let entries = city.street_map.entries();
+        assert!(!entries.is_empty(), "city must have addresses");
+        let center = city.config.center;
+        let max_dist = entries
+            .iter()
+            .map(|e| e.point.haversine_m(&center))
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+
+        for i in 0..self.config.n_records {
+            let entry = &entries[rng.gen_range(0..entries.len())];
+            let radial = entry.point.haversine_m(&center) / max_dist;
+            let arche_id = sample_archetype(radial, &mut rng);
+            let arche = &ARCHETYPES[arche_id];
+            let record = self.make_record(&dataset, i, entry, arche, &mut rng);
+            dataset.push_record(record).expect("generated record is valid");
+
+            truth.archetypes.push(arche_id);
+            truth.streets.push(entry.street.clone());
+            truth.house_numbers.push(entry.house_number.clone());
+            truth.zips.push(entry.zip.clone());
+            truth.points.push(entry.point);
+            truth.districts.push(entry.district.clone());
+            truth.neighbourhoods.push(entry.neighbourhood.clone());
+        }
+
+        SyntheticCollection {
+            dataset,
+            city,
+            truth,
+        }
+    }
+
+    /// Builds one full 132-attribute record.
+    fn make_record(
+        &self,
+        dataset: &Dataset,
+        i: usize,
+        entry: &StreetEntry,
+        arche: &Archetype,
+        rng: &mut StdRng,
+    ) -> Record {
+        let schema = dataset.schema();
+        let mut rec = dataset.empty_record();
+        let set = |rec: &mut Record, name: &str, v: Value| {
+            rec.set_by_name(schema, name, v)
+                .unwrap_or_else(|e| panic!("setting {name}: {e}"));
+        };
+
+        // --- Core thermo-physical sample ---
+        // Envelope components are renovated *independently* in real
+        // building stocks (new windows without wall insulation, a new
+        // boiler in an uninsulated shell, …). These independent retrofit
+        // draws are what keeps the pairwise correlations of the five
+        // case-study features weak — the Figure-3 property — while the
+        // EPH response still obeys the heat-balance law.
+        let sv = arche.aspect_ratio.sample(rng);
+        let window_retrofit = rng.gen::<f64>() < 0.35;
+        let wall_retrofit = rng.gen::<f64>() < arche.insulation_prob.max(0.15);
+        let boiler_retrofit = rng.gen::<f64>() < arche.condensing_prob.max(0.25);
+        let uo = if wall_retrofit {
+            Gauss { mean: 0.32, std: 0.08, clamp: (0.15, 1.10) }.sample(rng)
+        } else {
+            arche.u_opaque.sample(rng)
+        };
+        let uw = if window_retrofit {
+            Gauss { mean: 1.75, std: 0.30, clamp: (1.10, 5.50) }.sample(rng)
+        } else {
+            arche.u_windows.sample(rng)
+        };
+        let eta_h = if boiler_retrofit {
+            Gauss { mean: 0.90, std: 0.06, clamp: (0.20, 1.10) }.sample(rng)
+        } else {
+            arche.eta_h.sample(rng)
+        };
+        let sr = arche.sample_heat_surface(rng);
+        let eph_noise: f64 = LogNormal::new(0.0f64, 0.12).unwrap().sample(rng);
+        // Round here so the stored EPH and the class derived from it agree.
+        let eph = round1((eph_model(sv, uo, uw, eta_h) * eph_noise).clamp(10.0, 500.0));
+
+        // --- Identification & geography ---
+        set(&mut rec, wk::CERTIFICATE_ID, Value::cat(format!("EPC-{i:06}")));
+        set(&mut rec, wk::ADDRESS, Value::cat(entry.street.clone()));
+        set(&mut rec, wk::HOUSE_NUMBER, Value::cat(entry.house_number.clone()));
+        set(&mut rec, wk::ZIP_CODE, Value::cat(entry.zip.clone()));
+        set(&mut rec, wk::CITY, Value::cat(self.config.city.name.clone()));
+        set(&mut rec, wk::DISTRICT, Value::cat(entry.district.clone()));
+        set(&mut rec, wk::NEIGHBOURHOOD, Value::cat(entry.neighbourhood.clone()));
+        set(&mut rec, wk::ISSUE_YEAR, Value::cat(format!("{}", 2016 + (i % 3))));
+        set(&mut rec, wk::LATITUDE, Value::num(entry.point.lat));
+        set(&mut rec, wk::LONGITUDE, Value::num(entry.point.lon));
+
+        // --- Case-study features ---
+        set(&mut rec, wk::ASPECT_RATIO, Value::num(round3(sv)));
+        set(&mut rec, wk::U_OPAQUE, Value::num(round3(uo)));
+        set(&mut rec, wk::U_WINDOWS, Value::num(round3(uw)));
+        set(&mut rec, wk::HEAT_SURFACE, Value::num(round1(sr)));
+        set(&mut rec, wk::ETA_H, Value::num(round3(eta_h)));
+        set(&mut rec, wk::EPH, Value::num(eph));
+
+        // --- Other energy indices ---
+        let ep_dhw_raw: f64 = LogNormal::new(3.1f64, 0.35).unwrap().sample(rng);
+        let ep_dhw = ep_dhw_raw.clamp(5.0, 80.0);
+        let ep_cooling = rng.gen_range(0.0..25.0);
+        let ep_lighting = rng.gen_range(1.0..8.0);
+        let renewable_share = if arche.condensing_prob > 0.5 {
+            rng.gen_range(5.0..55.0)
+        } else {
+            rng.gen_range(0.0..15.0)
+        };
+        let fuel = arche.sample_fuel(rng);
+        let co2_factor = match fuel {
+            "natural gas" => 0.21,
+            "district heating" => 0.16,
+            "oil" => 0.28,
+            _ => 0.10,
+        };
+        set(&mut rec, wk::EP_GLOBAL, Value::num(round1(eph + ep_dhw + 0.3 * ep_cooling)));
+        set(&mut rec, "ep_cooling", Value::num(round1(ep_cooling)));
+        set(&mut rec, "ep_dhw", Value::num(round1(ep_dhw)));
+        set(&mut rec, "ep_lighting", Value::num(round1(ep_lighting)));
+        set(&mut rec, "co2_emissions", Value::num(round1(eph * co2_factor)));
+        set(&mut rec, "renewable_share", Value::num(round1(renewable_share)));
+        set(&mut rec, "energy_cost_index", Value::num(round2(eph * 0.105)));
+
+        // --- Geometry ---
+        let floor_height = rng.gen_range(2.5..3.4);
+        let volume = sr * floor_height;
+        let dispersing = sv * volume;
+        let wr = rng.gen_range(0.10..0.28);
+        let n_floors = rng.gen_range(1..=9) as f64;
+        set(&mut rec, wk::HEATED_VOLUME, Value::num(round1(volume)));
+        set(&mut rec, "floor_area", Value::num(round1(sr * rng.gen_range(0.85..0.97))));
+        set(&mut rec, "glazed_surface", Value::num(round1(dispersing * wr)));
+        set(&mut rec, "opaque_surface", Value::num(round1(dispersing * (1.0 - wr))));
+        set(&mut rec, "dispersing_surface", Value::num(round1(dispersing)));
+        set(&mut rec, "n_floors", Value::num(n_floors));
+        set(&mut rec, "floor_height", Value::num(round2(floor_height)));
+        set(&mut rec, "window_area_ratio", Value::num(round3(wr)));
+        set(&mut rec, "n_apartments", Value::num(rng.gen_range(1..=40) as f64));
+        set(&mut rec, "shading_factor", Value::num(round2(rng.gen_range(0.55..1.0))));
+        set(&mut rec, "thermal_bridge_factor", Value::num(round2(rng.gen_range(1.02..1.30))));
+
+        // --- Envelope detail ---
+        set(&mut rec, "roof_u_value", Value::num(round3((uo * rng.gen_range(0.8..1.3)).clamp(0.12, 2.2))));
+        set(&mut rec, "floor_u_value", Value::num(round3((uo * rng.gen_range(0.7..1.2)).clamp(0.12, 2.0))));
+        set(&mut rec, "air_change_rate", Value::num(round2(rng.gen_range(0.3..0.9))));
+
+        // --- Plant & subsystem efficiencies ---
+        let eta_e = rng.gen_range(0.90..0.98);
+        let eta_c = rng.gen_range(0.92..0.99);
+        let eta_d = rng.gen_range(0.92..0.99);
+        let eta_g = (eta_h / (eta_e * eta_c * eta_d)).clamp(0.4, 1.1);
+        set(&mut rec, wk::ETA_GENERATION, Value::num(round3(eta_g)));
+        set(&mut rec, wk::ETA_DISTRIBUTION, Value::num(round3(eta_d)));
+        set(&mut rec, wk::ETA_EMISSION, Value::num(round3(eta_e)));
+        set(&mut rec, wk::ETA_CONTROL, Value::num(round3(eta_c)));
+        set(&mut rec, "boiler_power", Value::num(round1((sr * rng.gen_range(0.06..0.12)).clamp(5.0, 400.0))));
+        set(&mut rec, "boiler_efficiency", Value::num(round3((eta_g * rng.gen_range(0.98..1.06)).clamp(0.4, 1.1))));
+        set(&mut rec, "dhw_demand", Value::num(round1(ep_dhw * sr)));
+        let has_solar = rng.gen::<f64>() < arche.condensing_prob * 0.4;
+        let has_pv = rng.gen::<f64>() < arche.condensing_prob * 0.35;
+        set(&mut rec, "solar_thermal_area", Value::num(if has_solar { round1(rng.gen_range(2.0..12.0)) } else { 0.0 }));
+        set(&mut rec, "pv_power", Value::num(if has_pv { round1(rng.gen_range(1.5..20.0)) } else { 0.0 }));
+
+        // --- Context & operation ---
+        let year = arche.sample_year(rng);
+        let renovated = wall_retrofit || window_retrofit || boiler_retrofit;
+        set(&mut rec, wk::CONSTRUCTION_YEAR, Value::num(year as f64));
+        set(
+            &mut rec,
+            "renovation_year",
+            if renovated {
+                Value::num(rng.gen_range(year.max(1990)..=2018) as f64)
+            } else {
+                Value::Missing
+            },
+        );
+        set(&mut rec, "degree_days", Value::num(round1(TURIN_DEGREE_DAYS * rng.gen_range(0.98..1.02))));
+        set(&mut rec, "indoor_temp_setpoint", Value::num(round1(rng.gen_range(19.0..21.5))));
+        set(&mut rec, "heating_hours", Value::num(round1(rng.gen_range(8.0..14.0))));
+
+        // --- Building & plant taxonomy ---
+        let category = if rng.gen::<f64>() < self.config.e11_fraction {
+            "E.1.1"
+        } else {
+            *pick(rng, &["E.1.2", "E.1.3", "E.2", "E.3", "E.4", "E.8"])
+        };
+        set(&mut rec, wk::BUILDING_CATEGORY, Value::cat(category));
+        set(&mut rec, wk::EPC_CLASS, Value::cat(epc_class(eph)));
+        set(&mut rec, wk::HEATING_FUEL, Value::cat(fuel));
+        set(&mut rec, "dhw_fuel", Value::cat(*pick(rng, &["natural gas", "electric", "solar-assisted", "district heating"])));
+        let condensing = boiler_retrofit || rng.gen::<f64>() < arche.condensing_prob;
+        set(&mut rec, "boiler_type", Value::cat(if fuel == "heat pump" { "heat pump" } else if condensing { "condensing" } else { "standard" }));
+        set(&mut rec, "emitter_type", Value::cat(*pick(rng, &["radiators", "floor panels", "fan coils"])));
+        set(&mut rec, "distribution_type", Value::cat(*pick(rng, &["vertical columns", "horizontal ring", "autonomous"])));
+        let thermo_valves = rng.gen::<f64>() < (0.3 + arche.condensing_prob * 0.6);
+        set(&mut rec, "control_type", Value::cat(if thermo_valves { "thermostatic valves" } else { *pick(rng, &["central only", "zone thermostat"]) }));
+        let mech_vent = rng.gen::<f64>() < arche.insulation_prob * 0.4;
+        set(&mut rec, "ventilation_type", Value::cat(if mech_vent { "mechanical" } else { "natural" }));
+        set(&mut rec, wk::CONSTRUCTION_PERIOD, Value::cat(arche.period_label));
+        set(&mut rec, "wall_type", Value::cat(match arche.name {
+            "historic masonry" | "interwar" => "solid masonry",
+            "postwar boom slab" => "concrete panel",
+            "late 20th century" => "cavity wall",
+            _ => "insulated frame",
+        }));
+        set(&mut rec, "roof_type", Value::cat(*pick(rng, &["pitched tiles", "flat concrete", "pitched insulated"])));
+        set(&mut rec, "floor_type", Value::cat(*pick(rng, &["on ground", "over cellar", "over open space"])));
+        set(&mut rec, "window_frame", Value::cat(*pick(rng, &["wood", "aluminum", "pvc"])));
+        let double_glazed = window_retrofit || rng.gen::<f64>() < arche.double_glazing_prob;
+        set(&mut rec, "glazing_type", Value::cat(if double_glazed { if rng.gen::<f64>() < 0.2 { "triple" } else { "double" } } else { "single" }));
+        set(&mut rec, "shading_device", Value::cat(*pick(rng, &["shutters", "blinds", "none"])));
+        set(&mut rec, "occupancy_type", Value::cat(*pick(rng, &["owner occupied", "rented", "vacant"])));
+        set(&mut rec, "ownership", Value::cat(*pick(rng, &["private", "condominium", "public"])));
+        set(&mut rec, "certifier_qualification", Value::cat(*pick(rng, &["engineer", "architect", "surveyor"])));
+        set(&mut rec, "inspection_type", Value::cat(*pick(rng, &["full survey", "documental"])));
+        set(&mut rec, "climate_zone", Value::cat("E"));
+        set(&mut rec, "exposure", Value::cat(*pick(rng, &["north", "south", "east", "west", "corner"])));
+        set(&mut rec, "adjacency", Value::cat(*pick(rng, &["row", "semi-detached", "detached", "apartment block"])));
+        set(&mut rec, "basement_type", Value::cat(*pick(rng, &["none", "unheated cellar", "heated basement"])));
+        set(&mut rec, "attic_type", Value::cat(*pick(rng, &["none", "unheated attic", "heated attic"])));
+        set(&mut rec, "renewable_type", Value::cat(if has_pv { "photovoltaic" } else if has_solar { "solar thermal" } else { "none" }));
+        set(&mut rec, "cooling_system", Value::cat(*pick(rng, &["none", "split units", "central"])));
+        set(&mut rec, "heat_pump_type", Value::cat(if fuel == "heat pump" { *pick(rng, &["air-water", "air-air", "ground-water"]) } else { "none" }));
+        set(&mut rec, "solar_orientation", Value::cat(*pick(rng, &["N", "NE", "E", "SE", "S", "SW", "W", "NW"])));
+        set(&mut rec, "facade_condition", Value::cat(*pick(rng, &["good", "fair", "poor"])));
+        set(&mut rec, "retrofit_level", Value::cat(if renovated { *pick(rng, &["partial", "deep"]) } else { "none" }));
+        set(&mut rec, "energy_vector", Value::cat(if fuel == "heat pump" { "electricity" } else { fuel }));
+        set(&mut rec, "heating_emission_layout", Value::cat(*pick(rng, &["per room", "central riser", "perimeter"])));
+
+        // --- Boolean flags (correlated with the physical sample) ---
+        let yes_no = |b: bool| Value::cat(if b { "yes" } else { "no" });
+        let insulated = wall_retrofit;
+        set(&mut rec, "has_condensing_boiler", yes_no(condensing));
+        set(&mut rec, "has_solar_thermal", yes_no(has_solar));
+        set(&mut rec, "has_pv", yes_no(has_pv));
+        set(&mut rec, "has_heat_pump", yes_no(fuel == "heat pump"));
+        set(&mut rec, "has_district_heating", yes_no(fuel == "district heating"));
+        set(&mut rec, "has_thermostatic_valves", yes_no(thermo_valves));
+        set(&mut rec, "has_double_glazing", yes_no(double_glazed));
+        set(&mut rec, "has_roof_insulation", yes_no(insulated && rng.gen::<f64>() < 0.8));
+        set(&mut rec, "has_wall_insulation", yes_no(insulated));
+        set(&mut rec, "has_floor_insulation", yes_no(insulated && rng.gen::<f64>() < 0.5));
+        set(&mut rec, "has_mechanical_ventilation", yes_no(mech_vent));
+        set(&mut rec, "has_heat_recovery", yes_no(mech_vent && rng.gen::<f64>() < 0.6));
+        set(&mut rec, "has_bms", yes_no(rng.gen::<f64>() < 0.08));
+        set(&mut rec, "has_led_lighting", yes_no(rng.gen::<f64>() < 0.4));
+        set(&mut rec, "has_elevator", yes_no(n_floors >= 4.0 && rng.gen::<f64>() < 0.8));
+        set(&mut rec, "has_garage", yes_no(rng.gen::<f64>() < 0.35));
+        set(&mut rec, "has_balcony", yes_no(rng.gen::<f64>() < 0.7));
+        set(&mut rec, "has_cellar", yes_no(rng.gen::<f64>() < 0.5));
+        set(&mut rec, "has_smart_thermostat", yes_no(rng.gen::<f64>() < arche.condensing_prob * 0.3));
+        set(&mut rec, "has_ev_charging", yes_no(rng.gen::<f64>() < 0.04));
+        set(&mut rec, "has_green_roof", yes_no(rng.gen::<f64>() < 0.02));
+        set(&mut rec, "has_rainwater_reuse", yes_no(rng.gen::<f64>() < 0.03));
+        set(&mut rec, "is_listed_building", yes_no(arche.name == "historic masonry" && rng.gen::<f64>() < 0.3));
+        set(&mut rec, "is_social_housing", yes_no(rng.gen::<f64>() < 0.07));
+        set(&mut rec, "is_detached", yes_no(rng.gen::<f64>() < 0.12));
+        set(&mut rec, "is_corner_unit", yes_no(rng.gen::<f64>() < 0.2));
+        set(&mut rec, "is_top_floor", yes_no(rng.gen::<f64>() < 1.0 / n_floors.max(1.0)));
+        set(&mut rec, "is_ground_floor", yes_no(rng.gen::<f64>() < 1.0 / n_floors.max(1.0)));
+
+        // --- Recommended interventions (driven by the actual weaknesses,
+        //     so rules like "Uw High → reco_windows" hold) ---
+        set(&mut rec, "reco_envelope", yes_no(uo > 0.65));
+        set(&mut rec, "reco_windows", yes_no(uw > 3.35));
+        set(&mut rec, "reco_boiler", yes_no(eta_g < 0.75));
+        set(&mut rec, "reco_renewables", yes_no(!has_pv && !has_solar));
+        set(&mut rec, "reco_controls", yes_no(!thermo_valves));
+        set(&mut rec, "subsidy_eligibility", Value::cat(if eph > 150.0 { "ecobonus" } else if eph > 70.0 { "standard" } else { "none" }));
+        set(&mut rec, "gas_meter_type", Value::cat(*pick(rng, &["G4", "G6", "G10", "none"])));
+        set(&mut rec, "electric_meter_type", Value::cat(*pick(rng, &["3kW", "4.5kW", "6kW"])));
+        set(&mut rec, "water_heating_location", Value::cat(*pick(rng, &["in unit", "central plant", "external"])));
+        set(&mut rec, "chimney_type", Value::cat(*pick(rng, &["individual flue", "collective flue", "wall vent"])));
+        set(&mut rec, "radiator_material", Value::cat(*pick(rng, &["cast iron", "aluminum", "steel"])));
+        set(&mut rec, "pipe_insulation_level", Value::cat(*pick(rng, &["none", "partial", "full"])));
+        set(&mut rec, "window_shutter_type", Value::cat(*pick(rng, &["roller", "hinged", "none"])));
+        set(&mut rec, "entrance_orientation", Value::cat(*pick(rng, &["street", "courtyard"])));
+        set(&mut rec, "stairwell_heated", Value::cat(*pick(rng, &["yes", "no"])));
+        set(&mut rec, "party_wall_exposure", Value::cat(*pick(rng, &["both sides", "one side", "none"])));
+        set(&mut rec, "certificate_purpose", Value::cat(*pick(rng, &["sale", "rent", "new construction", "renovation"])));
+        set(&mut rec, "previous_class", if rng.gen::<f64>() < 0.3 { Value::cat(*pick(rng, &["C", "D", "E", "F", "G"])) } else { Value::Missing });
+        set(&mut rec, "calculation_software", Value::cat(*pick(rng, &["SW-A 3.1", "SW-B 2.4", "SW-C 1.9"])));
+        set(&mut rec, "data_quality_flag", Value::cat(*pick(rng, &["measured", "estimated", "default values"])));
+
+        rec
+    }
+}
+
+/// Archetype sampling by normalized radial position (0 = centre, 1 = edge):
+/// each archetype has a preferred radius; weights decay with distance to it.
+fn sample_archetype(radial: f64, rng: &mut StdRng) -> ArchetypeId {
+    let k = ARCHETYPES.len();
+    let mut weights = [0.0f64; 6];
+    for (i, w) in weights.iter_mut().enumerate() {
+        let preferred = i as f64 / (k - 1) as f64;
+        let d = (radial - preferred).abs();
+        *w = (-d * d / 0.08).exp() + 0.03; // Gaussian kernel + floor
+    }
+    let total: f64 = weights.iter().sum();
+    let mut draw = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        draw -= w;
+        if draw <= 0.0 {
+            return i;
+        }
+    }
+    k - 1
+}
+
+fn pick<'a, T>(rng: &mut StdRng, options: &'a [T]) -> &'a T {
+    &options[rng.gen_range(0..options.len())]
+}
+
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::CityConfig;
+    use epc_model::wellknown as wk;
+
+    fn small() -> SyntheticCollection {
+        EpcGenerator::new(SynthConfig {
+            n_records: 500,
+            city: CityConfig {
+                n_districts: 4,
+                neighbourhoods_per_district: 4,
+                streets_per_neighbourhood: 3,
+                houses_per_street: 10,
+                ..CityConfig::default()
+            },
+            ..SynthConfig::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn dataset_shape_matches_paper() {
+        let c = small();
+        assert_eq!(c.dataset.n_rows(), 500);
+        assert_eq!(c.dataset.n_cols(), 132);
+        let (num, cat) = c.dataset.schema().kind_counts();
+        assert_eq!((num, cat), (43, 89));
+    }
+
+    #[test]
+    fn clean_collection_has_no_missing_core_fields() {
+        let c = small();
+        let s = c.dataset.schema();
+        for name in [
+            wk::ADDRESS,
+            wk::ZIP_CODE,
+            wk::LATITUDE,
+            wk::LONGITUDE,
+            wk::ASPECT_RATIO,
+            wk::U_OPAQUE,
+            wk::U_WINDOWS,
+            wk::HEAT_SURFACE,
+            wk::ETA_H,
+            wk::EPH,
+        ] {
+            let id = s.require(name).unwrap();
+            assert_eq!(
+                c.dataset.column(id).unwrap().missing_count(),
+                0,
+                "{name} must be complete before noise"
+            );
+        }
+    }
+
+    #[test]
+    fn attributes_respect_footnote4_ranges() {
+        let c = small();
+        let s = c.dataset.schema();
+        let uw = c.dataset.numeric_values(s.require(wk::U_WINDOWS).unwrap());
+        let uo = c.dataset.numeric_values(s.require(wk::U_OPAQUE).unwrap());
+        let eta = c.dataset.numeric_values(s.require(wk::ETA_H).unwrap());
+        assert!(uw.iter().all(|&x| (1.1..=5.5).contains(&x)));
+        assert!(uo.iter().all(|&x| (0.15..=1.1).contains(&x)));
+        assert!(eta.iter().all(|&x| (0.2..=1.1).contains(&x)));
+    }
+
+    #[test]
+    fn truth_is_aligned_with_dataset() {
+        let c = small();
+        let s = c.dataset.schema();
+        assert_eq!(c.truth.streets.len(), 500);
+        for row in [0usize, 42, 499] {
+            assert_eq!(
+                c.dataset.cat(row, s.require(wk::ADDRESS).unwrap()).unwrap(),
+                c.truth.streets[row]
+            );
+            assert_eq!(
+                c.dataset.cat(row, s.require(wk::ZIP_CODE).unwrap()).unwrap(),
+                c.truth.zips[row]
+            );
+            let lat = c.dataset.num(row, s.require(wk::LATITUDE).unwrap()).unwrap();
+            assert!((lat - c.truth.points[row].lat).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn e11_fraction_is_respected() {
+        let c = small();
+        let s = c.dataset.schema();
+        let id = s.require(wk::BUILDING_CATEGORY).unwrap();
+        let e11 = (0..c.dataset.n_rows())
+            .filter(|&r| c.dataset.cat(r, id) == Some("E.1.1"))
+            .count();
+        let frac = e11 as f64 / 500.0;
+        assert!((0.7..0.9).contains(&frac), "E.1.1 fraction {frac}");
+    }
+
+    #[test]
+    fn centre_is_older_than_periphery() {
+        let c = small();
+        let center = c.city.config.center;
+        let max_d = c
+            .truth
+            .points
+            .iter()
+            .map(|p| p.haversine_m(&center))
+            .fold(0.0f64, f64::max);
+        let mut inner_age = Vec::new();
+        let mut outer_age = Vec::new();
+        let s = c.dataset.schema();
+        let year_id = s.require(wk::CONSTRUCTION_YEAR).unwrap();
+        for row in 0..c.dataset.n_rows() {
+            let d = c.truth.points[row].haversine_m(&center);
+            let y = c.dataset.num(row, year_id).unwrap();
+            if d < max_d / 3.0 {
+                inner_age.push(y);
+            } else if d > 2.0 * max_d / 3.0 {
+                outer_age.push(y);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&inner_age) + 10.0 < mean(&outer_age),
+            "inner {} vs outer {} ({} / {} samples)",
+            mean(&inner_age),
+            mean(&outer_age),
+            inner_age.len(),
+            outer_age.len()
+        );
+    }
+
+    #[test]
+    fn eph_correlates_with_thermal_quality() {
+        // Records with Uw in the paper's "Very high" bin must have higher
+        // average EPH than those in "Low" — the signal behind the rules.
+        let c = small();
+        let s = c.dataset.schema();
+        let uw_id = s.require(wk::U_WINDOWS).unwrap();
+        let eph_id = s.require(wk::EPH).unwrap();
+        let mut low = Vec::new();
+        let mut very_high = Vec::new();
+        for row in 0..c.dataset.n_rows() {
+            let uw = c.dataset.num(row, uw_id).unwrap();
+            let eph = c.dataset.num(row, eph_id).unwrap();
+            if uw <= 2.05 {
+                low.push(eph);
+            } else if uw > 3.35 {
+                very_high.push(eph);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(!low.is_empty() && !very_high.is_empty());
+        assert!(mean(&very_high) > 1.5 * mean(&low));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.truth.archetypes, b.truth.archetypes);
+    }
+
+    #[test]
+    fn epc_class_is_consistent_with_eph() {
+        let c = small();
+        let s = c.dataset.schema();
+        let class_id = s.require(wk::EPC_CLASS).unwrap();
+        let eph_id = s.require(wk::EPH).unwrap();
+        for row in 0..c.dataset.n_rows() {
+            let class = c.dataset.cat(row, class_id).unwrap();
+            let eph = c.dataset.num(row, eph_id).unwrap();
+            assert_eq!(class, crate::archetype::epc_class(eph));
+        }
+    }
+}

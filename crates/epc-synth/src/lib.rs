@@ -1,0 +1,37 @@
+//! # epc-synth
+//!
+//! Synthetic-data substitute for the CSI Piemonte EPC collection the paper
+//! analyses (see the substitution table in DESIGN.md).
+//!
+//! The real collection — ~25 000 certificates, 132 attributes, Turin,
+//! 2016-2018 — is open data but not redistributable here, so this crate
+//! generates a faithful stand-in:
+//!
+//! * [`names`] — Italian-flavoured name banks for streets, districts and
+//!   neighbourhoods;
+//! * [`city`] — a procedural city: district/neighbourhood polygons
+//!   ([`epc_geo::region::RegionHierarchy`]) plus a complete referenced
+//!   street map ([`epc_geo::streetmap::StreetMap`]) with ZIP codes and
+//!   geolocated house numbers;
+//! * [`archetype`] — building archetypes (construction-period profiles)
+//!   whose attribute distributions create the correlated, clusterable
+//!   structure the case study exploits (historic centre vs modern
+//!   periphery);
+//! * [`epcgen`] — the EPC generator emitting the full 132-attribute
+//!   [`epc_model::Dataset`] plus per-record ground truth;
+//! * [`noise`] — the corruption model: address typos, missing ZIP codes,
+//!   wrong or missing coordinates, attribute outliers, so the cleaning and
+//!   outlier-removal stages have real work to do *and* measurable accuracy.
+//!
+//! Everything is seeded and fully deterministic.
+
+pub mod archetype;
+pub mod city;
+pub mod epcgen;
+pub mod names;
+pub mod noise;
+
+pub use archetype::{Archetype, ArchetypeId, ARCHETYPES};
+pub use city::{CityConfig, CityPlan};
+pub use epcgen::{EpcGenerator, GroundTruth, SynthConfig, SyntheticCollection};
+pub use noise::NoiseConfig;

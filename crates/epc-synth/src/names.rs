@@ -1,0 +1,165 @@
+//! Name banks for the procedural city: street base names (Italian
+//! historical figures and places, as in Turin's odonymy), odonym prefixes,
+//! and neighbourhood names.
+
+/// Street-name prefixes (odonym types) with rough relative frequencies.
+pub const STREET_PREFIXES: &[(&str, u32)] = &[
+    ("Via", 70),
+    ("Corso", 15),
+    ("Piazza", 6),
+    ("Viale", 4),
+    ("Largo", 3),
+    ("Strada", 2),
+];
+
+/// Base names for streets (people and places of the Italian odonymy).
+pub const STREET_BASE_NAMES: &[&str] = &[
+    "Roma", "Garibaldi", "Cavour", "Mazzini", "Vittorio Emanuele II", "Dante",
+    "Petrarca", "Leopardi", "Manzoni", "Verdi", "Puccini", "Rossini", "Bellini",
+    "Galileo Galilei", "Leonardo da Vinci", "Michelangelo", "Raffaello",
+    "Cristoforo Colombo", "Marco Polo", "Amerigo Vespucci", "Montebello",
+    "Solferino", "San Martino", "Magenta", "Curtatone", "Goito", "Palestro",
+    "Volturno", "Milano", "Genova", "Venezia", "Firenze", "Bologna", "Napoli",
+    "Palermo", "Cagliari", "Trieste", "Trento", "Gorizia", "Zara", "Fiume",
+    "Po", "Dora Riparia", "Stura", "Sangone", "Monviso", "Gran Paradiso",
+    "Monte Rosa", "Cervino", "Monginevro", "Moncenisio", "Sestriere",
+    "Francia", "Svizzera", "Inghilterra", "Spagna", "Grecia", "Belgio",
+    "Nizza", "Savoia", "Aosta", "Ivrea", "Chieri", "Moncalieri", "Rivoli",
+    "Pinerolo", "Saluzzo", "Cuneo", "Asti", "Alessandria", "Vercelli",
+    "Novara", "Biella", "Carmagnola", "Orbassano", "Settimo", "Chivasso",
+    "Lagrange", "Alfieri", "Gioberti", "Balbo", "D'Azeglio", "Cibrario",
+    "Peano", "Avogadro", "Galvani", "Volta", "Marconi", "Fermi", "Meucci",
+    "Pacinotti", "Ferraris", "Sommeiller", "Cecchi", "Regaldi", "Bava",
+];
+
+/// Turin-flavoured neighbourhood names.
+pub const NEIGHBOURHOOD_NAMES: &[&str] = &[
+    "Centro Storico", "Quadrilatero", "San Salvario", "Crocetta", "San Donato",
+    "Aurora", "Vanchiglia", "Vanchiglietta", "Cenisia", "San Paolo",
+    "Pozzo Strada", "Parella", "Campidoglio", "Borgo Vittoria",
+    "Madonna di Campagna", "Barriera di Milano", "Regio Parco", "Barca",
+    "Bertolla", "Falchera", "Rebaudengo", "Villaretto", "Borgo Po", "Cavoretto",
+    "Nizza Millefonti", "Lingotto", "Filadelfia", "Santa Rita", "Mirafiori Nord",
+    "Mirafiori Sud", "Borgata Vittoria", "Le Vallette", "Lucento", "Madonna del Pilone",
+    "Sassi", "Superga", "Borgata Lesna", "Gerbido", "Borgo San Pietro", "Valdocco",
+];
+
+/// Deterministically picks the i-th street name.
+///
+/// Each base name gets a weighted prefix ("Via" dominates, like real
+/// odonymy); once the base bank is exhausted, later cycles reuse the same
+/// `(prefix, base)` pair with a roman suffix (`"Via Roma II"`), keeping
+/// names unique for tens of thousands of indices.
+pub fn street_name(i: usize) -> String {
+    let total_weight: u32 = STREET_PREFIXES.iter().map(|(_, w)| w).sum();
+    let n_bases = STREET_BASE_NAMES.len();
+    let base_idx = i % n_bases;
+    let base = STREET_BASE_NAMES[base_idx];
+    let cycle = i / n_bases;
+    // Weighted prefix per base, stable across cycles.
+    let slot = (base_idx as u32).wrapping_mul(97) % total_weight;
+    let mut acc = 0;
+    let mut prefix = STREET_PREFIXES[0].0;
+    for &(p, w) in STREET_PREFIXES {
+        acc += w;
+        if slot < acc {
+            prefix = p;
+            break;
+        }
+    }
+    if cycle == 0 {
+        format!("{prefix} {base}")
+    } else {
+        format!("{prefix} {base} {}", roman(cycle + 1))
+    }
+}
+
+/// District name for index `i` (Turin numbers its "circoscrizioni").
+pub fn district_name(i: usize) -> String {
+    format!("Circoscrizione {}", i + 1)
+}
+
+/// Neighbourhood name for global index `i`.
+pub fn neighbourhood_name(i: usize) -> String {
+    let n = NEIGHBOURHOOD_NAMES.len();
+    if i < n {
+        NEIGHBOURHOOD_NAMES[i].to_owned()
+    } else {
+        format!("{} {}", NEIGHBOURHOOD_NAMES[i % n], i / n + 1)
+    }
+}
+
+fn roman(mut n: usize) -> String {
+    const TABLE: &[(usize, &str)] = &[
+        (10, "X"),
+        (9, "IX"),
+        (5, "V"),
+        (4, "IV"),
+        (1, "I"),
+    ];
+    let mut out = String::new();
+    for &(v, s) in TABLE {
+        while n >= v {
+            out.push_str(s);
+            n -= v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn street_names_are_distinct_for_a_whole_city() {
+        let names: HashSet<String> = (0..600).map(street_name).collect();
+        assert_eq!(names.len(), 600, "600 streets must be distinct");
+    }
+
+    #[test]
+    fn street_names_have_prefix_and_base() {
+        let n = street_name(0);
+        assert!(STREET_PREFIXES.iter().any(|(p, _)| n.starts_with(p)));
+        assert!(n.len() > 4);
+    }
+
+    #[test]
+    fn via_is_the_most_common_prefix() {
+        let names: Vec<String> = (0..300).map(street_name).collect();
+        let via = names.iter().filter(|n| n.starts_with("Via ")).count();
+        let corso = names.iter().filter(|n| n.starts_with("Corso ")).count();
+        assert!(via > corso, "via {via} vs corso {corso}");
+        assert!(via > 100);
+    }
+
+    #[test]
+    fn district_and_neighbourhood_names() {
+        assert_eq!(district_name(0), "Circoscrizione 1");
+        assert_eq!(district_name(7), "Circoscrizione 8");
+        assert_eq!(neighbourhood_name(0), "Centro Storico");
+        let far = neighbourhood_name(NEIGHBOURHOOD_NAMES.len() + 2);
+        assert!(far.ends_with(" 2"), "{far}");
+    }
+
+    #[test]
+    fn neighbourhood_names_distinct_over_two_cycles() {
+        let n = NEIGHBOURHOOD_NAMES.len();
+        let names: HashSet<String> = (0..2 * n).map(neighbourhood_name).collect();
+        assert_eq!(names.len(), 2 * n);
+    }
+
+    #[test]
+    fn roman_numerals() {
+        assert_eq!(roman(2), "II");
+        assert_eq!(roman(4), "IV");
+        assert_eq!(roman(9), "IX");
+        assert_eq!(roman(13), "XIII");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(street_name(42), street_name(42));
+    }
+}

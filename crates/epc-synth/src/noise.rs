@@ -1,0 +1,378 @@
+//! The corruption model: makes the clean synthetic collection as messy as
+//! the real one, with ground truth recorded so the cleaning and
+//! outlier-detection stages can be scored.
+//!
+//! Corruption kinds (rates configurable):
+//! * street-name typos (character swaps/deletions/replacements) and
+//!   odonym abbreviations (`Corso` → `C.so`);
+//! * missing ZIP codes and implausible ZIP codes;
+//! * missing or displaced coordinates;
+//! * univariate attribute outliers (scaled U-values / EPH);
+//! * multivariate outliers (jointly inconsistent attribute combinations).
+
+use crate::epcgen::SyntheticCollection;
+use epc_model::{wellknown as wk, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Noise-injection rates (fractions of records, each drawn independently).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseConfig {
+    /// Fraction of records whose street gets typos.
+    pub typo_rate: f64,
+    /// Fraction of records whose street is abbreviated (`Corso` → `C.so`).
+    pub abbreviation_rate: f64,
+    /// Fraction of records losing their ZIP code.
+    pub zip_missing_rate: f64,
+    /// Fraction of records with a corrupted (wrong) ZIP code.
+    pub zip_wrong_rate: f64,
+    /// Fraction of records losing their coordinates.
+    pub coord_missing_rate: f64,
+    /// Fraction of records with displaced coordinates (≥ ~1 km).
+    pub coord_wrong_rate: f64,
+    /// Fraction of records turned into univariate outliers.
+    pub univariate_outlier_rate: f64,
+    /// Fraction of records turned into multivariate outliers.
+    pub multivariate_outlier_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            typo_rate: 0.12,
+            abbreviation_rate: 0.10,
+            zip_missing_rate: 0.06,
+            zip_wrong_rate: 0.02,
+            coord_missing_rate: 0.05,
+            coord_wrong_rate: 0.03,
+            univariate_outlier_rate: 0.01,
+            multivariate_outlier_rate: 0.005,
+            seed: 77,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// A configuration that corrupts nothing (for ablations).
+    pub fn none() -> Self {
+        NoiseConfig {
+            typo_rate: 0.0,
+            abbreviation_rate: 0.0,
+            zip_missing_rate: 0.0,
+            zip_wrong_rate: 0.0,
+            coord_missing_rate: 0.0,
+            coord_wrong_rate: 0.0,
+            univariate_outlier_rate: 0.0,
+            multivariate_outlier_rate: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Applies the corruption model in place, recording affected rows in the
+/// collection's ground truth (`corrupted_addresses`, `injected_outliers`).
+pub fn apply_noise(collection: &mut SyntheticCollection, config: &NoiseConfig) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = collection.dataset.schema_arc();
+    let addr_id = schema.require(wk::ADDRESS).unwrap();
+    let zip_id = schema.require(wk::ZIP_CODE).unwrap();
+    let lat_id = schema.require(wk::LATITUDE).unwrap();
+    let lon_id = schema.require(wk::LONGITUDE).unwrap();
+    let uw_id = schema.require(wk::U_WINDOWS).unwrap();
+    let uo_id = schema.require(wk::U_OPAQUE).unwrap();
+    let eph_id = schema.require(wk::EPH).unwrap();
+    let eta_id = schema.require(wk::ETA_H).unwrap();
+    let sr_id = schema.require(wk::HEAT_SURFACE).unwrap();
+
+    let n = collection.dataset.n_rows();
+    for row in 0..n {
+        let mut address_touched = false;
+
+        // --- Street corruption ---
+        if rng.gen::<f64>() < config.abbreviation_rate {
+            let street = collection.dataset.cat(row, addr_id).unwrap().to_owned();
+            let abbreviated = abbreviate(&street);
+            if abbreviated != street {
+                collection
+                    .dataset
+                    .set_value(row, addr_id, Value::cat(abbreviated))
+                    .unwrap();
+                // Abbreviations normalize back losslessly, so they are not
+                // counted as corruption needing fuzzy repair.
+            }
+        }
+        if rng.gen::<f64>() < config.typo_rate {
+            let street = collection.dataset.cat(row, addr_id).unwrap().to_owned();
+            let n_typos = 1 + usize::from(rng.gen::<f64>() < 0.3);
+            let noisy = add_typos(&street, n_typos, &mut rng);
+            if noisy != street {
+                collection
+                    .dataset
+                    .set_value(row, addr_id, Value::cat(noisy))
+                    .unwrap();
+                address_touched = true;
+            }
+        }
+
+        // --- ZIP corruption ---
+        if rng.gen::<f64>() < config.zip_missing_rate {
+            collection
+                .dataset
+                .set_value(row, zip_id, Value::Missing)
+                .unwrap();
+            address_touched = true;
+        } else if rng.gen::<f64>() < config.zip_wrong_rate {
+            let wrong = format!("{}", 10000 + rng.gen_range(0..90000));
+            collection
+                .dataset
+                .set_value(row, zip_id, Value::cat(wrong))
+                .unwrap();
+            address_touched = true;
+        }
+
+        // --- Coordinate corruption ---
+        if rng.gen::<f64>() < config.coord_missing_rate {
+            collection.dataset.set_value(row, lat_id, Value::Missing).unwrap();
+            collection.dataset.set_value(row, lon_id, Value::Missing).unwrap();
+            address_touched = true;
+        } else if rng.gen::<f64>() < config.coord_wrong_rate {
+            let lat = collection.dataset.num(row, lat_id).unwrap();
+            let lon = collection.dataset.num(row, lon_id).unwrap();
+            // Displace by 1-20 km in a random direction.
+            let d_lat = (rng.gen::<f64>() - 0.5) * 0.3;
+            let d_lon = (rng.gen::<f64>() - 0.5) * 0.3;
+            collection
+                .dataset
+                .set_value(row, lat_id, Value::num(lat + d_lat.signum() * d_lat.abs().max(0.01)))
+                .unwrap();
+            collection
+                .dataset
+                .set_value(row, lon_id, Value::num(lon + d_lon.signum() * d_lon.abs().max(0.01)))
+                .unwrap();
+            address_touched = true;
+        }
+        if address_touched {
+            collection.truth.corrupted_addresses.push(row);
+        }
+
+        // --- Univariate outliers: blow up one thermo-physical attribute ---
+        if rng.gen::<f64>() < config.univariate_outlier_rate {
+            let which = rng.gen_range(0..3);
+            // Scale up and force the value beyond the attribute's physical
+            // range, so injected outliers are unambiguous ground truth.
+            let (id, factor_range, floor): (_, (f64, f64), f64) = match which {
+                0 => (uw_id, (3.0, 8.0), 7.0),
+                1 => (uo_id, (4.0, 10.0), 1.6),
+                _ => (eph_id, (4.0, 10.0), 600.0),
+            };
+            let x = collection.dataset.num(row, id).unwrap();
+            let factor = rng.gen_range(factor_range.0..factor_range.1);
+            collection
+                .dataset
+                .set_value(row, id, Value::num((x * factor).max(floor)))
+                .unwrap();
+            collection.truth.injected_outliers.push(row);
+        }
+        // --- Multivariate outliers: jointly impossible combination ---
+        else if rng.gen::<f64>() < config.multivariate_outlier_rate {
+            // A "perfect envelope with terrible consumption" record: each
+            // attribute is within range, but the combination is isolated in
+            // feature space.
+            collection.dataset.set_value(row, uw_id, Value::num(1.15)).unwrap();
+            collection.dataset.set_value(row, uo_id, Value::num(0.16)).unwrap();
+            collection.dataset.set_value(row, eta_id, Value::num(1.05)).unwrap();
+            collection.dataset.set_value(row, eph_id, Value::num(480.0)).unwrap();
+            collection
+                .dataset
+                .set_value(row, sr_id, Value::num(1_900.0))
+                .unwrap();
+            collection.truth.injected_outliers.push(row);
+        }
+    }
+}
+
+/// Italian odonym abbreviation (the lossless kind of mess).
+fn abbreviate(street: &str) -> String {
+    for (full, abbr) in [
+        ("Corso ", "C.so "),
+        ("Via ", "V. "),
+        ("Piazza ", "P.za "),
+        ("Viale ", "V.le "),
+        ("Largo ", "L.go "),
+    ] {
+        if let Some(rest) = street.strip_prefix(full) {
+            return format!("{abbr}{rest}");
+        }
+    }
+    street.to_owned()
+}
+
+/// Injects `n` random character-level typos (swap / delete / replace /
+/// duplicate), never touching the first character.
+fn add_typos(street: &str, n: usize, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = street.chars().collect();
+    for _ in 0..n {
+        if chars.len() < 3 {
+            break;
+        }
+        let pos = rng.gen_range(1..chars.len());
+        match rng.gen_range(0..4) {
+            0 => {
+                // swap with neighbour
+                if pos + 1 < chars.len() {
+                    chars.swap(pos, pos + 1);
+                }
+            }
+            1 => {
+                chars.remove(pos);
+            }
+            2 => {
+                let c = (b'a' + rng.gen_range(0..26)) as char;
+                chars[pos] = c;
+            }
+            _ => {
+                let c = chars[pos];
+                chars.insert(pos, c);
+            }
+        }
+    }
+    chars.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::CityConfig;
+    use crate::epcgen::{EpcGenerator, SynthConfig};
+    use epc_geo::levenshtein::similarity;
+
+    fn collection() -> SyntheticCollection {
+        EpcGenerator::new(SynthConfig {
+            n_records: 800,
+            city: CityConfig {
+                n_districts: 4,
+                neighbourhoods_per_district: 2,
+                streets_per_neighbourhood: 3,
+                houses_per_street: 8,
+                ..CityConfig::default()
+            },
+            ..SynthConfig::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn noise_rates_are_roughly_respected() {
+        let mut c = collection();
+        apply_noise(&mut c, &NoiseConfig::default());
+        let n = c.dataset.n_rows() as f64;
+        let corrupted = c.truth.corrupted_addresses.len() as f64 / n;
+        // typo 12% + zip 8% + coord 8% minus overlaps: expect 15-35%.
+        assert!(
+            (0.10..0.45).contains(&corrupted),
+            "corrupted fraction {corrupted}"
+        );
+        let outliers = c.truth.injected_outliers.len() as f64 / n;
+        assert!((0.005..0.03).contains(&outliers), "outlier fraction {outliers}");
+    }
+
+    #[test]
+    fn none_config_is_a_noop() {
+        let mut c = collection();
+        let before = c.dataset.clone();
+        apply_noise(&mut c, &NoiseConfig::none());
+        assert_eq!(c.dataset, before);
+        assert!(c.truth.corrupted_addresses.is_empty());
+        assert!(c.truth.injected_outliers.is_empty());
+    }
+
+    #[test]
+    fn typos_stay_close_to_the_original() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let noisy = add_typos("Corso Vittorio Emanuele II", 1, &mut rng);
+            assert!(
+                similarity("Corso Vittorio Emanuele II", &noisy) >= 0.85,
+                "{noisy}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_typos_are_messier_but_recoverable() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let noisy = add_typos("Via Garibaldi", 2, &mut rng);
+        assert_ne!(noisy, "Via Garibaldi");
+        assert!(similarity("Via Garibaldi", &noisy) >= 0.6, "{noisy}");
+    }
+
+    #[test]
+    fn abbreviations_expand_back() {
+        assert_eq!(abbreviate("Corso Francia"), "C.so Francia");
+        assert_eq!(abbreviate("Via Roma"), "V. Roma");
+        assert_eq!(abbreviate("Strada Comunale"), "Strada Comunale");
+        // Round trip through the normalizer.
+        assert_eq!(
+            epc_geo::address::normalize_street(&abbreviate("Corso Francia")),
+            epc_geo::address::normalize_street("Corso Francia")
+        );
+    }
+
+    #[test]
+    fn injected_univariate_outliers_are_extreme() {
+        let mut c = collection();
+        apply_noise(
+            &mut c,
+            &NoiseConfig {
+                univariate_outlier_rate: 0.05,
+                multivariate_outlier_rate: 0.0,
+                ..NoiseConfig::none()
+            },
+        );
+        assert!(!c.truth.injected_outliers.is_empty());
+        let s = c.dataset.schema();
+        let uw_id = s.require(wk::U_WINDOWS).unwrap();
+        let uo_id = s.require(wk::U_OPAQUE).unwrap();
+        let eph_id = s.require(wk::EPH).unwrap();
+        // Every injected row has at least one attribute far outside the
+        // paper's bins.
+        for &row in &c.truth.injected_outliers {
+            let uw = c.dataset.num(row, uw_id).unwrap();
+            let uo = c.dataset.num(row, uo_id).unwrap();
+            let eph = c.dataset.num(row, eph_id).unwrap();
+            assert!(
+                uw >= 7.0 || uo >= 1.6 || eph >= 600.0,
+                "row {row}: uw {uw}, uo {uo}, eph {eph}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = collection();
+        let mut b = collection();
+        apply_noise(&mut a, &NoiseConfig::default());
+        apply_noise(&mut b, &NoiseConfig::default());
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.truth.injected_outliers, b.truth.injected_outliers);
+    }
+
+    #[test]
+    fn missing_coordinates_show_up() {
+        let mut c = collection();
+        apply_noise(
+            &mut c,
+            &NoiseConfig {
+                coord_missing_rate: 0.2,
+                ..NoiseConfig::none()
+            },
+        );
+        let s = c.dataset.schema();
+        let lat_id = s.require(wk::LATITUDE).unwrap();
+        let missing = c.dataset.column(lat_id).unwrap().missing_count();
+        let frac = missing as f64 / c.dataset.n_rows() as f64;
+        assert!((0.12..0.28).contains(&frac), "missing lat fraction {frac}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of the synthetic generator: schema shape, value
+//! ranges, ground-truth alignment and determinism must hold for *any*
+//! reasonable configuration, not just the defaults.
+
+use epc_synth::city::{CityConfig, CityPlan};
+use epc_synth::epcgen::{EpcGenerator, SynthConfig};
+use epc_synth::noise::{apply_noise, NoiseConfig};
+use proptest::prelude::*;
+
+fn city_strategy() -> impl Strategy<Value = CityConfig> {
+    (2usize..6, 1usize..4, 1usize..4, 3usize..12, 0u64..100).prop_map(
+        |(districts, neighbourhoods, streets, houses, seed)| CityConfig {
+            n_districts: districts,
+            neighbourhoods_per_district: neighbourhoods,
+            streets_per_neighbourhood: streets,
+            houses_per_street: houses,
+            seed,
+            ..CityConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn city_counts_follow_config(cfg in city_strategy()) {
+        let plan = CityPlan::generate(cfg.clone());
+        prop_assert_eq!(plan.hierarchy.districts.len(), cfg.n_districts);
+        prop_assert_eq!(
+            plan.hierarchy.neighbourhoods.len(),
+            cfg.n_districts * cfg.neighbourhoods_per_district
+        );
+        prop_assert_eq!(
+            plan.street_map.n_streets(),
+            cfg.n_districts * cfg.neighbourhoods_per_district * cfg.streets_per_neighbourhood
+        );
+        prop_assert_eq!(
+            plan.n_addresses(),
+            plan.street_map.n_streets() * cfg.houses_per_street
+        );
+    }
+
+    #[test]
+    fn every_address_is_spatially_consistent(cfg in city_strategy()) {
+        let plan = CityPlan::generate(cfg);
+        for e in plan.street_map.entries().iter().step_by(7) {
+            let d = plan.hierarchy.district_of(&e.point);
+            prop_assert!(d.is_some(), "address outside every district");
+            prop_assert_eq!(&d.unwrap().name, &e.district);
+            let n = plan.hierarchy.neighbourhood_of(&e.point).unwrap();
+            prop_assert_eq!(&n.name, &e.neighbourhood);
+        }
+    }
+
+    #[test]
+    fn generated_records_respect_physical_ranges(
+        cfg in city_strategy(),
+        n in 50usize..300,
+        seed in 0u64..50,
+    ) {
+        let c = EpcGenerator::new(SynthConfig {
+            n_records: n,
+            city: cfg,
+            seed,
+            ..SynthConfig::default()
+        })
+        .generate();
+        prop_assert_eq!(c.dataset.n_rows(), n);
+        prop_assert_eq!(c.dataset.n_cols(), 132);
+        let s = c.dataset.schema();
+        let checks: [(&str, f64, f64); 5] = [
+            ("u_windows", 1.1, 5.5),
+            ("u_opaque", 0.15, 1.1),
+            ("eta_h", 0.2, 1.1),
+            ("aspect_ratio", 0.25, 1.1),
+            ("eph", 10.0, 500.0),
+        ];
+        for (attr, lo, hi) in checks {
+            let id = s.require(attr).unwrap();
+            for v in c.dataset.numeric_values(id) {
+                prop_assert!((lo..=hi).contains(&v), "{attr} = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn truth_vectors_are_aligned(n in 20usize..150, seed in 0u64..30) {
+        let c = EpcGenerator::new(SynthConfig {
+            n_records: n,
+            seed,
+            city: CityConfig {
+                n_districts: 4,
+                neighbourhoods_per_district: 2,
+                streets_per_neighbourhood: 2,
+                houses_per_street: 5,
+                ..CityConfig::default()
+            },
+            ..SynthConfig::default()
+        })
+        .generate();
+        prop_assert_eq!(c.truth.streets.len(), n);
+        prop_assert_eq!(c.truth.points.len(), n);
+        prop_assert_eq!(c.truth.archetypes.len(), n);
+        for a in &c.truth.archetypes {
+            prop_assert!(*a < epc_synth::archetype::ARCHETYPES.len());
+        }
+    }
+
+    #[test]
+    fn noise_rates_zero_is_identity(n in 30usize..120, seed in 0u64..30) {
+        let mut c = EpcGenerator::new(SynthConfig {
+            n_records: n,
+            seed,
+            city: CityConfig {
+                n_districts: 2,
+                neighbourhoods_per_district: 2,
+                streets_per_neighbourhood: 2,
+                houses_per_street: 4,
+                ..CityConfig::default()
+            },
+            ..SynthConfig::default()
+        })
+        .generate();
+        let before = c.dataset.clone();
+        apply_noise(&mut c, &NoiseConfig::none());
+        prop_assert_eq!(c.dataset, before);
+    }
+
+    #[test]
+    fn noise_is_deterministic_in_its_seed(noise_seed in 0u64..40) {
+        let make = || {
+            let mut c = EpcGenerator::new(SynthConfig {
+                n_records: 120,
+                city: CityConfig {
+                    n_districts: 2,
+                    neighbourhoods_per_district: 2,
+                    streets_per_neighbourhood: 2,
+                    houses_per_street: 4,
+                    ..CityConfig::default()
+                },
+                ..SynthConfig::default()
+            })
+            .generate();
+            apply_noise(
+                &mut c,
+                &NoiseConfig {
+                    seed: noise_seed,
+                    ..NoiseConfig::default()
+                },
+            );
+            c
+        };
+        let a = make();
+        let b = make();
+        prop_assert_eq!(a.dataset, b.dataset);
+        prop_assert_eq!(a.truth.corrupted_addresses, b.truth.corrupted_addresses);
+    }
+}

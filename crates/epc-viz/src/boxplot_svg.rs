@@ -1,0 +1,162 @@
+//! SVG rendering of the "graphic boxplot method" of §2.1.2: INDICE shows
+//! the whiskers plot so the analyst can *see* the outliers she is about to
+//! filter ("the analyst can manually remove the outliers … through value
+//! filters").
+
+use crate::legend::format_tick;
+use crate::scale::LinearScale;
+use crate::svg::SvgDocument;
+use epc_stats::boxplot::BoxplotSummary;
+
+/// A horizontal boxplot panel (one row per attribute).
+#[derive(Debug, Clone)]
+pub struct BoxplotPlot {
+    /// Panel title.
+    pub title: String,
+    /// Canvas width.
+    pub width: f64,
+    /// Height per boxplot row.
+    pub row_height: f64,
+    rows: Vec<(String, BoxplotSummary, Vec<f64>)>,
+}
+
+impl BoxplotPlot {
+    /// An empty panel.
+    pub fn new(title: &str) -> Self {
+        BoxplotPlot {
+            title: title.to_owned(),
+            width: 640.0,
+            row_height: 64.0,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one attribute row: its summary plus the outlier *values* (the
+    /// flagged points drawn individually, as Tukey prescribes).
+    pub fn add_row(&mut self, label: &str, summary: BoxplotSummary, outlier_values: Vec<f64>) {
+        self.rows.push((label.to_owned(), summary, outlier_values));
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the panel.
+    pub fn render(&self) -> String {
+        let header = 34.0;
+        let height = header + self.rows.len() as f64 * self.row_height + 18.0;
+        let mut doc = SvgDocument::new(self.width, height.max(80.0));
+        doc.rect(0.0, 0.0, self.width, doc.height(), "#ffffff", "none");
+        doc.text(14.0, 22.0, 14.0, "start", &self.title);
+        if self.rows.is_empty() {
+            doc.text(self.width / 2.0, doc.height() / 2.0, 12.0, "middle", "(no data)");
+            return doc.render();
+        }
+        let label_w = 130.0;
+        let plot_x0 = label_w;
+        let plot_x1 = self.width - 20.0;
+
+        for (i, (label, s, outliers)) in self.rows.iter().enumerate() {
+            let y_mid = header + i as f64 * self.row_height + self.row_height / 2.0;
+            // Per-row x scale spanning whiskers and outliers.
+            let lo = outliers
+                .iter()
+                .copied()
+                .fold(s.whisker_low, f64::min)
+                .min(s.lower_fence.min(s.whisker_low));
+            let hi = outliers
+                .iter()
+                .copied()
+                .fold(s.whisker_high, f64::max)
+                .max(s.upper_fence.max(s.whisker_high));
+            let pad = ((hi - lo) * 0.05).max(1e-9);
+            let x = LinearScale::new((lo - pad, hi + pad), (plot_x0, plot_x1));
+
+            doc.text(label_w - 8.0, y_mid + 4.0, 11.0, "end", label);
+            // Whisker line.
+            doc.line(x.map(s.whisker_low), y_mid, x.map(s.whisker_high), y_mid, "#555555", 1.0);
+            // Whisker caps.
+            for v in [s.whisker_low, s.whisker_high] {
+                doc.line(x.map(v), y_mid - 7.0, x.map(v), y_mid + 7.0, "#555555", 1.0);
+            }
+            // Box q1..q3.
+            doc.rect(
+                x.map(s.q1),
+                y_mid - 12.0,
+                (x.map(s.q3) - x.map(s.q1)).max(1.0),
+                24.0,
+                "#b8cbe0",
+                "#39597e",
+            );
+            // Median line.
+            doc.line(x.map(s.median), y_mid - 12.0, x.map(s.median), y_mid + 12.0, "#1f3a57", 2.0);
+            // Outliers, individually.
+            for &v in outliers {
+                doc.circle(x.map(v), y_mid, 2.4, "#c0392b", "none");
+            }
+            // Min/max tick labels.
+            doc.text(x.map(s.whisker_low), y_mid + 24.0, 9.0, "middle", &format_tick(s.whisker_low));
+            doc.text(x.map(s.whisker_high), y_mid + 24.0, 9.0, "middle", &format_tick(s.whisker_high));
+        }
+        doc.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epc_stats::boxplot::boxplot_summary;
+
+    fn summary_with_outliers() -> (BoxplotSummary, Vec<f64>) {
+        let mut data: Vec<f64> = (0..100).map(|i| (i % 20) as f64).collect();
+        data.push(200.0);
+        data.push(-150.0);
+        let s = boxplot_summary(&data, 1.5).unwrap();
+        let outliers: Vec<f64> = s.outliers.iter().map(|&i| data[i]).collect();
+        (s, outliers)
+    }
+
+    #[test]
+    fn renders_box_whiskers_and_outliers() {
+        let (s, outliers) = summary_with_outliers();
+        let n_outliers = outliers.len();
+        let mut p = BoxplotPlot::new("u_windows");
+        p.add_row("u_windows", s, outliers);
+        let svg = p.render();
+        assert!(svg.contains("<svg"));
+        // 1 background + 1 box.
+        assert_eq!(svg.matches("<rect").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), n_outliers);
+        assert!(svg.contains("u_windows"));
+    }
+
+    #[test]
+    fn multiple_rows_stack() {
+        let (s, o) = summary_with_outliers();
+        let mut p = BoxplotPlot::new("thermo-physical attributes");
+        p.add_row("a", s.clone(), o.clone());
+        p.add_row("b", s, o);
+        assert_eq!(p.n_rows(), 2);
+        let svg = p.render();
+        assert_eq!(svg.matches("<rect").count(), 3, "background + 2 boxes");
+    }
+
+    #[test]
+    fn empty_panel_placeholder() {
+        let p = BoxplotPlot::new("empty");
+        assert!(p.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn no_outliers_row_renders() {
+        let data: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let s = boxplot_summary(&data, 1.5).unwrap();
+        assert!(s.outliers.is_empty());
+        let mut p = BoxplotPlot::new("clean");
+        p.add_row("x", s, vec![]);
+        let svg = p.render();
+        assert_eq!(svg.matches("<circle").count(), 0);
+        assert!(svg.contains("<line"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Choropleth maps (§2.3): "each area (at different zoom levels) is colored
+//! according to the average value of the considered variable for the area
+//! under analysis."
+
+use crate::color::ColorRamp;
+use crate::legend::draw_legend;
+use crate::scale::GeoProjection;
+use crate::svg::SvgDocument;
+use epc_geo::bbox::BoundingBox;
+use epc_geo::region::Region;
+
+/// A choropleth map under construction.
+#[derive(Debug, Clone)]
+pub struct ChoroplethMap {
+    /// Map title.
+    pub title: String,
+    /// Legend label (attribute name + unit).
+    pub value_label: String,
+    /// Colour ramp.
+    pub ramp: ColorRamp,
+    /// Canvas width in px.
+    pub width: f64,
+    /// Canvas height in px.
+    pub height: f64,
+    areas: Vec<(Region, Option<f64>)>,
+}
+
+impl ChoroplethMap {
+    /// An empty map.
+    pub fn new(title: &str, value_label: &str) -> Self {
+        ChoroplethMap {
+            title: title.to_owned(),
+            value_label: value_label.to_owned(),
+            ramp: ColorRamp::energy(),
+            width: 760.0,
+            height: 560.0,
+            areas: Vec::new(),
+        }
+    }
+
+    /// Adds a region with its aggregated value (`None` = no data: hatched
+    /// gray).
+    pub fn add_area(&mut self, region: Region, value: Option<f64>) {
+        self.areas.push((region, value));
+    }
+
+    /// Number of areas added.
+    pub fn n_areas(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// The `(min, max)` of the defined values, if any.
+    pub fn value_range(&self) -> Option<(f64, f64)> {
+        let vals: Vec<f64> = self.areas.iter().filter_map(|(_, v)| *v).collect();
+        if vals.is_empty() {
+            return None;
+        }
+        Some((
+            vals.iter().copied().fold(f64::INFINITY, f64::min),
+            vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        ))
+    }
+
+    /// Renders the map to SVG.
+    pub fn render(&self) -> String {
+        let mut doc = SvgDocument::new(self.width, self.height);
+        doc.rect(0.0, 0.0, self.width, self.height, "#f7f7f4", "none");
+        doc.text(14.0, 22.0, 15.0, "start", &self.title);
+
+        // Bounds over every polygon.
+        let all_points: Vec<epc_geo::point::GeoPoint> = self
+            .areas
+            .iter()
+            .flat_map(|(r, _)| r.polygon.vertices.iter().copied())
+            .collect();
+        let Some(bounds) = BoundingBox::from_points(&all_points) else {
+            doc.text(
+                self.width / 2.0,
+                self.height / 2.0,
+                13.0,
+                "middle",
+                "(no areas)",
+            );
+            return doc.render();
+        };
+        let map_h = self.height - 90.0;
+        let proj = GeoProjection::fit(bounds.with_margin(bounds.lat_span() * 0.03), self.width, map_h - 30.0, 12.0);
+
+        let (lo, hi) = self.value_range().unwrap_or((0.0, 1.0));
+        for (region, value) in &self.areas {
+            let pts: Vec<(f64, f64)> = region
+                .polygon
+                .vertices
+                .iter()
+                .map(|p| {
+                    let (x, y) = proj.project(p);
+                    (x, y + 30.0)
+                })
+                .collect();
+            let fill = match value {
+                Some(v) => self.ramp.map(*v, lo, hi).hex(),
+                None => "#cccccc".to_owned(),
+            };
+            doc.polygon(&pts, &fill, "#ffffff", 0.85);
+            // Label at the polygon centroid.
+            if let Some(c) = region.polygon.centroid() {
+                let (x, y) = proj.project(&c);
+                let text_color = match value {
+                    Some(v) => self.ramp.map(*v, lo, hi).contrast_text(),
+                    None => "#333333",
+                };
+                doc.text_colored(x, y + 28.0, 10.0, "middle", text_color, &region.name);
+                if let Some(v) = value {
+                    doc.text_colored(
+                        x,
+                        y + 40.0,
+                        9.0,
+                        "middle",
+                        text_color,
+                        &crate::legend::format_tick(*v),
+                    );
+                }
+            }
+        }
+
+        draw_legend(
+            &mut doc,
+            &self.ramp,
+            lo,
+            hi,
+            &self.value_label,
+            14.0,
+            self.height - 48.0,
+            220.0,
+        );
+        doc.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epc_geo::region::Polygon;
+    use epc_model::Granularity;
+
+    fn region(name: &str, lat0: f64, lon0: f64) -> Region {
+        Region {
+            name: name.to_owned(),
+            level: Granularity::District,
+            parent: None,
+            polygon: Polygon::from_bbox(&BoundingBox::new(lat0, lon0, lat0 + 0.05, lon0 + 0.05)),
+        }
+    }
+
+    fn sample_map() -> ChoroplethMap {
+        let mut m = ChoroplethMap::new("EPH by district", "EPH [kWh/m2yr]");
+        m.add_area(region("D1", 45.0, 7.6), Some(220.0));
+        m.add_area(region("D2", 45.0, 7.65), Some(80.0));
+        m.add_area(region("D3", 45.05, 7.6), None);
+        m
+    }
+
+    #[test]
+    fn value_range_ignores_missing() {
+        let m = sample_map();
+        assert_eq!(m.value_range(), Some((80.0, 220.0)));
+        assert_eq!(m.n_areas(), 3);
+    }
+
+    #[test]
+    fn render_contains_polygons_labels_and_legend() {
+        let svg = sample_map().render();
+        assert!(svg.contains("<svg"));
+        assert_eq!(svg.matches("<polygon").count(), 3);
+        assert!(svg.contains("D1") && svg.contains("D2") && svg.contains("D3"));
+        assert!(svg.contains("EPH by district"));
+        assert!(svg.contains("EPH [kWh/m2yr]"));
+    }
+
+    #[test]
+    fn missing_area_is_gray() {
+        let svg = sample_map().render();
+        assert!(svg.contains("#cccccc"));
+    }
+
+    #[test]
+    fn high_value_area_is_redder_than_low() {
+        let m = sample_map();
+        let (lo, hi) = m.value_range().unwrap();
+        let hot = m.ramp.map(220.0, lo, hi);
+        let cold = m.ramp.map(80.0, lo, hi);
+        assert!(hot.r > cold.r);
+        assert!(cold.g > hot.g);
+    }
+
+    #[test]
+    fn empty_map_renders_placeholder() {
+        let m = ChoroplethMap::new("empty", "x");
+        let svg = m.render();
+        assert!(svg.contains("(no areas)"));
+    }
+
+    #[test]
+    fn uniform_values_do_not_panic() {
+        let mut m = ChoroplethMap::new("uniform", "x");
+        m.add_area(region("A", 45.0, 7.6), Some(5.0));
+        m.add_area(region("B", 45.0, 7.65), Some(5.0));
+        let svg = m.render();
+        assert!(svg.contains("<polygon"));
+    }
+}

@@ -1,0 +1,318 @@
+//! Cluster-marker maps — the paper's novel map type (§2.3).
+//!
+//! "Cluster-marker maps, similarly to the choropleth maps, aggregate
+//! multiple certificates coloring the dynamic markers according to the
+//! average of the values of the aggregated points. … The cardinality of the
+//! corresponding cluster affects the size of the marker and is reported
+//! inside the marker."
+//!
+//! Aggregation uses the greedy grid algorithm of Leaflet.markercluster: the
+//! canvas is covered by square cells whose size derives from the zoom level
+//! (coarser zoom → bigger cells → fewer, larger markers); points sharing a
+//! cell merge into one marker at their centroid.
+
+use crate::color::ColorRamp;
+use crate::legend::draw_legend;
+use crate::scale::GeoProjection;
+use crate::svg::SvgDocument;
+use epc_geo::bbox::BoundingBox;
+use epc_geo::point::GeoPoint;
+use epc_model::Granularity;
+
+/// One aggregated marker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterMarker {
+    /// Centroid of the aggregated points.
+    pub center: GeoPoint,
+    /// Number of certificates aggregated (shown inside the marker).
+    pub count: usize,
+    /// Mean of the defined values of the aggregated points.
+    pub mean_value: Option<f64>,
+}
+
+/// Grid cell size in px for a granularity's zoom level: coarser
+/// granularities aggregate more aggressively.
+pub fn cell_size_px(granularity: Granularity) -> f64 {
+    match granularity {
+        Granularity::City => 120.0,
+        Granularity::District => 64.0,
+        Granularity::Neighbourhood => 36.0,
+        Granularity::HousingUnit => 14.0,
+    }
+}
+
+/// Aggregates `(point, value)` pairs into cluster markers using grid cells
+/// of `cell_px` pixels under `proj`.
+pub fn cluster_markers(
+    points: &[(GeoPoint, Option<f64>)],
+    proj: &GeoProjection,
+    cell_px: f64,
+) -> Vec<ClusterMarker> {
+    use std::collections::HashMap;
+    let mut cells: HashMap<(i64, i64), (Vec<GeoPoint>, Vec<f64>)> = HashMap::new();
+    for (p, v) in points {
+        let (x, y) = proj.project(p);
+        let key = (
+            (x / cell_px).floor() as i64,
+            (y / cell_px).floor() as i64,
+        );
+        let entry = cells.entry(key).or_default();
+        entry.0.push(*p);
+        if let Some(v) = v {
+            entry.1.push(*v);
+        }
+    }
+    let mut markers: Vec<ClusterMarker> = cells
+        .into_values()
+        .map(|(pts, vals)| ClusterMarker {
+            center: GeoPoint::centroid(&pts).expect("non-empty cell"),
+            count: pts.len(),
+            mean_value: if vals.is_empty() {
+                None
+            } else {
+                Some(vals.iter().sum::<f64>() / vals.len() as f64)
+            },
+        })
+        .collect();
+    // Deterministic order: biggest first (render small markers on top).
+    markers.sort_by(|a, b| {
+        b.count
+            .cmp(&a.count)
+            .then(a.center.lat.partial_cmp(&b.center.lat).unwrap())
+            .then(a.center.lon.partial_cmp(&b.center.lon).unwrap())
+    });
+    markers
+}
+
+/// A cluster-marker map under construction.
+#[derive(Debug, Clone)]
+pub struct ClusterMarkerMap {
+    /// Map title.
+    pub title: String,
+    /// Legend label.
+    pub value_label: String,
+    /// Colour ramp for the mean value.
+    pub ramp: ColorRamp,
+    /// Canvas width.
+    pub width: f64,
+    /// Canvas height.
+    pub height: f64,
+    /// Spatial granularity (drives the aggregation cell size).
+    pub granularity: Granularity,
+    points: Vec<(GeoPoint, Option<f64>)>,
+}
+
+impl ClusterMarkerMap {
+    /// An empty map at the given granularity.
+    pub fn new(title: &str, value_label: &str, granularity: Granularity) -> Self {
+        ClusterMarkerMap {
+            title: title.to_owned(),
+            value_label: value_label.to_owned(),
+            ramp: ColorRamp::energy(),
+            width: 760.0,
+            height: 560.0,
+            granularity,
+            points: Vec::new(),
+        }
+    }
+
+    /// Adds one certificate.
+    pub fn add_point(&mut self, point: GeoPoint, value: Option<f64>) {
+        self.points.push((point, value));
+    }
+
+    /// Number of raw points.
+    pub fn n_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Computes the markers without rendering (used by tests and GeoJSON
+    /// export).
+    pub fn markers(&self) -> Vec<ClusterMarker> {
+        let pts: Vec<GeoPoint> = self.points.iter().map(|(p, _)| *p).collect();
+        let Some(bounds) = BoundingBox::from_points(&pts) else {
+            return Vec::new();
+        };
+        let proj = GeoProjection::fit(
+            bounds.with_margin(bounds.lat_span().max(1e-4) * 0.05),
+            self.width,
+            self.height - 120.0,
+            12.0,
+        );
+        cluster_markers(&self.points, &proj, cell_size_px(self.granularity))
+    }
+
+    /// Renders the map to SVG: marker radius grows with `sqrt(count)`, the
+    /// count is printed inside, the colour encodes the mean value.
+    pub fn render(&self) -> String {
+        let mut doc = SvgDocument::new(self.width, self.height);
+        doc.rect(0.0, 0.0, self.width, self.height, "#f7f7f4", "none");
+        doc.text(
+            14.0,
+            22.0,
+            15.0,
+            "start",
+            &format!("{} ({} level)", self.title, self.granularity),
+        );
+
+        let pts: Vec<GeoPoint> = self.points.iter().map(|(p, _)| *p).collect();
+        let Some(bounds) = BoundingBox::from_points(&pts) else {
+            doc.text(self.width / 2.0, self.height / 2.0, 13.0, "middle", "(no points)");
+            return doc.render();
+        };
+        let proj = GeoProjection::fit(
+            bounds.with_margin(bounds.lat_span().max(1e-4) * 0.05),
+            self.width,
+            self.height - 120.0,
+            12.0,
+        );
+        let markers = cluster_markers(&self.points, &proj, cell_size_px(self.granularity));
+
+        let values: Vec<f64> = markers.iter().filter_map(|m| m.mean_value).collect();
+        let (lo, hi) = if values.is_empty() {
+            (0.0, 1.0)
+        } else {
+            (
+                values.iter().copied().fold(f64::INFINITY, f64::min),
+                values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            )
+        };
+        let max_count = markers.iter().map(|m| m.count).max().unwrap_or(1) as f64;
+        for m in &markers {
+            let (x, y) = proj.project(&m.center);
+            let y = y + 30.0;
+            let r = 8.0 + 20.0 * (m.count as f64 / max_count).sqrt();
+            let color = match m.mean_value {
+                Some(v) => self.ramp.map(v, lo, hi),
+                None => crate::color::Color::new(0xbb, 0xbb, 0xbb),
+            };
+            doc.circle(x, y, r, &color.hex(), "#ffffff");
+            doc.text_colored(
+                x,
+                y + 3.5,
+                (r * 0.8).clamp(8.0, 14.0),
+                "middle",
+                color.contrast_text(),
+                &m.count.to_string(),
+            );
+        }
+
+        draw_legend(
+            &mut doc,
+            &self.ramp,
+            lo,
+            hi,
+            &self.value_label,
+            14.0,
+            self.height - 48.0,
+            220.0,
+        );
+        doc.text(
+            self.width - 14.0,
+            self.height - 14.0,
+            10.0,
+            "end",
+            &format!("{} certificates in {} markers", self.points.len(), markers.len()),
+        );
+        doc.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spread_points(n: usize) -> Vec<(GeoPoint, Option<f64>)> {
+        (0..n)
+            .map(|i| {
+                let a = ((i * 2654435761) % 1000) as f64 / 1000.0;
+                let b = ((i * 40503 + 7) % 1000) as f64 / 1000.0;
+                (
+                    GeoPoint::new(45.0 + a * 0.1, 7.6 + b * 0.1),
+                    Some(50.0 + (i % 200) as f64),
+                )
+            })
+            .collect()
+    }
+
+    fn map_at(g: Granularity, n: usize) -> ClusterMarkerMap {
+        let mut m = ClusterMarkerMap::new("EPH clusters", "EPH", g);
+        for (p, v) in spread_points(n) {
+            m.add_point(p, v);
+        }
+        m
+    }
+
+    #[test]
+    fn marker_counts_sum_to_points() {
+        for g in Granularity::ALL {
+            let m = map_at(g, 500);
+            let markers = m.markers();
+            let total: usize = markers.iter().map(|mk| mk.count).sum();
+            assert_eq!(total, 500, "granularity {g}");
+        }
+    }
+
+    #[test]
+    fn coarser_granularity_means_fewer_markers() {
+        let city = map_at(Granularity::City, 800).markers().len();
+        let district = map_at(Granularity::District, 800).markers().len();
+        let unit = map_at(Granularity::HousingUnit, 800).markers().len();
+        assert!(city < district, "city {city} vs district {district}");
+        assert!(district < unit, "district {district} vs unit {unit}");
+    }
+
+    #[test]
+    fn markers_are_sorted_biggest_first() {
+        let markers = map_at(Granularity::City, 500).markers();
+        for w in markers.windows(2) {
+            assert!(w[0].count >= w[1].count);
+        }
+    }
+
+    #[test]
+    fn mean_value_is_the_average_of_cell_members() {
+        // All points identical location → one marker with the global mean.
+        let mut m = ClusterMarkerMap::new("t", "v", Granularity::City);
+        for v in [10.0, 20.0, 30.0] {
+            m.add_point(GeoPoint::new(45.0, 7.6), Some(v));
+        }
+        m.add_point(GeoPoint::new(45.0, 7.6), None); // missing value
+        let markers = m.markers();
+        assert_eq!(markers.len(), 1);
+        assert_eq!(markers[0].count, 4);
+        assert_eq!(markers[0].mean_value, Some(20.0));
+    }
+
+    #[test]
+    fn render_shows_counts_inside_markers() {
+        let m = map_at(Granularity::City, 300);
+        let svg = m.render();
+        let markers = m.markers();
+        assert!(svg.contains(&markers[0].count.to_string()));
+        assert!(svg.contains("city level"));
+        assert!(svg.contains(&format!("300 certificates in {} markers", markers.len())));
+    }
+
+    #[test]
+    fn bigger_clusters_get_bigger_radii() {
+        // Radius formula is monotone in count; verify via rendered order.
+        let m = map_at(Granularity::City, 400);
+        let markers = m.markers();
+        assert!(markers.first().unwrap().count >= markers.last().unwrap().count);
+    }
+
+    #[test]
+    fn empty_map() {
+        let m = ClusterMarkerMap::new("e", "v", Granularity::City);
+        assert!(m.markers().is_empty());
+        assert!(m.render().contains("(no points)"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = map_at(Granularity::District, 250).markers();
+        let b = map_at(Granularity::District, 250).markers();
+        assert_eq!(a, b);
+    }
+}

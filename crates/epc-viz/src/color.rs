@@ -1,0 +1,176 @@
+//! Colour ramps.
+//!
+//! Two ramps matter to the paper: the *energy* ramp colouring maps (good =
+//! green, bad = red, the convention of EPC class labels) and the *grayscale*
+//! ramp of the correlation plot matrix ("each coefficient value is
+//! translated into a gray level in the black-and-white scale", §2.3).
+
+/// An sRGB colour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Color {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Color {
+    /// Creates a colour.
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Color { r, g, b }
+    }
+
+    /// CSS hex form `#rrggbb`.
+    pub fn hex(&self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+
+    /// Linear interpolation between two colours (`t` clamped to `[0, 1]`).
+    pub fn lerp(a: Color, b: Color, t: f64) -> Color {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |x: u8, y: u8| -> u8 {
+            (x as f64 + (y as f64 - x as f64) * t).round() as u8
+        };
+        Color::new(mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b))
+    }
+
+    /// Relative luminance (sufficient to pick readable label colours).
+    pub fn luminance(&self) -> f64 {
+        (0.2126 * self.r as f64 + 0.7152 * self.g as f64 + 0.0722 * self.b as f64) / 255.0
+    }
+
+    /// A readable text colour (black or white) over this background.
+    pub fn contrast_text(&self) -> &'static str {
+        if self.luminance() > 0.55 {
+            "#000000"
+        } else {
+            "#ffffff"
+        }
+    }
+}
+
+/// A piecewise-linear colour ramp over `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorRamp {
+    stops: Vec<Color>,
+}
+
+impl ColorRamp {
+    /// A ramp from explicit stops (at least one).
+    pub fn new(stops: Vec<Color>) -> Self {
+        assert!(!stops.is_empty(), "ramp needs at least one stop");
+        ColorRamp { stops }
+    }
+
+    /// The energy ramp: green (efficient) → yellow → red (consuming), the
+    /// EPC-label convention used for map colouring.
+    pub fn energy() -> Self {
+        ColorRamp::new(vec![
+            Color::new(0x1a, 0x9a, 0x50), // green
+            Color::new(0xd8, 0xd3, 0x35), // yellow
+            Color::new(0xe6, 0x7e, 0x22), // orange
+            Color::new(0xc0, 0x2d, 0x24), // red
+        ])
+    }
+
+    /// The grayscale ramp of the correlation matrix: white (|ρ| = 0) →
+    /// black (|ρ| = 1).
+    pub fn grayscale() -> Self {
+        ColorRamp::new(vec![Color::new(255, 255, 255), Color::new(0, 0, 0)])
+    }
+
+    /// Samples the ramp at `t ∈ [0, 1]` (clamped).
+    pub fn sample(&self, t: f64) -> Color {
+        let t = if t.is_nan() { 0.0 } else { t.clamp(0.0, 1.0) };
+        if self.stops.len() == 1 {
+            return self.stops[0];
+        }
+        let scaled = t * (self.stops.len() - 1) as f64;
+        let i = (scaled.floor() as usize).min(self.stops.len() - 2);
+        Color::lerp(self.stops[i], self.stops[i + 1], scaled - i as f64)
+    }
+
+    /// Maps a raw value from `[lo, hi]` onto the ramp (degenerate domains
+    /// sample the middle).
+    pub fn map(&self, value: f64, lo: f64, hi: f64) -> Color {
+        if hi <= lo {
+            return self.sample(0.5);
+        }
+        self.sample((value - lo) / (hi - lo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(Color::new(255, 0, 18).hex(), "#ff0012");
+        assert_eq!(Color::new(0, 0, 0).hex(), "#000000");
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Color::new(0, 0, 0);
+        let b = Color::new(200, 100, 50);
+        assert_eq!(Color::lerp(a, b, 0.0), a);
+        assert_eq!(Color::lerp(a, b, 1.0), b);
+        assert_eq!(Color::lerp(a, b, 0.5), Color::new(100, 50, 25));
+        // Out-of-range t clamps.
+        assert_eq!(Color::lerp(a, b, -1.0), a);
+        assert_eq!(Color::lerp(a, b, 2.0), b);
+    }
+
+    #[test]
+    fn energy_ramp_goes_green_to_red() {
+        let ramp = ColorRamp::energy();
+        let lo = ramp.sample(0.0);
+        let hi = ramp.sample(1.0);
+        assert!(lo.g > lo.r, "low end is green");
+        assert!(hi.r > hi.g, "high end is red");
+    }
+
+    #[test]
+    fn grayscale_is_monotone() {
+        let ramp = ColorRamp::grayscale();
+        let mut prev = 256i32;
+        for i in 0..=10 {
+            let c = ramp.sample(i as f64 / 10.0);
+            assert_eq!(c.r, c.g);
+            assert_eq!(c.g, c.b);
+            assert!((c.r as i32) <= prev);
+            prev = c.r as i32;
+        }
+        assert_eq!(ramp.sample(0.0), Color::new(255, 255, 255));
+        assert_eq!(ramp.sample(1.0), Color::new(0, 0, 0));
+    }
+
+    #[test]
+    fn map_handles_degenerate_domain() {
+        let ramp = ColorRamp::grayscale();
+        let mid = ramp.map(5.0, 3.0, 3.0);
+        assert_eq!(mid, ramp.sample(0.5));
+    }
+
+    #[test]
+    fn nan_maps_to_low_end() {
+        let ramp = ColorRamp::energy();
+        assert_eq!(ramp.sample(f64::NAN), ramp.sample(0.0));
+    }
+
+    #[test]
+    fn contrast_text_flips_with_luminance() {
+        assert_eq!(Color::new(255, 255, 255).contrast_text(), "#000000");
+        assert_eq!(Color::new(0, 0, 0).contrast_text(), "#ffffff");
+        assert_eq!(Color::new(200, 30, 30).contrast_text(), "#ffffff");
+    }
+
+    #[test]
+    fn single_stop_ramp() {
+        let ramp = ColorRamp::new(vec![Color::new(1, 2, 3)]);
+        assert_eq!(ramp.sample(0.7), Color::new(1, 2, 3));
+    }
+}

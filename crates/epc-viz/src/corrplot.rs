@@ -1,0 +1,157 @@
+//! The correlation plot matrix of Figure 3.
+//!
+//! "Each coefficient value is translated into a gray level in the
+//! black-and-white scale to represent the correlation intensity in a plot
+//! matrix. Dark squares represent high linear correlation between the two
+//! variables, while light squares represent low correlation."
+
+use crate::color::ColorRamp;
+use crate::svg::SvgDocument;
+use epc_stats::correlation::CorrelationMatrix;
+
+/// Renders a [`CorrelationMatrix`] as the paper's grayscale plot matrix.
+#[derive(Debug, Clone)]
+pub struct CorrelationPlot {
+    /// Plot title.
+    pub title: String,
+    /// Cell size in px.
+    pub cell: f64,
+    /// Print the ρ value inside each cell.
+    pub annotate: bool,
+}
+
+impl Default for CorrelationPlot {
+    fn default() -> Self {
+        CorrelationPlot {
+            title: "Correlation matrix".to_owned(),
+            cell: 56.0,
+            annotate: true,
+        }
+    }
+}
+
+impl CorrelationPlot {
+    /// Renders the matrix to SVG.
+    pub fn render(&self, matrix: &CorrelationMatrix) -> String {
+        let n = matrix.len();
+        let label_w = 120.0;
+        let title_h = 30.0;
+        let width = label_w + n as f64 * self.cell + 20.0;
+        let height = title_h + n as f64 * self.cell + label_w * 0.6 + 20.0;
+        let mut doc = SvgDocument::new(width.max(200.0), height.max(120.0));
+        doc.rect(0.0, 0.0, doc.width(), doc.height(), "#ffffff", "none");
+        doc.text(12.0, 20.0, 14.0, "start", &self.title);
+        if n == 0 {
+            doc.text(doc.width() / 2.0, doc.height() / 2.0, 12.0, "middle", "(no variables)");
+            return doc.render();
+        }
+        let ramp = ColorRamp::grayscale();
+
+        for i in 0..n {
+            // Row label.
+            doc.text(
+                label_w - 6.0,
+                title_h + i as f64 * self.cell + self.cell / 2.0 + 4.0,
+                10.0,
+                "end",
+                &matrix.names[i],
+            );
+            // Column label (under the matrix, shifted per column for
+            // readability without rotation support).
+            doc.text(
+                label_w + i as f64 * self.cell + self.cell / 2.0,
+                title_h + n as f64 * self.cell + 14.0 + (i % 2) as f64 * 12.0,
+                10.0,
+                "middle",
+                &matrix.names[i],
+            );
+            for j in 0..n {
+                let rho = matrix.get(i, j);
+                let x = label_w + j as f64 * self.cell;
+                let y = title_h + i as f64 * self.cell;
+                if rho.is_nan() {
+                    doc.rect(x, y, self.cell - 2.0, self.cell - 2.0, "#f0e8e8", "#999999");
+                    doc.text(x + self.cell / 2.0, y + self.cell / 2.0 + 4.0, 10.0, "middle", "n/a");
+                } else {
+                    let color = ramp.sample(rho.abs());
+                    doc.rect(x, y, self.cell - 2.0, self.cell - 2.0, &color.hex(), "#999999");
+                    if self.annotate {
+                        doc.text_colored(
+                            x + self.cell / 2.0,
+                            y + self.cell / 2.0 + 4.0,
+                            10.0,
+                            "middle",
+                            color.contrast_text(),
+                            &format!("{rho:.2}"),
+                        );
+                    }
+                }
+            }
+        }
+        doc.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epc_stats::correlation::correlation_matrix;
+
+    fn matrix() -> CorrelationMatrix {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 4.1, 5.9, 8.2, 9.9]; // ~perfect with a
+        let c = [3.0, -1.0, 2.5, 0.5, 1.0]; // weak
+        correlation_matrix(&["aspect_ratio", "u_opaque", "u_windows"], &[&a, &b, &c])
+    }
+
+    #[test]
+    fn renders_n_squared_cells() {
+        let svg = CorrelationPlot::default().render(&matrix());
+        // 3×3 cells + 1 background rect.
+        assert_eq!(svg.matches("<rect").count(), 10);
+        assert!(svg.contains("aspect_ratio"));
+        assert!(svg.contains("u_windows"));
+    }
+
+    #[test]
+    fn diagonal_is_black_annotated_one() {
+        let svg = CorrelationPlot::default().render(&matrix());
+        assert!(svg.contains("#000000"), "|ρ| = 1 must be black");
+        assert!(svg.contains("1.00"));
+    }
+
+    #[test]
+    fn strong_pairs_are_darker_than_weak() {
+        let m = matrix();
+        let ramp = ColorRamp::grayscale();
+        let strong = ramp.sample(m.get(0, 1).abs());
+        let weak = ramp.sample(m.get(0, 2).abs());
+        assert!(strong.r < weak.r, "dark = high correlation");
+    }
+
+    #[test]
+    fn annotations_can_be_disabled() {
+        let plot = CorrelationPlot {
+            annotate: false,
+            ..CorrelationPlot::default()
+        };
+        let svg = plot.render(&matrix());
+        assert!(!svg.contains("1.00"));
+    }
+
+    #[test]
+    fn nan_cells_render_na() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 2.0, 3.0];
+        let m = correlation_matrix(&["const", "x"], &[&a, &b]);
+        let svg = CorrelationPlot::default().render(&m);
+        assert!(svg.contains("n/a"));
+    }
+
+    #[test]
+    fn empty_matrix_placeholder() {
+        let m = correlation_matrix(&[], &[]);
+        let svg = CorrelationPlot::default().render(&m);
+        assert!(svg.contains("(no variables)"));
+    }
+}

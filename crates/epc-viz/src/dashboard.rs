@@ -1,0 +1,192 @@
+//! The informative dashboard (§2.3, Figure 4): assembles maps, plots and
+//! tables into one self-contained HTML page per stakeholder and zoom level.
+
+use crate::svg::escape;
+
+/// A dashboard panel's payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PanelContent {
+    /// An SVG fragment (maps, plots).
+    Svg(String),
+    /// An HTML fragment (tables).
+    Html(String),
+    /// Pre-formatted text (summaries).
+    Text(String),
+}
+
+/// One dashboard panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Panel {
+    /// Panel heading.
+    pub title: String,
+    /// Panel payload.
+    pub content: PanelContent,
+    /// `true` to span the full page width (maps); `false` for half-width
+    /// panels (plots, tables).
+    pub wide: bool,
+}
+
+/// A dashboard under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Dashboard {
+    /// Page title.
+    pub title: String,
+    /// Subtitle (stakeholder + granularity, e.g. "public administration ·
+    /// district level").
+    pub subtitle: String,
+    panels: Vec<Panel>,
+}
+
+impl Dashboard {
+    /// An empty dashboard.
+    pub fn new(title: &str, subtitle: &str) -> Self {
+        Dashboard {
+            title: title.to_owned(),
+            subtitle: subtitle.to_owned(),
+            panels: Vec::new(),
+        }
+    }
+
+    /// Appends a panel.
+    pub fn add_panel(&mut self, title: &str, content: PanelContent, wide: bool) {
+        self.panels.push(Panel {
+            title: title.to_owned(),
+            content,
+            wide,
+        });
+    }
+
+    /// Number of panels.
+    pub fn n_panels(&self) -> usize {
+        self.panels.len()
+    }
+
+    /// The panels, in order.
+    pub fn panels(&self) -> &[Panel] {
+        &self.panels
+    }
+
+    /// Renders the self-contained HTML page.
+    pub fn render_html(&self) -> String {
+        let mut out = String::new();
+        out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+        out.push_str(&format!("<title>{}</title>\n", escape(&self.title)));
+        out.push_str(
+            "<style>\n\
+             body { font-family: system-ui, sans-serif; margin: 0; background: #eef0f2; }\n\
+             header { background: #24425c; color: #fff; padding: 14px 24px; }\n\
+             header h1 { margin: 0; font-size: 20px; }\n\
+             header p { margin: 4px 0 0; opacity: 0.8; font-size: 13px; }\n\
+             main { display: flex; flex-wrap: wrap; gap: 16px; padding: 16px 24px; }\n\
+             section { background: #fff; border-radius: 8px; box-shadow: 0 1px 3px rgba(0,0,0,.15); padding: 12px; }\n\
+             section.wide { flex: 1 1 100%; }\n\
+             section.half { flex: 1 1 calc(50% - 16px); min-width: 340px; }\n\
+             section h2 { margin: 0 0 8px; font-size: 15px; color: #24425c; }\n\
+             table.rules { border-collapse: collapse; font-size: 12px; width: 100%; }\n\
+             table.rules th, table.rules td { border: 1px solid #ccd; padding: 4px 6px; text-align: left; }\n\
+             table.rules th { background: #f0f3f6; }\n\
+             pre { font-size: 12px; overflow-x: auto; }\n\
+             svg { max-width: 100%; height: auto; }\n\
+             </style>\n</head>\n<body>\n",
+        );
+        out.push_str(&format!(
+            "<header><h1>{}</h1><p>{}</p></header>\n<main>\n",
+            escape(&self.title),
+            escape(&self.subtitle)
+        ));
+        for panel in &self.panels {
+            let class = if panel.wide { "wide" } else { "half" };
+            out.push_str(&format!(
+                "<section class=\"{class}\">\n<h2>{}</h2>\n",
+                escape(&panel.title)
+            ));
+            match &panel.content {
+                PanelContent::Svg(svg) | PanelContent::Html(svg) => out.push_str(svg),
+                PanelContent::Text(t) => {
+                    out.push_str("<pre>");
+                    out.push_str(&escape(t));
+                    out.push_str("</pre>\n");
+                }
+            }
+            out.push_str("</section>\n");
+        }
+        out.push_str("</main>\n</body>\n</html>\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dashboard {
+        let mut d = Dashboard::new(
+            "INDICE — Torino",
+            "public administration · district level",
+        );
+        d.add_panel(
+            "Cluster-marker map",
+            PanelContent::Svg("<svg xmlns=\"http://www.w3.org/2000/svg\"></svg>".into()),
+            true,
+        );
+        d.add_panel(
+            "EPH distribution",
+            PanelContent::Svg("<svg xmlns=\"http://www.w3.org/2000/svg\"></svg>".into()),
+            false,
+        );
+        d.add_panel(
+            "Rules",
+            PanelContent::Html("<table class=\"rules\"></table>".into()),
+            false,
+        );
+        d.add_panel("Summary", PanelContent::Text("5 clusters\nK = 5".into()), false);
+        d
+    }
+
+    #[test]
+    fn page_is_self_contained_html() {
+        let html = sample().render_html();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<style>"));
+        assert!(html.contains("INDICE — Torino"));
+        assert!(html.contains("public administration · district level"));
+        assert!(html.trim_end().ends_with("</html>"));
+        // No external resources: no <script src>, <link> or <img>.
+        for tag in ["<script", "<link", "<img"] {
+            assert!(!html.contains(tag), "unexpected {tag}");
+        }
+    }
+
+    #[test]
+    fn panels_render_in_order_with_classes() {
+        let html = sample().render_html();
+        let map_pos = html.find("Cluster-marker map").unwrap();
+        let dist_pos = html.find("EPH distribution").unwrap();
+        let rules_pos = html.find("Rules").unwrap();
+        assert!(map_pos < dist_pos && dist_pos < rules_pos);
+        assert!(html.contains("section class=\"wide\""));
+        assert!(html.contains("section class=\"half\""));
+    }
+
+    #[test]
+    fn text_panels_are_escaped_in_pre() {
+        let mut d = Dashboard::new("t", "s");
+        d.add_panel("x", PanelContent::Text("a < b".into()), false);
+        let html = d.render_html();
+        assert!(html.contains("<pre>a &lt; b</pre>"));
+    }
+
+    #[test]
+    fn counts() {
+        let d = sample();
+        assert_eq!(d.n_panels(), 4);
+        assert_eq!(d.panels().len(), 4);
+    }
+
+    #[test]
+    fn empty_dashboard_still_valid() {
+        let html = Dashboard::new("empty", "").render_html();
+        assert!(html.contains("<main>"));
+        assert!(html.contains("</html>"));
+    }
+}

@@ -1,0 +1,161 @@
+//! GeoJSON emitters.
+//!
+//! The paper's folium maps consume GeoJSON; emitting the same structures
+//! keeps this reproduction interoperable with any web-map front end (drop
+//! the files onto geojson.io or Leaflet and the layers render).
+
+use crate::clustermarker::ClusterMarker;
+use epc_geo::point::GeoPoint;
+use epc_geo::region::Region;
+use serde_json::{json, Map, Value};
+
+/// A GeoJSON `FeatureCollection` of points with arbitrary per-point
+/// properties.
+pub fn points_feature_collection(
+    points: &[(GeoPoint, Map<String, Value>)],
+) -> Value {
+    let features: Vec<Value> = points
+        .iter()
+        .map(|(p, props)| {
+            json!({
+                "type": "Feature",
+                "geometry": {
+                    "type": "Point",
+                    // GeoJSON is [lon, lat].
+                    "coordinates": [p.lon, p.lat],
+                },
+                "properties": props,
+            })
+        })
+        .collect();
+    json!({ "type": "FeatureCollection", "features": features })
+}
+
+/// A `FeatureCollection` of region polygons, each with a `name` and an
+/// optional aggregated `value` property (choropleth-ready).
+pub fn regions_feature_collection(regions: &[(Region, Option<f64>)]) -> Value {
+    let features: Vec<Value> = regions
+        .iter()
+        .map(|(r, value)| {
+            let mut ring: Vec<[f64; 2]> = r
+                .polygon
+                .vertices
+                .iter()
+                .map(|p| [p.lon, p.lat])
+                .collect();
+            // GeoJSON rings must be closed.
+            if let Some(first) = ring.first().copied() {
+                if ring.last() != Some(&first) {
+                    ring.push(first);
+                }
+            }
+            json!({
+                "type": "Feature",
+                "geometry": {
+                    "type": "Polygon",
+                    "coordinates": [ring],
+                },
+                "properties": {
+                    "name": r.name,
+                    "level": r.level.to_string(),
+                    "parent": r.parent,
+                    "value": value,
+                },
+            })
+        })
+        .collect();
+    json!({ "type": "FeatureCollection", "features": features })
+}
+
+/// A `FeatureCollection` of cluster markers (`count` and `mean_value`
+/// properties — the cardinality and colour driver of §2.3).
+pub fn markers_feature_collection(markers: &[ClusterMarker]) -> Value {
+    let features: Vec<Value> = markers
+        .iter()
+        .map(|m| {
+            json!({
+                "type": "Feature",
+                "geometry": {
+                    "type": "Point",
+                    "coordinates": [m.center.lon, m.center.lat],
+                },
+                "properties": {
+                    "count": m.count,
+                    "mean_value": m.mean_value,
+                },
+            })
+        })
+        .collect();
+    json!({ "type": "FeatureCollection", "features": features })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epc_geo::bbox::BoundingBox;
+    use epc_geo::region::Polygon;
+    use epc_model::Granularity;
+
+    #[test]
+    fn point_collection_is_lon_lat() {
+        let mut props = Map::new();
+        props.insert("eph".into(), json!(120.5));
+        let fc = points_feature_collection(&[(GeoPoint::new(45.07, 7.68), props)]);
+        assert_eq!(fc["type"], "FeatureCollection");
+        let coords = &fc["features"][0]["geometry"]["coordinates"];
+        assert_eq!(coords[0], 7.68, "GeoJSON order is [lon, lat]");
+        assert_eq!(coords[1], 45.07);
+        assert_eq!(fc["features"][0]["properties"]["eph"], 120.5);
+    }
+
+    #[test]
+    fn region_rings_are_closed() {
+        let r = Region {
+            name: "D1".into(),
+            level: Granularity::District,
+            parent: Some("Torino".into()),
+            polygon: Polygon::from_bbox(&BoundingBox::new(45.0, 7.6, 45.1, 7.7)),
+        };
+        let fc = regions_feature_collection(&[(r, Some(42.0))]);
+        let ring = fc["features"][0]["geometry"]["coordinates"][0]
+            .as_array()
+            .unwrap();
+        assert_eq!(ring.first(), ring.last(), "ring must be closed");
+        assert_eq!(ring.len(), 5, "4 vertices + closing point");
+        assert_eq!(fc["features"][0]["properties"]["value"], 42.0);
+        assert_eq!(fc["features"][0]["properties"]["level"], "district");
+    }
+
+    #[test]
+    fn missing_values_serialize_as_null() {
+        let r = Region {
+            name: "D2".into(),
+            level: Granularity::District,
+            parent: None,
+            polygon: Polygon::from_bbox(&BoundingBox::new(45.0, 7.6, 45.1, 7.7)),
+        };
+        let fc = regions_feature_collection(&[(r, None)]);
+        assert!(fc["features"][0]["properties"]["value"].is_null());
+        assert!(fc["features"][0]["properties"]["parent"].is_null());
+    }
+
+    #[test]
+    fn marker_collection_carries_count_and_mean() {
+        let m = ClusterMarker {
+            center: GeoPoint::new(45.05, 7.65),
+            count: 120,
+            mean_value: Some(180.4),
+        };
+        let fc = markers_feature_collection(&[m]);
+        assert_eq!(fc["features"][0]["properties"]["count"], 120);
+        assert_eq!(fc["features"][0]["properties"]["mean_value"], 180.4);
+    }
+
+    #[test]
+    fn collections_round_trip_through_serde() {
+        let fc = points_feature_collection(&[]);
+        let text = serde_json::to_string(&fc).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["features"].as_array().unwrap().len(), 0);
+    }
+}

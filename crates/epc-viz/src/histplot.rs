@@ -1,0 +1,246 @@
+//! Frequency-distribution plots (§2.3): histograms of a single attribute,
+//! optionally split per cluster ("the analyst can explore the frequency
+//! distribution of a specific attribute … or its distribution in the
+//! cluster set detected by INDICE").
+
+use crate::color::Color;
+use crate::scale::LinearScale;
+use crate::svg::SvgDocument;
+use epc_stats::histogram::Histogram;
+
+/// Categorical palette for per-cluster series (colour-blind-safe-ish).
+const SERIES_COLORS: [Color; 8] = [
+    Color::new(0x4e, 0x79, 0xa7),
+    Color::new(0xf2, 0x8e, 0x2b),
+    Color::new(0xe1, 0x57, 0x59),
+    Color::new(0x76, 0xb7, 0xb2),
+    Color::new(0x59, 0xa1, 0x4f),
+    Color::new(0xed, 0xc9, 0x48),
+    Color::new(0xb0, 0x7a, 0xa1),
+    Color::new(0x9c, 0x75, 0x5f),
+];
+
+/// One histogram series (e.g. one cluster).
+#[derive(Debug, Clone)]
+struct Series {
+    name: String,
+    histogram: Histogram,
+}
+
+/// A frequency-distribution plot.
+#[derive(Debug, Clone)]
+pub struct HistogramPlot {
+    /// Plot title.
+    pub title: String,
+    /// X-axis label (attribute + unit).
+    pub x_label: String,
+    /// Canvas width.
+    pub width: f64,
+    /// Canvas height.
+    pub height: f64,
+    /// Plot relative frequencies instead of counts (needed to compare
+    /// clusters of different sizes).
+    pub relative: bool,
+    series: Vec<Series>,
+}
+
+impl HistogramPlot {
+    /// An empty plot.
+    pub fn new(title: &str, x_label: &str) -> Self {
+        HistogramPlot {
+            title: title.to_owned(),
+            x_label: x_label.to_owned(),
+            width: 640.0,
+            height: 360.0,
+            relative: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series (the first is usually "all certificates"; further ones
+    /// per cluster).
+    pub fn add_series(&mut self, name: &str, histogram: Histogram) {
+        self.series.push(Series {
+            name: name.to_owned(),
+            histogram,
+        });
+    }
+
+    /// Number of series.
+    pub fn n_series(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Renders the plot: grouped bars per bin when several series are
+    /// present.
+    pub fn render(&self) -> String {
+        let mut doc = SvgDocument::new(self.width, self.height);
+        doc.rect(0.0, 0.0, self.width, self.height, "#ffffff", "none");
+        doc.text(14.0, 22.0, 14.0, "start", &self.title);
+        if self.series.is_empty() {
+            doc.text(self.width / 2.0, self.height / 2.0, 12.0, "middle", "(no data)");
+            return doc.render();
+        }
+
+        let margin_l = 52.0;
+        let margin_b = 46.0;
+        let margin_t = 36.0;
+        let margin_r = 14.0;
+        let plot_w = self.width - margin_l - margin_r;
+        let plot_h = self.height - margin_t - margin_b;
+
+        // Common x-domain across series.
+        let x_lo = self
+            .series
+            .iter()
+            .filter_map(|s| s.histogram.bins.first().map(|b| b.lo))
+            .fold(f64::INFINITY, f64::min);
+        let x_hi = self
+            .series
+            .iter()
+            .filter_map(|s| s.histogram.bins.last().map(|b| b.hi))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let y_hi = self
+            .series
+            .iter()
+            .flat_map(|s| {
+                let total = s.histogram.total.max(1) as f64;
+                s.histogram.bins.iter().map(move |b| {
+                    if self.relative {
+                        b.count as f64 / total
+                    } else {
+                        b.count as f64
+                    }
+                })
+            })
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+
+        let x_scale = LinearScale::new((x_lo, x_hi), (margin_l, margin_l + plot_w));
+        let y_scale = LinearScale::new((0.0, y_hi), (margin_t + plot_h, margin_t));
+
+        // Axes.
+        doc.line(margin_l, margin_t, margin_l, margin_t + plot_h, "#333333", 1.0);
+        doc.line(
+            margin_l,
+            margin_t + plot_h,
+            margin_l + plot_w,
+            margin_t + plot_h,
+            "#333333",
+            1.0,
+        );
+        for t in x_scale.ticks(6) {
+            let x = x_scale.map(t);
+            doc.line(x, margin_t + plot_h, x, margin_t + plot_h + 4.0, "#333333", 1.0);
+            doc.text(x, margin_t + plot_h + 16.0, 9.0, "middle", &crate::legend::format_tick(t));
+        }
+        for t in y_scale.ticks(4) {
+            let y = y_scale.map(t);
+            doc.line(margin_l - 4.0, y, margin_l, y, "#333333", 1.0);
+            doc.text(margin_l - 7.0, y + 3.0, 9.0, "end", &crate::legend::format_tick(t));
+            doc.line(margin_l, y, margin_l + plot_w, y, "#eeeeee", 0.5);
+        }
+        doc.text(
+            margin_l + plot_w / 2.0,
+            self.height - 8.0,
+            11.0,
+            "middle",
+            &self.x_label,
+        );
+
+        // Bars.
+        let n_series = self.series.len();
+        for (si, s) in self.series.iter().enumerate() {
+            let color = SERIES_COLORS[si % SERIES_COLORS.len()];
+            let total = s.histogram.total.max(1) as f64;
+            for b in &s.histogram.bins {
+                let v = if self.relative {
+                    b.count as f64 / total
+                } else {
+                    b.count as f64
+                };
+                let x0 = x_scale.map(b.lo);
+                let x1 = x_scale.map(b.hi);
+                let bin_w = (x1 - x0).max(1.0);
+                let bar_w = (bin_w / n_series as f64).max(0.8);
+                let x = x0 + si as f64 * bar_w;
+                let y = y_scale.map(v);
+                doc.rect(
+                    x,
+                    y,
+                    bar_w * 0.92,
+                    (margin_t + plot_h - y).max(0.0),
+                    &color.hex(),
+                    "none",
+                );
+            }
+            // Legend entry.
+            let lx = margin_l + plot_w - 130.0;
+            let ly = margin_t + 4.0 + si as f64 * 14.0;
+            doc.rect(lx, ly, 10.0, 10.0, &color.hex(), "none");
+            doc.text(lx + 14.0, ly + 9.0, 10.0, "start", &s.name);
+        }
+        doc.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(values: &[f64]) -> Histogram {
+        Histogram::equal_width(values, 8).unwrap()
+    }
+
+    #[test]
+    fn single_series_renders_bars_and_axes() {
+        let mut p = HistogramPlot::new("EPH distribution", "EPH [kWh/m2yr]");
+        let data: Vec<f64> = (0..200).map(|i| (i % 50) as f64 * 4.0).collect();
+        p.add_series("all", hist(&data));
+        let svg = p.render();
+        assert!(svg.matches("<rect").count() > 8, "bars + legend + frame");
+        assert!(svg.contains("EPH distribution"));
+        assert!(svg.contains("EPH [kWh/m2yr]"));
+        assert!(svg.contains("all"));
+    }
+
+    #[test]
+    fn multi_series_grouped_bars() {
+        let mut p = HistogramPlot::new("per cluster", "x");
+        p.relative = true;
+        for c in 0..3 {
+            let data: Vec<f64> = (0..100).map(|i| ((i * (c + 2)) % 40) as f64).collect();
+            p.add_series(&format!("cluster {c}"), hist(&data));
+        }
+        assert_eq!(p.n_series(), 3);
+        let svg = p.render();
+        assert!(svg.contains("cluster 0"));
+        assert!(svg.contains("cluster 2"));
+    }
+
+    #[test]
+    fn empty_plot_placeholder() {
+        let p = HistogramPlot::new("empty", "x");
+        assert!(p.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn relative_mode_bounds_y_by_one() {
+        let mut p = HistogramPlot::new("rel", "x");
+        p.relative = true;
+        p.add_series("s", hist(&[1.0, 1.0, 1.0, 2.0]));
+        // Should render without panicking and include a y tick ≤ 1.
+        let svg = p.render();
+        assert!(svg.contains("<svg"));
+    }
+
+    #[test]
+    fn series_get_distinct_colors() {
+        let mut p = HistogramPlot::new("colors", "x");
+        p.add_series("a", hist(&[1.0, 2.0, 3.0]));
+        p.add_series("b", hist(&[1.0, 2.0, 3.0]));
+        let svg = p.render();
+        assert!(svg.contains(&SERIES_COLORS[0].hex()));
+        assert!(svg.contains(&SERIES_COLORS[1].hex()));
+    }
+}

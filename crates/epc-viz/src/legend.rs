@@ -1,0 +1,100 @@
+//! Colour-bar legends shared by the map renderers.
+
+use crate::color::ColorRamp;
+use crate::scale::LinearScale;
+use crate::svg::SvgDocument;
+
+/// Draws a horizontal colour-bar legend with min/max tick labels at
+/// `(x, y)`, returning the height consumed.
+#[allow(clippy::too_many_arguments)] // a legend really has this many knobs
+pub fn draw_legend(
+    doc: &mut SvgDocument,
+    ramp: &ColorRamp,
+    lo: f64,
+    hi: f64,
+    label: &str,
+    x: f64,
+    y: f64,
+    width: f64,
+) -> f64 {
+    const BAR_H: f64 = 12.0;
+    const STEPS: usize = 24;
+    doc.text(x, y, 11.0, "start", label);
+    let bar_y = y + 6.0;
+    let step_w = width / STEPS as f64;
+    for i in 0..STEPS {
+        let t = (i as f64 + 0.5) / STEPS as f64;
+        doc.rect(
+            x + i as f64 * step_w,
+            bar_y,
+            step_w + 0.5,
+            BAR_H,
+            &ramp.sample(t).hex(),
+            "none",
+        );
+    }
+    doc.rect(x, bar_y, width, BAR_H, "none", "#555555");
+    let scale = LinearScale::new((lo, hi), (x, x + width));
+    for tick in scale.ticks(4) {
+        let tx = scale.map(tick);
+        doc.line(tx, bar_y + BAR_H, tx, bar_y + BAR_H + 3.0, "#555555", 1.0);
+        doc.text(tx, bar_y + BAR_H + 13.0, 9.0, "middle", &format_tick(tick));
+    }
+    6.0 + BAR_H + 16.0
+}
+
+/// Formats a tick value compactly.
+pub fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_owned();
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{:.0}", v)
+    } else if a >= 10.0 {
+        format!("{:.1}", v)
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_owned()
+    } else {
+        format!("{:.2}", v)
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legend_adds_elements() {
+        let mut doc = SvgDocument::new(300.0, 100.0);
+        let before = doc.n_elements();
+        let h = draw_legend(
+            &mut doc,
+            &ColorRamp::energy(),
+            0.0,
+            100.0,
+            "EPH [kWh/m2yr]",
+            10.0,
+            10.0,
+            200.0,
+        );
+        assert!(doc.n_elements() > before + 10);
+        assert!(h > 20.0);
+        let svg = doc.render();
+        assert!(svg.contains("EPH [kWh/m2yr]"));
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(1500.0), "1500");
+        assert_eq!(format_tick(12.5), "12.5");
+        assert_eq!(format_tick(12.0), "12");
+        assert_eq!(format_tick(0.45), "0.45");
+        assert_eq!(format_tick(0.5), "0.5");
+    }
+}

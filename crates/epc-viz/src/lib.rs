@@ -1,0 +1,49 @@
+//! # epc-viz
+//!
+//! Dashboard substrate for the INDICE reproduction (§2.3 of the paper).
+//!
+//! The paper renders interactive folium/Leaflet maps; this reproduction
+//! models the *data side* of that interactivity — zoom-level switching,
+//! drill-down, marker aggregation — as pure functions that emit
+//! self-contained artifacts:
+//!
+//! * [`svg`] — a small SVG scene builder (no dependencies);
+//! * [`color`] — colour ramps: the green→red energy scale for maps, the
+//!   black-and-white scale the paper uses for correlation matrices;
+//! * [`scale`] — linear scales and the geo→canvas projection;
+//! * [`choropleth`] — choropleth maps (area averages, §2.3);
+//! * [`scattermap`] — scatter maps (one point per certificate);
+//! * [`clustermarker`] — cluster-marker maps: greedy grid aggregation with
+//!   marker size and inner label proportional to cardinality;
+//! * [`histplot`] — frequency-distribution plots (single and per-cluster);
+//! * [`corrplot`] — the grayscale correlation plot matrix (Figure 3);
+//! * [`rulestable`] — the tabular association-rule visualization;
+//! * [`geojson`] — GeoJSON emitters for points and regions;
+//! * [`dashboard`] — assembles panels into one self-contained HTML page
+//!   (Figure 4).
+
+pub mod boxplot_svg;
+pub mod choropleth;
+pub mod clustermarker;
+pub mod color;
+pub mod corrplot;
+pub mod dashboard;
+pub mod geojson;
+pub mod histplot;
+pub mod legend;
+pub mod rulestable;
+pub mod scale;
+pub mod scattermap;
+pub mod svg;
+
+pub use boxplot_svg::BoxplotPlot;
+pub use choropleth::ChoroplethMap;
+pub use clustermarker::{cluster_markers, ClusterMarker, ClusterMarkerMap};
+pub use color::{Color, ColorRamp};
+pub use corrplot::CorrelationPlot;
+pub use dashboard::{Dashboard, Panel, PanelContent};
+pub use histplot::HistogramPlot;
+pub use rulestable::RulesTable;
+pub use scale::{GeoProjection, LinearScale};
+pub use scattermap::ScatterMap;
+pub use svg::SvgDocument;

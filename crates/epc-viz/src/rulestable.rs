@@ -1,0 +1,168 @@
+//! The tabular association-rule visualization (§2.3): "INDICE defines
+//! templates to characterize the attributes and represent the association
+//! rules using a tabular visualization. By sorting on quality indices, only
+//! the top-k rules that satisfy all constraints may be displayed."
+
+use crate::svg::escape;
+use epc_mining::rules::AssociationRule;
+
+/// Renders association rules as an HTML table / plain-text table.
+#[derive(Debug, Clone)]
+pub struct RulesTable {
+    /// Table caption.
+    pub title: String,
+    /// Keep only the best `top_k` rules (already-sorted input assumed).
+    pub top_k: usize,
+}
+
+impl Default for RulesTable {
+    fn default() -> Self {
+        RulesTable {
+            title: "Association rules".to_owned(),
+            top_k: 20,
+        }
+    }
+}
+
+impl RulesTable {
+    /// HTML rendering (embedded into the dashboard page).
+    pub fn render_html(&self, rules: &[AssociationRule]) -> String {
+        let mut out = String::new();
+        out.push_str("<table class=\"rules\">\n");
+        out.push_str(&format!(
+            "<caption>{} (top {})</caption>\n",
+            escape(&self.title),
+            self.top_k.min(rules.len())
+        ));
+        out.push_str(
+            "<thead><tr><th>#</th><th>Antecedent</th><th>Consequent</th>\
+             <th>Support</th><th>Confidence</th><th>Lift</th><th>Conviction</th></tr></thead>\n<tbody>\n",
+        );
+        for (i, r) in rules.iter().take(self.top_k).enumerate() {
+            out.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{:.3}</td><td>{:.3}</td><td>{:.2}</td><td>{}</td></tr>\n",
+                i + 1,
+                escape(&r.antecedent.join(" & ")),
+                escape(&r.consequent.join(" & ")),
+                r.support,
+                r.confidence,
+                r.lift,
+                format_conviction(r.conviction),
+            ));
+        }
+        out.push_str("</tbody>\n</table>\n");
+        out
+    }
+
+    /// Plain-text rendering (for terminals and logs).
+    pub fn render_text(&self, rules: &[AssociationRule]) -> String {
+        let mut out = format!("{} (top {})\n", self.title, self.top_k.min(rules.len()));
+        out.push_str(&format!(
+            "{:<4} {:<46} {:<30} {:>8} {:>8} {:>6} {:>6}\n",
+            "#", "antecedent", "consequent", "supp", "conf", "lift", "conv"
+        ));
+        for (i, r) in rules.iter().take(self.top_k).enumerate() {
+            out.push_str(&format!(
+                "{:<4} {:<46} {:<30} {:>8.3} {:>8.3} {:>6.2} {:>6}\n",
+                i + 1,
+                truncate(&r.antecedent.join(" & "), 46),
+                truncate(&r.consequent.join(" & "), 30),
+                r.support,
+                r.confidence,
+                r.lift,
+                format_conviction(r.conviction),
+            ));
+        }
+        out
+    }
+}
+
+fn format_conviction(c: f64) -> String {
+    if c.is_infinite() {
+        "inf".to_owned()
+    } else {
+        format!("{c:.2}")
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_owned()
+    } else {
+        let cut: String = s.chars().take(max.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules() -> Vec<AssociationRule> {
+        vec![
+            AssociationRule {
+                antecedent: vec!["u_windows=Very high".into(), "eta_h=Low".into()],
+                consequent: vec!["eph=High".into()],
+                support: 0.12,
+                confidence: 0.91,
+                lift: 2.4,
+                conviction: 5.5,
+            },
+            AssociationRule {
+                antecedent: vec!["u_opaque=Low".into()],
+                consequent: vec!["eph=Low".into()],
+                support: 0.2,
+                confidence: 1.0,
+                lift: 1.8,
+                conviction: f64::INFINITY,
+            },
+        ]
+    }
+
+    #[test]
+    fn html_contains_rows_and_indices() {
+        let html = RulesTable::default().render_html(&rules());
+        assert!(html.contains("<table"));
+        assert!(html.contains("u_windows=Very high &amp; eta_h=Low"));
+        assert!(html.contains("eph=High"));
+        assert!(html.contains("0.910"));
+        assert!(html.contains("2.40"));
+        assert!(html.contains("inf"), "infinite conviction renders as inf");
+        assert_eq!(html.matches("<tr>").count(), 3, "header + 2 rows");
+    }
+
+    #[test]
+    fn top_k_truncates_table() {
+        let table = RulesTable {
+            top_k: 1,
+            ..Default::default()
+        };
+        let html = table.render_html(&rules());
+        assert_eq!(html.matches("<tr>").count(), 2, "header + 1 row");
+        assert!(html.contains("top 1"));
+    }
+
+    #[test]
+    fn text_is_aligned_and_complete() {
+        let txt = RulesTable::default().render_text(&rules());
+        assert!(txt.contains("antecedent"));
+        assert!(txt.contains("u_opaque=Low"));
+        assert!(txt.lines().count() >= 4);
+    }
+
+    #[test]
+    fn truncate_long_antecedents() {
+        assert_eq!(truncate("short", 10), "short");
+        let long = "x".repeat(60);
+        let t = truncate(&long, 46);
+        assert!(t.chars().count() <= 46);
+        assert!(t.ends_with('…'));
+    }
+
+    #[test]
+    fn empty_rule_set_renders_header_only() {
+        let html = RulesTable::default().render_html(&[]);
+        assert_eq!(html.matches("<tr>").count(), 1);
+        assert!(html.contains("top 0"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Linear scales and the geographic → canvas projection.
+//!
+//! At city scale an equirectangular projection (longitude scaled by
+//! `cos(latitude)`) is visually indistinguishable from Web Mercator, so
+//! maps project through [`GeoProjection`] without external dependencies.
+
+use epc_geo::bbox::BoundingBox;
+use epc_geo::point::GeoPoint;
+
+/// A linear mapping `domain → range`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearScale {
+    domain: (f64, f64),
+    range: (f64, f64),
+}
+
+impl LinearScale {
+    /// Creates a scale. A degenerate domain maps everything to the middle
+    /// of the range.
+    pub fn new(domain: (f64, f64), range: (f64, f64)) -> Self {
+        LinearScale { domain, range }
+    }
+
+    /// Maps a domain value into the range (extrapolates outside).
+    pub fn map(&self, x: f64) -> f64 {
+        let (d0, d1) = self.domain;
+        let (r0, r1) = self.range;
+        if d1 == d0 {
+            return (r0 + r1) / 2.0;
+        }
+        r0 + (x - d0) / (d1 - d0) * (r1 - r0)
+    }
+
+    /// The inverse mapping.
+    pub fn invert(&self, y: f64) -> f64 {
+        let (d0, d1) = self.domain;
+        let (r0, r1) = self.range;
+        if r1 == r0 {
+            return (d0 + d1) / 2.0;
+        }
+        d0 + (y - r0) / (r1 - r0) * (d1 - d0)
+    }
+
+    /// Pleasant tick positions covering the domain (roughly `n` of them).
+    pub fn ticks(&self, n: usize) -> Vec<f64> {
+        let (d0, d1) = self.domain;
+        if n == 0 || d1 <= d0 {
+            return vec![d0];
+        }
+        let raw_step = (d1 - d0) / n as f64;
+        let mag = 10f64.powf(raw_step.log10().floor());
+        let norm = raw_step / mag;
+        let step = if norm < 1.5 {
+            1.0
+        } else if norm < 3.5 {
+            2.0
+        } else if norm < 7.5 {
+            5.0
+        } else {
+            10.0
+        } * mag;
+        let start = (d0 / step).ceil() * step;
+        let mut ticks = Vec::new();
+        let mut t = start;
+        while t <= d1 + step * 1e-9 {
+            ticks.push((t / step).round() * step);
+            t += step;
+        }
+        ticks
+    }
+}
+
+/// Projects WGS84 points onto an SVG canvas, preserving aspect ratio and
+/// flipping the y axis (north up).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoProjection {
+    bounds: BoundingBox,
+    /// Canvas width.
+    pub width: f64,
+    /// Canvas height.
+    pub height: f64,
+    /// Padding in px on every side.
+    pub padding: f64,
+    lon_scale: f64,
+    scale: f64,
+    offset_x: f64,
+    offset_y: f64,
+}
+
+impl GeoProjection {
+    /// Fits `bounds` into a `width × height` canvas with `padding` px.
+    pub fn fit(bounds: BoundingBox, width: f64, height: f64, padding: f64) -> Self {
+        let mid_lat = (bounds.min_lat + bounds.max_lat) / 2.0;
+        let lon_scale = mid_lat.to_radians().cos().max(1e-6);
+        let span_x = (bounds.lon_span() * lon_scale).max(1e-12);
+        let span_y = bounds.lat_span().max(1e-12);
+        let usable_w = (width - 2.0 * padding).max(1.0);
+        let usable_h = (height - 2.0 * padding).max(1.0);
+        let scale = (usable_w / span_x).min(usable_h / span_y);
+        // Center the projected content.
+        let content_w = span_x * scale;
+        let content_h = span_y * scale;
+        let offset_x = (width - content_w) / 2.0;
+        let offset_y = (height - content_h) / 2.0;
+        GeoProjection {
+            bounds,
+            width,
+            height,
+            padding,
+            lon_scale,
+            scale,
+            offset_x,
+            offset_y,
+        }
+    }
+
+    /// Projects a point to canvas `(x, y)`.
+    pub fn project(&self, p: &GeoPoint) -> (f64, f64) {
+        let x = (p.lon - self.bounds.min_lon) * self.lon_scale * self.scale + self.offset_x;
+        let y = (self.bounds.max_lat - p.lat) * self.scale + self.offset_y;
+        (x, y)
+    }
+
+    /// Converts a ground distance in meters to canvas px (approximate).
+    pub fn meters_to_px(&self, meters: f64) -> f64 {
+        // 1 degree of latitude ≈ 111 195 m.
+        meters / 111_195.0 * self.scale
+    }
+
+    /// The geographic bounds being projected.
+    pub fn bounds(&self) -> &BoundingBox {
+        &self.bounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_scale_maps_and_inverts() {
+        let s = LinearScale::new((0.0, 10.0), (100.0, 200.0));
+        assert_eq!(s.map(0.0), 100.0);
+        assert_eq!(s.map(10.0), 200.0);
+        assert_eq!(s.map(5.0), 150.0);
+        assert_eq!(s.invert(150.0), 5.0);
+        // Extrapolation.
+        assert_eq!(s.map(20.0), 300.0);
+    }
+
+    #[test]
+    fn degenerate_domain_maps_to_middle() {
+        let s = LinearScale::new((5.0, 5.0), (0.0, 10.0));
+        assert_eq!(s.map(5.0), 5.0);
+        assert_eq!(s.map(99.0), 5.0);
+    }
+
+    #[test]
+    fn reversed_range_works() {
+        // SVG y axes grow downward; scales must support reversed ranges.
+        let s = LinearScale::new((0.0, 1.0), (100.0, 0.0));
+        assert_eq!(s.map(0.0), 100.0);
+        assert_eq!(s.map(1.0), 0.0);
+    }
+
+    #[test]
+    fn ticks_are_round_and_cover() {
+        let s = LinearScale::new((0.0, 100.0), (0.0, 1.0));
+        let ticks = s.ticks(5);
+        assert!(ticks.contains(&0.0));
+        assert!(ticks.contains(&100.0));
+        for w in ticks.windows(2) {
+            assert!((w[1] - w[0] - 20.0).abs() < 1e-9, "{ticks:?}");
+        }
+    }
+
+    #[test]
+    fn ticks_handle_small_ranges() {
+        let s = LinearScale::new((0.15, 1.1), (0.0, 1.0));
+        let ticks = s.ticks(4);
+        assert!(!ticks.is_empty());
+        for t in &ticks {
+            assert!(*t >= 0.15 - 1e-9 && *t <= 1.1 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn projection_fits_in_canvas() {
+        let b = BoundingBox::new(45.0, 7.6, 45.1, 7.8);
+        let proj = GeoProjection::fit(b, 800.0, 600.0, 20.0);
+        for p in [
+            GeoPoint::new(45.0, 7.6),
+            GeoPoint::new(45.1, 7.8),
+            GeoPoint::new(45.05, 7.7),
+        ] {
+            let (x, y) = proj.project(&p);
+            assert!((0.0..=800.0).contains(&x), "x = {x}");
+            assert!((0.0..=600.0).contains(&y), "y = {y}");
+        }
+    }
+
+    #[test]
+    fn north_is_up() {
+        let b = BoundingBox::new(45.0, 7.6, 45.1, 7.8);
+        let proj = GeoProjection::fit(b, 800.0, 600.0, 0.0);
+        let (_, y_south) = proj.project(&GeoPoint::new(45.0, 7.7));
+        let (_, y_north) = proj.project(&GeoPoint::new(45.1, 7.7));
+        assert!(y_north < y_south, "north must be above south on canvas");
+    }
+
+    #[test]
+    fn east_is_right() {
+        let b = BoundingBox::new(45.0, 7.6, 45.1, 7.8);
+        let proj = GeoProjection::fit(b, 800.0, 600.0, 0.0);
+        let (x_west, _) = proj.project(&GeoPoint::new(45.05, 7.6));
+        let (x_east, _) = proj.project(&GeoPoint::new(45.05, 7.8));
+        assert!(x_east > x_west);
+    }
+
+    #[test]
+    fn aspect_ratio_is_locked() {
+        // A geographically square box (in meters) must project to a square.
+        let b = BoundingBox::new(45.0, 7.6, 45.1, 7.6 + 0.1 / 45.05f64.to_radians().cos());
+        let proj = GeoProjection::fit(b, 800.0, 600.0, 0.0);
+        let (x0, y0) = proj.project(&GeoPoint::new(45.0, b.min_lon));
+        let (x1, y1) = proj.project(&GeoPoint::new(45.1, b.max_lon));
+        let w = (x1 - x0).abs();
+        let h = (y1 - y0).abs();
+        assert!((w - h).abs() < 1.0, "w {w} vs h {h}");
+    }
+
+    #[test]
+    fn meters_to_px_is_positive_and_linear() {
+        let b = BoundingBox::new(45.0, 7.6, 45.1, 7.8);
+        let proj = GeoProjection::fit(b, 800.0, 600.0, 0.0);
+        let one = proj.meters_to_px(100.0);
+        let two = proj.meters_to_px(200.0);
+        assert!(one > 0.0);
+        assert!((two - 2.0 * one).abs() < 1e-9);
+    }
+}

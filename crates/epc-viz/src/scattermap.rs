@@ -1,0 +1,229 @@
+//! Scatter maps (§2.3): "the scatter maps report a point and its
+//! corresponding value for each EPC (and so residential unit) contained in
+//! the selected area."
+
+use crate::color::ColorRamp;
+use crate::legend::draw_legend;
+use crate::scale::GeoProjection;
+use crate::svg::SvgDocument;
+use epc_geo::bbox::BoundingBox;
+use epc_geo::point::GeoPoint;
+use epc_geo::region::Region;
+
+/// One certificate marker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatterPoint {
+    /// Location.
+    pub point: GeoPoint,
+    /// Value of the mapped attribute (colours the marker); `None` renders
+    /// gray.
+    pub value: Option<f64>,
+    /// Popup label (e.g. the certificate id + value, what the paper's
+    /// click-popup shows).
+    pub label: String,
+}
+
+/// A scatter map under construction.
+#[derive(Debug, Clone)]
+pub struct ScatterMap {
+    /// Map title.
+    pub title: String,
+    /// Legend label.
+    pub value_label: String,
+    /// Colour ramp.
+    pub ramp: ColorRamp,
+    /// Canvas width.
+    pub width: f64,
+    /// Canvas height.
+    pub height: f64,
+    /// Marker radius in px.
+    pub marker_radius: f64,
+    points: Vec<ScatterPoint>,
+    outlines: Vec<Region>,
+}
+
+impl ScatterMap {
+    /// An empty scatter map.
+    pub fn new(title: &str, value_label: &str) -> Self {
+        ScatterMap {
+            title: title.to_owned(),
+            value_label: value_label.to_owned(),
+            ramp: ColorRamp::energy(),
+            width: 760.0,
+            height: 560.0,
+            marker_radius: 3.0,
+            points: Vec::new(),
+            outlines: Vec::new(),
+        }
+    }
+
+    /// Adds one certificate point.
+    pub fn add_point(&mut self, point: GeoPoint, value: Option<f64>, label: &str) {
+        self.points.push(ScatterPoint {
+            point,
+            value,
+            label: label.to_owned(),
+        });
+    }
+
+    /// Adds a region outline drawn under the points (district boundaries
+    /// etc.).
+    pub fn add_outline(&mut self, region: Region) {
+        self.outlines.push(region);
+    }
+
+    /// Number of points.
+    pub fn n_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `(min, max)` of the defined point values.
+    pub fn value_range(&self) -> Option<(f64, f64)> {
+        let vals: Vec<f64> = self.points.iter().filter_map(|p| p.value).collect();
+        if vals.is_empty() {
+            return None;
+        }
+        Some((
+            vals.iter().copied().fold(f64::INFINITY, f64::min),
+            vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        ))
+    }
+
+    /// Renders the map to SVG. Every marker carries a `<title>` child — the
+    /// static equivalent of the interactive popups of the paper.
+    pub fn render(&self) -> String {
+        let mut doc = SvgDocument::new(self.width, self.height);
+        doc.rect(0.0, 0.0, self.width, self.height, "#f7f7f4", "none");
+        doc.text(14.0, 22.0, 15.0, "start", &self.title);
+
+        let mut all: Vec<GeoPoint> = self.points.iter().map(|p| p.point).collect();
+        all.extend(
+            self.outlines
+                .iter()
+                .flat_map(|r| r.polygon.vertices.iter().copied()),
+        );
+        let Some(bounds) = BoundingBox::from_points(&all) else {
+            doc.text(self.width / 2.0, self.height / 2.0, 13.0, "middle", "(no points)");
+            return doc.render();
+        };
+        let proj = GeoProjection::fit(
+            bounds.with_margin(bounds.lat_span().max(1e-4) * 0.05),
+            self.width,
+            self.height - 120.0,
+            12.0,
+        );
+
+        for region in &self.outlines {
+            let pts: Vec<(f64, f64)> = region
+                .polygon
+                .vertices
+                .iter()
+                .map(|p| {
+                    let (x, y) = proj.project(p);
+                    (x, y + 30.0)
+                })
+                .collect();
+            doc.polygon(&pts, "none", "#999999", 0.0);
+        }
+
+        let (lo, hi) = self.value_range().unwrap_or((0.0, 1.0));
+        for p in &self.points {
+            let (x, y) = proj.project(&p.point);
+            let fill = match p.value {
+                Some(v) => self.ramp.map(v, lo, hi).hex(),
+                None => "#bbbbbb".to_owned(),
+            };
+            doc.raw(&format!(
+                r##"<circle cx="{:.2}" cy="{:.2}" r="{:.2}" fill="{fill}" stroke="#ffffff" stroke-width="0.4"><title>{}</title></circle>"##,
+                x,
+                y + 30.0,
+                self.marker_radius,
+                crate::svg::escape(&p.label)
+            ));
+        }
+
+        draw_legend(
+            &mut doc,
+            &self.ramp,
+            lo,
+            hi,
+            &self.value_label,
+            14.0,
+            self.height - 48.0,
+            220.0,
+        );
+        doc.text(
+            self.width - 14.0,
+            self.height - 14.0,
+            10.0,
+            "end",
+            &format!("{} certificates", self.points.len()),
+        );
+        doc.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epc_geo::region::Polygon;
+    use epc_model::Granularity;
+
+    fn sample() -> ScatterMap {
+        let mut m = ScatterMap::new("Uw per unit", "Uw [W/m2K]");
+        m.add_point(GeoPoint::new(45.01, 7.61), Some(4.2), "EPC-000001 Uw=4.2");
+        m.add_point(GeoPoint::new(45.02, 7.63), Some(1.5), "EPC-000002 Uw=1.5");
+        m.add_point(GeoPoint::new(45.03, 7.62), None, "EPC-000003 (missing)");
+        m
+    }
+
+    #[test]
+    fn renders_one_marker_per_point() {
+        let svg = sample().render();
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert_eq!(svg.matches("<title>").count(), 3);
+        assert!(svg.contains("3 certificates"));
+    }
+
+    #[test]
+    fn labels_are_escaped_into_titles() {
+        let mut m = sample();
+        m.add_point(GeoPoint::new(45.015, 7.615), Some(2.0), "a<b&c");
+        let svg = m.render();
+        assert!(svg.contains("a&lt;b&amp;c"));
+    }
+
+    #[test]
+    fn outline_is_drawn_without_fill() {
+        let mut m = sample();
+        m.add_outline(Region {
+            name: "D1".into(),
+            level: Granularity::District,
+            parent: None,
+            polygon: Polygon::from_bbox(&BoundingBox::new(45.0, 7.6, 45.05, 7.65)),
+        });
+        let svg = m.render();
+        assert!(svg.contains("<polygon"));
+        assert!(svg.contains(r#"fill="none""#));
+    }
+
+    #[test]
+    fn empty_map_placeholder() {
+        let m = ScatterMap::new("empty", "x");
+        assert!(m.render().contains("(no points)"));
+        assert_eq!(m.value_range(), None);
+    }
+
+    #[test]
+    fn value_range_skips_missing() {
+        assert_eq!(sample().value_range(), Some((1.5, 4.2)));
+    }
+
+    #[test]
+    fn single_point_does_not_panic() {
+        let mut m = ScatterMap::new("one", "x");
+        m.add_point(GeoPoint::new(45.0, 7.6), Some(1.0), "only");
+        let svg = m.render();
+        assert!(svg.contains("<circle"));
+    }
+}

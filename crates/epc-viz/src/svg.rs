@@ -1,0 +1,203 @@
+//! A minimal SVG scene builder: enough primitives for maps, plots and
+//! legends, with proper text escaping, and no dependencies.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDocument {
+    width: f64,
+    height: f64,
+    body: String,
+    n_elements: usize,
+}
+
+impl SvgDocument {
+    /// A document with the given pixel size.
+    pub fn new(width: f64, height: f64) -> Self {
+        SvgDocument {
+            width,
+            height,
+            body: String::new(),
+            n_elements: 0,
+        }
+    }
+
+    /// Document width in px.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height in px.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Number of elements appended so far.
+    pub fn n_elements(&self) -> usize {
+        self.n_elements
+    }
+
+    /// Appends a filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}" stroke="{stroke}"/>"#
+        );
+        self.n_elements += 1;
+    }
+
+    /// Appends a circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, stroke: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}" stroke="{stroke}"/>"#
+        );
+        self.n_elements += 1;
+    }
+
+    /// Appends a line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width:.2}"/>"#
+        );
+        self.n_elements += 1;
+    }
+
+    /// Appends a closed polygon from `(x, y)` vertices.
+    pub fn polygon(&mut self, points: &[(f64, f64)], fill: &str, stroke: &str, opacity: f64) {
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polygon points="{}" fill="{fill}" stroke="{stroke}" fill-opacity="{opacity:.2}"/>"#,
+            pts.join(" ")
+        );
+        self.n_elements += 1;
+    }
+
+    /// Appends text anchored at `(x, y)`.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, content: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" font-family="sans-serif" text-anchor="{anchor}">{}</text>"#,
+            escape(content)
+        );
+        self.n_elements += 1;
+    }
+
+    /// Appends text with an explicit fill colour.
+    pub fn text_colored(
+        &mut self,
+        x: f64,
+        y: f64,
+        size: f64,
+        anchor: &str,
+        fill: &str,
+        content: &str,
+    ) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" font-family="sans-serif" text-anchor="{anchor}" fill="{fill}">{}</text>"#,
+            escape(content)
+        );
+        self.n_elements += 1;
+    }
+
+    /// Appends a raw, pre-built SVG fragment (caller is responsible for
+    /// well-formedness; text inside must already be escaped).
+    pub fn raw(&mut self, fragment: &str) {
+        self.body.push_str(fragment);
+        self.body.push('\n');
+        self.n_elements += 1;
+    }
+
+    /// Renders the complete document.
+    pub fn render(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+/// Escapes text content for XML.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_well_formed_envelope() {
+        let doc = SvgDocument::new(640.0, 480.0);
+        let svg = doc.render();
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("width=\"640\""));
+        assert!(svg.contains("viewBox=\"0 0 640 480\""));
+    }
+
+    #[test]
+    fn elements_are_counted_and_present() {
+        let mut doc = SvgDocument::new(100.0, 100.0);
+        doc.rect(0.0, 0.0, 10.0, 10.0, "#ff0000", "none");
+        doc.circle(50.0, 50.0, 5.0, "#00ff00", "black");
+        doc.line(0.0, 0.0, 100.0, 100.0, "#000", 1.0);
+        doc.polygon(&[(0.0, 0.0), (10.0, 0.0), (5.0, 8.0)], "#00f", "none", 0.6);
+        doc.text(10.0, 20.0, 12.0, "start", "hello");
+        assert_eq!(doc.n_elements(), 5);
+        let svg = doc.render();
+        for tag in ["<rect", "<circle", "<line", "<polygon", "<text"] {
+            assert!(svg.contains(tag), "missing {tag}");
+        }
+        assert!(svg.contains("hello"));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut doc = SvgDocument::new(10.0, 10.0);
+        doc.text(0.0, 0.0, 10.0, "start", "a < b & \"c\"");
+        let svg = doc.render();
+        assert!(svg.contains("a &lt; b &amp; &quot;c&quot;"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn escape_covers_all_specials() {
+        assert_eq!(escape("&<>\"'"), "&amp;&lt;&gt;&quot;&apos;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn coordinates_are_rounded_to_two_decimals() {
+        let mut doc = SvgDocument::new(10.0, 10.0);
+        doc.circle(1.23456, 7.89123, 0.5, "#000", "none");
+        let svg = doc.render();
+        assert!(svg.contains("cx=\"1.23\""));
+        assert!(svg.contains("cy=\"7.89\""));
+    }
+
+    #[test]
+    fn raw_fragment_passthrough() {
+        let mut doc = SvgDocument::new(10.0, 10.0);
+        doc.raw("<g id=\"layer\"></g>");
+        assert!(doc.render().contains("<g id=\"layer\"></g>"));
+    }
+}

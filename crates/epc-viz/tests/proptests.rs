@@ -1,0 +1,118 @@
+//! Property-based tests of the visualization substrate: SVG escaping and
+//! balance over arbitrary text, colour-ramp bounds, scale round-trips, and
+//! marker-clustering mass conservation.
+
+use epc_geo::bbox::BoundingBox;
+use epc_geo::point::GeoPoint;
+use epc_viz::clustermarker::cluster_markers;
+use epc_viz::color::{Color, ColorRamp};
+use epc_viz::scale::{GeoProjection, LinearScale};
+use epc_viz::svg::{escape, SvgDocument};
+use proptest::prelude::*;
+
+fn geo_point() -> impl Strategy<Value = GeoPoint> {
+    (44.9f64..45.3, 7.5f64..7.9).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    #[test]
+    fn escape_output_has_no_raw_specials(s in "[ -~]{0,60}") {
+        let e = escape(&s);
+        prop_assert!(!e.contains('<'));
+        prop_assert!(!e.contains('>'));
+        // '&' may only appear as the start of an entity we produced.
+        let mut rest = e.as_str();
+        while let Some(pos) = rest.find('&') {
+            let tail = &rest[pos..];
+            prop_assert!(
+                tail.starts_with("&amp;")
+                    || tail.starts_with("&lt;")
+                    || tail.starts_with("&gt;")
+                    || tail.starts_with("&quot;")
+                    || tail.starts_with("&apos;"),
+                "stray & in {e:?}"
+            );
+            rest = &tail[1..];
+        }
+    }
+
+    #[test]
+    fn svg_text_with_arbitrary_content_stays_balanced(s in "[ -~]{0,60}") {
+        let mut doc = SvgDocument::new(100.0, 100.0);
+        doc.text(10.0, 10.0, 12.0, "start", &s);
+        let svg = doc.render();
+        prop_assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+        prop_assert_eq!(svg.matches("<svg").count(), 1);
+        prop_assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn ramp_samples_are_valid_hex(t in -2.0f64..3.0) {
+        for ramp in [ColorRamp::energy(), ColorRamp::grayscale()] {
+            let c = ramp.sample(t);
+            let hex = c.hex();
+            prop_assert_eq!(hex.len(), 7);
+            prop_assert!(hex.starts_with('#'));
+            prop_assert!(hex[1..].chars().all(|ch| ch.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn lerp_stays_within_channel_bounds(
+        r1 in 0u8..=255, g1 in 0u8..=255, b1 in 0u8..=255,
+        r2 in 0u8..=255, g2 in 0u8..=255, b2 in 0u8..=255,
+        t in -1.0f64..2.0,
+    ) {
+        let a = Color::new(r1, g1, b1);
+        let b = Color::new(r2, g2, b2);
+        let c = Color::lerp(a, b, t);
+        prop_assert!(c.r >= a.r.min(b.r) && c.r <= a.r.max(b.r));
+        prop_assert!(c.g >= a.g.min(b.g) && c.g <= a.g.max(b.g));
+        prop_assert!(c.b >= a.b.min(b.b) && c.b <= a.b.max(b.b));
+    }
+
+    #[test]
+    fn linear_scale_round_trips(d0 in -1e6f64..1e6, span in 1e-3f64..1e6, r0 in -1e4f64..1e4, rspan in 1e-3f64..1e4, x in -1e6f64..1e6) {
+        let s = LinearScale::new((d0, d0 + span), (r0, r0 + rspan));
+        let back = s.invert(s.map(x));
+        prop_assert!((back - x).abs() < 1e-6 * (1.0 + x.abs()), "{back} vs {x}");
+    }
+
+    #[test]
+    fn projection_keeps_bounds_points_on_canvas(pts in prop::collection::vec(geo_point(), 2..40)) {
+        let bounds = BoundingBox::from_points(&pts).unwrap();
+        let proj = GeoProjection::fit(bounds, 800.0, 600.0, 10.0);
+        for p in &pts {
+            let (x, y) = proj.project(p);
+            prop_assert!((-1.0..=801.0).contains(&x), "x = {x}");
+            prop_assert!((-1.0..=601.0).contains(&y), "y = {y}");
+        }
+    }
+
+    #[test]
+    fn marker_clustering_conserves_mass(
+        pts in prop::collection::vec((geo_point(), prop::option::of(0.0f64..500.0)), 1..150),
+        cell in 8.0f64..200.0,
+    ) {
+        let geo: Vec<GeoPoint> = pts.iter().map(|(p, _)| *p).collect();
+        let bounds = BoundingBox::from_points(&geo).unwrap().with_margin(1e-6);
+        let proj = GeoProjection::fit(bounds, 760.0, 560.0, 12.0);
+        let markers = cluster_markers(&pts, &proj, cell);
+        prop_assert_eq!(markers.iter().map(|m| m.count).sum::<usize>(), pts.len());
+        // Every marker mean is within the global value range.
+        let values: Vec<f64> = pts.iter().filter_map(|(_, v)| *v).collect();
+        if !values.is_empty() {
+            let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            for m in &markers {
+                if let Some(v) = m.mean_value {
+                    prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+                }
+            }
+        }
+        // Every marker centre is inside the original bounding box.
+        for m in &markers {
+            prop_assert!(bounds.contains(&m.center));
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Dependency-free command-line argument parsing for the `indice` binary.
+
+use epc_query::Stakeholder;
+use std::collections::HashMap;
+
+/// Noise presets for `generate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoisePreset {
+    /// No corruption (clean collection).
+    None,
+    /// The default corruption mix.
+    Default,
+    /// Typo-heavy corruption for cleaning experiments.
+    Heavy,
+}
+
+/// A parsed CLI command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a synthetic collection to disk.
+    Generate {
+        /// Number of certificates.
+        records: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Corruption preset.
+        noise: NoisePreset,
+        /// Output directory.
+        out_dir: String,
+    },
+    /// Print per-attribute summary statistics of a CSV collection.
+    Describe {
+        /// Path to the EPC CSV.
+        data: String,
+    },
+    /// Run the full pipeline and write the dashboards.
+    Run {
+        /// Path to the EPC CSV.
+        data: String,
+        /// Path to the referenced street map.
+        streets: String,
+        /// Path to the region-hierarchy JSON.
+        regions: String,
+        /// Target stakeholder.
+        stakeholder: Stakeholder,
+        /// Output directory.
+        out_dir: String,
+    },
+    /// Print the auto-configuration advice for a collection.
+    SuggestConfig {
+        /// Path to the EPC CSV.
+        data: String,
+    },
+    /// Run only the pre-processing stage and write the cleaned CSV.
+    Clean {
+        /// Path to the EPC CSV.
+        data: String,
+        /// Path to the referenced street map.
+        streets: String,
+        /// Output CSV path.
+        out: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+indice — INformative DynamiC dashboard Engine (EPC analysis)
+
+USAGE:
+  indice generate --records N [--seed S] [--noise none|default|heavy] --out-dir DIR
+  indice describe --data epcs.csv
+  indice run --data epcs.csv --streets street_map.txt --regions regions.json \\
+             [--stakeholder pa|citizen|scientist] --out-dir DIR
+  indice suggest-config --data epcs.csv
+  indice clean --data epcs.csv --streets street_map.txt --out cleaned.csv
+  indice help
+";
+
+/// Parses `argv[1..]` into a [`Command`].
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let flags = parse_flags(&args[1..])?;
+    let get = |name: &str| -> Result<&String, String> {
+        flags
+            .get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let records: usize = get("records")?
+                .parse()
+                .map_err(|e| format!("--records: {e}"))?;
+            if records == 0 {
+                return Err("--records must be positive".into());
+            }
+            let seed: u64 = flags
+                .get("seed")
+                .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+                .transpose()?
+                .unwrap_or(2024);
+            let noise = match flags.get("noise").map(String::as_str) {
+                None | Some("default") => NoisePreset::Default,
+                Some("none") => NoisePreset::None,
+                Some("heavy") => NoisePreset::Heavy,
+                Some(other) => return Err(format!("unknown --noise preset {other:?}")),
+            };
+            Ok(Command::Generate {
+                records,
+                seed,
+                noise,
+                out_dir: get("out-dir")?.clone(),
+            })
+        }
+        "describe" => Ok(Command::Describe {
+            data: get("data")?.clone(),
+        }),
+        "run" => {
+            let stakeholder = match flags.get("stakeholder").map(String::as_str) {
+                None | Some("pa") | Some("public-administration") => {
+                    Stakeholder::PublicAdministration
+                }
+                Some("citizen") => Stakeholder::Citizen,
+                Some("scientist") | Some("energy-scientist") => Stakeholder::EnergyScientist,
+                Some(other) => return Err(format!("unknown --stakeholder {other:?}")),
+            };
+            Ok(Command::Run {
+                data: get("data")?.clone(),
+                streets: get("streets")?.clone(),
+                regions: get("regions")?.clone(),
+                stakeholder,
+                out_dir: get("out-dir")?.clone(),
+            })
+        }
+        "suggest-config" => Ok(Command::SuggestConfig {
+            data: get("data")?.clone(),
+        }),
+        "clean" => Ok(Command::Clean {
+            data: get("data")?.clone(),
+            streets: get("streets")?.clone(),
+            out: get("out")?.clone(),
+        }),
+        other => Err(format!("unknown command {other:?}; try `indice help`")),
+    }
+}
+
+/// Parses `--flag value` pairs.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got {arg:?}"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        if flags.insert(name.to_owned(), value.clone()).is_some() {
+            return Err(format!("duplicate flag --{name}"));
+        }
+    }
+    Ok(flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&v(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&v(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn generate_with_defaults() {
+        let cmd = parse_args(&v(&["generate", "--records", "500", "--out-dir", "out"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                records: 500,
+                seed: 2024,
+                noise: NoisePreset::Default,
+                out_dir: "out".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn generate_with_all_flags() {
+        let cmd = parse_args(&v(&[
+            "generate", "--records", "100", "--seed", "7", "--noise", "heavy", "--out-dir", "d",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                records: 100,
+                seed: 7,
+                noise: NoisePreset::Heavy,
+                out_dir: "d".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn generate_rejects_bad_values() {
+        assert!(parse_args(&v(&["generate", "--out-dir", "d"])).is_err());
+        assert!(parse_args(&v(&["generate", "--records", "abc", "--out-dir", "d"])).is_err());
+        assert!(parse_args(&v(&["generate", "--records", "0", "--out-dir", "d"])).is_err());
+        assert!(parse_args(&v(&[
+            "generate", "--records", "5", "--noise", "nope", "--out-dir", "d"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn run_parses_stakeholders() {
+        for (flag, expected) in [
+            ("pa", Stakeholder::PublicAdministration),
+            ("citizen", Stakeholder::Citizen),
+            ("scientist", Stakeholder::EnergyScientist),
+        ] {
+            let cmd = parse_args(&v(&[
+                "run", "--data", "e.csv", "--streets", "s.txt", "--regions", "r.json",
+                "--stakeholder", flag, "--out-dir", "o",
+            ]))
+            .unwrap();
+            match cmd {
+                Command::Run { stakeholder, .. } => assert_eq!(stakeholder, expected),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn run_default_stakeholder_is_pa() {
+        let cmd = parse_args(&v(&[
+            "run", "--data", "e.csv", "--streets", "s.txt", "--regions", "r.json", "--out-dir",
+            "o",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Run {
+                stakeholder: Stakeholder::PublicAdministration,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn flag_errors() {
+        assert!(parse_args(&v(&["describe"])).is_err(), "missing --data");
+        assert!(parse_args(&v(&["describe", "positional"])).is_err());
+        assert!(parse_args(&v(&["describe", "--data"])).is_err(), "dangling flag");
+        assert!(
+            parse_args(&v(&["describe", "--data", "a", "--data", "b"])).is_err(),
+            "duplicate flag"
+        );
+        assert!(parse_args(&v(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn clean_parses() {
+        let cmd = parse_args(&v(&[
+            "clean", "--data", "e.csv", "--streets", "s.txt", "--out", "c.csv",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Clean {
+                data: "e.csv".into(),
+                streets: "s.txt".into(),
+                out: "c.csv".into(),
+            }
+        );
+        assert!(parse_args(&v(&["clean", "--data", "e.csv"])).is_err());
+    }
+
+    #[test]
+    fn suggest_config_parses() {
+        let cmd = parse_args(&v(&["suggest-config", "--data", "e.csv"])).unwrap();
+        assert_eq!(cmd, Command::SuggestConfig { data: "e.csv".into() });
+    }
+}

@@ -1,0 +1,204 @@
+//! `indice` — the command-line interface of the INDICE reproduction.
+//!
+//! ```sh
+//! indice generate --records 25000 --out-dir data/
+//! indice describe --data data/epcs.csv
+//! indice run --data data/epcs.csv --streets data/street_map.txt \
+//!            --regions data/regions.json --stakeholder pa --out-dir out/
+//! indice suggest-config --data data/epcs.csv
+//! ```
+
+mod args;
+
+use args::{parse_args, Command, NoisePreset, USAGE};
+use epc_geo::region::RegionHierarchy;
+use epc_geo::streetmap::StreetMap;
+use epc_model::Dataset;
+use epc_synth::noise::{apply_noise, NoiseConfig};
+use epc_synth::{EpcGenerator, SynthConfig};
+use indice::autoconfig::suggest_config;
+use indice::config::IndiceConfig;
+use indice::engine::Indice;
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match execute(command) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn execute(command: Command) -> Result<(), String> {
+    match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Generate {
+            records,
+            seed,
+            noise,
+            out_dir,
+        } => generate(records, seed, noise, &out_dir),
+        Command::Describe { data } => {
+            let dataset = load_dataset(&data)?;
+            print_out(&epc_query::report::describe_text(&dataset));
+            Ok(())
+        }
+        Command::Run {
+            data,
+            streets,
+            regions,
+            stakeholder,
+            out_dir,
+        } => run(&data, &streets, &regions, stakeholder, &out_dir),
+        Command::Clean { data, streets, out } => {
+            let dataset = load_dataset(&data)?;
+            let street_text =
+                fs::read_to_string(&streets).map_err(|e| format!("reading {streets}: {e}"))?;
+            let street_map = StreetMap::from_text(&street_text)?;
+            let result = indice::preprocess::preprocess(
+                dataset,
+                &street_map,
+                &IndiceConfig::default(),
+            )
+            .map_err(|e| format!("cleaning failed: {e}"))?;
+            fs::write(&out, epc_model::csv::to_csv(&result.dataset))
+                .map_err(|e| format!("writing {out}: {e}"))?;
+            println!(
+                "cleaned {} records ({} resolved by reference, {} by geocoder, {} unresolved); \
+removed {} outliers; wrote {} rows to {out}",
+                result.cleaning.total,
+                result.cleaning.by_reference,
+                result.cleaning.by_geocoder,
+                result.cleaning.unresolved,
+                result.removed_rows.len(),
+                result.dataset.n_rows(),
+            );
+            Ok(())
+        }
+        Command::SuggestConfig { data } => {
+            let dataset = load_dataset(&data)?;
+            let advice = suggest_config(&dataset, &IndiceConfig::default());
+            println!("auto-configuration advice ({} records):", dataset.n_rows());
+            for a in &advice.attribute_advice {
+                println!("  {:<18} -> {:<8} ({})", a.attribute, a.method.name(), a.rationale);
+            }
+            println!(
+                "  K sweep: {:?}; min rule support: {}; geocoder quota: {}",
+                advice.config.analytics.k,
+                advice.config.rule_stage.rules.min_support,
+                advice.config.geocoder_quota
+            );
+            Ok(())
+        }
+    }
+}
+
+fn generate(records: usize, seed: u64, noise: NoisePreset, out_dir: &str) -> Result<(), String> {
+    let mut collection = EpcGenerator::new(SynthConfig {
+        n_records: records,
+        seed,
+        ..SynthConfig::default()
+    })
+    .generate();
+    match noise {
+        NoisePreset::None => {}
+        NoisePreset::Default => apply_noise(&mut collection, &NoiseConfig::default()),
+        NoisePreset::Heavy => apply_noise(
+            &mut collection,
+            &NoiseConfig {
+                typo_rate: 0.35,
+                abbreviation_rate: 0.2,
+                zip_missing_rate: 0.12,
+                coord_missing_rate: 0.1,
+                coord_wrong_rate: 0.06,
+                ..NoiseConfig::default()
+            },
+        ),
+    }
+    let dir = Path::new(out_dir);
+    fs::create_dir_all(dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
+    fs::write(dir.join("epcs.csv"), epc_model::csv::to_csv(&collection.dataset))
+        .map_err(|e| format!("writing epcs.csv: {e}"))?;
+    fs::write(
+        dir.join("street_map.txt"),
+        collection.city.street_map.to_text()?,
+    )
+    .map_err(|e| format!("writing street_map.txt: {e}"))?;
+    let regions = serde_json::to_string_pretty(&collection.city.hierarchy)
+        .map_err(|e| format!("serializing regions: {e}"))?;
+    fs::write(dir.join("regions.json"), regions)
+        .map_err(|e| format!("writing regions.json: {e}"))?;
+    println!(
+        "wrote {} certificates, {} street entries, {} regions to {out_dir}/",
+        collection.dataset.n_rows(),
+        collection.city.street_map.len(),
+        collection.city.hierarchy.districts.len() + collection.city.hierarchy.neighbourhoods.len()
+    );
+    Ok(())
+}
+
+fn run(
+    data: &str,
+    streets: &str,
+    regions: &str,
+    stakeholder: epc_query::Stakeholder,
+    out_dir: &str,
+) -> Result<(), String> {
+    let dataset = load_dataset(data)?;
+    let street_text =
+        fs::read_to_string(streets).map_err(|e| format!("reading {streets}: {e}"))?;
+    let street_map = StreetMap::from_text(&street_text)?;
+    let regions_text =
+        fs::read_to_string(regions).map_err(|e| format!("reading {regions}: {e}"))?;
+    let hierarchy: RegionHierarchy =
+        serde_json::from_str(&regions_text).map_err(|e| format!("parsing {regions}: {e}"))?;
+
+    let engine = Indice::new(dataset, street_map, hierarchy, IndiceConfig::default());
+    let output = engine
+        .run(stakeholder)
+        .map_err(|e| format!("pipeline failed: {e}"))?;
+
+    let dir = Path::new(out_dir);
+    fs::create_dir_all(dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
+    fs::write(dir.join("dashboard.html"), output.dashboard.render_html())
+        .map_err(|e| format!("writing dashboard: {e}"))?;
+    for (name, content) in &output.artifacts {
+        fs::write(dir.join(name), content).map_err(|e| format!("writing {name}: {e}"))?;
+    }
+    println!(
+        "pipeline done: {} records kept, K = {}, {} rules; dashboard + {} artifacts in {out_dir}/",
+        output.preprocess.dataset.n_rows(),
+        output.analytics.chosen_k,
+        output.analytics.rules.len(),
+        output.artifacts.len()
+    );
+    Ok(())
+}
+
+/// Writes to stdout ignoring broken pipes (`indice describe | head` must
+/// not panic).
+fn print_out(s: &str) {
+    use std::io::Write;
+    let _ = std::io::stdout().write_all(s.as_bytes());
+}
+
+fn load_dataset(path: &str) -> Result<Dataset, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let schema = epc_model::schema::standard_epc_schema();
+    epc_model::csv::from_csv(schema, &text).map_err(|e| format!("parsing {path}: {e}"))
+}

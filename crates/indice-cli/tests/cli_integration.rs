@@ -1,0 +1,164 @@
+//! Black-box integration tests of the `indice` binary: the full
+//! generate → describe → clean → run loop through real process invocations.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_indice")
+}
+
+fn run_cli(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary launches")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("indice-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let o = run_cli(&["help"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("USAGE"));
+    // No args is help too.
+    let o = run_cli(&[]);
+    assert!(o.status.success());
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let o = run_cli(&["frobnicate"]);
+    assert!(!o.status.success());
+    let err = stderr(&o);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn missing_input_file_is_a_clean_error() {
+    let o = run_cli(&["describe", "--data", "/nonexistent/path.csv"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("reading /nonexistent/path.csv"));
+}
+
+#[test]
+fn generate_describe_clean_run_round_trip() {
+    let data_dir = tmp_dir("data");
+    let out_dir = tmp_dir("out");
+
+    // generate
+    let o = run_cli(&[
+        "generate",
+        "--records",
+        "800",
+        "--seed",
+        "5",
+        "--out-dir",
+        data_dir.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "generate failed: {}", stderr(&o));
+    assert!(stdout(&o).contains("800 certificates"));
+    for f in ["epcs.csv", "street_map.txt", "regions.json"] {
+        assert!(data_dir.join(f).exists(), "missing {f}");
+    }
+
+    // describe
+    let csv = data_dir.join("epcs.csv");
+    let o = run_cli(&["describe", "--data", csv.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let text = stdout(&o);
+    assert!(text.contains("800 rows x 132 attributes"));
+    assert!(text.contains("u_windows"));
+
+    // clean
+    let cleaned = out_dir.join("cleaned.csv");
+    let o = run_cli(&[
+        "clean",
+        "--data",
+        csv.to_str().unwrap(),
+        "--streets",
+        data_dir.join("street_map.txt").to_str().unwrap(),
+        "--out",
+        cleaned.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "clean failed: {}", stderr(&o));
+    assert!(stdout(&o).contains("cleaned 800 records"));
+    assert!(cleaned.exists());
+
+    // suggest-config
+    let o = run_cli(&["suggest-config", "--data", csv.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("auto-configuration advice"));
+
+    // run (citizen profile is the fastest)
+    let o = run_cli(&[
+        "run",
+        "--data",
+        csv.to_str().unwrap(),
+        "--streets",
+        data_dir.join("street_map.txt").to_str().unwrap(),
+        "--regions",
+        data_dir.join("regions.json").to_str().unwrap(),
+        "--stakeholder",
+        "citizen",
+        "--out-dir",
+        out_dir.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "run failed: {}", stderr(&o));
+    assert!(stdout(&o).contains("pipeline done"));
+    let dashboard = out_dir.join("dashboard.html");
+    assert!(dashboard.exists());
+    let html = std::fs::read_to_string(dashboard).unwrap();
+    assert!(html.contains("INDICE"));
+    assert!(html.contains("</html>"));
+
+    cleanup(&data_dir);
+    cleanup(&out_dir);
+}
+
+#[test]
+fn corrupt_street_map_is_rejected() {
+    let dir = tmp_dir("corrupt");
+    let csv = dir.join("epcs.csv");
+    // Minimal valid generate first.
+    let o = run_cli(&[
+        "generate",
+        "--records",
+        "50",
+        "--out-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(o.status.success());
+    std::fs::write(dir.join("bad_streets.txt"), "not a street map\n").unwrap();
+    let o = run_cli(&[
+        "clean",
+        "--data",
+        csv.to_str().unwrap(),
+        "--streets",
+        dir.join("bad_streets.txt").to_str().unwrap(),
+        "--out",
+        dir.join("c.csv").to_str().unwrap(),
+    ]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unexpected header"));
+    cleanup(&dir);
+}
+
+fn cleanup(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,209 @@
+//! Typed configuration of the three pipeline stages, with the paper's
+//! defaults (footnote-4 discretization bins included).
+
+use crate::outliers::UnivariateMethod;
+use epc_geo::cleaning::CleaningConfig;
+use epc_mining::cart::CartConfig;
+use epc_mining::discretize::Discretizer;
+use epc_mining::kmeans::KMeansInit;
+use epc_mining::rules::RuleConfig;
+use epc_model::wellknown as wk;
+
+/// How K is chosen for K-means.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KSelection {
+    /// A-priori K (the paper's base algorithm).
+    Fixed(usize),
+    /// Sweep `k_min..=k_max` and pick the SSE elbow (§2.2.2).
+    Elbow {
+        /// Smallest K tried.
+        k_min: usize,
+        /// Largest K tried.
+        k_max: usize,
+    },
+}
+
+/// Stage-1 outlier configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutlierConfig {
+    /// `(attribute, method)` pairs for univariate detection. Defaults to
+    /// the expert-analysis attributes of §2.1.2 with the MAD 3.5 rule.
+    pub univariate: Vec<(String, UnivariateMethod)>,
+    /// Enable DBSCAN multivariate detection over the analytics features.
+    pub multivariate: bool,
+    /// minPoints candidates for the k-distance auto-estimation.
+    pub min_points_candidates: Vec<usize>,
+    /// Stabilisation tolerance for the minPoints scan.
+    pub stability_tol: f64,
+}
+
+impl Default for OutlierConfig {
+    fn default() -> Self {
+        OutlierConfig {
+            univariate: wk::EXPERT_ANALYSIS_ATTRIBUTES
+                .iter()
+                .map(|a| (a.to_string(), UnivariateMethod::default_mad()))
+                .collect(),
+            multivariate: true,
+            min_points_candidates: vec![4, 5, 6, 8],
+            stability_tol: 0.15,
+        }
+    }
+}
+
+/// Stage-2 analytics configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticsConfig {
+    /// Clustering features (default: the case-study five).
+    pub features: Vec<String>,
+    /// Response variable (default: EPH).
+    pub response: String,
+    /// K selection strategy.
+    pub k: KSelection,
+    /// K-means initialization.
+    pub init: KMeansInit,
+    /// RNG seed for clustering.
+    pub seed: u64,
+    /// |ρ| threshold above which a feature pair counts as "evidently
+    /// correlated" (the eligibility check before clustering).
+    pub correlation_threshold: f64,
+}
+
+impl Default for AnalyticsConfig {
+    fn default() -> Self {
+        AnalyticsConfig {
+            features: wk::CASE_STUDY_FEATURES.iter().map(|s| s.to_string()).collect(),
+            response: wk::EPH.to_string(),
+            k: KSelection::Elbow { k_min: 2, k_max: 10 },
+            init: KMeansInit::KMeansPlusPlus,
+            seed: 42,
+            correlation_threshold: 0.8,
+        }
+    }
+}
+
+/// Stage-2 rule-mining configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleStageConfig {
+    /// Quality-index thresholds.
+    pub rules: RuleConfig,
+    /// CART settings for attributes without paper-given bins.
+    pub cart: CartConfig,
+    /// Number of response bins (quantile-based) when discretizing the
+    /// response variable.
+    pub response_bins: usize,
+    /// Keep only the best `top_k` rules in dashboards.
+    pub top_k: usize,
+}
+
+impl Default for RuleStageConfig {
+    fn default() -> Self {
+        RuleStageConfig {
+            rules: RuleConfig {
+                min_support: 0.05,
+                min_confidence: 0.6,
+                min_lift: 1.1,
+                max_len: 3,
+            },
+            cart: CartConfig::default(),
+            response_bins: 3,
+            top_k: 15,
+        }
+    }
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndiceConfig {
+    /// Geospatial cleaning settings (φ threshold etc.).
+    pub cleaning: CleaningConfig,
+    /// Geocoder request quota (the free-tier limit of §2.1.1); `0`
+    /// disables the fallback.
+    pub geocoder_quota: usize,
+    /// Outlier stage.
+    pub outliers: OutlierConfig,
+    /// Analytics stage.
+    pub analytics: AnalyticsConfig,
+    /// Rule-mining stage.
+    pub rule_stage: RuleStageConfig,
+    /// Restrict the analysis to this building category (the case study
+    /// uses `Some("E.1.1")`); `None` keeps everything.
+    pub building_category: Option<String>,
+}
+
+impl Default for IndiceConfig {
+    fn default() -> Self {
+        IndiceConfig {
+            cleaning: CleaningConfig::default(),
+            geocoder_quota: 2_500, // Google free tier order of magnitude
+            outliers: OutlierConfig::default(),
+            analytics: AnalyticsConfig::default(),
+            rule_stage: RuleStageConfig::default(),
+            building_category: Some("E.1.1".to_owned()),
+        }
+    }
+}
+
+/// The paper's footnote-4 discretizations, verbatim:
+///
+/// * Uw: Low = \[1.1, 2.05\], Medium = (2.05, 2.45\], High = (2.45, 3.35\],
+///   Very high = (3.35, 5.5\];
+/// * Uo: Low = \[0.15, 0.45\], Medium = (0.45, 0.65\], High = (0.65, 1.1\];
+/// * ETAH: Low = \[0.20, 0.60\], Medium = (0.60, 0.80\], High = (0.80, 1.1\].
+pub fn footnote4_discretizers() -> Vec<Discretizer> {
+    vec![
+        Discretizer::with_auto_labels(wk::U_WINDOWS, vec![2.05, 2.45, 3.35])
+            .expect("valid Uw bins"),
+        Discretizer::with_auto_labels(wk::U_OPAQUE, vec![0.45, 0.65]).expect("valid Uo bins"),
+        Discretizer::with_auto_labels(wk::ETA_H, vec![0.60, 0.80]).expect("valid ETAH bins"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let cfg = IndiceConfig::default();
+        assert_eq!(cfg.building_category.as_deref(), Some("E.1.1"));
+        assert_eq!(cfg.analytics.features.len(), 5);
+        assert_eq!(cfg.analytics.response, "eph");
+        assert!(matches!(cfg.analytics.k, KSelection::Elbow { k_min: 2, k_max: 10 }));
+        assert!(cfg.outliers.multivariate);
+        assert_eq!(cfg.outliers.univariate.len(), 5);
+        assert!(cfg.cleaning.phi > 0.5 && cfg.cleaning.phi < 1.0);
+    }
+
+    #[test]
+    fn footnote4_bins_match_the_paper() {
+        let ds = footnote4_discretizers();
+        assert_eq!(ds.len(), 3);
+        let uw = &ds[0];
+        assert_eq!(uw.attribute, "u_windows");
+        assert_eq!(uw.bin_label(2.0), "Low");
+        assert_eq!(uw.bin_label(2.3), "Medium");
+        assert_eq!(uw.bin_label(3.0), "High");
+        assert_eq!(uw.bin_label(4.5), "Very high");
+        let uo = &ds[1];
+        assert_eq!(uo.bin_label(0.3), "Low");
+        assert_eq!(uo.bin_label(0.5), "Medium");
+        assert_eq!(uo.bin_label(0.9), "High");
+        let eta = &ds[2];
+        assert_eq!(eta.bin_label(0.5), "Low");
+        assert_eq!(eta.bin_label(0.7), "Medium");
+        assert_eq!(eta.bin_label(0.95), "High");
+    }
+
+    #[test]
+    fn default_univariate_methods_cover_expert_attributes() {
+        let cfg = OutlierConfig::default();
+        let attrs: Vec<&str> = cfg.univariate.iter().map(|(a, _)| a.as_str()).collect();
+        for a in wk::EXPERT_ANALYSIS_ATTRIBUTES {
+            assert!(attrs.contains(&a), "missing {a}");
+        }
+        for (_, m) in &cfg.univariate {
+            assert_eq!(m.name(), "MAD");
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! The INDICE engine: the three pipeline stages behind one handle, plus the
+//! expert-configuration suggestion loop of §2.1.2.
+
+use crate::analytics::{analyze, AnalyticsOutput};
+use crate::config::IndiceConfig;
+use crate::dashboard::{build_dashboard, DashboardOutput};
+use crate::error::IndiceError;
+use crate::outliers::UnivariateMethod;
+use crate::preprocess::{preprocess, PreprocessOutput};
+use epc_geo::region::RegionHierarchy;
+use epc_geo::streetmap::StreetMap;
+use epc_model::{wellknown as wk, Dataset};
+use epc_query::config_store::ExpertConfigStore;
+use epc_query::predicate::Predicate;
+use epc_query::query::Query;
+use epc_query::stakeholder::Stakeholder;
+use epc_synth::epcgen::SyntheticCollection;
+use epc_viz::dashboard::Dashboard;
+use std::collections::BTreeMap;
+
+/// The result of one full pipeline run.
+#[derive(Debug, Clone)]
+pub struct IndiceOutput {
+    /// Stage-1 output (cleaned dataset + reports).
+    pub preprocess: PreprocessOutput,
+    /// Stage-2 output (clusters, rules, correlations).
+    pub analytics: AnalyticsOutput,
+    /// Stage-3 dashboard.
+    pub dashboard: Dashboard,
+    /// Standalone artifacts (SVG/GeoJSON/text), file name → content.
+    pub artifacts: BTreeMap<String, String>,
+}
+
+/// The INDICE engine.
+pub struct Indice {
+    dataset: Dataset,
+    street_map: StreetMap,
+    hierarchy: RegionHierarchy,
+    config: IndiceConfig,
+    expert_store: ExpertConfigStore<UnivariateMethod>,
+}
+
+impl Indice {
+    /// Creates an engine from its raw parts.
+    pub fn new(
+        dataset: Dataset,
+        street_map: StreetMap,
+        hierarchy: RegionHierarchy,
+        config: IndiceConfig,
+    ) -> Self {
+        Indice {
+            dataset,
+            street_map,
+            hierarchy,
+            config,
+            expert_store: ExpertConfigStore::new(),
+        }
+    }
+
+    /// Creates an engine directly from a synthetic collection (the usual
+    /// entry point of examples and benchmarks).
+    pub fn from_collection(collection: SyntheticCollection, config: IndiceConfig) -> Self {
+        Indice::new(
+            collection.dataset,
+            collection.city.street_map,
+            collection.city.hierarchy,
+            config,
+        )
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &IndiceConfig {
+        &self.config
+    }
+
+    /// The input dataset (before any pipeline stage).
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The region hierarchy of the city under analysis.
+    pub fn hierarchy(&self) -> &RegionHierarchy {
+        &self.hierarchy
+    }
+
+    /// Records an expert user's outlier-method choice for an attribute;
+    /// choices accumulate as suggested defaults for non-experts (§2.1.2).
+    /// Calls from non-expert stakeholders are ignored.
+    pub fn record_outlier_choice(
+        &self,
+        stakeholder: Stakeholder,
+        attribute: &str,
+        method: UnivariateMethod,
+    ) {
+        if stakeholder.is_expert() {
+            self.expert_store.record(attribute, method);
+        }
+    }
+
+    /// The outlier method most used by experts for `attribute`, if any —
+    /// what a non-expert user is offered.
+    pub fn suggested_outlier_method(&self, attribute: &str) -> Option<UnivariateMethod> {
+        self.expert_store.suggest(attribute)
+    }
+
+    /// An effective configuration where attributes with recorded expert
+    /// choices use the suggested method instead of the built-in default.
+    pub fn config_with_suggestions(&self) -> IndiceConfig {
+        let mut cfg = self.config.clone();
+        for (attr, method) in &mut cfg.outliers.univariate {
+            if let Some(suggested) = self.expert_store.suggest(attr) {
+                *method = suggested;
+            }
+        }
+        cfg
+    }
+
+    /// Runs the full pipeline for a stakeholder: category selection →
+    /// pre-processing → analytics → dashboard.
+    pub fn run(&self, stakeholder: Stakeholder) -> Result<IndiceOutput, IndiceError> {
+        let config = self.config_with_suggestions();
+
+        // Data selection (§2.2.1): the case study filters on E.1.1.
+        let selected = match &config.building_category {
+            Some(cat) => {
+                Query::filtered(Predicate::eq(wk::BUILDING_CATEGORY, cat)).run(&self.dataset)?
+            }
+            None => self.dataset.clone(),
+        };
+        if selected.is_empty() {
+            return Err(IndiceError::EmptyCollection("category selection"));
+        }
+
+        let pre = preprocess(selected, &self.street_map, &config)?;
+        let analytics = analyze(&pre.dataset, &config)?;
+        let DashboardOutput {
+            dashboard,
+            artifacts,
+        } = build_dashboard(
+            &pre.dataset,
+            &self.hierarchy,
+            &analytics,
+            stakeholder,
+            config.rule_stage.top_k,
+        )?;
+        Ok(IndiceOutput {
+            preprocess: pre,
+            analytics,
+            dashboard,
+            artifacts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epc_synth::city::CityConfig;
+    use epc_synth::epcgen::{EpcGenerator, SynthConfig};
+    use epc_synth::noise::{apply_noise, NoiseConfig};
+
+    fn engine() -> Indice {
+        let mut c = EpcGenerator::new(SynthConfig {
+            n_records: 900,
+            city: CityConfig {
+                n_districts: 4,
+                neighbourhoods_per_district: 2,
+                streets_per_neighbourhood: 3,
+                houses_per_street: 8,
+                ..CityConfig::default()
+            },
+            ..SynthConfig::default()
+        })
+        .generate();
+        apply_noise(&mut c, &NoiseConfig::default());
+        Indice::from_collection(c, IndiceConfig::default())
+    }
+
+    #[test]
+    fn end_to_end_run_for_the_pa_stakeholder() {
+        let engine = engine();
+        let out = engine.run(Stakeholder::PublicAdministration).unwrap();
+        // Category filter applied.
+        assert!(out.preprocess.cleaning.total < engine.dataset().n_rows());
+        assert!(out.analytics.chosen_k >= 2);
+        assert!(!out.analytics.rules.is_empty());
+        assert!(out.dashboard.n_panels() >= 5);
+        let html = out.dashboard.render_html();
+        assert!(html.contains("INDICE"));
+        assert!(!out.artifacts.is_empty());
+    }
+
+    #[test]
+    fn category_filter_can_be_disabled() {
+        let mut c = EpcGenerator::new(SynthConfig {
+            n_records: 400,
+            city: CityConfig {
+                n_districts: 4,
+                neighbourhoods_per_district: 2,
+                streets_per_neighbourhood: 3,
+                houses_per_street: 8,
+                ..CityConfig::default()
+            },
+            ..SynthConfig::default()
+        })
+        .generate();
+        apply_noise(&mut c, &NoiseConfig::none());
+        let engine = Indice::from_collection(
+            c,
+            IndiceConfig {
+                building_category: None,
+                ..IndiceConfig::default()
+            },
+        );
+        let out = engine.run(Stakeholder::Citizen).unwrap();
+        assert_eq!(out.preprocess.cleaning.total, 400);
+    }
+
+    #[test]
+    fn expert_choices_flow_into_the_config() {
+        let engine = engine();
+        // Non-expert choices are ignored.
+        engine.record_outlier_choice(
+            Stakeholder::Citizen,
+            wk::U_WINDOWS,
+            UnivariateMethod::default_boxplot(),
+        );
+        assert_eq!(engine.suggested_outlier_method(wk::U_WINDOWS), None);
+
+        // Expert choices become the suggestion.
+        engine.record_outlier_choice(
+            Stakeholder::EnergyScientist,
+            wk::U_WINDOWS,
+            UnivariateMethod::default_boxplot(),
+        );
+        engine.record_outlier_choice(
+            Stakeholder::EnergyScientist,
+            wk::U_WINDOWS,
+            UnivariateMethod::default_boxplot(),
+        );
+        engine.record_outlier_choice(
+            Stakeholder::EnergyScientist,
+            wk::U_WINDOWS,
+            UnivariateMethod::default_mad(),
+        );
+        assert_eq!(
+            engine.suggested_outlier_method(wk::U_WINDOWS),
+            Some(UnivariateMethod::default_boxplot())
+        );
+        let cfg = engine.config_with_suggestions();
+        let (_, method) = cfg
+            .outliers
+            .univariate
+            .iter()
+            .find(|(a, _)| a == wk::U_WINDOWS)
+            .unwrap();
+        assert_eq!(method, &UnivariateMethod::default_boxplot());
+        // Attributes without suggestions keep the default.
+        let (_, other) = cfg
+            .outliers
+            .univariate
+            .iter()
+            .find(|(a, _)| a == wk::U_OPAQUE)
+            .unwrap();
+        assert_eq!(other, &UnivariateMethod::default_mad());
+    }
+
+    #[test]
+    fn unknown_category_yields_empty_error() {
+        let mut c = EpcGenerator::new(SynthConfig {
+            n_records: 100,
+            city: CityConfig {
+                n_districts: 4,
+                neighbourhoods_per_district: 2,
+                streets_per_neighbourhood: 3,
+                houses_per_street: 8,
+                ..CityConfig::default()
+            },
+            ..SynthConfig::default()
+        })
+        .generate();
+        apply_noise(&mut c, &NoiseConfig::none());
+        let engine = Indice::from_collection(
+            c,
+            IndiceConfig {
+                building_category: Some("Z.9.9".into()),
+                ..IndiceConfig::default()
+            },
+        );
+        assert_eq!(
+            engine.run(Stakeholder::Citizen).unwrap_err(),
+            IndiceError::EmptyCollection("category selection")
+        );
+    }
+
+    #[test]
+    fn different_stakeholders_get_different_dashboards() {
+        let engine = engine();
+        let pa = engine.run(Stakeholder::PublicAdministration).unwrap();
+        let citizen = engine.run(Stakeholder::Citizen).unwrap();
+        assert!(pa.dashboard.n_panels() > citizen.dashboard.n_panels());
+    }
+}

@@ -1,0 +1,70 @@
+//! Errors of the INDICE pipeline.
+
+use epc_model::ModelError;
+use epc_query::QueryError;
+use std::fmt;
+
+/// Anything that can go wrong while running the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndiceError {
+    /// A data-model operation failed.
+    Model(ModelError),
+    /// A query failed.
+    Query(QueryError),
+    /// The pipeline was asked to run on an empty (or fully filtered-out)
+    /// collection.
+    EmptyCollection(&'static str),
+    /// Clustering could not run (e.g. fewer complete rows than K).
+    Clustering(String),
+    /// Configuration is inconsistent.
+    Config(String),
+}
+
+impl fmt::Display for IndiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndiceError::Model(e) => write!(f, "model error: {e}"),
+            IndiceError::Query(e) => write!(f, "{e}"),
+            IndiceError::EmptyCollection(stage) => {
+                write!(f, "no records left at stage: {stage}")
+            }
+            IndiceError::Clustering(msg) => write!(f, "clustering error: {msg}"),
+            IndiceError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IndiceError {}
+
+impl From<ModelError> for IndiceError {
+    fn from(e: ModelError) -> Self {
+        IndiceError::Model(e)
+    }
+}
+
+impl From<QueryError> for IndiceError {
+    fn from(e: QueryError) -> Self {
+        IndiceError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = IndiceError::EmptyCollection("clustering");
+        assert!(e.to_string().contains("clustering"));
+        let e = IndiceError::Config("k_min > k_max".into());
+        assert!(e.to_string().contains("k_min"));
+        let e: IndiceError = ModelError::UnknownAttribute("x".into()).into();
+        assert!(e.to_string().contains('x'));
+    }
+
+    #[test]
+    fn conversions() {
+        let q: IndiceError = QueryError::Model(ModelError::SchemaMismatch).into();
+        assert!(matches!(q, IndiceError::Query(_)));
+    }
+}

@@ -1,0 +1,58 @@
+//! # indice
+//!
+//! INDICE — *INformative DynamiC dashboard Engine* — the core library of
+//! this reproduction of Cerquitelli et al., "Exploring energy performance
+//! certificates through visualization" (EDBT/ICDT Workshops 2019, BigVis).
+//!
+//! INDICE analyses collections of Energy Performance Certificates in three
+//! stages, mirroring Figure 1 of the paper:
+//!
+//! 1. **Data pre-processing** ([`preprocess`]) — geospatial cleaning of
+//!    addresses/ZIP/coordinates against a referenced street map with a
+//!    geocoder fallback (§2.1.1), and outlier detection & removal with the
+//!    boxplot / gESD / MAD univariate methods and DBSCAN multivariate
+//!    detection (§2.1.2);
+//! 2. **Data selection & analytics** ([`analytics`]) — querying,
+//!    correlation screening, K-means clustering with elbow-based K
+//!    selection, CART-driven discretization, and association-rule mining
+//!    with support/confidence/lift/conviction (§2.2);
+//! 3. **Informative dashboards** ([`dashboard`]) — choropleth, scatter and
+//!    cluster-marker maps at city/district/neighbourhood/unit granularity,
+//!    frequency distributions, rule tables and correlation matrices,
+//!    assembled into self-contained HTML + GeoJSON artifacts (§2.3).
+//!
+//! The [`engine::Indice`] type ties the stages together:
+//!
+//! ```no_run
+//! use indice::engine::Indice;
+//! use indice::config::IndiceConfig;
+//! use epc_query::Stakeholder;
+//! use epc_synth::{EpcGenerator, SynthConfig, NoiseConfig};
+//!
+//! let mut collection = EpcGenerator::new(SynthConfig {
+//!     n_records: 5_000,
+//!     ..SynthConfig::default()
+//! })
+//! .generate();
+//! epc_synth::noise::apply_noise(&mut collection, &NoiseConfig::default());
+//!
+//! let engine = Indice::from_collection(collection, IndiceConfig::default());
+//! let output = engine.run(Stakeholder::PublicAdministration).unwrap();
+//! println!("{} clusters, {} rules", output.analytics.chosen_k, output.analytics.rules.len());
+//! std::fs::write("dashboard.html", output.dashboard.render_html()).unwrap();
+//! ```
+
+pub mod analytics;
+pub mod autoconfig;
+pub mod config;
+pub mod dashboard;
+pub mod engine;
+pub mod error;
+pub mod outliers;
+pub mod preprocess;
+
+pub use autoconfig::{suggest_config, ConfigAdvice};
+pub use config::{AnalyticsConfig, IndiceConfig, KSelection, OutlierConfig, RuleStageConfig};
+pub use engine::{Indice, IndiceOutput};
+pub use error::IndiceError;
+pub use outliers::UnivariateMethod;

@@ -1,0 +1,184 @@
+//! The univariate outlier-detection methods of §2.1.2, unified behind one
+//! enum so configurations can be stored, compared, and suggested to
+//! non-expert users through the [`epc_query::ExpertConfigStore`].
+
+use epc_stats::{boxplot, gesd, mad};
+
+/// A univariate outlier-detection method with its parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnivariateMethod {
+    /// Tukey boxplot fences with multiplier `k` (1.5 is customary).
+    Boxplot {
+        /// IQR multiplier.
+        k: f64,
+    },
+    /// Generalized ESD with at most `max_outliers` outliers at significance
+    /// `alpha`.
+    Gesd {
+        /// Upper bound on the number of outliers.
+        max_outliers: usize,
+        /// Significance level.
+        alpha: f64,
+    },
+    /// MAD modified z-score with the given cut-off (3.5 in the paper).
+    Mad {
+        /// |modified z| threshold.
+        cutoff: f64,
+    },
+}
+
+// Configurations are stored in hash maps keyed by method; f64 params are
+// finite by construction, so bit-pattern hashing/equality is sound here.
+impl Eq for UnivariateMethod {}
+impl std::hash::Hash for UnivariateMethod {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            UnivariateMethod::Boxplot { k } => {
+                0u8.hash(state);
+                k.to_bits().hash(state);
+            }
+            UnivariateMethod::Gesd {
+                max_outliers,
+                alpha,
+            } => {
+                1u8.hash(state);
+                max_outliers.hash(state);
+                alpha.to_bits().hash(state);
+            }
+            UnivariateMethod::Mad { cutoff } => {
+                2u8.hash(state);
+                cutoff.to_bits().hash(state);
+            }
+        }
+    }
+}
+
+impl UnivariateMethod {
+    /// The paper's defaults for each family.
+    pub fn default_boxplot() -> Self {
+        UnivariateMethod::Boxplot { k: 1.5 }
+    }
+
+    /// gESD with the conventional α = 0.05 and a 2% outlier budget lower
+    /// bounded at 10.
+    pub fn default_gesd_for(n: usize) -> Self {
+        UnivariateMethod::Gesd {
+            max_outliers: (n / 50).max(10),
+            alpha: 0.05,
+        }
+    }
+
+    /// MAD with the 3.5 cut-off of Iglewicz & Hoaglin used by the paper.
+    pub fn default_mad() -> Self {
+        UnivariateMethod::Mad { cutoff: 3.5 }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UnivariateMethod::Boxplot { .. } => "boxplot",
+            UnivariateMethod::Gesd { .. } => "gESD",
+            UnivariateMethod::Mad { .. } => "MAD",
+        }
+    }
+
+    /// Indices of outliers in `data` (positions in the slice, ascending).
+    pub fn detect(&self, data: &[f64]) -> Vec<usize> {
+        match self {
+            UnivariateMethod::Boxplot { k } => boxplot::tukey_outliers(data, *k),
+            UnivariateMethod::Gesd {
+                max_outliers,
+                alpha,
+            } => gesd::gesd_outliers(data, *max_outliers, *alpha),
+            UnivariateMethod::Mad { cutoff } => mad::mad_outliers(data, *cutoff),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn spiky_data() -> Vec<f64> {
+        let mut v: Vec<f64> = (0..200).map(|i| 10.0 + ((i * 37) % 100) as f64 / 100.0).collect();
+        v[17] = 500.0;
+        v[120] = -400.0;
+        v
+    }
+
+    #[test]
+    fn all_three_methods_find_the_spikes() {
+        let data = spiky_data();
+        for method in [
+            UnivariateMethod::default_boxplot(),
+            UnivariateMethod::default_gesd_for(data.len()),
+            UnivariateMethod::default_mad(),
+        ] {
+            let found = method.detect(&data);
+            assert!(
+                found.contains(&17) && found.contains(&120),
+                "{} missed spikes: {found:?}",
+                method.name()
+            );
+        }
+    }
+
+    #[test]
+    fn methods_disagree_on_borderline_data() {
+        // Mildly heavy-tailed data: the strict boxplot flags more than gESD.
+        let data: Vec<f64> = (0..300)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / 300.0;
+                (u / (1.0 - u)).ln() * 2.0
+            })
+            .collect();
+        let bp = UnivariateMethod::Boxplot { k: 1.0 }.detect(&data).len();
+        let ge = UnivariateMethod::default_gesd_for(data.len())
+            .detect(&data)
+            .len();
+        assert!(bp > ge, "boxplot {bp} vs gESD {ge}");
+    }
+
+    #[test]
+    fn methods_are_hashable_config_keys() {
+        let mut counts: HashMap<UnivariateMethod, usize> = HashMap::new();
+        *counts.entry(UnivariateMethod::default_mad()).or_insert(0) += 1;
+        *counts.entry(UnivariateMethod::default_mad()).or_insert(0) += 1;
+        *counts
+            .entry(UnivariateMethod::Mad { cutoff: 4.0 })
+            .or_insert(0) += 1;
+        assert_eq!(counts[&UnivariateMethod::default_mad()], 2);
+        assert_eq!(counts.len(), 2);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(UnivariateMethod::default_boxplot().name(), "boxplot");
+        assert_eq!(UnivariateMethod::default_gesd_for(100).name(), "gESD");
+        assert_eq!(UnivariateMethod::default_mad().name(), "MAD");
+    }
+
+    #[test]
+    fn gesd_budget_scales_with_n() {
+        match UnivariateMethod::default_gesd_for(25_000) {
+            UnivariateMethod::Gesd { max_outliers, .. } => assert_eq!(max_outliers, 500),
+            _ => unreachable!(),
+        }
+        match UnivariateMethod::default_gesd_for(100) {
+            UnivariateMethod::Gesd { max_outliers, .. } => assert_eq!(max_outliers, 10),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn empty_data_is_safe() {
+        for method in [
+            UnivariateMethod::default_boxplot(),
+            UnivariateMethod::default_gesd_for(0),
+            UnivariateMethod::default_mad(),
+        ] {
+            assert!(method.detect(&[]).is_empty());
+        }
+    }
+}

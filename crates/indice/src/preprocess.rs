@@ -1,0 +1,377 @@
+//! Stage 1 — data pre-processing (§2.1): geospatial cleaning followed by
+//! outlier detection and removal. "Independently of the adopted strategies,
+//! values labelled as outliers are not considered in the subsequent steps
+//! of analysis."
+
+use crate::config::IndiceConfig;
+use crate::error::IndiceError;
+use epc_geo::address::Address;
+use epc_geo::cleaning::{clean_addresses, AddressQuery, CleaningReport};
+use epc_geo::geocode::{QuotaGeocoder, SimulatedGeocoder};
+use epc_geo::point::GeoPoint;
+use epc_geo::streetmap::StreetMap;
+use epc_mining::dbscan::{dbscan, DbscanConfig};
+use epc_mining::kdistance::estimate_dbscan_params;
+use epc_mining::matrix::Matrix;
+use epc_model::{wellknown as wk, Dataset, Value};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Result of the pre-processing stage.
+#[derive(Debug, Clone)]
+pub struct PreprocessOutput {
+    /// The cleaned, outlier-free dataset.
+    pub dataset: Dataset,
+    /// For each kept row, its index in the input dataset.
+    pub kept_rows: Vec<usize>,
+    /// Cleaning statistics (§2.1.1).
+    pub cleaning: CleaningReport,
+    /// Rows flagged per univariate attribute (input-dataset indices).
+    pub univariate_flagged: BTreeMap<String, Vec<usize>>,
+    /// Rows flagged by DBSCAN (input-dataset indices).
+    pub multivariate_flagged: Vec<usize>,
+    /// The DBSCAN parameters actually used, when multivariate detection
+    /// ran.
+    pub dbscan_params: Option<DbscanConfig>,
+    /// Union of all removed rows (input-dataset indices, ascending).
+    pub removed_rows: Vec<usize>,
+}
+
+/// Maximum sample used for DBSCAN parameter estimation (the k-distance
+/// graph is O(n²); the estimate stabilizes long before 25 000 points).
+const PARAM_ESTIMATION_SAMPLE: usize = 1_500;
+
+/// Runs stage 1 over `dataset` (consumed), using `street_map` both as the
+/// referenced map and as the simulated geocoder's ground truth.
+pub fn preprocess(
+    mut dataset: Dataset,
+    street_map: &StreetMap,
+    config: &IndiceConfig,
+) -> Result<PreprocessOutput, IndiceError> {
+    if dataset.is_empty() {
+        return Err(IndiceError::EmptyCollection("preprocess"));
+    }
+    let cleaning = clean_geospatial(&mut dataset, street_map, config)?;
+
+    // --- Univariate outliers ---
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    let mut univariate_flagged = BTreeMap::new();
+    for (attr, method) in &config.outliers.univariate {
+        let id = dataset.schema().require(attr)?;
+        let (values, rows) = dataset.numeric_with_rows(id);
+        let hits: Vec<usize> = method.detect(&values).into_iter().map(|i| rows[i]).collect();
+        flagged.extend(hits.iter().copied());
+        univariate_flagged.insert(attr.clone(), hits);
+    }
+
+    // --- Multivariate outliers (DBSCAN, §2.1.2) ---
+    let mut multivariate_flagged = Vec::new();
+    let mut dbscan_params = None;
+    if config.outliers.multivariate {
+        let feature_ids: Vec<_> = config
+            .analytics
+            .features
+            .iter()
+            .map(|f| dataset.schema().require(f))
+            .collect::<Result<_, _>>()?;
+        // Complete rows only.
+        let mut rows = Vec::new();
+        let mut data = Vec::new();
+        for r in 0..dataset.n_rows() {
+            let vals: Option<Vec<f64>> =
+                feature_ids.iter().map(|&id| dataset.num(r, id)).collect();
+            if let Some(v) = vals {
+                rows.push(r);
+                data.extend(v);
+            }
+        }
+        if rows.len() >= 10 {
+            let matrix = Matrix::from_vec(data, rows.len(), feature_ids.len());
+            // Scale features so DBSCAN's Euclidean radius is meaningful.
+            let (_, scaled) = epc_mining::normalize::MinMaxScaler::fit_transform(&matrix)
+                .expect("non-empty matrix");
+            // Parameter estimation on a stride-sample.
+            let params = {
+                let stride = (rows.len() / PARAM_ESTIMATION_SAMPLE).max(1);
+                let sample_rows: Vec<Vec<f64>> = (0..rows.len())
+                    .step_by(stride)
+                    .map(|i| scaled.row(i).to_vec())
+                    .collect();
+                let sample = Matrix::from_rows(&sample_rows);
+                estimate_dbscan_params(
+                    &sample,
+                    &config.outliers.min_points_candidates,
+                    config.outliers.stability_tol,
+                )
+            };
+            if let Some(params) = params {
+                let result = dbscan(&scaled, &params);
+                multivariate_flagged = result
+                    .noise_indices()
+                    .into_iter()
+                    .map(|i| rows[i])
+                    .collect();
+                flagged.extend(multivariate_flagged.iter().copied());
+                dbscan_params = Some(params);
+            }
+        }
+    }
+
+    let removed_rows: Vec<usize> = flagged.into_iter().collect();
+    let mask: Vec<bool> = (0..dataset.n_rows())
+        .map(|r| removed_rows.binary_search(&r).is_err())
+        .collect();
+    let kept_rows: Vec<usize> = mask
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &keep)| keep.then_some(i))
+        .collect();
+    let dataset = dataset.filter_mask(&mask)?;
+    if dataset.is_empty() {
+        return Err(IndiceError::EmptyCollection("outlier removal"));
+    }
+    Ok(PreprocessOutput {
+        dataset,
+        kept_rows,
+        cleaning,
+        univariate_flagged,
+        multivariate_flagged,
+        dbscan_params,
+        removed_rows,
+    })
+}
+
+/// The §2.1.1 geospatial-cleaning pass, applied in place.
+fn clean_geospatial(
+    dataset: &mut Dataset,
+    street_map: &StreetMap,
+    config: &IndiceConfig,
+) -> Result<CleaningReport, IndiceError> {
+    let schema = dataset.schema_arc();
+    let addr_id = schema.require(wk::ADDRESS)?;
+    let hn_id = schema.require(wk::HOUSE_NUMBER)?;
+    let zip_id = schema.require(wk::ZIP_CODE)?;
+    let lat_id = schema.require(wk::LATITUDE)?;
+    let lon_id = schema.require(wk::LONGITUDE)?;
+    let district_id = schema.require(wk::DISTRICT)?;
+    let neigh_id = schema.require(wk::NEIGHBOURHOOD)?;
+
+    let queries: Vec<AddressQuery> = (0..dataset.n_rows())
+        .map(|row| {
+            let street = dataset.cat(row, addr_id).unwrap_or("").to_owned();
+            let house = dataset.cat(row, hn_id).map(str::to_owned);
+            let zip = dataset.cat(row, zip_id).map(str::to_owned);
+            let point = match (dataset.num(row, lat_id), dataset.num(row, lon_id)) {
+                (Some(lat), Some(lon)) => Some(GeoPoint { lat, lon }),
+                _ => None,
+            };
+            AddressQuery {
+                id: row,
+                address: Address {
+                    street,
+                    house_number: house,
+                    zip,
+                },
+                point,
+            }
+        })
+        .collect();
+
+    // The geocoder fallback: more tolerant than the local φ match, but
+    // quota-limited (§2.1.1). Ground truth is the referenced map itself —
+    // what a production geocoder effectively holds.
+    let geocoder = QuotaGeocoder::new(
+        SimulatedGeocoder::new(street_map.clone(), 0.55, 0.02),
+        config.geocoder_quota,
+    );
+    let geocoder_ref: Option<&dyn epc_geo::geocode::Geocoder> = if config.geocoder_quota > 0 {
+        Some(&geocoder)
+    } else {
+        None
+    };
+    let (cleaned, report) = clean_addresses(&queries, street_map, geocoder_ref, &config.cleaning);
+
+    for c in cleaned {
+        let row = c.id;
+        if matches!(c.outcome, epc_geo::cleaning::CleaningOutcome::Unresolved) {
+            continue;
+        }
+        dataset.set_value(row, addr_id, Value::cat(c.address.street.clone()))?;
+        if let Some(hn) = &c.address.house_number {
+            dataset.set_value(row, hn_id, Value::cat(hn.clone()))?;
+        }
+        if let Some(zip) = &c.address.zip {
+            dataset.set_value(row, zip_id, Value::cat(zip.clone()))?;
+        }
+        if let Some(p) = c.point {
+            dataset.set_value(row, lat_id, Value::num(p.lat))?;
+            dataset.set_value(row, lon_id, Value::num(p.lon))?;
+        }
+        if let Some(d) = &c.district {
+            dataset.set_value(row, district_id, Value::cat(d.clone()))?;
+        }
+        if let Some(n) = &c.neighbourhood {
+            dataset.set_value(row, neigh_id, Value::cat(n.clone()))?;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epc_synth::city::CityConfig;
+    use epc_synth::epcgen::{EpcGenerator, SynthConfig};
+    use epc_synth::noise::{apply_noise, NoiseConfig};
+
+    fn collection(noise: bool) -> epc_synth::epcgen::SyntheticCollection {
+        let mut c = EpcGenerator::new(SynthConfig {
+            n_records: 600,
+            city: CityConfig {
+                n_districts: 4,
+                neighbourhoods_per_district: 2,
+                streets_per_neighbourhood: 3,
+                houses_per_street: 8,
+                ..CityConfig::default()
+            },
+            ..SynthConfig::default()
+        })
+        .generate();
+        if noise {
+            apply_noise(&mut c, &NoiseConfig::default());
+        }
+        c
+    }
+
+    #[test]
+    fn clean_collection_loses_almost_nothing() {
+        let c = collection(false);
+        let out = preprocess(c.dataset.clone(), &c.city.street_map, &IndiceConfig::default())
+            .unwrap();
+        assert_eq!(out.cleaning.unresolved, 0, "all addresses are canonical");
+        // Only statistical false positives may be removed (MAD tails and
+        // DBSCAN low-density points) — keep them under ~12%.
+        assert!(
+            out.removed_rows.len() < 72,
+            "removed {} of 600",
+            out.removed_rows.len()
+        );
+        assert_eq!(out.kept_rows.len(), out.dataset.n_rows());
+    }
+
+    #[test]
+    fn noisy_addresses_are_repaired() {
+        let c = collection(true);
+        let before_truth = c.truth.clone();
+        let out = preprocess(c.dataset.clone(), &c.city.street_map, &IndiceConfig::default())
+            .unwrap();
+        // Most corrupted addresses must be resolved (reference or geocoder).
+        let resolved = out.cleaning.by_reference + out.cleaning.by_geocoder;
+        assert!(
+            resolved as f64 >= 0.95 * out.cleaning.total as f64,
+            "resolved {resolved}/{}",
+            out.cleaning.total
+        );
+        // Spot-check street restoration against ground truth.
+        let s = out.dataset.schema();
+        let addr_id = s.require(wk::ADDRESS).unwrap();
+        let mut correct = 0;
+        let mut checked = 0;
+        for (new_row, &orig_row) in out.kept_rows.iter().enumerate() {
+            checked += 1;
+            if out.dataset.cat(new_row, addr_id) == Some(before_truth.streets[orig_row].as_str())
+            {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct as f64 > 0.9 * checked as f64,
+            "street accuracy {correct}/{checked}"
+        );
+    }
+
+    #[test]
+    fn injected_outliers_are_mostly_removed() {
+        let mut c = collection(false);
+        apply_noise(
+            &mut c,
+            &NoiseConfig {
+                univariate_outlier_rate: 0.03,
+                ..NoiseConfig::none()
+            },
+        );
+        let injected: BTreeSet<usize> = c.truth.injected_outliers.iter().copied().collect();
+        assert!(!injected.is_empty());
+        let out = preprocess(c.dataset.clone(), &c.city.street_map, &IndiceConfig::default())
+            .unwrap();
+        let removed: BTreeSet<usize> = out.removed_rows.iter().copied().collect();
+        let caught = injected.intersection(&removed).count();
+        // Injected univariate outliers target Uw/Uo/EPH; the default
+        // config watches Uw/Uo (not EPH), so expect to catch most of ~2/3.
+        assert!(
+            caught as f64 >= 0.5 * injected.len() as f64,
+            "caught {caught}/{}",
+            injected.len()
+        );
+    }
+
+    #[test]
+    fn zero_quota_disables_geocoder() {
+        let mut c = collection(false);
+        apply_noise(
+            &mut c,
+            &NoiseConfig {
+                typo_rate: 0.5,
+                ..NoiseConfig::none()
+            },
+        );
+        let cfg = IndiceConfig {
+            geocoder_quota: 0,
+            ..IndiceConfig::default()
+        };
+        let out = preprocess(c.dataset.clone(), &c.city.street_map, &cfg).unwrap();
+        assert_eq!(out.cleaning.by_geocoder, 0);
+        assert_eq!(out.cleaning.geocoder_requests, 0);
+    }
+
+    #[test]
+    fn multivariate_can_be_disabled() {
+        let c = collection(false);
+        let cfg = IndiceConfig {
+            outliers: crate::config::OutlierConfig {
+                multivariate: false,
+                ..Default::default()
+            },
+            ..IndiceConfig::default()
+        };
+        let out = preprocess(c.dataset.clone(), &c.city.street_map, &cfg).unwrap();
+        assert!(out.multivariate_flagged.is_empty());
+        assert!(out.dbscan_params.is_none());
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let c = collection(false);
+        let empty = Dataset::new(c.dataset.schema_arc());
+        let err = preprocess(empty, &c.city.street_map, &IndiceConfig::default()).unwrap_err();
+        assert_eq!(err, IndiceError::EmptyCollection("preprocess"));
+    }
+
+    #[test]
+    fn report_indices_are_within_input_bounds() {
+        let mut c = collection(true);
+        apply_noise(&mut c, &NoiseConfig::default());
+        let n = c.dataset.n_rows();
+        let out = preprocess(c.dataset.clone(), &c.city.street_map, &IndiceConfig::default())
+            .unwrap();
+        for &r in &out.removed_rows {
+            assert!(r < n);
+        }
+        for rows in out.univariate_flagged.values() {
+            for &r in rows {
+                assert!(r < n);
+            }
+        }
+        assert_eq!(out.kept_rows.len() + out.removed_rows.len(), n);
+    }
+}

@@ -1,0 +1,102 @@
+//! The citizen stakeholder (§2.2.1): "citizens may want to discover areas
+//! of the city with more performing buildings, to buy a flat that performs
+//! well in terms of energy efficiency."
+//!
+//! Demonstrates the query engine directly: per-neighbourhood EPH ranking,
+//! drill-down into the best neighbourhood, and the citizen dashboard.
+//!
+//! ```sh
+//! cargo run --release --example citizen_explorer
+//! ```
+
+use epc_model::wellknown as wk;
+use epc_query::aggregate::{group_by, AggFn};
+use epc_query::predicate::Predicate;
+use epc_query::query::Query;
+use epc_query::Stakeholder;
+use epc_synth::{EpcGenerator, NoiseConfig, SynthConfig};
+use indice::config::IndiceConfig;
+use indice::engine::Indice;
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let mut collection = EpcGenerator::new(SynthConfig {
+        n_records: 8_000,
+        ..SynthConfig::default()
+    })
+    .generate();
+    epc_synth::noise::apply_noise(&mut collection, &NoiseConfig::default());
+
+    let engine = Indice::from_collection(collection, IndiceConfig::default());
+    let output = engine.run(Stakeholder::Citizen).expect("pipeline runs");
+    let cleaned = &output.preprocess.dataset;
+
+    // --- Where are the efficient buildings? ---
+    println!("== Average EPH by neighbourhood (best first) ==");
+    let mut rows = group_by(cleaned, wk::NEIGHBOURHOOD, wk::EPH, &[AggFn::Mean, AggFn::Count])
+        .expect("aggregation");
+    rows.sort_by(|a, b| {
+        a.values[0]
+            .unwrap_or(f64::INFINITY)
+            .partial_cmp(&b.values[0].unwrap_or(f64::INFINITY))
+            .unwrap()
+    });
+    for r in rows.iter().take(8) {
+        println!(
+            "{:<24} mean EPH {:>7.1} kWh/m2yr over {:>4} units",
+            r.group,
+            r.values[0].unwrap_or(f64::NAN),
+            r.values[1].unwrap_or(0.0)
+        );
+    }
+    let best = rows.first().expect("at least one neighbourhood").group.clone();
+
+    // --- Drill-down: efficient flats in the best neighbourhood ---
+    println!("\n== Class A/B units in {best} ==");
+    let query = Query::filtered(
+        Predicate::eq(wk::NEIGHBOURHOOD, &best).and(
+            Predicate::CatIn {
+                attr: wk::EPC_CLASS.into(),
+                values: vec!["A".into(), "B".into()],
+            },
+        ),
+    )
+    .with_limit(5);
+    let hits = query.run(cleaned).expect("query runs");
+    let s = hits.schema();
+    let id_id = s.require(wk::CERTIFICATE_ID).unwrap();
+    let addr_id = s.require(wk::ADDRESS).unwrap();
+    let eph_id = s.require(wk::EPH).unwrap();
+    let class_id = s.require(wk::EPC_CLASS).unwrap();
+    for row in hits.rows() {
+        println!(
+            "{:<12} {:<32} class {:<2} EPH {:>6.1}",
+            row.cat(id_id).unwrap_or("?"),
+            row.cat(addr_id).unwrap_or("?"),
+            row.cat(class_id).unwrap_or("?"),
+            row.num(eph_id).unwrap_or(f64::NAN)
+        );
+    }
+    println!(
+        "(total matching: {})",
+        Query::filtered(
+            Predicate::eq(wk::NEIGHBOURHOOD, &best).and(Predicate::CatIn {
+                attr: wk::EPC_CLASS.into(),
+                values: vec!["A".into(), "B".into()],
+            })
+        )
+        .count(cleaned)
+        .unwrap()
+    );
+
+    // --- The citizen dashboard ---
+    let dir = Path::new("target/indice-artifacts/citizen");
+    fs::create_dir_all(dir).expect("create artifact dir");
+    fs::write(dir.join("dashboard.html"), output.dashboard.render_html())
+        .expect("write dashboard");
+    for (name, content) in &output.artifacts {
+        fs::write(dir.join(name), content).expect("write artifact");
+    }
+    println!("\ncitizen dashboard written to {}", dir.display());
+}

@@ -1,0 +1,117 @@
+//! Integration of the query engine over generated collections: predicates
+//! against ground truth, aggregation consistency, and property-based
+//! checks on the predicate algebra.
+
+use epc_model::wellknown as wk;
+use epc_query::aggregate::{group_by, AggFn};
+use epc_query::predicate::Predicate;
+use epc_query::query::Query;
+use epc_synth::city::CityConfig;
+use epc_synth::epcgen::{EpcGenerator, SynthConfig, SyntheticCollection};
+use proptest::prelude::*;
+
+fn collection() -> SyntheticCollection {
+    EpcGenerator::new(SynthConfig {
+        n_records: 1_000,
+        city: CityConfig {
+            n_districts: 4,
+            neighbourhoods_per_district: 2,
+            streets_per_neighbourhood: 3,
+            houses_per_street: 8,
+            ..CityConfig::default()
+        },
+        ..SynthConfig::default()
+    })
+    .generate()
+}
+
+#[test]
+fn category_counts_match_scan() {
+    let c = collection();
+    let ds = &c.dataset;
+    let id = ds.schema().require(wk::BUILDING_CATEGORY).unwrap();
+    let expected = (0..ds.n_rows())
+        .filter(|&r| ds.cat(r, id) == Some("E.1.1"))
+        .count();
+    let q = Query::filtered(Predicate::eq(wk::BUILDING_CATEGORY, "E.1.1"));
+    assert_eq!(q.count(ds).unwrap(), expected);
+}
+
+#[test]
+fn district_groups_partition_the_dataset() {
+    let c = collection();
+    let rows = group_by(&c.dataset, wk::DISTRICT, wk::EPH, &[AggFn::Count]).unwrap();
+    let total: usize = rows.iter().map(|r| r.n_rows).sum();
+    assert_eq!(total, c.dataset.n_rows());
+    assert_eq!(rows.len(), 4, "four districts generated");
+    // Group means are reproducible by direct scan.
+    let mean_rows = group_by(&c.dataset, wk::DISTRICT, wk::EPH, &[AggFn::Mean]).unwrap();
+    let d = &mean_rows[0];
+    let id_district = c.dataset.schema().require(wk::DISTRICT).unwrap();
+    let id_eph = c.dataset.schema().require(wk::EPH).unwrap();
+    let values: Vec<f64> = (0..c.dataset.n_rows())
+        .filter(|&r| c.dataset.cat(r, id_district) == Some(d.group.as_str()))
+        .filter_map(|r| c.dataset.num(r, id_eph))
+        .collect();
+    let expected = values.iter().sum::<f64>() / values.len() as f64;
+    assert!((d.values[0].unwrap() - expected).abs() < 1e-9);
+}
+
+#[test]
+fn range_query_matches_truth_derived_bounds() {
+    let c = collection();
+    let ds = &c.dataset;
+    let eph = ds.schema().require(wk::EPH).unwrap();
+    let q = Query::filtered(Predicate::between(wk::EPH, 0.0, 50.0));
+    let hits = q.run(ds).unwrap();
+    for row in hits.rows() {
+        assert!(row.num(eph).unwrap() <= 50.0);
+    }
+    // Complement + query = all numeric rows.
+    let complement = Query::filtered(
+        Predicate::between(wk::EPH, 0.0, 50.0)
+            .not()
+            .and(Predicate::IsPresent(wk::EPH.into())),
+    );
+    assert_eq!(
+        hits.n_rows() + complement.count(ds).unwrap(),
+        ds.n_rows() - ds.column_by_name(wk::EPH).unwrap().missing_count()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// AND is commutative over arbitrary numeric ranges and categories.
+    #[test]
+    fn predicate_and_commutes(lo in 0.0f64..200.0, width in 1.0f64..200.0, class in 0usize..7) {
+        let classes = ["A", "B", "C", "D", "E", "F", "G"];
+        let c = collection();
+        let a = Predicate::between(wk::EPH, lo, lo + width);
+        let b = Predicate::eq(wk::EPC_CLASS, classes[class]);
+        let ab = Query::filtered(a.clone().and(b.clone())).matching_rows(&c.dataset).unwrap();
+        let ba = Query::filtered(b.and(a)).matching_rows(&c.dataset).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Double negation is the identity on present values.
+    #[test]
+    fn double_negation(lo in 0.0f64..300.0, width in 1.0f64..100.0) {
+        let c = collection();
+        let p = Predicate::between(wk::EPH, lo, lo + width);
+        let direct = Query::filtered(p.clone()).matching_rows(&c.dataset).unwrap();
+        let doubled = Query::filtered(p.not().not()).matching_rows(&c.dataset).unwrap();
+        prop_assert_eq!(direct, doubled);
+    }
+
+    /// Widening a range never loses rows.
+    #[test]
+    fn range_monotonicity(lo in 0.0f64..200.0, w1 in 1.0f64..50.0, extra in 0.0f64..100.0) {
+        let c = collection();
+        let narrow = Query::filtered(Predicate::between(wk::EPH, lo, lo + w1))
+            .count(&c.dataset).unwrap();
+        let wide = Query::filtered(Predicate::between(wk::EPH, lo, lo + w1 + extra))
+            .count(&c.dataset).unwrap();
+        prop_assert!(wide >= narrow);
+    }
+}
