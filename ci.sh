@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, and the tier-1 gate (release build + tests).
+# The workspace builds fully offline — all external dependencies are local
+# path shims (see shims/README.md).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: release build =="
+cargo build --release --offline
+
+echo "== tier-1: tests =="
+cargo test -q --offline
+
+echo "CI OK"

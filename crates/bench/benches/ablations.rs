@@ -41,8 +41,14 @@ fn bench_ablations(c: &mut Criterion) {
     let (_, scaled) = MinMaxScaler::fit_transform(&matrix).unwrap();
 
     eprintln!("\n== Ablation 1: k-means init (K = 5, 10 000 points, 5 seeds) ==");
-    eprintln!("{:<12} {:>12} {:>12} {:>8}", "init", "mean SSE", "worst SSE", "iters");
-    for (name, init) in [("random", KMeansInit::Random), ("kmeans++", KMeansInit::KMeansPlusPlus)] {
+    eprintln!(
+        "{:<12} {:>12} {:>12} {:>8}",
+        "init", "mean SSE", "worst SSE", "iters"
+    );
+    for (name, init) in [
+        ("random", KMeansInit::Random),
+        ("kmeans++", KMeansInit::KMeansPlusPlus),
+    ] {
         let mut sses = Vec::new();
         let mut iters = 0usize;
         for seed in 0..5u64 {
@@ -59,7 +65,10 @@ fn bench_ablations(c: &mut Criterion) {
         }
         let mean = sses.iter().sum::<f64>() / sses.len() as f64;
         let worst = sses.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        eprintln!("{name:<12} {mean:>12.2} {worst:>12.2} {:>8.1}", iters as f64 / 5.0);
+        eprintln!(
+            "{name:<12} {mean:>12.2} {worst:>12.2} {:>8.1}",
+            iters as f64 / 5.0
+        );
     }
 
     // --- 2. geocoder ablation ---
@@ -128,10 +137,9 @@ fn bench_ablations(c: &mut Criterion) {
             })
             .collect()
     };
-    let bbox = epc_geo::bbox::BoundingBox::from_points(
-        &pts.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
-    )
-    .unwrap();
+    let bbox =
+        epc_geo::bbox::BoundingBox::from_points(&pts.iter().map(|(p, _)| *p).collect::<Vec<_>>())
+            .unwrap();
     let proj = GeoProjection::fit(bbox, 760.0, 560.0, 12.0);
     eprintln!("\n== Ablation 4: marker-cluster cell size (10 000 points) ==");
     eprintln!("{:>10} {:>9} {:>12}", "cell px", "markers", "max marker");
@@ -154,7 +162,10 @@ fn bench_ablations(c: &mut Criterion) {
             .map(|i| scaled.row(i).to_vec())
             .collect();
         let sub = Matrix::from_rows(&sub_rows);
-        eprintln!("\n== Ablation 5: clustering algorithms (silhouette, {} points, K = 4) ==", sub.n_rows());
+        eprintln!(
+            "\n== Ablation 5: clustering algorithms (silhouette, {} points, K = 4) ==",
+            sub.n_rows()
+        );
         let km = KMeans::new(KMeansConfig {
             k: 4,
             ..KMeansConfig::default()
@@ -166,7 +177,11 @@ fn bench_ablations(c: &mut Criterion) {
         for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
             let labels = hierarchical_clusters(&sub, 4, linkage).unwrap();
             let sil = silhouette_score(&sub, &labels).unwrap();
-            eprintln!("{:<22} silhouette {:.3}", format!("agglomerative {linkage:?}"), sil);
+            eprintln!(
+                "{:<22} silhouette {:.3}",
+                format!("agglomerative {linkage:?}"),
+                sil
+            );
         }
     }
 

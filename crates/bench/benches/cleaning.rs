@@ -87,9 +87,7 @@ fn bench_cleaning(c: &mut Criterion) {
         let coll = noisy(n);
         let qs = queries_of(&coll);
         group.bench_with_input(BenchmarkId::new("reference_only", n), &qs, |b, qs| {
-            b.iter(|| {
-                clean_addresses(qs, &coll.city.street_map, None, &CleaningConfig::default())
-            })
+            b.iter(|| clean_addresses(qs, &coll.city.street_map, None, &CleaningConfig::default()))
         });
     }
     group.finish();

@@ -28,13 +28,22 @@ fn report_zoom_series(c: &epc_synth::epcgen::SyntheticCollection) {
     let lat = s.require(wk::LATITUDE).unwrap();
     let lon = s.require(wk::LONGITUDE).unwrap();
     let uw = s.require(wk::U_WINDOWS).unwrap();
-    eprintln!("\n== Figure 2: marker aggregation per zoom level ({} certificates) ==", c.dataset.n_rows());
-    eprintln!("{:<16} {:>9} {:>12} {:>14}", "zoom level", "markers", "max marker", "mean Uw range");
+    eprintln!(
+        "\n== Figure 2: marker aggregation per zoom level ({} certificates) ==",
+        c.dataset.n_rows()
+    );
+    eprintln!(
+        "{:<16} {:>9} {:>12} {:>14}",
+        "zoom level", "markers", "max marker", "mean Uw range"
+    );
     for level in Granularity::ALL {
         let mut map = ClusterMarkerMap::new("fig2", "Uw", level);
         for r in 0..c.dataset.n_rows() {
             if let (Some(a), Some(b)) = (c.dataset.num(r, lat), c.dataset.num(r, lon)) {
-                map.add_point(epc_geo::point::GeoPoint { lat: a, lon: b }, c.dataset.num(r, uw));
+                map.add_point(
+                    epc_geo::point::GeoPoint { lat: a, lon: b },
+                    c.dataset.num(r, uw),
+                );
             }
         }
         let markers = map.markers();
@@ -58,8 +67,12 @@ fn bench_fig2(c: &mut Criterion) {
     report_zoom_series(&collection);
 
     // Persist the actual figure artifacts once.
-    let maps = figure2_maps(&collection.dataset, &collection.city.hierarchy, wk::U_WINDOWS)
-        .expect("maps render");
+    let maps = figure2_maps(
+        &collection.dataset,
+        &collection.city.hierarchy,
+        wk::U_WINDOWS,
+    )
+    .expect("maps render");
     let dir = std::path::Path::new("target/indice-artifacts/bench");
     std::fs::create_dir_all(dir).ok();
     for (name, svg) in &maps {
@@ -72,9 +85,7 @@ fn bench_fig2(c: &mut Criterion) {
     for n in [5_000usize, 25_000] {
         let coll = setup(n);
         group.bench_with_input(BenchmarkId::new("four_map_series", n), &coll, |b, coll| {
-            b.iter(|| {
-                figure2_maps(&coll.dataset, &coll.city.hierarchy, wk::U_WINDOWS).unwrap()
-            })
+            b.iter(|| figure2_maps(&coll.dataset, &coll.city.hierarchy, wk::U_WINDOWS).unwrap())
         });
     }
     group.finish();

@@ -10,9 +10,7 @@ use epc_stats::correlation::correlation_matrix;
 use epc_synth::{EpcGenerator, SynthConfig};
 use epc_viz::corrplot::CorrelationPlot;
 
-fn feature_columns(
-    dataset: &epc_model::Dataset,
-) -> (Vec<&'static str>, Vec<Vec<f64>>) {
+fn feature_columns(dataset: &epc_model::Dataset) -> (Vec<&'static str>, Vec<Vec<f64>>) {
     let names: Vec<&'static str> = wk::CASE_STUDY_FEATURES.to_vec();
     let columns: Vec<Vec<f64>> = names
         .iter()

@@ -24,7 +24,10 @@ fn bench_fig4(c: &mut Criterion) {
     let analytics = analyze(&collection.dataset, &config).expect("analytics runs");
 
     eprintln!("\n== Figure 4: dashboard content (PA, district level) ==");
-    eprintln!("K = {} (elbow over {:?})", analytics.chosen_k, analytics.sse_curve);
+    eprintln!(
+        "K = {} (elbow over {:?})",
+        analytics.chosen_k, analytics.sse_curve
+    );
     eprintln!("{:<8} {:>7} {:>10}", "cluster", "size", "mean EPH");
     for s in &analytics.cluster_summaries {
         eprintln!(
@@ -75,9 +78,7 @@ fn bench_fig4(c: &mut Criterion) {
             .unwrap()
         })
     });
-    group.bench_function("render_html", |b| {
-        b.iter(|| out.dashboard.render_html())
-    });
+    group.bench_function("render_html", |b| b.iter(|| out.dashboard.render_html()));
     group.finish();
 }
 

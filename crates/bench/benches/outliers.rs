@@ -83,7 +83,10 @@ fn bench_outliers(c: &mut Criterion) {
     let mut rows = Vec::new();
     let mut data = Vec::new();
     for r in 0..collection.dataset.n_rows() {
-        let vals: Option<Vec<f64>> = ids.iter().map(|&id| collection.dataset.num(r, id)).collect();
+        let vals: Option<Vec<f64>> = ids
+            .iter()
+            .map(|&id| collection.dataset.num(r, id))
+            .collect();
         if let Some(v) = vals {
             rows.push(r);
             data.extend(v);
@@ -98,7 +101,11 @@ fn bench_outliers(c: &mut Criterion) {
     let params = estimate_dbscan_params(&Matrix::from_rows(&sample_rows), &[4, 5, 6, 8], 0.15)
         .expect("params estimated");
     let result = dbscan(&scaled, &params);
-    let flagged: BTreeSet<usize> = result.noise_indices().into_iter().map(|i| rows[i]).collect();
+    let flagged: BTreeSet<usize> = result
+        .noise_indices()
+        .into_iter()
+        .map(|i| rows[i])
+        .collect();
     let (p, r) = pr(&flagged, &truth);
     eprintln!(
         "{:<22} {:>9} {:>9.2} {:>8.2}   (eps {:.3}, minPts {})",
@@ -131,9 +138,7 @@ fn bench_outliers(c: &mut Criterion) {
         .map(|i| scaled.row(i).to_vec())
         .collect();
     let sub = Matrix::from_rows(&sub_rows);
-    group.bench_function("dbscan_5k_points_5d", |b| {
-        b.iter(|| dbscan(&sub, &params))
-    });
+    group.bench_function("dbscan_5k_points_5d", |b| b.iter(|| dbscan(&sub, &params)));
     group.finish();
 }
 

@@ -127,7 +127,10 @@ mod tests {
 
     #[test]
     fn abbreviations_expand() {
-        assert_eq!(normalize_street("C.so Vittorio Emanuele II"), "corso vittorio emanuele ii");
+        assert_eq!(
+            normalize_street("C.so Vittorio Emanuele II"),
+            "corso vittorio emanuele ii"
+        );
         assert_eq!(normalize_street("P.za Castello"), "piazza castello");
         assert_eq!(normalize_street("v.le Monviso"), "viale monviso");
         assert_eq!(normalize_street("L.go Dora"), "largo dora");

@@ -139,15 +139,48 @@ pub fn clean_addresses(
     geocoder: Option<&dyn Geocoder>,
     config: &CleaningConfig,
 ) -> (Vec<CleanedAddress>, CleaningReport) {
+    clean_addresses_with_runtime(
+        queries,
+        reference,
+        geocoder,
+        config,
+        &epc_runtime::RuntimeConfig::sequential(),
+    )
+}
+
+/// [`clean_addresses`] with an explicit execution runtime.
+///
+/// The per-record Levenshtein matching against the reference map (steps
+/// 1–2) is pure and runs data-parallel under `runtime`; the geocoder
+/// fallback (step 3) is inherently stateful — the quota counter must be
+/// consumed in input order — so it runs as a sequential second pass over
+/// the addresses the reference could not resolve. The combined result is
+/// bitwise identical to the sequential algorithm for any thread budget.
+pub fn clean_addresses_with_runtime(
+    queries: &[AddressQuery],
+    reference: &StreetMap,
+    geocoder: Option<&dyn Geocoder>,
+    config: &CleaningConfig,
+    runtime: &epc_runtime::RuntimeConfig,
+) -> (Vec<CleanedAddress>, CleaningReport) {
     let mut report = CleaningReport {
         total: queries.len(),
         ..CleaningReport::default()
     };
     let requests_before = geocoder.map(|g| g.requests_made()).unwrap_or(0);
 
+    // Pass 1 (parallel, pure): reference-map matching.
+    let by_reference = epc_runtime::par_map(runtime, queries, |q| {
+        clean_by_reference(q, reference, config)
+    });
+
+    // Pass 2 (sequential, input order): geocoder fallback for the rest.
     let mut out = Vec::with_capacity(queries.len());
-    for q in queries {
-        let cleaned = clean_one(q, reference, geocoder, config);
+    for (q, referenced) in queries.iter().zip(by_reference) {
+        let cleaned = match referenced {
+            Some(c) => c,
+            None => clean_by_geocoder(q, geocoder, config),
+        };
         match cleaned.outcome {
             CleaningOutcome::ResolvedByReference { similarity } => {
                 report.by_reference += 1;
@@ -175,32 +208,37 @@ pub fn clean_addresses(
     (out, report)
 }
 
-fn clean_one(
+/// Steps 1–2: referenced street map with threshold φ. Pure — safe to run
+/// data-parallel.
+fn clean_by_reference(
     q: &AddressQuery,
     reference: &StreetMap,
+    config: &CleaningConfig,
+) -> Option<CleanedAddress> {
+    let hit = reference.best_match(&q.address.street, config.phi)?;
+    let entry = reference.lookup(&hit.street_key, q.address.house_number.as_deref())?;
+    Some(repair_from(
+        q,
+        CleaningOutcome::ResolvedByReference {
+            similarity: hit.similarity,
+        },
+        &entry.street,
+        &entry.house_number,
+        &entry.zip,
+        entry.point,
+        Some(entry.district.clone()),
+        Some(entry.neighbourhood.clone()),
+        config,
+    ))
+}
+
+/// Steps 3–4: quota-limited geocoder fallback, else unresolved. Stateful —
+/// must run sequentially in input order.
+fn clean_by_geocoder(
+    q: &AddressQuery,
     geocoder: Option<&dyn Geocoder>,
     config: &CleaningConfig,
 ) -> CleanedAddress {
-    // Step 1-2: referenced street map with threshold φ.
-    if let Some(hit) = reference.best_match(&q.address.street, config.phi) {
-        if let Some(entry) = reference.lookup(&hit.street_key, q.address.house_number.as_deref())
-        {
-            return repair_from(
-                q,
-                CleaningOutcome::ResolvedByReference {
-                    similarity: hit.similarity,
-                },
-                &entry.street,
-                &entry.house_number,
-                &entry.zip,
-                entry.point,
-                Some(entry.district.clone()),
-                Some(entry.neighbourhood.clone()),
-                config,
-            );
-        }
-    }
-    // Step 3: geocoder fallback.
     if let Some(g) = geocoder {
         if let Some(res) = g.geocode(&q.address) {
             return repair_from(
@@ -216,7 +254,6 @@ fn clean_one(
             );
         }
     }
-    // Step 4: unresolved.
     CleanedAddress {
         id: q.id,
         outcome: CleaningOutcome::Unresolved,
@@ -333,7 +370,12 @@ mod tests {
             c.outcome,
             CleaningOutcome::ResolvedByReference { similarity } if similarity == 1.0
         ));
-        assert_eq!(c.corrected.count(), 0, "nothing should change: {:?}", c.corrected);
+        assert_eq!(
+            c.corrected.count(),
+            0,
+            "nothing should change: {:?}",
+            c.corrected
+        );
         assert_eq!(report.exact_matches, 1);
         assert_eq!(report.by_reference, 1);
     }
@@ -395,9 +437,11 @@ mod tests {
             address: Address::new("via garibaldi", Some("7"), None),
             point: None,
         };
-        let (res, report) =
-            clean_addresses(&[q], &reference(), Some(&geocoder), &cfg());
-        assert!(matches!(res[0].outcome, CleaningOutcome::ResolvedByGeocoder));
+        let (res, report) = clean_addresses(&[q], &reference(), Some(&geocoder), &cfg());
+        assert!(matches!(
+            res[0].outcome,
+            CleaningOutcome::ResolvedByGeocoder
+        ));
         assert_eq!(res[0].address.zip.as_deref(), Some("10122"));
         assert_eq!(report.by_geocoder, 1);
         assert_eq!(report.geocoder_requests, 1);
@@ -436,7 +480,10 @@ mod tests {
         assert_eq!(report.by_geocoder, 1);
         assert_eq!(report.unresolved, 2);
         assert_eq!(report.geocoder_requests, 1, "refused calls don't count");
-        assert!(matches!(res[0].outcome, CleaningOutcome::ResolvedByGeocoder));
+        assert!(matches!(
+            res[0].outcome,
+            CleaningOutcome::ResolvedByGeocoder
+        ));
         assert!(matches!(res[2].outcome, CleaningOutcome::Unresolved));
     }
 
@@ -470,6 +517,41 @@ mod tests {
         assert_eq!(res[0].address.zip.as_deref(), Some("10121"));
         assert!(res[0].corrected.zip);
         assert!(!res[0].corrected.coords);
+    }
+
+    #[test]
+    fn parallel_cleaning_matches_sequential_bitwise() {
+        let truth = {
+            let mut t = reference();
+            t.insert(entry("Via Garibaldi", "7", "10122", 45.0730, 7.6820));
+            t
+        };
+        // A mix of exact, noisy, geocoder-only, and hopeless addresses —
+        // enough of them to cross par_map's per-thread minimum.
+        let streets = ["Via Roma", "via rma", "via garibaldi", "zzzzzz"];
+        let queries: Vec<AddressQuery> = (0..128)
+            .map(|i| AddressQuery {
+                id: i,
+                address: Address::new(streets[i % streets.len()], Some("10"), None),
+                point: None,
+            })
+            .collect();
+        // Quota smaller than the geocoder-needing queries, so consumption
+        // order is observable in the outcomes.
+        let seq_geo = QuotaGeocoder::new(SimulatedGeocoder::new(truth.clone(), 0.6, 0.0), 9);
+        let (seq, seq_report) = clean_addresses(&queries, &reference(), Some(&seq_geo), &cfg());
+        for threads in [2usize, 8] {
+            let par_geo = QuotaGeocoder::new(SimulatedGeocoder::new(truth.clone(), 0.6, 0.0), 9);
+            let (par, par_report) = clean_addresses_with_runtime(
+                &queries,
+                &reference(),
+                Some(&par_geo),
+                &cfg(),
+                &epc_runtime::RuntimeConfig::new(threads),
+            );
+            assert_eq!(par, seq, "threads = {threads}");
+            assert_eq!(par_report, seq_report, "threads = {threads}");
+        }
     }
 
     #[test]

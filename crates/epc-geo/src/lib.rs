@@ -33,8 +33,7 @@ pub mod streetmap;
 pub use address::Address;
 pub use bbox::BoundingBox;
 pub use cleaning::{
-    clean_addresses, AddressQuery, CleanedAddress, CleaningConfig, CleaningOutcome,
-    CleaningReport,
+    clean_addresses, AddressQuery, CleanedAddress, CleaningConfig, CleaningOutcome, CleaningReport,
 };
 pub use geocode::{GeocodeResult, Geocoder, QuotaGeocoder, SimulatedGeocoder};
 pub use levenshtein::{levenshtein, similarity};

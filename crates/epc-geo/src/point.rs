@@ -39,8 +39,7 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_M * a.sqrt().asin()
     }
 
@@ -68,8 +67,8 @@ impl GeoPoint {
     /// used by the synthetic city generator to lay out house numbers.
     pub fn offset_m(&self, dn: f64, de: f64) -> GeoPoint {
         let dlat = dn / EARTH_RADIUS_M * (180.0 / std::f64::consts::PI);
-        let dlon = de / (EARTH_RADIUS_M * self.lat.to_radians().cos())
-            * (180.0 / std::f64::consts::PI);
+        let dlon =
+            de / (EARTH_RADIUS_M * self.lat.to_radians().cos()) * (180.0 / std::f64::consts::PI);
         GeoPoint {
             lat: self.lat + dlat,
             lon: self.lon + dlon,
@@ -138,8 +137,20 @@ mod tests {
     #[test]
     fn validity() {
         assert!(TURIN.is_valid());
-        assert!(!GeoPoint { lat: f64::NAN, lon: 0.0 }.is_valid());
-        assert!(!GeoPoint { lat: 95.0, lon: 0.0 }.is_valid());
-        assert!(!GeoPoint { lat: 0.0, lon: 200.0 }.is_valid());
+        assert!(!GeoPoint {
+            lat: f64::NAN,
+            lon: 0.0
+        }
+        .is_valid());
+        assert!(!GeoPoint {
+            lat: 95.0,
+            lon: 0.0
+        }
+        .is_valid());
+        assert!(!GeoPoint {
+            lat: 0.0,
+            lon: 200.0
+        }
+        .is_valid());
     }
 }

@@ -119,10 +119,22 @@ fn insert_rec<T: Clone>(
             // Split: redistribute existing items into children.
             let quads = bounds.quadrants();
             let mut slots: [NodeSlot<T>; 4] = [
-                NodeSlot { bounds: quads[0], node: Node::Leaf(Vec::new()) },
-                NodeSlot { bounds: quads[1], node: Node::Leaf(Vec::new()) },
-                NodeSlot { bounds: quads[2], node: Node::Leaf(Vec::new()) },
-                NodeSlot { bounds: quads[3], node: Node::Leaf(Vec::new()) },
+                NodeSlot {
+                    bounds: quads[0],
+                    node: Node::Leaf(Vec::new()),
+                },
+                NodeSlot {
+                    bounds: quads[1],
+                    node: Node::Leaf(Vec::new()),
+                },
+                NodeSlot {
+                    bounds: quads[2],
+                    node: Node::Leaf(Vec::new()),
+                },
+                NodeSlot {
+                    bounds: quads[3],
+                    node: Node::Leaf(Vec::new()),
+                },
             ];
             for (p, v) in items.drain(..) {
                 let slot = slots

@@ -44,8 +44,7 @@ impl Polygon {
         for i in 0..n {
             let (xi, yi) = (v[i].lon, v[i].lat);
             let (xj, yj) = (v[j].lon, v[j].lat);
-            if ((yi > p.lat) != (yj > p.lat))
-                && (p.lon < (xj - xi) * (p.lat - yi) / (yj - yi) + xi)
+            if ((yi > p.lat) != (yj > p.lat)) && (p.lon < (xj - xi) * (p.lat - yi) / (yj - yi) + xi)
             {
                 inside = !inside;
             }

@@ -200,14 +200,26 @@ impl StreetMap {
     pub fn to_text(&self) -> Result<String, String> {
         let mut out = String::from("street;house_number;zip;lat;lon;district;neighbourhood\n");
         for e in &self.entries {
-            for field in [&e.street, &e.house_number, &e.zip, &e.district, &e.neighbourhood] {
+            for field in [
+                &e.street,
+                &e.house_number,
+                &e.zip,
+                &e.district,
+                &e.neighbourhood,
+            ] {
                 if field.contains(';') || field.contains('\n') {
                     return Err(format!("field {field:?} contains a separator"));
                 }
             }
             out.push_str(&format!(
                 "{};{};{};{};{};{};{}\n",
-                e.street, e.house_number, e.zip, e.point.lat, e.point.lon, e.district, e.neighbourhood
+                e.street,
+                e.house_number,
+                e.zip,
+                e.point.lat,
+                e.point.lon,
+                e.district,
+                e.neighbourhood
             ));
         }
         Ok(out)
@@ -227,7 +239,11 @@ impl StreetMap {
             }
             let parts: Vec<&str> = line.split(';').collect();
             if parts.len() != 7 {
-                return Err(format!("line {}: expected 7 fields, got {}", i + 2, parts.len()));
+                return Err(format!(
+                    "line {}: expected 7 fields, got {}",
+                    i + 2,
+                    parts.len()
+                ));
             }
             let lat: f64 = parts[3]
                 .parse()
@@ -396,7 +412,10 @@ mod tests {
     fn from_text_rejects_malformed_input() {
         assert!(StreetMap::from_text("").is_err());
         assert!(StreetMap::from_text("wrong header\n").is_err());
-        assert!(StreetMap::from_text("street;house_number;zip;lat;lon;district;neighbourhood\nonly;three;fields\n").is_err());
+        assert!(StreetMap::from_text(
+            "street;house_number;zip;lat;lon;district;neighbourhood\nonly;three;fields\n"
+        )
+        .is_err());
         assert!(StreetMap::from_text(
             "street;house_number;zip;lat;lon;district;neighbourhood\nVia Roma;1;10121;abc;7.6;D;N\n"
         )

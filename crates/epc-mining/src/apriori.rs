@@ -133,9 +133,27 @@ impl Default for Apriori {
     }
 }
 
+/// Transactions folded per chunk when counting candidate supports in
+/// parallel. Fixed (independent of the thread budget) so the reduction
+/// tree — and hence the counts — never depends on how many workers ran.
+const SUPPORT_COUNT_CHUNK: usize = 512;
+
 impl Apriori {
     /// Mines all frequent itemsets of `data` (sizes 1..=`max_len`).
     pub fn mine(&self, data: &TransactionSet) -> Vec<FrequentItemset> {
+        self.mine_with_runtime(data, &epc_runtime::RuntimeConfig::sequential())
+    }
+
+    /// [`Apriori::mine`] with an explicit execution runtime.
+    ///
+    /// Candidate-support counting — the pass over every transaction per
+    /// lattice level — runs as a chunked parallel reduction merging integer
+    /// count vectors, which is exact regardless of the thread budget.
+    pub fn mine_with_runtime(
+        &self,
+        data: &TransactionSet,
+        runtime: &epc_runtime::RuntimeConfig,
+    ) -> Vec<FrequentItemset> {
         let n = data.len();
         if n == 0 || self.min_support <= 0.0 {
             return Vec::new();
@@ -167,18 +185,30 @@ impl Apriori {
             if candidates.is_empty() {
                 break;
             }
-            // Count candidate supports with one pass over transactions.
-            let mut counts = vec![0usize; candidates.len()];
-            for t in data.transactions() {
-                if t.len() < k {
-                    continue;
-                }
-                for (ci, c) in candidates.iter().enumerate() {
-                    if is_subset(c, t) {
-                        counts[ci] += 1;
+            // Count candidate supports with one (chunk-parallel) pass over
+            // the transactions.
+            let counts = epc_runtime::par_reduce(
+                runtime,
+                data.transactions(),
+                SUPPORT_COUNT_CHUNK,
+                || vec![0usize; candidates.len()],
+                |mut acc, t| {
+                    if t.len() >= k {
+                        for (ci, c) in candidates.iter().enumerate() {
+                            if is_subset(c, t) {
+                                acc[ci] += 1;
+                            }
+                        }
                     }
-                }
-            }
+                    acc
+                },
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
             current = candidates
                 .into_iter()
                 .zip(counts)
@@ -195,8 +225,7 @@ impl Apriori {
 /// Apriori-gen: joins k-itemsets sharing their first k−1 items and prunes
 /// candidates with an infrequent (k)-subset.
 fn generate_candidates(frequent: &[FrequentItemset]) -> Vec<Itemset> {
-    let frequent_set: HashSet<&[u32]> =
-        frequent.iter().map(|f| f.items.as_slice()).collect();
+    let frequent_set: HashSet<&[u32]> = frequent.iter().map(|f| f.items.as_slice()).collect();
     let mut out = Vec::new();
     for (i, a) in frequent.iter().enumerate() {
         for b in &frequent[i + 1..] {
@@ -314,10 +343,7 @@ mod tests {
             find(&all, &data.dict, &["beer", "diapers"]).unwrap().count,
             3
         );
-        assert_eq!(
-            find(&all, &data.dict, &["bread", "milk"]).unwrap().count,
-            3
-        );
+        assert_eq!(find(&all, &data.dict, &["bread", "milk"]).unwrap().count, 3);
         assert_eq!(
             find(&all, &data.dict, &["milk", "diapers"]).unwrap().count,
             3
@@ -365,6 +391,31 @@ mod tests {
                     .unwrap_or_else(|| panic!("subset of frequent set missing: {sub:?}"));
                 assert!(*sub_count >= f.count);
             }
+        }
+    }
+
+    #[test]
+    fn parallel_mine_matches_sequential() {
+        // Enough transactions to span several counting chunks.
+        let mut data = TransactionSet::new();
+        let pool = ["a", "b", "c", "d", "e", "f"];
+        for i in 0..1500usize {
+            let items: Vec<&str> = pool
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| (i * 7 + j * 13) % (j + 2) == 0)
+                .map(|(_, &s)| s)
+                .collect();
+            data.push(&items);
+        }
+        let miner = Apriori {
+            min_support: 0.05,
+            max_len: 4,
+        };
+        let seq = miner.mine(&data);
+        for threads in [2usize, 8] {
+            let par = miner.mine_with_runtime(&data, &epc_runtime::RuntimeConfig::new(threads));
+            assert_eq!(par, seq, "threads = {threads}");
         }
     }
 

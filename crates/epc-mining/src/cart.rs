@@ -208,7 +208,10 @@ mod tests {
     /// A step function: y = 0 for x < 5, y = 10 for x ≥ 5.
     fn step_data() -> (Vec<f64>, Vec<f64>) {
         let x: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
-        let y: Vec<f64> = x.iter().map(|&v| if v < 5.0 { 0.0 } else { 10.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| if v < 5.0 { 0.0 } else { 10.0 })
+            .collect();
         (x, y)
     }
 

@@ -71,9 +71,30 @@ impl DbscanResult {
 /// density reachability from core points; border points join the first
 /// cluster that reaches them; everything else is noise.
 pub fn dbscan(data: &Matrix, config: &DbscanConfig) -> DbscanResult {
+    dbscan_with_runtime(data, config, &epc_runtime::RuntimeConfig::sequential())
+}
+
+/// [`dbscan`] with an explicit execution runtime.
+///
+/// The ε-neighbourhood region queries — the O(n²) bulk of the algorithm,
+/// and the sequential version issues one per point anyway — are
+/// precomputed data-parallel; the density-reachability expansion then
+/// walks the precomputed lists in the exact order of the sequential
+/// algorithm, so labels and cluster ids are identical for any thread
+/// budget.
+pub fn dbscan_with_runtime(
+    data: &Matrix,
+    config: &DbscanConfig,
+    runtime: &epc_runtime::RuntimeConfig,
+) -> DbscanResult {
     let n = data.n_rows();
     const UNVISITED: usize = usize::MAX;
     const NOISE: usize = usize::MAX - 1;
+
+    let points: Vec<usize> = (0..n).collect();
+    let neighbours: Vec<Vec<usize>> =
+        epc_runtime::par_map(runtime, &points, |&p| region_query(data, p, config.eps));
+
     let mut label = vec![UNVISITED; n];
     let mut n_clusters = 0usize;
 
@@ -81,8 +102,7 @@ pub fn dbscan(data: &Matrix, config: &DbscanConfig) -> DbscanResult {
         if label[p] != UNVISITED {
             continue;
         }
-        let neighbours = region_query(data, p, config.eps);
-        if neighbours.len() < config.min_points {
+        if neighbours[p].len() < config.min_points {
             label[p] = NOISE;
             continue;
         }
@@ -90,7 +110,7 @@ pub fn dbscan(data: &Matrix, config: &DbscanConfig) -> DbscanResult {
         let cluster = n_clusters;
         n_clusters += 1;
         label[p] = cluster;
-        let mut queue: VecDeque<usize> = neighbours.into();
+        let mut queue: VecDeque<usize> = neighbours[p].iter().copied().collect();
         while let Some(q) = queue.pop_front() {
             if label[q] == NOISE {
                 label[q] = cluster; // noise becomes a border point
@@ -100,9 +120,8 @@ pub fn dbscan(data: &Matrix, config: &DbscanConfig) -> DbscanResult {
                 continue;
             }
             label[q] = cluster;
-            let q_neighbours = region_query(data, q, config.eps);
-            if q_neighbours.len() >= config.min_points {
-                queue.extend(q_neighbours);
+            if neighbours[q].len() >= config.min_points {
+                queue.extend(neighbours[q].iter().copied());
             }
         }
     }
@@ -269,5 +288,19 @@ mod tests {
             min_points: 4,
         };
         assert_eq!(dbscan(&data, &cfg), dbscan(&data, &cfg));
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let (data, _) = blobs_with_noise();
+        let cfg = DbscanConfig {
+            eps: 1.0,
+            min_points: 4,
+        };
+        let seq = dbscan(&data, &cfg);
+        for threads in [2usize, 8] {
+            let par = dbscan_with_runtime(&data, &cfg, &epc_runtime::RuntimeConfig::new(threads));
+            assert_eq!(par, seq, "threads = {threads}");
+        }
     }
 }

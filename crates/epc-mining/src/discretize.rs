@@ -79,11 +79,7 @@ impl Discretizer {
     /// The bin index of a value.
     pub fn bin_index(&self, x: f64) -> usize {
         // First edge ≥ x decides the bin (bins are right-closed).
-        match self
-            .edges
-            .iter()
-            .position(|&e| x <= e)
-        {
+        match self.edges.iter().position(|&e| x <= e) {
             Some(i) => i,
             None => self.edges.len(),
         }
@@ -205,7 +201,10 @@ mod tests {
     #[test]
     fn from_cart_recovers_a_step_boundary() {
         let x: Vec<f64> = (0..200).map(|i| i as f64 / 20.0).collect();
-        let y: Vec<f64> = x.iter().map(|&v| if v < 5.0 { 10.0 } else { 90.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| if v < 5.0 { 10.0 } else { 90.0 })
+            .collect();
         let cfg = CartConfig {
             max_depth: 1,
             min_samples_split: 4,

@@ -10,11 +10,29 @@ use crate::matrix::Matrix;
 /// Computes the `(k, SSE)` curve for every `k` in `ks`, fitting a fresh
 /// K-means per point with `base` (its `k` field is overridden). Ks that
 /// cannot be fitted (e.g. larger than the number of points) are skipped.
-pub fn sse_curve(data: &Matrix, ks: impl IntoIterator<Item = usize>, base: &KMeansConfig) -> Vec<(usize, f64)> {
+pub fn sse_curve(
+    data: &Matrix,
+    ks: impl IntoIterator<Item = usize>,
+    base: &KMeansConfig,
+) -> Vec<(usize, f64)> {
+    sse_curve_with_runtime(data, ks, base, &epc_runtime::RuntimeConfig::sequential())
+}
+
+/// [`sse_curve`] with an explicit execution runtime, forwarded to each
+/// K-means fit (the per-K fits themselves run one after another so the
+/// curve's order never changes).
+pub fn sse_curve_with_runtime(
+    data: &Matrix,
+    ks: impl IntoIterator<Item = usize>,
+    base: &KMeansConfig,
+    runtime: &epc_runtime::RuntimeConfig,
+) -> Vec<(usize, f64)> {
     ks.into_iter()
         .filter_map(|k| {
             let cfg = KMeansConfig { k, ..base.clone() };
-            KMeans::new(cfg).fit(data).map(|m| (k, m.sse))
+            KMeans::new(cfg)
+                .fit_with_runtime(data, runtime)
+                .map(|m| (k, m.sse))
         })
         .collect()
 }
@@ -54,10 +72,7 @@ pub fn elbow_k_by_distance(curve: &[(usize, f64)]) -> Option<usize> {
         return None;
     }
     let (x0, y0) = (curve[0].0 as f64, curve[0].1);
-    let (x1, y1) = (
-        curve[curve.len() - 1].0 as f64,
-        curve[curve.len() - 1].1,
-    );
+    let (x1, y1) = (curve[curve.len() - 1].0 as f64, curve[curve.len() - 1].1);
     let dx = x1 - x0;
     let dy = y1 - y0;
     let norm = (dx * dx + dy * dy).sqrt();
@@ -126,13 +141,7 @@ mod tests {
     #[test]
     fn elbow_on_synthetic_curve() {
         // Hand-built curve with an obvious elbow at k = 4.
-        let curve = vec![
-            (2, 1000.0),
-            (3, 600.0),
-            (4, 250.0),
-            (5, 230.0),
-            (6, 215.0),
-        ];
+        let curve = vec![(2, 1000.0), (3, 600.0), (4, 250.0), (5, 230.0), (6, 215.0)];
         assert_eq!(elbow_k(&curve), Some(4));
         assert_eq!(elbow_k_by_distance(&curve), Some(4));
     }

@@ -235,8 +235,20 @@ mod tests {
         let m = Matrix::from_rows(&rows);
         let single = hierarchical_clusters(&m, 2, Linkage::Single).unwrap();
         // The gap between index 5 (5.0) and 6 (9.0) is the split point.
-        assert_eq!(single[..6].iter().collect::<std::collections::HashSet<_>>().len(), 1);
-        assert_eq!(single[6..].iter().collect::<std::collections::HashSet<_>>().len(), 1);
+        assert_eq!(
+            single[..6]
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            1
+        );
+        assert_eq!(
+            single[6..]
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            1
+        );
         assert_ne!(single[0], single[6]);
     }
 

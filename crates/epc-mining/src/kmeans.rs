@@ -112,6 +112,20 @@ impl KMeans {
     /// Fits the model. Returns `None` when `k == 0`, the matrix is empty,
     /// or there are fewer points than clusters.
     pub fn fit(&self, data: &Matrix) -> Option<KMeansModel> {
+        self.fit_with_runtime(data, &epc_runtime::RuntimeConfig::sequential())
+    }
+
+    /// [`KMeans::fit`] with an explicit execution runtime.
+    ///
+    /// The Lloyd *assignment* step (nearest centroid per point — the O(nkd)
+    /// hot loop) runs data-parallel; the centroid update and the SSE
+    /// accumulation stay sequential in row order, so the fitted model is
+    /// bitwise identical for any thread budget.
+    pub fn fit_with_runtime(
+        &self,
+        data: &Matrix,
+        runtime: &epc_runtime::RuntimeConfig,
+    ) -> Option<KMeansModel> {
         let k = self.config.k;
         let n = data.n_rows();
         if k == 0 || n == 0 || n < k {
@@ -123,16 +137,17 @@ impl KMeans {
             KMeansInit::KMeansPlusPlus => init_plusplus(data, k, &mut rng),
         };
 
+        let rows_idx: Vec<usize> = (0..n).collect();
         let mut assignments = vec![0usize; n];
         let mut n_iter = 0;
         let mut converged = false;
 
         for iter in 0..self.config.max_iter {
             n_iter = iter + 1;
-            // Assignment step.
-            for (i, row) in data.rows().enumerate() {
-                assignments[i] = nearest_centroid(row, &centroids).0;
-            }
+            // Assignment step (parallel; pure per row).
+            assignments = epc_runtime::par_map(runtime, &rows_idx, |&i| {
+                nearest_centroid(data.row(i), &centroids).0
+            });
             // Update step.
             let mut new_centroids = Matrix::zeros(k, data.n_cols());
             let mut counts = vec![0usize; k];
@@ -169,10 +184,13 @@ impl KMeans {
                 break;
             }
         }
-        // Final assignment against final centroids + SSE.
+        // Final assignment against final centroids (parallel), then the
+        // SSE accumulated sequentially in row order for bitwise stability.
+        let finals = epc_runtime::par_map(runtime, &rows_idx, |&i| {
+            nearest_centroid(data.row(i), &centroids)
+        });
         let mut sse = 0.0;
-        for (i, row) in data.rows().enumerate() {
-            let (c, d2) = nearest_centroid(row, &centroids);
+        for (i, (c, d2)) in finals.into_iter().enumerate() {
             assignments[i] = c;
             sse += d2;
         }
@@ -374,6 +392,26 @@ mod tests {
         let b = KMeans::new(cfg).fit(&data).unwrap();
         assert_eq!(a.assignments, b.assignments);
         assert_eq!(a.sse, b.sse);
+    }
+
+    #[test]
+    fn parallel_fit_is_bitwise_identical_to_sequential() {
+        let data = blobs();
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 11,
+            ..Default::default()
+        };
+        let seq = KMeans::new(cfg.clone()).fit(&data).unwrap();
+        for threads in [2usize, 4, 8] {
+            let par = KMeans::new(cfg.clone())
+                .fit_with_runtime(&data, &epc_runtime::RuntimeConfig::new(threads))
+                .unwrap();
+            assert_eq!(par.assignments, seq.assignments, "threads = {threads}");
+            assert_eq!(par.sse.to_bits(), seq.sse.to_bits(), "threads = {threads}");
+            assert_eq!(par.centroids, seq.centroids, "threads = {threads}");
+            assert_eq!(par.n_iter, seq.n_iter, "threads = {threads}");
+        }
     }
 
     #[test]

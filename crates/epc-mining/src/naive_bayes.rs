@@ -48,8 +48,8 @@ impl GaussianNb {
             for j in 0..d {
                 let values: Vec<f64> = rows.iter().map(|&r| data.get(r, j)).collect();
                 let mean = values.iter().sum::<f64>() / values.len() as f64;
-                let var = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-                    / values.len() as f64;
+                let var =
+                    values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / values.len() as f64;
                 class_params.push((mean, var.max(VAR_FLOOR)));
             }
             params.push(class_params);
@@ -182,7 +182,10 @@ mod tests {
     fn invalid_inputs() {
         let m = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
         assert!(GaussianNb::fit(&m, &["a"]).is_none(), "length mismatch");
-        assert!(GaussianNb::fit(&m, &["a", "b"]).is_none(), "singleton classes");
+        assert!(
+            GaussianNb::fit(&m, &["a", "b"]).is_none(),
+            "singleton classes"
+        );
         assert!(GaussianNb::fit(&Matrix::zeros(0, 1), &[]).is_none());
     }
 

@@ -149,11 +149,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Matrix {
-        Matrix::from_rows(&[
-            vec![0.0, 100.0],
-            vec![5.0, 200.0],
-            vec![10.0, 300.0],
-        ])
+        Matrix::from_rows(&[vec![0.0, 100.0], vec![5.0, 200.0], vec![10.0, 300.0]])
     }
 
     #[test]

@@ -67,11 +67,22 @@ impl Default for RuleConfig {
 /// itemset, filtered by the thresholds in `config` and sorted by lift
 /// (descending), then confidence, then support.
 pub fn mine_rules(data: &TransactionSet, config: &RuleConfig) -> Vec<AssociationRule> {
+    mine_rules_with_runtime(data, config, &epc_runtime::RuntimeConfig::sequential())
+}
+
+/// [`mine_rules`] with an explicit execution runtime (forwarded to the
+/// Apriori support-counting pass; rule generation itself is cheap and runs
+/// sequentially).
+pub fn mine_rules_with_runtime(
+    data: &TransactionSet,
+    config: &RuleConfig,
+    runtime: &epc_runtime::RuntimeConfig,
+) -> Vec<AssociationRule> {
     let frequent = Apriori {
         min_support: config.min_support,
         max_len: config.max_len,
     }
-    .mine(data);
+    .mine_with_runtime(data, runtime);
     rules_from_frequent(&frequent, &data.dict, data.len(), config)
 }
 
@@ -191,7 +202,11 @@ mod tests {
         assert!((r.support - 0.6).abs() < 1e-12);
         assert!((r.confidence - 1.0).abs() < 1e-12);
         assert!((r.lift - 1.25).abs() < 1e-12);
-        assert_eq!(r.conviction, f64::INFINITY, "exact rule has infinite conviction");
+        assert_eq!(
+            r.conviction,
+            f64::INFINITY,
+            "exact rule has infinite conviction"
+        );
     }
 
     #[test]

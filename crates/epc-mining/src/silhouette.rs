@@ -43,7 +43,11 @@ pub fn silhouette_score(data: &Matrix, labels: &[usize]) -> Option<f64> {
             .filter(|&c| c != own && sizes[c] > 0)
             .map(|c| sums[c] / sizes[c] as f64)
             .fold(f64::INFINITY, f64::min);
-        let s = if a.max(b) > 0.0 { (b - a) / a.max(b) } else { 0.0 };
+        let s = if a.max(b) > 0.0 {
+            (b - a) / a.max(b)
+        } else {
+            0.0
+        };
         total += s;
     }
     Some(total / n as f64)

@@ -12,10 +12,7 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 
 fn points(max_n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(-100.0f64..100.0, 2),
-        4..max_n,
-    )
+    prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 2), 4..max_n)
 }
 
 proptest! {

@@ -38,12 +38,16 @@ pub enum AttrKind {
 impl AttrKind {
     /// Shorthand for a dimensionless numeric attribute.
     pub fn numeric() -> Self {
-        AttrKind::Numeric { unit: String::new() }
+        AttrKind::Numeric {
+            unit: String::new(),
+        }
     }
 
     /// Shorthand for a numeric attribute with a unit.
     pub fn numeric_unit(unit: &str) -> Self {
-        AttrKind::Numeric { unit: unit.to_owned() }
+        AttrKind::Numeric {
+            unit: unit.to_owned(),
+        }
     }
 
     /// `true` for [`AttrKind::Numeric`].

@@ -18,13 +18,12 @@ pub fn to_csv(ds: &Dataset) -> String {
     let header: Vec<&str> = ds.schema().iter().map(|(_, d)| d.name.as_str()).collect();
     write_row(&mut out, header.iter().map(|s| s.to_string()));
     for row in ds.rows() {
-        let fields = (0..ds.n_cols()).map(|i| {
-            match row.value(crate::attribute::AttrId(i as u32)) {
+        let fields =
+            (0..ds.n_cols()).map(|i| match row.value(crate::attribute::AttrId(i as u32)) {
                 Value::Num(x) => format_num(x),
                 Value::Cat(s) => s,
                 Value::Missing => String::new(),
-            }
-        });
+            });
         write_row(&mut out, fields);
     }
     out

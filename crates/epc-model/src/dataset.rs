@@ -636,7 +636,12 @@ mod tests {
     fn select_and_filter_rows() {
         let mut ds = Dataset::new(small_schema());
         for i in 0..5 {
-            push(&mut ds, Some(i as f64), Some(if i % 2 == 0 { "even" } else { "odd" }), None);
+            push(
+                &mut ds,
+                Some(i as f64),
+                Some(if i % 2 == 0 { "even" } else { "odd" }),
+                None,
+            );
         }
         let sel = ds.select_rows(&[4, 0]).unwrap();
         assert_eq!(sel.n_rows(), 2);

@@ -62,7 +62,10 @@ impl fmt::Display for ModelError {
                 "kind mismatch for attribute {attribute:?}: expected {expected}, got {got}"
             ),
             ModelError::ArityMismatch { expected, got } => {
-                write!(f, "record arity mismatch: schema has {expected} attributes, record has {got}")
+                write!(
+                    f,
+                    "record arity mismatch: schema has {expected} attributes, record has {got}"
+                )
             }
             ModelError::RowOutOfBounds { row, n_rows } => {
                 write!(f, "row {row} out of bounds (dataset has {n_rows} rows)")
@@ -70,7 +73,9 @@ impl fmt::Display for ModelError {
             ModelError::DuplicateAttribute(name) => {
                 write!(f, "duplicate attribute name: {name:?}")
             }
-            ModelError::Csv { line, reason } => write!(f, "CSV parse error at line {line}: {reason}"),
+            ModelError::Csv { line, reason } => {
+                write!(f, "CSV parse error at line {line}: {reason}")
+            }
             ModelError::SchemaMismatch => write!(f, "datasets have different schemas"),
         }
     }
@@ -113,13 +118,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            ModelError::SchemaMismatch,
-            ModelError::SchemaMismatch
-        );
-        assert_ne!(
-            ModelError::InvalidAttrId(1),
-            ModelError::InvalidAttrId(2)
-        );
+        assert_eq!(ModelError::SchemaMismatch, ModelError::SchemaMismatch);
+        assert_ne!(ModelError::InvalidAttrId(1), ModelError::InvalidAttrId(2));
     }
 }

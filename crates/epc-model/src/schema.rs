@@ -34,10 +34,7 @@ impl Schema {
     pub fn new(attrs: Vec<AttributeDef>) -> Result<Self, ModelError> {
         let mut by_name = HashMap::with_capacity(attrs.len());
         for (i, def) in attrs.iter().enumerate() {
-            if by_name
-                .insert(def.name.clone(), AttrId(i as u32))
-                .is_some()
-            {
+            if by_name.insert(def.name.clone(), AttrId(i as u32)).is_some() {
                 return Err(ModelError::DuplicateAttribute(def.name.clone()));
             }
         }
@@ -125,36 +122,95 @@ pub fn standard_epc_schema() -> Arc<Schema> {
     let mut defs: Vec<AttributeDef> = Vec::with_capacity(132);
 
     // --- Categorical: identification & geography (8) ---
-    defs.push(AttributeDef::categorical(wk::CERTIFICATE_ID, "Unique certificate identifier"));
-    defs.push(AttributeDef::categorical(wk::ADDRESS, "Free-text street address (noisy)"));
+    defs.push(AttributeDef::categorical(
+        wk::CERTIFICATE_ID,
+        "Unique certificate identifier",
+    ));
+    defs.push(AttributeDef::categorical(
+        wk::ADDRESS,
+        "Free-text street address (noisy)",
+    ));
     defs.push(AttributeDef::categorical(wk::HOUSE_NUMBER, "Civic number"));
     defs.push(AttributeDef::categorical(wk::ZIP_CODE, "Postal code"));
     defs.push(AttributeDef::categorical(wk::CITY, "Municipality"));
-    defs.push(AttributeDef::categorical(wk::DISTRICT, "Administrative district"));
-    defs.push(AttributeDef::categorical(wk::NEIGHBOURHOOD, "Neighbourhood"));
-    defs.push(AttributeDef::categorical(wk::ISSUE_YEAR, "Year the certificate was issued"));
+    defs.push(AttributeDef::categorical(
+        wk::DISTRICT,
+        "Administrative district",
+    ));
+    defs.push(AttributeDef::categorical(
+        wk::NEIGHBOURHOOD,
+        "Neighbourhood",
+    ));
+    defs.push(AttributeDef::categorical(
+        wk::ISSUE_YEAR,
+        "Year the certificate was issued",
+    ));
 
     // --- Numeric: geolocation (2) ---
     defs.push(AttributeDef::numeric(wk::LATITUDE, "deg", "WGS84 latitude"));
-    defs.push(AttributeDef::numeric(wk::LONGITUDE, "deg", "WGS84 longitude"));
+    defs.push(AttributeDef::numeric(
+        wk::LONGITUDE,
+        "deg",
+        "WGS84 longitude",
+    ));
 
     // --- Numeric: case-study thermo-physical features (6) ---
-    defs.push(AttributeDef::numeric(wk::ASPECT_RATIO, "1/m", "Aspect ratio S/V (dispersing surface over heated volume)"));
-    defs.push(AttributeDef::numeric(wk::U_OPAQUE, "W/m2K", "Average U-value of the vertical opaque envelope"));
-    defs.push(AttributeDef::numeric(wk::U_WINDOWS, "W/m2K", "Average U-value of the windows"));
-    defs.push(AttributeDef::numeric(wk::HEAT_SURFACE, "m2", "Heated floor area"));
-    defs.push(AttributeDef::numeric(wk::ETA_H, "", "Average global efficiency for space heating (ETAH)"));
-    defs.push(AttributeDef::numeric(wk::EPH, "kWh/m2yr", "Normalized primary heating energy consumption (response variable)"));
+    defs.push(AttributeDef::numeric(
+        wk::ASPECT_RATIO,
+        "1/m",
+        "Aspect ratio S/V (dispersing surface over heated volume)",
+    ));
+    defs.push(AttributeDef::numeric(
+        wk::U_OPAQUE,
+        "W/m2K",
+        "Average U-value of the vertical opaque envelope",
+    ));
+    defs.push(AttributeDef::numeric(
+        wk::U_WINDOWS,
+        "W/m2K",
+        "Average U-value of the windows",
+    ));
+    defs.push(AttributeDef::numeric(
+        wk::HEAT_SURFACE,
+        "m2",
+        "Heated floor area",
+    ));
+    defs.push(AttributeDef::numeric(
+        wk::ETA_H,
+        "",
+        "Average global efficiency for space heating (ETAH)",
+    ));
+    defs.push(AttributeDef::numeric(
+        wk::EPH,
+        "kWh/m2yr",
+        "Normalized primary heating energy consumption (response variable)",
+    ));
 
     // --- Numeric: other energy-performance indices (7) ---
     for (name, unit, desc) in [
         (wk::EP_GLOBAL, "kWh/m2yr", "Global energy-performance index"),
         ("ep_cooling", "kWh/m2yr", "Cooling energy-performance index"),
-        ("ep_dhw", "kWh/m2yr", "Domestic-hot-water energy-performance index"),
-        ("ep_lighting", "kWh/m2yr", "Lighting energy-performance index"),
+        (
+            "ep_dhw",
+            "kWh/m2yr",
+            "Domestic-hot-water energy-performance index",
+        ),
+        (
+            "ep_lighting",
+            "kWh/m2yr",
+            "Lighting energy-performance index",
+        ),
         ("co2_emissions", "kg/m2yr", "Specific CO2 emissions"),
-        ("renewable_share", "%", "Share of demand covered by renewables"),
-        ("energy_cost_index", "EUR/m2yr", "Estimated specific running cost"),
+        (
+            "renewable_share",
+            "%",
+            "Share of demand covered by renewables",
+        ),
+        (
+            "energy_cost_index",
+            "EUR/m2yr",
+            "Estimated specific running cost",
+        ),
     ] {
         defs.push(AttributeDef::numeric(name, unit, desc));
     }
@@ -169,9 +225,21 @@ pub fn standard_epc_schema() -> Arc<Schema> {
         ("n_floors", "", "Number of floors of the building"),
         ("floor_height", "m", "Average inter-floor height"),
         ("window_area_ratio", "", "Glazed over total facade surface"),
-        ("n_apartments", "", "Number of housing units in the building"),
-        ("shading_factor", "", "Average external shading reduction factor"),
-        ("thermal_bridge_factor", "", "Thermal-bridging surcharge factor"),
+        (
+            "n_apartments",
+            "",
+            "Number of housing units in the building",
+        ),
+        (
+            "shading_factor",
+            "",
+            "Average external shading reduction factor",
+        ),
+        (
+            "thermal_bridge_factor",
+            "",
+            "Thermal-bridging surcharge factor",
+        ),
     ] {
         defs.push(AttributeDef::numeric(name, unit, desc));
     }
@@ -179,7 +247,11 @@ pub fn standard_epc_schema() -> Arc<Schema> {
     // --- Numeric: envelope detail (3) ---
     for (name, unit, desc) in [
         ("roof_u_value", "W/m2K", "Average U-value of the roof"),
-        ("floor_u_value", "W/m2K", "Average U-value of the lowest floor"),
+        (
+            "floor_u_value",
+            "W/m2K",
+            "Average U-value of the lowest floor",
+        ),
         ("air_change_rate", "1/h", "Average air-change rate"),
     ] {
         defs.push(AttributeDef::numeric(name, unit, desc));
@@ -188,13 +260,21 @@ pub fn standard_epc_schema() -> Arc<Schema> {
     // --- Numeric: plant & subsystem efficiencies (9) ---
     for (name, unit, desc) in [
         (wk::ETA_GENERATION, "", "Generation-subsystem efficiency"),
-        (wk::ETA_DISTRIBUTION, "", "Distribution-subsystem efficiency"),
+        (
+            wk::ETA_DISTRIBUTION,
+            "",
+            "Distribution-subsystem efficiency",
+        ),
         (wk::ETA_EMISSION, "", "Emission-subsystem efficiency"),
         (wk::ETA_CONTROL, "", "Control-subsystem efficiency"),
         ("boiler_power", "kW", "Nominal generator power"),
         ("boiler_efficiency", "", "Nominal generator efficiency"),
         ("dhw_demand", "kWh/yr", "Annual domestic-hot-water demand"),
-        ("solar_thermal_area", "m2", "Installed solar-thermal collector area"),
+        (
+            "solar_thermal_area",
+            "m2",
+            "Installed solar-thermal collector area",
+        ),
         ("pv_power", "kW", "Installed photovoltaic peak power"),
     ] {
         defs.push(AttributeDef::numeric(name, unit, desc));
@@ -206,14 +286,21 @@ pub fn standard_epc_schema() -> Arc<Schema> {
         ("renovation_year", "", "Year of the last major renovation"),
         ("degree_days", "", "Heating degree-days of the location"),
         ("indoor_temp_setpoint", "C", "Heating set-point temperature"),
-        ("heating_hours", "h/day", "Daily heating-plant activation hours"),
+        (
+            "heating_hours",
+            "h/day",
+            "Daily heating-plant activation hours",
+        ),
     ] {
         defs.push(AttributeDef::numeric(name, unit, desc));
     }
 
     // --- Categorical: building & plant taxonomy (33) ---
     for (name, desc) in [
-        (wk::BUILDING_CATEGORY, "Intended use per DPR 412/93 (E.1.1 = permanent residence)"),
+        (
+            wk::BUILDING_CATEGORY,
+            "Intended use per DPR 412/93 (E.1.1 = permanent residence)",
+        ),
         (wk::EPC_CLASS, "Energy-performance class (A4..G)"),
         (wk::HEATING_FUEL, "Heating-system fuel"),
         ("dhw_fuel", "Domestic-hot-water fuel"),
@@ -262,7 +349,10 @@ pub fn standard_epc_schema() -> Arc<Schema> {
         ("has_roof_insulation", "Roof insulation present"),
         ("has_wall_insulation", "Wall insulation present"),
         ("has_floor_insulation", "Floor insulation present"),
-        ("has_mechanical_ventilation", "Mechanical ventilation present"),
+        (
+            "has_mechanical_ventilation",
+            "Mechanical ventilation present",
+        ),
         ("has_heat_recovery", "Ventilation heat recovery present"),
         ("has_bms", "Building management system present"),
         ("has_led_lighting", "Prevailing LED lighting"),
@@ -297,21 +387,37 @@ pub fn standard_epc_schema() -> Arc<Schema> {
         ("water_heating_location", "DHW generator placement"),
         ("chimney_type", "Flue/chimney type"),
         ("radiator_material", "Radiator material"),
-        ("pipe_insulation_level", "Distribution-pipe insulation level"),
+        (
+            "pipe_insulation_level",
+            "Distribution-pipe insulation level",
+        ),
         ("window_shutter_type", "Shutter/blind type"),
         ("entrance_orientation", "Entrance orientation"),
         ("stairwell_heated", "Stairwell heating condition"),
         ("party_wall_exposure", "Party-wall exposure condition"),
-        ("certificate_purpose", "Reason the EPC was issued (sale/rent/new)"),
-        ("previous_class", "Class in the previous certificate, if any"),
-        ("calculation_software", "Software used for the standard calculation"),
+        (
+            "certificate_purpose",
+            "Reason the EPC was issued (sale/rent/new)",
+        ),
+        (
+            "previous_class",
+            "Class in the previous certificate, if any",
+        ),
+        (
+            "calculation_software",
+            "Software used for the standard calculation",
+        ),
         ("data_quality_flag", "Certifier-declared input-data quality"),
     ] {
         defs.push(AttributeDef::categorical(name, desc));
     }
 
     let schema = Schema::new(defs).expect("standard schema has unique names");
-    debug_assert_eq!(schema.len(), 132, "standard schema must have 132 attributes");
+    debug_assert_eq!(
+        schema.len(),
+        132,
+        "standard schema must have 132 attributes"
+    );
     Arc::new(schema)
 }
 
@@ -332,7 +438,9 @@ mod tests {
     fn standard_schema_contains_case_study_attributes() {
         let s = standard_epc_schema();
         for name in wk::CASE_STUDY_FEATURES {
-            let def = s.def_by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            let def = s
+                .def_by_name(name)
+                .unwrap_or_else(|| panic!("missing {name}"));
             assert!(def.kind.is_numeric(), "{name} must be numeric");
         }
         assert!(s.def_by_name(wk::EPH).unwrap().kind.is_numeric());

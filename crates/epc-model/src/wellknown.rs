@@ -73,8 +73,7 @@ pub const HEATED_VOLUME: &str = "heated_volume";
 
 /// The five clustering features of the case study, in paper order:
 /// S/V, Uo, Uw, Sr, ETAH.
-pub const CASE_STUDY_FEATURES: [&str; 5] =
-    [ASPECT_RATIO, U_OPAQUE, U_WINDOWS, HEAT_SURFACE, ETA_H];
+pub const CASE_STUDY_FEATURES: [&str; 5] = [ASPECT_RATIO, U_OPAQUE, U_WINDOWS, HEAT_SURFACE, ETA_H];
 
 /// The attributes the paper's expert-driven univariate analysis covers:
 /// thermo-physical characteristics plus heating-subsystem efficiencies.
@@ -97,7 +96,13 @@ mod tests {
     fn case_study_features_match_paper_order() {
         assert_eq!(
             CASE_STUDY_FEATURES,
-            ["aspect_ratio", "u_opaque", "u_windows", "heat_surface", "eta_h"]
+            [
+                "aspect_ratio",
+                "u_opaque",
+                "u_windows",
+                "heat_surface",
+                "eta_h"
+            ]
         );
     }
 

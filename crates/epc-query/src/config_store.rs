@@ -82,7 +82,6 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     #[derive(Debug, Clone, PartialEq, Eq, Hash)]
     enum Method {
@@ -130,20 +129,22 @@ mod tests {
 
     #[test]
     fn concurrent_recording_is_safe_and_lossless() {
-        let store = Arc::new(ExpertConfigStore::new());
-        let mut handles = Vec::new();
-        for t in 0..8 {
-            let store = Arc::clone(&store);
-            handles.push(std::thread::spawn(move || {
-                for _ in 0..100 {
-                    let m = if t % 2 == 0 { Method::Gesd } else { Method::Mad };
-                    store.record("eph", m);
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
+        let store = ExpertConfigStore::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let store = &store;
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        let m = if t % 2 == 0 {
+                            Method::Gesd
+                        } else {
+                            Method::Mad
+                        };
+                        store.record("eph", m);
+                    }
+                });
+            }
+        });
         assert_eq!(store.n_records("eph"), 800);
         // 4 threads × 100 each → tie between Gesd and Mad broken by map
         // iteration; either is acceptable, but the suggestion must exist.

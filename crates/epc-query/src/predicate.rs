@@ -232,7 +232,10 @@ mod tests {
     #[test]
     fn num_range_both_bounds() {
         let ds = dataset();
-        assert_eq!(rows(&Predicate::between("eph", 100.0, 260.0), &ds), vec![0, 2]);
+        assert_eq!(
+            rows(&Predicate::between("eph", 100.0, 260.0), &ds),
+            vec![0, 2]
+        );
     }
 
     #[test]
@@ -267,7 +270,10 @@ mod tests {
     #[test]
     fn cat_eq_and_in() {
         let ds = dataset();
-        assert_eq!(rows(&Predicate::eq("category", "E.1.1"), &ds), vec![0, 1, 3]);
+        assert_eq!(
+            rows(&Predicate::eq("category", "E.1.1"), &ds),
+            vec![0, 1, 3]
+        );
         let p = Predicate::CatIn {
             attr: "category".into(),
             values: vec!["E.8".into(), "E.2".into()],

@@ -107,8 +107,11 @@ mod tests {
         for i in 0..20 {
             let mut r = ds.empty_record();
             r.set(AttrId(0), Value::num(i as f64)).unwrap();
-            r.set(AttrId(1), Value::cat(if i % 2 == 0 { "even" } else { "odd" }))
-                .unwrap();
+            r.set(
+                AttrId(1),
+                Value::cat(if i % 2 == 0 { "even" } else { "odd" }),
+            )
+            .unwrap();
             ds.push_record(r).unwrap();
         }
         ds
@@ -145,7 +148,10 @@ mod tests {
         let ds = dataset();
         let q = Query::filtered(Predicate::eq("ghost", "x"));
         let err = q.run(&ds).unwrap_err();
-        assert!(matches!(err, QueryError::Model(ModelError::UnknownAttribute(_))));
+        assert!(matches!(
+            err,
+            QueryError::Model(ModelError::UnknownAttribute(_))
+        ));
         assert!(err.to_string().contains("ghost"));
     }
 

@@ -112,8 +112,7 @@ pub fn describe_text(dataset: &Dataset) -> String {
                 distinct,
                 mode,
             } => {
-                let (mode_label, mode_count) =
-                    mode.unwrap_or_else(|| ("-".to_owned(), 0));
+                let (mode_label, mode_count) = mode.unwrap_or_else(|| ("-".to_owned(), 0));
                 out.push_str(&format!(
                     "{name:<28} {missing:>8} {:>10} {:>12} {distinct:>12} {:>12}\n",
                     "categorical",
@@ -130,7 +129,10 @@ fn truncate(s: &str, max: usize) -> String {
     if s.chars().count() <= max {
         s.to_owned()
     } else {
-        s.chars().take(max - 1).chain(std::iter::once('…')).collect()
+        s.chars()
+            .take(max - 1)
+            .chain(std::iter::once('…'))
+            .collect()
     }
 }
 
@@ -176,9 +178,7 @@ mod tests {
     fn numeric_summary_values() {
         let summaries = describe(&dataset());
         match &summaries[0] {
-            AttributeSummary::Numeric {
-                missing, stats, ..
-            } => {
+            AttributeSummary::Numeric { missing, stats, .. } => {
                 assert_eq!(*missing, 1);
                 let st = stats.as_ref().unwrap();
                 assert_eq!(st.count, 3);
@@ -218,9 +218,7 @@ mod tests {
 
     #[test]
     fn empty_dataset_reports_dashes() {
-        let schema = Arc::new(
-            Schema::new(vec![AttributeDef::numeric("x", "", "")]).unwrap(),
-        );
+        let schema = Arc::new(Schema::new(vec![AttributeDef::numeric("x", "", "")]).unwrap());
         let ds = Dataset::new(schema);
         let text = describe_text(&ds);
         assert!(text.contains("0 rows"));

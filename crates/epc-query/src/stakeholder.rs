@@ -91,7 +91,11 @@ pub fn default_report_spec(stakeholder: Stakeholder) -> ReportSpec {
         // distributions at neighbourhood level.
         Stakeholder::Citizen => ReportSpec {
             stakeholder,
-            attributes: vec![wk::EPH.into(), wk::EPC_CLASS.into(), wk::HEAT_SURFACE.into()],
+            attributes: vec![
+                wk::EPH.into(),
+                wk::EPC_CLASS.into(),
+                wk::HEAT_SURFACE.into(),
+            ],
             response: wk::EPH.into(),
             reports: vec![
                 ReportKind::ChoroplethMap,
@@ -104,7 +108,10 @@ pub fn default_report_spec(stakeholder: Stakeholder) -> ReportSpec {
         // and rules at district level.
         Stakeholder::PublicAdministration => ReportSpec {
             stakeholder,
-            attributes: wk::CASE_STUDY_FEATURES.iter().map(|s| s.to_string()).collect(),
+            attributes: wk::CASE_STUDY_FEATURES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             response: wk::EPH.into(),
             reports: vec![
                 ReportKind::CorrelationMatrix,
@@ -159,7 +166,13 @@ mod tests {
         let spec = default_report_spec(Stakeholder::PublicAdministration);
         assert_eq!(
             spec.attributes,
-            vec!["aspect_ratio", "u_opaque", "u_windows", "heat_surface", "eta_h"]
+            vec![
+                "aspect_ratio",
+                "u_opaque",
+                "u_windows",
+                "heat_surface",
+                "eta_h"
+            ]
         );
         assert_eq!(spec.response, "eph");
         assert_eq!(spec.granularity, Granularity::District);
@@ -199,7 +212,10 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(Stakeholder::Citizen.name(), "citizen");
-        assert_eq!(Stakeholder::PublicAdministration.name(), "public administration");
+        assert_eq!(
+            Stakeholder::PublicAdministration.name(),
+            "public administration"
+        );
         assert_eq!(Stakeholder::EnergyScientist.name(), "energy scientist");
     }
 }

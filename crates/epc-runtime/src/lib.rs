@@ -1,0 +1,346 @@
+//! # epc-runtime
+//!
+//! The execution-runtime layer of INDICE: deterministic data-parallel
+//! primitives plus per-stage pipeline instrumentation.
+//!
+//! The paper's Figure-1 architecture is three sequential blocks
+//! (pre-processing → analytics → dashboards). Scaling that architecture to
+//! production traffic means running each block's hot loops data-parallel —
+//! but visual-analytics outputs must stay *reproducible*: the same
+//! collection must yield byte-identical dashboards regardless of how many
+//! worker threads happen to be available.
+//!
+//! This crate guarantees that with two rules:
+//!
+//! 1. **Order-preserving maps** — [`par_map`] / [`par_map_indexed`] split
+//!    the input into contiguous chunks, process chunks on scoped threads,
+//!    and reassemble results in input order. A pure per-item function
+//!    therefore produces exactly the sequential result.
+//! 2. **Fixed-shape reductions** — [`par_reduce`] folds *fixed-size*
+//!    chunks (the chunk boundaries depend only on `chunk_size`, never on
+//!    the thread count) and combines the partials strictly in chunk-index
+//!    order. Even non-associative float accumulation is then bitwise
+//!    identical for any `threads`, including the sequential fallback at
+//!    `threads = 1`, because the operation tree never changes shape.
+//!
+//! [`StageTimer`] and [`PipelineReport`] capture per-stage wall time and
+//! record counts so benches and the CLI can report where time goes.
+
+mod report;
+
+pub use report::{PipelineReport, StageReport, StageTimer};
+
+use std::num::NonZeroUsize;
+
+/// Environment variable consulted by [`RuntimeConfig::from_env`].
+pub const THREADS_ENV_VAR: &str = "INDICE_THREADS";
+
+/// Execution configuration shared by every parallel kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Worker-thread budget; `1` means fully sequential execution.
+    pub threads: usize,
+}
+
+impl RuntimeConfig {
+    /// Configuration with exactly `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        RuntimeConfig {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Fully sequential execution.
+    pub fn sequential() -> Self {
+        RuntimeConfig { threads: 1 }
+    }
+
+    /// Reads the thread budget from the `INDICE_THREADS` environment
+    /// variable; unset, empty, or unparsable values fall back to the
+    /// machine default. `INDICE_THREADS=1` forces sequential execution.
+    pub fn from_env() -> Self {
+        match std::env::var(THREADS_ENV_VAR) {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => RuntimeConfig::new(n),
+                _ => RuntimeConfig::default(),
+            },
+            Err(_) => RuntimeConfig::default(),
+        }
+    }
+
+    /// `true` when no worker threads will be spawned.
+    pub fn is_sequential(&self) -> bool {
+        self.threads <= 1
+    }
+}
+
+impl Default for RuntimeConfig {
+    /// One worker per available hardware thread (capped at 16 — the
+    /// pipeline's kernels stop scaling well past that on one collection).
+    fn default() -> Self {
+        let hw = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        RuntimeConfig::new(hw.min(16))
+    }
+}
+
+/// Joins a worker, propagating its panic into the caller.
+fn join_worker<U>(handle: std::thread::ScopedJoinHandle<'_, U>) -> U {
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Maps `f` over `items`, preserving input order in the output.
+///
+/// The input is split into `threads` contiguous chunks processed on scoped
+/// threads ([`std::thread::scope`]), and chunk results are concatenated in
+/// chunk order — so for a pure `f` the output is exactly
+/// `items.iter().map(f).collect()` regardless of the thread budget.
+pub fn par_map<T, U, F>(config: &RuntimeConfig, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = effective_threads(config, items.len());
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<U>>()))
+            .collect();
+        for handle in handles {
+            out.extend(join_worker(handle));
+        }
+    });
+    out
+}
+
+/// Order-preserving map for *coarse* tasks: few items, each expensive
+/// (a region to mine, a dashboard zoom level to render).
+///
+/// Unlike [`par_map`], no per-thread minimum item count applies — up to
+/// `threads` items run concurrently even when the input holds only a
+/// handful. Results are still concatenated in input order, so a pure `f`
+/// yields exactly the sequential output.
+pub fn par_map_coarse<T, U, F>(config: &RuntimeConfig, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = config.threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<U>>()))
+            .collect();
+        for handle in handles {
+            out.extend(join_worker(handle));
+        }
+    });
+    out
+}
+
+/// Like [`par_map`], passing each item's input index to `f`.
+pub fn par_map_indexed<T, U, F>(config: &RuntimeConfig, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = effective_threads(config, items.len());
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(chunk_idx, chunk)| {
+                let base = chunk_idx * chunk_len;
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(offset, t)| f(base + offset, t))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(join_worker(handle));
+        }
+    });
+    out
+}
+
+/// Reduces `items` through fixed-size chunk partials combined in chunk
+/// order.
+///
+/// Each chunk of `chunk_size` consecutive items is folded independently
+/// (`init()` then `fold` per item, left to right); the partials are then
+/// combined left to right in chunk-index order. Because the chunk
+/// decomposition depends only on `chunk_size`, the full operation tree —
+/// and therefore the result, even for non-associative float math — is
+/// identical for every thread budget, including `threads = 1`.
+pub fn par_reduce<T, A, I, F, C>(
+    config: &RuntimeConfig,
+    items: &[T],
+    chunk_size: usize,
+    init: I,
+    fold: F,
+    combine: C,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, &T) -> A + Sync,
+    C: Fn(A, A) -> A,
+{
+    let chunk_size = chunk_size.max(1);
+    if items.is_empty() {
+        return init();
+    }
+    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+    let partials = par_map(config, &chunks, |chunk| chunk.iter().fold(init(), &fold));
+    partials
+        .into_iter()
+        .reduce(combine)
+        .expect("non-empty input yields at least one partial")
+}
+
+/// Thread count actually worth spawning for `len` items.
+fn effective_threads(config: &RuntimeConfig, len: usize) -> usize {
+    // Spawning a thread for a handful of items costs more than it saves.
+    const MIN_ITEMS_PER_THREAD: usize = 16;
+    config
+        .threads
+        .min(len / MIN_ITEMS_PER_THREAD)
+        .clamp(1, len.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfgs() -> Vec<RuntimeConfig> {
+        vec![
+            RuntimeConfig::sequential(),
+            RuntimeConfig::new(2),
+            RuntimeConfig::new(3),
+            RuntimeConfig::new(8),
+        ]
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for cfg in cfgs() {
+            assert_eq!(par_map(&cfg, &items, |x| x * 3 + 1), expected, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_sees_global_indices() {
+        let items: Vec<u32> = vec![7; 777];
+        for cfg in cfgs() {
+            let out = par_map_indexed(&cfg, &items, |i, &v| i as u32 + v);
+            let expected: Vec<u32> = (0..777).map(|i| i + 7).collect();
+            assert_eq!(out, expected, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn par_map_coarse_runs_tiny_inputs_in_parallel() {
+        // 4 items is below par_map's per-thread minimum, but coarse maps
+        // must still distribute them.
+        let items: Vec<u64> = vec![10, 20, 30, 40];
+        for cfg in cfgs() {
+            let out = par_map_coarse(&cfg, &items, |x| x + 1);
+            assert_eq!(out, vec![11, 21, 31, 41], "{cfg:?}");
+        }
+        assert!(par_map_coarse(&RuntimeConfig::new(8), &Vec::<u8>::new(), |x| *x).is_empty());
+    }
+
+    #[test]
+    fn par_reduce_is_bitwise_stable_for_floats() {
+        // Values chosen so naive reassociation visibly changes the sum.
+        let items: Vec<f64> = (0..10_000)
+            .map(|i| (i as f64).sin() * 1e10 + 1e-10 * i as f64)
+            .collect();
+        let reference = par_reduce(
+            &RuntimeConfig::sequential(),
+            &items,
+            512,
+            || 0.0f64,
+            |a, x| a + x,
+            |a, b| a + b,
+        );
+        for cfg in cfgs() {
+            let got = par_reduce(&cfg, &items, 512, || 0.0f64, |a, x| a + x, |a, b| a + b);
+            assert_eq!(got.to_bits(), reference.to_bits(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_empty_returns_init() {
+        let items: Vec<u64> = vec![];
+        let got = par_reduce(
+            &RuntimeConfig::new(4),
+            &items,
+            64,
+            || 42u64,
+            |a, x| a + x,
+            |a, b| a + b,
+        );
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn par_map_empty_and_tiny_inputs() {
+        let empty: Vec<u8> = vec![];
+        assert!(par_map(&RuntimeConfig::new(8), &empty, |x| *x).is_empty());
+        let tiny = vec![1u8, 2, 3];
+        assert_eq!(
+            par_map(&RuntimeConfig::new(8), &tiny, |x| x * 2),
+            vec![2, 4, 6]
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..1000).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(&RuntimeConfig::new(4), &items, |&x| {
+                assert!(x != 500, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn config_parsing() {
+        assert_eq!(RuntimeConfig::new(0).threads, 1);
+        assert!(RuntimeConfig::sequential().is_sequential());
+        assert!(RuntimeConfig::default().threads >= 1);
+    }
+}

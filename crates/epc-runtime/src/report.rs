@@ -1,0 +1,134 @@
+//! Per-stage instrumentation: wall time and record counts.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Timing and throughput of one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageReport {
+    /// Stage name (e.g. `preprocess`).
+    pub name: String,
+    /// Wall-clock duration of the stage.
+    pub wall: Duration,
+    /// Records entering the stage.
+    pub records_in: usize,
+    /// Records leaving the stage (after filtering/aggregation).
+    pub records_out: usize,
+}
+
+/// Running stopwatch for one stage; finish it into a [`StageReport`].
+#[derive(Debug)]
+pub struct StageTimer {
+    name: String,
+    start: Instant,
+}
+
+impl StageTimer {
+    /// Starts timing a stage.
+    pub fn start(name: impl Into<String>) -> Self {
+        StageTimer {
+            name: name.into(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Stops the clock and records throughput.
+    pub fn finish(self, records_in: usize, records_out: usize) -> StageReport {
+        StageReport {
+            name: self.name,
+            wall: self.start.elapsed(),
+            records_in,
+            records_out,
+        }
+    }
+}
+
+/// Ordered collection of stage reports for one pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PipelineReport {
+    /// Thread budget the run executed with.
+    pub threads: usize,
+    /// Stage reports in execution order.
+    pub stages: Vec<StageReport>,
+}
+
+impl PipelineReport {
+    /// Empty report for a run at the given thread budget.
+    pub fn new(threads: usize) -> Self {
+        PipelineReport {
+            threads,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Appends a finished stage.
+    pub fn push(&mut self, stage: StageReport) {
+        self.stages.push(stage);
+    }
+
+    /// Sum of stage wall times.
+    pub fn total_wall(&self) -> Duration {
+        self.stages.iter().map(|s| s.wall).sum()
+    }
+
+    /// Looks up a stage by name.
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline report (threads = {}, total = {:.1?}):",
+            self.threads,
+            self.total_wall()
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  {:<12} {:>10.1?}   {:>7} in → {:>7} out",
+                s.name, s.wall, s.records_in, s.records_out
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_produces_report() {
+        let t = StageTimer::start("preprocess");
+        std::thread::sleep(Duration::from_millis(2));
+        let r = t.finish(100, 90);
+        assert_eq!(r.name, "preprocess");
+        assert!(r.wall >= Duration::from_millis(2));
+        assert_eq!((r.records_in, r.records_out), (100, 90));
+    }
+
+    #[test]
+    fn report_accumulates_and_displays() {
+        let mut rep = PipelineReport::new(4);
+        rep.push(StageReport {
+            name: "a".into(),
+            wall: Duration::from_millis(5),
+            records_in: 10,
+            records_out: 8,
+        });
+        rep.push(StageReport {
+            name: "b".into(),
+            wall: Duration::from_millis(7),
+            records_in: 8,
+            records_out: 8,
+        });
+        assert_eq!(rep.total_wall(), Duration::from_millis(12));
+        assert_eq!(rep.stage("b").unwrap().records_in, 8);
+        let text = rep.to_string();
+        assert!(text.contains("threads = 4"));
+        assert!(text.contains('a') && text.contains('b'));
+    }
+}

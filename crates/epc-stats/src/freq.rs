@@ -76,9 +76,27 @@ mod tests {
     fn table_is_sorted_desc_then_lexicographic() {
         let data = ["b", "a", "b", "c", "a", "b"];
         let t = frequency_table(data.iter().copied());
-        assert_eq!(t[0], FreqEntry { label: "b".into(), count: 3 });
-        assert_eq!(t[1], FreqEntry { label: "a".into(), count: 2 });
-        assert_eq!(t[2], FreqEntry { label: "c".into(), count: 1 });
+        assert_eq!(
+            t[0],
+            FreqEntry {
+                label: "b".into(),
+                count: 3
+            }
+        );
+        assert_eq!(
+            t[1],
+            FreqEntry {
+                label: "a".into(),
+                count: 2
+            }
+        );
+        assert_eq!(
+            t[2],
+            FreqEntry {
+                label: "c".into(),
+                count: 1
+            }
+        );
     }
 
     #[test]

@@ -76,14 +76,15 @@ pub fn gesd_test(data: &[f64], k: usize, alpha: f64) -> Option<GesdReport> {
             // Constant remainder: no further outliers distinguishable.
             break;
         }
-        let (pos, &(orig_idx, x)) = remaining
-            .iter()
-            .enumerate()
-            .max_by(|(_, (_, a)), (_, (_, b))| {
-                ((a - m).abs())
-                    .partial_cmp(&(b - m).abs())
-                    .expect("NaN in gESD input")
-            })?;
+        let (pos, &(orig_idx, x)) =
+            remaining
+                .iter()
+                .enumerate()
+                .max_by(|(_, (_, a)), (_, (_, b))| {
+                    ((a - m).abs())
+                        .partial_cmp(&(b - m).abs())
+                        .expect("NaN in gESD input")
+                })?;
         let r = (x - m).abs() / s;
         let lambda = gesd_lambda(n, i, alpha);
         steps.push(GesdStep {
@@ -148,7 +149,11 @@ mod tests {
     fn nist_reference_statistics() {
         // NIST: R1 = 3.118, λ1 = 3.158; R3 = 3.179, λ3 = 3.144
         let report = gesd_test(&rosner_data(), 10, 0.05).unwrap();
-        assert!((report.steps[0].r - 3.118).abs() < 5e-3, "R1 = {}", report.steps[0].r);
+        assert!(
+            (report.steps[0].r - 3.118).abs() < 5e-3,
+            "R1 = {}",
+            report.steps[0].r
+        );
         assert!((report.steps[0].lambda - 3.158).abs() < 5e-3);
         assert!((report.steps[2].r - 3.179).abs() < 5e-3);
         assert!((report.steps[2].lambda - 3.144).abs() < 5e-3);

@@ -82,7 +82,10 @@ mod tests {
         let z = modified_z_scores(&data);
         assert_eq!(z[2], 0.0);
         assert!(z[0] < 0.0 && z[4] > 0.0);
-        assert!((z[0] + z[4]).abs() < 1e-12, "symmetric data → symmetric scores");
+        assert!(
+            (z[0] + z[4]).abs() < 1e-12,
+            "symmetric data → symmetric scores"
+        );
     }
 
     #[test]

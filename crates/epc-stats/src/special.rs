@@ -181,11 +181,7 @@ mod tests {
         let facts: [f64; 7] = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
         for (n, &f) in facts.iter().enumerate() {
             let lg = ln_gamma((n + 1) as f64);
-            assert!(
-                (lg - f.ln()).abs() < 1e-10,
-                "Γ({}) mismatch: {lg}",
-                n + 1
-            );
+            assert!((lg - f.ln()).abs() < 1e-10, "Γ({}) mismatch: {lg}", n + 1);
         }
     }
 
@@ -238,11 +234,11 @@ mod tests {
         #[allow(clippy::unnecessary_cast)]
         let cases = [
             // (t, df, pt)
-            (1.0, 1.0, 0.75),                 // Cauchy: arctan
-            (2.0, 10.0, 0.963_306_061_8),     // pt(2, 10)
-            (1.812_461, 10.0, 0.95),          // qt(0.95, 10) = 1.812461
-            (2.570_582, 5.0, 0.975),          // qt(0.975, 5)
-            (-1.644_854, 1e6, 0.05),          // ~normal for huge df
+            (1.0, 1.0, 0.75),             // Cauchy: arctan
+            (2.0, 10.0, 0.963_306_061_8), // pt(2, 10)
+            (1.812_461, 10.0, 0.95),      // qt(0.95, 10) = 1.812461
+            (2.570_582, 5.0, 0.975),      // qt(0.975, 5)
+            (-1.644_854, 1e6, 0.05),      // ~normal for huge df
         ];
         for (t, df, p) in cases {
             let got = t_cdf(t, df);

@@ -78,12 +78,7 @@ impl Archetype {
 
     /// Draws a heating fuel label.
     pub fn sample_fuel(&self, rng: &mut StdRng) -> &'static str {
-        const FUELS: [&str; 4] = [
-            "natural gas",
-            "district heating",
-            "oil",
-            "heat pump",
-        ];
+        const FUELS: [&str; 4] = ["natural gas", "district heating", "oil", "heat pump"];
         let draw: f64 = rng.gen();
         let mut acc = 0.0;
         for (i, &p) in self.fuel_probs.iter().enumerate() {
@@ -102,10 +97,26 @@ pub const ARCHETYPES: [Archetype; 6] = [
         name: "historic masonry",
         years: (1880, 1918),
         period_label: "before 1919",
-        aspect_ratio: Gauss { mean: 0.62, std: 0.10, clamp: (0.25, 1.10) },
-        u_opaque: Gauss { mean: 0.95, std: 0.10, clamp: (0.15, 1.10) },
-        u_windows: Gauss { mean: 4.40, std: 0.45, clamp: (1.10, 5.50) },
-        eta_h: Gauss { mean: 0.62, std: 0.08, clamp: (0.20, 1.10) },
+        aspect_ratio: Gauss {
+            mean: 0.62,
+            std: 0.10,
+            clamp: (0.25, 1.10),
+        },
+        u_opaque: Gauss {
+            mean: 0.95,
+            std: 0.10,
+            clamp: (0.15, 1.10),
+        },
+        u_windows: Gauss {
+            mean: 4.40,
+            std: 0.45,
+            clamp: (1.10, 5.50),
+        },
+        eta_h: Gauss {
+            mean: 0.62,
+            std: 0.08,
+            clamp: (0.20, 1.10),
+        },
         heat_surface_ln: (4.55, 0.45),
         insulation_prob: 0.08,
         condensing_prob: 0.10,
@@ -116,10 +127,26 @@ pub const ARCHETYPES: [Archetype; 6] = [
         name: "interwar",
         years: (1919, 1945),
         period_label: "1919-1945",
-        aspect_ratio: Gauss { mean: 0.58, std: 0.09, clamp: (0.25, 1.10) },
-        u_opaque: Gauss { mean: 0.88, std: 0.10, clamp: (0.15, 1.10) },
-        u_windows: Gauss { mean: 4.00, std: 0.45, clamp: (1.10, 5.50) },
-        eta_h: Gauss { mean: 0.66, std: 0.08, clamp: (0.20, 1.10) },
+        aspect_ratio: Gauss {
+            mean: 0.58,
+            std: 0.09,
+            clamp: (0.25, 1.10),
+        },
+        u_opaque: Gauss {
+            mean: 0.88,
+            std: 0.10,
+            clamp: (0.15, 1.10),
+        },
+        u_windows: Gauss {
+            mean: 4.00,
+            std: 0.45,
+            clamp: (1.10, 5.50),
+        },
+        eta_h: Gauss {
+            mean: 0.66,
+            std: 0.08,
+            clamp: (0.20, 1.10),
+        },
         heat_surface_ln: (4.45, 0.42),
         insulation_prob: 0.12,
         condensing_prob: 0.14,
@@ -130,10 +157,26 @@ pub const ARCHETYPES: [Archetype; 6] = [
         name: "postwar boom slab",
         years: (1946, 1975),
         period_label: "1946-1975",
-        aspect_ratio: Gauss { mean: 0.48, std: 0.08, clamp: (0.25, 1.10) },
-        u_opaque: Gauss { mean: 0.80, std: 0.11, clamp: (0.15, 1.10) },
-        u_windows: Gauss { mean: 3.40, std: 0.50, clamp: (1.10, 5.50) },
-        eta_h: Gauss { mean: 0.72, std: 0.08, clamp: (0.20, 1.10) },
+        aspect_ratio: Gauss {
+            mean: 0.48,
+            std: 0.08,
+            clamp: (0.25, 1.10),
+        },
+        u_opaque: Gauss {
+            mean: 0.80,
+            std: 0.11,
+            clamp: (0.15, 1.10),
+        },
+        u_windows: Gauss {
+            mean: 3.40,
+            std: 0.50,
+            clamp: (1.10, 5.50),
+        },
+        eta_h: Gauss {
+            mean: 0.72,
+            std: 0.08,
+            clamp: (0.20, 1.10),
+        },
         heat_surface_ln: (4.35, 0.40),
         insulation_prob: 0.22,
         condensing_prob: 0.22,
@@ -144,10 +187,26 @@ pub const ARCHETYPES: [Archetype; 6] = [
         name: "late 20th century",
         years: (1976, 1990),
         period_label: "1976-1990",
-        aspect_ratio: Gauss { mean: 0.45, std: 0.08, clamp: (0.25, 1.10) },
-        u_opaque: Gauss { mean: 0.62, std: 0.10, clamp: (0.15, 1.10) },
-        u_windows: Gauss { mean: 2.80, std: 0.40, clamp: (1.10, 5.50) },
-        eta_h: Gauss { mean: 0.78, std: 0.07, clamp: (0.20, 1.10) },
+        aspect_ratio: Gauss {
+            mean: 0.45,
+            std: 0.08,
+            clamp: (0.25, 1.10),
+        },
+        u_opaque: Gauss {
+            mean: 0.62,
+            std: 0.10,
+            clamp: (0.15, 1.10),
+        },
+        u_windows: Gauss {
+            mean: 2.80,
+            std: 0.40,
+            clamp: (1.10, 5.50),
+        },
+        eta_h: Gauss {
+            mean: 0.78,
+            std: 0.07,
+            clamp: (0.20, 1.10),
+        },
         heat_surface_ln: (4.40, 0.40),
         insulation_prob: 0.45,
         condensing_prob: 0.35,
@@ -158,10 +217,26 @@ pub const ARCHETYPES: [Archetype; 6] = [
         name: "transitional",
         years: (1991, 2005),
         period_label: "1991-2005",
-        aspect_ratio: Gauss { mean: 0.42, std: 0.07, clamp: (0.25, 1.10) },
-        u_opaque: Gauss { mean: 0.48, std: 0.09, clamp: (0.15, 1.10) },
-        u_windows: Gauss { mean: 2.30, std: 0.35, clamp: (1.10, 5.50) },
-        eta_h: Gauss { mean: 0.84, std: 0.06, clamp: (0.20, 1.10) },
+        aspect_ratio: Gauss {
+            mean: 0.42,
+            std: 0.07,
+            clamp: (0.25, 1.10),
+        },
+        u_opaque: Gauss {
+            mean: 0.48,
+            std: 0.09,
+            clamp: (0.15, 1.10),
+        },
+        u_windows: Gauss {
+            mean: 2.30,
+            std: 0.35,
+            clamp: (1.10, 5.50),
+        },
+        eta_h: Gauss {
+            mean: 0.84,
+            std: 0.06,
+            clamp: (0.20, 1.10),
+        },
         heat_surface_ln: (4.45, 0.38),
         insulation_prob: 0.70,
         condensing_prob: 0.55,
@@ -172,10 +247,26 @@ pub const ARCHETYPES: [Archetype; 6] = [
         name: "modern efficient",
         years: (2006, 2018),
         period_label: "after 2005",
-        aspect_ratio: Gauss { mean: 0.38, std: 0.07, clamp: (0.25, 1.10) },
-        u_opaque: Gauss { mean: 0.30, std: 0.07, clamp: (0.15, 1.10) },
-        u_windows: Gauss { mean: 1.60, std: 0.25, clamp: (1.10, 5.50) },
-        eta_h: Gauss { mean: 0.92, std: 0.06, clamp: (0.20, 1.10) },
+        aspect_ratio: Gauss {
+            mean: 0.38,
+            std: 0.07,
+            clamp: (0.25, 1.10),
+        },
+        u_opaque: Gauss {
+            mean: 0.30,
+            std: 0.07,
+            clamp: (0.15, 1.10),
+        },
+        u_windows: Gauss {
+            mean: 1.60,
+            std: 0.25,
+            clamp: (1.10, 5.50),
+        },
+        eta_h: Gauss {
+            mean: 0.92,
+            std: 0.06,
+            clamp: (0.20, 1.10),
+        },
         heat_surface_ln: (4.50, 0.38),
         insulation_prob: 0.97,
         condensing_prob: 0.90,
@@ -287,13 +378,7 @@ mod tests {
             let f1 = a.sample_fuel(&mut rng1);
             let f2 = a.sample_fuel(&mut rng2);
             assert_eq!(f1, f2);
-            assert!([
-                "natural gas",
-                "district heating",
-                "oil",
-                "heat pump"
-            ]
-            .contains(&f1));
+            assert!(["natural gas", "district heating", "oil", "heat pump"].contains(&f1));
         }
     }
 

@@ -7,7 +7,9 @@
 //! ones towards modern construction — which is exactly the pattern the
 //! choropleth and cluster-marker maps are supposed to reveal.
 
-use crate::archetype::{epc_class, eph_model, Archetype, ArchetypeId, Gauss, ARCHETYPES, TURIN_DEGREE_DAYS};
+use crate::archetype::{
+    epc_class, eph_model, Archetype, ArchetypeId, Gauss, ARCHETYPES, TURIN_DEGREE_DAYS,
+};
 use crate::city::{CityConfig, CityPlan};
 use epc_geo::point::GeoPoint;
 use epc_geo::streetmap::StreetEntry;
@@ -113,7 +115,9 @@ impl EpcGenerator {
             let arche_id = sample_archetype(radial, &mut rng);
             let arche = &ARCHETYPES[arche_id];
             let record = self.make_record(&dataset, i, entry, arche, &mut rng);
-            dataset.push_record(record).expect("generated record is valid");
+            dataset
+                .push_record(record)
+                .expect("generated record is valid");
 
             truth.archetypes.push(arche_id);
             truth.streets.push(entry.street.clone());
@@ -159,17 +163,32 @@ impl EpcGenerator {
         let wall_retrofit = rng.gen::<f64>() < arche.insulation_prob.max(0.15);
         let boiler_retrofit = rng.gen::<f64>() < arche.condensing_prob.max(0.25);
         let uo = if wall_retrofit {
-            Gauss { mean: 0.32, std: 0.08, clamp: (0.15, 1.10) }.sample(rng)
+            Gauss {
+                mean: 0.32,
+                std: 0.08,
+                clamp: (0.15, 1.10),
+            }
+            .sample(rng)
         } else {
             arche.u_opaque.sample(rng)
         };
         let uw = if window_retrofit {
-            Gauss { mean: 1.75, std: 0.30, clamp: (1.10, 5.50) }.sample(rng)
+            Gauss {
+                mean: 1.75,
+                std: 0.30,
+                clamp: (1.10, 5.50),
+            }
+            .sample(rng)
         } else {
             arche.u_windows.sample(rng)
         };
         let eta_h = if boiler_retrofit {
-            Gauss { mean: 0.90, std: 0.06, clamp: (0.20, 1.10) }.sample(rng)
+            Gauss {
+                mean: 0.90,
+                std: 0.06,
+                clamp: (0.20, 1.10),
+            }
+            .sample(rng)
         } else {
             arche.eta_h.sample(rng)
         };
@@ -179,14 +198,34 @@ impl EpcGenerator {
         let eph = round1((eph_model(sv, uo, uw, eta_h) * eph_noise).clamp(10.0, 500.0));
 
         // --- Identification & geography ---
-        set(&mut rec, wk::CERTIFICATE_ID, Value::cat(format!("EPC-{i:06}")));
+        set(
+            &mut rec,
+            wk::CERTIFICATE_ID,
+            Value::cat(format!("EPC-{i:06}")),
+        );
         set(&mut rec, wk::ADDRESS, Value::cat(entry.street.clone()));
-        set(&mut rec, wk::HOUSE_NUMBER, Value::cat(entry.house_number.clone()));
+        set(
+            &mut rec,
+            wk::HOUSE_NUMBER,
+            Value::cat(entry.house_number.clone()),
+        );
         set(&mut rec, wk::ZIP_CODE, Value::cat(entry.zip.clone()));
-        set(&mut rec, wk::CITY, Value::cat(self.config.city.name.clone()));
+        set(
+            &mut rec,
+            wk::CITY,
+            Value::cat(self.config.city.name.clone()),
+        );
         set(&mut rec, wk::DISTRICT, Value::cat(entry.district.clone()));
-        set(&mut rec, wk::NEIGHBOURHOOD, Value::cat(entry.neighbourhood.clone()));
-        set(&mut rec, wk::ISSUE_YEAR, Value::cat(format!("{}", 2016 + (i % 3))));
+        set(
+            &mut rec,
+            wk::NEIGHBOURHOOD,
+            Value::cat(entry.neighbourhood.clone()),
+        );
+        set(
+            &mut rec,
+            wk::ISSUE_YEAR,
+            Value::cat(format!("{}", 2016 + (i % 3))),
+        );
         set(&mut rec, wk::LATITUDE, Value::num(entry.point.lat));
         set(&mut rec, wk::LONGITUDE, Value::num(entry.point.lon));
 
@@ -215,13 +254,29 @@ impl EpcGenerator {
             "oil" => 0.28,
             _ => 0.10,
         };
-        set(&mut rec, wk::EP_GLOBAL, Value::num(round1(eph + ep_dhw + 0.3 * ep_cooling)));
+        set(
+            &mut rec,
+            wk::EP_GLOBAL,
+            Value::num(round1(eph + ep_dhw + 0.3 * ep_cooling)),
+        );
         set(&mut rec, "ep_cooling", Value::num(round1(ep_cooling)));
         set(&mut rec, "ep_dhw", Value::num(round1(ep_dhw)));
         set(&mut rec, "ep_lighting", Value::num(round1(ep_lighting)));
-        set(&mut rec, "co2_emissions", Value::num(round1(eph * co2_factor)));
-        set(&mut rec, "renewable_share", Value::num(round1(renewable_share)));
-        set(&mut rec, "energy_cost_index", Value::num(round2(eph * 0.105)));
+        set(
+            &mut rec,
+            "co2_emissions",
+            Value::num(round1(eph * co2_factor)),
+        );
+        set(
+            &mut rec,
+            "renewable_share",
+            Value::num(round1(renewable_share)),
+        );
+        set(
+            &mut rec,
+            "energy_cost_index",
+            Value::num(round2(eph * 0.105)),
+        );
 
         // --- Geometry ---
         let floor_height = rng.gen_range(2.5..3.4);
@@ -230,21 +285,61 @@ impl EpcGenerator {
         let wr = rng.gen_range(0.10..0.28);
         let n_floors = rng.gen_range(1..=9) as f64;
         set(&mut rec, wk::HEATED_VOLUME, Value::num(round1(volume)));
-        set(&mut rec, "floor_area", Value::num(round1(sr * rng.gen_range(0.85..0.97))));
-        set(&mut rec, "glazed_surface", Value::num(round1(dispersing * wr)));
-        set(&mut rec, "opaque_surface", Value::num(round1(dispersing * (1.0 - wr))));
-        set(&mut rec, "dispersing_surface", Value::num(round1(dispersing)));
+        set(
+            &mut rec,
+            "floor_area",
+            Value::num(round1(sr * rng.gen_range(0.85..0.97))),
+        );
+        set(
+            &mut rec,
+            "glazed_surface",
+            Value::num(round1(dispersing * wr)),
+        );
+        set(
+            &mut rec,
+            "opaque_surface",
+            Value::num(round1(dispersing * (1.0 - wr))),
+        );
+        set(
+            &mut rec,
+            "dispersing_surface",
+            Value::num(round1(dispersing)),
+        );
         set(&mut rec, "n_floors", Value::num(n_floors));
         set(&mut rec, "floor_height", Value::num(round2(floor_height)));
         set(&mut rec, "window_area_ratio", Value::num(round3(wr)));
-        set(&mut rec, "n_apartments", Value::num(rng.gen_range(1..=40) as f64));
-        set(&mut rec, "shading_factor", Value::num(round2(rng.gen_range(0.55..1.0))));
-        set(&mut rec, "thermal_bridge_factor", Value::num(round2(rng.gen_range(1.02..1.30))));
+        set(
+            &mut rec,
+            "n_apartments",
+            Value::num(rng.gen_range(1..=40) as f64),
+        );
+        set(
+            &mut rec,
+            "shading_factor",
+            Value::num(round2(rng.gen_range(0.55..1.0))),
+        );
+        set(
+            &mut rec,
+            "thermal_bridge_factor",
+            Value::num(round2(rng.gen_range(1.02..1.30))),
+        );
 
         // --- Envelope detail ---
-        set(&mut rec, "roof_u_value", Value::num(round3((uo * rng.gen_range(0.8..1.3)).clamp(0.12, 2.2))));
-        set(&mut rec, "floor_u_value", Value::num(round3((uo * rng.gen_range(0.7..1.2)).clamp(0.12, 2.0))));
-        set(&mut rec, "air_change_rate", Value::num(round2(rng.gen_range(0.3..0.9))));
+        set(
+            &mut rec,
+            "roof_u_value",
+            Value::num(round3((uo * rng.gen_range(0.8..1.3)).clamp(0.12, 2.2))),
+        );
+        set(
+            &mut rec,
+            "floor_u_value",
+            Value::num(round3((uo * rng.gen_range(0.7..1.2)).clamp(0.12, 2.0))),
+        );
+        set(
+            &mut rec,
+            "air_change_rate",
+            Value::num(round2(rng.gen_range(0.3..0.9))),
+        );
 
         // --- Plant & subsystem efficiencies ---
         let eta_e = rng.gen_range(0.90..0.98);
@@ -255,13 +350,37 @@ impl EpcGenerator {
         set(&mut rec, wk::ETA_DISTRIBUTION, Value::num(round3(eta_d)));
         set(&mut rec, wk::ETA_EMISSION, Value::num(round3(eta_e)));
         set(&mut rec, wk::ETA_CONTROL, Value::num(round3(eta_c)));
-        set(&mut rec, "boiler_power", Value::num(round1((sr * rng.gen_range(0.06..0.12)).clamp(5.0, 400.0))));
-        set(&mut rec, "boiler_efficiency", Value::num(round3((eta_g * rng.gen_range(0.98..1.06)).clamp(0.4, 1.1))));
+        set(
+            &mut rec,
+            "boiler_power",
+            Value::num(round1((sr * rng.gen_range(0.06..0.12)).clamp(5.0, 400.0))),
+        );
+        set(
+            &mut rec,
+            "boiler_efficiency",
+            Value::num(round3((eta_g * rng.gen_range(0.98..1.06)).clamp(0.4, 1.1))),
+        );
         set(&mut rec, "dhw_demand", Value::num(round1(ep_dhw * sr)));
         let has_solar = rng.gen::<f64>() < arche.condensing_prob * 0.4;
         let has_pv = rng.gen::<f64>() < arche.condensing_prob * 0.35;
-        set(&mut rec, "solar_thermal_area", Value::num(if has_solar { round1(rng.gen_range(2.0..12.0)) } else { 0.0 }));
-        set(&mut rec, "pv_power", Value::num(if has_pv { round1(rng.gen_range(1.5..20.0)) } else { 0.0 }));
+        set(
+            &mut rec,
+            "solar_thermal_area",
+            Value::num(if has_solar {
+                round1(rng.gen_range(2.0..12.0))
+            } else {
+                0.0
+            }),
+        );
+        set(
+            &mut rec,
+            "pv_power",
+            Value::num(if has_pv {
+                round1(rng.gen_range(1.5..20.0))
+            } else {
+                0.0
+            }),
+        );
 
         // --- Context & operation ---
         let year = arche.sample_year(rng);
@@ -276,9 +395,21 @@ impl EpcGenerator {
                 Value::Missing
             },
         );
-        set(&mut rec, "degree_days", Value::num(round1(TURIN_DEGREE_DAYS * rng.gen_range(0.98..1.02))));
-        set(&mut rec, "indoor_temp_setpoint", Value::num(round1(rng.gen_range(19.0..21.5))));
-        set(&mut rec, "heating_hours", Value::num(round1(rng.gen_range(8.0..14.0))));
+        set(
+            &mut rec,
+            "degree_days",
+            Value::num(round1(TURIN_DEGREE_DAYS * rng.gen_range(0.98..1.02))),
+        );
+        set(
+            &mut rec,
+            "indoor_temp_setpoint",
+            Value::num(round1(rng.gen_range(19.0..21.5))),
+        );
+        set(
+            &mut rec,
+            "heating_hours",
+            Value::num(round1(rng.gen_range(8.0..14.0))),
+        );
 
         // --- Building & plant taxonomy ---
         let category = if rng.gen::<f64>() < self.config.e11_fraction {
@@ -289,45 +420,214 @@ impl EpcGenerator {
         set(&mut rec, wk::BUILDING_CATEGORY, Value::cat(category));
         set(&mut rec, wk::EPC_CLASS, Value::cat(epc_class(eph)));
         set(&mut rec, wk::HEATING_FUEL, Value::cat(fuel));
-        set(&mut rec, "dhw_fuel", Value::cat(*pick(rng, &["natural gas", "electric", "solar-assisted", "district heating"])));
+        set(
+            &mut rec,
+            "dhw_fuel",
+            Value::cat(*pick(
+                rng,
+                &[
+                    "natural gas",
+                    "electric",
+                    "solar-assisted",
+                    "district heating",
+                ],
+            )),
+        );
         let condensing = boiler_retrofit || rng.gen::<f64>() < arche.condensing_prob;
-        set(&mut rec, "boiler_type", Value::cat(if fuel == "heat pump" { "heat pump" } else if condensing { "condensing" } else { "standard" }));
-        set(&mut rec, "emitter_type", Value::cat(*pick(rng, &["radiators", "floor panels", "fan coils"])));
-        set(&mut rec, "distribution_type", Value::cat(*pick(rng, &["vertical columns", "horizontal ring", "autonomous"])));
+        set(
+            &mut rec,
+            "boiler_type",
+            Value::cat(if fuel == "heat pump" {
+                "heat pump"
+            } else if condensing {
+                "condensing"
+            } else {
+                "standard"
+            }),
+        );
+        set(
+            &mut rec,
+            "emitter_type",
+            Value::cat(*pick(rng, &["radiators", "floor panels", "fan coils"])),
+        );
+        set(
+            &mut rec,
+            "distribution_type",
+            Value::cat(*pick(
+                rng,
+                &["vertical columns", "horizontal ring", "autonomous"],
+            )),
+        );
         let thermo_valves = rng.gen::<f64>() < (0.3 + arche.condensing_prob * 0.6);
-        set(&mut rec, "control_type", Value::cat(if thermo_valves { "thermostatic valves" } else { *pick(rng, &["central only", "zone thermostat"]) }));
+        set(
+            &mut rec,
+            "control_type",
+            Value::cat(if thermo_valves {
+                "thermostatic valves"
+            } else {
+                *pick(rng, &["central only", "zone thermostat"])
+            }),
+        );
         let mech_vent = rng.gen::<f64>() < arche.insulation_prob * 0.4;
-        set(&mut rec, "ventilation_type", Value::cat(if mech_vent { "mechanical" } else { "natural" }));
-        set(&mut rec, wk::CONSTRUCTION_PERIOD, Value::cat(arche.period_label));
-        set(&mut rec, "wall_type", Value::cat(match arche.name {
-            "historic masonry" | "interwar" => "solid masonry",
-            "postwar boom slab" => "concrete panel",
-            "late 20th century" => "cavity wall",
-            _ => "insulated frame",
-        }));
-        set(&mut rec, "roof_type", Value::cat(*pick(rng, &["pitched tiles", "flat concrete", "pitched insulated"])));
-        set(&mut rec, "floor_type", Value::cat(*pick(rng, &["on ground", "over cellar", "over open space"])));
-        set(&mut rec, "window_frame", Value::cat(*pick(rng, &["wood", "aluminum", "pvc"])));
+        set(
+            &mut rec,
+            "ventilation_type",
+            Value::cat(if mech_vent { "mechanical" } else { "natural" }),
+        );
+        set(
+            &mut rec,
+            wk::CONSTRUCTION_PERIOD,
+            Value::cat(arche.period_label),
+        );
+        set(
+            &mut rec,
+            "wall_type",
+            Value::cat(match arche.name {
+                "historic masonry" | "interwar" => "solid masonry",
+                "postwar boom slab" => "concrete panel",
+                "late 20th century" => "cavity wall",
+                _ => "insulated frame",
+            }),
+        );
+        set(
+            &mut rec,
+            "roof_type",
+            Value::cat(*pick(
+                rng,
+                &["pitched tiles", "flat concrete", "pitched insulated"],
+            )),
+        );
+        set(
+            &mut rec,
+            "floor_type",
+            Value::cat(*pick(rng, &["on ground", "over cellar", "over open space"])),
+        );
+        set(
+            &mut rec,
+            "window_frame",
+            Value::cat(*pick(rng, &["wood", "aluminum", "pvc"])),
+        );
         let double_glazed = window_retrofit || rng.gen::<f64>() < arche.double_glazing_prob;
-        set(&mut rec, "glazing_type", Value::cat(if double_glazed { if rng.gen::<f64>() < 0.2 { "triple" } else { "double" } } else { "single" }));
-        set(&mut rec, "shading_device", Value::cat(*pick(rng, &["shutters", "blinds", "none"])));
-        set(&mut rec, "occupancy_type", Value::cat(*pick(rng, &["owner occupied", "rented", "vacant"])));
-        set(&mut rec, "ownership", Value::cat(*pick(rng, &["private", "condominium", "public"])));
-        set(&mut rec, "certifier_qualification", Value::cat(*pick(rng, &["engineer", "architect", "surveyor"])));
-        set(&mut rec, "inspection_type", Value::cat(*pick(rng, &["full survey", "documental"])));
+        set(
+            &mut rec,
+            "glazing_type",
+            Value::cat(if double_glazed {
+                if rng.gen::<f64>() < 0.2 {
+                    "triple"
+                } else {
+                    "double"
+                }
+            } else {
+                "single"
+            }),
+        );
+        set(
+            &mut rec,
+            "shading_device",
+            Value::cat(*pick(rng, &["shutters", "blinds", "none"])),
+        );
+        set(
+            &mut rec,
+            "occupancy_type",
+            Value::cat(*pick(rng, &["owner occupied", "rented", "vacant"])),
+        );
+        set(
+            &mut rec,
+            "ownership",
+            Value::cat(*pick(rng, &["private", "condominium", "public"])),
+        );
+        set(
+            &mut rec,
+            "certifier_qualification",
+            Value::cat(*pick(rng, &["engineer", "architect", "surveyor"])),
+        );
+        set(
+            &mut rec,
+            "inspection_type",
+            Value::cat(*pick(rng, &["full survey", "documental"])),
+        );
         set(&mut rec, "climate_zone", Value::cat("E"));
-        set(&mut rec, "exposure", Value::cat(*pick(rng, &["north", "south", "east", "west", "corner"])));
-        set(&mut rec, "adjacency", Value::cat(*pick(rng, &["row", "semi-detached", "detached", "apartment block"])));
-        set(&mut rec, "basement_type", Value::cat(*pick(rng, &["none", "unheated cellar", "heated basement"])));
-        set(&mut rec, "attic_type", Value::cat(*pick(rng, &["none", "unheated attic", "heated attic"])));
-        set(&mut rec, "renewable_type", Value::cat(if has_pv { "photovoltaic" } else if has_solar { "solar thermal" } else { "none" }));
-        set(&mut rec, "cooling_system", Value::cat(*pick(rng, &["none", "split units", "central"])));
-        set(&mut rec, "heat_pump_type", Value::cat(if fuel == "heat pump" { *pick(rng, &["air-water", "air-air", "ground-water"]) } else { "none" }));
-        set(&mut rec, "solar_orientation", Value::cat(*pick(rng, &["N", "NE", "E", "SE", "S", "SW", "W", "NW"])));
-        set(&mut rec, "facade_condition", Value::cat(*pick(rng, &["good", "fair", "poor"])));
-        set(&mut rec, "retrofit_level", Value::cat(if renovated { *pick(rng, &["partial", "deep"]) } else { "none" }));
-        set(&mut rec, "energy_vector", Value::cat(if fuel == "heat pump" { "electricity" } else { fuel }));
-        set(&mut rec, "heating_emission_layout", Value::cat(*pick(rng, &["per room", "central riser", "perimeter"])));
+        set(
+            &mut rec,
+            "exposure",
+            Value::cat(*pick(rng, &["north", "south", "east", "west", "corner"])),
+        );
+        set(
+            &mut rec,
+            "adjacency",
+            Value::cat(*pick(
+                rng,
+                &["row", "semi-detached", "detached", "apartment block"],
+            )),
+        );
+        set(
+            &mut rec,
+            "basement_type",
+            Value::cat(*pick(rng, &["none", "unheated cellar", "heated basement"])),
+        );
+        set(
+            &mut rec,
+            "attic_type",
+            Value::cat(*pick(rng, &["none", "unheated attic", "heated attic"])),
+        );
+        set(
+            &mut rec,
+            "renewable_type",
+            Value::cat(if has_pv {
+                "photovoltaic"
+            } else if has_solar {
+                "solar thermal"
+            } else {
+                "none"
+            }),
+        );
+        set(
+            &mut rec,
+            "cooling_system",
+            Value::cat(*pick(rng, &["none", "split units", "central"])),
+        );
+        set(
+            &mut rec,
+            "heat_pump_type",
+            Value::cat(if fuel == "heat pump" {
+                *pick(rng, &["air-water", "air-air", "ground-water"])
+            } else {
+                "none"
+            }),
+        );
+        set(
+            &mut rec,
+            "solar_orientation",
+            Value::cat(*pick(rng, &["N", "NE", "E", "SE", "S", "SW", "W", "NW"])),
+        );
+        set(
+            &mut rec,
+            "facade_condition",
+            Value::cat(*pick(rng, &["good", "fair", "poor"])),
+        );
+        set(
+            &mut rec,
+            "retrofit_level",
+            Value::cat(if renovated {
+                *pick(rng, &["partial", "deep"])
+            } else {
+                "none"
+            }),
+        );
+        set(
+            &mut rec,
+            "energy_vector",
+            Value::cat(if fuel == "heat pump" {
+                "electricity"
+            } else {
+                fuel
+            }),
+        );
+        set(
+            &mut rec,
+            "heating_emission_layout",
+            Value::cat(*pick(rng, &["per room", "central riser", "perimeter"])),
+        );
 
         // --- Boolean flags (correlated with the physical sample) ---
         let yes_no = |b: bool| Value::cat(if b { "yes" } else { "no" });
@@ -336,30 +636,74 @@ impl EpcGenerator {
         set(&mut rec, "has_solar_thermal", yes_no(has_solar));
         set(&mut rec, "has_pv", yes_no(has_pv));
         set(&mut rec, "has_heat_pump", yes_no(fuel == "heat pump"));
-        set(&mut rec, "has_district_heating", yes_no(fuel == "district heating"));
+        set(
+            &mut rec,
+            "has_district_heating",
+            yes_no(fuel == "district heating"),
+        );
         set(&mut rec, "has_thermostatic_valves", yes_no(thermo_valves));
         set(&mut rec, "has_double_glazing", yes_no(double_glazed));
-        set(&mut rec, "has_roof_insulation", yes_no(insulated && rng.gen::<f64>() < 0.8));
+        set(
+            &mut rec,
+            "has_roof_insulation",
+            yes_no(insulated && rng.gen::<f64>() < 0.8),
+        );
         set(&mut rec, "has_wall_insulation", yes_no(insulated));
-        set(&mut rec, "has_floor_insulation", yes_no(insulated && rng.gen::<f64>() < 0.5));
+        set(
+            &mut rec,
+            "has_floor_insulation",
+            yes_no(insulated && rng.gen::<f64>() < 0.5),
+        );
         set(&mut rec, "has_mechanical_ventilation", yes_no(mech_vent));
-        set(&mut rec, "has_heat_recovery", yes_no(mech_vent && rng.gen::<f64>() < 0.6));
+        set(
+            &mut rec,
+            "has_heat_recovery",
+            yes_no(mech_vent && rng.gen::<f64>() < 0.6),
+        );
         set(&mut rec, "has_bms", yes_no(rng.gen::<f64>() < 0.08));
         set(&mut rec, "has_led_lighting", yes_no(rng.gen::<f64>() < 0.4));
-        set(&mut rec, "has_elevator", yes_no(n_floors >= 4.0 && rng.gen::<f64>() < 0.8));
+        set(
+            &mut rec,
+            "has_elevator",
+            yes_no(n_floors >= 4.0 && rng.gen::<f64>() < 0.8),
+        );
         set(&mut rec, "has_garage", yes_no(rng.gen::<f64>() < 0.35));
         set(&mut rec, "has_balcony", yes_no(rng.gen::<f64>() < 0.7));
         set(&mut rec, "has_cellar", yes_no(rng.gen::<f64>() < 0.5));
-        set(&mut rec, "has_smart_thermostat", yes_no(rng.gen::<f64>() < arche.condensing_prob * 0.3));
+        set(
+            &mut rec,
+            "has_smart_thermostat",
+            yes_no(rng.gen::<f64>() < arche.condensing_prob * 0.3),
+        );
         set(&mut rec, "has_ev_charging", yes_no(rng.gen::<f64>() < 0.04));
         set(&mut rec, "has_green_roof", yes_no(rng.gen::<f64>() < 0.02));
-        set(&mut rec, "has_rainwater_reuse", yes_no(rng.gen::<f64>() < 0.03));
-        set(&mut rec, "is_listed_building", yes_no(arche.name == "historic masonry" && rng.gen::<f64>() < 0.3));
-        set(&mut rec, "is_social_housing", yes_no(rng.gen::<f64>() < 0.07));
+        set(
+            &mut rec,
+            "has_rainwater_reuse",
+            yes_no(rng.gen::<f64>() < 0.03),
+        );
+        set(
+            &mut rec,
+            "is_listed_building",
+            yes_no(arche.name == "historic masonry" && rng.gen::<f64>() < 0.3),
+        );
+        set(
+            &mut rec,
+            "is_social_housing",
+            yes_no(rng.gen::<f64>() < 0.07),
+        );
         set(&mut rec, "is_detached", yes_no(rng.gen::<f64>() < 0.12));
         set(&mut rec, "is_corner_unit", yes_no(rng.gen::<f64>() < 0.2));
-        set(&mut rec, "is_top_floor", yes_no(rng.gen::<f64>() < 1.0 / n_floors.max(1.0)));
-        set(&mut rec, "is_ground_floor", yes_no(rng.gen::<f64>() < 1.0 / n_floors.max(1.0)));
+        set(
+            &mut rec,
+            "is_top_floor",
+            yes_no(rng.gen::<f64>() < 1.0 / n_floors.max(1.0)),
+        );
+        set(
+            &mut rec,
+            "is_ground_floor",
+            yes_no(rng.gen::<f64>() < 1.0 / n_floors.max(1.0)),
+        );
 
         // --- Recommended interventions (driven by the actual weaknesses,
         //     so rules like "Uw High → reco_windows" hold) ---
@@ -368,21 +712,97 @@ impl EpcGenerator {
         set(&mut rec, "reco_boiler", yes_no(eta_g < 0.75));
         set(&mut rec, "reco_renewables", yes_no(!has_pv && !has_solar));
         set(&mut rec, "reco_controls", yes_no(!thermo_valves));
-        set(&mut rec, "subsidy_eligibility", Value::cat(if eph > 150.0 { "ecobonus" } else if eph > 70.0 { "standard" } else { "none" }));
-        set(&mut rec, "gas_meter_type", Value::cat(*pick(rng, &["G4", "G6", "G10", "none"])));
-        set(&mut rec, "electric_meter_type", Value::cat(*pick(rng, &["3kW", "4.5kW", "6kW"])));
-        set(&mut rec, "water_heating_location", Value::cat(*pick(rng, &["in unit", "central plant", "external"])));
-        set(&mut rec, "chimney_type", Value::cat(*pick(rng, &["individual flue", "collective flue", "wall vent"])));
-        set(&mut rec, "radiator_material", Value::cat(*pick(rng, &["cast iron", "aluminum", "steel"])));
-        set(&mut rec, "pipe_insulation_level", Value::cat(*pick(rng, &["none", "partial", "full"])));
-        set(&mut rec, "window_shutter_type", Value::cat(*pick(rng, &["roller", "hinged", "none"])));
-        set(&mut rec, "entrance_orientation", Value::cat(*pick(rng, &["street", "courtyard"])));
-        set(&mut rec, "stairwell_heated", Value::cat(*pick(rng, &["yes", "no"])));
-        set(&mut rec, "party_wall_exposure", Value::cat(*pick(rng, &["both sides", "one side", "none"])));
-        set(&mut rec, "certificate_purpose", Value::cat(*pick(rng, &["sale", "rent", "new construction", "renovation"])));
-        set(&mut rec, "previous_class", if rng.gen::<f64>() < 0.3 { Value::cat(*pick(rng, &["C", "D", "E", "F", "G"])) } else { Value::Missing });
-        set(&mut rec, "calculation_software", Value::cat(*pick(rng, &["SW-A 3.1", "SW-B 2.4", "SW-C 1.9"])));
-        set(&mut rec, "data_quality_flag", Value::cat(*pick(rng, &["measured", "estimated", "default values"])));
+        set(
+            &mut rec,
+            "subsidy_eligibility",
+            Value::cat(if eph > 150.0 {
+                "ecobonus"
+            } else if eph > 70.0 {
+                "standard"
+            } else {
+                "none"
+            }),
+        );
+        set(
+            &mut rec,
+            "gas_meter_type",
+            Value::cat(*pick(rng, &["G4", "G6", "G10", "none"])),
+        );
+        set(
+            &mut rec,
+            "electric_meter_type",
+            Value::cat(*pick(rng, &["3kW", "4.5kW", "6kW"])),
+        );
+        set(
+            &mut rec,
+            "water_heating_location",
+            Value::cat(*pick(rng, &["in unit", "central plant", "external"])),
+        );
+        set(
+            &mut rec,
+            "chimney_type",
+            Value::cat(*pick(
+                rng,
+                &["individual flue", "collective flue", "wall vent"],
+            )),
+        );
+        set(
+            &mut rec,
+            "radiator_material",
+            Value::cat(*pick(rng, &["cast iron", "aluminum", "steel"])),
+        );
+        set(
+            &mut rec,
+            "pipe_insulation_level",
+            Value::cat(*pick(rng, &["none", "partial", "full"])),
+        );
+        set(
+            &mut rec,
+            "window_shutter_type",
+            Value::cat(*pick(rng, &["roller", "hinged", "none"])),
+        );
+        set(
+            &mut rec,
+            "entrance_orientation",
+            Value::cat(*pick(rng, &["street", "courtyard"])),
+        );
+        set(
+            &mut rec,
+            "stairwell_heated",
+            Value::cat(*pick(rng, &["yes", "no"])),
+        );
+        set(
+            &mut rec,
+            "party_wall_exposure",
+            Value::cat(*pick(rng, &["both sides", "one side", "none"])),
+        );
+        set(
+            &mut rec,
+            "certificate_purpose",
+            Value::cat(*pick(
+                rng,
+                &["sale", "rent", "new construction", "renovation"],
+            )),
+        );
+        set(
+            &mut rec,
+            "previous_class",
+            if rng.gen::<f64>() < 0.3 {
+                Value::cat(*pick(rng, &["C", "D", "E", "F", "G"]))
+            } else {
+                Value::Missing
+            },
+        );
+        set(
+            &mut rec,
+            "calculation_software",
+            Value::cat(*pick(rng, &["SW-A 3.1", "SW-B 2.4", "SW-C 1.9"])),
+        );
+        set(
+            &mut rec,
+            "data_quality_flag",
+            Value::cat(*pick(rng, &["measured", "estimated", "default values"])),
+        );
 
         rec
     }
@@ -501,10 +921,15 @@ mod tests {
                 c.truth.streets[row]
             );
             assert_eq!(
-                c.dataset.cat(row, s.require(wk::ZIP_CODE).unwrap()).unwrap(),
+                c.dataset
+                    .cat(row, s.require(wk::ZIP_CODE).unwrap())
+                    .unwrap(),
                 c.truth.zips[row]
             );
-            let lat = c.dataset.num(row, s.require(wk::LATITUDE).unwrap()).unwrap();
+            let lat = c
+                .dataset
+                .num(row, s.require(wk::LATITUDE).unwrap())
+                .unwrap();
             assert!((lat - c.truth.points[row].lat).abs() < 1e-12);
         }
     }

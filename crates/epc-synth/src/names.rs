@@ -14,34 +14,146 @@ pub const STREET_PREFIXES: &[(&str, u32)] = &[
 
 /// Base names for streets (people and places of the Italian odonymy).
 pub const STREET_BASE_NAMES: &[&str] = &[
-    "Roma", "Garibaldi", "Cavour", "Mazzini", "Vittorio Emanuele II", "Dante",
-    "Petrarca", "Leopardi", "Manzoni", "Verdi", "Puccini", "Rossini", "Bellini",
-    "Galileo Galilei", "Leonardo da Vinci", "Michelangelo", "Raffaello",
-    "Cristoforo Colombo", "Marco Polo", "Amerigo Vespucci", "Montebello",
-    "Solferino", "San Martino", "Magenta", "Curtatone", "Goito", "Palestro",
-    "Volturno", "Milano", "Genova", "Venezia", "Firenze", "Bologna", "Napoli",
-    "Palermo", "Cagliari", "Trieste", "Trento", "Gorizia", "Zara", "Fiume",
-    "Po", "Dora Riparia", "Stura", "Sangone", "Monviso", "Gran Paradiso",
-    "Monte Rosa", "Cervino", "Monginevro", "Moncenisio", "Sestriere",
-    "Francia", "Svizzera", "Inghilterra", "Spagna", "Grecia", "Belgio",
-    "Nizza", "Savoia", "Aosta", "Ivrea", "Chieri", "Moncalieri", "Rivoli",
-    "Pinerolo", "Saluzzo", "Cuneo", "Asti", "Alessandria", "Vercelli",
-    "Novara", "Biella", "Carmagnola", "Orbassano", "Settimo", "Chivasso",
-    "Lagrange", "Alfieri", "Gioberti", "Balbo", "D'Azeglio", "Cibrario",
-    "Peano", "Avogadro", "Galvani", "Volta", "Marconi", "Fermi", "Meucci",
-    "Pacinotti", "Ferraris", "Sommeiller", "Cecchi", "Regaldi", "Bava",
+    "Roma",
+    "Garibaldi",
+    "Cavour",
+    "Mazzini",
+    "Vittorio Emanuele II",
+    "Dante",
+    "Petrarca",
+    "Leopardi",
+    "Manzoni",
+    "Verdi",
+    "Puccini",
+    "Rossini",
+    "Bellini",
+    "Galileo Galilei",
+    "Leonardo da Vinci",
+    "Michelangelo",
+    "Raffaello",
+    "Cristoforo Colombo",
+    "Marco Polo",
+    "Amerigo Vespucci",
+    "Montebello",
+    "Solferino",
+    "San Martino",
+    "Magenta",
+    "Curtatone",
+    "Goito",
+    "Palestro",
+    "Volturno",
+    "Milano",
+    "Genova",
+    "Venezia",
+    "Firenze",
+    "Bologna",
+    "Napoli",
+    "Palermo",
+    "Cagliari",
+    "Trieste",
+    "Trento",
+    "Gorizia",
+    "Zara",
+    "Fiume",
+    "Po",
+    "Dora Riparia",
+    "Stura",
+    "Sangone",
+    "Monviso",
+    "Gran Paradiso",
+    "Monte Rosa",
+    "Cervino",
+    "Monginevro",
+    "Moncenisio",
+    "Sestriere",
+    "Francia",
+    "Svizzera",
+    "Inghilterra",
+    "Spagna",
+    "Grecia",
+    "Belgio",
+    "Nizza",
+    "Savoia",
+    "Aosta",
+    "Ivrea",
+    "Chieri",
+    "Moncalieri",
+    "Rivoli",
+    "Pinerolo",
+    "Saluzzo",
+    "Cuneo",
+    "Asti",
+    "Alessandria",
+    "Vercelli",
+    "Novara",
+    "Biella",
+    "Carmagnola",
+    "Orbassano",
+    "Settimo",
+    "Chivasso",
+    "Lagrange",
+    "Alfieri",
+    "Gioberti",
+    "Balbo",
+    "D'Azeglio",
+    "Cibrario",
+    "Peano",
+    "Avogadro",
+    "Galvani",
+    "Volta",
+    "Marconi",
+    "Fermi",
+    "Meucci",
+    "Pacinotti",
+    "Ferraris",
+    "Sommeiller",
+    "Cecchi",
+    "Regaldi",
+    "Bava",
 ];
 
 /// Turin-flavoured neighbourhood names.
 pub const NEIGHBOURHOOD_NAMES: &[&str] = &[
-    "Centro Storico", "Quadrilatero", "San Salvario", "Crocetta", "San Donato",
-    "Aurora", "Vanchiglia", "Vanchiglietta", "Cenisia", "San Paolo",
-    "Pozzo Strada", "Parella", "Campidoglio", "Borgo Vittoria",
-    "Madonna di Campagna", "Barriera di Milano", "Regio Parco", "Barca",
-    "Bertolla", "Falchera", "Rebaudengo", "Villaretto", "Borgo Po", "Cavoretto",
-    "Nizza Millefonti", "Lingotto", "Filadelfia", "Santa Rita", "Mirafiori Nord",
-    "Mirafiori Sud", "Borgata Vittoria", "Le Vallette", "Lucento", "Madonna del Pilone",
-    "Sassi", "Superga", "Borgata Lesna", "Gerbido", "Borgo San Pietro", "Valdocco",
+    "Centro Storico",
+    "Quadrilatero",
+    "San Salvario",
+    "Crocetta",
+    "San Donato",
+    "Aurora",
+    "Vanchiglia",
+    "Vanchiglietta",
+    "Cenisia",
+    "San Paolo",
+    "Pozzo Strada",
+    "Parella",
+    "Campidoglio",
+    "Borgo Vittoria",
+    "Madonna di Campagna",
+    "Barriera di Milano",
+    "Regio Parco",
+    "Barca",
+    "Bertolla",
+    "Falchera",
+    "Rebaudengo",
+    "Villaretto",
+    "Borgo Po",
+    "Cavoretto",
+    "Nizza Millefonti",
+    "Lingotto",
+    "Filadelfia",
+    "Santa Rita",
+    "Mirafiori Nord",
+    "Mirafiori Sud",
+    "Borgata Vittoria",
+    "Le Vallette",
+    "Lucento",
+    "Madonna del Pilone",
+    "Sassi",
+    "Superga",
+    "Borgata Lesna",
+    "Gerbido",
+    "Borgo San Pietro",
+    "Valdocco",
 ];
 
 /// Deterministically picks the i-th street name.
@@ -90,13 +202,7 @@ pub fn neighbourhood_name(i: usize) -> String {
 }
 
 fn roman(mut n: usize) -> String {
-    const TABLE: &[(usize, &str)] = &[
-        (10, "X"),
-        (9, "IX"),
-        (5, "V"),
-        (4, "IV"),
-        (1, "I"),
-    ];
+    const TABLE: &[(usize, &str)] = &[(10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I")];
     let mut out = String::new();
     for &(v, s) in TABLE {
         while n >= v {

@@ -134,8 +134,14 @@ pub fn apply_noise(collection: &mut SyntheticCollection, config: &NoiseConfig) {
 
         // --- Coordinate corruption ---
         if rng.gen::<f64>() < config.coord_missing_rate {
-            collection.dataset.set_value(row, lat_id, Value::Missing).unwrap();
-            collection.dataset.set_value(row, lon_id, Value::Missing).unwrap();
+            collection
+                .dataset
+                .set_value(row, lat_id, Value::Missing)
+                .unwrap();
+            collection
+                .dataset
+                .set_value(row, lon_id, Value::Missing)
+                .unwrap();
             address_touched = true;
         } else if rng.gen::<f64>() < config.coord_wrong_rate {
             let lat = collection.dataset.num(row, lat_id).unwrap();
@@ -145,11 +151,19 @@ pub fn apply_noise(collection: &mut SyntheticCollection, config: &NoiseConfig) {
             let d_lon = (rng.gen::<f64>() - 0.5) * 0.3;
             collection
                 .dataset
-                .set_value(row, lat_id, Value::num(lat + d_lat.signum() * d_lat.abs().max(0.01)))
+                .set_value(
+                    row,
+                    lat_id,
+                    Value::num(lat + d_lat.signum() * d_lat.abs().max(0.01)),
+                )
                 .unwrap();
             collection
                 .dataset
-                .set_value(row, lon_id, Value::num(lon + d_lon.signum() * d_lon.abs().max(0.01)))
+                .set_value(
+                    row,
+                    lon_id,
+                    Value::num(lon + d_lon.signum() * d_lon.abs().max(0.01)),
+                )
                 .unwrap();
             address_touched = true;
         }
@@ -180,10 +194,22 @@ pub fn apply_noise(collection: &mut SyntheticCollection, config: &NoiseConfig) {
             // A "perfect envelope with terrible consumption" record: each
             // attribute is within range, but the combination is isolated in
             // feature space.
-            collection.dataset.set_value(row, uw_id, Value::num(1.15)).unwrap();
-            collection.dataset.set_value(row, uo_id, Value::num(0.16)).unwrap();
-            collection.dataset.set_value(row, eta_id, Value::num(1.05)).unwrap();
-            collection.dataset.set_value(row, eph_id, Value::num(480.0)).unwrap();
+            collection
+                .dataset
+                .set_value(row, uw_id, Value::num(1.15))
+                .unwrap();
+            collection
+                .dataset
+                .set_value(row, uo_id, Value::num(0.16))
+                .unwrap();
+            collection
+                .dataset
+                .set_value(row, eta_id, Value::num(1.05))
+                .unwrap();
+            collection
+                .dataset
+                .set_value(row, eph_id, Value::num(480.0))
+                .unwrap();
             collection
                 .dataset
                 .set_value(row, sr_id, Value::num(1_900.0))
@@ -275,7 +301,10 @@ mod tests {
             "corrupted fraction {corrupted}"
         );
         let outliers = c.truth.injected_outliers.len() as f64 / n;
-        assert!((0.005..0.03).contains(&outliers), "outlier fraction {outliers}");
+        assert!(
+            (0.005..0.03).contains(&outliers),
+            "outlier fraction {outliers}"
+        );
     }
 
     #[test]

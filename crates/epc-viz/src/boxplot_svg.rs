@@ -50,7 +50,13 @@ impl BoxplotPlot {
         doc.rect(0.0, 0.0, self.width, doc.height(), "#ffffff", "none");
         doc.text(14.0, 22.0, 14.0, "start", &self.title);
         if self.rows.is_empty() {
-            doc.text(self.width / 2.0, doc.height() / 2.0, 12.0, "middle", "(no data)");
+            doc.text(
+                self.width / 2.0,
+                doc.height() / 2.0,
+                12.0,
+                "middle",
+                "(no data)",
+            );
             return doc.render();
         }
         let label_w = 130.0;
@@ -75,7 +81,14 @@ impl BoxplotPlot {
 
             doc.text(label_w - 8.0, y_mid + 4.0, 11.0, "end", label);
             // Whisker line.
-            doc.line(x.map(s.whisker_low), y_mid, x.map(s.whisker_high), y_mid, "#555555", 1.0);
+            doc.line(
+                x.map(s.whisker_low),
+                y_mid,
+                x.map(s.whisker_high),
+                y_mid,
+                "#555555",
+                1.0,
+            );
             // Whisker caps.
             for v in [s.whisker_low, s.whisker_high] {
                 doc.line(x.map(v), y_mid - 7.0, x.map(v), y_mid + 7.0, "#555555", 1.0);
@@ -90,14 +103,33 @@ impl BoxplotPlot {
                 "#39597e",
             );
             // Median line.
-            doc.line(x.map(s.median), y_mid - 12.0, x.map(s.median), y_mid + 12.0, "#1f3a57", 2.0);
+            doc.line(
+                x.map(s.median),
+                y_mid - 12.0,
+                x.map(s.median),
+                y_mid + 12.0,
+                "#1f3a57",
+                2.0,
+            );
             // Outliers, individually.
             for &v in outliers {
                 doc.circle(x.map(v), y_mid, 2.4, "#c0392b", "none");
             }
             // Min/max tick labels.
-            doc.text(x.map(s.whisker_low), y_mid + 24.0, 9.0, "middle", &format_tick(s.whisker_low));
-            doc.text(x.map(s.whisker_high), y_mid + 24.0, 9.0, "middle", &format_tick(s.whisker_high));
+            doc.text(
+                x.map(s.whisker_low),
+                y_mid + 24.0,
+                9.0,
+                "middle",
+                &format_tick(s.whisker_low),
+            );
+            doc.text(
+                x.map(s.whisker_high),
+                y_mid + 24.0,
+                9.0,
+                "middle",
+                &format_tick(s.whisker_high),
+            );
         }
         doc.render()
     }

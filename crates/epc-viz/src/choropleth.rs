@@ -84,7 +84,12 @@ impl ChoroplethMap {
             return doc.render();
         };
         let map_h = self.height - 90.0;
-        let proj = GeoProjection::fit(bounds.with_margin(bounds.lat_span() * 0.03), self.width, map_h - 30.0, 12.0);
+        let proj = GeoProjection::fit(
+            bounds.with_margin(bounds.lat_span() * 0.03),
+            self.width,
+            map_h - 30.0,
+            12.0,
+        );
 
         let (lo, hi) = self.value_range().unwrap_or((0.0, 1.0));
         for (region, value) in &self.areas {

@@ -52,10 +52,7 @@ pub fn cluster_markers(
     let mut cells: HashMap<(i64, i64), (Vec<GeoPoint>, Vec<f64>)> = HashMap::new();
     for (p, v) in points {
         let (x, y) = proj.project(p);
-        let key = (
-            (x / cell_px).floor() as i64,
-            (y / cell_px).floor() as i64,
-        );
+        let key = ((x / cell_px).floor() as i64, (y / cell_px).floor() as i64);
         let entry = cells.entry(key).or_default();
         entry.0.push(*p);
         if let Some(v) = v {
@@ -157,7 +154,13 @@ impl ClusterMarkerMap {
 
         let pts: Vec<GeoPoint> = self.points.iter().map(|(p, _)| *p).collect();
         let Some(bounds) = BoundingBox::from_points(&pts) else {
-            doc.text(self.width / 2.0, self.height / 2.0, 13.0, "middle", "(no points)");
+            doc.text(
+                self.width / 2.0,
+                self.height / 2.0,
+                13.0,
+                "middle",
+                "(no points)",
+            );
             return doc.render();
         };
         let proj = GeoProjection::fit(
@@ -212,7 +215,11 @@ impl ClusterMarkerMap {
             self.height - 14.0,
             10.0,
             "end",
-            &format!("{} certificates in {} markers", self.points.len(), markers.len()),
+            &format!(
+                "{} certificates in {} markers",
+                self.points.len(),
+                markers.len()
+            ),
         );
         doc.render()
     }

@@ -42,7 +42,13 @@ impl CorrelationPlot {
         doc.rect(0.0, 0.0, doc.width(), doc.height(), "#ffffff", "none");
         doc.text(12.0, 20.0, 14.0, "start", &self.title);
         if n == 0 {
-            doc.text(doc.width() / 2.0, doc.height() / 2.0, 12.0, "middle", "(no variables)");
+            doc.text(
+                doc.width() / 2.0,
+                doc.height() / 2.0,
+                12.0,
+                "middle",
+                "(no variables)",
+            );
             return doc.render();
         }
         let ramp = ColorRamp::grayscale();
@@ -71,10 +77,23 @@ impl CorrelationPlot {
                 let y = title_h + i as f64 * self.cell;
                 if rho.is_nan() {
                     doc.rect(x, y, self.cell - 2.0, self.cell - 2.0, "#f0e8e8", "#999999");
-                    doc.text(x + self.cell / 2.0, y + self.cell / 2.0 + 4.0, 10.0, "middle", "n/a");
+                    doc.text(
+                        x + self.cell / 2.0,
+                        y + self.cell / 2.0 + 4.0,
+                        10.0,
+                        "middle",
+                        "n/a",
+                    );
                 } else {
                     let color = ramp.sample(rho.abs());
-                    doc.rect(x, y, self.cell - 2.0, self.cell - 2.0, &color.hex(), "#999999");
+                    doc.rect(
+                        x,
+                        y,
+                        self.cell - 2.0,
+                        self.cell - 2.0,
+                        &color.hex(),
+                        "#999999",
+                    );
                     if self.annotate {
                         doc.text_colored(
                             x + self.cell / 2.0,

@@ -120,10 +120,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Dashboard {
-        let mut d = Dashboard::new(
-            "INDICE — Torino",
-            "public administration · district level",
-        );
+        let mut d = Dashboard::new("INDICE — Torino", "public administration · district level");
         d.add_panel(
             "Cluster-marker map",
             PanelContent::Svg("<svg xmlns=\"http://www.w3.org/2000/svg\"></svg>".into()),
@@ -139,7 +136,11 @@ mod tests {
             PanelContent::Html("<table class=\"rules\"></table>".into()),
             false,
         );
-        d.add_panel("Summary", PanelContent::Text("5 clusters\nK = 5".into()), false);
+        d.add_panel(
+            "Summary",
+            PanelContent::Text("5 clusters\nK = 5".into()),
+            false,
+        );
         d
     }
 

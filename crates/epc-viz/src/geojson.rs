@@ -11,9 +11,7 @@ use serde_json::{json, Map, Value};
 
 /// A GeoJSON `FeatureCollection` of points with arbitrary per-point
 /// properties.
-pub fn points_feature_collection(
-    points: &[(GeoPoint, Map<String, Value>)],
-) -> Value {
+pub fn points_feature_collection(points: &[(GeoPoint, Map<String, Value>)]) -> Value {
     let features: Vec<Value> = points
         .iter()
         .map(|(p, props)| {
@@ -37,12 +35,8 @@ pub fn regions_feature_collection(regions: &[(Region, Option<f64>)]) -> Value {
     let features: Vec<Value> = regions
         .iter()
         .map(|(r, value)| {
-            let mut ring: Vec<[f64; 2]> = r
-                .polygon
-                .vertices
-                .iter()
-                .map(|p| [p.lon, p.lat])
-                .collect();
+            let mut ring: Vec<[f64; 2]> =
+                r.polygon.vertices.iter().map(|p| [p.lon, p.lat]).collect();
             // GeoJSON rings must be closed.
             if let Some(first) = ring.first().copied() {
                 if ring.last() != Some(&first) {

@@ -78,7 +78,13 @@ impl HistogramPlot {
         doc.rect(0.0, 0.0, self.width, self.height, "#ffffff", "none");
         doc.text(14.0, 22.0, 14.0, "start", &self.title);
         if self.series.is_empty() {
-            doc.text(self.width / 2.0, self.height / 2.0, 12.0, "middle", "(no data)");
+            doc.text(
+                self.width / 2.0,
+                self.height / 2.0,
+                12.0,
+                "middle",
+                "(no data)",
+            );
             return doc.render();
         }
 
@@ -120,7 +126,14 @@ impl HistogramPlot {
         let y_scale = LinearScale::new((0.0, y_hi), (margin_t + plot_h, margin_t));
 
         // Axes.
-        doc.line(margin_l, margin_t, margin_l, margin_t + plot_h, "#333333", 1.0);
+        doc.line(
+            margin_l,
+            margin_t,
+            margin_l,
+            margin_t + plot_h,
+            "#333333",
+            1.0,
+        );
         doc.line(
             margin_l,
             margin_t + plot_h,
@@ -131,13 +144,32 @@ impl HistogramPlot {
         );
         for t in x_scale.ticks(6) {
             let x = x_scale.map(t);
-            doc.line(x, margin_t + plot_h, x, margin_t + plot_h + 4.0, "#333333", 1.0);
-            doc.text(x, margin_t + plot_h + 16.0, 9.0, "middle", &crate::legend::format_tick(t));
+            doc.line(
+                x,
+                margin_t + plot_h,
+                x,
+                margin_t + plot_h + 4.0,
+                "#333333",
+                1.0,
+            );
+            doc.text(
+                x,
+                margin_t + plot_h + 16.0,
+                9.0,
+                "middle",
+                &crate::legend::format_tick(t),
+            );
         }
         for t in y_scale.ticks(4) {
             let y = y_scale.map(t);
             doc.line(margin_l - 4.0, y, margin_l, y, "#333333", 1.0);
-            doc.text(margin_l - 7.0, y + 3.0, 9.0, "end", &crate::legend::format_tick(t));
+            doc.text(
+                margin_l - 7.0,
+                y + 3.0,
+                9.0,
+                "end",
+                &crate::legend::format_tick(t),
+            );
             doc.line(margin_l, y, margin_l + plot_w, y, "#eeeeee", 0.5);
         }
         doc.text(

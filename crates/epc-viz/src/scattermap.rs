@@ -103,7 +103,13 @@ impl ScatterMap {
                 .flat_map(|r| r.polygon.vertices.iter().copied()),
         );
         let Some(bounds) = BoundingBox::from_points(&all) else {
-            doc.text(self.width / 2.0, self.height / 2.0, 13.0, "middle", "(no points)");
+            doc.text(
+                self.width / 2.0,
+                self.height / 2.0,
+                13.0,
+                "middle",
+                "(no points)",
+            );
             return doc.render();
         };
         let proj = GeoProjection::fit(

@@ -76,6 +76,10 @@ USAGE:
   indice suggest-config --data epcs.csv
   indice clean --data epcs.csv --streets street_map.txt --out cleaned.csv
   indice help
+
+ENVIRONMENT:
+  INDICE_THREADS   thread budget for run/clean (default: all hardware
+                   threads); outputs are identical for any value
 ";
 
 /// Parses `argv[1..]` into a [`Command`].
@@ -198,7 +202,15 @@ mod tests {
     #[test]
     fn generate_with_all_flags() {
         let cmd = parse_args(&v(&[
-            "generate", "--records", "100", "--seed", "7", "--noise", "heavy", "--out-dir", "d",
+            "generate",
+            "--records",
+            "100",
+            "--seed",
+            "7",
+            "--noise",
+            "heavy",
+            "--out-dir",
+            "d",
         ]))
         .unwrap();
         assert_eq!(
@@ -218,7 +230,13 @@ mod tests {
         assert!(parse_args(&v(&["generate", "--records", "abc", "--out-dir", "d"])).is_err());
         assert!(parse_args(&v(&["generate", "--records", "0", "--out-dir", "d"])).is_err());
         assert!(parse_args(&v(&[
-            "generate", "--records", "5", "--noise", "nope", "--out-dir", "d"
+            "generate",
+            "--records",
+            "5",
+            "--noise",
+            "nope",
+            "--out-dir",
+            "d"
         ]))
         .is_err());
     }
@@ -231,8 +249,17 @@ mod tests {
             ("scientist", Stakeholder::EnergyScientist),
         ] {
             let cmd = parse_args(&v(&[
-                "run", "--data", "e.csv", "--streets", "s.txt", "--regions", "r.json",
-                "--stakeholder", flag, "--out-dir", "o",
+                "run",
+                "--data",
+                "e.csv",
+                "--streets",
+                "s.txt",
+                "--regions",
+                "r.json",
+                "--stakeholder",
+                flag,
+                "--out-dir",
+                "o",
             ]))
             .unwrap();
             match cmd {
@@ -245,7 +272,14 @@ mod tests {
     #[test]
     fn run_default_stakeholder_is_pa() {
         let cmd = parse_args(&v(&[
-            "run", "--data", "e.csv", "--streets", "s.txt", "--regions", "r.json", "--out-dir",
+            "run",
+            "--data",
+            "e.csv",
+            "--streets",
+            "s.txt",
+            "--regions",
+            "r.json",
+            "--out-dir",
             "o",
         ]))
         .unwrap();
@@ -262,7 +296,10 @@ mod tests {
     fn flag_errors() {
         assert!(parse_args(&v(&["describe"])).is_err(), "missing --data");
         assert!(parse_args(&v(&["describe", "positional"])).is_err());
-        assert!(parse_args(&v(&["describe", "--data"])).is_err(), "dangling flag");
+        assert!(
+            parse_args(&v(&["describe", "--data"])).is_err(),
+            "dangling flag"
+        );
         assert!(
             parse_args(&v(&["describe", "--data", "a", "--data", "b"])).is_err(),
             "duplicate flag"
@@ -273,7 +310,13 @@ mod tests {
     #[test]
     fn clean_parses() {
         let cmd = parse_args(&v(&[
-            "clean", "--data", "e.csv", "--streets", "s.txt", "--out", "c.csv",
+            "clean",
+            "--data",
+            "e.csv",
+            "--streets",
+            "s.txt",
+            "--out",
+            "c.csv",
         ]))
         .unwrap();
         assert_eq!(
@@ -290,6 +333,11 @@ mod tests {
     #[test]
     fn suggest_config_parses() {
         let cmd = parse_args(&v(&["suggest-config", "--data", "e.csv"])).unwrap();
-        assert_eq!(cmd, Command::SuggestConfig { data: "e.csv".into() });
+        assert_eq!(
+            cmd,
+            Command::SuggestConfig {
+                data: "e.csv".into()
+            }
+        );
     }
 }

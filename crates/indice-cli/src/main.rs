@@ -70,10 +70,11 @@ fn execute(command: Command) -> Result<(), String> {
             let street_text =
                 fs::read_to_string(&streets).map_err(|e| format!("reading {streets}: {e}"))?;
             let street_map = StreetMap::from_text(&street_text)?;
-            let result = indice::preprocess::preprocess(
+            let result = indice::preprocess::preprocess_with_runtime(
                 dataset,
                 &street_map,
                 &IndiceConfig::default(),
+                &epc_runtime::RuntimeConfig::from_env(),
             )
             .map_err(|e| format!("cleaning failed: {e}"))?;
             fs::write(&out, epc_model::csv::to_csv(&result.dataset))
@@ -95,7 +96,12 @@ removed {} outliers; wrote {} rows to {out}",
             let advice = suggest_config(&dataset, &IndiceConfig::default());
             println!("auto-configuration advice ({} records):", dataset.n_rows());
             for a in &advice.attribute_advice {
-                println!("  {:<18} -> {:<8} ({})", a.attribute, a.method.name(), a.rationale);
+                println!(
+                    "  {:<18} -> {:<8} ({})",
+                    a.attribute,
+                    a.method.name(),
+                    a.rationale
+                );
             }
             println!(
                 "  K sweep: {:?}; min rule support: {}; geocoder quota: {}",
@@ -132,8 +138,11 @@ fn generate(records: usize, seed: u64, noise: NoisePreset, out_dir: &str) -> Res
     }
     let dir = Path::new(out_dir);
     fs::create_dir_all(dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
-    fs::write(dir.join("epcs.csv"), epc_model::csv::to_csv(&collection.dataset))
-        .map_err(|e| format!("writing epcs.csv: {e}"))?;
+    fs::write(
+        dir.join("epcs.csv"),
+        epc_model::csv::to_csv(&collection.dataset),
+    )
+    .map_err(|e| format!("writing epcs.csv: {e}"))?;
     fs::write(
         dir.join("street_map.txt"),
         collection.city.street_map.to_text()?,
@@ -160,17 +169,19 @@ fn run(
     out_dir: &str,
 ) -> Result<(), String> {
     let dataset = load_dataset(data)?;
-    let street_text =
-        fs::read_to_string(streets).map_err(|e| format!("reading {streets}: {e}"))?;
+    let street_text = fs::read_to_string(streets).map_err(|e| format!("reading {streets}: {e}"))?;
     let street_map = StreetMap::from_text(&street_text)?;
     let regions_text =
         fs::read_to_string(regions).map_err(|e| format!("reading {regions}: {e}"))?;
     let hierarchy: RegionHierarchy =
         serde_json::from_str(&regions_text).map_err(|e| format!("parsing {regions}: {e}"))?;
 
-    let engine = Indice::new(dataset, street_map, hierarchy, IndiceConfig::default());
-    let output = engine
-        .run(stakeholder)
+    // Thread budget comes from INDICE_THREADS (default: all hardware
+    // threads); outputs are identical either way, only wall time changes.
+    let engine = Indice::new(dataset, street_map, hierarchy, IndiceConfig::default())
+        .with_runtime(epc_runtime::RuntimeConfig::from_env());
+    let (output, report) = engine
+        .run_detailed(stakeholder)
         .map_err(|e| format!("pipeline failed: {e}"))?;
 
     let dir = Path::new(out_dir);
@@ -180,6 +191,7 @@ fn run(
     for (name, content) in &output.artifacts {
         fs::write(dir.join(name), content).map_err(|e| format!("writing {name}: {e}"))?;
     }
+    print!("{report}");
     println!(
         "pipeline done: {} records kept, K = {}, {} rules; dashboard + {} artifacts in {out_dir}/",
         output.preprocess.dataset.n_rows(),

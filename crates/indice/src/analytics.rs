@@ -7,11 +7,11 @@ use crate::error::IndiceError;
 use epc_mining::apriori::TransactionSet;
 use epc_mining::cart::RegressionTree;
 use epc_mining::discretize::Discretizer;
-use epc_mining::elbow::{elbow_k_by_distance, sse_curve};
+use epc_mining::elbow::{elbow_k_by_distance, sse_curve_with_runtime};
 use epc_mining::kmeans::{KMeans, KMeansConfig, KMeansModel};
 use epc_mining::matrix::Matrix;
 use epc_mining::normalize::MinMaxScaler;
-use epc_mining::rules::{mine_rules, AssociationRule};
+use epc_mining::rules::{mine_rules, mine_rules_with_runtime, AssociationRule};
 use epc_model::Dataset;
 use epc_stats::correlation::{correlation_matrix, CorrelationMatrix};
 use epc_stats::quantile::quantile;
@@ -69,9 +69,23 @@ impl AnalyticsOutput {
 
 /// Runs the analytics stage over a (cleaned) dataset.
 pub fn analyze(dataset: &Dataset, config: &IndiceConfig) -> Result<AnalyticsOutput, IndiceError> {
+    analyze_with_runtime(dataset, config, &epc_runtime::RuntimeConfig::sequential())
+}
+
+/// [`analyze`] with an explicit execution runtime: the K-means assignment
+/// loops (elbow sweep and final fit) and the Apriori support counting run
+/// data-parallel under `runtime`, with outputs bitwise identical to the
+/// sequential run.
+pub fn analyze_with_runtime(
+    dataset: &Dataset,
+    config: &IndiceConfig,
+    runtime: &epc_runtime::RuntimeConfig,
+) -> Result<AnalyticsOutput, IndiceError> {
     let a = &config.analytics;
     if a.features.is_empty() {
-        return Err(IndiceError::Config("no clustering features configured".into()));
+        return Err(IndiceError::Config(
+            "no clustering features configured".into(),
+        ));
     }
     let feature_ids: Vec<_> = a
         .features
@@ -113,8 +127,7 @@ pub fn analyze(dataset: &Dataset, config: &IndiceConfig) -> Result<AnalyticsOutp
         )));
     }
     let matrix = Matrix::from_vec(data, feature_rows.len(), feature_ids.len());
-    let (scaler, scaled) =
-        MinMaxScaler::fit_transform(&matrix).expect("matrix checked non-empty");
+    let (scaler, scaled) = MinMaxScaler::fit_transform(&matrix).expect("matrix checked non-empty");
 
     // --- K selection + final fit (§2.2.2) ---
     let base = KMeansConfig {
@@ -129,7 +142,7 @@ pub fn analyze(dataset: &Dataset, config: &IndiceConfig) -> Result<AnalyticsOutp
             if k_min >= k_max {
                 return Err(IndiceError::Config("elbow needs k_min < k_max".into()));
             }
-            let curve = sse_curve(&scaled, k_min..=k_max, &base);
+            let curve = sse_curve_with_runtime(&scaled, k_min..=k_max, &base, runtime);
             // Real SSE curves are smooth and convex; the geometric elbow
             // (max distance from the endpoint chord) is the stable reading
             // of the paper's "marginal decrease maximized" criterion. The
@@ -145,7 +158,7 @@ pub fn analyze(dataset: &Dataset, config: &IndiceConfig) -> Result<AnalyticsOutp
         k: chosen_k,
         ..base
     })
-    .fit(&scaled)
+    .fit_with_runtime(&scaled, runtime)
     .ok_or_else(|| {
         IndiceError::Clustering(format!(
             "cannot fit k = {chosen_k} on {} rows",
@@ -196,7 +209,7 @@ pub fn analyze(dataset: &Dataset, config: &IndiceConfig) -> Result<AnalyticsOutp
         }
         transactions.push_owned(&items);
     }
-    let rules = mine_rules(&transactions, &config.rule_stage.rules);
+    let rules = mine_rules_with_runtime(&transactions, &config.rule_stage.rules, runtime);
 
     Ok(AnalyticsOutput {
         feature_names: a.features.clone(),
@@ -228,6 +241,28 @@ pub fn rules_by_region(
     level: epc_model::Granularity,
     min_region_size: usize,
 ) -> Result<std::collections::BTreeMap<String, Vec<AssociationRule>>, IndiceError> {
+    rules_by_region_with_runtime(
+        dataset,
+        analytics,
+        config,
+        level,
+        min_region_size,
+        &epc_runtime::RuntimeConfig::sequential(),
+    )
+}
+
+/// [`rules_by_region`] with an explicit execution runtime: each region is
+/// one coarse parallel task (regions mine independently; the output map is
+/// reassembled in region-name order, so results never depend on the thread
+/// budget).
+pub fn rules_by_region_with_runtime(
+    dataset: &Dataset,
+    analytics: &AnalyticsOutput,
+    config: &IndiceConfig,
+    level: epc_model::Granularity,
+    min_region_size: usize,
+    runtime: &epc_runtime::RuntimeConfig,
+) -> Result<std::collections::BTreeMap<String, Vec<AssociationRule>>, IndiceError> {
     use epc_model::wellknown as wk;
     let region_attr = match level {
         epc_model::Granularity::District => wk::DISTRICT,
@@ -250,28 +285,43 @@ pub fn rules_by_region(
         }
     }
 
-    let mut out = std::collections::BTreeMap::new();
-    for (region, rows) in groups {
-        if rows.len() < min_region_size {
-            continue;
-        }
-        let mut transactions = TransactionSet::new();
-        for &row in &rows {
-            let mut items: Vec<String> = Vec::new();
-            for d in &analytics.discretizers {
-                let id = dataset.schema().require(&d.attribute)?;
-                if let Some(x) = dataset.num(row, id) {
-                    items.push(d.item(x));
-                }
-            }
-            if let Some(y) = dataset.num(row, response_id) {
-                items.push(analytics.response_discretizer.item(y));
-            }
-            transactions.push_owned(&items);
-        }
-        out.insert(region, mine_rules(&transactions, &config.rule_stage.rules));
+    // Resolve the discretizer attribute ids up front so the parallel tasks
+    // are infallible.
+    let mut discretizer_ids = Vec::with_capacity(analytics.discretizers.len());
+    for d in &analytics.discretizers {
+        discretizer_ids.push(dataset.schema().require(&d.attribute)?);
     }
-    Ok(out)
+
+    // One region per coarse task: regions are few but each mines a full
+    // Apriori lattice. BTreeMap iteration is name-ordered, so the task
+    // list — and the reassembled map — is deterministic.
+    let tasks: Vec<(&String, &Vec<usize>)> = groups
+        .iter()
+        .filter(|(_, rows)| rows.len() >= min_region_size)
+        .collect();
+    let mined: Vec<Vec<AssociationRule>> =
+        epc_runtime::par_map_coarse(runtime, &tasks, |(_, rows)| {
+            let mut transactions = TransactionSet::new();
+            for &row in rows.iter() {
+                let mut items: Vec<String> = Vec::new();
+                for (d, &id) in analytics.discretizers.iter().zip(&discretizer_ids) {
+                    if let Some(x) = dataset.num(row, id) {
+                        items.push(d.item(x));
+                    }
+                }
+                if let Some(y) = dataset.num(row, response_id) {
+                    items.push(analytics.response_discretizer.item(y));
+                }
+                transactions.push_owned(&items);
+            }
+            mine_rules(&transactions, &config.rule_stage.rules)
+        });
+
+    Ok(tasks
+        .into_iter()
+        .map(|(region, _)| region.clone())
+        .zip(mined)
+        .collect())
 }
 
 /// Builds one discretizer per feature: the paper's fixed footnote-4 bins
@@ -374,7 +424,11 @@ mod tests {
         assert_eq!(out.correlation.len(), 5);
         assert!(out.chosen_k >= 2 && out.chosen_k <= 10);
         assert_eq!(out.kmeans.k(), out.chosen_k);
-        assert_eq!(out.feature_rows.len(), ds.n_rows(), "clean data: all rows cluster");
+        assert_eq!(
+            out.feature_rows.len(),
+            ds.n_rows(),
+            "clean data: all rows cluster"
+        );
         assert_eq!(out.cluster_summaries.len(), out.chosen_k);
         assert!(!out.rules.is_empty(), "synthetic data must yield rules");
         assert!(!out.sse_curve.is_empty());
@@ -431,10 +485,9 @@ mod tests {
         let out = analyze(&ds, &IndiceConfig::default()).unwrap();
         // Expect at least one rule linking a footnote-4 item to an EPH bin.
         let found = out.rules.iter().any(|r| {
-            let mentions_feature = r
-                .antecedent
-                .iter()
-                .any(|i| i.starts_with("u_windows=") || i.starts_with("u_opaque=") || i.starts_with("eta_h="));
+            let mentions_feature = r.antecedent.iter().any(|i| {
+                i.starts_with("u_windows=") || i.starts_with("u_opaque=") || i.starts_with("eta_h=")
+            });
             let mentions_response = r.consequent.iter().any(|i| i.starts_with("eph="));
             mentions_feature && mentions_response
         });

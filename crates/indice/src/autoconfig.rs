@@ -115,9 +115,7 @@ fn advise_attribute(dataset: &Dataset, attr: &str, n: usize) -> AttributeAdvice 
     } else if skew.abs() >= HEAVY_SKEW || kurt >= HEAVY_TAILS {
         (
             UnivariateMethod::default_mad(),
-            format!(
-                "heavily skewed/heavy-tailed (skew {skew:.2}, kurt {kurt:.2}): robust MAD"
-            ),
+            format!("heavily skewed/heavy-tailed (skew {skew:.2}, kurt {kurt:.2}): robust MAD"),
         )
     } else if skew.abs() >= MODERATE_SKEW {
         (
@@ -190,8 +188,7 @@ mod tests {
         let small = suggest_config(&dataset(500), &IndiceConfig::default());
         let large = suggest_config(&dataset(12_000), &IndiceConfig::default());
         assert!(
-            small.config.rule_stage.rules.min_support
-                > large.config.rule_stage.rules.min_support
+            small.config.rule_stage.rules.min_support > large.config.rule_stage.rules.min_support
         );
     }
 

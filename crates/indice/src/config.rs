@@ -72,9 +72,15 @@ pub struct AnalyticsConfig {
 impl Default for AnalyticsConfig {
     fn default() -> Self {
         AnalyticsConfig {
-            features: wk::CASE_STUDY_FEATURES.iter().map(|s| s.to_string()).collect(),
+            features: wk::CASE_STUDY_FEATURES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             response: wk::EPH.to_string(),
-            k: KSelection::Elbow { k_min: 2, k_max: 10 },
+            k: KSelection::Elbow {
+                k_min: 2,
+                k_max: 10,
+            },
             init: KMeansInit::KMeansPlusPlus,
             seed: 42,
             correlation_threshold: 0.8,
@@ -169,7 +175,13 @@ mod tests {
         assert_eq!(cfg.building_category.as_deref(), Some("E.1.1"));
         assert_eq!(cfg.analytics.features.len(), 5);
         assert_eq!(cfg.analytics.response, "eph");
-        assert!(matches!(cfg.analytics.k, KSelection::Elbow { k_min: 2, k_max: 10 }));
+        assert!(matches!(
+            cfg.analytics.k,
+            KSelection::Elbow {
+                k_min: 2,
+                k_max: 10
+            }
+        ));
         assert!(cfg.outliers.multivariate);
         assert_eq!(cfg.outliers.univariate.len(), 5);
         assert!(cfg.cleaning.phi > 0.5 && cfg.cleaning.phi < 1.0);

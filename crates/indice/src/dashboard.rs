@@ -259,37 +259,80 @@ pub fn drilldown_series(
     stakeholder: Stakeholder,
     top_k_rules: usize,
 ) -> Result<BTreeMap<String, String>, IndiceError> {
-    let mut pages = BTreeMap::new();
-    for level in Granularity::ALL {
-        let spec = ReportSpec {
-            granularity: level,
-            ..default_report_spec(stakeholder)
-        };
-        let out = build_dashboard_with_spec(dataset, hierarchy, analytics, &spec, top_k_rules)?;
-        let mut html = out.dashboard.render_html();
-        // Inject the zoom-navigation bar right after the header.
-        let nav: String = {
-            let mut nav = String::from("<nav style=\"padding:8px 24px;background:#1b3349;\">zoom: ");
-            for l in Granularity::ALL {
-                if l == level {
-                    nav.push_str(&format!(
-                        "<strong style=\"color:#fff;margin-right:12px;\">{l}</strong>"
-                    ));
-                } else {
-                    nav.push_str(&format!(
-                        "<a style=\"color:#9fc2e0;margin-right:12px;\" href=\"dashboard_{l}.html\">{l}</a>"
-                    ));
-                }
+    drilldown_series_with_runtime(
+        dataset,
+        hierarchy,
+        analytics,
+        stakeholder,
+        top_k_rules,
+        &epc_runtime::RuntimeConfig::sequential(),
+    )
+}
+
+/// [`drilldown_series`] with an explicit execution runtime: each zoom
+/// level renders as one coarse parallel task (the four dashboards share no
+/// state, and the page map is keyed by level name, so the output never
+/// depends on the thread budget).
+pub fn drilldown_series_with_runtime(
+    dataset: &Dataset,
+    hierarchy: &RegionHierarchy,
+    analytics: &AnalyticsOutput,
+    stakeholder: Stakeholder,
+    top_k_rules: usize,
+    runtime: &epc_runtime::RuntimeConfig,
+) -> Result<BTreeMap<String, String>, IndiceError> {
+    let rendered: Vec<Result<(String, String), IndiceError>> =
+        epc_runtime::par_map_coarse(runtime, &Granularity::ALL, |&level| {
+            let page = render_zoom_page(
+                dataset,
+                hierarchy,
+                analytics,
+                stakeholder,
+                top_k_rules,
+                level,
+            )?;
+            Ok((format!("dashboard_{level}.html"), page))
+        });
+    rendered.into_iter().collect()
+}
+
+/// Renders the single zoom-level page of the drill-down series, nav bar
+/// included.
+fn render_zoom_page(
+    dataset: &Dataset,
+    hierarchy: &RegionHierarchy,
+    analytics: &AnalyticsOutput,
+    stakeholder: Stakeholder,
+    top_k_rules: usize,
+    level: Granularity,
+) -> Result<String, IndiceError> {
+    let spec = ReportSpec {
+        granularity: level,
+        ..default_report_spec(stakeholder)
+    };
+    let out = build_dashboard_with_spec(dataset, hierarchy, analytics, &spec, top_k_rules)?;
+    let mut html = out.dashboard.render_html();
+    // Inject the zoom-navigation bar right after the header.
+    let nav: String = {
+        let mut nav = String::from("<nav style=\"padding:8px 24px;background:#1b3349;\">zoom: ");
+        for l in Granularity::ALL {
+            if l == level {
+                nav.push_str(&format!(
+                    "<strong style=\"color:#fff;margin-right:12px;\">{l}</strong>"
+                ));
+            } else {
+                nav.push_str(&format!(
+                    "<a style=\"color:#9fc2e0;margin-right:12px;\" href=\"dashboard_{l}.html\">{l}</a>"
+                ));
             }
-            nav.push_str("</nav>");
-            nav
-        };
-        if let Some(pos) = html.find("</header>") {
-            html.insert_str(pos + "</header>".len(), &nav);
         }
-        pages.insert(format!("dashboard_{level}.html"), html);
+        nav.push_str("</nav>");
+        nav
+    };
+    if let Some(pos) = html.find("</header>") {
+        html.insert_str(pos + "</header>".len(), &nav);
     }
-    Ok(pages)
+    Ok(html)
 }
 
 /// Renders the Figure-2 map series: choropleth + scatter at housing-unit
@@ -309,10 +352,7 @@ pub fn figure2_maps(
         .iter()
         .filter_map(|r| r.values[0].map(|v| (r.group.as_str(), v)))
         .collect();
-    let mut choro = ChoroplethMap::new(
-        &format!("Average {attribute} by neighbourhood"),
-        &label,
-    );
+    let mut choro = ChoroplethMap::new(&format!("Average {attribute} by neighbourhood"), &label);
     for region in hierarchy.regions_at(Granularity::Neighbourhood) {
         choro.add_area(region.clone(), means.get(region.name.as_str()).copied());
     }
@@ -326,8 +366,7 @@ pub fn figure2_maps(
 
     // Bottom row: cluster-markers at district and city level.
     for level in [Granularity::District, Granularity::City] {
-        let mut map =
-            ClusterMarkerMap::new(&format!("{attribute} cluster-markers"), &label, level);
+        let mut map = ClusterMarkerMap::new(&format!("{attribute} cluster-markers"), &label, level);
         for (p, v, _) in &points {
             map.add_point(*p, *v);
         }
@@ -442,9 +481,20 @@ mod tests {
     #[test]
     fn pa_dashboard_has_all_figure4_panels() {
         let (ds, hier, analytics) = setup();
-        let out = build_dashboard(&ds, &hier, &analytics, Stakeholder::PublicAdministration, 10)
-            .unwrap();
-        let titles: Vec<&str> = out.dashboard.panels().iter().map(|p| p.title.as_str()).collect();
+        let out = build_dashboard(
+            &ds,
+            &hier,
+            &analytics,
+            Stakeholder::PublicAdministration,
+            10,
+        )
+        .unwrap();
+        let titles: Vec<&str> = out
+            .dashboard
+            .panels()
+            .iter()
+            .map(|p| p.title.as_str())
+            .collect();
         assert!(titles.contains(&"Cluster-marker map"));
         assert!(titles.contains(&"Frequency distribution"));
         assert!(titles.contains(&"Distribution by cluster"));
@@ -459,7 +509,12 @@ mod tests {
     fn citizen_dashboard_is_simpler() {
         let (ds, hier, analytics) = setup();
         let out = build_dashboard(&ds, &hier, &analytics, Stakeholder::Citizen, 10).unwrap();
-        let titles: Vec<&str> = out.dashboard.panels().iter().map(|p| p.title.as_str()).collect();
+        let titles: Vec<&str> = out
+            .dashboard
+            .panels()
+            .iter()
+            .map(|p| p.title.as_str())
+            .collect();
         assert!(titles.contains(&"Choropleth map"));
         assert!(titles.contains(&"Scatter map"));
         assert!(!titles.contains(&"Association rules"));
@@ -468,17 +523,23 @@ mod tests {
     #[test]
     fn artifacts_include_geojson_and_svg() {
         let (ds, hier, analytics) = setup();
-        let out = build_dashboard(&ds, &hier, &analytics, Stakeholder::PublicAdministration, 10)
-            .unwrap();
+        let out = build_dashboard(
+            &ds,
+            &hier,
+            &analytics,
+            Stakeholder::PublicAdministration,
+            10,
+        )
+        .unwrap();
         assert!(out.artifacts.contains_key("clustermarkers_district.svg"));
-        assert!(out.artifacts.contains_key("clustermarkers_district.geojson"));
+        assert!(out
+            .artifacts
+            .contains_key("clustermarkers_district.geojson"));
         assert!(out.artifacts.contains_key("correlation_matrix.svg"));
         assert!(out.artifacts.contains_key("rules.txt"));
         // GeoJSON is parseable.
-        let geo: serde_json::Value = serde_json::from_str(
-            &out.artifacts["clustermarkers_district.geojson"],
-        )
-        .unwrap();
+        let geo: serde_json::Value =
+            serde_json::from_str(&out.artifacts["clustermarkers_district.geojson"]).unwrap();
         assert_eq!(geo["type"], "FeatureCollection");
     }
 
@@ -499,14 +560,8 @@ mod tests {
     #[test]
     fn drilldown_series_links_every_level() {
         let (ds, hier, analytics) = setup();
-        let pages = drilldown_series(
-            &ds,
-            &hier,
-            &analytics,
-            Stakeholder::PublicAdministration,
-            8,
-        )
-        .unwrap();
+        let pages =
+            drilldown_series(&ds, &hier, &analytics, Stakeholder::PublicAdministration, 8).unwrap();
         assert_eq!(pages.len(), 4);
         for level in Granularity::ALL {
             let page = &pages[&format!("dashboard_{level}.html")];

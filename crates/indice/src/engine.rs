@@ -1,19 +1,18 @@
 //! The INDICE engine: the three pipeline stages behind one handle, plus the
 //! expert-configuration suggestion loop of §2.1.2.
 
-use crate::analytics::{analyze, AnalyticsOutput};
+use crate::analytics::AnalyticsOutput;
 use crate::config::IndiceConfig;
-use crate::dashboard::{build_dashboard, DashboardOutput};
 use crate::error::IndiceError;
 use crate::outliers::UnivariateMethod;
-use crate::preprocess::{preprocess, PreprocessOutput};
+use crate::pipeline::{run_pipeline, standard_stages, PipelineContext};
+use crate::preprocess::PreprocessOutput;
 use epc_geo::region::RegionHierarchy;
 use epc_geo::streetmap::StreetMap;
-use epc_model::{wellknown as wk, Dataset};
+use epc_model::Dataset;
 use epc_query::config_store::ExpertConfigStore;
-use epc_query::predicate::Predicate;
-use epc_query::query::Query;
 use epc_query::stakeholder::Stakeholder;
+use epc_runtime::{PipelineReport, RuntimeConfig};
 use epc_synth::epcgen::SyntheticCollection;
 use epc_viz::dashboard::Dashboard;
 use std::collections::BTreeMap;
@@ -37,11 +36,13 @@ pub struct Indice {
     street_map: StreetMap,
     hierarchy: RegionHierarchy,
     config: IndiceConfig,
+    runtime: RuntimeConfig,
     expert_store: ExpertConfigStore<UnivariateMethod>,
 }
 
 impl Indice {
-    /// Creates an engine from its raw parts.
+    /// Creates an engine from its raw parts, executing on the machine's
+    /// default thread budget (override with [`Indice::with_runtime`]).
     pub fn new(
         dataset: Dataset,
         street_map: StreetMap,
@@ -53,8 +54,27 @@ impl Indice {
             street_map,
             hierarchy,
             config,
+            runtime: RuntimeConfig::default(),
             expert_store: ExpertConfigStore::new(),
         }
+    }
+
+    /// Sets the execution runtime (builder style). Outputs are bitwise
+    /// identical for any thread budget — the runtime only changes how fast
+    /// they are produced.
+    pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Replaces the execution runtime in place.
+    pub fn set_runtime(&mut self, runtime: RuntimeConfig) {
+        self.runtime = runtime;
+    }
+
+    /// The engine's execution runtime.
+    pub fn runtime(&self) -> RuntimeConfig {
+        self.runtime
     }
 
     /// Creates an engine directly from a synthetic collection (the usual
@@ -118,43 +138,43 @@ impl Indice {
     /// Runs the full pipeline for a stakeholder: category selection →
     /// pre-processing → analytics → dashboard.
     pub fn run(&self, stakeholder: Stakeholder) -> Result<IndiceOutput, IndiceError> {
+        self.run_detailed(stakeholder).map(|(output, _)| output)
+    }
+
+    /// Like [`Indice::run`], additionally returning the per-stage
+    /// instrumentation report (wall time and record counts per block).
+    pub fn run_detailed(
+        &self,
+        stakeholder: Stakeholder,
+    ) -> Result<(IndiceOutput, PipelineReport), IndiceError> {
         let config = self.config_with_suggestions();
-
-        // Data selection (§2.2.1): the case study filters on E.1.1.
-        let selected = match &config.building_category {
-            Some(cat) => {
-                Query::filtered(Predicate::eq(wk::BUILDING_CATEGORY, cat)).run(&self.dataset)?
-            }
-            None => self.dataset.clone(),
-        };
-        if selected.is_empty() {
-            return Err(IndiceError::EmptyCollection("category selection"));
-        }
-
-        let pre = preprocess(selected, &self.street_map, &config)?;
-        let analytics = analyze(&pre.dataset, &config)?;
-        let DashboardOutput {
-            dashboard,
-            artifacts,
-        } = build_dashboard(
-            &pre.dataset,
+        let mut ctx = PipelineContext::new(
+            &self.dataset,
+            &self.street_map,
             &self.hierarchy,
-            &analytics,
+            config,
             stakeholder,
-            config.rule_stage.top_k,
-        )?;
-        Ok(IndiceOutput {
-            preprocess: pre,
-            analytics,
-            dashboard,
-            artifacts,
-        })
+            self.runtime,
+        );
+        let report = run_pipeline(&standard_stages(), &mut ctx)?;
+        let output = IndiceOutput {
+            preprocess: ctx
+                .preprocess
+                .expect("pipeline ran: preprocess output present"),
+            analytics: ctx
+                .analytics
+                .expect("pipeline ran: analytics output present"),
+            dashboard: ctx.dashboard.expect("pipeline ran: dashboard present"),
+            artifacts: ctx.artifacts,
+        };
+        Ok((output, report))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use epc_model::wellknown as wk;
     use epc_synth::city::CityConfig;
     use epc_synth::epcgen::{EpcGenerator, SynthConfig};
     use epc_synth::noise::{apply_noise, NoiseConfig};
@@ -188,6 +208,31 @@ mod tests {
         let html = out.dashboard.render_html();
         assert!(html.contains("INDICE"));
         assert!(!out.artifacts.is_empty());
+    }
+
+    #[test]
+    fn run_detailed_reports_the_three_stages() {
+        let engine = engine();
+        let (out, report) = engine
+            .run_detailed(Stakeholder::PublicAdministration)
+            .unwrap();
+        let names: Vec<&str> = report.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["preprocess", "analytics", "dashboard"]);
+        // Counts line up with the pipeline products.
+        assert_eq!(
+            report.stage("preprocess").unwrap().records_out,
+            out.preprocess.dataset.n_rows()
+        );
+        assert_eq!(
+            report.stage("dashboard").unwrap().records_out,
+            out.artifacts.len()
+        );
+        // The zoom drill-down pages ride along as artifacts.
+        for level in epc_model::Granularity::ALL {
+            assert!(out
+                .artifacts
+                .contains_key(&format!("dashboard_{level}.html")));
+        }
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //!    frequency distributions, rule tables and correlation matrices,
 //!    assembled into self-contained HTML + GeoJSON artifacts (§2.3).
 //!
+//! The stages are first-class [`pipeline::Stage`] values executed over a
+//! shared [`pipeline::PipelineContext`] by a staged executor that times
+//! every block and runs each block's hot loops data-parallel through
+//! [`epc_runtime`] — deterministically: outputs are bitwise identical for
+//! any thread budget (set it with `INDICE_THREADS` or
+//! [`engine::Indice::with_runtime`]).
+//!
 //! The [`engine::Indice`] type ties the stages together:
 //!
 //! ```no_run
@@ -49,6 +56,7 @@ pub mod dashboard;
 pub mod engine;
 pub mod error;
 pub mod outliers;
+pub mod pipeline;
 pub mod preprocess;
 
 pub use autoconfig::{suggest_config, ConfigAdvice};
@@ -56,3 +64,7 @@ pub use config::{AnalyticsConfig, IndiceConfig, KSelection, OutlierConfig, RuleS
 pub use engine::{Indice, IndiceOutput};
 pub use error::IndiceError;
 pub use outliers::UnivariateMethod;
+pub use pipeline::{
+    run_pipeline, AnalyticsStage, DashboardStage, PipelineContext, PreprocessStage, Stage,
+    StageStats,
+};

@@ -101,7 +101,9 @@ mod tests {
     use std::collections::HashMap;
 
     fn spiky_data() -> Vec<f64> {
-        let mut v: Vec<f64> = (0..200).map(|i| 10.0 + ((i * 37) % 100) as f64 / 100.0).collect();
+        let mut v: Vec<f64> = (0..200)
+            .map(|i| 10.0 + ((i * 37) % 100) as f64 / 100.0)
+            .collect();
         v[17] = 500.0;
         v[120] = -400.0;
         v

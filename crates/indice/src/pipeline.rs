@@ -1,0 +1,315 @@
+//! The staged pipeline executor behind [`crate::engine::Indice`].
+//!
+//! The paper's Figure-1 architecture is three sequential blocks. This
+//! module makes each block a first-class [`Stage`] over a shared
+//! [`PipelineContext`], so stages can be instrumented, re-run with a
+//! changed configuration, or skipped when their inputs are already cached
+//! in the context — without re-running the whole pipeline.
+//!
+//! [`run_pipeline`] executes a stage sequence, timing each stage with
+//! [`epc_runtime::StageTimer`] and collecting a per-stage
+//! [`epc_runtime::PipelineReport`]. All intra-stage data-parallelism goes
+//! through [`epc_runtime`]'s deterministic primitives, so a pipeline run
+//! produces bitwise-identical outputs for any thread budget.
+
+use crate::analytics::{analyze_with_runtime, AnalyticsOutput};
+use crate::config::IndiceConfig;
+use crate::dashboard::{build_dashboard, drilldown_series_with_runtime};
+use crate::error::IndiceError;
+use crate::preprocess::{preprocess_with_runtime, PreprocessOutput};
+use epc_geo::region::RegionHierarchy;
+use epc_geo::streetmap::StreetMap;
+use epc_model::{wellknown as wk, Dataset};
+use epc_query::predicate::Predicate;
+use epc_query::query::Query;
+use epc_query::stakeholder::Stakeholder;
+use epc_runtime::{PipelineReport, RuntimeConfig, StageTimer};
+use epc_viz::dashboard::Dashboard;
+use std::collections::BTreeMap;
+
+/// Shared state flowing through the stages: immutable inputs plus the
+/// intermediate products each stage fills in.
+pub struct PipelineContext<'a> {
+    /// The raw input dataset (before category selection).
+    pub dataset: &'a Dataset,
+    /// The referenced street map used by the cleaning pass.
+    pub street_map: &'a StreetMap,
+    /// The region hierarchy of the city under analysis.
+    pub hierarchy: &'a RegionHierarchy,
+    /// The effective configuration (expert suggestions already applied).
+    pub config: IndiceConfig,
+    /// The stakeholder the dashboards are built for.
+    pub stakeholder: Stakeholder,
+    /// The execution runtime every stage's kernels run under.
+    pub runtime: RuntimeConfig,
+    /// Stage-1 product: cleaned, outlier-free data plus reports.
+    pub preprocess: Option<PreprocessOutput>,
+    /// Stage-2 product: clusters, rules, correlations.
+    pub analytics: Option<AnalyticsOutput>,
+    /// Stage-3 product: the assembled dashboard.
+    pub dashboard: Option<Dashboard>,
+    /// Stage-3 product: standalone artifacts, file name → content.
+    pub artifacts: BTreeMap<String, String>,
+}
+
+impl<'a> PipelineContext<'a> {
+    /// A fresh context with no stage products yet.
+    pub fn new(
+        dataset: &'a Dataset,
+        street_map: &'a StreetMap,
+        hierarchy: &'a RegionHierarchy,
+        config: IndiceConfig,
+        stakeholder: Stakeholder,
+        runtime: RuntimeConfig,
+    ) -> Self {
+        PipelineContext {
+            dataset,
+            street_map,
+            hierarchy,
+            config,
+            stakeholder,
+            runtime,
+            preprocess: None,
+            analytics: None,
+            dashboard: None,
+            artifacts: BTreeMap::new(),
+        }
+    }
+
+    /// The cleaned dataset, or an error naming the stage that should have
+    /// produced it.
+    fn cleaned_dataset(&self) -> Result<&Dataset, IndiceError> {
+        self.preprocess
+            .as_ref()
+            .map(|p| &p.dataset)
+            .ok_or(IndiceError::EmptyCollection("preprocess stage not run"))
+    }
+}
+
+/// Record counts a stage reports for instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageStats {
+    /// Records entering the stage.
+    pub records_in: usize,
+    /// Records (or artifacts, for the dashboard stage) leaving it.
+    pub records_out: usize,
+}
+
+/// One pipeline block: reads its inputs from the context, writes its
+/// product back, and reports record counts.
+pub trait Stage {
+    /// The stage name shown in [`PipelineReport`]s.
+    fn name(&self) -> &'static str;
+
+    /// Executes the stage over `ctx`.
+    fn run(&self, ctx: &mut PipelineContext<'_>) -> Result<StageStats, IndiceError>;
+}
+
+/// Stage 1 — category selection (§2.2.1) followed by geospatial cleaning
+/// and outlier removal (§2.1). Fills [`PipelineContext::preprocess`].
+pub struct PreprocessStage;
+
+impl Stage for PreprocessStage {
+    fn name(&self) -> &'static str {
+        "preprocess"
+    }
+
+    fn run(&self, ctx: &mut PipelineContext<'_>) -> Result<StageStats, IndiceError> {
+        // Data selection: the case study filters on E.1.1.
+        let selected = match &ctx.config.building_category {
+            Some(cat) => {
+                Query::filtered(Predicate::eq(wk::BUILDING_CATEGORY, cat)).run(ctx.dataset)?
+            }
+            None => ctx.dataset.clone(),
+        };
+        if selected.is_empty() {
+            return Err(IndiceError::EmptyCollection("category selection"));
+        }
+        let records_in = selected.n_rows();
+        let out = preprocess_with_runtime(selected, ctx.street_map, &ctx.config, &ctx.runtime)?;
+        let records_out = out.dataset.n_rows();
+        ctx.preprocess = Some(out);
+        Ok(StageStats {
+            records_in,
+            records_out,
+        })
+    }
+}
+
+/// Stage 2 — correlation screening, clustering, discretization, and rule
+/// mining (§2.2). Fills [`PipelineContext::analytics`].
+pub struct AnalyticsStage;
+
+impl Stage for AnalyticsStage {
+    fn name(&self) -> &'static str {
+        "analytics"
+    }
+
+    fn run(&self, ctx: &mut PipelineContext<'_>) -> Result<StageStats, IndiceError> {
+        let cleaned = ctx.cleaned_dataset()?;
+        let records_in = cleaned.n_rows();
+        let out = analyze_with_runtime(cleaned, &ctx.config, &ctx.runtime)?;
+        let records_out = out.feature_rows.len();
+        ctx.analytics = Some(out);
+        Ok(StageStats {
+            records_in,
+            records_out,
+        })
+    }
+}
+
+/// Stage 3 — the stakeholder dashboard plus the per-zoom drill-down pages
+/// and standalone artifacts (§2.3). Fills [`PipelineContext::dashboard`]
+/// and [`PipelineContext::artifacts`].
+pub struct DashboardStage;
+
+impl Stage for DashboardStage {
+    fn name(&self) -> &'static str {
+        "dashboard"
+    }
+
+    fn run(&self, ctx: &mut PipelineContext<'_>) -> Result<StageStats, IndiceError> {
+        let cleaned = ctx.cleaned_dataset()?;
+        let analytics = ctx
+            .analytics
+            .as_ref()
+            .ok_or(IndiceError::EmptyCollection("analytics stage not run"))?;
+        let records_in = cleaned.n_rows();
+        let out = build_dashboard(
+            cleaned,
+            ctx.hierarchy,
+            analytics,
+            ctx.stakeholder,
+            ctx.config.rule_stage.top_k,
+        )?;
+        let mut artifacts = out.artifacts;
+        // The drill-down zoom series (one coarse task per level).
+        artifacts.extend(drilldown_series_with_runtime(
+            cleaned,
+            ctx.hierarchy,
+            analytics,
+            ctx.stakeholder,
+            ctx.config.rule_stage.top_k,
+            &ctx.runtime,
+        )?);
+        let records_out = artifacts.len();
+        ctx.dashboard = Some(out.dashboard);
+        ctx.artifacts = artifacts;
+        Ok(StageStats {
+            records_in,
+            records_out,
+        })
+    }
+}
+
+/// Runs `stages` in order over `ctx`, timing each one. A failing stage
+/// aborts the run and propagates its error.
+pub fn run_pipeline(
+    stages: &[&dyn Stage],
+    ctx: &mut PipelineContext<'_>,
+) -> Result<PipelineReport, IndiceError> {
+    let mut report = PipelineReport::new(ctx.runtime.threads);
+    for stage in stages {
+        let timer = StageTimer::start(stage.name());
+        let stats = stage.run(ctx)?;
+        report.push(timer.finish(stats.records_in, stats.records_out));
+    }
+    Ok(report)
+}
+
+/// The standard three-block sequence of Figure 1.
+pub fn standard_stages() -> [&'static dyn Stage; 3] {
+    [&PreprocessStage, &AnalyticsStage, &DashboardStage]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epc_synth::city::CityConfig;
+    use epc_synth::epcgen::{EpcGenerator, SynthConfig};
+    use epc_synth::noise::{apply_noise, NoiseConfig};
+
+    fn collection() -> epc_synth::epcgen::SyntheticCollection {
+        let mut c = EpcGenerator::new(SynthConfig {
+            n_records: 700,
+            city: CityConfig {
+                n_districts: 4,
+                neighbourhoods_per_district: 2,
+                streets_per_neighbourhood: 3,
+                houses_per_street: 8,
+                ..CityConfig::default()
+            },
+            ..SynthConfig::default()
+        })
+        .generate();
+        apply_noise(&mut c, &NoiseConfig::default());
+        c
+    }
+
+    #[test]
+    fn full_pipeline_reports_every_stage() {
+        let c = collection();
+        let mut ctx = PipelineContext::new(
+            &c.dataset,
+            &c.city.street_map,
+            &c.city.hierarchy,
+            IndiceConfig::default(),
+            Stakeholder::PublicAdministration,
+            RuntimeConfig::sequential(),
+        );
+        let report = run_pipeline(&standard_stages(), &mut ctx).unwrap();
+        assert_eq!(report.stages.len(), 3);
+        assert_eq!(report.stages[0].name, "preprocess");
+        assert_eq!(report.stages[1].name, "analytics");
+        assert_eq!(report.stages[2].name, "dashboard");
+        assert!(report.stage("preprocess").unwrap().records_in > 0);
+        assert!(ctx.preprocess.is_some());
+        assert!(ctx.analytics.is_some());
+        assert!(ctx.dashboard.is_some());
+        assert!(!ctx.artifacts.is_empty());
+        // The drill-down pages ride along as artifacts.
+        assert!(ctx.artifacts.contains_key("dashboard_district.html"));
+    }
+
+    #[test]
+    fn stages_out_of_order_fail_cleanly() {
+        let c = collection();
+        let mut ctx = PipelineContext::new(
+            &c.dataset,
+            &c.city.street_map,
+            &c.city.hierarchy,
+            IndiceConfig::default(),
+            Stakeholder::Citizen,
+            RuntimeConfig::sequential(),
+        );
+        assert!(AnalyticsStage.run(&mut ctx).is_err());
+        assert!(DashboardStage.run(&mut ctx).is_err());
+    }
+
+    #[test]
+    fn a_stage_can_be_rerun_on_cached_inputs() {
+        let c = collection();
+        let mut ctx = PipelineContext::new(
+            &c.dataset,
+            &c.city.street_map,
+            &c.city.hierarchy,
+            IndiceConfig::default(),
+            Stakeholder::PublicAdministration,
+            RuntimeConfig::sequential(),
+        );
+        run_pipeline(&standard_stages(), &mut ctx).unwrap();
+        let first_k = ctx.analytics.as_ref().unwrap().chosen_k;
+
+        // Re-run analytics alone with a fixed K — preprocessing is reused
+        // from the context, untouched.
+        let cleaned_rows = ctx.preprocess.as_ref().unwrap().dataset.n_rows();
+        ctx.config.analytics.k = crate::config::KSelection::Fixed(first_k + 1);
+        let stats = AnalyticsStage.run(&mut ctx).unwrap();
+        assert_eq!(stats.records_in, cleaned_rows);
+        assert_eq!(ctx.analytics.as_ref().unwrap().chosen_k, first_k + 1);
+        assert_eq!(
+            ctx.preprocess.as_ref().unwrap().dataset.n_rows(),
+            cleaned_rows
+        );
+    }
+}

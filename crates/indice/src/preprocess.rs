@@ -6,11 +6,11 @@
 use crate::config::IndiceConfig;
 use crate::error::IndiceError;
 use epc_geo::address::Address;
-use epc_geo::cleaning::{clean_addresses, AddressQuery, CleaningReport};
+use epc_geo::cleaning::{AddressQuery, CleaningReport};
 use epc_geo::geocode::{QuotaGeocoder, SimulatedGeocoder};
 use epc_geo::point::GeoPoint;
 use epc_geo::streetmap::StreetMap;
-use epc_mining::dbscan::{dbscan, DbscanConfig};
+use epc_mining::dbscan::{dbscan_with_runtime, DbscanConfig};
 use epc_mining::kdistance::estimate_dbscan_params;
 use epc_mining::matrix::Matrix;
 use epc_model::{wellknown as wk, Dataset, Value};
@@ -44,14 +44,32 @@ const PARAM_ESTIMATION_SAMPLE: usize = 1_500;
 /// Runs stage 1 over `dataset` (consumed), using `street_map` both as the
 /// referenced map and as the simulated geocoder's ground truth.
 pub fn preprocess(
+    dataset: Dataset,
+    street_map: &StreetMap,
+    config: &IndiceConfig,
+) -> Result<PreprocessOutput, IndiceError> {
+    preprocess_with_runtime(
+        dataset,
+        street_map,
+        config,
+        &epc_runtime::RuntimeConfig::sequential(),
+    )
+}
+
+/// [`preprocess`] with an explicit execution runtime: the per-record
+/// Levenshtein matching of the cleaning pass and DBSCAN's region queries
+/// run data-parallel under `runtime`, with outputs bitwise identical to
+/// the sequential run.
+pub fn preprocess_with_runtime(
     mut dataset: Dataset,
     street_map: &StreetMap,
     config: &IndiceConfig,
+    runtime: &epc_runtime::RuntimeConfig,
 ) -> Result<PreprocessOutput, IndiceError> {
     if dataset.is_empty() {
         return Err(IndiceError::EmptyCollection("preprocess"));
     }
-    let cleaning = clean_geospatial(&mut dataset, street_map, config)?;
+    let cleaning = clean_geospatial(&mut dataset, street_map, config, runtime)?;
 
     // --- Univariate outliers ---
     let mut flagged: BTreeSet<usize> = BTreeSet::new();
@@ -59,7 +77,11 @@ pub fn preprocess(
     for (attr, method) in &config.outliers.univariate {
         let id = dataset.schema().require(attr)?;
         let (values, rows) = dataset.numeric_with_rows(id);
-        let hits: Vec<usize> = method.detect(&values).into_iter().map(|i| rows[i]).collect();
+        let hits: Vec<usize> = method
+            .detect(&values)
+            .into_iter()
+            .map(|i| rows[i])
+            .collect();
         flagged.extend(hits.iter().copied());
         univariate_flagged.insert(attr.clone(), hits);
     }
@@ -78,8 +100,7 @@ pub fn preprocess(
         let mut rows = Vec::new();
         let mut data = Vec::new();
         for r in 0..dataset.n_rows() {
-            let vals: Option<Vec<f64>> =
-                feature_ids.iter().map(|&id| dataset.num(r, id)).collect();
+            let vals: Option<Vec<f64>> = feature_ids.iter().map(|&id| dataset.num(r, id)).collect();
             if let Some(v) = vals {
                 rows.push(r);
                 data.extend(v);
@@ -105,7 +126,7 @@ pub fn preprocess(
                 )
             };
             if let Some(params) = params {
-                let result = dbscan(&scaled, &params);
+                let result = dbscan_with_runtime(&scaled, &params, runtime);
                 multivariate_flagged = result
                     .noise_indices()
                     .into_iter()
@@ -146,6 +167,7 @@ fn clean_geospatial(
     dataset: &mut Dataset,
     street_map: &StreetMap,
     config: &IndiceConfig,
+    runtime: &epc_runtime::RuntimeConfig,
 ) -> Result<CleaningReport, IndiceError> {
     let schema = dataset.schema_arc();
     let addr_id = schema.require(wk::ADDRESS)?;
@@ -189,7 +211,13 @@ fn clean_geospatial(
     } else {
         None
     };
-    let (cleaned, report) = clean_addresses(&queries, street_map, geocoder_ref, &config.cleaning);
+    let (cleaned, report) = epc_geo::cleaning::clean_addresses_with_runtime(
+        &queries,
+        street_map,
+        geocoder_ref,
+        &config.cleaning,
+        runtime,
+    );
 
     for c in cleaned {
         let row = c.id;
@@ -246,8 +274,12 @@ mod tests {
     #[test]
     fn clean_collection_loses_almost_nothing() {
         let c = collection(false);
-        let out = preprocess(c.dataset.clone(), &c.city.street_map, &IndiceConfig::default())
-            .unwrap();
+        let out = preprocess(
+            c.dataset.clone(),
+            &c.city.street_map,
+            &IndiceConfig::default(),
+        )
+        .unwrap();
         assert_eq!(out.cleaning.unresolved, 0, "all addresses are canonical");
         // Only statistical false positives may be removed (MAD tails and
         // DBSCAN low-density points) — keep them under ~12%.
@@ -263,8 +295,12 @@ mod tests {
     fn noisy_addresses_are_repaired() {
         let c = collection(true);
         let before_truth = c.truth.clone();
-        let out = preprocess(c.dataset.clone(), &c.city.street_map, &IndiceConfig::default())
-            .unwrap();
+        let out = preprocess(
+            c.dataset.clone(),
+            &c.city.street_map,
+            &IndiceConfig::default(),
+        )
+        .unwrap();
         // Most corrupted addresses must be resolved (reference or geocoder).
         let resolved = out.cleaning.by_reference + out.cleaning.by_geocoder;
         assert!(
@@ -279,8 +315,7 @@ mod tests {
         let mut checked = 0;
         for (new_row, &orig_row) in out.kept_rows.iter().enumerate() {
             checked += 1;
-            if out.dataset.cat(new_row, addr_id) == Some(before_truth.streets[orig_row].as_str())
-            {
+            if out.dataset.cat(new_row, addr_id) == Some(before_truth.streets[orig_row].as_str()) {
                 correct += 1;
             }
         }
@@ -302,8 +337,12 @@ mod tests {
         );
         let injected: BTreeSet<usize> = c.truth.injected_outliers.iter().copied().collect();
         assert!(!injected.is_empty());
-        let out = preprocess(c.dataset.clone(), &c.city.street_map, &IndiceConfig::default())
-            .unwrap();
+        let out = preprocess(
+            c.dataset.clone(),
+            &c.city.street_map,
+            &IndiceConfig::default(),
+        )
+        .unwrap();
         let removed: BTreeSet<usize> = out.removed_rows.iter().copied().collect();
         let caught = injected.intersection(&removed).count();
         // Injected univariate outliers target Uw/Uo/EPH; the default
@@ -362,8 +401,12 @@ mod tests {
         let mut c = collection(true);
         apply_noise(&mut c, &NoiseConfig::default());
         let n = c.dataset.n_rows();
-        let out = preprocess(c.dataset.clone(), &c.city.street_map, &IndiceConfig::default())
-            .unwrap();
+        let out = preprocess(
+            c.dataset.clone(),
+            &c.city.street_map,
+            &IndiceConfig::default(),
+        )
+        .unwrap();
         for &r in &out.removed_rows {
             assert!(r < n);
         }

@@ -34,8 +34,13 @@ fn main() {
 
     // --- Where are the efficient buildings? ---
     println!("== Average EPH by neighbourhood (best first) ==");
-    let mut rows = group_by(cleaned, wk::NEIGHBOURHOOD, wk::EPH, &[AggFn::Mean, AggFn::Count])
-        .expect("aggregation");
+    let mut rows = group_by(
+        cleaned,
+        wk::NEIGHBOURHOOD,
+        wk::EPH,
+        &[AggFn::Mean, AggFn::Count],
+    )
+    .expect("aggregation");
     rows.sort_by(|a, b| {
         a.values[0]
             .unwrap_or(f64::INFINITY)
@@ -50,17 +55,19 @@ fn main() {
             r.values[1].unwrap_or(0.0)
         );
     }
-    let best = rows.first().expect("at least one neighbourhood").group.clone();
+    let best = rows
+        .first()
+        .expect("at least one neighbourhood")
+        .group
+        .clone();
 
     // --- Drill-down: efficient flats in the best neighbourhood ---
     println!("\n== Class A/B units in {best} ==");
     let query = Query::filtered(
-        Predicate::eq(wk::NEIGHBOURHOOD, &best).and(
-            Predicate::CatIn {
-                attr: wk::EPC_CLASS.into(),
-                values: vec!["A".into(), "B".into()],
-            },
-        ),
+        Predicate::eq(wk::NEIGHBOURHOOD, &best).and(Predicate::CatIn {
+            attr: wk::EPC_CLASS.into(),
+            values: vec!["A".into(), "B".into()],
+        }),
     )
     .with_limit(5);
     let hits = query.run(cleaned).expect("query runs");
@@ -93,8 +100,7 @@ fn main() {
     // --- The citizen dashboard ---
     let dir = Path::new("target/indice-artifacts/citizen");
     fs::create_dir_all(dir).expect("create artifact dir");
-    fs::write(dir.join("dashboard.html"), output.dashboard.render_html())
-        .expect("write dashboard");
+    fs::write(dir.join("dashboard.html"), output.dashboard.render_html()).expect("write dashboard");
     for (name, content) in &output.artifacts {
         fs::write(dir.join(name), content).expect("write artifact");
     }

@@ -42,7 +42,11 @@ fn main() {
         .map(|row| AddressQuery {
             id: row,
             address: Address {
-                street: collection.dataset.cat(row, addr_id).unwrap_or("").to_owned(),
+                street: collection
+                    .dataset
+                    .cat(row, addr_id)
+                    .unwrap_or("")
+                    .to_owned(),
                 house_number: collection.dataset.cat(row, hn_id).map(str::to_owned),
                 zip: collection.dataset.cat(row, zip_id).map(str::to_owned),
             },
@@ -89,10 +93,8 @@ fn main() {
     );
     for quota in [0usize, 100, 500, 2_000, 10_000] {
         let cfg = CleaningConfig::default();
-        let geocoder = QuotaGeocoder::new(
-            SimulatedGeocoder::new(reference.clone(), 0.55, 0.02),
-            quota,
-        );
+        let geocoder =
+            QuotaGeocoder::new(SimulatedGeocoder::new(reference.clone(), 0.55, 0.02), quota);
         let geo: Option<&dyn epc_geo::geocode::Geocoder> =
             if quota > 0 { Some(&geocoder) } else { None };
         let (cleaned, report) = clean_addresses(&queries, reference, geo, &cfg);

@@ -77,10 +77,16 @@ fn main() {
 
     // --- Record the expert choice; non-experts inherit it (§2.1.2) ---
     let engine = Indice::from_collection(collection, IndiceConfig::default());
-    engine.record_outlier_choice(Stakeholder::EnergyScientist, wk::U_WINDOWS, best_method.clone());
+    engine.record_outlier_choice(
+        Stakeholder::EnergyScientist,
+        wk::U_WINDOWS,
+        best_method.clone(),
+    );
     println!(
         "suggested default for non-experts on u_windows: {:?}",
-        engine.suggested_outlier_method(wk::U_WINDOWS).map(|m| m.name())
+        engine
+            .suggested_outlier_method(wk::U_WINDOWS)
+            .map(|m| m.name())
     );
 
     // --- Manual K sweep (the scientist distrusts automatic elbows) ---
@@ -113,7 +119,6 @@ fn main() {
     );
     let dir = Path::new("target/indice-artifacts/energy_scientist");
     fs::create_dir_all(dir).expect("create artifact dir");
-    fs::write(dir.join("dashboard.html"), output.dashboard.render_html())
-        .expect("write dashboard");
+    fs::write(dir.join("dashboard.html"), output.dashboard.render_html()).expect("write dashboard");
     println!("dashboard written to {}", dir.display());
 }

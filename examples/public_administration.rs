@@ -123,11 +123,17 @@ fn main() {
     for (name, svg) in &fig2 {
         fs::write(dir.join(name), svg).expect("write figure 2 map");
     }
-    println!("figure 2 maps written: {:?}", fig2.keys().collect::<Vec<_>>());
+    println!(
+        "figure 2 maps written: {:?}",
+        fig2.keys().collect::<Vec<_>>()
+    );
 
     // --- Figure 4: the dashboard + artifacts ---
-    fs::write(dir.join("fig4_dashboard.html"), output.dashboard.render_html())
-        .expect("write dashboard");
+    fs::write(
+        dir.join("fig4_dashboard.html"),
+        output.dashboard.render_html(),
+    )
+    .expect("write dashboard");
     for (name, content) in &output.artifacts {
         fs::write(dir.join(name), content).expect("write artifact");
     }

@@ -75,8 +75,7 @@ fn main() {
     // 4. Write the dashboard and its artifacts.
     let dir = Path::new("target/indice-artifacts/quickstart");
     fs::create_dir_all(dir).expect("create artifact dir");
-    fs::write(dir.join("dashboard.html"), output.dashboard.render_html())
-        .expect("write dashboard");
+    fs::write(dir.join("dashboard.html"), output.dashboard.render_html()).expect("write dashboard");
     for (name, content) in &output.artifacts {
         fs::write(dir.join(name), content).expect("write artifact");
     }

@@ -1,0 +1,160 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access and an empty cargo registry,
+//! so every external dependency is a local path-dependency shim (see
+//! `shims/README.md`). This shim keeps proptest's testing model — generate
+//! N random cases per property, fail loudly with the offending message —
+//! but drops shrinking: a failing case reports its assertion message and
+//! the case index rather than a minimized input.
+//!
+//! Supported surface (what the workspace's property tests use):
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`, `#[test]`
+//!   attributes, and `pattern in strategy` arguments;
+//! * [`strategy::Strategy`] with `prop_map`, implemented for numeric
+//!   ranges, tuples of strategies, and char-class regex string literals
+//!   (`"[a-z ]{0,24}"` style);
+//! * `prop::collection::{vec, btree_set}`;
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`.
+//!
+//! Generation is deterministic per test (seeded from the property's name),
+//! so failures are reproducible run-to-run.
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Runs one property across `config.cases` generated cases.
+///
+/// `body` returns `Err(TestCaseError::Reject)` on `prop_assume!` failures
+/// (the case is skipped) and `Err(TestCaseError::Fail)` on assertion
+/// failures (the test panics with the message and case index).
+pub fn run_property<F>(name: &str, config: &test_runner::ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    let mut rng = test_runner::TestRng::for_property(name);
+    let mut rejected = 0u32;
+    let mut executed = 0u32;
+    // Mirror proptest's global rejection cap so a too-strict prop_assume!
+    // fails visibly instead of silently testing nothing.
+    let max_rejects = config.cases.saturating_mul(8).max(1024);
+    while executed < config.cases {
+        match body(&mut rng) {
+            Ok(()) => executed += 1,
+            Err(test_runner::TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "property `{name}`: too many prop_assume! rejections \
+                         ({rejected} rejected, {executed}/{} cases run)",
+                        config.cases
+                    );
+                }
+            }
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property `{name}` failed at case {} of {}: {msg}",
+                    executed + 1,
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:pat in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                $crate::run_property(stringify!($name), &config, |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a message when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case when the two values are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), __l, __r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(__l == __r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            __l
+        );
+    }};
+}
+
+/// Skips the current case (counts as rejected, not failed) when the
+/// precondition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assume failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}

@@ -1,0 +1,42 @@
+//! `Option<T>` strategies (`prop::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy yielding `None` half the time and `Some(inner)` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// The result of [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen::<bool>() {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_both_variants() {
+        let mut rng = TestRng::for_property("option_of");
+        let s = of(0u32..10);
+        let vals: Vec<Option<u32>> = (0..100).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.iter().any(Option::is_some));
+        assert!(vals.iter().any(Option::is_none));
+        assert!(vals.iter().flatten().all(|&x| x < 10));
+    }
+}

@@ -1,0 +1,12 @@
+//! Everything a property-test file conventionally glob-imports.
+
+pub use crate::strategy::Strategy;
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+/// The `prop::` namespace (`prop::collection::vec` etc.).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::strategy;
+}

@@ -1,0 +1,208 @@
+//! The [`Strategy`] trait and its built-in implementations.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream there is no value tree / shrinking: `generate` draws one
+/// concrete value per case.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategies behind references generate what the referent would.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Strategy for bool {
+    type Value = bool;
+    /// `true`/`false` as a constant strategy is not useful, so the bool
+    /// *type* is not a strategy upstream either; this impl exists for
+    /// `prop::bool::ANY`-style use and draws a fair coin.
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ---------------------------------------------------------------------------
+// Char-class regex string strategies ("[a-z ]{0,24}" style)
+// ---------------------------------------------------------------------------
+
+/// The subset of regex string strategies the workspace uses: one character
+/// class with an optional `{n}` / `{m,n}` quantifier. Ranges inside the
+/// class (`a-z`, ` -~`) expand to their char span.
+fn parse_char_class(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            if lo > hi {
+                return None;
+            }
+            for c in lo..=hi {
+                chars.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let quant = &rest[close + 1..];
+    if quant.is_empty() {
+        return Some((chars, 1, 1));
+    }
+    let quant = quant.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match quant.split_once(',') {
+        Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+        None => {
+            let n: usize = quant.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if min > max {
+        return None;
+    }
+    Some((chars, min, max))
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_char_class(self).unwrap_or_else(|| {
+            panic!(
+                "proptest shim: unsupported string strategy pattern {self:?} \
+                 (supported: \"[class]{{m,n}}\")"
+            )
+        });
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_property("strategy_unit_tests")
+    }
+
+    #[test]
+    fn class_with_ranges() {
+        let (chars, min, max) = parse_char_class("[a-cA-B_ ]{2,5}").unwrap();
+        assert_eq!(chars, vec!['a', 'b', 'c', 'A', 'B', '_', ' ']);
+        assert_eq!((min, max), (2, 5));
+    }
+
+    #[test]
+    fn printable_ascii_span() {
+        let (chars, ..) = parse_char_class("[ -~]{0,60}").unwrap();
+        assert_eq!(chars.len(), 95);
+        assert_eq!(*chars.first().unwrap(), ' ');
+        assert_eq!(*chars.last().unwrap(), '~');
+    }
+
+    #[test]
+    fn string_strategy_respects_length_and_alphabet() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z ]{0,24}".generate(&mut r);
+            assert!(s.chars().count() <= 24);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples_and_map() {
+        let mut r = rng();
+        let strat = (0usize..10, -1.0f64..1.0).prop_map(|(n, x)| (n * 2, x.abs()));
+        for _ in 0..100 {
+            let (n, x) = strat.generate(&mut r);
+            assert!(n % 2 == 0 && n < 20);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! `Standard` distribution and uniform range sampling.
+
+use crate::RngCore;
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: `f64`/`f32` uniform in `[0, 1)`,
+/// fair `bool`, full-width uniform integers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform range sampling (`rand::distributions::uniform` subset).
+pub mod uniform {
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types uniformly sampleable between two bounds.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Uniform draw in `[low, high)` (`inclusive = false`) or
+        /// `[low, high]` (`inclusive = true`).
+        fn sample_between<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    macro_rules! sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let lo = low as i128;
+                    let hi = high as i128;
+                    let span = (hi - lo + if inclusive { 1 } else { 0 }) as u128;
+                    assert!(span > 0, "cannot sample from empty range");
+                    // Multiply-shift scaling: unbiased enough for the spans
+                    // used here, and independent of the span's magnitude.
+                    let draw = ((rng.next_u64() as u128) * span) >> 64;
+                    (lo + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+    sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        fn sample_between<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            _inclusive: bool,
+        ) -> Self {
+            assert!(low < high || (_inclusive && low <= high), "empty f64 range");
+            let v = low + rng.next_f64() * (high - low);
+            // Guard against rounding up to an exclusive upper bound.
+            if v >= high && !_inclusive {
+                low
+            } else {
+                v
+            }
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_between<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self {
+            f64::sample_between(rng, low as f64, high as f64, inclusive) as f32
+        }
+    }
+
+    /// Ranges acceptable to `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_between(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_between(rng, *self.start(), *self.end(), true)
+        }
+    }
+}

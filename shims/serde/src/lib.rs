@@ -1,0 +1,68 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access and an empty cargo registry,
+//! so every external dependency is a local path-dependency shim (see
+//! `shims/README.md`). Real serde is a zero-overhead visitor framework;
+//! this shim collapses that machinery to what the workspace actually needs —
+//! JSON round-trips of plain data types — by defining [`Serialize`] /
+//! [`Deserialize`] directly against an owned JSON [`Value`] tree.
+//!
+//! The derive macros (re-exported from the `serde_derive` shim) emit the
+//! same external representations real serde would for the shapes used in
+//! this workspace: structs as objects, newtype structs transparently, unit
+//! enum variants as strings, newtype/struct enum variants as single-key
+//! objects, and `#[serde(skip)]` fields omitted and rebuilt with
+//! `Default::default()`.
+
+mod impls;
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Value};
+
+/// Serialization into an owned JSON tree.
+pub trait Serialize {
+    /// Converts `self` to a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Deserialization from a JSON tree.
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of a JSON value.
+    fn from_json_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Serialization/deserialization error (message-based, like
+/// `serde_json::Error` for the workspace's purposes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Shorthand for "expected X, found Y" mismatches.
+    pub fn mismatch(expected: &str, found: &Value) -> Self {
+        Error::custom(format!("expected {expected}, found {}", found.kind_name()))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes any value to a JSON tree (the entry point `json!` and
+/// `serde_json::to_value` build on).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}

@@ -1,0 +1,524 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Real serde_derive rides on `syn`/`quote`; neither is available offline,
+//! so this shim parses the item's raw [`TokenStream`] directly. It supports
+//! exactly the shapes this workspace derives on:
+//!
+//! * named-field structs → JSON objects;
+//! * tuple structs: one field → transparent newtype, n fields → array;
+//! * unit structs → `null`;
+//! * enums with unit variants (→ `"Variant"` strings), newtype variants
+//!   (→ `{"Variant": value}`), tuple variants (→ `{"Variant": [..]}`) and
+//!   struct variants (→ `{"Variant": {..}}`);
+//! * `#[serde(skip)]` on named fields (omitted on write, `Default` on read).
+//!
+//! These match real serde's external representations, so artifacts emitted
+//! by this shim parse the way upstream-serialized documents would.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model + parser
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// `true` when the attribute group (the `[...]` part) is `serde(skip)`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes at `i`, returning whether any was
+/// `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if attr_is_serde_skip(g) {
+                        skip = true;
+                    }
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    skip
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility at `i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        // Skip `:` and the type, up to the next top-level comma. Types are
+        // sequences of token trees; groups count as one tree, so generics
+        // like `Vec<(A, B)>` need angle-bracket depth tracking only.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_field_count(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(parse_tuple_field_count(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Consume the trailing comma, if any.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + `[...]`
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1; // visibility or other modifier
+            }
+            Some(TokenTree::Group(_)) => i += 1, // `pub(crate)` group
+            Some(_) => i += 1,
+            None => return Err("derive input has no struct/enum keyword".into()),
+        }
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("missing item name".into()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive shim: generic type `{name}` is not supported"
+        ));
+    }
+    if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g),
+            }),
+            _ => Err(format!("enum `{name}` has no body")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g)),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Struct {
+                    name,
+                    fields: Fields::Tuple(parse_tuple_field_count(g)),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Struct {
+                name,
+                fields: Fields::Unit,
+            }),
+            _ => Err(format!("struct `{name}` has no body")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::Value {{\n"
+            ));
+            match fields {
+                Fields::Named(fs) => {
+                    out.push_str("let mut __m = ::serde::Map::new();\n");
+                    for f in fs.iter().filter(|f| !f.skip) {
+                        out.push_str(&format!(
+                            "__m.insert(::std::string::String::from(\"{0}\"), \
+                             ::serde::Serialize::to_json_value(&self.{0}));\n",
+                            f.name
+                        ));
+                    }
+                    out.push_str("::serde::Value::Object(__m)\n");
+                }
+                Fields::Tuple(1) => {
+                    out.push_str("::serde::Serialize::to_json_value(&self.0)\n");
+                }
+                Fields::Tuple(n) => {
+                    out.push_str("::serde::Value::Array(vec![\n");
+                    for idx in 0..*n {
+                        out.push_str(&format!(
+                            "::serde::Serialize::to_json_value(&self.{idx}),\n"
+                        ));
+                    }
+                    out.push_str("])\n");
+                }
+                Fields::Unit => out.push_str("::serde::Value::Null\n"),
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Array(vec![{}])",
+                                binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        out.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), {payload});\n\
+                             ::serde::Value::Object(__m)\n\
+                             }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let kept: Vec<&Field> = fs.iter().filter(|f| !f.skip).collect();
+                        let has_skip = kept.len() != fs.len();
+                        let pattern = format!(
+                            "{}{}",
+                            kept.iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                            if has_skip { ", .." } else { "" }
+                        );
+                        out.push_str(&format!(
+                            "{name}::{vn} {{ {pattern} }} => {{\n\
+                             let mut __inner = ::serde::Map::new();\n"
+                        ));
+                        for f in &kept {
+                            out.push_str(&format!(
+                                "__inner.insert(::std::string::String::from(\"{0}\"), \
+                                 ::serde::Serialize::to_json_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "let mut __m = ::serde::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__m)\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out
+}
+
+fn gen_field_read(target: &str, field: &Field, context: &str) -> String {
+    if field.skip {
+        format!("{}: ::std::default::Default::default(),\n", field.name)
+    } else {
+        format!(
+            "{0}: ::serde::Deserialize::from_json_value(\
+             {target}.get(\"{0}\").unwrap_or(&::serde::Value::Null))\
+             .map_err(|e| ::serde::Error::custom(\
+             format!(\"{context}.{0}: {{e}}\")))?,\n",
+            field.name
+        )
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n"
+            ));
+            match fields {
+                Fields::Named(fs) => {
+                    out.push_str(&format!(
+                        "let __obj = __v.as_object().ok_or_else(|| \
+                         ::serde::Error::mismatch(\"object for {name}\", __v))?;\n\
+                         ::std::result::Result::Ok({name} {{\n"
+                    ));
+                    for f in fs {
+                        out.push_str(&gen_field_read("__obj", f, name));
+                    }
+                    out.push_str("})\n");
+                }
+                Fields::Tuple(1) => {
+                    out.push_str(&format!(
+                        "::std::result::Result::Ok({name}(\
+                         ::serde::Deserialize::from_json_value(__v)?))\n"
+                    ));
+                }
+                Fields::Tuple(n) => {
+                    out.push_str(&format!(
+                        "let __arr = __v.as_array().ok_or_else(|| \
+                         ::serde::Error::mismatch(\"array for {name}\", __v))?;\n\
+                         if __arr.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"expected {n} elements for {name}, found {{}}\", \
+                         __arr.len())));\n}}\n\
+                         ::std::result::Result::Ok({name}(\n"
+                    ));
+                    for idx in 0..*n {
+                        out.push_str(&format!(
+                            "::serde::Deserialize::from_json_value(&__arr[{idx}])?,\n"
+                        ));
+                    }
+                    out.push_str("))\n");
+                }
+                Fields::Unit => {
+                    out.push_str(&format!("::std::result::Result::Ok({name})\n"));
+                }
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n"
+            ));
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    out.push_str(&format!(
+                        "\"{0}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                        v.name
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __val) = __m.iter().next().expect(\"len == 1\");\n\
+                 let _ = __val;\n\
+                 match __k.as_str() {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {}
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_json_value(__val)\
+                         .map_err(|e| ::serde::Error::custom(\
+                         format!(\"{name}::{vn}: {{e}}\")))?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        out.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __arr = __val.as_array().ok_or_else(|| \
+                             ::serde::Error::mismatch(\"array for {name}::{vn}\", __val))?;\n\
+                             if __arr.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"wrong tuple arity for {name}::{vn}\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vn}(\n"
+                        ));
+                        for idx in 0..*n {
+                            out.push_str(&format!(
+                                "::serde::Deserialize::from_json_value(&__arr[{idx}])?,\n"
+                            ));
+                        }
+                        out.push_str("))\n}\n");
+                    }
+                    Fields::Named(fs) => {
+                        out.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __obj = __val.as_object().ok_or_else(|| \
+                             ::serde::Error::mismatch(\"object for {name}::{vn}\", __val))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n"
+                        ));
+                        for f in fs {
+                            out.push_str(&gen_field_read("__obj", f, &format!("{name}::{vn}")));
+                        }
+                        out.push_str("})\n}\n");
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::mismatch(\
+                 \"variant string or single-key object for {name}\", __v)),\n\
+                 }}\n\
+                 }}\n\
+                 }}\n"
+            ));
+        }
+    }
+    out
+}
+
+fn run(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("valid compile_error"),
+    }
+}
+
+/// Derives the shim's [`serde::Serialize`] for plain structs and enums.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    run(input, gen_serialize)
+}
+
+/// Derives the shim's [`serde::Deserialize`] for plain structs and enums.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    run(input, gen_deserialize)
+}

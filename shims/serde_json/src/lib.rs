@@ -1,0 +1,205 @@
+//! Offline stand-in for the `serde_json` crate, layered over the `serde`
+//! shim's JSON [`Value`] model (see `shims/README.md` for why these exist).
+//!
+//! Provides [`to_string`], [`to_string_pretty`], [`from_str`], the
+//! [`json!`] macro, and the [`Value`]/[`Map`] types. Object keys are
+//! BTreeMap-ordered, so serialization is deterministic — a property the
+//! workspace's bitwise-reproducibility tests rely on.
+
+pub use serde::value::parse_str as __parse_str;
+pub use serde::{to_value as __to_value, Error, Map, Value};
+
+/// Serializes a value to compact JSON text.
+///
+/// Infallible for tree-shaped data (the only kind the shim's `Serialize`
+/// can express); the `Result` mirrors upstream's signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_compact_string())
+}
+
+/// Serializes a value to two-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_pretty_string())
+}
+
+/// Parses JSON text into any `Deserialize` type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::value::parse_str(text)?;
+    T::from_json_value(&value)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+/// Deserializes a typed value out of a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_json_value(value)
+}
+
+/// Builds a [`Value`] from JSON-like syntax, interpolating any
+/// `Serialize` expression (a tt-muncher port of upstream's macro).
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+/// Implementation detail of [`json!`]. Arrays and objects are consumed one
+/// token tree at a time so that arbitrary expressions (`p.lon`, function
+/// calls, nested `json!` forms) can appear as elements and values.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- array element munching: @array [built elements] rest... ----
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        vec![$($elems),*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ---- object munching: @object map (current key) (rest) (copy) ----
+    (@object $object:ident () () ()) => {};
+    // Insert the pending key/value, then continue.
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    // Value forms after `key:`.
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    // Key munching: accumulate tokens until the `:`.
+    (@object $object:ident () (($key:expr) : $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($key) (: $($rest)*) (: $($rest)*));
+    };
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    // ---- leaf forms ----
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(vec![]) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => { $crate::__to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_literals() {
+        let v = json!({
+            "type": "FeatureCollection",
+            "count": 3,
+            "ok": true,
+            "nothing": null,
+            "nested": { "a": [1, 2.5, "x"] },
+        });
+        assert_eq!(v["type"], "FeatureCollection");
+        assert_eq!(v["count"], 3);
+        assert_eq!(v["ok"], true);
+        assert!(v["nothing"].is_null());
+        assert_eq!(v["nested"]["a"][1], 2.5);
+    }
+
+    #[test]
+    fn json_macro_interpolates_expressions() {
+        struct P {
+            lon: f64,
+            lat: f64,
+        }
+        let p = P {
+            lon: 7.68,
+            lat: 45.07,
+        };
+        let name = String::from("Torino");
+        let maybe: Option<f64> = None;
+        let v = json!({
+            "name": name,
+            "coords": [p.lon, p.lat],
+            "mean": maybe,
+            "sum": 1.0 + 2.0,
+        });
+        assert_eq!(v["name"], "Torino");
+        assert_eq!(v["coords"][0], 7.68);
+        assert!(v["mean"].is_null());
+        assert_eq!(v["sum"], 3.0);
+        // `name` must have been borrowed, not moved.
+        assert_eq!(name.len(), 6);
+    }
+
+    #[test]
+    fn round_trip_typed() {
+        let v: Value = from_str(r#"{"a": [1, 2], "b": "x"}"#).unwrap();
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str::<Value>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn arrays_of_objects() {
+        let features: Vec<Value> = (0..2).map(|i| json!({ "id": i })).collect();
+        let v = json!({ "features": features });
+        assert_eq!(v["features"].as_array().unwrap().len(), 2);
+        assert_eq!(v["features"][1]["id"], 1);
+    }
+}

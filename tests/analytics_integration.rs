@@ -75,7 +75,11 @@ fn elbow_k_lands_in_a_sane_range() {
     );
     // SSE decreases along the curve.
     for w in out.sse_curve.windows(2) {
-        assert!(w[1].1 <= w[0].1 * 1.05, "SSE should trend down: {:?}", out.sse_curve);
+        assert!(
+            w[1].1 <= w[0].1 * 1.05,
+            "SSE should trend down: {:?}",
+            out.sse_curve
+        );
     }
 }
 
@@ -112,7 +116,11 @@ fn rules_recover_the_injected_physics() {
                 })
         })
         .count();
-    assert!(supporting > 0, "rules: {:?}", out.rules.iter().map(|r| r.display()).collect::<Vec<_>>());
+    assert!(
+        supporting > 0,
+        "rules: {:?}",
+        out.rules.iter().map(|r| r.display()).collect::<Vec<_>>()
+    );
     for r in &out.rules {
         assert!(r.lift >= 1.1, "config demands lift ≥ 1.1, got {}", r.lift);
         assert!(r.support > 0.0 && r.support <= 1.0);
@@ -130,7 +138,11 @@ fn contradictory_rules_do_not_survive() {
             && r.antecedent.len() == 1
             && r.consequent.iter().any(|i| i == "eph=High")
     });
-    assert!(contradiction.is_none(), "found {:?}", contradiction.map(|r| r.display()));
+    assert!(
+        contradiction.is_none(),
+        "found {:?}",
+        contradiction.map(|r| r.display())
+    );
 }
 
 #[test]
@@ -139,7 +151,11 @@ fn cluster_mean_response_orders_with_centroid_quality() {
     let out = analyze(&c.dataset, &IndiceConfig::default()).unwrap();
     // Correlation between centroid Uw (index 2) and mean EPH across
     // clusters should be positive: worse windows → more consumption.
-    let uw: Vec<f64> = out.cluster_summaries.iter().map(|s| s.centroid[2]).collect();
+    let uw: Vec<f64> = out
+        .cluster_summaries
+        .iter()
+        .map(|s| s.centroid[2])
+        .collect();
     let eph: Vec<f64> = out
         .cluster_summaries
         .iter()
@@ -155,7 +171,9 @@ fn analytics_is_robust_to_missing_feature_values() {
     // Punch holes into a feature column.
     let id = c.dataset.schema().require(wk::U_WINDOWS).unwrap();
     for row in (0..c.dataset.n_rows()).step_by(5) {
-        c.dataset.set_value(row, id, epc_model::Value::Missing).unwrap();
+        c.dataset
+            .set_value(row, id, epc_model::Value::Missing)
+            .unwrap();
     }
     let out = analyze(&c.dataset, &IndiceConfig::default()).unwrap();
     assert_eq!(

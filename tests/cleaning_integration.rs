@@ -64,10 +64,7 @@ fn queries_of(c: &SyntheticCollection) -> Vec<AddressQuery> {
         .collect()
 }
 
-fn street_accuracy(
-    cleaned: &[epc_geo::cleaning::CleanedAddress],
-    c: &SyntheticCollection,
-) -> f64 {
+fn street_accuracy(cleaned: &[epc_geo::cleaning::CleanedAddress], c: &SyntheticCollection) -> f64 {
     let ok = cleaned
         .iter()
         .filter(|x| x.address.street == c.truth.streets[x.id])
@@ -79,8 +76,12 @@ fn street_accuracy(
 fn default_phi_reconstructs_most_streets() {
     let c = noisy_collection();
     let queries = queries_of(&c);
-    let (cleaned, report) =
-        clean_addresses(&queries, &c.city.street_map, None, &CleaningConfig::default());
+    let (cleaned, report) = clean_addresses(
+        &queries,
+        &c.city.street_map,
+        None,
+        &CleaningConfig::default(),
+    );
     let acc = street_accuracy(&cleaned, &c);
     assert!(acc > 0.9, "street accuracy {acc}");
     assert_eq!(report.total, queries.len());
@@ -91,8 +92,12 @@ fn default_phi_reconstructs_most_streets() {
 fn coordinates_are_restored_close_to_truth() {
     let c = noisy_collection();
     let queries = queries_of(&c);
-    let (cleaned, _) =
-        clean_addresses(&queries, &c.city.street_map, None, &CleaningConfig::default());
+    let (cleaned, _) = clean_addresses(
+        &queries,
+        &c.city.street_map,
+        None,
+        &CleaningConfig::default(),
+    );
     let mut errors_m = Vec::new();
     for x in &cleaned {
         if let Some(p) = x.point {
@@ -138,7 +143,10 @@ fn geocoder_quota_rescues_unresolved_addresses() {
         ..CleaningConfig::default()
     };
     let (_, without) = clean_addresses(&queries, &c.city.street_map, None, &cfg);
-    assert!(without.unresolved > 0, "need unresolved addresses for the test");
+    assert!(
+        without.unresolved > 0,
+        "need unresolved addresses for the test"
+    );
 
     let geocoder = QuotaGeocoder::new(
         SimulatedGeocoder::new(c.city.street_map.clone(), 0.55, 0.0),
@@ -192,8 +200,12 @@ fn unresolved_never_invents_data() {
         address: Address::new("zzz qqq xxx", Some("1"), None),
         point: None,
     };
-    let (cleaned, report) =
-        clean_addresses(std::slice::from_ref(&garbage), map, None, &CleaningConfig::default());
+    let (cleaned, report) = clean_addresses(
+        std::slice::from_ref(&garbage),
+        map,
+        None,
+        &CleaningConfig::default(),
+    );
     assert_eq!(report.unresolved, 1);
     assert_eq!(cleaned[0].address, garbage.address);
     assert_eq!(cleaned[0].point, None);

@@ -10,7 +10,11 @@ use indice::analytics::{analyze, AnalyticsOutput};
 use indice::config::IndiceConfig;
 use indice::dashboard::{build_dashboard_with_spec, figure2_maps};
 
-fn setup() -> (epc_model::Dataset, epc_geo::region::RegionHierarchy, AnalyticsOutput) {
+fn setup() -> (
+    epc_model::Dataset,
+    epc_geo::region::RegionHierarchy,
+    AnalyticsOutput,
+) {
     let c = EpcGenerator::new(SynthConfig {
         n_records: 1_500,
         city: CityConfig {
@@ -48,7 +52,9 @@ fn figure2_zoom_series_aggregates_monotonically() {
         assert_svg_well_formed(svg);
     }
     // City-level markers aggregate more than district-level: fewer circles.
-    let city_circles = maps["fig2_clustermarkers_city.svg"].matches("<circle").count();
+    let city_circles = maps["fig2_clustermarkers_city.svg"]
+        .matches("<circle")
+        .count();
     let district_circles = maps["fig2_clustermarkers_district.svg"]
         .matches("<circle")
         .count();
@@ -73,7 +79,10 @@ fn figure4_dashboard_artifacts_parse() {
             let v: serde_json::Value = serde_json::from_str(content)
                 .unwrap_or_else(|e| panic!("{name}: invalid JSON: {e}"));
             assert_eq!(v["type"], "FeatureCollection", "{name}");
-            assert!(!v["features"].as_array().unwrap().is_empty(), "{name} empty");
+            assert!(
+                !v["features"].as_array().unwrap().is_empty(),
+                "{name} empty"
+            );
         }
     }
     let html = out.dashboard.render_html();
@@ -114,7 +123,10 @@ fn choropleth_covers_every_region_with_data() {
     let (ds, hier, analytics) = setup();
     let spec = default_report_spec(Stakeholder::Citizen); // neighbourhood level
     let out = build_dashboard_with_spec(&ds, &hier, &analytics, &spec, 10).unwrap();
-    let geojson = out.artifacts.get("choropleth_neighbourhood.geojson").unwrap();
+    let geojson = out
+        .artifacts
+        .get("choropleth_neighbourhood.geojson")
+        .unwrap();
     let v: serde_json::Value = serde_json::from_str(geojson).unwrap();
     let features = v["features"].as_array().unwrap();
     assert_eq!(features.len(), hier.neighbourhoods.len());

@@ -1,0 +1,113 @@
+//! Determinism suite: the full INDICE pipeline must produce bitwise
+//! identical outputs for any thread budget. A run at `threads = 1` is the
+//! reference; runs at 2 and 8 threads must match it exactly — artifacts,
+//! rendered HTML, cluster assignments, SSE bits, and removed-row sets.
+
+use epc_query::Stakeholder;
+use epc_runtime::RuntimeConfig;
+use epc_synth::city::CityConfig;
+use epc_synth::epcgen::{EpcGenerator, SynthConfig, SyntheticCollection};
+use epc_synth::noise::{apply_noise, NoiseConfig};
+use indice::config::IndiceConfig;
+use indice::engine::{Indice, IndiceOutput};
+
+fn collection() -> SyntheticCollection {
+    let mut c = EpcGenerator::new(SynthConfig {
+        n_records: 1_600,
+        city: CityConfig {
+            n_districts: 4,
+            neighbourhoods_per_district: 2,
+            streets_per_neighbourhood: 3,
+            houses_per_street: 10,
+            ..CityConfig::default()
+        },
+        ..SynthConfig::default()
+    })
+    .generate();
+    apply_noise(&mut c, &NoiseConfig::default());
+    c
+}
+
+fn run_at(threads: usize) -> IndiceOutput {
+    let engine = Indice::from_collection(collection(), IndiceConfig::default())
+        .with_runtime(RuntimeConfig::new(threads));
+    engine.run(Stakeholder::PublicAdministration).unwrap()
+}
+
+fn assert_outputs_identical(reference: &IndiceOutput, other: &IndiceOutput, threads: usize) {
+    // Stage 1: cleaning and outlier removal.
+    assert_eq!(
+        reference.preprocess.kept_rows, other.preprocess.kept_rows,
+        "kept rows differ at {threads} threads"
+    );
+    assert_eq!(
+        reference.preprocess.removed_rows, other.preprocess.removed_rows,
+        "removed rows differ at {threads} threads"
+    );
+    assert_eq!(
+        reference.preprocess.cleaning, other.preprocess.cleaning,
+        "cleaning report differs at {threads} threads"
+    );
+    assert_eq!(
+        reference.preprocess.multivariate_flagged, other.preprocess.multivariate_flagged,
+        "DBSCAN flags differ at {threads} threads"
+    );
+
+    // Stage 2: clustering and rules, down to float bits.
+    assert_eq!(
+        reference.analytics.kmeans.assignments, other.analytics.kmeans.assignments,
+        "cluster assignments differ at {threads} threads"
+    );
+    assert_eq!(
+        reference.analytics.kmeans.sse.to_bits(),
+        other.analytics.kmeans.sse.to_bits(),
+        "SSE bits differ at {threads} threads"
+    );
+    assert_eq!(
+        reference.analytics.kmeans.centroids, other.analytics.kmeans.centroids,
+        "centroids differ at {threads} threads"
+    );
+    assert_eq!(
+        reference.analytics.chosen_k, other.analytics.chosen_k,
+        "chosen K differs at {threads} threads"
+    );
+    assert_eq!(
+        reference.analytics.rules, other.analytics.rules,
+        "association rules differ at {threads} threads"
+    );
+
+    // Stage 3: every artifact byte-for-byte, including drill-down pages.
+    assert_eq!(
+        reference.dashboard.render_html(),
+        other.dashboard.render_html(),
+        "dashboard HTML differs at {threads} threads"
+    );
+    let ref_names: Vec<&String> = reference.artifacts.keys().collect();
+    let other_names: Vec<&String> = other.artifacts.keys().collect();
+    assert_eq!(
+        ref_names, other_names,
+        "artifact set differs at {threads} threads"
+    );
+    for (name, content) in &reference.artifacts {
+        assert_eq!(
+            content, &other.artifacts[name],
+            "artifact {name} differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn pipeline_outputs_are_identical_across_thread_counts() {
+    let reference = run_at(1);
+    // The parallel paths really are exercised: the drill-down pages
+    // produced by the coarse-grained zoom fan-out must be present.
+    for level in epc_model::Granularity::ALL {
+        assert!(reference
+            .artifacts
+            .contains_key(&format!("dashboard_{level}.html")));
+    }
+    for threads in [2, 8] {
+        let parallel = run_at(threads);
+        assert_outputs_identical(&reference, &parallel, threads);
+    }
+}

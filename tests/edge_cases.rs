@@ -45,7 +45,9 @@ fn minimal_collection_still_runs() {
             ..IndiceConfig::default()
         },
     );
-    let out = engine.run(Stakeholder::Citizen).expect("small run succeeds");
+    let out = engine
+        .run(Stakeholder::Citizen)
+        .expect("small run succeeds");
     assert!(out.analytics.chosen_k >= 2);
 }
 
@@ -95,7 +97,10 @@ fn every_address_garbage_still_produces_a_dashboard() {
     // Nothing resolves, but coordinates were already valid, so maps and
     // analytics still work.
     assert_eq!(out.preprocess.cleaning.by_reference, 0);
-    assert_eq!(out.preprocess.cleaning.unresolved, out.preprocess.cleaning.total);
+    assert_eq!(
+        out.preprocess.cleaning.unresolved,
+        out.preprocess.cleaning.total
+    );
     assert!(out.dashboard.n_panels() >= 3);
 }
 

@@ -31,10 +31,14 @@ fn collection(n: usize, seed: u64) -> SyntheticCollection {
 fn every_stakeholder_gets_a_complete_run() {
     let engine = Indice::from_collection(collection(1_500, 1), IndiceConfig::default());
     for stakeholder in Stakeholder::ALL {
-        let out = engine.run(stakeholder).unwrap_or_else(|e| {
-            panic!("run failed for {}: {e}", stakeholder.name())
-        });
-        assert!(out.preprocess.dataset.n_rows() > 800, "{}", stakeholder.name());
+        let out = engine
+            .run(stakeholder)
+            .unwrap_or_else(|e| panic!("run failed for {}: {e}", stakeholder.name()));
+        assert!(
+            out.preprocess.dataset.n_rows() > 800,
+            "{}",
+            stakeholder.name()
+        );
         assert!(out.analytics.chosen_k >= 2);
         assert!(out.dashboard.n_panels() >= 3);
         let html = out.dashboard.render_html();
@@ -53,7 +57,10 @@ fn pipeline_is_deterministic() {
         .unwrap();
     assert_eq!(a.preprocess.removed_rows, b.preprocess.removed_rows);
     assert_eq!(a.analytics.chosen_k, b.analytics.chosen_k);
-    assert_eq!(a.analytics.kmeans.assignments, b.analytics.kmeans.assignments);
+    assert_eq!(
+        a.analytics.kmeans.assignments,
+        b.analytics.kmeans.assignments
+    );
     assert_eq!(a.analytics.rules.len(), b.analytics.rules.len());
     assert_eq!(a.dashboard.render_html(), b.dashboard.render_html());
 }
@@ -99,5 +106,8 @@ fn removed_plus_kept_equals_selected() {
         out.preprocess.kept_rows.len() + out.preprocess.removed_rows.len(),
         out.preprocess.cleaning.total
     );
-    assert_eq!(out.preprocess.kept_rows.len(), out.preprocess.dataset.n_rows());
+    assert_eq!(
+        out.preprocess.kept_rows.len(),
+        out.preprocess.dataset.n_rows()
+    );
 }
