@@ -17,4 +17,48 @@ cargo build --release --offline
 echo "== tier-1: tests =="
 cargo test -q --offline
 
+echo "== chaos: fault-injection suite =="
+cargo test -q --offline -p indice --test chaos
+
+echo "== chaos: CLI fault rates {0, 0.05, 0.2} =="
+# A zero-fault run must be byte-identical to the strict baseline, and
+# injected-fault runs must degrade (exit 3) — never fail (exit 1).
+INDICE="$(pwd)/target/release/indice"
+CHAOS_DIR="$(mktemp -d)"
+trap 'rm -rf "$CHAOS_DIR"' EXIT
+"$INDICE" generate --records 600 --seed 5 --out-dir "$CHAOS_DIR/data" >/dev/null
+
+run_args=(run
+  --data "$CHAOS_DIR/data/epcs.csv"
+  --streets "$CHAOS_DIR/data/street_map.txt"
+  --regions "$CHAOS_DIR/data/regions.json"
+  --stakeholder citizen)
+
+"$INDICE" "${run_args[@]}" --out-dir "$CHAOS_DIR/baseline" >/dev/null
+baseline_hash="$(cd "$CHAOS_DIR/baseline" && find . -type f | sort | xargs sha256sum | sha256sum)"
+
+"$INDICE" "${run_args[@]}" --out-dir "$CHAOS_DIR/rate0" \
+  --fault-seed 7 --fault-rate 0 --geocode-fail-rate 0 >/dev/null
+rate0_hash="$(cd "$CHAOS_DIR/rate0" && find . -type f | sort | xargs sha256sum | sha256sum)"
+if [ "$baseline_hash" != "$rate0_hash" ]; then
+  echo "FAIL: zero-fault artifacts differ from the baseline" >&2
+  exit 1
+fi
+
+for rate in 0.05 0.2; do
+  set +e
+  "$INDICE" "${run_args[@]}" --out-dir "$CHAOS_DIR/rate$rate" \
+    --fault-seed 7 --fault-rate "$rate" --geocode-fail-rate 0.1 >/dev/null
+  code=$?
+  set -e
+  if [ "$code" -ne 3 ]; then
+    echo "FAIL: fault rate $rate exited $code (expected 3 = degraded)" >&2
+    exit 1
+  fi
+  if [ ! -f "$CHAOS_DIR/rate$rate/dashboard.html" ]; then
+    echo "FAIL: fault rate $rate produced no dashboard" >&2
+    exit 1
+  fi
+done
+
 echo "CI OK"

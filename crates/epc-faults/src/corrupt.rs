@@ -1,0 +1,137 @@
+//! Applying record corruption to a dataset, with exact accounting.
+
+use crate::injector::{Corruption, FaultInjector};
+use epc_model::{wellknown, Dataset, ModelError, Value};
+
+/// Applies `injector`'s record-corruption decisions to `ds` in place.
+///
+/// Each row is keyed by its `certificate_id` (falling back to `row:<idx>`
+/// when the id is missing), so the *set* of corrupted records is a pure
+/// function of the injector's seed — independent of row order. Returns the
+/// sorted list of corrupted keys, letting chaos tests assert quarantine
+/// counts exactly.
+pub fn corrupt_dataset(
+    ds: &mut Dataset,
+    injector: &dyn FaultInjector,
+) -> Result<Vec<String>, ModelError> {
+    let id_attr = ds.schema().attr_id(wellknown::CERTIFICATE_ID);
+    let street_attr = ds.schema().attr_id(wellknown::ADDRESS);
+    let mut corrupted = Vec::new();
+
+    for row in 0..ds.n_rows() {
+        let key = id_attr
+            .and_then(|id| ds.cat(row, id).map(str::to_owned))
+            .unwrap_or_else(|| format!("row:{row}"));
+        let Some(corruption) = injector.corrupt_record(&key) else {
+            continue;
+        };
+        match corruption {
+            Corruption::NonFinite { attribute } => {
+                let attr = ds.schema().require(&attribute)?;
+                ds.set_value(row, attr, Value::num(f64::NAN))?;
+            }
+            Corruption::ScrambleAddress => {
+                if let Some(attr) = street_attr {
+                    ds.set_value(row, attr, Value::cat(format!("zz-scrambled-{key}")))?;
+                }
+            }
+        }
+        corrupted.push(key);
+    }
+    corrupted.sort();
+    Ok(corrupted)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::injector::DeterministicInjector;
+    use epc_model::schema::standard_epc_schema;
+
+    fn dataset(n: usize) -> Dataset {
+        let schema = standard_epc_schema();
+        let mut ds = Dataset::new(schema.clone());
+        for i in 0..n {
+            let mut rec = ds.empty_record();
+            rec.set_by_name(
+                &schema,
+                wellknown::CERTIFICATE_ID,
+                Value::cat(format!("EPC-{i:05}")),
+            )
+            .unwrap();
+            rec.set_by_name(&schema, wellknown::ASPECT_RATIO, Value::num(0.5))
+                .unwrap();
+            rec.set_by_name(&schema, wellknown::ADDRESS, Value::cat("Via Roma"))
+                .unwrap();
+            ds.push_record(rec).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn corruption_set_is_independent_of_row_order() {
+        let inj = DeterministicInjector::new(99).with_record_rate(0.25);
+        let mut forward = dataset(100);
+        let keys_forward = corrupt_dataset(&mut forward, &inj).unwrap();
+
+        // Same rows, reversed order.
+        let schema = standard_epc_schema();
+        let mut reversed = Dataset::new(schema.clone());
+        for i in (0..100).rev() {
+            let mut rec = reversed.empty_record();
+            rec.set_by_name(
+                &schema,
+                wellknown::CERTIFICATE_ID,
+                Value::cat(format!("EPC-{i:05}")),
+            )
+            .unwrap();
+            rec.set_by_name(&schema, wellknown::ASPECT_RATIO, Value::num(0.5))
+                .unwrap();
+            reversed.push_record(rec).unwrap();
+        }
+        let keys_reversed = corrupt_dataset(&mut reversed, &inj).unwrap();
+        assert_eq!(keys_forward, keys_reversed);
+        assert!(!keys_forward.is_empty());
+    }
+
+    #[test]
+    fn non_finite_corruption_plants_nan() {
+        let inj = DeterministicInjector::new(5).with_record_rate(0.2);
+        let mut ds = dataset(50);
+        let keys = corrupt_dataset(&mut ds, &inj).unwrap();
+        let attr = ds.schema().attr_id(wellknown::ASPECT_RATIO).unwrap();
+        let nan_rows = (0..ds.n_rows())
+            .filter(|&r| ds.num(r, attr).is_some_and(f64::is_nan))
+            .count();
+        assert_eq!(nan_rows, keys.len());
+        assert!(nan_rows > 0);
+    }
+
+    #[test]
+    fn scramble_address_rewrites_the_street() {
+        let inj = DeterministicInjector::new(5)
+            .with_record_rate(0.2)
+            .with_corruption(Corruption::ScrambleAddress);
+        let mut ds = dataset(50);
+        let keys = corrupt_dataset(&mut ds, &inj).unwrap();
+        let attr = ds.schema().attr_id(wellknown::ADDRESS).unwrap();
+        let scrambled = (0..ds.n_rows())
+            .filter(|&r| {
+                ds.cat(r, attr)
+                    .is_some_and(|s| s.starts_with("zz-scrambled-"))
+            })
+            .count();
+        assert_eq!(scrambled, keys.len());
+    }
+
+    #[test]
+    fn zero_rate_leaves_dataset_untouched() {
+        let inj = DeterministicInjector::new(5);
+        let mut ds = dataset(20);
+        let before = format!("{ds:?}");
+        let keys = corrupt_dataset(&mut ds, &inj).unwrap();
+        assert!(keys.is_empty());
+        assert_eq!(format!("{ds:?}"), before);
+    }
+}

@@ -13,9 +13,10 @@
 //!    typically excluded from map views downstream).
 
 use crate::address::{is_plausible_zip, normalize_house_number, Address};
-use crate::geocode::Geocoder;
+use crate::geocode::{GeocodeFailure, Geocoder};
 use crate::point::GeoPoint;
 use crate::streetmap::StreetMap;
+use std::collections::BTreeMap;
 
 /// One address to clean, identified by the caller's row id.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +39,9 @@ pub enum CleaningOutcome {
     },
     /// Resolved through the geocoding fallback.
     ResolvedByGeocoder,
+    /// The geocoder failed transiently even after retries; the record was
+    /// *degraded* to its district's centroid instead of being dropped.
+    Degraded,
     /// Could not be resolved; original fields kept.
     Unresolved,
 }
@@ -115,16 +119,48 @@ pub struct CleaningReport {
     pub exact_matches: usize,
     /// Resolved through the geocoder fallback.
     pub by_geocoder: usize,
+    /// Degraded to a district-centroid location after retries were
+    /// exhausted.
+    pub degraded: usize,
     /// Left unresolved.
     pub unresolved: usize,
     /// Geocoding requests actually issued.
     pub geocoder_requests: usize,
+    /// Geocoder retry attempts performed (transient-failure recovery).
+    pub geocoder_retries: usize,
     /// Count of repaired ZIP codes.
     pub zips_fixed: usize,
     /// Count of repaired coordinate pairs.
     pub coords_fixed: usize,
     /// Count of repaired street strings.
     pub streets_fixed: usize,
+}
+
+/// Last-resort coordinates for records whose geocoding keeps failing
+/// transiently: the centroid of the district the record claims to belong
+/// to.
+///
+/// `hints[i]` is the district hint for `queries[i]` (usually read straight
+/// from the dataset's district column before cleaning). When the geocoder
+/// exhausts its retry budget on a transient failure and a hint with a known
+/// centroid exists, the record is kept with
+/// [`CleaningOutcome::Degraded`] provenance instead of being dropped.
+#[derive(Debug, Clone, Default)]
+pub struct DegradedFallback {
+    /// District name → district centroid.
+    pub centroids: BTreeMap<String, GeoPoint>,
+    /// Per-query district hint, parallel to the `queries` slice.
+    pub hints: Vec<Option<String>>,
+}
+
+impl DegradedFallback {
+    /// The centroid for `queries[idx]`, when both the hint and its centroid
+    /// are known.
+    fn lookup(&self, idx: usize) -> Option<(&str, GeoPoint)> {
+        let hint = self.hints.get(idx)?.as_deref()?;
+        let centroid = *self.centroids.get(hint)?;
+        Some((hint, centroid))
+    }
 }
 
 /// Runs the §2.1.1 cleaning algorithm over `queries`.
@@ -163,11 +199,32 @@ pub fn clean_addresses_with_runtime(
     config: &CleaningConfig,
     runtime: &epc_runtime::RuntimeConfig,
 ) -> (Vec<CleanedAddress>, CleaningReport) {
+    clean_addresses_degradable(queries, reference, geocoder, config, runtime, None)
+}
+
+/// [`clean_addresses_with_runtime`] plus a district-centroid fallback for
+/// transient geocoder failures.
+///
+/// With `fallback = None` (or a geocoder that never fails transiently) this
+/// is bitwise identical to [`clean_addresses_with_runtime`]: permanent
+/// misses still come back [`CleaningOutcome::Unresolved`]. Transient
+/// failures ([`GeocodeFailure::Transient`], surfaced after the geocoder's
+/// own retry budget is spent) degrade to the district centroid when the
+/// fallback knows one, and are left unresolved otherwise.
+pub fn clean_addresses_degradable(
+    queries: &[AddressQuery],
+    reference: &StreetMap,
+    geocoder: Option<&dyn Geocoder>,
+    config: &CleaningConfig,
+    runtime: &epc_runtime::RuntimeConfig,
+    fallback: Option<&DegradedFallback>,
+) -> (Vec<CleanedAddress>, CleaningReport) {
     let mut report = CleaningReport {
         total: queries.len(),
         ..CleaningReport::default()
     };
     let requests_before = geocoder.map(|g| g.requests_made()).unwrap_or(0);
+    let retries_before = geocoder.map(|g| g.retries_made()).unwrap_or(0);
 
     // Pass 1 (parallel, pure): reference-map matching.
     let by_reference = epc_runtime::par_map(runtime, queries, |q| {
@@ -176,10 +233,10 @@ pub fn clean_addresses_with_runtime(
 
     // Pass 2 (sequential, input order): geocoder fallback for the rest.
     let mut out = Vec::with_capacity(queries.len());
-    for (q, referenced) in queries.iter().zip(by_reference) {
+    for (idx, (q, referenced)) in queries.iter().zip(by_reference).enumerate() {
         let cleaned = match referenced {
             Some(c) => c,
-            None => clean_by_geocoder(q, geocoder, config),
+            None => clean_by_geocoder(q, idx, geocoder, config, fallback),
         };
         match cleaned.outcome {
             CleaningOutcome::ResolvedByReference { similarity } => {
@@ -189,6 +246,7 @@ pub fn clean_addresses_with_runtime(
                 }
             }
             CleaningOutcome::ResolvedByGeocoder => report.by_geocoder += 1,
+            CleaningOutcome::Degraded => report.degraded += 1,
             CleaningOutcome::Unresolved => report.unresolved += 1,
         }
         if cleaned.corrected.zip {
@@ -204,6 +262,9 @@ pub fn clean_addresses_with_runtime(
     }
     report.geocoder_requests = geocoder
         .map(|g| g.requests_made() - requests_before)
+        .unwrap_or(0);
+    report.geocoder_retries = geocoder
+        .map(|g| g.retries_made() - retries_before)
         .unwrap_or(0);
     (out, report)
 }
@@ -232,26 +293,47 @@ fn clean_by_reference(
     ))
 }
 
-/// Steps 3–4: quota-limited geocoder fallback, else unresolved. Stateful —
-/// must run sequentially in input order.
+/// Steps 3–4: quota-limited geocoder fallback, else degraded/unresolved.
+/// Stateful — must run sequentially in input order.
 fn clean_by_geocoder(
     q: &AddressQuery,
+    idx: usize,
     geocoder: Option<&dyn Geocoder>,
     config: &CleaningConfig,
+    fallback: Option<&DegradedFallback>,
 ) -> CleanedAddress {
     if let Some(g) = geocoder {
-        if let Some(res) = g.geocode(&q.address) {
-            return repair_from(
-                q,
-                CleaningOutcome::ResolvedByGeocoder,
-                &res.street,
-                &res.house_number,
-                &res.zip,
-                res.point,
-                res.district,
-                res.neighbourhood,
-                config,
-            );
+        match g.try_geocode(&q.address) {
+            Ok(res) => {
+                return repair_from(
+                    q,
+                    CleaningOutcome::ResolvedByGeocoder,
+                    &res.street,
+                    &res.house_number,
+                    &res.zip,
+                    res.point,
+                    res.district,
+                    res.neighbourhood,
+                    config,
+                );
+            }
+            Err(failure) if failure.is_transient() => {
+                if let Some((district, centroid)) = fallback.and_then(|f| f.lookup(idx)) {
+                    return CleanedAddress {
+                        id: q.id,
+                        outcome: CleaningOutcome::Degraded,
+                        address: q.address.clone(),
+                        point: Some(centroid),
+                        district: Some(district.to_owned()),
+                        neighbourhood: None,
+                        corrected: CorrectedFields {
+                            coords: true,
+                            ..CorrectedFields::default()
+                        },
+                    };
+                }
+            }
+            Err(GeocodeFailure::NotFound | GeocodeFailure::Transient(_)) => {}
         }
     }
     CleanedAddress {
@@ -570,6 +652,118 @@ mod tests {
         ];
         let (_, r) = clean_addresses(&queries, &reference(), None, &cfg());
         assert_eq!(r.total, 2);
-        assert_eq!(r.by_reference + r.by_geocoder + r.unresolved, r.total);
+        assert_eq!(
+            r.by_reference + r.by_geocoder + r.degraded + r.unresolved,
+            r.total
+        );
+    }
+
+    /// A geocoder whose every lookup fails with a quota-style transient
+    /// error — models an upstream service outage.
+    struct AlwaysTransient;
+
+    impl Geocoder for AlwaysTransient {
+        fn geocode(&self, _query: &Address) -> Option<crate::geocode::GeocodeResult> {
+            None
+        }
+        fn try_geocode(
+            &self,
+            _query: &Address,
+        ) -> Result<crate::geocode::GeocodeResult, GeocodeFailure> {
+            Err(GeocodeFailure::Transient(
+                crate::geocode::TransientKind::Quota,
+            ))
+        }
+        fn requests_made(&self) -> usize {
+            0
+        }
+    }
+
+    fn degraded_fallback() -> DegradedFallback {
+        let mut centroids = BTreeMap::new();
+        centroids.insert("Centro".to_owned(), GeoPoint::new(45.071, 7.682));
+        DegradedFallback {
+            centroids,
+            hints: vec![Some("Centro".to_owned())],
+        }
+    }
+
+    #[test]
+    fn transient_failure_degrades_to_district_centroid() {
+        let q = AddressQuery {
+            id: 4,
+            address: Address::new("via sconosciuta", Some("3"), None),
+            point: None,
+        };
+        let fallback = degraded_fallback();
+        let (res, report) = clean_addresses_degradable(
+            std::slice::from_ref(&q),
+            &reference(),
+            Some(&AlwaysTransient),
+            &cfg(),
+            &epc_runtime::RuntimeConfig::sequential(),
+            Some(&fallback),
+        );
+        assert!(matches!(res[0].outcome, CleaningOutcome::Degraded));
+        assert_eq!(res[0].point, Some(GeoPoint::new(45.071, 7.682)));
+        assert_eq!(res[0].district.as_deref(), Some("Centro"));
+        assert_eq!(res[0].address, q.address, "original address is kept");
+        assert!(res[0].corrected.coords);
+        assert_eq!(report.degraded, 1);
+        assert_eq!(report.unresolved, 0);
+        assert_eq!(report.coords_fixed, 1);
+    }
+
+    #[test]
+    fn transient_failure_without_fallback_stays_unresolved() {
+        let q = AddressQuery {
+            id: 4,
+            address: Address::new("via sconosciuta", Some("3"), None),
+            point: None,
+        };
+        // No fallback at all, and a fallback whose hint has no centroid:
+        // both leave the record unresolved instead of degrading it.
+        let no_centroid = DegradedFallback {
+            centroids: BTreeMap::new(),
+            hints: vec![Some("Centro".to_owned())],
+        };
+        for fallback in [None, Some(&no_centroid)] {
+            let (res, report) = clean_addresses_degradable(
+                std::slice::from_ref(&q),
+                &reference(),
+                Some(&AlwaysTransient),
+                &cfg(),
+                &epc_runtime::RuntimeConfig::sequential(),
+                fallback,
+            );
+            assert!(matches!(res[0].outcome, CleaningOutcome::Unresolved));
+            assert_eq!(report.degraded, 0);
+            assert_eq!(report.unresolved, 1);
+        }
+    }
+
+    #[test]
+    fn retry_counts_surface_in_the_report() {
+        use crate::geocode::RetryGeocoder;
+        let truth = {
+            let mut t = reference();
+            t.insert(entry("Via Garibaldi", "7", "10122", 45.0730, 7.6820));
+            t
+        };
+        // RetryGeocoder over a permanently-missing street performs no
+        // retries (NotFound is permanent); the report records zero.
+        let retry = RetryGeocoder::new(
+            SimulatedGeocoder::new(truth, 0.6, 0.0),
+            3,
+            crate::geocode::Backoff::default(),
+        );
+        let q = AddressQuery {
+            id: 0,
+            address: Address::new("zzzzzz", None, None),
+            point: None,
+        };
+        let (_, report) = clean_addresses(&[q], &reference(), Some(&retry), &cfg());
+        assert_eq!(report.geocoder_retries, 0);
+        assert_eq!(report.unresolved, 1);
     }
 }

@@ -10,6 +10,13 @@
 //! trait; [`QuotaGeocoder`] enforces the request budget; and
 //! [`SimulatedGeocoder`] is the deterministic stand-in used in this
 //! reproduction (see DESIGN.md, substitution table).
+//!
+//! For fault tolerance, [`Geocoder::try_geocode`] distinguishes permanent
+//! misses ([`GeocodeFailure::NotFound`]) from transient provider failures
+//! ([`GeocodeFailure::Transient`]), and [`RetryGeocoder`] retries the
+//! latter up to a budget with a seedable, fully deterministic
+//! [`Backoff`] schedule.
+#![deny(clippy::unwrap_used)]
 
 use crate::address::Address;
 use crate::point::GeoPoint;
@@ -33,6 +40,41 @@ pub struct GeocodeResult {
     pub neighbourhood: Option<String>,
 }
 
+/// The kind of a transient geocoding failure — the provider was reached
+/// (or should have been) but did not produce an answer this time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransientKind {
+    /// The provider rejected the request for quota/rate reasons.
+    Quota,
+    /// The request timed out.
+    Timeout,
+}
+
+impl std::fmt::Display for TransientKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransientKind::Quota => write!(f, "quota"),
+            TransientKind::Timeout => write!(f, "timeout"),
+        }
+    }
+}
+
+/// Why a geocode attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeocodeFailure {
+    /// The address does not resolve — retrying cannot help.
+    NotFound,
+    /// A transient provider failure — a retry may succeed.
+    Transient(TransientKind),
+}
+
+impl GeocodeFailure {
+    /// `true` for failures worth retrying.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, GeocodeFailure::Transient(_))
+    }
+}
+
 /// A textual-address → structured-address service.
 pub trait Geocoder {
     /// Attempts to geocode `query`. `None` means the service could not
@@ -41,6 +83,35 @@ pub trait Geocoder {
 
     /// Number of requests issued so far (successful or not).
     fn requests_made(&self) -> usize;
+
+    /// Like [`Geocoder::geocode`], but distinguishing permanent misses
+    /// from transient failures. The default maps every miss to
+    /// [`GeocodeFailure::NotFound`]; wrappers that can observe transient
+    /// conditions override this.
+    fn try_geocode(&self, query: &Address) -> Result<GeocodeResult, GeocodeFailure> {
+        self.geocode(query).ok_or(GeocodeFailure::NotFound)
+    }
+
+    /// Number of *retry* attempts this geocoder performed beyond first
+    /// tries (only [`RetryGeocoder`] reports a non-zero value).
+    fn retries_made(&self) -> usize {
+        0
+    }
+}
+
+/// FNV-1a hash of a query's street + house number; the deterministic key
+/// used by failure draws and backoff jitter.
+pub fn query_hash(query: &Address) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in query
+        .street
+        .bytes()
+        .chain(query.house_number.as_deref().unwrap_or("").bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
 }
 
 /// Wraps a geocoder with a hard request quota (the free-tier limit the
@@ -85,6 +156,180 @@ impl<G: Geocoder> Geocoder for QuotaGeocoder<G> {
     fn requests_made(&self) -> usize {
         self.used.get()
     }
+
+    fn try_geocode(&self, query: &Address) -> Result<GeocodeResult, GeocodeFailure> {
+        // An exhausted *run budget* is permanent within the run: the free
+        // tier will not replenish while the pipeline executes, so it maps
+        // to `NotFound` rather than a retriable failure.
+        if self.exhausted() {
+            return Err(GeocodeFailure::NotFound);
+        }
+        self.used.set(self.used.get() + 1);
+        self.inner.try_geocode(query)
+    }
+
+    fn retries_made(&self) -> usize {
+        self.inner.retries_made()
+    }
+}
+
+/// A deterministic, seedable exponential-backoff schedule with jitter.
+///
+/// Delays are a pure function of `(seed, key, attempt)` — no clocks, no
+/// RNG state — so a retried run reproduces the exact same schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Base delay of the first retry, in milliseconds. `0` disables
+    /// sleeping entirely (the schedule is still computed and reported).
+    pub base_ms: u64,
+    /// Multiplier applied per attempt.
+    pub factor: u64,
+    /// Upper bound on any single delay.
+    pub max_ms: u64,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for Backoff {
+    /// 0ms base: schedules are computed (and testable) but never slept —
+    /// the right default for an offline reproduction.
+    fn default() -> Self {
+        Backoff {
+            base_ms: 0,
+            factor: 2,
+            max_ms: 10_000,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl Backoff {
+    /// The delay before retry number `attempt` (1-based) for `key`.
+    ///
+    /// Exponential growth capped at `max_ms`, with deterministic jitter in
+    /// `[half, full]` of the uncapped delay.
+    pub fn delay_ms(&self, key: u64, attempt: u32) -> u64 {
+        if self.base_ms == 0 {
+            return 0;
+        }
+        let exp = self
+            .base_ms
+            .saturating_mul(self.factor.saturating_pow(attempt.saturating_sub(1)))
+            .min(self.max_ms);
+        let h = splitmix64(
+            self.seed
+                .wrapping_add(key)
+                .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(attempt as u64)),
+        );
+        let half = exp / 2;
+        half + h % (exp - half + 1)
+    }
+
+    /// The full deterministic schedule for `key` over `retries` retries.
+    pub fn schedule(&self, key: u64, retries: u32) -> Vec<u64> {
+        (1..=retries).map(|a| self.delay_ms(key, a)).collect()
+    }
+}
+
+/// SplitMix64 — the avalanche mixer behind every deterministic draw in
+/// the fault-tolerance layer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Environment variable overriding the retry budget of
+/// [`RetryGeocoder::from_env`].
+pub const GEOCODE_RETRIES_ENV_VAR: &str = "INDICE_GEOCODE_RETRIES";
+
+/// Default retry budget when [`GEOCODE_RETRIES_ENV_VAR`] is unset.
+pub const DEFAULT_GEOCODE_RETRIES: u32 = 3;
+
+/// Reads the retry budget from [`GEOCODE_RETRIES_ENV_VAR`] (default
+/// [`DEFAULT_GEOCODE_RETRIES`]; unparsable values fall back too).
+pub fn geocode_retries_from_env() -> u32 {
+    match std::env::var(GEOCODE_RETRIES_ENV_VAR) {
+        Ok(v) => v.trim().parse().unwrap_or(DEFAULT_GEOCODE_RETRIES),
+        Err(_) => DEFAULT_GEOCODE_RETRIES,
+    }
+}
+
+/// Retries transient failures of an inner geocoder up to a budget, with a
+/// deterministic [`Backoff`] schedule between attempts.
+///
+/// Permanent misses ([`GeocodeFailure::NotFound`]) are returned
+/// immediately — retrying an address that does not exist is wasted quota.
+/// When the budget is exhausted the last transient failure is surfaced so
+/// the caller can degrade (e.g. fall back to a district centroid).
+pub struct RetryGeocoder<G> {
+    inner: G,
+    retries: u32,
+    backoff: Backoff,
+    retries_made: Cell<usize>,
+}
+
+impl<G: Geocoder> RetryGeocoder<G> {
+    /// Wraps `inner` with `retries` retries per query under `backoff`.
+    pub fn new(inner: G, retries: u32, backoff: Backoff) -> Self {
+        RetryGeocoder {
+            inner,
+            retries,
+            backoff,
+            retries_made: Cell::new(0),
+        }
+    }
+
+    /// Wraps `inner` with the retry budget from the environment
+    /// (`INDICE_GEOCODE_RETRIES`, default 3) and the default backoff.
+    pub fn from_env(inner: G) -> Self {
+        RetryGeocoder::new(inner, geocode_retries_from_env(), Backoff::default())
+    }
+
+    /// The configured retry budget.
+    pub fn retry_budget(&self) -> u32 {
+        self.retries
+    }
+
+    /// The backoff schedule generator.
+    pub fn backoff(&self) -> Backoff {
+        self.backoff
+    }
+}
+
+impl<G: Geocoder> Geocoder for RetryGeocoder<G> {
+    fn geocode(&self, query: &Address) -> Option<GeocodeResult> {
+        self.try_geocode(query).ok()
+    }
+
+    fn requests_made(&self) -> usize {
+        self.inner.requests_made()
+    }
+
+    fn try_geocode(&self, query: &Address) -> Result<GeocodeResult, GeocodeFailure> {
+        let key = query_hash(query);
+        let mut last = GeocodeFailure::NotFound;
+        for attempt in 0..=self.retries {
+            if attempt > 0 {
+                self.retries_made.set(self.retries_made.get() + 1);
+                let delay = self.backoff.delay_ms(key, attempt);
+                if delay > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
+                }
+            }
+            match self.inner.try_geocode(query) {
+                Ok(res) => return Ok(res),
+                Err(GeocodeFailure::NotFound) => return Err(GeocodeFailure::NotFound),
+                Err(f @ GeocodeFailure::Transient(_)) => last = f,
+            }
+        }
+        Err(last)
+    }
+
+    fn retries_made(&self) -> usize {
+        self.retries_made.get()
+    }
 }
 
 /// Deterministic geocoder simulator backed by a ground-truth street map.
@@ -113,27 +358,13 @@ impl SimulatedGeocoder {
             requests: Cell::new(0),
         }
     }
-
-    /// FNV-1a hash of the query used for the deterministic failure draw.
-    fn query_hash(query: &Address) -> u64 {
-        let mut h: u64 = 0xcbf29ce484222325;
-        for b in query
-            .street
-            .bytes()
-            .chain(query.house_number.as_deref().unwrap_or("").bytes())
-        {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-        h
-    }
 }
 
 impl Geocoder for SimulatedGeocoder {
     fn geocode(&self, query: &Address) -> Option<GeocodeResult> {
         self.requests.set(self.requests.get() + 1);
         // Deterministic spurious failure.
-        let draw = (Self::query_hash(query) % 10_000) as f64 / 10_000.0;
+        let draw = (query_hash(query) % 10_000) as f64 / 10_000.0;
         if draw < self.failure_rate {
             return None;
         }
@@ -157,9 +388,39 @@ impl Geocoder for SimulatedGeocoder {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::streetmap::StreetEntry;
+
+    /// A scripted geocoder whose per-query outcomes are predetermined:
+    /// fails transiently for the first `transient_failures` calls, then
+    /// delegates to `inner`.
+    struct FlakyGeocoder<G> {
+        inner: G,
+        transient_failures: usize,
+        kind: TransientKind,
+        calls: Cell<usize>,
+    }
+
+    impl<G: Geocoder> Geocoder for FlakyGeocoder<G> {
+        fn geocode(&self, query: &Address) -> Option<GeocodeResult> {
+            self.try_geocode(query).ok()
+        }
+
+        fn requests_made(&self) -> usize {
+            self.calls.get()
+        }
+
+        fn try_geocode(&self, query: &Address) -> Result<GeocodeResult, GeocodeFailure> {
+            let n = self.calls.get();
+            self.calls.set(n + 1);
+            if n < self.transient_failures {
+                return Err(GeocodeFailure::Transient(self.kind));
+            }
+            self.inner.try_geocode(query)
+        }
+    }
 
     fn truth() -> StreetMap {
         StreetMap::from_entries(vec![
@@ -238,5 +499,104 @@ mod tests {
         let g = QuotaGeocoder::new(SimulatedGeocoder::new(truth(), 0.6, 0.0), 0);
         assert!(g.geocode(&Address::new("via roma", None, None)).is_none());
         assert_eq!(g.requests_made(), 0);
+    }
+
+    #[test]
+    fn try_geocode_distinguishes_miss_from_quota() {
+        let g = QuotaGeocoder::new(SimulatedGeocoder::new(truth(), 0.6, 0.0), 1);
+        // Permanent miss: the street does not exist.
+        assert_eq!(
+            g.try_geocode(&Address::new("qwertyuiop", None, None)),
+            Err(GeocodeFailure::NotFound)
+        );
+        // Quota exhausted: also permanent within the run.
+        assert_eq!(
+            g.try_geocode(&Address::new("via roma", Some("10"), None)),
+            Err(GeocodeFailure::NotFound)
+        );
+        assert_eq!(g.requests_made(), 1);
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_failures() {
+        let flaky = FlakyGeocoder {
+            inner: SimulatedGeocoder::new(truth(), 0.6, 0.0),
+            transient_failures: 2,
+            kind: TransientKind::Timeout,
+            calls: Cell::new(0),
+        };
+        let g = RetryGeocoder::new(flaky, 3, Backoff::default());
+        let res = g
+            .try_geocode(&Address::new("via roma", Some("10"), None))
+            .expect("third attempt succeeds");
+        assert_eq!(res.street, "Via Roma");
+        assert_eq!(g.retries_made(), 2);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_surfaces_the_transient_failure() {
+        let flaky = FlakyGeocoder {
+            inner: SimulatedGeocoder::new(truth(), 0.6, 0.0),
+            transient_failures: 100,
+            kind: TransientKind::Quota,
+            calls: Cell::new(0),
+        };
+        let g = RetryGeocoder::new(flaky, 2, Backoff::default());
+        assert_eq!(
+            g.try_geocode(&Address::new("via roma", Some("10"), None)),
+            Err(GeocodeFailure::Transient(TransientKind::Quota))
+        );
+        assert_eq!(g.retries_made(), 2, "budget respected");
+    }
+
+    #[test]
+    fn retry_does_not_waste_attempts_on_permanent_misses() {
+        let g = RetryGeocoder::new(
+            SimulatedGeocoder::new(truth(), 0.6, 0.0),
+            5,
+            Backoff::default(),
+        );
+        assert_eq!(
+            g.try_geocode(&Address::new("qwertyuiop", None, None)),
+            Err(GeocodeFailure::NotFound)
+        );
+        assert_eq!(g.retries_made(), 0);
+        assert_eq!(g.requests_made(), 1);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_bounded() {
+        let b = Backoff {
+            base_ms: 100,
+            factor: 2,
+            max_ms: 1_000,
+            seed: 7,
+        };
+        let key = query_hash(&Address::new("via roma", Some("10"), None));
+        let s1 = b.schedule(key, 6);
+        let s2 = b.schedule(key, 6);
+        assert_eq!(s1, s2, "same seed and key → same schedule");
+        for (i, &d) in s1.iter().enumerate() {
+            let uncapped = (100u64 * 2u64.pow(i as u32)).min(1_000);
+            assert!(d >= uncapped / 2 && d <= uncapped, "delay {d} at retry {i}");
+        }
+        // A different seed gives a different schedule (with overwhelming
+        // probability on a 6-delay vector).
+        let other = Backoff { seed: 8, ..b };
+        assert_ne!(other.schedule(key, 6), s1);
+        // Zero base → never sleeps.
+        assert_eq!(Backoff::default().schedule(key, 4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn retry_env_budget_parses_with_fallback() {
+        // Plain parse checks (the env var itself is process-global; tests
+        // only exercise the parsing contract via a scoped set/unset).
+        std::env::set_var(GEOCODE_RETRIES_ENV_VAR, "7");
+        assert_eq!(geocode_retries_from_env(), 7);
+        std::env::set_var(GEOCODE_RETRIES_ENV_VAR, "nope");
+        assert_eq!(geocode_retries_from_env(), DEFAULT_GEOCODE_RETRIES);
+        std::env::remove_var(GEOCODE_RETRIES_ENV_VAR);
+        assert_eq!(geocode_retries_from_env(), DEFAULT_GEOCODE_RETRIES);
     }
 }

@@ -34,8 +34,12 @@ pub use address::Address;
 pub use bbox::BoundingBox;
 pub use cleaning::{
     clean_addresses, AddressQuery, CleanedAddress, CleaningConfig, CleaningOutcome, CleaningReport,
+    DegradedFallback,
 };
-pub use geocode::{GeocodeResult, Geocoder, QuotaGeocoder, SimulatedGeocoder};
+pub use geocode::{
+    Backoff, GeocodeFailure, GeocodeResult, Geocoder, QuotaGeocoder, RetryGeocoder,
+    SimulatedGeocoder, TransientKind,
+};
 pub use levenshtein::{levenshtein, similarity};
 pub use point::GeoPoint;
 pub use quadtree::QuadTree;

@@ -5,9 +5,16 @@
 //! datasets produced by the synthetic generator: comma-separated, RFC-4180
 //! style quoting (`"` doubling), header row with attribute names, empty
 //! fields read as missing.
+//!
+//! Two readers are offered: [`from_csv`] rejects the whole document on the
+//! first malformed row, while [`from_csv_lenient`] diverts malformed rows
+//! into a [`Quarantine`] and keeps going — the ingest mode of the
+//! fault-tolerant pipeline.
+#![deny(clippy::unwrap_used)]
 
 use crate::dataset::{Dataset, Record};
 use crate::error::ModelError;
+use crate::fault::{Quarantine, RecordFault};
 use crate::schema::Schema;
 use crate::value::Value;
 use std::sync::Arc;
@@ -67,6 +74,28 @@ fn write_row(out: &mut String, fields: impl Iterator<Item = String>) {
 /// order. Empty fields become [`Value::Missing`]; fields of numeric columns
 /// that fail to parse as `f64` are an error.
 pub fn from_csv(schema: Arc<Schema>, text: &str) -> Result<Dataset, ModelError> {
+    read_csv(schema, text, None)
+}
+
+/// Fault-tolerant variant of [`from_csv`]: rows that fail to parse — wrong
+/// arity, unparsable numbers, unterminated quotes — are diverted into
+/// `quarantine` with a [`RecordFault::CsvParse`] reason instead of aborting
+/// the whole load. A bad header is still fatal (nothing downstream could
+/// be trusted).
+pub fn from_csv_lenient(
+    schema: Arc<Schema>,
+    text: &str,
+    quarantine: &mut Quarantine,
+) -> Result<Dataset, ModelError> {
+    read_csv(schema, text, Some(quarantine))
+}
+
+/// Shared reader: strict when `quarantine` is `None`, lenient otherwise.
+fn read_csv(
+    schema: Arc<Schema>,
+    text: &str,
+    mut quarantine: Option<&mut Quarantine>,
+) -> Result<Dataset, ModelError> {
     let mut lines = split_records(text);
     let header = lines.next().ok_or(ModelError::Csv {
         line: 1,
@@ -93,31 +122,48 @@ pub fn from_csv(schema: Arc<Schema>, text: &str) -> Result<Dataset, ModelError> 
         if raw.trim().is_empty() {
             continue;
         }
-        let fields = parse_record(&raw, line_no)?;
-        if fields.len() != ds.n_cols() {
-            return Err(ModelError::Csv {
-                line: line_no,
-                reason: format!("expected {} fields, got {}", ds.n_cols(), fields.len()),
-            });
+        match parse_row(&ds, &raw, line_no) {
+            Ok(record) => ds.push_record(record)?,
+            Err(e) => match (&mut quarantine, e) {
+                (Some(q), ModelError::Csv { line, reason }) => {
+                    q.push(
+                        format!("line:{line}"),
+                        None,
+                        RecordFault::CsvParse { line, reason },
+                    );
+                }
+                (_, e) => return Err(e),
+            },
         }
-        let mut values = Vec::with_capacity(fields.len());
-        for (field, (_, def)) in fields.into_iter().zip(ds.schema().iter()) {
-            let value = if field.is_empty() {
-                Value::Missing
-            } else if def.kind.is_numeric() {
-                let x: f64 = field.parse().map_err(|_| ModelError::Csv {
-                    line: line_no,
-                    reason: format!("invalid number {field:?} for attribute {}", def.name),
-                })?;
-                Value::Num(x)
-            } else {
-                Value::Cat(field)
-            };
-            values.push(value);
-        }
-        ds.push_record(Record::from_values(values))?;
     }
     Ok(ds)
+}
+
+/// Parses one data row against the dataset's schema.
+fn parse_row(ds: &Dataset, raw: &str, line_no: usize) -> Result<Record, ModelError> {
+    let fields = parse_record(raw, line_no)?;
+    if fields.len() != ds.n_cols() {
+        return Err(ModelError::Csv {
+            line: line_no,
+            reason: format!("expected {} fields, got {}", ds.n_cols(), fields.len()),
+        });
+    }
+    let mut values = Vec::with_capacity(fields.len());
+    for (field, (_, def)) in fields.into_iter().zip(ds.schema().iter()) {
+        let value = if field.is_empty() {
+            Value::Missing
+        } else if def.kind.is_numeric() {
+            let x: f64 = field.parse().map_err(|_| ModelError::Csv {
+                line: line_no,
+                reason: format!("invalid number {field:?} for attribute {}", def.name),
+            })?;
+            Value::Num(x)
+        } else {
+            Value::Cat(field)
+        };
+        values.push(value);
+    }
+    Ok(Record::from_values(values))
 }
 
 /// Splits a CSV document into logical records, honouring quoted newlines.
@@ -132,12 +178,11 @@ fn split_records(text: &str) -> impl Iterator<Item = String> + '_ {
                 current.push(ch);
             }
             '\n' if !in_quotes => {
-                records.push(std::mem::take(&mut current));
                 // trailing \r from CRLF files
-                if records.last().map(|r| r.ends_with('\r')).unwrap_or(false) {
-                    let last = records.last_mut().unwrap();
-                    last.pop();
+                if current.ends_with('\r') {
+                    current.pop();
                 }
+                records.push(std::mem::take(&mut current));
             }
             _ => current.push(ch),
         }
@@ -186,6 +231,7 @@ fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>, ModelError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::attribute::{AttrId, AttributeDef};
@@ -285,6 +331,43 @@ mod tests {
     fn empty_lines_are_skipped() {
         let ds = from_csv(schema(), "x,name\n1,a\n\n2,b\n").unwrap();
         assert_eq!(ds.n_rows(), 2);
+    }
+
+    #[test]
+    fn lenient_reader_quarantines_bad_rows() {
+        let text = "x,name\n1,a\nnot_a_number,b\n2\n3,\"oops\n4,d\n";
+        let mut q = Quarantine::new();
+        let ds = from_csv_lenient(schema(), text, &mut q).unwrap();
+        // Rows 3 (bad number), 4 (arity), 5 (unterminated quote swallows
+        // the rest of the document as one logical record) are diverted.
+        assert_eq!(ds.n_rows(), 1);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.histogram()["csv_parse"], 3);
+        assert!(q
+            .records()
+            .iter()
+            .any(|r| matches!(&r.fault, RecordFault::CsvParse { line: 3, reason } if reason.contains("not_a_number"))));
+    }
+
+    #[test]
+    fn lenient_reader_matches_strict_on_clean_input() {
+        let text = to_csv(&sample());
+        let mut q = Quarantine::new();
+        let lenient = from_csv_lenient(schema(), &text, &mut q).unwrap();
+        let strict = from_csv(schema(), &text).unwrap();
+        assert!(q.is_empty());
+        assert_eq!(lenient.n_rows(), strict.n_rows());
+        for row in 0..strict.n_rows() {
+            assert_eq!(lenient.num(row, AttrId(0)), strict.num(row, AttrId(0)));
+            assert_eq!(lenient.cat(row, AttrId(1)), strict.cat(row, AttrId(1)));
+        }
+    }
+
+    #[test]
+    fn lenient_reader_still_rejects_bad_headers() {
+        let mut q = Quarantine::new();
+        assert!(from_csv_lenient(schema(), "a,b\n1,2\n", &mut q).is_err());
+        assert!(from_csv_lenient(schema(), "", &mut q).is_err());
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Typed record faults and the quarantine sink of the fault-tolerant
+//! pipeline.
+//!
+//! The paper's EPC collections are noisy — misspelled addresses, missing
+//! or out-of-range attributes, failed geocodes — and a production pipeline
+//! must survive them. Instead of panicking (or silently dropping rows),
+//! malformed records are diverted into a [`Quarantine`] carrying a typed
+//! [`RecordFault`], and the run continues on the surviving records. The
+//! quarantine exposes exact per-kind histograms so stage reports can
+//! account for every diverted record.
+
+use crate::dataset::Dataset;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a record was quarantined instead of processed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordFault {
+    /// A CSV row failed to parse (bad arity, unparsable number,
+    /// unterminated quote, …).
+    CsvParse {
+        /// 1-based line number in the source document.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A quantitative value was NaN or ±∞.
+    NonFinite {
+        /// Offending attribute.
+        attribute: String,
+    },
+    /// A quantitative value fell outside its plausible range.
+    OutOfRange {
+        /// Offending attribute.
+        attribute: String,
+        /// The offending value.
+        value: f64,
+        /// Lower bound of the plausible range (inclusive).
+        min: f64,
+        /// Upper bound of the plausible range (inclusive).
+        max: f64,
+    },
+    /// A categorical value was not among the known levels.
+    UnknownCategory {
+        /// Offending attribute.
+        attribute: String,
+        /// The unknown label.
+        value: String,
+    },
+    /// The address could not be resolved by the reference map, the
+    /// geocoder, or the degraded fallback.
+    UnresolvableAddress,
+    /// A fault injector corrupted the record (chaos testing).
+    Injected {
+        /// What the injector did.
+        detail: String,
+    },
+}
+
+impl RecordFault {
+    /// Stable, short kind label used as the histogram key.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RecordFault::CsvParse { .. } => "csv_parse",
+            RecordFault::NonFinite { .. } => "non_finite",
+            RecordFault::OutOfRange { .. } => "out_of_range",
+            RecordFault::UnknownCategory { .. } => "unknown_category",
+            RecordFault::UnresolvableAddress => "unresolvable_address",
+            RecordFault::Injected { .. } => "injected",
+        }
+    }
+}
+
+impl fmt::Display for RecordFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordFault::CsvParse { line, reason } => {
+                write!(f, "CSV parse failure at line {line}: {reason}")
+            }
+            RecordFault::NonFinite { attribute } => {
+                write!(f, "non-finite value for attribute {attribute:?}")
+            }
+            RecordFault::OutOfRange {
+                attribute,
+                value,
+                min,
+                max,
+            } => write!(
+                f,
+                "value {value} of attribute {attribute:?} outside plausible range [{min}, {max}]"
+            ),
+            RecordFault::UnknownCategory { attribute, value } => {
+                write!(f, "unknown level {value:?} for attribute {attribute:?}")
+            }
+            RecordFault::UnresolvableAddress => write!(f, "address could not be resolved"),
+            RecordFault::Injected { detail } => write!(f, "injected fault: {detail}"),
+        }
+    }
+}
+
+/// One diverted record: a stable key (certificate id when available,
+/// otherwise a synthetic key), the source row when known, and the fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedRecord {
+    /// Stable record key — survives row reordering, unlike indices.
+    pub key: String,
+    /// Row index in the dataset the record was diverted from, if any.
+    pub row: Option<usize>,
+    /// Why the record was diverted.
+    pub fault: RecordFault,
+}
+
+/// The quarantine sink: collects diverted records in arrival order and
+/// answers exact per-kind accounting questions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Quarantine {
+    records: Vec<QuarantinedRecord>,
+}
+
+impl Quarantine {
+    /// An empty quarantine.
+    pub fn new() -> Self {
+        Quarantine::default()
+    }
+
+    /// Diverts one record.
+    pub fn push(&mut self, key: impl Into<String>, row: Option<usize>, fault: RecordFault) {
+        self.records.push(QuarantinedRecord {
+            key: key.into(),
+            row,
+            fault,
+        });
+    }
+
+    /// Number of quarantined records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing was diverted.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The diverted records, in arrival order.
+    pub fn records(&self) -> &[QuarantinedRecord] {
+        &self.records
+    }
+
+    /// Exact fault histogram: kind label → count, deterministically
+    /// ordered.
+    pub fn histogram(&self) -> BTreeMap<String, usize> {
+        let mut h = BTreeMap::new();
+        for r in &self.records {
+            *h.entry(r.fault.kind().to_owned()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Like [`Quarantine::histogram`], but only over records arrived at or
+    /// after index `start` — the per-stage delta when a stage snapshots
+    /// `len()` before running.
+    pub fn histogram_from(&self, start: usize) -> BTreeMap<String, usize> {
+        let mut h = BTreeMap::new();
+        for r in self.records.iter().skip(start) {
+            *h.entry(r.fault.kind().to_owned()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// The sorted, de-duplicated set of quarantined record keys.
+    pub fn keys(&self) -> Vec<&str> {
+        let mut keys: Vec<&str> = self.records.iter().map(|r| r.key.as_str()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// Appends another quarantine's records (stage hand-off).
+    pub fn merge(&mut self, other: Quarantine) {
+        self.records.extend(other.records);
+    }
+}
+
+impl fmt::Display for Quarantine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "quarantine: empty");
+        }
+        write!(f, "quarantine: {} records (", self.len())?;
+        let mut first = true;
+        for (kind, n) in self.histogram() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{kind}: {n}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// What the record-validation scan checks. Non-finite quantitative values
+/// are always faults; range and category checks only run for the
+/// attributes listed here, so the default policy never diverts records a
+/// paper-faithful run would keep.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ValidationPolicy {
+    /// `(attribute, min, max)` inclusive plausible ranges.
+    pub ranges: Vec<(String, f64, f64)>,
+    /// `(attribute, known levels)` for categorical attributes.
+    pub known_categories: Vec<(String, Vec<String>)>,
+}
+
+impl ValidationPolicy {
+    /// The default policy: only the always-on non-finite check.
+    pub fn minimal() -> Self {
+        ValidationPolicy::default()
+    }
+}
+
+/// Scans `dataset` for faulty records under `policy`.
+///
+/// Returns `(row, fault)` pairs in ascending row order; a row appears at
+/// most once (the first fault found in schema order wins), so callers can
+/// treat the result as the exact quarantine set.
+pub fn scan_faults(dataset: &Dataset, policy: &ValidationPolicy) -> Vec<(usize, RecordFault)> {
+    let schema = dataset.schema();
+    let mut range_by_attr: BTreeMap<u32, (f64, f64)> = BTreeMap::new();
+    for (attr, min, max) in &policy.ranges {
+        if let Ok(id) = schema.require(attr) {
+            range_by_attr.insert(id.0, (*min, *max));
+        }
+    }
+    let mut levels_by_attr: BTreeMap<u32, &[String]> = BTreeMap::new();
+    for (attr, levels) in &policy.known_categories {
+        if let Ok(id) = schema.require(attr) {
+            levels_by_attr.insert(id.0, levels.as_slice());
+        }
+    }
+
+    let mut out = Vec::new();
+    for row in 0..dataset.n_rows() {
+        let mut fault = None;
+        for (id, def) in schema.iter() {
+            match dataset.value(row, id) {
+                Value::Num(x) => {
+                    if !x.is_finite() {
+                        fault = Some(RecordFault::NonFinite {
+                            attribute: def.name.clone(),
+                        });
+                    } else if let Some(&(min, max)) = range_by_attr.get(&id.0) {
+                        if x < min || x > max {
+                            fault = Some(RecordFault::OutOfRange {
+                                attribute: def.name.clone(),
+                                value: x,
+                                min,
+                                max,
+                            });
+                        }
+                    }
+                }
+                Value::Cat(label) => {
+                    if let Some(levels) = levels_by_attr.get(&id.0) {
+                        if !levels.iter().any(|l| l == &label) {
+                            fault = Some(RecordFault::UnknownCategory {
+                                attribute: def.name.clone(),
+                                value: label,
+                            });
+                        }
+                    }
+                }
+                Value::Missing => {}
+            }
+            if fault.is_some() {
+                break;
+            }
+        }
+        if let Some(fault) = fault {
+            out.push((row, fault));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::{AttrId, AttributeDef};
+    use crate::dataset::Dataset;
+    use crate::schema::Schema;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![
+                AttributeDef::numeric("x", "", ""),
+                AttributeDef::categorical("cat", ""),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn dataset(rows: &[(Option<f64>, Option<&str>)]) -> Dataset {
+        let mut ds = Dataset::new(schema());
+        for (x, c) in rows {
+            let mut r = ds.empty_record();
+            r.set(AttrId(0), Value::from(*x)).unwrap();
+            r.set(AttrId(1), c.map(Value::cat).unwrap_or(Value::Missing))
+                .unwrap();
+            ds.push_record(r).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn non_finite_is_always_a_fault() {
+        let ds = dataset(&[
+            (Some(1.0), Some("a")),
+            (Some(f64::NAN), Some("a")),
+            (Some(f64::INFINITY), Some("a")),
+            (None, Some("a")),
+        ]);
+        let faults = scan_faults(&ds, &ValidationPolicy::minimal());
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].0, 1);
+        assert_eq!(faults[1].0, 2);
+        assert!(matches!(faults[0].1, RecordFault::NonFinite { .. }));
+    }
+
+    #[test]
+    fn range_and_category_checks_are_opt_in() {
+        let ds = dataset(&[(Some(99.0), Some("weird")), (Some(1.0), Some("ok"))]);
+        assert!(scan_faults(&ds, &ValidationPolicy::minimal()).is_empty());
+
+        let policy = ValidationPolicy {
+            ranges: vec![("x".into(), 0.0, 10.0)],
+            known_categories: vec![("cat".into(), vec!["ok".into()])],
+        };
+        let faults = scan_faults(&ds, &policy);
+        assert_eq!(faults.len(), 1, "first fault per row wins");
+        assert!(matches!(faults[0].1, RecordFault::OutOfRange { .. }));
+    }
+
+    #[test]
+    fn missing_values_are_not_faults() {
+        let ds = dataset(&[(None, None)]);
+        let policy = ValidationPolicy {
+            ranges: vec![("x".into(), 0.0, 1.0)],
+            known_categories: vec![("cat".into(), vec!["ok".into()])],
+        };
+        assert!(scan_faults(&ds, &policy).is_empty());
+    }
+
+    #[test]
+    fn quarantine_histogram_is_exact() {
+        let mut q = Quarantine::new();
+        q.push("a", Some(0), RecordFault::UnresolvableAddress);
+        q.push(
+            "b",
+            Some(1),
+            RecordFault::NonFinite {
+                attribute: "x".into(),
+            },
+        );
+        q.push("c", None, RecordFault::UnresolvableAddress);
+        assert_eq!(q.len(), 3);
+        let h = q.histogram();
+        assert_eq!(h["unresolvable_address"], 2);
+        assert_eq!(h["non_finite"], 1);
+        assert_eq!(q.keys(), vec!["a", "b", "c"]);
+        let text = q.to_string();
+        assert!(text.contains("3 records") && text.contains("non_finite: 1"));
+    }
+
+    #[test]
+    fn quarantine_merge_accumulates() {
+        let mut a = Quarantine::new();
+        a.push("a", Some(0), RecordFault::UnresolvableAddress);
+        let mut b = Quarantine::new();
+        b.push(
+            "b",
+            None,
+            RecordFault::CsvParse {
+                line: 3,
+                reason: "bad".into(),
+            },
+        );
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.histogram().len(), 2);
+        assert_eq!(Quarantine::new().to_string(), "quarantine: empty");
+    }
+
+    #[test]
+    fn fault_kinds_and_display_are_stable() {
+        let faults = [
+            RecordFault::CsvParse {
+                line: 2,
+                reason: "r".into(),
+            },
+            RecordFault::NonFinite {
+                attribute: "x".into(),
+            },
+            RecordFault::OutOfRange {
+                attribute: "x".into(),
+                value: 9.0,
+                min: 0.0,
+                max: 1.0,
+            },
+            RecordFault::UnknownCategory {
+                attribute: "c".into(),
+                value: "z".into(),
+            },
+            RecordFault::UnresolvableAddress,
+            RecordFault::Injected { detail: "d".into() },
+        ];
+        let kinds: Vec<&str> = faults.iter().map(|f| f.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "csv_parse",
+                "non_finite",
+                "out_of_range",
+                "unknown_category",
+                "unresolvable_address",
+                "injected"
+            ]
+        );
+        for f in &faults {
+            assert!(!f.to_string().is_empty());
+        }
+    }
+}

@@ -34,6 +34,7 @@ pub mod attribute;
 pub mod csv;
 pub mod dataset;
 pub mod error;
+pub mod fault;
 pub mod granularity;
 pub mod schema;
 pub mod value;
@@ -42,6 +43,7 @@ pub mod wellknown;
 pub use attribute::{AttrId, AttrKind, AttributeDef};
 pub use dataset::{Column, ColumnData, Dataset, Record, RowView};
 pub use error::ModelError;
+pub use fault::{scan_faults, Quarantine, QuarantinedRecord, RecordFault, ValidationPolicy};
 pub use granularity::Granularity;
 pub use schema::Schema;
 pub use value::Value;

@@ -1,5 +1,7 @@
-//! Per-stage instrumentation: wall time and record counts.
+//! Per-stage instrumentation: wall time, record counts, and quarantine
+//! accounting.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -14,6 +16,10 @@ pub struct StageReport {
     pub records_in: usize,
     /// Records leaving the stage (after filtering/aggregation).
     pub records_out: usize,
+    /// Records diverted to the quarantine by this stage.
+    pub quarantined: usize,
+    /// Fault histogram of the quarantined records: fault kind → count.
+    pub faults: BTreeMap<String, usize>,
 }
 
 /// Running stopwatch for one stage; finish it into a [`StageReport`].
@@ -34,11 +40,24 @@ impl StageTimer {
 
     /// Stops the clock and records throughput.
     pub fn finish(self, records_in: usize, records_out: usize) -> StageReport {
+        self.finish_detailed(records_in, records_out, 0, BTreeMap::new())
+    }
+
+    /// Stops the clock, also recording quarantine accounting.
+    pub fn finish_detailed(
+        self,
+        records_in: usize,
+        records_out: usize,
+        quarantined: usize,
+        faults: BTreeMap<String, usize>,
+    ) -> StageReport {
         StageReport {
             name: self.name,
             wall: self.start.elapsed(),
             records_in,
             records_out,
+            quarantined,
+            faults,
         }
     }
 }
@@ -75,6 +94,22 @@ impl PipelineReport {
     pub fn stage(&self, name: &str) -> Option<&StageReport> {
         self.stages.iter().find(|s| s.name == name)
     }
+
+    /// Total records quarantined across all stages.
+    pub fn total_quarantined(&self) -> usize {
+        self.stages.iter().map(|s| s.quarantined).sum()
+    }
+
+    /// The merged fault histogram across all stages: fault kind → count.
+    pub fn fault_histogram(&self) -> BTreeMap<String, usize> {
+        let mut merged = BTreeMap::new();
+        for s in &self.stages {
+            for (kind, n) in &s.faults {
+                *merged.entry(kind.clone()).or_insert(0) += n;
+            }
+        }
+        merged
+    }
 }
 
 impl fmt::Display for PipelineReport {
@@ -86,11 +121,22 @@ impl fmt::Display for PipelineReport {
             self.total_wall()
         )?;
         for s in &self.stages {
-            writeln!(
+            write!(
                 f,
                 "  {:<12} {:>10.1?}   {:>7} in → {:>7} out",
                 s.name, s.wall, s.records_in, s.records_out
             )?;
+            if s.quarantined > 0 {
+                let kinds: Vec<String> =
+                    s.faults.iter().map(|(k, n)| format!("{k}: {n}")).collect();
+                write!(
+                    f,
+                    "   [{} quarantined — {}]",
+                    s.quarantined,
+                    kinds.join(", ")
+                )?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -118,17 +164,47 @@ mod tests {
             wall: Duration::from_millis(5),
             records_in: 10,
             records_out: 8,
+            quarantined: 0,
+            faults: BTreeMap::new(),
         });
         rep.push(StageReport {
             name: "b".into(),
             wall: Duration::from_millis(7),
             records_in: 8,
             records_out: 8,
+            quarantined: 0,
+            faults: BTreeMap::new(),
         });
         assert_eq!(rep.total_wall(), Duration::from_millis(12));
         assert_eq!(rep.stage("b").unwrap().records_in, 8);
         let text = rep.to_string();
         assert!(text.contains("threads = 4"));
         assert!(text.contains('a') && text.contains('b'));
+        assert!(
+            !text.contains("quarantined"),
+            "zero quarantine stays silent"
+        );
+    }
+
+    #[test]
+    fn quarantine_accounting_shows_in_display_and_totals() {
+        let t = StageTimer::start("preprocess");
+        let mut faults = BTreeMap::new();
+        faults.insert("non_finite".to_owned(), 3usize);
+        faults.insert("csv_parse".to_owned(), 1usize);
+        let mut rep = PipelineReport::new(2);
+        rep.push(t.finish_detailed(100, 96, 4, faults));
+        assert_eq!(rep.total_quarantined(), 4);
+        assert_eq!(rep.fault_histogram()["non_finite"], 3);
+        let text = rep.to_string();
+        assert!(text.contains("4 quarantined"), "{text}");
+        assert!(text.contains("non_finite: 3"), "{text}");
+    }
+
+    #[test]
+    fn finish_is_finish_detailed_with_no_quarantine() {
+        let r = StageTimer::start("x").finish(5, 5);
+        assert_eq!(r.quarantined, 0);
+        assert!(r.faults.is_empty());
     }
 }

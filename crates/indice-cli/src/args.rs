@@ -45,6 +45,12 @@ pub enum Command {
         stakeholder: Stakeholder,
         /// Output directory.
         out_dir: String,
+        /// Seed of the deterministic fault injector (chaos testing).
+        fault_seed: u64,
+        /// Fraction of records the injector corrupts (0 disables).
+        fault_rate: f64,
+        /// Fraction of geocoder calls the injector fails transiently.
+        geocode_fail_rate: f64,
     },
     /// Print the auto-configuration advice for a collection.
     SuggestConfig {
@@ -72,14 +78,29 @@ USAGE:
   indice generate --records N [--seed S] [--noise none|default|heavy] --out-dir DIR
   indice describe --data epcs.csv
   indice run --data epcs.csv --streets street_map.txt --regions regions.json \\
-             [--stakeholder pa|citizen|scientist] --out-dir DIR
+             [--stakeholder pa|citizen|scientist] --out-dir DIR \\
+             [--fault-seed S] [--fault-rate R] [--geocode-fail-rate R]
   indice suggest-config --data epcs.csv
   indice clean --data epcs.csv --streets street_map.txt --out cleaned.csv
   indice help
 
+`run` executes under a stage supervisor: malformed records are diverted
+into a quarantine, transient geocoder failures are retried with
+deterministic backoff (district-centroid fallback once the budget is
+exhausted), and an analytics failure degrades the dashboard instead of
+aborting. Exit codes: 0 complete, 3 degraded (partial output written),
+1 failed.
+
+`--fault-seed` / `--fault-rate` / `--geocode-fail-rate` attach a
+deterministic fault injector for chaos testing: the same seed and rates
+reproduce the same faults, quarantine, and outputs at any thread count.
+
 ENVIRONMENT:
-  INDICE_THREADS   thread budget for run/clean (default: all hardware
-                   threads); outputs are identical for any value
+  INDICE_THREADS           thread budget for run/clean (default: all
+                           hardware threads); outputs are identical for
+                           any value
+  INDICE_GEOCODE_RETRIES   retry budget for transient geocoder failures
+                           (default: 3)
 ";
 
 /// Parses `argv[1..]` into a [`Command`].
@@ -132,12 +153,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 Some("scientist") | Some("energy-scientist") => Stakeholder::EnergyScientist,
                 Some(other) => return Err(format!("unknown --stakeholder {other:?}")),
             };
+            let fault_seed: u64 = flags
+                .get("fault-seed")
+                .map(|s| s.parse().map_err(|e| format!("--fault-seed: {e}")))
+                .transpose()?
+                .unwrap_or(2024);
+            let fault_rate = parse_rate(&flags, "fault-rate")?;
+            let geocode_fail_rate = parse_rate(&flags, "geocode-fail-rate")?;
             Ok(Command::Run {
                 data: get("data")?.clone(),
                 streets: get("streets")?.clone(),
                 regions: get("regions")?.clone(),
                 stakeholder,
                 out_dir: get("out-dir")?.clone(),
+                fault_seed,
+                fault_rate,
+                geocode_fail_rate,
             })
         }
         "suggest-config" => Ok(Command::SuggestConfig {
@@ -150,6 +181,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         }),
         other => Err(format!("unknown command {other:?}; try `indice help`")),
     }
+}
+
+/// Parses an optional `[0, 1]` rate flag, defaulting to `0.0`.
+fn parse_rate(flags: &HashMap<String, String>, name: &str) -> Result<f64, String> {
+    let Some(raw) = flags.get(name) else {
+        return Ok(0.0);
+    };
+    let rate: f64 = raw.parse().map_err(|e| format!("--{name}: {e}"))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--{name} must be in [0, 1], got {rate}"));
+    }
+    Ok(rate)
 }
 
 /// Parses `--flag value` pairs.
@@ -290,6 +333,88 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn run_parses_fault_flags() {
+        let cmd = parse_args(&v(&[
+            "run",
+            "--data",
+            "e.csv",
+            "--streets",
+            "s.txt",
+            "--regions",
+            "r.json",
+            "--out-dir",
+            "o",
+            "--fault-seed",
+            "99",
+            "--fault-rate",
+            "0.2",
+            "--geocode-fail-rate",
+            "0.1",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                fault_seed,
+                fault_rate,
+                geocode_fail_rate,
+                ..
+            } => {
+                assert_eq!(fault_seed, 99);
+                assert_eq!(fault_rate, 0.2);
+                assert_eq!(geocode_fail_rate, 0.1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_fault_flags_default_to_off() {
+        let cmd = parse_args(&v(&[
+            "run",
+            "--data",
+            "e.csv",
+            "--streets",
+            "s.txt",
+            "--regions",
+            "r.json",
+            "--out-dir",
+            "o",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                fault_rate,
+                geocode_fail_rate,
+                ..
+            } => {
+                assert_eq!(fault_rate, 0.0);
+                assert_eq!(geocode_fail_rate, 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rates_outside_unit_interval_are_rejected() {
+        for bad in ["1.5", "-0.1", "abc"] {
+            assert!(parse_args(&v(&[
+                "run",
+                "--data",
+                "e.csv",
+                "--streets",
+                "s.txt",
+                "--regions",
+                "r.json",
+                "--out-dir",
+                "o",
+                "--fault-rate",
+                bad,
+            ]))
+            .is_err());
+        }
     }
 
     #[test]

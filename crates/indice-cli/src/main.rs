@@ -11,14 +11,16 @@
 mod args;
 
 use args::{parse_args, Command, NoisePreset, USAGE};
+use epc_faults::{Corruption, DeterministicInjector};
 use epc_geo::region::RegionHierarchy;
 use epc_geo::streetmap::StreetMap;
-use epc_model::Dataset;
+use epc_model::{Dataset, Quarantine};
 use epc_synth::noise::{apply_noise, NoiseConfig};
 use epc_synth::{EpcGenerator, SynthConfig};
 use indice::autoconfig::suggest_config;
 use indice::config::IndiceConfig;
 use indice::engine::Indice;
+use indice::pipeline::RunOutcome;
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
@@ -33,7 +35,7 @@ fn main() -> ExitCode {
         }
     };
     match execute(command) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -41,22 +43,22 @@ fn main() -> ExitCode {
     }
 }
 
-fn execute(command: Command) -> Result<(), String> {
+fn execute(command: Command) -> Result<ExitCode, String> {
     match command {
         Command::Help => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Generate {
             records,
             seed,
             noise,
             out_dir,
-        } => generate(records, seed, noise, &out_dir),
+        } => generate(records, seed, noise, &out_dir).map(|()| ExitCode::SUCCESS),
         Command::Describe { data } => {
             let dataset = load_dataset(&data)?;
             print_out(&epc_query::report::describe_text(&dataset));
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Run {
             data,
@@ -64,7 +66,19 @@ fn execute(command: Command) -> Result<(), String> {
             regions,
             stakeholder,
             out_dir,
-        } => run(&data, &streets, &regions, stakeholder, &out_dir),
+            fault_seed,
+            fault_rate,
+            geocode_fail_rate,
+        } => run(
+            &data,
+            &streets,
+            &regions,
+            stakeholder,
+            &out_dir,
+            fault_seed,
+            fault_rate,
+            geocode_fail_rate,
+        ),
         Command::Clean { data, streets, out } => {
             let dataset = load_dataset(&data)?;
             let street_text =
@@ -89,7 +103,7 @@ removed {} outliers; wrote {} rows to {out}",
                 result.removed_rows.len(),
                 result.dataset.n_rows(),
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::SuggestConfig { data } => {
             let dataset = load_dataset(&data)?;
@@ -109,7 +123,7 @@ removed {} outliers; wrote {} rows to {out}",
                 advice.config.rule_stage.rules.min_support,
                 advice.config.geocoder_quota
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
     }
 }
@@ -161,14 +175,19 @@ fn generate(records: usize, seed: u64, noise: NoisePreset, out_dir: &str) -> Res
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run(
     data: &str,
     streets: &str,
     regions: &str,
     stakeholder: epc_query::Stakeholder,
     out_dir: &str,
-) -> Result<(), String> {
-    let dataset = load_dataset(data)?;
+    fault_seed: u64,
+    fault_rate: f64,
+    geocode_fail_rate: f64,
+) -> Result<ExitCode, String> {
+    // Lenient load: unparsable CSV rows are quarantined, not fatal.
+    let (dataset, mut quarantine) = load_dataset_lenient(data)?;
     let street_text = fs::read_to_string(streets).map_err(|e| format!("reading {streets}: {e}"))?;
     let street_map = StreetMap::from_text(&street_text)?;
     let regions_text =
@@ -176,30 +195,82 @@ fn run(
     let hierarchy: RegionHierarchy =
         serde_json::from_str(&regions_text).map_err(|e| format!("parsing {regions}: {e}"))?;
 
+    let mut config = IndiceConfig::default();
+    // Retry budget for transient geocoder failures: INDICE_GEOCODE_RETRIES.
+    config.fault_tolerance.geocode_retries = epc_geo::geocode::geocode_retries_from_env();
+
     // Thread budget comes from INDICE_THREADS (default: all hardware
     // threads); outputs are identical either way, only wall time changes.
-    let engine = Indice::new(dataset, street_map, hierarchy, IndiceConfig::default())
+    let engine = Indice::new(dataset, street_map, hierarchy, config)
         .with_runtime(epc_runtime::RuntimeConfig::from_env());
-    let (output, report) = engine
-        .run_detailed(stakeholder)
-        .map_err(|e| format!("pipeline failed: {e}"))?;
+
+    let injector = if fault_rate > 0.0 || geocode_fail_rate > 0.0 {
+        Some(
+            DeterministicInjector::new(fault_seed)
+                .with_record_rate(fault_rate)
+                .with_corruption(Corruption::NonFinite {
+                    attribute: epc_model::wellknown::ASPECT_RATIO.to_owned(),
+                })
+                .with_geocode_rate(geocode_fail_rate),
+        )
+    } else {
+        None
+    };
+    let output = match &injector {
+        Some(inj) => engine.run_supervised_with_faults(stakeholder, inj),
+        None => engine.run_supervised(stakeholder),
+    };
+    quarantine.merge(output.quarantine);
+
+    if let RunOutcome::Failed(e) = &output.outcome {
+        print!("{}", output.report);
+        eprintln!("pipeline failed: {e}");
+        return Ok(ExitCode::FAILURE);
+    }
 
     let dir = Path::new(out_dir);
     fs::create_dir_all(dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
-    fs::write(dir.join("dashboard.html"), output.dashboard.render_html())
-        .map_err(|e| format!("writing dashboard: {e}"))?;
+    if let Some(dashboard) = &output.dashboard {
+        fs::write(dir.join("dashboard.html"), dashboard.render_html())
+            .map_err(|e| format!("writing dashboard: {e}"))?;
+    }
     for (name, content) in &output.artifacts {
         fs::write(dir.join(name), content).map_err(|e| format!("writing {name}: {e}"))?;
     }
-    print!("{report}");
-    println!(
-        "pipeline done: {} records kept, K = {}, {} rules; dashboard + {} artifacts in {out_dir}/",
-        output.preprocess.dataset.n_rows(),
-        output.analytics.chosen_k,
-        output.analytics.rules.len(),
-        output.artifacts.len()
-    );
-    Ok(())
+    print!("{}", output.report);
+    let kept = output
+        .preprocess
+        .as_ref()
+        .map(|p| p.dataset.n_rows())
+        .unwrap_or(0);
+    match &output.analytics {
+        Some(analytics) => println!(
+            "pipeline done: {kept} records kept, K = {}, {} rules; dashboard + {} artifacts in {out_dir}/",
+            analytics.chosen_k,
+            analytics.rules.len(),
+            output.artifacts.len()
+        ),
+        None => println!(
+            "pipeline done: {kept} records kept, analytics unavailable; dashboard + {} artifacts in {out_dir}/",
+            output.artifacts.len()
+        ),
+    }
+    // Fault-tolerance summary: what was diverted, degraded, or skipped.
+    println!("{quarantine}");
+    if let Some(p) = &output.preprocess {
+        if p.cleaning.degraded > 0 {
+            println!(
+                "degraded records: {} geocoded to district centroids after {} retries",
+                p.cleaning.degraded,
+                engine.config().fault_tolerance.geocode_retries
+            );
+        }
+    }
+    if !output.degraded_stages.is_empty() {
+        println!("degraded stages: {}", output.degraded_stages.join(", "));
+    }
+    println!("outcome: {}", output.outcome);
+    Ok(ExitCode::from(output.outcome.exit_code()))
 }
 
 /// Writes to stdout ignoring broken pipes (`indice describe | head` must
@@ -213,4 +284,15 @@ fn load_dataset(path: &str) -> Result<Dataset, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let schema = epc_model::schema::standard_epc_schema();
     epc_model::csv::from_csv(schema, &text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// Like [`load_dataset`], but unparsable rows are quarantined instead of
+/// failing the whole load.
+fn load_dataset_lenient(path: &str) -> Result<(Dataset, Quarantine), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let schema = epc_model::schema::standard_epc_schema();
+    let mut quarantine = Quarantine::new();
+    let dataset = epc_model::csv::from_csv_lenient(schema, &text, &mut quarantine)
+        .map_err(|e| format!("parsing {path}: {e}"))?;
+    Ok((dataset, quarantine))
 }

@@ -120,12 +120,104 @@ fn generate_describe_clean_run_round_trip() {
         out_dir.to_str().unwrap(),
     ]);
     assert!(o.status.success(), "run failed: {}", stderr(&o));
-    assert!(stdout(&o).contains("pipeline done"));
+    assert_eq!(o.status.code(), Some(0), "clean run exits 0");
+    let text = stdout(&o);
+    assert!(text.contains("pipeline done"));
+    assert!(text.contains("quarantine: empty"));
+    assert!(text.contains("outcome: complete"));
     let dashboard = out_dir.join("dashboard.html");
     assert!(dashboard.exists());
     let html = std::fs::read_to_string(dashboard).unwrap();
     assert!(html.contains("INDICE"));
     assert!(html.contains("</html>"));
+
+    cleanup(&data_dir);
+    cleanup(&out_dir);
+}
+
+#[test]
+fn fault_injected_run_exits_degraded_with_partial_output() {
+    let data_dir = tmp_dir("chaos-data");
+    let out_dir = tmp_dir("chaos-out");
+    let o = run_cli(&[
+        "generate",
+        "--records",
+        "600",
+        "--seed",
+        "5",
+        "--out-dir",
+        data_dir.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "generate failed: {}", stderr(&o));
+
+    let o = run_cli(&[
+        "run",
+        "--data",
+        data_dir.join("epcs.csv").to_str().unwrap(),
+        "--streets",
+        data_dir.join("street_map.txt").to_str().unwrap(),
+        "--regions",
+        data_dir.join("regions.json").to_str().unwrap(),
+        "--stakeholder",
+        "citizen",
+        "--out-dir",
+        out_dir.to_str().unwrap(),
+        "--fault-seed",
+        "7",
+        "--fault-rate",
+        "0.2",
+        "--geocode-fail-rate",
+        "0.1",
+    ]);
+    assert_eq!(
+        o.status.code(),
+        Some(3),
+        "fault-injected run must exit degraded; stderr: {}",
+        stderr(&o)
+    );
+    let text = stdout(&o);
+    assert!(text.contains("quarantined"), "report shows quarantine");
+    assert!(text.contains("outcome: degraded"));
+    // Partial output is still written.
+    assert!(out_dir.join("dashboard.html").exists());
+
+    // Same seed + rates reproduce the same summary.
+    let again = run_cli(&[
+        "run",
+        "--data",
+        data_dir.join("epcs.csv").to_str().unwrap(),
+        "--streets",
+        data_dir.join("street_map.txt").to_str().unwrap(),
+        "--regions",
+        data_dir.join("regions.json").to_str().unwrap(),
+        "--stakeholder",
+        "citizen",
+        "--out-dir",
+        out_dir.to_str().unwrap(),
+        "--fault-seed",
+        "7",
+        "--fault-rate",
+        "0.2",
+        "--geocode-fail-rate",
+        "0.1",
+    ]);
+    assert_eq!(again.status.code(), Some(3));
+    // The fault summary (not the wall times) is reproducible.
+    let summary = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| {
+                l.starts_with("quarantine:")
+                    || l.starts_with("degraded")
+                    || l.starts_with("outcome:")
+            })
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(
+        summary(&text),
+        summary(&stdout(&again)),
+        "chaos runs are reproducible"
+    );
 
     cleanup(&data_dir);
     cleanup(&out_dir);

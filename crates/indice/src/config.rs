@@ -118,6 +118,28 @@ impl Default for RuleStageConfig {
     }
 }
 
+/// Fault-tolerance policy of the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultToleranceConfig {
+    /// Retry budget for transient geocoder failures (overridable at the
+    /// CLI via the `INDICE_GEOCODE_RETRIES` environment variable).
+    pub geocode_retries: u32,
+    /// Divert records whose address stays unresolved after cleaning into
+    /// the quarantine (and out of the analysis). Off by default: the
+    /// paper-faithful pipeline keeps unresolved records, merely excluding
+    /// them from map views.
+    pub quarantine_unresolved: bool,
+}
+
+impl Default for FaultToleranceConfig {
+    fn default() -> Self {
+        FaultToleranceConfig {
+            geocode_retries: epc_geo::geocode::DEFAULT_GEOCODE_RETRIES,
+            quarantine_unresolved: false,
+        }
+    }
+}
+
 /// Full pipeline configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IndiceConfig {
@@ -135,6 +157,8 @@ pub struct IndiceConfig {
     /// Restrict the analysis to this building category (the case study
     /// uses `Some("E.1.1")`); `None` keeps everything.
     pub building_category: Option<String>,
+    /// Fault-tolerance policy (quarantine + retry settings).
+    pub fault_tolerance: FaultToleranceConfig,
 }
 
 impl Default for IndiceConfig {
@@ -146,6 +170,7 @@ impl Default for IndiceConfig {
             analytics: AnalyticsConfig::default(),
             rule_stage: RuleStageConfig::default(),
             building_category: Some("E.1.1".to_owned()),
+            fault_tolerance: FaultToleranceConfig::default(),
         }
     }
 }

@@ -53,6 +53,35 @@ pub fn build_dashboard_with_spec(
     spec: &ReportSpec,
     top_k_rules: usize,
 ) -> Result<DashboardOutput, IndiceError> {
+    build_dashboard_spec_core(dataset, hierarchy, Some(analytics), spec, top_k_rules, &[])
+}
+
+/// Builds a *degraded* dashboard when the analytics stage is unavailable:
+/// the map and distribution panels (which need only the cleaned dataset)
+/// still render, and an "Analytics unavailable" panel explains why the
+/// clustering/rules/correlation panels are missing.
+pub fn build_dashboard_degraded(
+    dataset: &Dataset,
+    hierarchy: &RegionHierarchy,
+    stakeholder: Stakeholder,
+    top_k_rules: usize,
+    reasons: &[String],
+) -> Result<DashboardOutput, IndiceError> {
+    let spec = default_report_spec(stakeholder);
+    build_dashboard_spec_core(dataset, hierarchy, None, &spec, top_k_rules, reasons)
+}
+
+/// The shared dashboard builder. With `analytics = Some(..)` this is the
+/// full §2.3 dashboard; with `None`, analytics-dependent panels are
+/// replaced by one "Analytics unavailable" notice.
+fn build_dashboard_spec_core(
+    dataset: &Dataset,
+    hierarchy: &RegionHierarchy,
+    analytics: Option<&AnalyticsOutput>,
+    spec: &ReportSpec,
+    top_k_rules: usize,
+    degradation_reasons: &[String],
+) -> Result<DashboardOutput, IndiceError> {
     let mut dashboard = Dashboard::new(
         &format!("INDICE — {}", hierarchy.city),
         &format!("{} · {} level", spec.stakeholder.name(), spec.granularity),
@@ -171,7 +200,7 @@ pub fn build_dashboard_with_spec(
                 );
 
                 // Per-cluster distribution (Figure 4's right-hand chart).
-                if analytics.chosen_k > 1 {
+                if let Some(analytics) = analytics.filter(|a| a.chosen_k > 1) {
                     let mut per_cluster = HistogramPlot::new(
                         &format!("{} by cluster", spec.response),
                         &response_label,
@@ -197,26 +226,32 @@ pub fn build_dashboard_with_spec(
                 }
             }
             ReportKind::AssociationRules => {
-                let table = RulesTable {
-                    title: format!("Association rules ({})", spec.response),
-                    top_k: top_k_rules,
-                };
-                let html = table.render_html(&analytics.rules);
-                let text = table.render_text(&analytics.rules);
-                artifacts.insert("rules.txt".into(), text);
-                dashboard.add_panel("Association rules", PanelContent::Html(html), false);
+                if let Some(analytics) = analytics {
+                    let table = RulesTable {
+                        title: format!("Association rules ({})", spec.response),
+                        top_k: top_k_rules,
+                    };
+                    let html = table.render_html(&analytics.rules);
+                    let text = table.render_text(&analytics.rules);
+                    artifacts.insert("rules.txt".into(), text);
+                    dashboard.add_panel("Association rules", PanelContent::Html(html), false);
+                }
             }
             ReportKind::CorrelationMatrix => {
-                let svg = CorrelationPlot::default().render(&analytics.correlation);
-                artifacts.insert("correlation_matrix.svg".into(), svg.clone());
-                dashboard.add_panel("Correlation matrix", PanelContent::Svg(svg), false);
+                if let Some(analytics) = analytics {
+                    let svg = CorrelationPlot::default().render(&analytics.correlation);
+                    artifacts.insert("correlation_matrix.svg".into(), svg.clone());
+                    dashboard.add_panel("Correlation matrix", PanelContent::Svg(svg), false);
+                }
             }
             ReportKind::ClusterSummary => {
-                dashboard.add_panel(
-                    "Cluster summary",
-                    PanelContent::Text(cluster_summary_text(analytics)),
-                    false,
-                );
+                if let Some(analytics) = analytics {
+                    dashboard.add_panel(
+                        "Cluster summary",
+                        PanelContent::Text(cluster_summary_text(analytics)),
+                        false,
+                    );
+                }
             }
             ReportKind::OutlierBoxplots => {
                 let mut plot = epc_viz::boxplot_svg::BoxplotPlot::new(
@@ -238,6 +273,16 @@ pub fn build_dashboard_with_spec(
                 dashboard.add_panel("Outlier boxplots", PanelContent::Svg(svg), false);
             }
         }
+    }
+    if analytics.is_none() {
+        let mut text = String::from(
+            "The analytics stage did not complete; cluster, rule, and \
+             correlation panels are unavailable in this run.\n",
+        );
+        for reason in degradation_reasons {
+            text.push_str(&format!("  - {reason}\n"));
+        }
+        dashboard.add_panel("Analytics unavailable", PanelContent::Text(text), false);
     }
     Ok(DashboardOutput {
         dashboard,
@@ -578,6 +623,35 @@ mod tests {
             assert!(!page.contains(&format!("href=\"dashboard_{level}.html\"")));
             assert!(page.contains("</html>"));
         }
+    }
+
+    #[test]
+    fn degraded_dashboard_keeps_maps_and_explains_the_gap() {
+        let (ds, hier, _) = setup();
+        let out = build_dashboard_degraded(
+            &ds,
+            &hier,
+            Stakeholder::PublicAdministration,
+            10,
+            &["stage 'analytics' panicked: injected fault".to_owned()],
+        )
+        .unwrap();
+        let titles: Vec<&str> = out
+            .dashboard
+            .panels()
+            .iter()
+            .map(|p| p.title.as_str())
+            .collect();
+        // Data-only panels survive.
+        assert!(titles.contains(&"Cluster-marker map"));
+        assert!(titles.contains(&"Frequency distribution"));
+        // Analytics panels are replaced by the notice.
+        assert!(!titles.contains(&"Association rules"));
+        assert!(!titles.contains(&"Correlation matrix"));
+        assert!(titles.contains(&"Analytics unavailable"));
+        let html = out.dashboard.render_html();
+        assert!(html.contains("injected fault"));
+        assert!(!out.artifacts.contains_key("rules.txt"));
     }
 
     #[test]

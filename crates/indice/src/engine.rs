@@ -5,11 +5,15 @@ use crate::analytics::AnalyticsOutput;
 use crate::config::IndiceConfig;
 use crate::error::IndiceError;
 use crate::outliers::UnivariateMethod;
-use crate::pipeline::{run_pipeline, standard_stages, PipelineContext};
+use crate::pipeline::{
+    run_pipeline, run_pipeline_supervised, standard_stages, supervised_stages, PipelineContext,
+    RunOutcome,
+};
 use crate::preprocess::PreprocessOutput;
+use epc_faults::FaultInjector;
 use epc_geo::region::RegionHierarchy;
 use epc_geo::streetmap::StreetMap;
-use epc_model::Dataset;
+use epc_model::{Dataset, Quarantine};
 use epc_query::config_store::ExpertConfigStore;
 use epc_query::stakeholder::Stakeholder;
 use epc_runtime::{PipelineReport, RuntimeConfig};
@@ -28,6 +32,29 @@ pub struct IndiceOutput {
     pub dashboard: Dashboard,
     /// Standalone artifacts (SVG/GeoJSON/text), file name → content.
     pub artifacts: BTreeMap<String, String>,
+}
+
+/// The result of one supervised (fault-tolerant) pipeline run. Unlike
+/// [`IndiceOutput`], every stage product is optional: a degraded run may
+/// be missing analytics, a failed run most products.
+#[derive(Debug)]
+pub struct SupervisedOutput {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Per-stage instrumentation, including quarantine accounting.
+    pub report: PipelineReport,
+    /// Stage-1 output, when preprocessing succeeded.
+    pub preprocess: Option<PreprocessOutput>,
+    /// Stage-2 output, when analytics succeeded.
+    pub analytics: Option<AnalyticsOutput>,
+    /// Stage-3 dashboard, when it was rendered (possibly degraded).
+    pub dashboard: Option<Dashboard>,
+    /// Standalone artifacts, file name → content.
+    pub artifacts: BTreeMap<String, String>,
+    /// Records diverted out of the run, with their faults.
+    pub quarantine: Quarantine,
+    /// Stages the supervisor degraded (skipped after failure).
+    pub degraded_stages: Vec<String>,
 }
 
 /// The INDICE engine.
@@ -168,6 +195,54 @@ impl Indice {
             artifacts: ctx.artifacts,
         };
         Ok((output, report))
+    }
+
+    /// Runs the pipeline under the stage supervisor: stage panics are
+    /// caught, analytics failures degrade the dashboard instead of
+    /// aborting, and quarantined records are accounted for. Never returns
+    /// `Err` — failure is [`RunOutcome::Failed`] inside the output.
+    pub fn run_supervised(&self, stakeholder: Stakeholder) -> SupervisedOutput {
+        self.run_supervised_inner(stakeholder, None)
+    }
+
+    /// Like [`Indice::run_supervised`], with a fault injector attached —
+    /// the chaos-testing entry point.
+    pub fn run_supervised_with_faults(
+        &self,
+        stakeholder: Stakeholder,
+        injector: &dyn FaultInjector,
+    ) -> SupervisedOutput {
+        self.run_supervised_inner(stakeholder, Some(injector))
+    }
+
+    fn run_supervised_inner(
+        &self,
+        stakeholder: Stakeholder,
+        injector: Option<&dyn FaultInjector>,
+    ) -> SupervisedOutput {
+        let config = self.config_with_suggestions();
+        let mut ctx = PipelineContext::new(
+            &self.dataset,
+            &self.street_map,
+            &self.hierarchy,
+            config,
+            stakeholder,
+            self.runtime,
+        );
+        if let Some(injector) = injector {
+            ctx = ctx.with_injector(injector);
+        }
+        let (outcome, report) = run_pipeline_supervised(&supervised_stages(), &mut ctx);
+        SupervisedOutput {
+            outcome,
+            report,
+            preprocess: ctx.preprocess,
+            analytics: ctx.analytics,
+            dashboard: ctx.dashboard,
+            artifacts: ctx.artifacts,
+            quarantine: ctx.quarantine,
+            degraded_stages: ctx.degraded_stages,
+        }
     }
 }
 

@@ -18,6 +18,14 @@ pub enum IndiceError {
     Clustering(String),
     /// Configuration is inconsistent.
     Config(String),
+    /// A supervised stage panicked; the supervisor converted the panic
+    /// into this error instead of unwinding the whole process.
+    StagePanicked {
+        /// Name of the stage that panicked.
+        stage: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for IndiceError {
@@ -30,6 +38,9 @@ impl fmt::Display for IndiceError {
             }
             IndiceError::Clustering(msg) => write!(f, "clustering error: {msg}"),
             IndiceError::Config(msg) => write!(f, "configuration error: {msg}"),
+            IndiceError::StagePanicked { stage, message } => {
+                write!(f, "stage '{stage}' panicked: {message}")
+            }
         }
     }
 }

@@ -28,6 +28,17 @@
 //! any thread budget (set it with `INDICE_THREADS` or
 //! [`engine::Indice::with_runtime`]).
 //!
+//! The pipeline is fault-tolerant: malformed records are diverted into a
+//! typed [`epc_model::Quarantine`] instead of panicking, transient
+//! geocoder failures are retried with deterministic backoff (falling back
+//! to district centroids once the budget is exhausted), and
+//! [`engine::Indice::run_supervised`] wraps the stages in a supervisor
+//! that converts stage failures into graceful degradation — an analytics
+//! failure still yields a dashboard with maps and distributions plus an
+//! "analytics unavailable" panel, and the [`pipeline::RunOutcome`] says
+//! whether the run was complete, degraded, or failed. The companion
+//! `epc-faults` crate injects deterministic faults for chaos testing.
+//!
 //! The [`engine::Indice`] type ties the stages together:
 //!
 //! ```no_run
@@ -60,11 +71,13 @@ pub mod pipeline;
 pub mod preprocess;
 
 pub use autoconfig::{suggest_config, ConfigAdvice};
-pub use config::{AnalyticsConfig, IndiceConfig, KSelection, OutlierConfig, RuleStageConfig};
-pub use engine::{Indice, IndiceOutput};
+pub use config::{
+    AnalyticsConfig, FaultToleranceConfig, IndiceConfig, KSelection, OutlierConfig, RuleStageConfig,
+};
+pub use engine::{Indice, IndiceOutput, SupervisedOutput};
 pub use error::IndiceError;
 pub use outliers::UnivariateMethod;
 pub use pipeline::{
-    run_pipeline, AnalyticsStage, DashboardStage, PipelineContext, PreprocessStage, Stage,
-    StageStats,
+    run_pipeline, run_pipeline_supervised, supervised_stages, AnalyticsStage, DashboardStage,
+    PipelineContext, PreprocessStage, RunOutcome, Stage, StagePolicy, StageStats,
 };

@@ -14,18 +14,20 @@
 
 use crate::analytics::{analyze_with_runtime, AnalyticsOutput};
 use crate::config::IndiceConfig;
-use crate::dashboard::{build_dashboard, drilldown_series_with_runtime};
+use crate::dashboard::{build_dashboard, build_dashboard_degraded, drilldown_series_with_runtime};
 use crate::error::IndiceError;
-use crate::preprocess::{preprocess_with_runtime, PreprocessOutput};
+use crate::preprocess::{preprocess_faulty, PreprocessOutput};
+use epc_faults::FaultInjector;
 use epc_geo::region::RegionHierarchy;
 use epc_geo::streetmap::StreetMap;
-use epc_model::{wellknown as wk, Dataset};
+use epc_model::{wellknown as wk, Dataset, Quarantine};
 use epc_query::predicate::Predicate;
 use epc_query::query::Query;
 use epc_query::stakeholder::Stakeholder;
 use epc_runtime::{PipelineReport, RuntimeConfig, StageTimer};
 use epc_viz::dashboard::Dashboard;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Shared state flowing through the stages: immutable inputs plus the
 /// intermediate products each stage fills in.
@@ -50,6 +52,16 @@ pub struct PipelineContext<'a> {
     pub dashboard: Option<Dashboard>,
     /// Stage-3 product: standalone artifacts, file name → content.
     pub artifacts: BTreeMap<String, String>,
+    /// Fault injector consulted at record, geocode, and stage boundaries
+    /// (`None` in production runs).
+    pub injector: Option<&'a dyn FaultInjector>,
+    /// Records diverted out of the pipeline, with their faults.
+    pub quarantine: Quarantine,
+    /// Names of stages the supervisor degraded (skipped after failure).
+    pub degraded_stages: Vec<String>,
+    /// How many times each stage has been invoked on this context (drives
+    /// the injector's Nth-invocation stage kills).
+    pub stage_invocations: BTreeMap<&'static str, usize>,
 }
 
 impl<'a> PipelineContext<'a> {
@@ -73,7 +85,18 @@ impl<'a> PipelineContext<'a> {
             analytics: None,
             dashboard: None,
             artifacts: BTreeMap::new(),
+            injector: None,
+            quarantine: Quarantine::new(),
+            degraded_stages: Vec::new(),
+            stage_invocations: BTreeMap::new(),
         }
+    }
+
+    /// Attaches a fault injector; stages consult it at record, geocode,
+    /// and stage boundaries.
+    pub fn with_injector(mut self, injector: &'a dyn FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
     }
 
     /// The cleaned dataset, or an error naming the stage that should have
@@ -126,9 +149,16 @@ impl Stage for PreprocessStage {
             return Err(IndiceError::EmptyCollection("category selection"));
         }
         let records_in = selected.n_rows();
-        let out = preprocess_with_runtime(selected, ctx.street_map, &ctx.config, &ctx.runtime)?;
+        let (out, quarantine) = preprocess_faulty(
+            selected,
+            ctx.street_map,
+            &ctx.config,
+            &ctx.runtime,
+            ctx.injector,
+        )?;
         let records_out = out.dataset.n_rows();
         ctx.preprocess = Some(out);
+        ctx.quarantine.merge(quarantine);
         Ok(StageStats {
             records_in,
             records_out,
@@ -170,11 +200,34 @@ impl Stage for DashboardStage {
 
     fn run(&self, ctx: &mut PipelineContext<'_>) -> Result<StageStats, IndiceError> {
         let cleaned = ctx.cleaned_dataset()?;
-        let analytics = ctx
-            .analytics
-            .as_ref()
-            .ok_or(IndiceError::EmptyCollection("analytics stage not run"))?;
         let records_in = cleaned.n_rows();
+        let Some(analytics) = ctx.analytics.as_ref() else {
+            // A missing analytics product is an ordering error — unless the
+            // supervisor degraded that stage, in which case the dashboard
+            // still renders its analytics-free panels.
+            if ctx.degraded_stages.is_empty() {
+                return Err(IndiceError::EmptyCollection("analytics stage not run"));
+            }
+            let reasons: Vec<String> = ctx
+                .degraded_stages
+                .iter()
+                .map(|s| format!("stage '{s}' failed and was skipped"))
+                .collect();
+            let out = build_dashboard_degraded(
+                cleaned,
+                ctx.hierarchy,
+                ctx.stakeholder,
+                ctx.config.rule_stage.top_k,
+                &reasons,
+            )?;
+            let records_out = out.artifacts.len();
+            ctx.artifacts = out.artifacts;
+            ctx.dashboard = Some(out.dashboard);
+            return Ok(StageStats {
+                records_in,
+                records_out,
+            });
+        };
         let out = build_dashboard(
             cleaned,
             ctx.hierarchy,
@@ -220,6 +273,170 @@ pub fn run_pipeline(
 /// The standard three-block sequence of Figure 1.
 pub fn standard_stages() -> [&'static dyn Stage; 3] {
     [&PreprocessStage, &AnalyticsStage, &DashboardStage]
+}
+
+/// What the supervisor does when a stage fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StagePolicy {
+    /// Failure aborts the run: later stages cannot do without this one.
+    Required,
+    /// Failure is recorded and the run continues; downstream stages render
+    /// what they can without this stage's product.
+    Degradable,
+}
+
+/// How a supervised run ended.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// Every stage succeeded and nothing was quarantined or degraded.
+    Complete,
+    /// The pipeline produced output, but parts are missing or approximate;
+    /// each reason says why.
+    Degraded(Vec<String>),
+    /// A required stage failed; no usable output.
+    Failed(IndiceError),
+}
+
+impl RunOutcome {
+    /// `true` unless the run failed outright.
+    pub fn produced_output(&self) -> bool {
+        !matches!(self, RunOutcome::Failed(_))
+    }
+
+    /// Process exit code the CLI maps this outcome to: 0 complete,
+    /// 3 degraded, 1 failed.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            RunOutcome::Complete => 0,
+            RunOutcome::Degraded(_) => 3,
+            RunOutcome::Failed(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunOutcome::Complete => write!(f, "complete"),
+            RunOutcome::Degraded(reasons) => {
+                write!(f, "degraded ({})", reasons.join("; "))
+            }
+            RunOutcome::Failed(e) => write!(f, "failed: {e}"),
+        }
+    }
+}
+
+/// The standard stage sequence with its failure policies: preprocessing
+/// and the dashboard are load-bearing, analytics can be skipped (the
+/// dashboard then renders maps and distributions without cluster panels).
+pub fn supervised_stages() -> [(&'static dyn Stage, StagePolicy); 3] {
+    [
+        (&PreprocessStage, StagePolicy::Required),
+        (&AnalyticsStage, StagePolicy::Degradable),
+        (&DashboardStage, StagePolicy::Required),
+    ]
+}
+
+/// Runs `stages` under a supervisor: stage panics are caught, failures of
+/// [`StagePolicy::Degradable`] stages turn into degradation reasons
+/// instead of aborting, and per-stage quarantine deltas land in the
+/// report. Never returns `Err` — failure is the
+/// [`RunOutcome::Failed`] variant, paired with the partial report.
+pub fn run_pipeline_supervised(
+    stages: &[(&dyn Stage, StagePolicy)],
+    ctx: &mut PipelineContext<'_>,
+) -> (RunOutcome, PipelineReport) {
+    let mut report = PipelineReport::new(ctx.runtime.threads);
+    let mut reasons: Vec<String> = Vec::new();
+    for (stage, policy) in stages {
+        let name = stage.name();
+        let invocation = ctx.stage_invocations.entry(name).or_insert(0);
+        *invocation += 1;
+        let kill = ctx
+            .injector
+            .and_then(|inj| inj.fail_stage(name, *invocation));
+        let quarantined_before = ctx.quarantine.len();
+        let timer = StageTimer::start(name);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(msg) = kill {
+                panic!("{msg}");
+            }
+            stage.run(ctx)
+        }));
+        let quarantine_delta = ctx.quarantine.len().saturating_sub(quarantined_before);
+        let faults = ctx.quarantine.histogram_from(quarantined_before);
+        match outcome {
+            Ok(Ok(stats)) => {
+                report.push(timer.finish_detailed(
+                    stats.records_in,
+                    stats.records_out,
+                    quarantine_delta,
+                    faults,
+                ));
+            }
+            Ok(Err(e)) => match policy {
+                StagePolicy::Required => {
+                    report.push(timer.finish_detailed(0, 0, quarantine_delta, faults));
+                    return (RunOutcome::Failed(e), report);
+                }
+                StagePolicy::Degradable => {
+                    reasons.push(format!("stage '{name}' failed: {e}"));
+                    ctx.degraded_stages.push(name.to_owned());
+                    report.push(timer.finish_detailed(0, 0, quarantine_delta, faults));
+                }
+            },
+            Err(payload) => {
+                let message = panic_message(payload);
+                match policy {
+                    StagePolicy::Required => {
+                        report.push(timer.finish_detailed(0, 0, quarantine_delta, faults));
+                        return (
+                            RunOutcome::Failed(IndiceError::StagePanicked {
+                                stage: name.to_owned(),
+                                message,
+                            }),
+                            report,
+                        );
+                    }
+                    StagePolicy::Degradable => {
+                        reasons.push(format!("stage '{name}' panicked: {message}"));
+                        ctx.degraded_stages.push(name.to_owned());
+                        report.push(timer.finish_detailed(0, 0, quarantine_delta, faults));
+                    }
+                }
+            }
+        }
+    }
+    if let Some(p) = &ctx.preprocess {
+        if p.cleaning.degraded > 0 {
+            reasons.push(format!(
+                "{} record(s) geocoded to district centroids after retry exhaustion",
+                p.cleaning.degraded
+            ));
+        }
+    }
+    if reasons.is_empty() && !ctx.quarantine.is_empty() {
+        reasons.push(format!(
+            "{} record(s) quarantined during preprocessing",
+            ctx.quarantine.len()
+        ));
+    }
+    if reasons.is_empty() {
+        (RunOutcome::Complete, report)
+    } else {
+        (RunOutcome::Degraded(reasons), report)
+    }
+}
+
+/// Extracts the human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 #[cfg(test)]

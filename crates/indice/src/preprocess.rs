@@ -2,18 +2,30 @@
 //! outlier detection and removal. "Independently of the adopted strategies,
 //! values labelled as outliers are not considered in the subsequent steps
 //! of analysis."
+//!
+//! The fault-tolerant entry point is [`preprocess_faulty`]: malformed or
+//! corrupted records are diverted into an [`epc_model::Quarantine`] instead
+//! of panicking or poisoning downstream statistics, and (with an injector)
+//! transient geocoder failures are retried and finally degraded to
+//! district-centroid coordinates.
+#![deny(clippy::unwrap_used)]
 
 use crate::config::IndiceConfig;
 use crate::error::IndiceError;
+use epc_faults::{corrupt_dataset, FaultInjector, FaultyGeocoder};
 use epc_geo::address::Address;
-use epc_geo::cleaning::{AddressQuery, CleaningReport};
-use epc_geo::geocode::{QuotaGeocoder, SimulatedGeocoder};
+use epc_geo::cleaning::{
+    clean_addresses_degradable, AddressQuery, CleaningOutcome, CleaningReport, DegradedFallback,
+};
+use epc_geo::geocode::{Backoff, Geocoder, QuotaGeocoder, RetryGeocoder, SimulatedGeocoder};
 use epc_geo::point::GeoPoint;
 use epc_geo::streetmap::StreetMap;
 use epc_mining::dbscan::{dbscan_with_runtime, DbscanConfig};
 use epc_mining::kdistance::estimate_dbscan_params;
 use epc_mining::matrix::Matrix;
-use epc_model::{wellknown as wk, Dataset, Value};
+use epc_model::{
+    scan_faults, wellknown as wk, Dataset, Quarantine, RecordFault, ValidationPolicy, Value,
+};
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
@@ -35,6 +47,10 @@ pub struct PreprocessOutput {
     pub dbscan_params: Option<DbscanConfig>,
     /// Union of all removed rows (input-dataset indices, ascending).
     pub removed_rows: Vec<usize>,
+    /// Rows kept with *degraded* provenance: their geocoding failed
+    /// transiently even after retries, so their coordinates are the
+    /// district centroid (input-dataset indices, ascending).
+    pub degraded_rows: Vec<usize>,
 }
 
 /// Maximum sample used for DBSCAN parameter estimation (the k-distance
@@ -61,15 +77,124 @@ pub fn preprocess(
 /// run data-parallel under `runtime`, with outputs bitwise identical to
 /// the sequential run.
 pub fn preprocess_with_runtime(
-    mut dataset: Dataset,
+    dataset: Dataset,
     street_map: &StreetMap,
     config: &IndiceConfig,
     runtime: &epc_runtime::RuntimeConfig,
 ) -> Result<PreprocessOutput, IndiceError> {
+    preprocess_core(dataset, street_map, config, runtime, None).map(|(out, _)| out)
+}
+
+/// The fault-tolerant stage-1 entry point.
+///
+/// Before the standard pipeline runs, records with non-finite values in
+/// numeric attributes (whether present in the input or planted by the
+/// fault `injector`) are diverted into the returned [`Quarantine`] —
+/// keyed by certificate id — and excluded from every downstream
+/// statistic. With an injector present, the geocoder fallback is wrapped
+/// in failure injection plus retry/backoff, and records whose geocoding
+/// keeps failing degrade to district-centroid coordinates instead of
+/// being dropped.
+///
+/// With `injector = None` and a clean input, the output is bitwise
+/// identical to [`preprocess_with_runtime`].
+pub fn preprocess_faulty(
+    mut dataset: Dataset,
+    street_map: &StreetMap,
+    config: &IndiceConfig,
+    runtime: &epc_runtime::RuntimeConfig,
+    injector: Option<&dyn FaultInjector>,
+) -> Result<(PreprocessOutput, Quarantine), IndiceError> {
     if dataset.is_empty() {
         return Err(IndiceError::EmptyCollection("preprocess"));
     }
-    let cleaning = clean_geospatial(&mut dataset, street_map, config, runtime)?;
+    let mut quarantine = Quarantine::new();
+
+    // Record-boundary fault hook: corrupt before validation so every
+    // injected fault flows through the same quarantine path real bad
+    // input would.
+    if let Some(inj) = injector {
+        corrupt_dataset(&mut dataset, inj)?;
+    }
+
+    // Validation scan: non-finite values are always faults (they would
+    // poison means, distances, and histograms downstream).
+    let faults = scan_faults(&dataset, &ValidationPolicy::minimal());
+    let bad_rows: BTreeSet<usize> = faults.iter().map(|(row, _)| *row).collect();
+    for (row, fault) in faults {
+        quarantine.push(record_key(&dataset, row), Some(row), fault);
+    }
+
+    // Divert quarantined rows out of the pipeline; remember the original
+    // index of every surviving row so reports stay in input coordinates.
+    let (dataset, orig_of) = if bad_rows.is_empty() {
+        let n = dataset.n_rows();
+        (dataset, (0..n).collect::<Vec<usize>>())
+    } else {
+        let mask: Vec<bool> = (0..dataset.n_rows())
+            .map(|r| !bad_rows.contains(&r))
+            .collect();
+        let orig_of: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i))
+            .collect();
+        (dataset.filter_mask(&mask)?, orig_of)
+    };
+    if dataset.is_empty() {
+        return Err(IndiceError::EmptyCollection("record validation"));
+    }
+
+    let (mut out, unresolved) = preprocess_core(dataset, street_map, config, runtime, injector)?;
+
+    // Unresolved-address quarantine (opt-in): rows the cleaning pass
+    // could not place anywhere, now also flagged in `removed_rows`.
+    for (row, key) in unresolved {
+        quarantine.push(key, Some(orig_of[row]), RecordFault::UnresolvableAddress);
+    }
+
+    // Map every row index in the output back to input coordinates.
+    let remap = |rows: &mut Vec<usize>| {
+        for r in rows.iter_mut() {
+            *r = orig_of[*r];
+        }
+    };
+    remap(&mut out.kept_rows);
+    remap(&mut out.multivariate_flagged);
+    remap(&mut out.removed_rows);
+    remap(&mut out.degraded_rows);
+    for rows in out.univariate_flagged.values_mut() {
+        remap(rows);
+    }
+    Ok((out, quarantine))
+}
+
+/// The stable quarantine key of a row: its certificate id, else a
+/// positional fallback.
+fn record_key(dataset: &Dataset, row: usize) -> String {
+    dataset
+        .schema()
+        .attr_id(wk::CERTIFICATE_ID)
+        .and_then(|id| dataset.cat(row, id).map(str::to_owned))
+        .unwrap_or_else(|| format!("row:{row}"))
+}
+
+/// Shared stage-1 body: cleaning (with optional fault injection on the
+/// geocoder), univariate + multivariate outlier removal. Returns the
+/// output (row indices relative to *this* input) plus the rows whose
+/// address stayed unresolved, when the configuration quarantines them.
+fn preprocess_core(
+    mut dataset: Dataset,
+    street_map: &StreetMap,
+    config: &IndiceConfig,
+    runtime: &epc_runtime::RuntimeConfig,
+    injector: Option<&dyn FaultInjector>,
+) -> Result<(PreprocessOutput, Vec<(usize, String)>), IndiceError> {
+    if dataset.is_empty() {
+        return Err(IndiceError::EmptyCollection("preprocess"));
+    }
+    let (cleaning, degraded_rows, unresolved_rows) =
+        clean_geospatial(&mut dataset, street_map, config, runtime, injector)?;
 
     // --- Univariate outliers ---
     let mut flagged: BTreeSet<usize> = BTreeSet::new();
@@ -110,7 +235,9 @@ pub fn preprocess_with_runtime(
             let matrix = Matrix::from_vec(data, rows.len(), feature_ids.len());
             // Scale features so DBSCAN's Euclidean radius is meaningful.
             let (_, scaled) = epc_mining::normalize::MinMaxScaler::fit_transform(&matrix)
-                .expect("non-empty matrix");
+                .ok_or_else(|| {
+                    IndiceError::Clustering("feature scaling failed: empty matrix".into())
+                })?;
             // Parameter estimation on a stride-sample.
             let params = {
                 let stride = (rows.len() / PARAM_ESTIMATION_SAMPLE).max(1);
@@ -138,6 +265,16 @@ pub fn preprocess_with_runtime(
         }
     }
 
+    // Opt-in: unresolved addresses leave the analysis too (they are
+    // reported back for quarantine by the caller).
+    let mut quarantined_unresolved = Vec::new();
+    if config.fault_tolerance.quarantine_unresolved {
+        for &row in &unresolved_rows {
+            flagged.insert(row);
+            quarantined_unresolved.push((row, record_key(&dataset, row)));
+        }
+    }
+
     let removed_rows: Vec<usize> = flagged.into_iter().collect();
     let mask: Vec<bool> = (0..dataset.n_rows())
         .map(|r| removed_rows.binary_search(&r).is_err())
@@ -151,24 +288,31 @@ pub fn preprocess_with_runtime(
     if dataset.is_empty() {
         return Err(IndiceError::EmptyCollection("outlier removal"));
     }
-    Ok(PreprocessOutput {
-        dataset,
-        kept_rows,
-        cleaning,
-        univariate_flagged,
-        multivariate_flagged,
-        dbscan_params,
-        removed_rows,
-    })
+    Ok((
+        PreprocessOutput {
+            dataset,
+            kept_rows,
+            cleaning,
+            univariate_flagged,
+            multivariate_flagged,
+            dbscan_params,
+            removed_rows,
+            degraded_rows,
+        },
+        quarantined_unresolved,
+    ))
 }
 
-/// The §2.1.1 geospatial-cleaning pass, applied in place.
+/// The §2.1.1 geospatial-cleaning pass, applied in place. Returns the
+/// cleaning report plus the rows resolved with degraded provenance and the
+/// rows left unresolved (both relative to `dataset`).
 fn clean_geospatial(
     dataset: &mut Dataset,
     street_map: &StreetMap,
     config: &IndiceConfig,
     runtime: &epc_runtime::RuntimeConfig,
-) -> Result<CleaningReport, IndiceError> {
+    injector: Option<&dyn FaultInjector>,
+) -> Result<(CleaningReport, Vec<usize>, Vec<usize>), IndiceError> {
     let schema = dataset.schema_arc();
     let addr_id = schema.require(wk::ADDRESS)?;
     let hn_id = schema.require(wk::HOUSE_NUMBER)?;
@@ -206,23 +350,59 @@ fn clean_geospatial(
         SimulatedGeocoder::new(street_map.clone(), 0.55, 0.02),
         config.geocoder_quota,
     );
-    let geocoder_ref: Option<&dyn epc_geo::geocode::Geocoder> = if config.geocoder_quota > 0 {
-        Some(&geocoder)
-    } else {
-        None
+    let (cleaned, report) = match injector {
+        Some(inj) => {
+            // Under fault injection, calls may fail transiently: retry
+            // them with the deterministic backoff, and degrade exhausted
+            // records to their district's centroid.
+            let retry = RetryGeocoder::new(
+                FaultyGeocoder::new(geocoder, inj),
+                config.fault_tolerance.geocode_retries,
+                Backoff::default(),
+            );
+            let geocoder_ref: Option<&dyn Geocoder> = if config.geocoder_quota > 0 {
+                Some(&retry)
+            } else {
+                None
+            };
+            let fallback = district_fallback(dataset, street_map, district_id);
+            clean_addresses_degradable(
+                &queries,
+                street_map,
+                geocoder_ref,
+                &config.cleaning,
+                runtime,
+                Some(&fallback),
+            )
+        }
+        None => {
+            let geocoder_ref: Option<&dyn Geocoder> = if config.geocoder_quota > 0 {
+                Some(&geocoder)
+            } else {
+                None
+            };
+            clean_addresses_degradable(
+                &queries,
+                street_map,
+                geocoder_ref,
+                &config.cleaning,
+                runtime,
+                None,
+            )
+        }
     };
-    let (cleaned, report) = epc_geo::cleaning::clean_addresses_with_runtime(
-        &queries,
-        street_map,
-        geocoder_ref,
-        &config.cleaning,
-        runtime,
-    );
 
+    let mut degraded_rows = Vec::new();
+    let mut unresolved_rows = Vec::new();
     for c in cleaned {
         let row = c.id;
-        if matches!(c.outcome, epc_geo::cleaning::CleaningOutcome::Unresolved) {
-            continue;
+        match c.outcome {
+            CleaningOutcome::Unresolved => {
+                unresolved_rows.push(row);
+                continue;
+            }
+            CleaningOutcome::Degraded => degraded_rows.push(row),
+            _ => {}
         }
         dataset.set_value(row, addr_id, Value::cat(c.address.street.clone()))?;
         if let Some(hn) = &c.address.house_number {
@@ -242,12 +422,50 @@ fn clean_geospatial(
             dataset.set_value(row, neigh_id, Value::cat(n.clone()))?;
         }
     }
-    Ok(report)
+    degraded_rows.sort_unstable();
+    unresolved_rows.sort_unstable();
+    Ok((report, degraded_rows, unresolved_rows))
+}
+
+/// District-centroid fallback for degraded geocoding: centroids averaged
+/// from the referenced street map's entries, hints read from each row's
+/// district column.
+fn district_fallback(
+    dataset: &Dataset,
+    street_map: &StreetMap,
+    district_id: epc_model::AttrId,
+) -> DegradedFallback {
+    let mut sums: BTreeMap<String, (f64, f64, usize)> = BTreeMap::new();
+    for entry in street_map.entries() {
+        let slot = sums.entry(entry.district.clone()).or_insert((0.0, 0.0, 0));
+        slot.0 += entry.point.lat;
+        slot.1 += entry.point.lon;
+        slot.2 += 1;
+    }
+    let centroids: BTreeMap<String, GeoPoint> = sums
+        .into_iter()
+        .filter(|(_, (_, _, n))| *n > 0)
+        .map(|(district, (lat, lon, n))| {
+            (
+                district,
+                GeoPoint {
+                    lat: lat / n as f64,
+                    lon: lon / n as f64,
+                },
+            )
+        })
+        .collect();
+    let hints: Vec<Option<String>> = (0..dataset.n_rows())
+        .map(|row| dataset.cat(row, district_id).map(str::to_owned))
+        .collect();
+    DegradedFallback { centroids, hints }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use epc_faults::DeterministicInjector;
     use epc_synth::city::CityConfig;
     use epc_synth::epcgen::{EpcGenerator, SynthConfig};
     use epc_synth::noise::{apply_noise, NoiseConfig};
@@ -394,6 +612,146 @@ mod tests {
         let empty = Dataset::new(c.dataset.schema_arc());
         let err = preprocess(empty, &c.city.street_map, &IndiceConfig::default()).unwrap_err();
         assert_eq!(err, IndiceError::EmptyCollection("preprocess"));
+    }
+
+    #[test]
+    fn faulty_with_no_injector_matches_plain_preprocess() {
+        let c = collection(true);
+        let plain = preprocess(
+            c.dataset.clone(),
+            &c.city.street_map,
+            &IndiceConfig::default(),
+        )
+        .unwrap();
+        let (faulty, quarantine) = preprocess_faulty(
+            c.dataset.clone(),
+            &c.city.street_map,
+            &IndiceConfig::default(),
+            &epc_runtime::RuntimeConfig::sequential(),
+            None,
+        )
+        .unwrap();
+        assert!(quarantine.is_empty());
+        assert_eq!(faulty.kept_rows, plain.kept_rows);
+        assert_eq!(faulty.removed_rows, plain.removed_rows);
+        assert_eq!(faulty.cleaning, plain.cleaning);
+        assert!(faulty.degraded_rows.is_empty());
+    }
+
+    #[test]
+    fn corrupted_records_are_quarantined_exactly() {
+        let c = collection(false);
+        let inj = DeterministicInjector::new(1234).with_record_rate(0.1);
+        // Predict the corrupted keys independently of the pipeline.
+        let id = c
+            .dataset
+            .schema()
+            .attr_id(epc_model::wellknown::CERTIFICATE_ID)
+            .unwrap();
+        let expected: std::collections::BTreeSet<String> = (0..c.dataset.n_rows())
+            .filter_map(|r| c.dataset.cat(r, id).map(str::to_owned))
+            .filter(|k| {
+                use epc_faults::FaultInjector;
+                inj.corrupt_record(k).is_some()
+            })
+            .collect();
+        assert!(!expected.is_empty());
+        let (out, quarantine) = preprocess_faulty(
+            c.dataset.clone(),
+            &c.city.street_map,
+            &IndiceConfig::default(),
+            &epc_runtime::RuntimeConfig::sequential(),
+            Some(&inj),
+        )
+        .unwrap();
+        let got: std::collections::BTreeSet<String> =
+            quarantine.keys().iter().map(|k| k.to_string()).collect();
+        assert_eq!(
+            got, expected,
+            "quarantine must hit exactly the corrupted keys"
+        );
+        assert_eq!(quarantine.histogram()["non_finite"], expected.len());
+        // Quarantined rows are gone from the analysis.
+        assert_eq!(
+            out.kept_rows.len() + out.removed_rows.len() + quarantine.len(),
+            c.dataset.n_rows()
+        );
+    }
+
+    #[test]
+    fn geocode_faults_degrade_records_to_district_centroids() {
+        let mut c = collection(false);
+        // Heavy typos force many records to the geocoder fallback...
+        apply_noise(
+            &mut c,
+            &NoiseConfig {
+                typo_rate: 0.5,
+                ..NoiseConfig::none()
+            },
+        );
+        // ...and a 100% geocode failure rate with zero retries makes every
+        // fallback call fail permanently-transiently.
+        let inj = DeterministicInjector::new(7).with_geocode_rate(1.0);
+        let cfg = IndiceConfig {
+            fault_tolerance: crate::config::FaultToleranceConfig {
+                geocode_retries: 0,
+                ..Default::default()
+            },
+            ..IndiceConfig::default()
+        };
+        let (out, _) = preprocess_faulty(
+            c.dataset.clone(),
+            &c.city.street_map,
+            &cfg,
+            &epc_runtime::RuntimeConfig::sequential(),
+            Some(&inj),
+        )
+        .unwrap();
+        assert!(
+            out.cleaning.degraded > 0,
+            "expected degraded records, got report {:?}",
+            out.cleaning
+        );
+        assert_eq!(out.degraded_rows.len(), out.cleaning.degraded);
+        assert_eq!(
+            out.cleaning.unresolved, 0,
+            "centroids exist for every district"
+        );
+    }
+
+    #[test]
+    fn quarantine_unresolved_diverts_unresolvable_addresses() {
+        let mut c = collection(false);
+        apply_noise(
+            &mut c,
+            &NoiseConfig {
+                typo_rate: 0.5,
+                ..NoiseConfig::none()
+            },
+        );
+        // No geocoder, strict φ: plenty of addresses stay unresolved.
+        let cfg = IndiceConfig {
+            geocoder_quota: 0,
+            fault_tolerance: crate::config::FaultToleranceConfig {
+                quarantine_unresolved: true,
+                ..Default::default()
+            },
+            ..IndiceConfig::default()
+        };
+        let (out, quarantine) = preprocess_faulty(
+            c.dataset.clone(),
+            &c.city.street_map,
+            &cfg,
+            &epc_runtime::RuntimeConfig::sequential(),
+            None,
+        )
+        .unwrap();
+        assert!(!quarantine.is_empty() || out.cleaning.unresolved == 0);
+        assert_eq!(quarantine.len(), out.cleaning.unresolved);
+        assert_eq!(
+            quarantine.histogram().get("unresolvable_address").copied(),
+            (!quarantine.is_empty()).then_some(quarantine.len())
+        );
     }
 
     #[test]

@@ -96,6 +96,172 @@ fn assert_outputs_identical(reference: &IndiceOutput, other: &IndiceOutput, thre
     }
 }
 
+mod fault_shuffle {
+    //! Quarantine determinism under row shuffling: fault decisions key on
+    //! stable record identities, so permuting the input rows (moving every
+    //! fault to a different position) with a fixed fault seed must yield
+    //! the identical quarantine set and the identical clean subset — and
+    //! the analytics over that subset must stay bitwise identical across
+    //! thread budgets.
+
+    use super::*;
+    use epc_faults::{Corruption, DeterministicInjector};
+    use epc_model::{wellknown as wk, Dataset};
+    use indice::engine::SupervisedOutput;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+    use std::sync::OnceLock;
+
+    const FAULT_SEED: u64 = 0xFEED;
+
+    fn small_collection() -> SyntheticCollection {
+        let mut c = EpcGenerator::new(SynthConfig {
+            n_records: 600,
+            city: CityConfig {
+                n_districts: 4,
+                neighbourhoods_per_district: 2,
+                streets_per_neighbourhood: 3,
+                houses_per_street: 8,
+                ..CityConfig::default()
+            },
+            ..SynthConfig::default()
+        })
+        .generate();
+        apply_noise(&mut c, &NoiseConfig::default());
+        c
+    }
+
+    fn injector() -> DeterministicInjector {
+        DeterministicInjector::new(FAULT_SEED)
+            .with_record_rate(0.15)
+            .with_corruption(Corruption::NonFinite {
+                attribute: wk::ASPECT_RATIO.to_owned(),
+            })
+            .with_geocode_rate(0.1)
+    }
+
+    /// Rebuilds `dataset` with its rows in `perm` order.
+    fn permute_rows(dataset: &Dataset, perm: &[usize]) -> Dataset {
+        let mut out = Dataset::new(dataset.schema_arc());
+        for &row in perm {
+            let mut record = out.empty_record();
+            for (id, _) in dataset.schema().iter() {
+                record
+                    .set(id, dataset.value(row, id))
+                    .expect("same schema, same ids");
+            }
+            out.push_record(record).expect("record matches schema");
+        }
+        out
+    }
+
+    /// Fisher–Yates driven by splitmix64 — deterministic per seed.
+    fn permutation(n: usize, seed: u64) -> Vec<usize> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        perm
+    }
+
+    fn run_supervised(dataset: Dataset, threads: usize) -> SupervisedOutput {
+        let c = small_collection();
+        let engine = indice::engine::Indice::new(
+            dataset,
+            c.city.street_map,
+            c.city.hierarchy,
+            IndiceConfig::default(),
+        )
+        .with_runtime(RuntimeConfig::new(threads));
+        let inj = injector();
+        engine.run_supervised_with_faults(Stakeholder::PublicAdministration, &inj)
+    }
+
+    /// The certificate ids surviving preprocessing — the clean subset.
+    fn clean_subset(out: &SupervisedOutput) -> BTreeSet<String> {
+        let cleaned = &out.preprocess.as_ref().expect("preprocess ran").dataset;
+        let id = cleaned.schema().require(wk::CERTIFICATE_ID).expect("id");
+        (0..cleaned.n_rows())
+            .filter_map(|row| cleaned.cat(row, id).map(str::to_owned))
+            .collect()
+    }
+
+    struct Baseline {
+        quarantine_keys: Vec<String>,
+        clean_subset: BTreeSet<String>,
+    }
+
+    fn baseline() -> &'static Baseline {
+        static BASELINE: OnceLock<Baseline> = OnceLock::new();
+        BASELINE.get_or_init(|| {
+            let out = run_supervised(small_collection().dataset, 1);
+            assert!(out.outcome.produced_output());
+            assert!(!out.quarantine.is_empty(), "faults must actually land");
+            Baseline {
+                quarantine_keys: out
+                    .quarantine
+                    .keys()
+                    .iter()
+                    .map(|k| k.to_string())
+                    .collect(),
+                clean_subset: clean_subset(&out),
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3 })]
+
+        #[test]
+        fn shuffled_fault_positions_keep_quarantine_and_clean_subset(
+            shuffle_seed in 1u64..u64::MAX
+        ) {
+            let base = baseline();
+            let c = small_collection();
+            let perm = permutation(c.dataset.n_rows(), shuffle_seed);
+            let shuffled = permute_rows(&c.dataset, &perm);
+
+            let reference = run_supervised(shuffled.clone(), 1);
+            prop_assert!(reference.outcome.produced_output());
+
+            // Same faults hit the same records, wherever the rows moved.
+            let keys: Vec<String> = reference
+                .quarantine
+                .keys()
+                .iter()
+                .map(|k| k.to_string())
+                .collect();
+            prop_assert_eq!(&keys, &base.quarantine_keys);
+            prop_assert_eq!(&clean_subset(&reference), &base.clean_subset);
+
+            // And the analytics over the clean subset stays bitwise
+            // identical across thread budgets.
+            for threads in [2, 8] {
+                let other = run_supervised(shuffled.clone(), threads);
+                let ra = reference.analytics.as_ref().expect("analytics ran");
+                let oa = other.analytics.as_ref().expect("analytics ran");
+                prop_assert_eq!(&ra.kmeans.assignments, &oa.kmeans.assignments);
+                prop_assert_eq!(ra.kmeans.sse.to_bits(), oa.kmeans.sse.to_bits());
+                prop_assert_eq!(ra.chosen_k, oa.chosen_k);
+                prop_assert_eq!(&ra.rules, &oa.rules);
+                prop_assert_eq!(
+                    other.quarantine.keys().iter().map(|k| k.to_string()).collect::<Vec<_>>(),
+                    keys.clone()
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn pipeline_outputs_are_identical_across_thread_counts() {
     let reference = run_at(1);
