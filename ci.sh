@@ -1,64 +1,98 @@
 #!/usr/bin/env bash
-# Local CI: formatting, lints, and the tier-1 gate (release build + tests).
-# The workspace builds fully offline — all external dependencies are local
-# path shims (see shims/README.md).
+# Local CI: static analysis, formatting, lints, and the tier-1 gate
+# (release build + tests). The workspace builds fully offline — all
+# external dependencies are local path shims (see shims/README.md).
+#
+# Usage: ./ci.sh [stage]
+#   stage: lint | fmt | clippy | tier1 | chaos   (default: all, in order)
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== cargo fmt --check =="
-cargo fmt --all -- --check
+stage="${1:-all}"
+case "$stage" in
+  all|lint|fmt|clippy|tier1|chaos) ;;
+  *)
+    echo "usage: $0 [lint|fmt|clippy|tier1|chaos]" >&2
+    exit 2
+    ;;
+esac
 
-echo "== cargo clippy (deny warnings) =="
-cargo clippy --workspace --all-targets --offline -- -D warnings
+want() { [ "$stage" = all ] || [ "$stage" = "$1" ]; }
 
-echo "== tier-1: release build =="
-cargo build --release --offline
-
-echo "== tier-1: tests =="
-cargo test -q --offline
-
-echo "== chaos: fault-injection suite =="
-cargo test -q --offline -p indice --test chaos
-
-echo "== chaos: CLI fault rates {0, 0.05, 0.2} =="
-# A zero-fault run must be byte-identical to the strict baseline, and
-# injected-fault runs must degrade (exit 3) — never fail (exit 1).
-INDICE="$(pwd)/target/release/indice"
-CHAOS_DIR="$(mktemp -d)"
-trap 'rm -rf "$CHAOS_DIR"' EXIT
-"$INDICE" generate --records 600 --seed 5 --out-dir "$CHAOS_DIR/data" >/dev/null
-
-run_args=(run
-  --data "$CHAOS_DIR/data/epcs.csv"
-  --streets "$CHAOS_DIR/data/street_map.txt"
-  --regions "$CHAOS_DIR/data/regions.json"
-  --stakeholder citizen)
-
-"$INDICE" "${run_args[@]}" --out-dir "$CHAOS_DIR/baseline" >/dev/null
-baseline_hash="$(cd "$CHAOS_DIR/baseline" && find . -type f | sort | xargs sha256sum | sha256sum)"
-
-"$INDICE" "${run_args[@]}" --out-dir "$CHAOS_DIR/rate0" \
-  --fault-seed 7 --fault-rate 0 --geocode-fail-rate 0 >/dev/null
-rate0_hash="$(cd "$CHAOS_DIR/rate0" && find . -type f | sort | xargs sha256sum | sha256sum)"
-if [ "$baseline_hash" != "$rate0_hash" ]; then
-  echo "FAIL: zero-fault artifacts differ from the baseline" >&2
-  exit 1
+if want lint; then
+  echo "== epc-lint: determinism & panic-surface audit =="
+  cargo run -q --release -p epc-lint --offline
 fi
 
-for rate in 0.05 0.2; do
-  set +e
-  "$INDICE" "${run_args[@]}" --out-dir "$CHAOS_DIR/rate$rate" \
-    --fault-seed 7 --fault-rate "$rate" --geocode-fail-rate 0.1 >/dev/null
-  code=$?
-  set -e
-  if [ "$code" -ne 3 ]; then
-    echo "FAIL: fault rate $rate exited $code (expected 3 = degraded)" >&2
-    exit 1
-  fi
-  if [ ! -f "$CHAOS_DIR/rate$rate/dashboard.html" ]; then
-    echo "FAIL: fault rate $rate produced no dashboard" >&2
-    exit 1
-  fi
-done
+if want fmt; then
+  echo "== cargo fmt --check =="
+  cargo fmt --all -- --check
+fi
 
-echo "CI OK"
+if want clippy; then
+  echo "== cargo clippy (deny warnings) =="
+  cargo clippy --workspace --all-targets --offline -- -D warnings
+fi
+
+if want tier1; then
+  echo "== tier-1: release build =="
+  cargo build --release --offline
+
+  echo "== tier-1: tests =="
+  cargo test -q --offline
+fi
+
+if want chaos; then
+  echo "== chaos: fault-injection suite =="
+  cargo test -q --offline -p indice --test chaos
+
+  echo "== chaos: CLI fault rates {0, 0.05, 0.2} =="
+  # A zero-fault run must be byte-identical to the strict baseline, and
+  # injected-fault runs must degrade (exit 3) — never fail (exit 1).
+  cargo build -q --release --offline -p indice-cli
+  INDICE="$(pwd)/target/release/indice"
+  CHAOS_DIR="$(mktemp -d)"
+  trap 'rm -rf "$CHAOS_DIR"' EXIT
+  "$INDICE" generate --records 600 --seed 5 --out-dir "$CHAOS_DIR/data" >/dev/null
+
+  run_args=(run
+    --data "$CHAOS_DIR/data/epcs.csv"
+    --streets "$CHAOS_DIR/data/street_map.txt"
+    --regions "$CHAOS_DIR/data/regions.json"
+    --stakeholder citizen)
+
+  # NUL-delimited + C locale: stable across filenames with spaces and
+  # collation settings, so the hashes compare artifact *content* only.
+  tree_hash() {
+    (cd "$1" && LC_ALL=C find . -type f -print0 | sort -z | xargs -0 sha256sum | sha256sum)
+  }
+
+  "$INDICE" "${run_args[@]}" --out-dir "$CHAOS_DIR/baseline" >/dev/null
+  baseline_hash="$(tree_hash "$CHAOS_DIR/baseline")"
+
+  "$INDICE" "${run_args[@]}" --out-dir "$CHAOS_DIR/rate0" \
+    --fault-seed 7 --fault-rate 0 --geocode-fail-rate 0 >/dev/null
+  rate0_hash="$(tree_hash "$CHAOS_DIR/rate0")"
+  if [ "$baseline_hash" != "$rate0_hash" ]; then
+    echo "FAIL: zero-fault artifacts differ from the baseline" >&2
+    exit 1
+  fi
+
+  for rate in 0.05 0.2; do
+    set +e
+    "$INDICE" "${run_args[@]}" --out-dir "$CHAOS_DIR/rate$rate" \
+      --fault-seed 7 --fault-rate "$rate" --geocode-fail-rate 0.1 >/dev/null
+    code=$?
+    set -e
+    if [ "$code" -ne 3 ]; then
+      echo "FAIL: fault rate $rate exited $code (expected 3 = degraded)" >&2
+      exit 1
+    fi
+    if [ ! -f "$CHAOS_DIR/rate$rate/dashboard.html" ]; then
+      echo "FAIL: fault rate $rate produced no dashboard" >&2
+      exit 1
+    fi
+  done
+fi
+
+echo "CI OK ($stage)"

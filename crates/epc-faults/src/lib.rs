@@ -23,7 +23,6 @@
 //! [`NoFaults`] is the inert default. [`corrupt_dataset`] applies record
 //! corruption to an [`epc_model::Dataset`] in place and reports exactly
 //! which keys were hit, so tests can assert quarantine counts precisely.
-#![deny(clippy::unwrap_used)]
 
 mod corrupt;
 mod geocoder;

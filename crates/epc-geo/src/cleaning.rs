@@ -384,15 +384,12 @@ fn repair_from(
     if !zip_ok {
         corrected.zip = true;
     }
-    let coords_ok = q
-        .point
-        .map(|p| p.is_valid() && p.haversine_m(&point) <= config.max_coord_error_m)
-        .unwrap_or(false);
-    let final_point = if coords_ok {
-        q.point.unwrap()
-    } else {
-        corrected.coords = true;
-        point
+    let final_point = match q.point {
+        Some(p) if p.is_valid() && p.haversine_m(&point) <= config.max_coord_error_m => p,
+        _ => {
+            corrected.coords = true;
+            point
+        }
     };
 
     CleanedAddress {

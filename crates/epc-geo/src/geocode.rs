@@ -16,7 +16,6 @@
 //! ([`GeocodeFailure::Transient`]), and [`RetryGeocoder`] retries the
 //! latter up to a budget with a seedable, fully deterministic
 //! [`Backoff`] schedule.
-#![deny(clippy::unwrap_used)]
 
 use crate::address::Address;
 use crate::point::GeoPoint;

@@ -103,6 +103,10 @@ impl<T: Clone> QuadTree<T> {
     }
 }
 
+// Geometric invariant: `split` tiles the parent bounds exactly, so a point
+// inside the parent always falls in one quadrant; only invalid coordinates
+// (rejected at insert) could break it.
+#[allow(clippy::expect_used)]
 fn insert_rec<T: Clone>(
     node: &mut Node<T>,
     bounds: &BoundingBox,

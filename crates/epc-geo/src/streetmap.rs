@@ -151,29 +151,29 @@ impl StreetMap {
     /// [`StreetMap::best_match`]).
     pub fn lookup(&self, street_key: &str, house_number: Option<&str>) -> Option<&StreetEntry> {
         let idxs = self.by_street.get(street_key)?;
+        let street_entries = || idxs.iter().filter_map(|&i| self.entries.get(i));
         let hn = house_number.map(normalize_house_number);
         if let Some(hn) = &hn {
             // Exact civic match first.
-            if let Some(&i) = idxs
-                .iter()
-                .find(|&&i| normalize_house_number(&self.entries[i].house_number) == *hn)
+            if let Some(e) =
+                street_entries().find(|e| normalize_house_number(&e.house_number) == *hn)
             {
-                return Some(&self.entries[i]);
+                return Some(e);
             }
             // Closest numeric civic number.
             if let Some(target) = leading_number(hn) {
-                let best = idxs.iter().min_by_key(|&&i| {
-                    leading_number(&self.entries[i].house_number)
+                let best = street_entries().min_by_key(|e| {
+                    leading_number(&e.house_number)
                         .map(|n| n.abs_diff(target))
                         .unwrap_or(u64::MAX)
                 });
-                if let Some(&i) = best {
-                    return Some(&self.entries[i]);
+                if let Some(e) = best {
+                    return Some(e);
                 }
             }
         }
         // No (usable) house number: return the first entry of the street.
-        idxs.first().map(|&i| &self.entries[i])
+        idxs.first().and_then(|&i| self.entries.get(i))
     }
 
     /// The exact-similarity scan used by diagnostics: similarity of `raw`
@@ -186,7 +186,7 @@ impl StreetMap {
             .iter()
             .map(|n| (n.clone(), similarity(&query, n)))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v
     }
 }
@@ -238,26 +238,28 @@ impl StreetMap {
                 continue;
             }
             let parts: Vec<&str> = line.split(';').collect();
-            if parts.len() != 7 {
+            let [street, house_number, zip, lat_s, lon_s, district, neighbourhood] =
+                parts.as_slice()
+            else {
                 return Err(format!(
                     "line {}: expected 7 fields, got {}",
                     i + 2,
                     parts.len()
                 ));
-            }
-            let lat: f64 = parts[3]
+            };
+            let lat: f64 = lat_s
                 .parse()
                 .map_err(|e| format!("line {}: bad latitude: {e}", i + 2))?;
-            let lon: f64 = parts[4]
+            let lon: f64 = lon_s
                 .parse()
                 .map_err(|e| format!("line {}: bad longitude: {e}", i + 2))?;
             map.insert(StreetEntry {
-                street: parts[0].to_owned(),
-                house_number: parts[1].to_owned(),
-                zip: parts[2].to_owned(),
+                street: (*street).to_owned(),
+                house_number: (*house_number).to_owned(),
+                zip: (*zip).to_owned(),
                 point: GeoPoint::new(lat, lon),
-                district: parts[5].to_owned(),
-                neighbourhood: parts[6].to_owned(),
+                district: (*district).to_owned(),
+                neighbourhood: (*neighbourhood).to_owned(),
             });
         }
         Ok(map)

@@ -1,0 +1,189 @@
+//! The scoped escape hatch: `// lint:allow(<rules>): <reason>`.
+//!
+//! A directive suppresses matching diagnostics on its own line (trailing
+//! comment) or on the line directly below (comment above the offending
+//! statement). The reason is mandatory — an allow without one is itself a
+//! violation — and every honoured directive is counted and printed in the
+//! run summary so exemptions stay visible instead of rotting silently.
+//!
+//! Only comments that *start* with `lint:allow` (after the comment
+//! markers) are directives; prose that merely mentions the syntax — like
+//! this paragraph — is ignored.
+
+use crate::rules::{Violation, RULE_IDS};
+use crate::scanner::{Tok, TokKind};
+
+/// One well-formed `lint:allow` directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Uppercased rule ids the directive covers.
+    pub rules: Vec<String>,
+    pub reason: String,
+    /// Line of the comment containing the directive.
+    pub line: u32,
+    /// How many diagnostics this directive suppressed in the current run.
+    pub used: usize,
+}
+
+/// Extracts directives from a file's comment tokens. Malformed directives
+/// (missing rule list, unknown rule id, missing or empty reason) come back
+/// as violations under the pseudo-rule `allow`.
+pub fn collect(toks: &[Tok]) -> (Vec<AllowDirective>, Vec<Violation>) {
+    let mut directives = Vec::new();
+    let mut malformed = Vec::new();
+    for tok in toks {
+        if !matches!(tok.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        let body = tok.text.trim_start_matches(['/', '*', '!']).trim_start();
+        if !body.starts_with("lint:allow") {
+            continue;
+        }
+        match parse_directive(body) {
+            Ok((rules, reason)) => directives.push(AllowDirective {
+                rules,
+                reason,
+                line: tok.line,
+                used: 0,
+            }),
+            Err(msg) => malformed.push(Violation {
+                rule: "allow".into(),
+                line: tok.line,
+                message: msg,
+            }),
+        }
+    }
+    (directives, malformed)
+}
+
+/// Parses `lint:allow(D3, D4): reason…`, validating rule ids and reason.
+fn parse_directive(text: &str) -> Result<(Vec<String>, String), String> {
+    let rest = text.strip_prefix("lint:allow").unwrap_or(text).trim_start();
+    let Some(body) = rest.strip_prefix('(') else {
+        return Err("malformed lint:allow — expected `lint:allow(<rules>): <reason>`".into());
+    };
+    let Some(close) = body.find(')') else {
+        return Err("malformed lint:allow — missing `)` after rule list".into());
+    };
+    let mut rules = Vec::new();
+    for part in body[..close].split(',') {
+        let id = part.trim().to_ascii_uppercase();
+        if id.is_empty() {
+            continue;
+        }
+        if !RULE_IDS.contains(&id.as_str()) {
+            return Err(format!(
+                "lint:allow names unknown rule `{id}` (known: {})",
+                RULE_IDS.join(", ")
+            ));
+        }
+        rules.push(id);
+    }
+    if rules.is_empty() {
+        return Err("lint:allow with an empty rule list".into());
+    }
+    let tail = body[close + 1..].trim_start();
+    let reason = tail
+        .strip_prefix(':')
+        .map(str::trim)
+        .unwrap_or("")
+        .trim_end_matches("*/")
+        .trim();
+    if reason.is_empty() {
+        return Err(
+            "lint:allow without a reason — write `lint:allow(<rules>): <why this is safe>`".into(),
+        );
+    }
+    Ok((rules, reason.to_string()))
+}
+
+/// Splits `hits` into (kept, suppressed-count), marking use counts on the
+/// directives that fired.
+pub fn apply(directives: &mut [AllowDirective], hits: Vec<Violation>) -> (Vec<Violation>, usize) {
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for hit in hits {
+        let directive = directives.iter_mut().find(|d| {
+            d.rules.iter().any(|r| r == &hit.rule) && (hit.line == d.line || hit.line == d.line + 1)
+        });
+        match directive {
+            Some(d) => {
+                d.used += 1;
+                suppressed += 1;
+            }
+            None => kept.push(hit),
+        }
+    }
+    (kept, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    #[test]
+    fn parses_trailing_and_leading_forms() {
+        let src = "let x = 1; // lint:allow(D3): counts are sorted before display\n\
+                   /* lint:allow(d4, D5): demo code */\n";
+        let (dirs, bad) = collect(&scan(src));
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(dirs.len(), 2);
+        assert_eq!(dirs[0].rules, vec!["D3"]);
+        assert_eq!(dirs[0].reason, "counts are sorted before display");
+        assert_eq!(dirs[1].rules, vec!["D4", "D5"]);
+        assert_eq!(dirs[1].reason, "demo code");
+    }
+
+    #[test]
+    fn prose_mentions_are_not_directives() {
+        let src = "// justify the exemption with lint:allow(D3): like so\n\
+                   //! docs may describe `lint:allow(<rules>): <reason>` syntax\n";
+        let (dirs, bad) = collect(&scan(src));
+        assert!(dirs.is_empty(), "{dirs:?}");
+        assert!(bad.is_empty(), "{bad:?}");
+    }
+
+    #[test]
+    fn missing_reason_is_a_violation() {
+        let (dirs, bad) = collect(&scan("// lint:allow(D3)\n"));
+        assert!(dirs.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "allow");
+        assert!(bad[0].message.contains("without a reason"));
+    }
+
+    #[test]
+    fn unknown_rule_is_a_violation() {
+        let (_, bad) = collect(&scan("// lint:allow(D7): nope\n"));
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let src = "// lint:allow(D3): fine here\nlet m = HashMap::new();\n";
+        let (mut dirs, _) = collect(&scan(src));
+        let hits = vec![
+            Violation {
+                rule: "D3".into(),
+                line: 2,
+                message: "m".into(),
+            },
+            Violation {
+                rule: "D3".into(),
+                line: 5,
+                message: "far away".into(),
+            },
+            Violation {
+                rule: "D4".into(),
+                line: 2,
+                message: "other rule".into(),
+            },
+        ];
+        let (kept, suppressed) = apply(&mut dirs, hits);
+        assert_eq!(suppressed, 1);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(dirs[0].used, 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Diagnostic records and the run report.
+
+use std::fmt;
+
+/// One reportable finding, in `path:line: [rule] message` form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Repo-relative, `/`-separated path.
+    pub path: String,
+    pub line: u32,
+    pub rule: String,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A `lint:allow` directive as it appears in the summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowRecord {
+    pub path: String,
+    pub line: u32,
+    pub rules: Vec<String>,
+    pub reason: String,
+    /// Diagnostics this directive suppressed in the run.
+    pub used: usize,
+}
+
+/// The outcome of one audit run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    /// Violations that survived the allowlist, sorted by (path, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every well-formed `lint:allow` in the scanned tree.
+    pub allows: Vec<AllowRecord>,
+    /// Total diagnostics suppressed by directives.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Canonical ordering so output is diffable run-to-run.
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+        self.allows
+            .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    }
+
+    /// The one-line summary printed after diagnostics.
+    pub fn summary(&self) -> String {
+        format!(
+            "epc-lint: {} file(s) scanned; {} violation(s); {} lint:allow directive(s) \
+             ({} diagnostic(s) suppressed)",
+            self.files_scanned,
+            self.diagnostics.len(),
+            self.allows.len(),
+            self.suppressed
+        )
+    }
+
+    /// `true` when the gate passes.
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_ci_grep_format() {
+        let d = Diagnostic {
+            path: "crates/indice/src/preprocess.rs".into(),
+            line: 153,
+            rule: "D4".into(),
+            message: "…".into(),
+        };
+        assert_eq!(d.to_string(), "crates/indice/src/preprocess.rs:153: [D4] …");
+    }
+
+    #[test]
+    fn sort_orders_by_path_then_line_then_rule() {
+        let mk = |p: &str, l: u32, r: &str| Diagnostic {
+            path: p.into(),
+            line: l,
+            rule: r.into(),
+            message: String::new(),
+        };
+        let mut report = Report {
+            diagnostics: vec![
+                mk("b.rs", 1, "D1"),
+                mk("a.rs", 9, "D5"),
+                mk("a.rs", 2, "D2"),
+            ],
+            ..Report::default()
+        };
+        report.sort();
+        let order: Vec<(String, u32)> = report
+            .diagnostics
+            .iter()
+            .map(|d| (d.path.clone(), d.line))
+            .collect();
+        assert_eq!(
+            order,
+            vec![("a.rs".into(), 2), ("a.rs".into(), 9), ("b.rs".into(), 1)]
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! `epc-lint` — the in-repo determinism & panic-surface auditor.
+//!
+//! The INDICE reproduction guarantee rests on invariants no generic
+//! linter knows about: bitwise-identical pipeline artifacts at any thread
+//! count, seed-reproducible fault injection, and a panic-free
+//! quarantine-protected ingest path. This crate walks the workspace
+//! sources with a comment/string-aware scanner and enforces the five
+//! repo-specific rules described in [`rules`], scoped by the checked-in
+//! `lint.toml` ([`config`]), with a counted, reasoned escape hatch
+//! ([`allowlist`]). `cargo run -p epc-lint` is a CI stage; a non-zero
+//! exit means the gate failed.
+
+pub mod allowlist;
+pub mod config;
+pub mod diagnostics;
+pub mod rules;
+pub mod scanner;
+
+use config::Config;
+use diagnostics::{AllowRecord, Diagnostic, Report};
+use std::path::Path;
+
+/// Audits every file under `root` selected by `cfg.include`, returning
+/// the sorted report. `root` is the repository root; all paths in the
+/// report are repo-relative with `/` separators.
+pub fn lint_root(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let mut files = Vec::new();
+    walk(root, Path::new(""), &cfg.include, &mut files)
+        .map_err(|e| format!("walking {}: {e}", root.display()))?;
+    files.sort();
+
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    for rel in &files {
+        let src =
+            std::fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel}: {e}"))?;
+        lint_source(rel, &src, cfg, &mut report);
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Audits one already-loaded source file into `report` (exposed for the
+/// fixture tests).
+pub fn lint_source(rel_path: &str, src: &str, cfg: &Config, report: &mut Report) {
+    let toks = scanner::scan(src);
+    let mask = scanner::test_block_mask(&toks);
+    let (mut directives, malformed) = allowlist::collect(&toks);
+
+    // Malformed directives are violations regardless of rule scoping —
+    // a broken escape hatch must never silently grant an exemption.
+    let mut hits = malformed;
+    for rule_id in rules::RULE_IDS {
+        let Some(scope) = cfg.rule(rule_id) else {
+            continue;
+        };
+        if scope.applies_to(rel_path) {
+            hits.extend(rules::check(rule_id, &toks, &mask));
+        }
+    }
+
+    let (kept, suppressed) = allowlist::apply(&mut directives, hits);
+    report.suppressed += suppressed;
+    for v in kept {
+        report.diagnostics.push(Diagnostic {
+            path: rel_path.to_string(),
+            line: v.line,
+            rule: v.rule,
+            message: v.message,
+        });
+    }
+    for d in directives {
+        report.allows.push(AllowRecord {
+            path: rel_path.to_string(),
+            line: d.line,
+            rules: d.rules,
+            reason: d.reason,
+            used: d.used,
+        });
+    }
+}
+
+/// Recursive walk collecting `/`-separated relative paths matching any
+/// include glob. Entries are read in sorted order for determinism;
+/// build/VCS directories are pruned.
+fn walk(
+    root: &Path,
+    rel: &Path,
+    include: &[String],
+    out: &mut Vec<String>,
+) -> Result<(), std::io::Error> {
+    let mut entries: Vec<_> = std::fs::read_dir(root.join(rel))?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let rel_child = rel.join(name);
+        let rel_str = rel_child
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        if path.is_dir() {
+            if matches!(name, ".git" | "target" | "node_modules") {
+                continue;
+            }
+            walk(root, &rel_child, include, out)?;
+        } else if include.iter().any(|g| config::glob_match(g, &rel_str)) {
+            out.push(rel_str);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! CLI driver: `cargo run -p epc-lint [-- --root <dir>] [--config <file>]`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/config/IO error.
+
+use epc_lint::config::Config;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("epc-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root needs a directory argument")?)
+            }
+            "--config" => {
+                config_path = Some(PathBuf::from(
+                    args.next().ok_or("--config needs a file argument")?,
+                ))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: epc-lint [--root <repo-root>] [--config <lint.toml>]\n\n\
+                     Audits the workspace sources against the determinism and\n\
+                     panic-surface rules scoped in lint.toml. Exit 0 when clean,\n\
+                     1 on violations, 2 on configuration errors."
+                );
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("reading {}: {e}", config_path.display()))?;
+    let cfg = Config::parse(&text)?;
+
+    let report = epc_lint::lint_root(&root, &cfg)?;
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    for a in &report.allows {
+        println!(
+            "lint:allow {}:{} [{}] — {} ({} suppressed)",
+            a.path,
+            a.line,
+            a.rules.join(", "),
+            a.reason,
+            a.used
+        );
+    }
+    println!("{}", report.summary());
+    Ok(report.clean())
+}

@@ -1,0 +1,350 @@
+//! The five repo-specific rules clippy cannot express.
+//!
+//! | id | invariant it protects |
+//! |----|----------------------|
+//! | D1 | no entropy-seeded RNG construction — every random stream must be seed-reproducible |
+//! | D2 | no wall-clock reads in crates whose artifacts are hashed by the chaos gate |
+//! | D3 | no `HashMap`/`HashSet` in result-producing modules — hash-order must never reach output |
+//! | D4 | no `unwrap`/`expect`/`panic!`-family/slice-indexing in quarantine-protected ingest code |
+//! | D5 | no `println!`/`eprintln!`/`dbg!` in library crates |
+//!
+//! Rules run over the scanner's token stream; tokens inside
+//! `#[cfg(test)] mod` blocks are exempt (see [`crate::scanner::test_block_mask`]).
+//! *Where* each rule applies is not decided here — `lint.toml` scopes each
+//! rule to path globs (see [`crate::config`]).
+
+use crate::scanner::{Tok, TokKind};
+
+/// Every rule id, in severity-neutral display order.
+pub const RULE_IDS: [&str; 5] = ["D1", "D2", "D3", "D4", "D5"];
+
+/// One rule hit inside a single file (path attached by the driver).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id (`"D1"`…`"D5"`, or `"allow"` for malformed directives).
+    pub rule: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+}
+
+/// Entropy-seeded RNG constructors (D1).
+const ENTROPY_IDENTS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+/// Wall-clock path heads checked for `::now` (D2).
+const CLOCK_TYPES: [&str; 4] = ["SystemTime", "Instant", "Utc", "Local"];
+/// Hash-ordered collections (D3).
+const HASH_COLLECTIONS: [&str; 2] = ["HashMap", "HashSet"];
+/// Panicking macros (D4).
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+/// Printing macros (D5).
+const PRINT_MACROS: [&str; 5] = ["println", "print", "eprintln", "eprint", "dbg"];
+
+/// Keywords that may directly precede `[` without it being an index
+/// expression (`return [a, b]`, `where [T]: Sized`, …).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "async"
+            | "await"
+            | "box"
+            | "break"
+            | "const"
+            | "continue"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "static"
+            | "struct"
+            | "trait"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "yield"
+    )
+}
+
+/// Runs rule `rule_id` over a file's tokens. `test_mask[i]` exempts
+/// token `i` (inside a `#[cfg(test)]` module).
+pub fn check(rule_id: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<Violation> {
+    // Indices of code tokens outside test modules, in order.
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&k| toks[k].is_code() && !test_mask[k])
+        .collect();
+    let t = |ci: usize| -> &Tok { &toks[code[ci]] };
+    let mut out = Vec::new();
+    let mut push = |line: u32, message: String| {
+        out.push(Violation {
+            rule: rule_id.to_string(),
+            line,
+            message,
+        });
+    };
+
+    match rule_id {
+        "D1" => {
+            for ci in 0..code.len() {
+                let tok = t(ci);
+                if tok.kind == TokKind::Ident && ENTROPY_IDENTS.contains(&tok.text.as_str()) {
+                    push(
+                        tok.line,
+                        format!(
+                            "entropy-seeded RNG (`{}`): runs must reproduce — construct RNGs \
+                             with seed_from_u64/from_seed from a recorded seed",
+                            tok.text
+                        ),
+                    );
+                }
+            }
+        }
+        "D2" => {
+            for ci in 0..code.len().saturating_sub(3) {
+                let tok = t(ci);
+                if tok.kind == TokKind::Ident
+                    && CLOCK_TYPES.contains(&tok.text.as_str())
+                    && t(ci + 1).is_punct(':')
+                    && t(ci + 2).is_punct(':')
+                    && t(ci + 3).is_ident("now")
+                {
+                    push(
+                        tok.line,
+                        format!(
+                            "wall-clock read (`{}::now`) in a chaos-hashed crate: timestamps \
+                             make artifacts differ run-to-run — timing belongs in \
+                             epc-runtime::report or the bench crate",
+                            tok.text
+                        ),
+                    );
+                }
+            }
+        }
+        "D3" => {
+            for ci in 0..code.len() {
+                let tok = t(ci);
+                if tok.kind == TokKind::Ident && HASH_COLLECTIONS.contains(&tok.text.as_str()) {
+                    push(
+                        tok.line,
+                        format!(
+                            "`{}` in a result-producing module: hash iteration order is \
+                             nondeterministic — use BTreeMap/BTreeSet, or sort before any \
+                             value escapes and justify with lint:allow(D3)",
+                            tok.text
+                        ),
+                    );
+                }
+            }
+        }
+        "D4" => {
+            for ci in 0..code.len() {
+                let tok = t(ci);
+                // `.unwrap()` / `.expect(` — exact method names only.
+                if tok.kind == TokKind::Ident
+                    && (tok.text == "unwrap" || tok.text == "expect")
+                    && ci > 0
+                    && t(ci - 1).is_punct('.')
+                    && ci + 1 < code.len()
+                    && t(ci + 1).is_punct('(')
+                {
+                    push(
+                        tok.line,
+                        format!(
+                            "`.{}()` in quarantine-protected ingest code: malformed input \
+                             must become a RecordFault, not a panic",
+                            tok.text
+                        ),
+                    );
+                }
+                // panic!-family macros.
+                if tok.kind == TokKind::Ident
+                    && PANIC_MACROS.contains(&tok.text.as_str())
+                    && ci + 1 < code.len()
+                    && t(ci + 1).is_punct('!')
+                {
+                    push(
+                        tok.line,
+                        format!(
+                            "`{}!` in quarantine-protected ingest code: malformed input \
+                             must become a RecordFault, not a panic",
+                            tok.text
+                        ),
+                    );
+                }
+                // Index expressions: `expr[…]` can panic out-of-bounds.
+                if tok.is_punct('[') && ci > 0 {
+                    let prev = t(ci - 1);
+                    let is_index_base = (prev.kind == TokKind::Ident && !is_keyword(&prev.text))
+                        || prev.is_punct(')')
+                        || prev.is_punct(']');
+                    if is_index_base && !is_full_range_slice(&code, toks, ci) {
+                        push(
+                            tok.line,
+                            "index expression (`…[…]`) in quarantine-protected ingest code \
+                             can panic out-of-bounds — use .get()/.get_mut() or a slice \
+                             pattern"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+        }
+        "D5" => {
+            for ci in 0..code.len() {
+                let tok = t(ci);
+                if tok.kind == TokKind::Ident
+                    && PRINT_MACROS.contains(&tok.text.as_str())
+                    && ci + 1 < code.len()
+                    && t(ci + 1).is_punct('!')
+                {
+                    push(
+                        tok.line,
+                        format!(
+                            "`{}!` in a library crate: libraries return data, the CLI owns \
+                             the terminal",
+                            tok.text
+                        ),
+                    );
+                }
+            }
+        }
+        other => {
+            // Config validation rejects unknown ids before we get here.
+            debug_assert!(false, "unknown rule id {other}");
+        }
+    }
+    out
+}
+
+/// `expr[..]` (full-range slice) never panics — exempt it from D4.
+/// `ci` points at the `[` in the code-index list.
+fn is_full_range_slice(code: &[usize], toks: &[Tok], ci: usize) -> bool {
+    let t = |k: usize| -> &Tok { &toks[code[k]] };
+    let mut depth = 0usize;
+    let mut interior: Vec<&Tok> = Vec::new();
+    for k in ci..code.len() {
+        if t(k).is_punct('[') {
+            depth += 1;
+            if depth == 1 {
+                continue;
+            }
+        } else if t(k).is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        interior.push(t(k));
+    }
+    interior.len() == 2 && interior[0].is_punct('.') && interior[1].is_punct('.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::{scan, test_block_mask};
+
+    fn run(rule: &str, src: &str) -> Vec<Violation> {
+        let toks = scan(src);
+        let mask = test_block_mask(&toks);
+        check(rule, &toks, &mask)
+    }
+
+    #[test]
+    fn d1_flags_entropy_rng() {
+        let hits = run(
+            "D1",
+            "let mut r = rand::thread_rng();\nlet s = StdRng::from_entropy();",
+        );
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].line, 1);
+        assert_eq!(hits[1].line, 2);
+    }
+
+    #[test]
+    fn d1_ignores_seeded_construction() {
+        assert!(run("D1", "let r = StdRng::seed_from_u64(7);").is_empty());
+    }
+
+    #[test]
+    fn d2_flags_clock_reads() {
+        let hits = run(
+            "D2",
+            "let t0 = Instant::now();\nlet wall = SystemTime::now();",
+        );
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn d2_needs_the_now_call() {
+        assert!(run("D2", "fn takes(i: Instant) {}").is_empty());
+    }
+
+    #[test]
+    fn d3_flags_hash_collections() {
+        let hits = run("D3", "use std::collections::HashMap;\nlet s: HashSet<u32>;");
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn d4_flags_unwrap_expect_panics_and_indexing() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 {\n\
+                   let a = v.first().unwrap();\n\
+                   let b = v.last().expect(\"x\");\n\
+                   if i > 9 { panic!(\"no\"); }\n\
+                   v[i]\n}";
+        let hits = run("D4", src);
+        let lines: Vec<u32> = hits.iter().map(|h| h.line).collect();
+        assert_eq!(lines, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn d4_skips_safe_bracket_forms() {
+        let src = "fn f(v: &[u32]) {\n\
+                   let w = &v[..];\n\
+                   let a = vec![1, 2];\n\
+                   let t: [u8; 2] = [0, 1];\n\
+                   #[derive(Debug)]\nstruct S;\n\
+                   match v { [x, y] => {}, _ => {} }\n\
+                   return [1, 2];\n}";
+        let hits = run("D4", src);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn d4_exact_method_names_only() {
+        assert!(run(
+            "D4",
+            "let x = o.unwrap_or(3); let y = o.unwrap_or_default();"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn d5_flags_prints() {
+        let hits = run("D5", "println!(\"x\");\ndbg!(v);\neprintln!(\"e\");");
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn test_modules_are_exempt_everywhere() {
+        let src = "#[cfg(test)]\nmod tests {\n use std::collections::HashMap;\n\
+                   fn t() { v.unwrap(); println!(\"ok\"); }\n}";
+        for rule in RULE_IDS {
+            assert!(run(rule, src).is_empty(), "{rule} leaked into tests");
+        }
+    }
+}

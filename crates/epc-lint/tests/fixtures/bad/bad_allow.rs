@@ -1,0 +1,4 @@
+// Fixture: malformed directives are violations wherever they appear.
+// lint:allow(D3)
+pub fn f() {}
+// lint:allow(D9): not a rule

@@ -1,0 +1,8 @@
+// Fixture: D2 — wall-clock reads.
+use std::time::{Instant, SystemTime};
+
+pub fn timing() -> u32 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    0
+}

@@ -1,0 +1,10 @@
+// Fixture: D3 — hash-ordered collections.
+use std::collections::HashMap;
+
+pub fn count(xs: &[u32]) -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m.len()
+}

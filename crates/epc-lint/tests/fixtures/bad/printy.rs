@@ -1,0 +1,7 @@
+// Fixture: D5 — terminal output from a library.
+pub fn noisy(x: u32) -> u32 {
+    println!("x = {x}");
+    let y = dbg!(x + 1);
+    eprintln!("done");
+    y
+}

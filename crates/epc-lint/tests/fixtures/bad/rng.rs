@@ -1,0 +1,9 @@
+// Fixture: D1 — entropy-seeded RNG constructions.
+use rand::rngs::StdRng;
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    let other = StdRng::from_entropy();
+    let os = OsRng;
+    0
+}

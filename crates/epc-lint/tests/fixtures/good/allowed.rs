@@ -1,0 +1,7 @@
+// Fixture: reasoned, scoped escape hatches suppress diagnostics.
+use std::collections::HashMap; // lint:allow(D3): fixture — counts are sorted before display
+
+pub fn pick(v: &[u32], i: usize) -> u32 {
+    // lint:allow(D4): fixture — i is validated by the caller
+    v[i]
+}

@@ -1,0 +1,14 @@
+// Fixture: deterministic, panic-free, quiet — zero diagnostics.
+use std::collections::BTreeMap;
+
+pub fn count(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn head(parts: &[&str]) -> Option<usize> {
+    parts.first().map(|p| p.len())
+}

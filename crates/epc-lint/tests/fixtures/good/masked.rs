@@ -1,0 +1,19 @@
+// Fixture: mentions in comments, strings, and test code never fire.
+// Prose may say thread_rng, Instant::now, HashMap, unwrap, println!.
+
+pub fn describe() -> &'static str {
+    "call sites like thread_rng() or SystemTime::now() in strings are data"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.values().next().copied().unwrap(), 2);
+        println!("tests may print");
+    }
+}

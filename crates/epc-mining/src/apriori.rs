@@ -1,7 +1,7 @@
 //! Apriori frequent-itemset mining (Agrawal et al. 1993) — the engine
 //! behind INDICE's association-rule discovery (§2.2.2).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A sorted, duplicate-free set of item ids.
 pub type Itemset = Vec<u32>;
@@ -10,7 +10,7 @@ pub type Itemset = Vec<u32>;
 #[derive(Debug, Clone, Default)]
 pub struct ItemDictionary {
     names: Vec<String>,
-    ids: HashMap<String, u32>,
+    ids: BTreeMap<String, u32>,
 }
 
 impl ItemDictionary {
@@ -160,8 +160,9 @@ impl Apriori {
         }
         let min_count = (self.min_support * n as f64).ceil().max(1.0) as usize;
 
-        // L1: frequent single items.
-        let mut item_counts: HashMap<u32, usize> = HashMap::new();
+        // L1: frequent single items. Ordered map: iteration feeds the
+        // frequent-set output, so hash order must never reach it (D3).
+        let mut item_counts: BTreeMap<u32, usize> = BTreeMap::new();
         for t in data.transactions() {
             for &i in t {
                 *item_counts.entry(i).or_insert(0) += 1;
@@ -225,7 +226,7 @@ impl Apriori {
 /// Apriori-gen: joins k-itemsets sharing their first k−1 items and prunes
 /// candidates with an infrequent (k)-subset.
 fn generate_candidates(frequent: &[FrequentItemset]) -> Vec<Itemset> {
-    let frequent_set: HashSet<&[u32]> = frequent.iter().map(|f| f.items.as_slice()).collect();
+    let frequent_set: BTreeSet<&[u32]> = frequent.iter().map(|f| f.items.as_slice()).collect();
     let mut out = Vec::new();
     for (i, a) in frequent.iter().enumerate() {
         for b in &frequent[i + 1..] {
@@ -372,7 +373,7 @@ mod tests {
             max_len: 4,
         }
         .mine(&data);
-        let by_items: HashMap<&[u32], usize> =
+        let by_items: BTreeMap<&[u32], usize> =
             all.iter().map(|f| (f.items.as_slice(), f.count)).collect();
         for f in &all {
             if f.items.len() < 2 {

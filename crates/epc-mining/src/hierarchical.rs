@@ -72,7 +72,7 @@ impl Dendrogram {
         // Compact roots to 0..k labels.
         let mut labels = vec![usize::MAX; self.n_points];
         let mut next = 0usize;
-        let mut map = std::collections::HashMap::new();
+        let mut map = std::collections::BTreeMap::new();
         for (p, slot) in labels.iter_mut().enumerate() {
             let root = find(&mut parent, p);
             let label = *map.entry(root).or_insert_with(|| {

@@ -5,7 +5,7 @@
 //! uncertified building from its thermo-physical attributes.
 
 use crate::matrix::Matrix;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A fitted Gaussian naive Bayes classifier over string labels.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,12 +30,13 @@ impl GaussianNb {
             return None;
         }
         let d = data.n_cols();
-        let mut by_class: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut by_class: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
         for (i, &l) in labels.iter().enumerate() {
             by_class.entry(l).or_default().push(i);
         }
-        let mut classes: Vec<String> = by_class.keys().map(|s| s.to_string()).collect();
-        classes.sort();
+        // BTreeMap keys iterate sorted, so the class order is already the
+        // lexicographic order the model exposes.
+        let classes: Vec<String> = by_class.keys().map(|s| s.to_string()).collect();
         let mut log_priors = Vec::with_capacity(classes.len());
         let mut params = Vec::with_capacity(classes.len());
         for class in &classes {

@@ -6,7 +6,7 @@
 //! however the end-user could change the default values."
 
 use crate::apriori::{Apriori, FrequentItemset, ItemDictionary, TransactionSet};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An association rule `A → B` with its quality indices.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,7 +96,7 @@ pub fn rules_from_frequent(
     if n_transactions == 0 {
         return Vec::new();
     }
-    let counts: HashMap<&[u32], usize> = frequent
+    let counts: BTreeMap<&[u32], usize> = frequent
         .iter()
         .map(|f| (f.items.as_slice(), f.count))
         .collect();

@@ -10,7 +10,6 @@
 //! first malformed row, while [`from_csv_lenient`] diverts malformed rows
 //! into a [`Quarantine`] and keeps going — the ingest mode of the
 //! fault-tolerant pipeline.
-#![deny(clippy::unwrap_used)]
 
 use crate::dataset::{Dataset, Record};
 use crate::error::ModelError;

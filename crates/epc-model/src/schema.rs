@@ -412,6 +412,9 @@ pub fn standard_epc_schema() -> Arc<Schema> {
         defs.push(AttributeDef::categorical(name, desc));
     }
 
+    // Static table: attribute names are unique by construction, checked by
+    // the debug assertion below and the schema tests.
+    #[allow(clippy::expect_used)]
     let schema = Schema::new(defs).expect("standard schema has unique names");
     debug_assert_eq!(
         schema.len(),

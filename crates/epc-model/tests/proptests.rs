@@ -1,5 +1,7 @@
 //! Property-based tests of the data-model layer: CSV round-trips over
 //! arbitrary content, dataset selection invariants, and schema lookups.
+// Test code: panicking on malformed setup is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use epc_model::{csv, AttrId, AttributeDef, Dataset, Record, Schema, Value};
 use proptest::prelude::*;

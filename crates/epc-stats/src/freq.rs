@@ -3,7 +3,7 @@
 //! §2.3: "for categorical attributes, the count, the most common value's
 //! frequency (i.e., mode) and the top-k frequent values are reported."
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One entry of a categorical frequency table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,7 +35,9 @@ pub fn frequency_table<'a, I>(labels: I) -> Vec<FreqEntry>
 where
     I: IntoIterator<Item = &'a str>,
 {
-    let mut counts: HashMap<&str, usize> = HashMap::new();
+    // Ordered map: the table is rebuilt from iteration below, so ties in
+    // the count sort must start from a deterministic label order (D3).
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
     for l in labels {
         *counts.entry(l).or_insert(0) += 1;
     }

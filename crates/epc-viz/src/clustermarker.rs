@@ -48,8 +48,10 @@ pub fn cluster_markers(
     proj: &GeoProjection,
     cell_px: f64,
 ) -> Vec<ClusterMarker> {
-    use std::collections::HashMap;
-    let mut cells: HashMap<(i64, i64), (Vec<GeoPoint>, Vec<f64>)> = HashMap::new();
+    use std::collections::BTreeMap;
+    // Ordered map: cells are drained into the marker list below, so the
+    // pre-sort order must already be deterministic (D3).
+    let mut cells: BTreeMap<(i64, i64), (Vec<GeoPoint>, Vec<f64>)> = BTreeMap::new();
     for (p, v) in points {
         let (x, y) = proj.project(p);
         let key = ((x / cell_px).floor() as i64, (y / cell_px).floor() as i64);

@@ -127,7 +127,8 @@ pub fn analyze_with_runtime(
         )));
     }
     let matrix = Matrix::from_vec(data, feature_rows.len(), feature_ids.len());
-    let (scaler, scaled) = MinMaxScaler::fit_transform(&matrix).expect("matrix checked non-empty");
+    let (scaler, scaled) = MinMaxScaler::fit_transform(&matrix)
+        .ok_or_else(|| IndiceError::Clustering("scaler fit on empty feature matrix".into()))?;
 
     // --- K selection + final fit (§2.2.2) ---
     let base = KMeansConfig {
@@ -352,9 +353,9 @@ fn build_discretizers(
         }
         let d = RegressionTree::fit(&xs, &ys, &config.rule_stage.cart)
             .and_then(|t| Discretizer::with_auto_labels(f, t.split_thresholds()))
-            .unwrap_or_else(|| {
-                Discretizer::with_auto_labels(f, vec![]).expect("single bin always valid")
-            });
+            // A single catch-all bin (no thresholds) is always constructible.
+            .or_else(|| Discretizer::with_auto_labels(f, vec![]))
+            .ok_or_else(|| IndiceError::Internal(format!("cannot build discretizer for {f}")))?;
         out.push(d);
     }
     Ok(out)

@@ -181,6 +181,9 @@ impl Default for IndiceConfig {
 ///   Very high = (3.35, 5.5\];
 /// * Uo: Low = \[0.15, 0.45\], Medium = (0.45, 0.65\], High = (0.65, 1.1\];
 /// * ETAH: Low = \[0.20, 0.60\], Medium = (0.60, 0.80\], High = (0.80, 1.1\].
+// Static tables: the threshold lists are sorted literals, the only way
+// `with_auto_labels` can fail.
+#[allow(clippy::expect_used)]
 pub fn footnote4_discretizers() -> Vec<Discretizer> {
     vec![
         Discretizer::with_auto_labels(wk::U_WINDOWS, vec![2.05, 2.45, 3.35])

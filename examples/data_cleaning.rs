@@ -5,6 +5,8 @@
 //! ```sh
 //! cargo run --release --example data_cleaning
 //! ```
+// Test/demo code: panicking on malformed setup is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use epc_geo::address::Address;
 use epc_geo::cleaning::{clean_addresses, AddressQuery, CleaningConfig};

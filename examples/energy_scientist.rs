@@ -5,6 +5,8 @@
 //! ```sh
 //! cargo run --release --example energy_scientist
 //! ```
+// Test/demo code: panicking on malformed setup is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use epc_model::wellknown as wk;
 use epc_query::Stakeholder;

@@ -5,6 +5,8 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+// Test/demo code: panicking on malformed setup is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use epc_query::Stakeholder;
 use epc_synth::{EpcGenerator, NoiseConfig, SynthConfig};

@@ -2,6 +2,8 @@
 //! latent structure: clusters must track building archetypes, rules must
 //! recover the thermal-quality → consumption signal, and the correlation
 //! screening must reproduce the Figure-3 verdict.
+// Test/demo code: panicking on malformed setup is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use epc_model::wellknown as wk;
 use epc_synth::archetype::ARCHETYPES;

@@ -5,6 +5,8 @@
 //! quarantine accounting, (3) chaos outputs are bitwise identical across
 //! thread budgets for a fixed fault seed, and (4) stage kills degrade or
 //! fail the run according to the stage's supervision policy.
+// Test/demo code: panicking on malformed setup is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use epc_faults::{corrupt_dataset, Corruption, DeterministicInjector};
 use epc_model::wellknown as wk;

@@ -1,6 +1,8 @@
 //! Integration of the §2.1.1 cleaning algorithm against synthetic ground
 //! truth: reconstruction accuracy, φ monotonicity, and the geocoder-quota
 //! trade-off the paper describes.
+// Test/demo code: panicking on malformed setup is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use epc_geo::address::Address;
 use epc_geo::cleaning::{clean_addresses, AddressQuery, CleaningConfig};

@@ -1,6 +1,8 @@
 //! Integration of the dashboard stage: well-formed artifacts, zoom-level
 //! behaviour of the cluster-marker maps (Figure 2), and panel completeness
 //! (Figure 4).
+// Test/demo code: panicking on malformed setup is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use epc_model::{wellknown as wk, Granularity};
 use epc_query::stakeholder::{default_report_spec, ReportSpec, Stakeholder};

@@ -2,6 +2,8 @@
 //! identical outputs for any thread budget. A run at `threads = 1` is the
 //! reference; runs at 2 and 8 threads must match it exactly — artifacts,
 //! rendered HTML, cluster assignments, SSE bits, and removed-row sets.
+// Test/demo code: panicking on malformed setup is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use epc_query::Stakeholder;
 use epc_runtime::RuntimeConfig;
@@ -259,6 +261,138 @@ mod fault_shuffle {
                 );
             }
         }
+    }
+}
+
+mod hash_order {
+    //! Regression tests for the D3 sweep: result-producing modules must not
+    //! let hash-map iteration order reach their outputs. Each test pins an
+    //! order-invariance property that held only by accident (or not at all)
+    //! when these paths were built on `std::collections::HashMap`.
+
+    use epc_mining::apriori::{Apriori, TransactionSet};
+    use epc_mining::matrix::Matrix;
+    use epc_mining::naive_bayes::GaussianNb;
+    use epc_stats::freq::frequency_table;
+    use epc_viz::clustermarker::{cluster_markers, ClusterMarkerMap};
+    use epc_viz::scale::GeoProjection;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn frequency_table_is_input_order_invariant() {
+        let labels = ["C", "A", "B", "A", "C", "A", "D", "B", "C", "A"];
+        let reference = frequency_table(labels.iter().copied());
+        let mut reversed = labels;
+        reversed.reverse();
+        assert_eq!(reference, frequency_table(reversed.iter().copied()));
+        // Rotations exercise every first-appearance order of the labels.
+        for rot in 1..labels.len() {
+            let mut rotated = labels;
+            rotated.rotate_left(rot);
+            assert_eq!(reference, frequency_table(rotated.iter().copied()));
+        }
+    }
+
+    /// Mines `transactions` and returns the frequent itemsets as
+    /// `(sorted item names, count)` — an id-free, order-free fingerprint.
+    fn mined_fingerprint(transactions: &[Vec<&str>]) -> BTreeSet<(Vec<String>, usize)> {
+        let mut t = TransactionSet::new();
+        for items in transactions {
+            t.push(items);
+        }
+        let frequent = Apriori {
+            min_support: 0.3,
+            max_len: 3,
+        }
+        .mine(&t);
+        frequent
+            .iter()
+            .map(|f| {
+                let mut names = t.dict.resolve(&f.items);
+                names.sort();
+                (names, f.count)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn apriori_itemsets_are_transaction_order_invariant() {
+        let transactions = vec![
+            vec!["bread", "milk"],
+            vec!["bread", "diapers", "beer", "eggs"],
+            vec!["milk", "diapers", "beer", "cola"],
+            vec!["bread", "milk", "diapers", "beer"],
+            vec!["bread", "milk", "diapers", "cola"],
+        ];
+        let reference = mined_fingerprint(&transactions);
+        assert!(!reference.is_empty());
+        let mut reversed = transactions.clone();
+        reversed.reverse();
+        assert_eq!(reference, mined_fingerprint(&reversed));
+        let mut rotated = transactions;
+        rotated.rotate_left(2);
+        assert_eq!(reference, mined_fingerprint(&rotated));
+    }
+
+    #[test]
+    fn naive_bayes_class_order_is_independent_of_first_appearance() {
+        // Each class's rows are identical, so per-class moments cannot
+        // depend on row order — any difference between the two fits could
+        // only come from class-grouping iteration order.
+        let low = vec![1.0, 2.0];
+        let high = vec![9.0, 8.0];
+        let rows_a: Vec<Vec<f64>> = vec![low.clone(), low.clone(), high.clone(), high.clone()];
+        let rows_b: Vec<Vec<f64>> = vec![high.clone(), high.clone(), low.clone(), low.clone()];
+        let nb_a = GaussianNb::fit(&Matrix::from_rows(&rows_a), &["lo", "lo", "hi", "hi"]).unwrap();
+        let nb_b = GaussianNb::fit(&Matrix::from_rows(&rows_b), &["hi", "hi", "lo", "lo"]).unwrap();
+        assert_eq!(nb_a.classes(), nb_b.classes());
+        let mut sorted = nb_a.classes().to_vec();
+        sorted.sort();
+        assert_eq!(nb_a.classes(), sorted.as_slice(), "classes must be sorted");
+        for x in [&low, &high, &vec![5.0, 5.0]] {
+            assert_eq!(nb_a.predict(x), nb_b.predict(x));
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&nb_a.log_joint(x)), bits(&nb_b.log_joint(x)));
+        }
+    }
+
+    #[test]
+    fn cluster_markers_are_repeatable_and_strictly_ordered() {
+        use epc_geo::bbox::BoundingBox;
+        use epc_geo::point::GeoPoint;
+        use epc_model::Granularity;
+
+        let points: Vec<(GeoPoint, Option<f64>)> = (0..400)
+            .map(|i| {
+                let a = ((i as u64 * 2654435761) % 997) as f64 / 997.0;
+                let b = ((i as u64 * 40503 + 7) % 991) as f64 / 991.0;
+                (
+                    GeoPoint::new(45.0 + a * 0.08, 7.6 + b * 0.08),
+                    Some(40.0 + (i % 150) as f64),
+                )
+            })
+            .collect();
+        let pts: Vec<GeoPoint> = points.iter().map(|(p, _)| *p).collect();
+        let bounds = BoundingBox::from_points(&pts).unwrap();
+        let proj = GeoProjection::fit(bounds, 760.0, 440.0, 12.0);
+        let reference = cluster_markers(&points, &proj, 64.0);
+        for _ in 0..3 {
+            assert_eq!(reference, cluster_markers(&points, &proj, 64.0));
+        }
+        // Marker order is a total order: count desc, then lat, then lon —
+        // no two adjacent markers may be order-ambiguous.
+        for w in reference.windows(2) {
+            assert!(
+                w[0].count > w[1].count || (w[0].count == w[1].count && w[0].center != w[1].center),
+                "ambiguous marker order"
+            );
+        }
+        // The map-level wrapper is repeatable too.
+        let mut map = ClusterMarkerMap::new("t", "v", Granularity::District);
+        for (p, v) in &points {
+            map.add_point(*p, *v);
+        }
+        assert_eq!(map.markers(), map.markers());
     }
 }
 

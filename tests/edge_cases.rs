@@ -1,5 +1,7 @@
 //! Edge-case and failure-injection integration tests: the pipeline must
 //! degrade gracefully — clear errors, never panics — on hostile inputs.
+// Test/demo code: panicking on malformed setup is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use epc_model::{wellknown as wk, Dataset, Value};
 use epc_query::Stakeholder;

@@ -1,5 +1,7 @@
 //! End-to-end pipeline integration: all three stakeholders, determinism,
 //! and serialization round-trips on a noisy mid-size collection.
+// Test/demo code: panicking on malformed setup is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use epc_model::wellknown as wk;
 use epc_query::Stakeholder;

@@ -1,6 +1,8 @@
 //! Integration of the query engine over generated collections: predicates
 //! against ground truth, aggregation consistency, and property-based
 //! checks on the predicate algebra.
+// Test/demo code: panicking on malformed setup is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use epc_model::wellknown as wk;
 use epc_query::aggregate::{group_by, AggFn};
