@@ -4,20 +4,26 @@
 # external dependencies are local path shims (see shims/README.md).
 #
 # Usage: ./ci.sh [stage]
-#   stage: lint | fmt | clippy | tier1 | chaos   (default: all, in order)
+#   stage: lint | fmt | clippy | tier1 | chaos | crash   (default: all, in order)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 stage="${1:-all}"
 case "$stage" in
-  all|lint|fmt|clippy|tier1|chaos) ;;
+  all|lint|fmt|clippy|tier1|chaos|crash) ;;
   *)
-    echo "usage: $0 [lint|fmt|clippy|tier1|chaos]" >&2
+    echo "usage: $0 [lint|fmt|clippy|tier1|chaos|crash]" >&2
     exit 2
     ;;
 esac
 
 want() { [ "$stage" = all ] || [ "$stage" = "$1" ]; }
+
+# NUL-delimited + C locale: stable across filenames with spaces and
+# collation settings, so the hashes compare artifact *content* only.
+tree_hash() {
+  (cd "$1" && LC_ALL=C find . -type f -print0 | sort -z | xargs -0 sha256sum | sha256sum)
+}
 
 if want lint; then
   echo "== epc-lint: determinism & panic-surface audit =="
@@ -61,12 +67,6 @@ if want chaos; then
     --regions "$CHAOS_DIR/data/regions.json"
     --stakeholder citizen)
 
-  # NUL-delimited + C locale: stable across filenames with spaces and
-  # collation settings, so the hashes compare artifact *content* only.
-  tree_hash() {
-    (cd "$1" && LC_ALL=C find . -type f -print0 | sort -z | xargs -0 sha256sum | sha256sum)
-  }
-
   "$INDICE" "${run_args[@]}" --out-dir "$CHAOS_DIR/baseline" >/dev/null
   baseline_hash="$(tree_hash "$CHAOS_DIR/baseline")"
 
@@ -90,6 +90,51 @@ if want chaos; then
     fi
     if [ ! -f "$CHAOS_DIR/rate$rate/dashboard.html" ]; then
       echo "FAIL: fault rate $rate produced no dashboard" >&2
+      exit 1
+    fi
+  done
+fi
+
+if want crash; then
+  echo "== crash: durability suite (crash matrix, resume byte-identity) =="
+  cargo test -q --offline -p indice --test durability
+
+  echo "== crash: CLI kill/resume loop at three crash points =="
+  # Kill the CLI at an injected crash point (exit 70), resume the run
+  # directory, and require the result to be byte-identical — journal,
+  # checkpoints, and artifacts — to an uninterrupted run's.
+  cargo build -q --release --offline -p indice-cli
+  INDICE="$(pwd)/target/release/indice"
+  CRASH_DIR="$(mktemp -d)"
+  trap 'rm -rf ${CHAOS_DIR:+"$CHAOS_DIR"} "$CRASH_DIR"' EXIT
+  "$INDICE" generate --records 600 --seed 5 --out-dir "$CRASH_DIR/data" >/dev/null
+
+  crash_args=(run
+    --data "$CRASH_DIR/data/epcs.csv"
+    --streets "$CRASH_DIR/data/street_map.txt"
+    --regions "$CRASH_DIR/data/regions.json"
+    --stakeholder citizen)
+
+  "$INDICE" "${crash_args[@]}" --out-dir "$CRASH_DIR/baseline" >/dev/null
+  baseline_hash="$(tree_hash "$CRASH_DIR/baseline")"
+
+  # One crash point per stage, covering all three kinds: a clean commit
+  # (after), no commit at all (before), and a torn checkpoint write whose
+  # journal entry promises bytes the file no longer has (torn).
+  for point in preprocess:after analytics:before dashboard:torn; do
+    dir="$CRASH_DIR/run-${point//:/-}"
+    set +e
+    "$INDICE" "${crash_args[@]}" --out-dir "$dir" --crash-at "$point" \
+      >/dev/null 2>&1
+    code=$?
+    set -e
+    if [ "$code" -ne 70 ]; then
+      echo "FAIL: --crash-at $point exited $code (expected 70)" >&2
+      exit 1
+    fi
+    "$INDICE" "${crash_args[@]}" --resume "$dir" >/dev/null
+    if [ "$(tree_hash "$dir")" != "$baseline_hash" ]; then
+      echo "FAIL: resume after $point is not byte-identical to baseline" >&2
       exit 1
     fi
   done

@@ -1,0 +1,144 @@
+//! Crash-point injection for durability testing.
+//!
+//! A [`CrashSpec`] names one point in a durable run at which the process
+//! should "die": before a stage's checkpoint commit, after it, or —
+//! nastiest — mid-commit, leaving a torn (truncated) checkpoint file on
+//! disk whose journal entry promises the full content. The durable runner
+//! honours the spec by aborting the run with a crash error at exactly that
+//! point, so tests and `ci.sh crash` can exercise resume-after-crash
+//! without actually killing the process.
+//!
+//! Like everything in this crate, crash points are deterministic: the spec
+//! is parsed from a `stage:point` string (CLI `--crash-at`) and fires on
+//! the stage's first commit, independent of thread count or timing.
+
+use std::fmt;
+
+/// Where in a durable run an injected crash fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrashSpec {
+    /// Die before the stage commits anything: no checkpoint files, no
+    /// journal entry. Resume must replay the stage from scratch.
+    Before {
+        /// Stage name (e.g. `preprocess`).
+        stage: String,
+    },
+    /// Die immediately after the stage's journal entry is durable. Resume
+    /// must skip the stage entirely.
+    After {
+        /// Stage name (e.g. `preprocess`).
+        stage: String,
+    },
+    /// Die mid-commit: the stage's first checkpoint file is truncated to
+    /// half its length, but the journal entry records the full content
+    /// hash. Resume must detect the mismatch and replay the stage.
+    Torn {
+        /// Stage name (e.g. `preprocess`).
+        stage: String,
+    },
+}
+
+impl CrashSpec {
+    /// Parses a `stage:point` spec, where point is `before`, `after`, or
+    /// `torn` (e.g. `analytics:before`).
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let err = || {
+            format!(
+                "invalid crash spec {raw:?}: expected <stage>:<before|after|torn>, \
+                 e.g. \"analytics:before\""
+            )
+        };
+        let (stage, point) = raw.split_once(':').ok_or_else(err)?;
+        let stage = stage.trim();
+        if stage.is_empty() {
+            return Err(err());
+        }
+        match point.trim() {
+            "before" => Ok(CrashSpec::Before {
+                stage: stage.to_owned(),
+            }),
+            "after" => Ok(CrashSpec::After {
+                stage: stage.to_owned(),
+            }),
+            "torn" => Ok(CrashSpec::Torn {
+                stage: stage.to_owned(),
+            }),
+            _ => Err(err()),
+        }
+    }
+
+    /// The stage this spec targets.
+    pub fn stage(&self) -> &str {
+        match self {
+            CrashSpec::Before { stage }
+            | CrashSpec::After { stage }
+            | CrashSpec::Torn { stage } => stage,
+        }
+    }
+
+    /// Short label for the crash point (`before`, `after`, `torn`).
+    pub fn point(&self) -> &'static str {
+        match self {
+            CrashSpec::Before { .. } => "before",
+            CrashSpec::After { .. } => "after",
+            CrashSpec::Torn { .. } => "torn",
+        }
+    }
+}
+
+impl fmt::Display for CrashSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.stage(), self.point())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_three_points() {
+        assert_eq!(
+            CrashSpec::parse("preprocess:before").unwrap(),
+            CrashSpec::Before {
+                stage: "preprocess".into()
+            }
+        );
+        assert_eq!(
+            CrashSpec::parse("analytics:after").unwrap(),
+            CrashSpec::After {
+                stage: "analytics".into()
+            }
+        );
+        assert_eq!(
+            CrashSpec::parse(" dashboard : torn ").unwrap(),
+            CrashSpec::Torn {
+                stage: "dashboard".into()
+            }
+        );
+    }
+
+    #[test]
+    fn accessors_and_display_round_trip() {
+        let spec = CrashSpec::parse("analytics:torn").unwrap();
+        assert_eq!(spec.stage(), "analytics");
+        assert_eq!(spec.point(), "torn");
+        assert_eq!(spec.to_string(), "analytics:torn");
+        assert_eq!(CrashSpec::parse(&spec.to_string()).unwrap(), spec);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "preprocess",
+            ":before",
+            "preprocess:",
+            "a:during",
+            "a:b:c",
+        ] {
+            let err = CrashSpec::parse(bad).unwrap_err();
+            assert!(err.contains("invalid crash spec"), "{bad:?}: {err}");
+        }
+    }
+}

@@ -25,9 +25,11 @@
 //! which keys were hit, so tests can assert quarantine counts precisely.
 
 mod corrupt;
+mod crash;
 mod geocoder;
 mod injector;
 
 pub use corrupt::corrupt_dataset;
+pub use crash::CrashSpec;
 pub use geocoder::FaultyGeocoder;
 pub use injector::{Corruption, DeterministicInjector, FaultInjector, NoFaults};

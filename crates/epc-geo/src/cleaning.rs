@@ -109,7 +109,7 @@ impl Default for CleaningConfig {
 }
 
 /// Aggregate statistics of one cleaning run.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct CleaningReport {
     /// Total addresses processed.
     pub total: usize,

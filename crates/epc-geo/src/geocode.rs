@@ -255,6 +255,25 @@ pub fn geocode_retries_from_env() -> u32 {
     }
 }
 
+/// Strictly validates an `INDICE_GEOCODE_RETRIES` value: `None` (unset)
+/// is [`DEFAULT_GEOCODE_RETRIES`], anything set must parse as a
+/// non-negative integer. Pure, so rejection paths are unit-testable.
+pub fn parse_geocode_retries(raw: Option<&str>) -> Result<u32, String> {
+    let Some(raw) = raw else {
+        return Ok(DEFAULT_GEOCODE_RETRIES);
+    };
+    raw.trim().parse().map_err(|_| {
+        format!("{GEOCODE_RETRIES_ENV_VAR} must be a non-negative integer, got {raw:?}")
+    })
+}
+
+/// Like [`geocode_retries_from_env`], but malformed values are an error
+/// instead of a silent fallback to the default.
+pub fn try_geocode_retries_from_env() -> Result<u32, String> {
+    let raw = std::env::var(GEOCODE_RETRIES_ENV_VAR).ok();
+    parse_geocode_retries(raw.as_deref())
+}
+
 /// Retries transient failures of an inner geocoder up to a budget, with a
 /// deterministic [`Backoff`] schedule between attempts.
 ///
@@ -564,6 +583,17 @@ mod tests {
     }
 
     #[test]
+    fn strict_retry_parsing_rejects_malformed_values() {
+        assert_eq!(parse_geocode_retries(None), Ok(DEFAULT_GEOCODE_RETRIES));
+        assert_eq!(parse_geocode_retries(Some("0")), Ok(0));
+        assert_eq!(parse_geocode_retries(Some(" 12 ")), Ok(12));
+        for bad in ["-1", "three", "", "1.5"] {
+            let err = parse_geocode_retries(Some(bad)).unwrap_err();
+            assert!(err.contains(GEOCODE_RETRIES_ENV_VAR), "{err}");
+        }
+    }
+
+    #[test]
     fn backoff_schedule_is_deterministic_and_bounded() {
         let b = Backoff {
             base_ms: 100,
@@ -593,9 +623,12 @@ mod tests {
         // only exercise the parsing contract via a scoped set/unset).
         std::env::set_var(GEOCODE_RETRIES_ENV_VAR, "7");
         assert_eq!(geocode_retries_from_env(), 7);
+        assert_eq!(try_geocode_retries_from_env(), Ok(7));
         std::env::set_var(GEOCODE_RETRIES_ENV_VAR, "nope");
         assert_eq!(geocode_retries_from_env(), DEFAULT_GEOCODE_RETRIES);
+        assert!(try_geocode_retries_from_env().is_err());
         std::env::remove_var(GEOCODE_RETRIES_ENV_VAR);
         assert_eq!(geocode_retries_from_env(), DEFAULT_GEOCODE_RETRIES);
+        assert_eq!(try_geocode_retries_from_env(), Ok(DEFAULT_GEOCODE_RETRIES));
     }
 }

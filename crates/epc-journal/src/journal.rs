@@ -1,0 +1,239 @@
+//! The append-only run journal (`run.manifest.jsonl`).
+//!
+//! One JSON line per committed pipeline stage, appended *after* the
+//! stage's checkpoint files are durably on disk — the journal line is the
+//! commit point. Loading tolerates a torn tail: a final line that does
+//! not parse (the classic crash-during-append artifact) is discarded
+//! along with everything after the first unparsable line, and the run
+//! simply replays from there.
+//!
+//! Entries are pure functions of the run's inputs and configuration — no
+//! timestamps, no host names, no durations — so the journal of a resumed
+//! run is byte-identical to the journal of an uninterrupted run.
+
+use crate::atomic::{sync_dir, write_atomic, ArtifactRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::OpenOptions;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the journal inside a run directory.
+pub const MANIFEST_FILE: &str = "run.manifest.jsonl";
+
+/// One committed stage: everything a resuming run needs to decide whether
+/// the stage can be skipped and, if so, to rehydrate its product.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageEntry {
+    /// Zero-based position in the stage sequence.
+    pub seq: usize,
+    /// Stage name (`preprocess` / `analytics` / `dashboard`).
+    pub stage: String,
+    /// Fingerprint of the effective configuration and stakeholder; a
+    /// mismatch invalidates the entry (the run is a different computation).
+    pub config_fingerprint: String,
+    /// Hash of the run's inputs (dataset, street map, hierarchy).
+    pub input_hash: String,
+    /// `true` when the supervisor degraded this stage (no product; the
+    /// checkpoint list is empty and resuming re-registers the degradation
+    /// instead of re-running the stage).
+    pub degraded: bool,
+    /// Degradation reasons this stage contributed to the run outcome.
+    pub reasons: Vec<String>,
+    /// Records entering the stage (for resumed stage reports).
+    pub records_in: usize,
+    /// Records (or artifacts) leaving the stage.
+    pub records_out: usize,
+    /// Records this stage quarantined.
+    pub quarantined: usize,
+    /// Fault histogram of the quarantined records.
+    pub faults: BTreeMap<String, usize>,
+    /// Checkpoint files capturing the stage product, hash-validated on
+    /// resume. Paths are relative to the run directory.
+    pub checkpoints: Vec<ArtifactRecord>,
+}
+
+/// Handle to a run directory's journal file.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    dir: PathBuf,
+}
+
+impl Journal {
+    /// The journal of `run_dir` (the file itself may not exist yet).
+    pub fn at(run_dir: &Path) -> Self {
+        Journal {
+            dir: run_dir.to_path_buf(),
+        }
+    }
+
+    /// Full path of the manifest file.
+    pub fn path(&self) -> PathBuf {
+        self.dir.join(MANIFEST_FILE)
+    }
+
+    /// Loads all parsable entries. A missing file is an empty journal;
+    /// the first unparsable line truncates the result (torn tail).
+    pub fn load(&self) -> io::Result<Vec<StageEntry>> {
+        let text = match std::fs::read_to_string(self.path()) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<StageEntry>(line) {
+                Ok(entry) => entries.push(entry),
+                Err(_) => break,
+            }
+        }
+        Ok(entries)
+    }
+
+    /// Appends one entry (one JSON line) and fsyncs — the stage's commit
+    /// point. Checkpoint files must already be durable when this is
+    /// called.
+    pub fn append(&self, entry: &StageEntry) -> io::Result<()> {
+        let line = serde_json::to_string(entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path())?;
+        f.write_all(line.as_bytes())?;
+        f.write_all(b"\n")?;
+        f.sync_all()?;
+        drop(f);
+        sync_dir(&self.dir)
+    }
+
+    /// Atomically replaces the journal with exactly `entries` — used when
+    /// resume validation rejects a suffix and the run replays from there.
+    pub fn rewrite(&self, entries: &[StageEntry]) -> io::Result<()> {
+        let mut text = String::new();
+        for entry in entries {
+            let line = serde_json::to_string(entry)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            text.push_str(&line);
+            text.push('\n');
+        }
+        write_atomic(&self.dir, MANIFEST_FILE, text.as_bytes())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn temp_dir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "epc-journal-manifest-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn entry(seq: usize, stage: &str) -> StageEntry {
+        StageEntry {
+            seq,
+            stage: stage.to_owned(),
+            config_fingerprint: "cfg".into(),
+            input_hash: "in".into(),
+            degraded: false,
+            reasons: Vec::new(),
+            records_in: 10,
+            records_out: 9,
+            quarantined: 1,
+            faults: BTreeMap::from([("non_finite".to_owned(), 1usize)]),
+            checkpoints: vec![ArtifactRecord {
+                file: format!("{stage}.json"),
+                sha256: "00".into(),
+                bytes: 2,
+            }],
+        }
+    }
+
+    #[test]
+    fn append_then_load_round_trips() {
+        let dir = temp_dir();
+        let j = Journal::at(&dir);
+        assert!(j.load().unwrap().is_empty(), "missing file = empty journal");
+        j.append(&entry(0, "preprocess")).unwrap();
+        j.append(&entry(1, "analytics")).unwrap();
+        let got = j.load().unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], entry(0, "preprocess"));
+        assert_eq!(got[1], entry(1, "analytics"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded() {
+        let dir = temp_dir();
+        let j = Journal::at(&dir);
+        j.append(&entry(0, "preprocess")).unwrap();
+        j.append(&entry(1, "analytics")).unwrap();
+        // Simulate a crash mid-append: chop the last line in half.
+        let text = fs::read_to_string(j.path()).unwrap();
+        fs::write(j.path(), &text[..text.len() - 40]).unwrap();
+        let got = j.load().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].stage, "preprocess");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_interior_line_truncates_from_there() {
+        let dir = temp_dir();
+        let j = Journal::at(&dir);
+        j.append(&entry(0, "preprocess")).unwrap();
+        let mut text = fs::read_to_string(j.path()).unwrap();
+        text.push_str("{not json}\n");
+        fs::write(j.path(), &text).unwrap();
+        j.append(&entry(2, "dashboard")).unwrap();
+        // The entry after the garbage line is unreachable.
+        assert_eq!(j.load().unwrap().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_truncates_to_prefix() {
+        let dir = temp_dir();
+        let j = Journal::at(&dir);
+        j.append(&entry(0, "preprocess")).unwrap();
+        j.append(&entry(1, "analytics")).unwrap();
+        j.append(&entry(2, "dashboard")).unwrap();
+        let all = j.load().unwrap();
+        j.rewrite(&all[..1]).unwrap();
+        let got = j.load().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].stage, "preprocess");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_bytes_are_deterministic() {
+        let dir_a = temp_dir();
+        let dir_b = temp_dir();
+        for dir in [&dir_a, &dir_b] {
+            let j = Journal::at(dir);
+            j.append(&entry(0, "preprocess")).unwrap();
+            j.append(&entry(1, "analytics")).unwrap();
+        }
+        let a = fs::read(Journal::at(&dir_a).path()).unwrap();
+        let b = fs::read(Journal::at(&dir_b).path()).unwrap();
+        assert_eq!(a, b);
+        fs::remove_dir_all(&dir_a).unwrap();
+        fs::remove_dir_all(&dir_b).unwrap();
+    }
+}

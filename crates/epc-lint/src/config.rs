@@ -47,7 +47,7 @@ impl RuleScope {
 pub struct Config {
     /// Which files the auditor walks at all.
     pub include: Vec<String>,
-    /// One scope per rule; parsing fails unless all of D1–D5 are present,
+    /// One scope per rule; parsing fails unless all of D1–D6 are present,
     /// so a rule cannot be disabled by silently dropping its table.
     pub rules: Vec<RuleScope>,
 }
@@ -343,6 +343,9 @@ mod tests {
             [rules.D5]
             scope = ["crates/*/src/**"]
             exempt = ["crates/indice-cli/**"]
+
+            [rules.D6]
+            scope = ["crates/indice/src/**", "crates/indice-cli/src/**"]
             "#,
         )
         .unwrap();

@@ -4,7 +4,7 @@
 //! linter knows about: bitwise-identical pipeline artifacts at any thread
 //! count, seed-reproducible fault injection, and a panic-free
 //! quarantine-protected ingest path. This crate walks the workspace
-//! sources with a comment/string-aware scanner and enforces the five
+//! sources with a comment/string-aware scanner and enforces the six
 //! repo-specific rules described in [`rules`], scoped by the checked-in
 //! `lint.toml` ([`config`]), with a counted, reasoned escape hatch
 //! ([`allowlist`]). `cargo run -p epc-lint` is a CI stage; a non-zero

@@ -1,4 +1,4 @@
-//! The five repo-specific rules clippy cannot express.
+//! The six repo-specific rules clippy cannot express.
 //!
 //! | id | invariant it protects |
 //! |----|----------------------|
@@ -7,6 +7,7 @@
 //! | D3 | no `HashMap`/`HashSet` in result-producing modules — hash-order must never reach output |
 //! | D4 | no `unwrap`/`expect`/`panic!`-family/slice-indexing in quarantine-protected ingest code |
 //! | D5 | no `println!`/`eprintln!`/`dbg!` in library crates |
+//! | D6 | no direct `File::create`/`fs::write` in artifact-producing crates — artifacts go through epc-journal's atomic writers |
 //!
 //! Rules run over the scanner's token stream; tokens inside
 //! `#[cfg(test)] mod` blocks are exempt (see [`crate::scanner::test_block_mask`]).
@@ -16,12 +17,12 @@
 use crate::scanner::{Tok, TokKind};
 
 /// Every rule id, in severity-neutral display order.
-pub const RULE_IDS: [&str; 5] = ["D1", "D2", "D3", "D4", "D5"];
+pub const RULE_IDS: [&str; 6] = ["D1", "D2", "D3", "D4", "D5", "D6"];
 
 /// One rule hit inside a single file (path attached by the driver).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id (`"D1"`…`"D5"`, or `"allow"` for malformed directives).
+    /// Rule id (`"D1"`…`"D6"`, or `"allow"` for malformed directives).
     pub rule: String,
     /// 1-based line.
     pub line: u32,
@@ -221,6 +222,31 @@ pub fn check(rule_id: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<Violation> 
                 }
             }
         }
+        "D6" => {
+            // `<head> :: <tail>` where head/tail name a torn-write-prone
+            // file creation: `File::create` or `fs::write` (also catching
+            // the `std::fs::write` spelling via its `fs::write` suffix).
+            for ci in 0..code.len().saturating_sub(3) {
+                let tok = t(ci);
+                let tail = t(ci + 3);
+                let is_direct_write = tok.kind == TokKind::Ident
+                    && t(ci + 1).is_punct(':')
+                    && t(ci + 2).is_punct(':')
+                    && ((tok.text == "File" && tail.is_ident("create"))
+                        || (tok.text == "fs" && tail.is_ident("write")));
+                if is_direct_write {
+                    push(
+                        tok.line,
+                        format!(
+                            "direct artifact write (`{}::{}`) in an artifact-producing crate: \
+                             a crash mid-write leaves a torn file — route writes through \
+                             epc_journal::write_atomic / write_atomic_path",
+                            tok.text, tail.text
+                        ),
+                    );
+                }
+            }
+        }
         other => {
             // Config validation rejects unknown ids before we get here.
             debug_assert!(false, "unknown rule id {other}");
@@ -337,6 +363,32 @@ mod tests {
     fn d5_flags_prints() {
         let hits = run("D5", "println!(\"x\");\ndbg!(v);\neprintln!(\"e\");");
         assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn d6_flags_direct_artifact_writes() {
+        let src = "fn save(p: &Path) -> io::Result<()> {\n\
+                   fs::write(p, \"x\")?;\n\
+                   std::fs::write(p, \"x\")?;\n\
+                   let f = File::create(p)?;\n\
+                   let g = std::fs::File::create(p)?;\n\
+                   Ok(())\n}";
+        let hits = run("D6", src);
+        let lines: Vec<u32> = hits.iter().map(|h| h.line).collect();
+        assert_eq!(lines, vec![2, 3, 4, 5]);
+        assert!(hits[0].message.contains("write_atomic"), "{hits:?}");
+    }
+
+    #[test]
+    fn d6_ignores_reads_imports_and_journal_writers() {
+        let src = "use std::fs;\n\
+                   use std::fs::File;\n\
+                   fn load(p: &Path) -> io::Result<String> {\n\
+                   let _rec = epc_journal::write_atomic_path(p, b\"x\")?;\n\
+                   let _f = File::open(p)?;\n\
+                   fs::create_dir_all(p)?;\n\
+                   fs::read_to_string(p)\n}";
+        assert!(run("D6", src).is_empty(), "{:?}", run("D6", src));
     }
 
     #[test]

@@ -27,6 +27,9 @@ fn bad_fixtures_produce_exact_diagnostics() {
     assert_eq!(
         got,
         vec![
+            expect("artifact_write.rs", 6, "D6"),
+            expect("artifact_write.rs", 7, "D6"),
+            expect("artifact_write.rs", 8, "D6"),
             expect("bad_allow.rs", 2, "allow"),
             expect("bad_allow.rs", 4, "allow"),
             expect("clock.rs", 5, "D2"),
@@ -49,7 +52,7 @@ fn bad_fixtures_produce_exact_diagnostics() {
         ],
     );
     assert!(!report.clean());
-    assert_eq!(report.files_scanned, 6);
+    assert_eq!(report.files_scanned, 7);
 }
 
 #[test]
@@ -105,6 +108,8 @@ fn scope_globs_resolve_as_documented() {
     assert_eq!(count("D4"), 6);
     // D5 scoped `bad/*.rs` minus its only offender.
     assert_eq!(count("D5"), 0);
+    // D6's scope matches nothing under bad/.
+    assert_eq!(count("D6"), 0);
     // Malformed allow directives fire regardless of rule scoping.
     assert_eq!(count("allow"), 2);
     assert_eq!(report.diagnostics.len(), 11);

@@ -1,0 +1,10 @@
+//! Bad: artifacts written directly — a crash mid-write leaves torn files.
+use std::fs;
+use std::fs::File;
+
+fn save(dir: &std::path::Path, html: &str) -> std::io::Result<()> {
+    fs::write(dir.join("dashboard.html"), html)?;
+    let _f = File::create(dir.join("rules.txt"))?;
+    std::fs::write(dir.join("notes.txt"), "torn")?;
+    Ok(())
+}

@@ -518,6 +518,185 @@ impl Dataset {
     }
 }
 
+// Checkpoint serde. Hand-written because the derived float encoding is lossy
+// (`crate::jsonnum` documents the four bad cases) and because the columnar
+// invariants — dictionary/index coherence, cached missing counts, uniform
+// column lengths — must be revalidated when rehydrating from disk rather
+// than trusted. Numeric columns encode as `{"num": [..]}` with `null` for
+// missing cells (unambiguous: `encode_f64` never emits `null`), categorical
+// columns as `{"cat": {"dict": [..], "codes": [..]}}`.
+impl serde::Serialize for Dataset {
+    fn to_json_value(&self) -> serde::Value {
+        use serde::Value as J;
+        let columns: Vec<J> = self
+            .columns
+            .iter()
+            .map(|col| match &col.data {
+                ColumnData::Numeric(vals) => J::Object(
+                    [(
+                        "num".to_owned(),
+                        J::Array(
+                            vals.iter()
+                                .map(|v| crate::jsonnum::encode_opt_f64(*v))
+                                .collect(),
+                        ),
+                    )]
+                    .into_iter()
+                    .collect(),
+                ),
+                ColumnData::Categorical(cat) => {
+                    let dict = J::Array(cat.dict.iter().cloned().map(J::Str).collect());
+                    let codes = J::Array(
+                        cat.codes
+                            .iter()
+                            .map(|c| match c {
+                                Some(code) => J::Num(*code as f64),
+                                None => J::Null,
+                            })
+                            .collect(),
+                    );
+                    let body: serde::Map<String, J> =
+                        [("codes".to_owned(), codes), ("dict".to_owned(), dict)]
+                            .into_iter()
+                            .collect();
+                    J::Object([("cat".to_owned(), J::Object(body))].into_iter().collect())
+                }
+            })
+            .collect();
+        let map: serde::Map<String, J> = [
+            ("columns".to_owned(), J::Array(columns)),
+            ("n_rows".to_owned(), J::Num(self.n_rows as f64)),
+            ("schema".to_owned(), self.schema.to_json_value()),
+        ]
+        .into_iter()
+        .collect();
+        J::Object(map)
+    }
+}
+
+impl serde::Deserialize for Dataset {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::{Error, Value as J};
+        let schema_v = v
+            .get("schema")
+            .ok_or_else(|| Error::custom("Dataset missing field \"schema\""))?;
+        let mut schema = <Schema as serde::Deserialize>::from_json_value(schema_v)?;
+        schema.reindex();
+        let n_rows = v
+            .get("n_rows")
+            .and_then(J::as_u64)
+            .ok_or_else(|| Error::custom("Dataset missing integer field \"n_rows\""))?
+            as usize;
+        let cols_v = v
+            .get("columns")
+            .and_then(J::as_array)
+            .ok_or_else(|| Error::custom("Dataset missing array field \"columns\""))?;
+        if cols_v.len() != schema.len() {
+            return Err(Error::custom(format!(
+                "Dataset checkpoint has {} columns but schema defines {}",
+                cols_v.len(),
+                schema.len()
+            )));
+        }
+        let mut columns = Vec::with_capacity(cols_v.len());
+        for (col_v, (_, def)) in cols_v.iter().zip(schema.iter()) {
+            let column = if let Some(vals) = col_v.get("num").and_then(J::as_array) {
+                if !matches!(def.kind, AttrKind::Numeric { .. }) {
+                    return Err(Error::custom(format!(
+                        "column {:?} is numeric in the checkpoint but categorical in the schema",
+                        def.name
+                    )));
+                }
+                let mut out = Vec::with_capacity(vals.len());
+                let mut missing = 0;
+                for cell in vals {
+                    let cell = crate::jsonnum::decode_opt_f64(cell)?;
+                    missing += usize::from(cell.is_none());
+                    out.push(cell);
+                }
+                Column {
+                    data: ColumnData::Numeric(out),
+                    missing,
+                }
+            } else if let Some(body) = col_v.get("cat") {
+                if !matches!(def.kind, AttrKind::Categorical) {
+                    return Err(Error::custom(format!(
+                        "column {:?} is categorical in the checkpoint but numeric in the schema",
+                        def.name
+                    )));
+                }
+                let dict_v = body
+                    .get("dict")
+                    .and_then(J::as_array)
+                    .ok_or_else(|| Error::custom("categorical column missing \"dict\""))?;
+                let codes_v = body
+                    .get("codes")
+                    .and_then(J::as_array)
+                    .ok_or_else(|| Error::custom("categorical column missing \"codes\""))?;
+                let mut cat = CatColumn::default();
+                for label in dict_v {
+                    let label = label
+                        .as_str()
+                        .ok_or_else(|| Error::mismatch("dictionary label string", label))?;
+                    cat.intern(label);
+                }
+                if cat.dict.len() != dict_v.len() {
+                    return Err(Error::custom(format!(
+                        "dictionary of column {:?} contains duplicate labels",
+                        def.name
+                    )));
+                }
+                let mut missing = 0;
+                for code in codes_v {
+                    let code = match code {
+                        J::Null => {
+                            missing += 1;
+                            None
+                        }
+                        other => {
+                            let code = other
+                                .as_u64()
+                                .ok_or_else(|| Error::mismatch("dictionary code", other))?
+                                as u32;
+                            if code as usize >= cat.dict.len() {
+                                return Err(Error::custom(format!(
+                                    "code {code} out of range for dictionary of column {:?}",
+                                    def.name
+                                )));
+                            }
+                            Some(code)
+                        }
+                    };
+                    cat.codes.push(code);
+                }
+                Column {
+                    data: ColumnData::Categorical(cat),
+                    missing,
+                }
+            } else {
+                return Err(Error::custom(format!(
+                    "column {:?} has neither \"num\" nor \"cat\" payload",
+                    def.name
+                )));
+            };
+            if column.len() != n_rows {
+                return Err(Error::custom(format!(
+                    "column {:?} has {} cells but the checkpoint declares {} rows",
+                    def.name,
+                    column.len(),
+                    n_rows
+                )));
+            }
+            columns.push(column);
+        }
+        Ok(Dataset {
+            schema: Arc::new(schema),
+            columns,
+            n_rows,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -689,6 +868,58 @@ mod tests {
             Schema::new(vec![AttributeDef::numeric("z", "", "")]).unwrap(),
         ));
         assert_eq!(a.append(&other).unwrap_err(), ModelError::SchemaMismatch);
+    }
+
+    #[test]
+    fn checkpoint_serde_round_trips_exactly() {
+        let mut ds = Dataset::new(small_schema());
+        push(&mut ds, Some(1.0 / 3.0), Some("a"), Some(2.0));
+        push(&mut ds, Some(f64::NAN), Some("b"), None);
+        push(&mut ds, None, None, Some(-0.0));
+        push(&mut ds, Some(f64::NEG_INFINITY), Some("a"), Some(5e-324));
+
+        let text = serde_json::to_string(&ds).unwrap();
+        let back: Dataset = serde_json::from_str(&text).unwrap();
+
+        assert_eq!(back.n_rows(), 4);
+        assert_eq!(back.schema(), ds.schema());
+        assert_eq!(back.num(0, AttrId(0)), Some(1.0 / 3.0));
+        assert!(back.num(1, AttrId(0)).unwrap().is_nan());
+        assert_eq!(back.num(3, AttrId(0)), Some(f64::NEG_INFINITY));
+        let z = back.num(2, AttrId(2)).unwrap();
+        assert!(z == 0.0 && z.is_sign_negative(), "-0.0 must survive");
+        assert_eq!(back.num(3, AttrId(2)), Some(5e-324));
+        assert_eq!(back.cat(1, AttrId(1)), Some("b"));
+        assert_eq!(back.cat(2, AttrId(1)), None);
+        // Rebuilt caches: missing counts, dictionary index, schema index.
+        assert_eq!(back.total_missing(), ds.total_missing());
+        match back.column(AttrId(1)).unwrap().data() {
+            ColumnData::Categorical(c) => assert_eq!(c.code("b"), Some(1)),
+            _ => panic!("expected categorical"),
+        }
+        assert_eq!(back.schema().attr_id("y"), Some(AttrId(2)));
+        // Serialization is deterministic: same bytes both times.
+        assert_eq!(serde_json::to_string(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn checkpoint_serde_rejects_corruption() {
+        let mut ds = Dataset::new(small_schema());
+        push(&mut ds, Some(1.0), Some("a"), None);
+        let good = serde_json::to_string(&ds).unwrap();
+
+        // Declared row count disagreeing with the cells.
+        let bad = good.replace("\"n_rows\":1", "\"n_rows\":2");
+        assert!(serde_json::from_str::<Dataset>(&bad).is_err());
+        // A dictionary code pointing outside the dictionary.
+        let bad = good.replace("\"codes\":[0]", "\"codes\":[7]");
+        assert!(serde_json::from_str::<Dataset>(&bad).is_err());
+        // Numeric payload under a categorical attribute.
+        let bad = good.replace("\"cat\":{\"codes\":[0],\"dict\":[\"a\"]}", "\"num\":[null]");
+        assert!(serde_json::from_str::<Dataset>(&bad).is_err());
+        // Truncated column payload.
+        let bad = good.replace("\"num\":[1]", "\"num\":[]");
+        assert!(serde_json::from_str::<Dataset>(&bad).is_err());
     }
 
     #[test]

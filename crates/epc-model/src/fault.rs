@@ -10,7 +10,9 @@
 //! account for every diverted record.
 
 use crate::dataset::Dataset;
+use crate::jsonnum::{decode_f64, encode_f64};
 use crate::value::Value;
+use serde::Value as JsonValue;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -99,9 +101,126 @@ impl fmt::Display for RecordFault {
     }
 }
 
+// Checkpoint serde for [`RecordFault`] is hand-written rather than derived:
+// `OutOfRange` carries `f64` bounds, and the shim's derived float encoding is
+// lossy for `-0.0` and non-finite values (see [`crate::jsonnum`]). A resumed
+// run must rehydrate quarantine state exactly, so the float fields go through
+// the exact codec. The representation mirrors what the derive would emit for
+// the non-float variants (single-key object, unit variant as string).
+impl serde::Serialize for RecordFault {
+    fn to_json_value(&self) -> JsonValue {
+        let obj = |variant: &str, fields: Vec<(&str, JsonValue)>| {
+            let body = fields
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect::<serde::Map<String, JsonValue>>();
+            JsonValue::Object(
+                [(variant.to_owned(), JsonValue::Object(body))]
+                    .into_iter()
+                    .collect(),
+            )
+        };
+        match self {
+            RecordFault::CsvParse { line, reason } => obj(
+                "CsvParse",
+                vec![
+                    ("line", JsonValue::Num(*line as f64)),
+                    ("reason", JsonValue::Str(reason.clone())),
+                ],
+            ),
+            RecordFault::NonFinite { attribute } => obj(
+                "NonFinite",
+                vec![("attribute", JsonValue::Str(attribute.clone()))],
+            ),
+            RecordFault::OutOfRange {
+                attribute,
+                value,
+                min,
+                max,
+            } => obj(
+                "OutOfRange",
+                vec![
+                    ("attribute", JsonValue::Str(attribute.clone())),
+                    ("value", encode_f64(*value)),
+                    ("min", encode_f64(*min)),
+                    ("max", encode_f64(*max)),
+                ],
+            ),
+            RecordFault::UnknownCategory { attribute, value } => obj(
+                "UnknownCategory",
+                vec![
+                    ("attribute", JsonValue::Str(attribute.clone())),
+                    ("value", JsonValue::Str(value.clone())),
+                ],
+            ),
+            RecordFault::UnresolvableAddress => JsonValue::Str("UnresolvableAddress".to_owned()),
+            RecordFault::Injected { detail } => {
+                obj("Injected", vec![("detail", JsonValue::Str(detail.clone()))])
+            }
+        }
+    }
+}
+
+impl serde::Deserialize for RecordFault {
+    fn from_json_value(v: &JsonValue) -> Result<Self, serde::Error> {
+        fn field<'a>(
+            body: &'a JsonValue,
+            variant: &str,
+            name: &str,
+        ) -> Result<&'a JsonValue, serde::Error> {
+            body.get(name).ok_or_else(|| {
+                serde::Error::custom(format!("RecordFault::{variant} missing field {name:?}"))
+            })
+        }
+        fn string(v: &JsonValue) -> Result<String, serde::Error> {
+            v.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| serde::Error::mismatch("string", v))
+        }
+        match v {
+            JsonValue::Str(s) if s == "UnresolvableAddress" => Ok(RecordFault::UnresolvableAddress),
+            JsonValue::Object(map) => {
+                let (variant, body) = map
+                    .iter()
+                    .next()
+                    .ok_or_else(|| serde::Error::custom("empty RecordFault object"))?;
+                match variant.as_str() {
+                    "CsvParse" => Ok(RecordFault::CsvParse {
+                        line: field(body, variant, "line")?
+                            .as_u64()
+                            .ok_or_else(|| serde::Error::custom("CsvParse line must be a u64"))?
+                            as usize,
+                        reason: string(field(body, variant, "reason")?)?,
+                    }),
+                    "NonFinite" => Ok(RecordFault::NonFinite {
+                        attribute: string(field(body, variant, "attribute")?)?,
+                    }),
+                    "OutOfRange" => Ok(RecordFault::OutOfRange {
+                        attribute: string(field(body, variant, "attribute")?)?,
+                        value: decode_f64(field(body, variant, "value")?)?,
+                        min: decode_f64(field(body, variant, "min")?)?,
+                        max: decode_f64(field(body, variant, "max")?)?,
+                    }),
+                    "UnknownCategory" => Ok(RecordFault::UnknownCategory {
+                        attribute: string(field(body, variant, "attribute")?)?,
+                        value: string(field(body, variant, "value")?)?,
+                    }),
+                    "Injected" => Ok(RecordFault::Injected {
+                        detail: string(field(body, variant, "detail")?)?,
+                    }),
+                    other => Err(serde::Error::custom(format!(
+                        "unknown RecordFault variant {other:?}"
+                    ))),
+                }
+            }
+            other => Err(serde::Error::mismatch("RecordFault", other)),
+        }
+    }
+}
+
 /// One diverted record: a stable key (certificate id when available,
 /// otherwise a synthetic key), the source row when known, and the fault.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct QuarantinedRecord {
     /// Stable record key — survives row reordering, unlike indices.
     pub key: String,
@@ -113,7 +232,7 @@ pub struct QuarantinedRecord {
 
 /// The quarantine sink: collects diverted records in arrival order and
 /// answers exact per-kind accounting questions.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct Quarantine {
     records: Vec<QuarantinedRecord>,
 }
@@ -291,6 +410,77 @@ mod tests {
     use crate::dataset::Dataset;
     use crate::schema::Schema;
     use std::sync::Arc;
+
+    #[test]
+    fn quarantine_serde_round_trips_every_fault_kind() {
+        let mut q = Quarantine::new();
+        q.push(
+            "r1",
+            Some(3),
+            RecordFault::CsvParse {
+                line: 4,
+                reason: "bad arity".into(),
+            },
+        );
+        q.push(
+            "r2",
+            None,
+            RecordFault::NonFinite {
+                attribute: "x".into(),
+            },
+        );
+        q.push(
+            "r3",
+            Some(0),
+            RecordFault::OutOfRange {
+                attribute: "x".into(),
+                value: -0.0,
+                min: 0.5,
+                max: f64::INFINITY,
+            },
+        );
+        q.push(
+            "r4",
+            None,
+            RecordFault::UnknownCategory {
+                attribute: "c".into(),
+                value: "??".into(),
+            },
+        );
+        q.push("r5", Some(9), RecordFault::UnresolvableAddress);
+        q.push(
+            "r6",
+            None,
+            RecordFault::Injected {
+                detail: "bitflip".into(),
+            },
+        );
+
+        let text = serde_json::to_string(&q).unwrap();
+        let back: Quarantine = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.len(), 6);
+        assert_eq!(back.histogram(), q.histogram());
+        // The exact float codec keeps the -0.0 sign and the infinite bound.
+        match &back.records()[2].fault {
+            RecordFault::OutOfRange { value, max, .. } => {
+                assert!(*value == 0.0 && value.is_sign_negative());
+                assert_eq!(*max, f64::INFINITY);
+            }
+            other => panic!("wrong fault: {other:?}"),
+        }
+        assert_eq!(back, q);
+        // Re-serialization is byte-stable (journal determinism depends on it).
+        assert_eq!(serde_json::to_string(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn record_fault_serde_rejects_unknown_variants() {
+        use serde::Deserialize as _;
+        let bad = serde_json::from_str::<serde::Value>("{\"Exploded\":{}}").unwrap();
+        assert!(RecordFault::from_json_value(&bad).is_err());
+        let bad = serde_json::from_str::<serde::Value>("\"NotAUnitVariant\"").unwrap();
+        assert!(RecordFault::from_json_value(&bad).is_err());
+    }
 
     fn schema() -> Arc<Schema> {
         Arc::new(

@@ -36,6 +36,7 @@ pub mod dataset;
 pub mod error;
 pub mod fault;
 pub mod granularity;
+pub mod jsonnum;
 pub mod schema;
 pub mod value;
 pub mod wellknown;
@@ -45,5 +46,6 @@ pub use dataset::{Column, ColumnData, Dataset, Record, RowView};
 pub use error::ModelError;
 pub use fault::{scan_faults, Quarantine, QuarantinedRecord, RecordFault, ValidationPolicy};
 pub use granularity::Granularity;
+pub use jsonnum::{decode_f64, decode_opt_f64, encode_f64, encode_opt_f64};
 pub use schema::Schema;
 pub use value::Value;

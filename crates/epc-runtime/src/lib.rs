@@ -28,7 +28,7 @@
 
 mod report;
 
-pub use report::{PipelineReport, StageReport, StageTimer};
+pub use report::{Clock, ManualClock, PipelineReport, StageReport, StageTimer, WallClock};
 
 use std::num::NonZeroUsize;
 
@@ -58,6 +58,9 @@ impl RuntimeConfig {
     /// Reads the thread budget from the `INDICE_THREADS` environment
     /// variable; unset, empty, or unparsable values fall back to the
     /// machine default. `INDICE_THREADS=1` forces sequential execution.
+    ///
+    /// Prefer [`RuntimeConfig::try_from_env`] in user-facing entry points:
+    /// it reports malformed values instead of silently ignoring them.
     pub fn from_env() -> Self {
         match std::env::var(THREADS_ENV_VAR) {
             Ok(v) => match v.trim().parse::<usize>() {
@@ -66,6 +69,31 @@ impl RuntimeConfig {
             },
             Err(_) => RuntimeConfig::default(),
         }
+    }
+
+    /// Strictly validates an `INDICE_THREADS` value: `None` (unset) is the
+    /// machine default, anything set must be a positive integer. Pure, so
+    /// rejection paths are unit-testable without touching process state.
+    pub fn parse_threads(raw: Option<&str>) -> Result<Self, String> {
+        let Some(raw) = raw else {
+            return Ok(RuntimeConfig::default());
+        };
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(RuntimeConfig::new(n)),
+            Ok(0) => Err(format!(
+                "{THREADS_ENV_VAR} must be a positive integer, got 0"
+            )),
+            _ => Err(format!(
+                "{THREADS_ENV_VAR} must be a positive integer, got {raw:?}"
+            )),
+        }
+    }
+
+    /// Like [`RuntimeConfig::from_env`], but malformed values are an error
+    /// instead of a silent fallback.
+    pub fn try_from_env() -> Result<Self, String> {
+        let raw = std::env::var(THREADS_ENV_VAR).ok();
+        RuntimeConfig::parse_threads(raw.as_deref())
     }
 
     /// `true` when no worker threads will be spawned.
@@ -247,6 +275,30 @@ mod tests {
             RuntimeConfig::new(3),
             RuntimeConfig::new(8),
         ]
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(
+            RuntimeConfig::parse_threads(Some("4")).unwrap(),
+            RuntimeConfig::new(4)
+        );
+        assert_eq!(
+            RuntimeConfig::parse_threads(Some(" 1 ")).unwrap(),
+            RuntimeConfig::sequential()
+        );
+        assert_eq!(
+            RuntimeConfig::parse_threads(None).unwrap(),
+            RuntimeConfig::default()
+        );
+    }
+
+    #[test]
+    fn parse_threads_rejects_malformed_values() {
+        for bad in ["0", "-2", "abc", "", "4.5", "4 threads"] {
+            let err = RuntimeConfig::parse_threads(Some(bad)).unwrap_err();
+            assert!(err.contains(THREADS_ENV_VAR), "{err}");
+        }
     }
 
     #[test]

@@ -1,9 +1,88 @@
 //! Per-stage instrumentation: wall time, record counts, and quarantine
-//! accounting.
+//! accounting — plus the clock abstraction behind the stage deadline
+//! watchdog.
+//!
+//! This module is the one deliberate exemption from lint rule D2 (no
+//! wall-clock reads in chaos-hashed crates): timing here is
+//! instrumentation only and never reaches a hashed artifact. The
+//! [`Clock`] trait lets deadline enforcement stay deterministic under
+//! test — production uses [`WallClock`], tests script a [`ManualClock`].
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// A monotonic millisecond clock. The pipeline's deadline watchdog only
+/// ever *samples* the clock at stage boundaries, so any monotone source
+/// works — including a scripted one.
+pub trait Clock: Sync {
+    /// Milliseconds elapsed since an arbitrary (fixed) origin.
+    fn now_ms(&self) -> u64;
+}
+
+/// The production clock: monotonic time since construction.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+}
+
+/// A deterministic scripted clock: every [`Clock::now_ms`] call returns
+/// the current reading, then advances it by a fixed step. Two samples
+/// around a stage therefore always observe exactly `step_ms` of elapsed
+/// time — which makes deadline overruns reproducible in tests.
+#[derive(Debug)]
+pub struct ManualClock {
+    now: AtomicU64,
+    step_ms: u64,
+}
+
+impl ManualClock {
+    /// A clock starting at 0 that advances `step_ms` per sample.
+    pub fn advancing(step_ms: u64) -> Self {
+        ManualClock {
+            now: AtomicU64::new(0),
+            step_ms,
+        }
+    }
+
+    /// A frozen clock (never advances) — stages appear instantaneous.
+    pub fn frozen() -> Self {
+        ManualClock::advancing(0)
+    }
+
+    /// Jumps the clock to an absolute reading.
+    pub fn set(&self, now_ms: u64) {
+        self.now.store(now_ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.now.fetch_add(self.step_ms, Ordering::SeqCst)
+    }
+}
 
 /// Timing and throughput of one pipeline stage.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -206,5 +285,25 @@ mod tests {
         let r = StageTimer::start("x").finish(5, 5);
         assert_eq!(r.quarantined, 0);
         assert!(r.faults.is_empty());
+    }
+
+    #[test]
+    fn manual_clock_advances_per_sample() {
+        let c = ManualClock::advancing(250);
+        assert_eq!(c.now_ms(), 0);
+        assert_eq!(c.now_ms(), 250);
+        assert_eq!(c.now_ms(), 500);
+        c.set(10_000);
+        assert_eq!(c.now_ms(), 10_000);
+        let frozen = ManualClock::frozen();
+        assert_eq!(frozen.now_ms(), frozen.now_ms());
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
     }
 }

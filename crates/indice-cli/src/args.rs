@@ -1,7 +1,11 @@
 //! Dependency-free command-line argument parsing for the `indice` binary.
 
+use epc_faults::CrashSpec;
 use epc_query::Stakeholder;
 use std::collections::HashMap;
+
+/// Environment variable holding the per-stage deadline budget (ms).
+pub const STAGE_DEADLINE_ENV_VAR: &str = "INDICE_STAGE_DEADLINE_MS";
 
 /// Noise presets for `generate`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,14 +47,22 @@ pub enum Command {
         regions: String,
         /// Target stakeholder.
         stakeholder: Stakeholder,
-        /// Output directory.
+        /// The run directory (journal, checkpoints, and artifacts).
         out_dir: String,
+        /// Resume from the run directory's journal instead of starting
+        /// over (`--resume DIR` instead of `--out-dir DIR`).
+        resume: bool,
         /// Seed of the deterministic fault injector (chaos testing).
         fault_seed: u64,
         /// Fraction of records the injector corrupts (0 disables).
         fault_rate: f64,
         /// Fraction of geocoder calls the injector fails transiently.
         geocode_fail_rate: f64,
+        /// Abort (exit 1) when more than this fraction of input records
+        /// ends up quarantined.
+        max_quarantine_frac: Option<f64>,
+        /// Injected crash point for durability testing (`stage:point`).
+        crash_at: Option<CrashSpec>,
     },
     /// Print the auto-configuration advice for a collection.
     SuggestConfig {
@@ -78,8 +90,9 @@ USAGE:
   indice generate --records N [--seed S] [--noise none|default|heavy] --out-dir DIR
   indice describe --data epcs.csv
   indice run --data epcs.csv --streets street_map.txt --regions regions.json \\
-             [--stakeholder pa|citizen|scientist] --out-dir DIR \\
-             [--fault-seed S] [--fault-rate R] [--geocode-fail-rate R]
+             [--stakeholder pa|citizen|scientist] (--out-dir DIR | --resume DIR) \\
+             [--max-quarantine-frac F] [--fault-seed S] [--fault-rate R] \\
+             [--geocode-fail-rate R] [--crash-at STAGE:POINT]
   indice suggest-config --data epcs.csv
   indice clean --data epcs.csv --streets street_map.txt --out cleaned.csv
   indice help
@@ -89,11 +102,23 @@ into a quarantine, transient geocoder failures are retried with
 deterministic backoff (district-centroid fallback once the budget is
 exhausted), and an analytics failure degrades the dashboard instead of
 aborting. Exit codes: 0 complete, 3 degraded (partial output written),
-1 failed.
+1 failed, 70 injected crash.
+
+`run` is durable: every completed stage is checkpointed into the run
+directory with atomic writes and journaled in run.manifest.jsonl. After
+an interruption, `--resume DIR` validates the journal, skips every stage
+whose checkpoints verify, replays the rest, and finishes with artifacts
+byte-identical to an uninterrupted run.
+
+`--max-quarantine-frac F` aborts the run (exit 1) when more than the
+given fraction of input records ends up quarantined — a data-quality
+circuit breaker for unattended pipelines.
 
 `--fault-seed` / `--fault-rate` / `--geocode-fail-rate` attach a
 deterministic fault injector for chaos testing: the same seed and rates
 reproduce the same faults, quarantine, and outputs at any thread count.
+`--crash-at <stage>:<before|after|torn>` kills the run at the named
+commit point (durability testing; exit 70).
 
 ENVIRONMENT:
   INDICE_THREADS           thread budget for run/clean (default: all
@@ -101,6 +126,9 @@ ENVIRONMENT:
                            any value
   INDICE_GEOCODE_RETRIES   retry budget for transient geocoder failures
                            (default: 3)
+  INDICE_STAGE_DEADLINE_MS per-stage wall-clock budget in milliseconds;
+                           an overrunning stage degrades the run
+                           (default: unlimited)
 ";
 
 /// Parses `argv[1..]` into a [`Command`].
@@ -160,15 +188,40 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .unwrap_or(2024);
             let fault_rate = parse_rate(&flags, "fault-rate")?;
             let geocode_fail_rate = parse_rate(&flags, "geocode-fail-rate")?;
+            let (out_dir, resume) = match (flags.get("out-dir"), flags.get("resume")) {
+                (Some(_), Some(_)) => {
+                    return Err(
+                        "--out-dir and --resume are mutually exclusive (both name the run \
+                         directory; --resume continues from its journal)"
+                            .into(),
+                    )
+                }
+                (Some(dir), None) => (dir.clone(), false),
+                (None, Some(dir)) => (dir.clone(), true),
+                (None, None) => {
+                    return Err("missing required flag --out-dir (or --resume DIR)".into())
+                }
+            };
+            let max_quarantine_frac = match flags.get("max-quarantine-frac") {
+                Some(_) => Some(parse_rate(&flags, "max-quarantine-frac")?),
+                None => None,
+            };
+            let crash_at = flags
+                .get("crash-at")
+                .map(|raw| CrashSpec::parse(raw).map_err(|e| format!("--crash-at: {e}")))
+                .transpose()?;
             Ok(Command::Run {
                 data: get("data")?.clone(),
                 streets: get("streets")?.clone(),
                 regions: get("regions")?.clone(),
                 stakeholder,
-                out_dir: get("out-dir")?.clone(),
+                out_dir,
+                resume,
                 fault_seed,
                 fault_rate,
                 geocode_fail_rate,
+                max_quarantine_frac,
+                crash_at,
             })
         }
         "suggest-config" => Ok(Command::SuggestConfig {
@@ -180,6 +233,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             out: get("out")?.clone(),
         }),
         other => Err(format!("unknown command {other:?}; try `indice help`")),
+    }
+}
+
+/// Strictly validates an `INDICE_STAGE_DEADLINE_MS` value: `None` (unset)
+/// means no deadline, anything set must parse as a positive integer —
+/// a typo must fail loudly, not silently disable the watchdog.
+pub fn parse_stage_deadline_ms(raw: Option<&str>) -> Result<Option<u64>, String> {
+    let Some(raw) = raw else {
+        return Ok(None);
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(ms) if ms >= 1 => Ok(Some(ms)),
+        Ok(_) => Err(format!(
+            "{STAGE_DEADLINE_ENV_VAR} must be a positive integer (milliseconds), got 0"
+        )),
+        Err(_) => Err(format!(
+            "{STAGE_DEADLINE_ENV_VAR} must be a positive integer (milliseconds), got {raw:?}"
+        )),
     }
 }
 
@@ -453,6 +524,126 @@ mod tests {
             }
         );
         assert!(parse_args(&v(&["clean", "--data", "e.csv"])).is_err());
+    }
+
+    fn run_args(extra: &[&str]) -> Vec<String> {
+        let mut base = v(&[
+            "run",
+            "--data",
+            "e.csv",
+            "--streets",
+            "s.txt",
+            "--regions",
+            "r.json",
+        ]);
+        base.extend(extra.iter().map(|s| s.to_string()));
+        base
+    }
+
+    #[test]
+    fn run_resume_and_out_dir_are_exclusive() {
+        let err = parse_args(&run_args(&["--out-dir", "o", "--resume", "o"])).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = parse_args(&run_args(&[])).unwrap_err();
+        assert!(err.contains("--out-dir"), "{err}");
+    }
+
+    #[test]
+    fn run_resume_sets_the_run_dir() {
+        match parse_args(&run_args(&["--resume", "runs/x"])).unwrap() {
+            Command::Run {
+                out_dir, resume, ..
+            } => {
+                assert_eq!(out_dir, "runs/x");
+                assert!(resume);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&run_args(&["--out-dir", "runs/y"])).unwrap() {
+            Command::Run {
+                out_dir, resume, ..
+            } => {
+                assert_eq!(out_dir, "runs/y");
+                assert!(!resume);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_parses_max_quarantine_frac() {
+        match parse_args(&run_args(&[
+            "--out-dir",
+            "o",
+            "--max-quarantine-frac",
+            "0.25",
+        ]))
+        .unwrap()
+        {
+            Command::Run {
+                max_quarantine_frac,
+                ..
+            } => assert_eq!(max_quarantine_frac, Some(0.25)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&run_args(&["--out-dir", "o"])).unwrap() {
+            Command::Run {
+                max_quarantine_frac,
+                ..
+            } => assert_eq!(max_quarantine_frac, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        for bad in ["1.5", "-0.1", "abc"] {
+            assert!(
+                parse_args(&run_args(&["--out-dir", "o", "--max-quarantine-frac", bad])).is_err(),
+                "{bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn run_parses_crash_at() {
+        match parse_args(&run_args(&[
+            "--out-dir",
+            "o",
+            "--crash-at",
+            "analytics:torn",
+        ]))
+        .unwrap()
+        {
+            Command::Run { crash_at, .. } => {
+                assert_eq!(
+                    crash_at,
+                    Some(CrashSpec::Torn {
+                        stage: "analytics".into()
+                    })
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse_args(&run_args(&[
+            "--out-dir",
+            "o",
+            "--crash-at",
+            "analytics:during",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--crash-at"), "{err}");
+        assert!(err.contains("invalid crash spec"), "{err}");
+    }
+
+    #[test]
+    fn stage_deadline_env_is_strictly_validated() {
+        assert_eq!(parse_stage_deadline_ms(None).unwrap(), None);
+        assert_eq!(parse_stage_deadline_ms(Some("250")).unwrap(), Some(250));
+        assert_eq!(
+            parse_stage_deadline_ms(Some(" 90000 ")).unwrap(),
+            Some(90_000)
+        );
+        for bad in ["0", "-5", "fast", "1.5", ""] {
+            let err = parse_stage_deadline_ms(Some(bad)).unwrap_err();
+            assert!(err.contains(STAGE_DEADLINE_ENV_VAR), "{bad:?}: {err}");
+        }
     }
 
     #[test]

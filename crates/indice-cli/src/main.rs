@@ -10,20 +10,26 @@
 
 mod args;
 
-use args::{parse_args, Command, NoisePreset, USAGE};
-use epc_faults::{Corruption, DeterministicInjector};
+use args::{parse_args, Command, NoisePreset, STAGE_DEADLINE_ENV_VAR, USAGE};
+use epc_faults::{Corruption, CrashSpec, DeterministicInjector};
 use epc_geo::region::RegionHierarchy;
 use epc_geo::streetmap::StreetMap;
+use epc_journal::write_atomic_path;
 use epc_model::{Dataset, Quarantine};
 use epc_synth::noise::{apply_noise, NoiseConfig};
 use epc_synth::{EpcGenerator, SynthConfig};
 use indice::autoconfig::suggest_config;
 use indice::config::IndiceConfig;
+use indice::durable::DurableOptions;
 use indice::engine::Indice;
-use indice::pipeline::RunOutcome;
+use indice::pipeline::{RunOutcome, StageDeadline};
+use indice::IndiceError;
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
+
+/// Exit code of a run killed by an injected crash point (`--crash-at`).
+const CRASH_EXIT_CODE: u8 = 70;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -66,20 +72,27 @@ fn execute(command: Command) -> Result<ExitCode, String> {
             regions,
             stakeholder,
             out_dir,
+            resume,
             fault_seed,
             fault_rate,
             geocode_fail_rate,
+            max_quarantine_frac,
+            crash_at,
         } => run(
             &data,
             &streets,
             &regions,
             stakeholder,
             &out_dir,
+            resume,
             fault_seed,
             fault_rate,
             geocode_fail_rate,
+            max_quarantine_frac,
+            crash_at.as_ref(),
         ),
         Command::Clean { data, streets, out } => {
+            let runtime = epc_runtime::RuntimeConfig::try_from_env()?;
             let dataset = load_dataset(&data)?;
             let street_text =
                 fs::read_to_string(&streets).map_err(|e| format!("reading {streets}: {e}"))?;
@@ -88,11 +101,14 @@ fn execute(command: Command) -> Result<ExitCode, String> {
                 dataset,
                 &street_map,
                 &IndiceConfig::default(),
-                &epc_runtime::RuntimeConfig::from_env(),
+                &runtime,
             )
             .map_err(|e| format!("cleaning failed: {e}"))?;
-            fs::write(&out, epc_model::csv::to_csv(&result.dataset))
-                .map_err(|e| format!("writing {out}: {e}"))?;
+            write_atomic_path(
+                Path::new(&out),
+                epc_model::csv::to_csv(&result.dataset).as_bytes(),
+            )
+            .map_err(|e| format!("writing {out}: {e}"))?;
             println!(
                 "cleaned {} records ({} resolved by reference, {} by geocoder, {} unresolved); \
 removed {} outliers; wrote {} rows to {out}",
@@ -151,20 +167,19 @@ fn generate(records: usize, seed: u64, noise: NoisePreset, out_dir: &str) -> Res
         ),
     }
     let dir = Path::new(out_dir);
-    fs::create_dir_all(dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
-    fs::write(
-        dir.join("epcs.csv"),
-        epc_model::csv::to_csv(&collection.dataset),
+    write_atomic_path(
+        &dir.join("epcs.csv"),
+        epc_model::csv::to_csv(&collection.dataset).as_bytes(),
     )
     .map_err(|e| format!("writing epcs.csv: {e}"))?;
-    fs::write(
-        dir.join("street_map.txt"),
-        collection.city.street_map.to_text()?,
+    write_atomic_path(
+        &dir.join("street_map.txt"),
+        collection.city.street_map.to_text()?.as_bytes(),
     )
     .map_err(|e| format!("writing street_map.txt: {e}"))?;
     let regions = serde_json::to_string_pretty(&collection.city.hierarchy)
         .map_err(|e| format!("serializing regions: {e}"))?;
-    fs::write(dir.join("regions.json"), regions)
+    write_atomic_path(&dir.join("regions.json"), regions.as_bytes())
         .map_err(|e| format!("writing regions.json: {e}"))?;
     println!(
         "wrote {} certificates, {} street entries, {} regions to {out_dir}/",
@@ -182,12 +197,23 @@ fn run(
     regions: &str,
     stakeholder: epc_query::Stakeholder,
     out_dir: &str,
+    resume: bool,
     fault_seed: u64,
     fault_rate: f64,
     geocode_fail_rate: f64,
+    max_quarantine_frac: Option<f64>,
+    crash_at: Option<&CrashSpec>,
 ) -> Result<ExitCode, String> {
+    // Strict environment validation: a typo in a tuning knob must fail
+    // loudly up front, not silently fall back to a default.
+    let runtime = epc_runtime::RuntimeConfig::try_from_env()?;
+    let geocode_retries = epc_geo::geocode::try_geocode_retries_from_env()?;
+    let deadline_ms =
+        args::parse_stage_deadline_ms(std::env::var(STAGE_DEADLINE_ENV_VAR).ok().as_deref())?;
+
     // Lenient load: unparsable CSV rows are quarantined, not fatal.
     let (dataset, mut quarantine) = load_dataset_lenient(data)?;
+    let input_rows = dataset.n_rows() + quarantine.len();
     let street_text = fs::read_to_string(streets).map_err(|e| format!("reading {streets}: {e}"))?;
     let street_map = StreetMap::from_text(&street_text)?;
     let regions_text =
@@ -197,12 +223,11 @@ fn run(
 
     let mut config = IndiceConfig::default();
     // Retry budget for transient geocoder failures: INDICE_GEOCODE_RETRIES.
-    config.fault_tolerance.geocode_retries = epc_geo::geocode::geocode_retries_from_env();
+    config.fault_tolerance.geocode_retries = geocode_retries;
 
     // Thread budget comes from INDICE_THREADS (default: all hardware
     // threads); outputs are identical either way, only wall time changes.
-    let engine = Indice::new(dataset, street_map, hierarchy, config)
-        .with_runtime(epc_runtime::RuntimeConfig::from_env());
+    let engine = Indice::new(dataset, street_map, hierarchy, config).with_runtime(runtime);
 
     let injector = if fault_rate > 0.0 || geocode_fail_rate > 0.0 {
         Some(
@@ -216,11 +241,39 @@ fn run(
     } else {
         None
     };
-    let output = match &injector {
-        Some(inj) => engine.run_supervised_with_faults(stakeholder, inj),
-        None => engine.run_supervised(stakeholder),
+
+    // Every `run` is durable: stages are checkpointed into the run
+    // directory and journaled, so an interrupted run resumes with
+    // `--resume` and finishes byte-identical to an uninterrupted one.
+    let clock = epc_runtime::WallClock::new();
+    let mut opts = DurableOptions::new(out_dir);
+    if resume {
+        opts = opts.resuming();
+    }
+    if let Some(budget_ms) = deadline_ms {
+        opts = opts.with_deadline(StageDeadline {
+            budget_ms,
+            clock: &clock,
+        });
+    }
+    if let Some(spec) = crash_at {
+        opts = opts.with_crash(spec);
+    }
+    if let Some(inj) = &injector {
+        opts = opts.with_injector(inj);
+    }
+    let output = match engine.run_durable(stakeholder, &opts) {
+        Ok(output) => output,
+        Err(IndiceError::CrashInjected { stage, point }) => {
+            eprintln!(
+                "injected crash fired at stage '{stage}' ({point} commit); \
+                 resume with `indice run --resume {out_dir} ...`"
+            );
+            return Ok(ExitCode::from(CRASH_EXIT_CODE));
+        }
+        Err(e) => return Err(format!("durable run failed: {e}")),
     };
-    quarantine.merge(output.quarantine);
+    quarantine.merge(output.quarantine.clone());
 
     if let RunOutcome::Failed(e) = &output.outcome {
         print!("{}", output.report);
@@ -228,14 +281,32 @@ fn run(
         return Ok(ExitCode::FAILURE);
     }
 
-    let dir = Path::new(out_dir);
-    fs::create_dir_all(dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
-    if let Some(dashboard) = &output.dashboard {
-        fs::write(dir.join("dashboard.html"), dashboard.render_html())
-            .map_err(|e| format!("writing dashboard: {e}"))?;
+    // Data-quality circuit breaker: refuse to bless a run that diverted
+    // more than the allowed fraction of its input.
+    if let Some(max) = max_quarantine_frac {
+        let frac = if input_rows == 0 {
+            0.0
+        } else {
+            quarantine.len() as f64 / input_rows as f64
+        };
+        if frac > max {
+            print!("{}", output.report);
+            eprintln!(
+                "quarantine fraction {frac:.4} ({} of {input_rows} input records) exceeds \
+                 --max-quarantine-frac {max}; failing the run",
+                quarantine.len()
+            );
+            return Ok(ExitCode::FAILURE);
+        }
     }
-    for (name, content) in &output.artifacts {
-        fs::write(dir.join(name), content).map_err(|e| format!("writing {name}: {e}"))?;
+
+    if !output.journal_hits.is_empty() {
+        println!(
+            "resumed from journal: {} stage(s) validated and skipped ({}), {} replayed",
+            output.journal_hits.len(),
+            output.journal_hits.join(", "),
+            output.replayed.len()
+        );
     }
     print!("{}", output.report);
     let kept = output

@@ -243,6 +243,31 @@ impl Indice {
             degraded_stages: ctx.degraded_stages,
         }
     }
+
+    /// Runs the supervised pipeline *durably*: every completed stage is
+    /// checkpointed into `opts.run_dir` with atomic writes and journaled
+    /// in `run.manifest.jsonl`, so an interrupted run can be resumed
+    /// ([`crate::durable::DurableOptions::resume`]) and completes with
+    /// artifacts byte-identical to an uninterrupted run. `Err` is reserved
+    /// for durability I/O failures and injected crash points; pipeline
+    /// failures surface as [`RunOutcome::Failed`] inside the output.
+    pub fn run_durable(
+        &self,
+        stakeholder: Stakeholder,
+        opts: &crate::durable::DurableOptions<'_>,
+    ) -> Result<crate::durable::DurableOutput, IndiceError> {
+        crate::durable::run_durable_inner(
+            crate::durable::DurableInputs {
+                dataset: &self.dataset,
+                street_map: &self.street_map,
+                hierarchy: &self.hierarchy,
+                config: self.config_with_suggestions(),
+                runtime: self.runtime,
+            },
+            stakeholder,
+            opts,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -29,6 +29,16 @@ pub enum IndiceError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// A durable run's journal, checkpoint, or artifact I/O failed.
+    Durability(String),
+    /// An injected crash point fired ([`epc_faults::CrashSpec`]); the run
+    /// "died" here and is expected to be resumed.
+    CrashInjected {
+        /// Stage whose commit the crash targeted.
+        stage: String,
+        /// Crash point (`before`, `after`, `torn`).
+        point: String,
+    },
 }
 
 impl fmt::Display for IndiceError {
@@ -44,6 +54,13 @@ impl fmt::Display for IndiceError {
             IndiceError::Internal(msg) => write!(f, "internal pipeline error: {msg}"),
             IndiceError::StagePanicked { stage, message } => {
                 write!(f, "stage '{stage}' panicked: {message}")
+            }
+            IndiceError::Durability(msg) => write!(f, "durability error: {msg}"),
+            IndiceError::CrashInjected { stage, point } => {
+                write!(
+                    f,
+                    "injected crash fired at stage '{stage}' ({point} commit)"
+                )
             }
         }
     }

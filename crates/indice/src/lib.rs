@@ -62,8 +62,10 @@
 
 pub mod analytics;
 pub mod autoconfig;
+pub mod checkpoint;
 pub mod config;
 pub mod dashboard;
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod outliers;
@@ -74,10 +76,12 @@ pub use autoconfig::{suggest_config, ConfigAdvice};
 pub use config::{
     AnalyticsConfig, FaultToleranceConfig, IndiceConfig, KSelection, OutlierConfig, RuleStageConfig,
 };
+pub use durable::{DurableOptions, DurableOutput};
 pub use engine::{Indice, IndiceOutput, SupervisedOutput};
 pub use error::IndiceError;
 pub use outliers::UnivariateMethod;
 pub use pipeline::{
-    run_pipeline, run_pipeline_supervised, supervised_stages, AnalyticsStage, DashboardStage,
-    PipelineContext, PreprocessStage, RunOutcome, Stage, StagePolicy, StageStats,
+    run_pipeline, run_pipeline_supervised, run_pipeline_supervised_with, supervised_stages,
+    AnalyticsStage, DashboardStage, PipelineContext, PreprocessStage, RunOutcome, Stage,
+    StageDeadline, StagePolicy, StageStats,
 };

@@ -24,7 +24,7 @@ use epc_model::{wellknown as wk, Dataset, Quarantine};
 use epc_query::predicate::Predicate;
 use epc_query::query::Query;
 use epc_query::stakeholder::Stakeholder;
-use epc_runtime::{PipelineReport, RuntimeConfig, StageTimer};
+use epc_runtime::{Clock, PipelineReport, RuntimeConfig, StageTimer};
 use epc_viz::dashboard::Dashboard;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -337,76 +337,138 @@ pub fn supervised_stages() -> [(&'static dyn Stage, StagePolicy); 3] {
     ]
 }
 
-/// Runs `stages` under a supervisor: stage panics are caught, failures of
-/// [`StagePolicy::Degradable`] stages turn into degradation reasons
-/// instead of aborting, and per-stage quarantine deltas land in the
-/// report. Never returns `Err` — failure is the
-/// [`RunOutcome::Failed`] variant, paired with the partial report.
-pub fn run_pipeline_supervised(
-    stages: &[(&dyn Stage, StagePolicy)],
+/// Per-stage wall-clock budget, enforced by sampling `clock` immediately
+/// before and after each stage. The clock is injectable so deadline
+/// behaviour is deterministic under test ([`epc_runtime::ManualClock`])
+/// while production uses [`epc_runtime::WallClock`] — this module itself
+/// never reads the wall clock (lint rule D2).
+pub struct StageDeadline<'a> {
+    /// Budget each stage may spend, in milliseconds.
+    pub budget_ms: u64,
+    /// The clock sampled at stage boundaries.
+    pub clock: &'a dyn Clock,
+}
+
+/// How one supervised stage execution ended.
+pub(crate) enum StageExec {
+    /// The stage produced its product; its report entry is pushed.
+    Succeeded,
+    /// The stage failed, panicked, or overran its deadline, and the
+    /// supervisor degraded it; the reason belongs in the run outcome.
+    Degraded(String),
+    /// A required stage failed; the run cannot continue.
+    Failed(IndiceError),
+}
+
+/// Drops the product a degraded stage wrote into the context, so
+/// downstream stages (and resumed runs) behave exactly as if the stage
+/// had failed outright.
+fn discard_product(ctx: &mut PipelineContext<'_>, name: &str) {
+    match name {
+        "preprocess" => ctx.preprocess = None,
+        "analytics" => ctx.analytics = None,
+        "dashboard" => {
+            ctx.dashboard = None;
+            ctx.artifacts.clear();
+        }
+        _ => {}
+    }
+}
+
+/// Executes one stage under the supervisor: injector stage-kills fire as
+/// panics, panics are caught, quarantine deltas are accounted, and — when
+/// a [`StageDeadline`] is given — the stage's boundary-to-boundary time is
+/// checked against the budget. An overrunning [`StagePolicy::Degradable`]
+/// stage has its product discarded (the watchdog treats "too slow" as
+/// "failed"); an overrunning required stage keeps its product but still
+/// degrades the run outcome.
+pub(crate) fn execute_stage_supervised(
+    stage: &dyn Stage,
+    policy: StagePolicy,
     ctx: &mut PipelineContext<'_>,
-) -> (RunOutcome, PipelineReport) {
-    let mut report = PipelineReport::new(ctx.runtime.threads);
-    let mut reasons: Vec<String> = Vec::new();
-    for (stage, policy) in stages {
-        let name = stage.name();
-        let invocation = ctx.stage_invocations.entry(name).or_insert(0);
-        *invocation += 1;
-        let kill = ctx
-            .injector
-            .and_then(|inj| inj.fail_stage(name, *invocation));
-        let quarantined_before = ctx.quarantine.len();
-        let timer = StageTimer::start(name);
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            if let Some(msg) = kill {
-                panic!("{msg}");
-            }
-            stage.run(ctx)
-        }));
-        let quarantine_delta = ctx.quarantine.len().saturating_sub(quarantined_before);
-        let faults = ctx.quarantine.histogram_from(quarantined_before);
-        match outcome {
-            Ok(Ok(stats)) => {
-                report.push(timer.finish_detailed(
-                    stats.records_in,
-                    stats.records_out,
-                    quarantine_delta,
-                    faults,
-                ));
-            }
-            Ok(Err(e)) => match policy {
-                StagePolicy::Required => {
-                    report.push(timer.finish_detailed(0, 0, quarantine_delta, faults));
-                    return (RunOutcome::Failed(e), report);
+    report: &mut PipelineReport,
+    deadline: Option<&StageDeadline<'_>>,
+) -> StageExec {
+    let name = stage.name();
+    let invocation = ctx.stage_invocations.entry(name).or_insert(0);
+    *invocation += 1;
+    let kill = ctx
+        .injector
+        .and_then(|inj| inj.fail_stage(name, *invocation));
+    let quarantined_before = ctx.quarantine.len();
+    let started_ms = deadline.map(|d| d.clock.now_ms());
+    let timer = StageTimer::start(name);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(msg) = kill {
+            panic!("{msg}");
+        }
+        stage.run(ctx)
+    }));
+    let quarantine_delta = ctx.quarantine.len().saturating_sub(quarantined_before);
+    let faults = ctx.quarantine.histogram_from(quarantined_before);
+    match outcome {
+        Ok(Ok(stats)) => {
+            report.push(timer.finish_detailed(
+                stats.records_in,
+                stats.records_out,
+                quarantine_delta,
+                faults,
+            ));
+            if let (Some(d), Some(started)) = (deadline, started_ms) {
+                let elapsed = d.clock.now_ms().saturating_sub(started);
+                if elapsed > d.budget_ms {
+                    return match policy {
+                        StagePolicy::Degradable => {
+                            discard_product(ctx, name);
+                            ctx.degraded_stages.push(name.to_owned());
+                            StageExec::Degraded(format!(
+                                "stage '{name}' exceeded its deadline \
+                                 ({elapsed} ms > budget {} ms); product discarded",
+                                d.budget_ms
+                            ))
+                        }
+                        StagePolicy::Required => StageExec::Degraded(format!(
+                            "stage '{name}' exceeded its deadline \
+                             ({elapsed} ms > budget {} ms); required product kept",
+                            d.budget_ms
+                        )),
+                    };
                 }
+            }
+            StageExec::Succeeded
+        }
+        Ok(Err(e)) => {
+            report.push(timer.finish_detailed(0, 0, quarantine_delta, faults));
+            match policy {
+                StagePolicy::Required => StageExec::Failed(e),
                 StagePolicy::Degradable => {
-                    reasons.push(format!("stage '{name}' failed: {e}"));
                     ctx.degraded_stages.push(name.to_owned());
-                    report.push(timer.finish_detailed(0, 0, quarantine_delta, faults));
+                    StageExec::Degraded(format!("stage '{name}' failed: {e}"))
                 }
-            },
-            Err(payload) => {
-                let message = panic_message(payload);
-                match policy {
-                    StagePolicy::Required => {
-                        report.push(timer.finish_detailed(0, 0, quarantine_delta, faults));
-                        return (
-                            RunOutcome::Failed(IndiceError::StagePanicked {
-                                stage: name.to_owned(),
-                                message,
-                            }),
-                            report,
-                        );
-                    }
-                    StagePolicy::Degradable => {
-                        reasons.push(format!("stage '{name}' panicked: {message}"));
-                        ctx.degraded_stages.push(name.to_owned());
-                        report.push(timer.finish_detailed(0, 0, quarantine_delta, faults));
-                    }
+            }
+        }
+        Err(payload) => {
+            let message = panic_message(payload);
+            report.push(timer.finish_detailed(0, 0, quarantine_delta, faults));
+            match policy {
+                StagePolicy::Required => StageExec::Failed(IndiceError::StagePanicked {
+                    stage: name.to_owned(),
+                    message,
+                }),
+                StagePolicy::Degradable => {
+                    ctx.degraded_stages.push(name.to_owned());
+                    StageExec::Degraded(format!("stage '{name}' panicked: {message}"))
                 }
             }
         }
     }
+}
+
+/// Appends the run-level degradation reasons derived from the final
+/// context state (degraded geocodes, quarantined records) and folds
+/// everything into the run outcome. Shared by the supervised and durable
+/// runners so resumed runs report identical outcomes.
+pub(crate) fn finish_outcome(ctx: &PipelineContext<'_>, mut reasons: Vec<String>) -> RunOutcome {
     if let Some(p) = &ctx.preprocess {
         if p.cleaning.degraded > 0 {
             reasons.push(format!(
@@ -422,10 +484,42 @@ pub fn run_pipeline_supervised(
         ));
     }
     if reasons.is_empty() {
-        (RunOutcome::Complete, report)
+        RunOutcome::Complete
     } else {
-        (RunOutcome::Degraded(reasons), report)
+        RunOutcome::Degraded(reasons)
     }
+}
+
+/// Runs `stages` under a supervisor: stage panics are caught, failures of
+/// [`StagePolicy::Degradable`] stages turn into degradation reasons
+/// instead of aborting, and per-stage quarantine deltas land in the
+/// report. Never returns `Err` — failure is the
+/// [`RunOutcome::Failed`] variant, paired with the partial report.
+pub fn run_pipeline_supervised(
+    stages: &[(&dyn Stage, StagePolicy)],
+    ctx: &mut PipelineContext<'_>,
+) -> (RunOutcome, PipelineReport) {
+    run_pipeline_supervised_with(stages, ctx, None)
+}
+
+/// [`run_pipeline_supervised`] with an optional per-stage deadline budget:
+/// the watchdog samples the injected clock around each stage and degrades
+/// overrunning stages (see [`StageDeadline`]).
+pub fn run_pipeline_supervised_with(
+    stages: &[(&dyn Stage, StagePolicy)],
+    ctx: &mut PipelineContext<'_>,
+    deadline: Option<&StageDeadline<'_>>,
+) -> (RunOutcome, PipelineReport) {
+    let mut report = PipelineReport::new(ctx.runtime.threads);
+    let mut reasons: Vec<String> = Vec::new();
+    for (stage, policy) in stages {
+        match execute_stage_supervised(*stage, *policy, ctx, &mut report, deadline) {
+            StageExec::Succeeded => {}
+            StageExec::Degraded(reason) => reasons.push(reason),
+            StageExec::Failed(e) => return (RunOutcome::Failed(e), report),
+        }
+    }
+    (finish_outcome(ctx, reasons), report)
 }
 
 /// Extracts the human-readable message from a panic payload.
