@@ -4,15 +4,15 @@
 # external dependencies are local path shims (see shims/README.md).
 #
 # Usage: ./ci.sh [stage]
-#   stage: lint | fmt | clippy | tier1 | chaos | crash   (default: all, in order)
+#   stage: lint | fmt | clippy | tier1 | chaos | crash | obs   (default: all, in order)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 stage="${1:-all}"
 case "$stage" in
-  all|lint|fmt|clippy|tier1|chaos|crash) ;;
+  all|lint|fmt|clippy|tier1|chaos|crash|obs) ;;
   *)
-    echo "usage: $0 [lint|fmt|clippy|tier1|chaos|crash]" >&2
+    echo "usage: $0 [lint|fmt|clippy|tier1|chaos|crash|obs]" >&2
     exit 2
     ;;
 esac
@@ -138,6 +138,67 @@ if want crash; then
       exit 1
     fi
   done
+fi
+
+if want obs; then
+  echo "== obs: metrics/trace unit + golden-trace suites =="
+  cargo test -q --offline -p epc-obs
+  cargo test -q --offline -p indice --test observability
+  cargo test -q --offline -p indice-cli --test exit_codes
+
+  # The golden logical trace is part of the reviewed artifact surface:
+  # print its hash so a schema drift shows up in the CI log.
+  echo "== obs: golden trace hash =="
+  sha256sum tests/golden/observability_trace.jsonl
+
+  echo "== obs: CLI double-run determinism (metrics, trace, bench) =="
+  cargo build -q --release --offline -p indice-cli
+  INDICE="$(pwd)/target/release/indice"
+  OBS_DIR="$(mktemp -d)"
+  trap 'rm -rf ${CHAOS_DIR:+"$CHAOS_DIR"} ${CRASH_DIR:+"$CRASH_DIR"} "$OBS_DIR"' EXIT
+  "$INDICE" generate --records 600 --seed 5 --out-dir "$OBS_DIR/data" >/dev/null
+
+  obs_args=(run
+    --data "$OBS_DIR/data/epcs.csv"
+    --streets "$OBS_DIR/data/street_map.txt"
+    --regions "$OBS_DIR/data/regions.json"
+    --stakeholder citizen)
+
+  for i in 1 2; do
+    "$INDICE" "${obs_args[@]}" --out-dir "$OBS_DIR/run$i" \
+      --metrics-out "$OBS_DIR/metrics$i.json" \
+      --trace-out "$OBS_DIR/trace$i.jsonl" >/dev/null
+  done
+  # Metrics carry no wall-clock fields: byte-identical across runs.
+  if ! cmp -s "$OBS_DIR/metrics1.json" "$OBS_DIR/metrics2.json"; then
+    echo "FAIL: metrics snapshots differ between identical runs" >&2
+    exit 1
+  fi
+  # Traces are identical once wall-clock fields (wall_ms on every event,
+  # span_ms on span ends) are normalised — the logical stream contract.
+  normalise_trace() {
+    sed -E 's/"(wall_ms|span_ms)": [0-9]+/"\1": 0/g' "$1"
+  }
+  if [ "$(normalise_trace "$OBS_DIR/trace1.jsonl")" != \
+       "$(normalise_trace "$OBS_DIR/trace2.jsonl")" ]; then
+    echo "FAIL: logical trace streams differ between identical runs" >&2
+    exit 1
+  fi
+
+  for i in 1 2; do
+    "$INDICE" bench --records 600 --seed 5 --out "$OBS_DIR/bench$i.json" \
+      >/dev/null
+  done
+  # Everything but the wall-time-derived fields must reproduce exactly.
+  normalise_bench() {
+    sed -E 's/"(wall_ms|total_wall_ms)": [0-9]+/"\1": 0/g;
+            s/"records_per_sec": [0-9.]+/"records_per_sec": 0/g' "$1"
+  }
+  if [ "$(normalise_bench "$OBS_DIR/bench1.json")" != \
+       "$(normalise_bench "$OBS_DIR/bench2.json")" ]; then
+    echo "FAIL: bench snapshots differ in deterministic fields" >&2
+    exit 1
+  fi
 fi
 
 echo "CI OK ($stage)"

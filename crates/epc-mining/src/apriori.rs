@@ -114,6 +114,27 @@ impl FrequentItemset {
     }
 }
 
+/// Per-lattice-level counts captured by [`Apriori::mine_traced_with_runtime`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AprioriLevelStats {
+    /// Itemset size at this level (1 = single items).
+    pub level: usize,
+    /// Candidates generated for the level (level 1: distinct items seen).
+    pub candidates: usize,
+    /// Candidates discarded for missing the minimum support count.
+    pub pruned: usize,
+    /// Candidates surviving as frequent itemsets.
+    pub frequent: usize,
+}
+
+/// Level-by-level mining diagnostics; a pure function of the input data
+/// and miner parameters, so safe to trace deterministically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AprioriTrace {
+    /// One entry per lattice level actually explored, in level order.
+    pub levels: Vec<AprioriLevelStats>,
+}
+
 /// The Apriori miner.
 #[derive(Debug, Clone)]
 pub struct Apriori {
@@ -154,9 +175,21 @@ impl Apriori {
         data: &TransactionSet,
         runtime: &epc_runtime::RuntimeConfig,
     ) -> Vec<FrequentItemset> {
+        self.mine_traced_with_runtime(data, runtime).0
+    }
+
+    /// [`Apriori::mine_with_runtime`], additionally returning per-level
+    /// candidate/pruned/frequent counts for observability. The frequent
+    /// itemsets are exactly what the untraced mine produces.
+    pub fn mine_traced_with_runtime(
+        &self,
+        data: &TransactionSet,
+        runtime: &epc_runtime::RuntimeConfig,
+    ) -> (Vec<FrequentItemset>, AprioriTrace) {
+        let mut trace = AprioriTrace::default();
         let n = data.len();
         if n == 0 || self.min_support <= 0.0 {
-            return Vec::new();
+            return (Vec::new(), trace);
         }
         let min_count = (self.min_support * n as f64).ceil().max(1.0) as usize;
 
@@ -168,6 +201,7 @@ impl Apriori {
                 *item_counts.entry(i).or_insert(0) += 1;
             }
         }
+        let n_items = item_counts.len();
         let mut current: Vec<FrequentItemset> = item_counts
             .into_iter()
             .filter(|&(_, c)| c >= min_count)
@@ -177,6 +211,12 @@ impl Apriori {
             })
             .collect();
         current.sort_by(|a, b| a.items.cmp(&b.items));
+        trace.levels.push(AprioriLevelStats {
+            level: 1,
+            candidates: n_items,
+            pruned: n_items - current.len(),
+            frequent: current.len(),
+        });
 
         let mut all = current.clone();
         let mut k = 1usize;
@@ -186,6 +226,7 @@ impl Apriori {
             if candidates.is_empty() {
                 break;
             }
+            let n_candidates = candidates.len();
             // Count candidate supports with one (chunk-parallel) pass over
             // the transactions.
             let counts = epc_runtime::par_reduce(
@@ -217,9 +258,15 @@ impl Apriori {
                 .map(|(items, count)| FrequentItemset { items, count })
                 .collect();
             current.sort_by(|a, b| a.items.cmp(&b.items));
+            trace.levels.push(AprioriLevelStats {
+                level: k,
+                candidates: n_candidates,
+                pruned: n_candidates - current.len(),
+                frequent: current.len(),
+            });
             all.extend(current.iter().cloned());
         }
-        all
+        (all, trace)
     }
 }
 
@@ -418,6 +465,28 @@ mod tests {
             let par = miner.mine_with_runtime(&data, &epc_runtime::RuntimeConfig::new(threads));
             assert_eq!(par, seq, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn traced_mine_matches_untraced_and_counts_conserve() {
+        let data = market();
+        let miner = Apriori {
+            min_support: 0.4,
+            max_len: 3,
+        };
+        let plain = miner.mine(&data);
+        let (traced, trace) =
+            miner.mine_traced_with_runtime(&data, &epc_runtime::RuntimeConfig::sequential());
+        assert_eq!(traced, plain);
+        assert!(!trace.levels.is_empty());
+        assert_eq!(trace.levels[0].level, 1);
+        assert_eq!(trace.levels[0].candidates, 6, "six distinct items");
+        for (i, level) in trace.levels.iter().enumerate() {
+            assert_eq!(level.level, i + 1, "levels are dense");
+            assert_eq!(level.candidates, level.pruned + level.frequent);
+        }
+        let total_frequent: usize = trace.levels.iter().map(|l| l.frequent).sum();
+        assert_eq!(total_frequent, plain.len());
     }
 
     #[test]

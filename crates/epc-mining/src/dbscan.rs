@@ -39,6 +39,11 @@ pub struct DbscanResult {
     pub labels: Vec<DbscanLabel>,
     /// Number of clusters found.
     pub n_clusters: usize,
+    /// ε-neighbourhood scans performed (one per point — observability).
+    pub region_queries: usize,
+    /// Total neighbour links found across all region queries (self links
+    /// included); `links / queries` is the mean neighbourhood size.
+    pub neighbour_links: usize,
 }
 
 impl DbscanResult {
@@ -94,6 +99,7 @@ pub fn dbscan_with_runtime(
     let points: Vec<usize> = (0..n).collect();
     let neighbours: Vec<Vec<usize>> =
         epc_runtime::par_map(runtime, &points, |&p| region_query(data, p, config.eps));
+    let neighbour_links = neighbours.iter().map(Vec::len).sum();
 
     let mut label = vec![UNVISITED; n];
     let mut n_clusters = 0usize;
@@ -136,7 +142,12 @@ pub fn dbscan_with_runtime(
             }
         })
         .collect();
-    DbscanResult { labels, n_clusters }
+    DbscanResult {
+        labels,
+        n_clusters,
+        region_queries: n,
+        neighbour_links,
+    }
 }
 
 /// Indices within `eps` of point `p` (including `p` itself).
@@ -278,6 +289,24 @@ mod tests {
         );
         assert_eq!(res.n_clusters, 0);
         assert!(res.labels.is_empty());
+    }
+
+    #[test]
+    fn scan_stats_are_recorded() {
+        let (data, _) = blobs_with_noise();
+        let res = dbscan(
+            &data,
+            &DbscanConfig {
+                eps: 1.0,
+                min_points: 4,
+            },
+        );
+        assert_eq!(res.region_queries, data.n_rows());
+        // Every point is within eps of itself, and neighbourhood
+        // membership is symmetric, so links ≥ n and links is even-summed
+        // consistently across thread budgets (checked by the equality
+        // assertions in `parallel_run_matches_sequential`).
+        assert!(res.neighbour_links >= data.n_rows());
     }
 
     #[test]

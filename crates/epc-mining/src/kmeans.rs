@@ -97,6 +97,19 @@ impl KMeansModel {
     }
 }
 
+/// Per-round diagnostics captured by [`KMeans::fit_traced`].
+///
+/// The inertia sequence is accumulated sequentially in row order from
+/// per-point distances the parallel assignment step already computes, so
+/// it is bitwise identical for any thread budget — observability never
+/// perturbs the fit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KMeansFitTrace {
+    /// Total within-cluster squared distance (inertia) measured by each
+    /// Lloyd assignment round, against that round's incoming centroids.
+    pub round_inertia: Vec<f64>,
+}
+
 /// The K-means estimator.
 #[derive(Debug, Clone)]
 pub struct KMeans {
@@ -126,6 +139,17 @@ impl KMeans {
         data: &Matrix,
         runtime: &epc_runtime::RuntimeConfig,
     ) -> Option<KMeansModel> {
+        self.fit_traced(data, runtime).map(|(model, _)| model)
+    }
+
+    /// [`KMeans::fit_with_runtime`], additionally returning the per-round
+    /// [`KMeansFitTrace`] for observability. The fitted model is exactly
+    /// what the untraced fit produces.
+    pub fn fit_traced(
+        &self,
+        data: &Matrix,
+        runtime: &epc_runtime::RuntimeConfig,
+    ) -> Option<(KMeansModel, KMeansFitTrace)> {
         let k = self.config.k;
         let n = data.n_rows();
         if k == 0 || n == 0 || n < k {
@@ -141,13 +165,21 @@ impl KMeans {
         let mut assignments = vec![0usize; n];
         let mut n_iter = 0;
         let mut converged = false;
+        let mut trace = KMeansFitTrace::default();
 
         for iter in 0..self.config.max_iter {
             n_iter = iter + 1;
-            // Assignment step (parallel; pure per row).
-            assignments = epc_runtime::par_map(runtime, &rows_idx, |&i| {
-                nearest_centroid(data.row(i), &centroids).0
+            // Assignment step (parallel; pure per row). The distances ride
+            // along for the round-inertia trace, folded sequentially below.
+            let assigned = epc_runtime::par_map(runtime, &rows_idx, |&i| {
+                nearest_centroid(data.row(i), &centroids)
             });
+            let mut round_inertia = 0.0;
+            for (i, &(c, d2)) in assigned.iter().enumerate() {
+                assignments[i] = c;
+                round_inertia += d2;
+            }
+            trace.round_inertia.push(round_inertia);
             // Update step.
             let mut new_centroids = Matrix::zeros(k, data.n_cols());
             let mut counts = vec![0usize; k];
@@ -194,13 +226,16 @@ impl KMeans {
             assignments[i] = c;
             sse += d2;
         }
-        Some(KMeansModel {
-            centroids,
-            assignments,
-            sse,
-            n_iter,
-            converged,
-        })
+        Some((
+            KMeansModel {
+                centroids,
+                assignments,
+                sse,
+                n_iter,
+                converged,
+            },
+            trace,
+        ))
     }
 }
 
@@ -411,6 +446,28 @@ mod tests {
             assert_eq!(par.sse.to_bits(), seq.sse.to_bits(), "threads = {threads}");
             assert_eq!(par.centroids, seq.centroids, "threads = {threads}");
             assert_eq!(par.n_iter, seq.n_iter, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn traced_fit_matches_untraced_and_inertia_is_monotone() {
+        let data = blobs();
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 11,
+            ..Default::default()
+        };
+        let plain = KMeans::new(cfg.clone()).fit(&data).unwrap();
+        for threads in [1usize, 2, 8] {
+            let rt = epc_runtime::RuntimeConfig::new(threads);
+            let (model, trace) = KMeans::new(cfg.clone()).fit_traced(&data, &rt).unwrap();
+            assert_eq!(model, plain, "threads = {threads}");
+            assert_eq!(trace.round_inertia.len(), model.n_iter);
+            for pair in trace.round_inertia.windows(2) {
+                assert!(pair[1] <= pair[0] + 1e-9, "Lloyd inertia is monotone");
+            }
+            // The final model SSE can only improve on the last round.
+            assert!(model.sse <= trace.round_inertia[model.n_iter - 1] + 1e-9);
         }
     }
 

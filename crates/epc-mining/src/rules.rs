@@ -5,7 +5,7 @@
 //! goodness measures are used … Default thresholds are set by INDICE
 //! however the end-user could change the default values."
 
-use crate::apriori::{Apriori, FrequentItemset, ItemDictionary, TransactionSet};
+use crate::apriori::{Apriori, AprioriTrace, FrequentItemset, ItemDictionary, TransactionSet};
 use std::collections::BTreeMap;
 
 /// An association rule `A → B` with its quality indices.
@@ -78,12 +78,24 @@ pub fn mine_rules_with_runtime(
     config: &RuleConfig,
     runtime: &epc_runtime::RuntimeConfig,
 ) -> Vec<AssociationRule> {
-    let frequent = Apriori {
+    mine_rules_traced_with_runtime(data, config, runtime).0
+}
+
+/// [`mine_rules_with_runtime`], additionally returning the Apriori
+/// per-level [`AprioriTrace`] for observability. The rules are exactly
+/// what the untraced call produces.
+pub fn mine_rules_traced_with_runtime(
+    data: &TransactionSet,
+    config: &RuleConfig,
+    runtime: &epc_runtime::RuntimeConfig,
+) -> (Vec<AssociationRule>, AprioriTrace) {
+    let (frequent, trace) = Apriori {
         min_support: config.min_support,
         max_len: config.max_len,
     }
-    .mine_with_runtime(data, runtime);
-    rules_from_frequent(&frequent, &data.dict, data.len(), config)
+    .mine_traced_with_runtime(data, runtime);
+    let rules = rules_from_frequent(&frequent, &data.dict, data.len(), config);
+    (rules, trace)
 }
 
 /// Generates rules from pre-mined frequent itemsets.

@@ -1,0 +1,34 @@
+//! # epc-obs
+//!
+//! Observability substrate for the INDICE engine: a deterministic
+//! [`MetricsRegistry`] (counters, gauges, fixed-bucket histograms with
+//! Prometheus-style text and JSON exposition) plus structured span
+//! tracing ([`Obs`], [`SpanGuard`], [`Tracer`]) whose logical event
+//! stream is a pure function of the input data.
+//!
+//! ## Determinism contract
+//!
+//! The paper's dashboards must be reproducible; so must the engine's
+//! self-description. Two rules make the trace a regression oracle rather
+//! than a log:
+//!
+//! 1. **Orchestrator-only emission.** Events and metrics are recorded
+//!    only from the single orchestrating thread of control. Parallel
+//!    kernels (`par_map` workers) never touch `Obs`; they return stats
+//!    which the orchestrator records after the join. Event *order* is
+//!    therefore independent of `INDICE_THREADS`.
+//! 2. **Injected time.** Durations are read exclusively through
+//!    [`epc_runtime::Clock`], exactly once per event. Every event splits
+//!    into a *logical* part (dense `seq`, name, kind, data fields) and
+//!    the single `wall_ms` sample. [`Tracer::logical_jsonl`] projects
+//!    the wall sample away; under a [`epc_runtime::ManualClock`] even
+//!    the full stream is bitwise identical across thread budgets.
+//!
+//! The lint suite's D2 rule (no ambient wall-clock reads) covers this
+//! crate, which is why no `std::time` type appears here at all.
+
+mod metrics;
+mod trace;
+
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use trace::{EventKind, FieldValue, Obs, SpanGuard, TraceEvent, Tracer};

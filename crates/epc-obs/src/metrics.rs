@@ -1,0 +1,431 @@
+//! Deterministic metrics registry.
+//!
+//! Three instrument kinds, all keyed by name in `BTreeMap`s so every
+//! exposition is in one total order regardless of registration order:
+//!
+//! - **counters** — monotone `u64` sums (`inc`),
+//! - **gauges** — last-written `i64` levels (`set_gauge`),
+//! - **histograms** — fixed-bucket `u64` distributions (`observe`).
+//!
+//! Values are pure functions of the observations fed in: the registry
+//! never reads a clock or any other ambient state, so two runs over the
+//! same data expose byte-identical text. Durations may be *observed into*
+//! a registry, but only from values sampled through
+//! [`epc_runtime::Clock`] by the caller.
+//!
+//! [`MetricsRegistry::merge`] folds a shard's snapshot into an aggregate
+//! (counters add, histograms add bucket-wise, gauges last-write-wins),
+//! which is what makes per-shard collection equal sequential collection —
+//! the property pinned by this crate's proptests.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, MutexGuard};
+
+/// Fixed-bucket histogram over `u64` observations.
+///
+/// `bounds` are inclusive upper bucket edges; one implicit `+Inf` bucket
+/// catches overflow, so `counts.len() == bounds.len() + 1`. Two
+/// histograms merge only when their bounds are identical — merging is
+/// then a bucket-wise add, which is associative, commutative, and
+/// conserves the total observation count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    sum: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Empty histogram with the given inclusive upper bucket edges
+    /// (sorted and deduplicated; an implicit `+Inf` bucket is appended).
+    pub fn new(bounds: &[u64]) -> Self {
+        let mut edges = bounds.to_vec();
+        edges.sort_unstable();
+        edges.dedup();
+        let n = edges.len();
+        Histogram {
+            bounds: edges,
+            counts: vec![0; n + 1],
+            sum: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation into the first bucket whose edge admits it.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&edge| value <= edge)
+            .unwrap_or(self.bounds.len());
+        if let Some(slot) = self.counts.get_mut(idx) {
+            *slot += 1;
+        }
+        self.sum = self.sum.saturating_add(value);
+        self.total += 1;
+    }
+
+    /// Adds `other`'s buckets into `self`. Returns `false` (and leaves
+    /// `self` untouched) when the bucket layouts differ.
+    pub fn merge(&mut self, other: &Histogram) -> bool {
+        if self.bounds != other.bounds {
+            return false;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.total += other.total;
+        true
+    }
+
+    /// Inclusive upper bucket edges (excluding the implicit `+Inf`).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket observation counts; the last entry is the `+Inf` bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Saturating sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Point-in-time copy of a registry's state; the unit of [`merge`].
+///
+/// [`merge`]: MetricsRegistry::merge
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Monotone sums.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-written levels.
+    pub gauges: BTreeMap<String, i64>,
+    /// Fixed-bucket distributions.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+/// Shared-reference metrics sink: interior mutability so pipeline stages
+/// can record through a plain `&MetricsRegistry`.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<MetricsSnapshot>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Metric values are plain data, so a poisoned lock (a panicking
+    /// stage mid-record) cannot leave them in a torn state — recover the
+    /// guard instead of propagating the poison.
+    fn lock(&self) -> MutexGuard<'_, MetricsSnapshot> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Adds `by` to the named counter (created at zero on first use).
+    pub fn inc(&self, name: &str, by: u64) {
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        self.lock().gauges.insert(name.to_owned(), value);
+    }
+
+    /// Records `value` into the named histogram, created with `bounds` on
+    /// first use (later calls keep the original bucket layout).
+    pub fn observe(&self, name: &str, bounds: &[u64], value: u64) {
+        let mut inner = self.lock();
+        inner
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Current value of a counter (zero when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Copy of a histogram, if ever observed into.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.lock().histograms.get(name).cloned()
+    }
+
+    /// Copies out the full registry state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.lock().clone()
+    }
+
+    /// Folds a shard snapshot into this registry: counters add,
+    /// histograms add bucket-wise (a layout mismatch is recorded under
+    /// the `obs_merge_bucket_mismatch` counter instead of guessing),
+    /// gauges are last-write-wins.
+    pub fn merge(&self, shard: &MetricsSnapshot) {
+        let mut inner = self.lock();
+        for (name, value) in &shard.counters {
+            *inner.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &shard.gauges {
+            inner.gauges.insert(name.clone(), *value);
+        }
+        let mut mismatches = 0u64;
+        for (name, theirs) in &shard.histograms {
+            match inner.histograms.get_mut(name) {
+                Some(mine) => {
+                    if !mine.merge(theirs) {
+                        mismatches += 1;
+                    }
+                }
+                None => {
+                    inner.histograms.insert(name.clone(), theirs.clone());
+                }
+            }
+        }
+        if mismatches > 0 {
+            *inner
+                .counters
+                .entry("obs_merge_bucket_mismatch".to_owned())
+                .or_insert(0) += mismatches;
+        }
+    }
+
+    /// Prometheus-style text exposition, in total (sorted) name order.
+    pub fn expose_text(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for (name, value) in &inner.counters {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+        }
+        for (name, value) in &inner.gauges {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+        }
+        for (name, hist) in &inner.histograms {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (idx, count) in hist.counts.iter().enumerate() {
+                cumulative += count;
+                let edge = hist
+                    .bounds
+                    .get(idx)
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "+Inf".to_owned());
+                let _ = writeln!(out, "{name}_bucket{{le=\"{edge}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", hist.sum, hist.total);
+        }
+        out
+    }
+
+    /// JSON exposition (hand-rolled codec — this crate is std-only).
+    /// Shape: `{"counters":{...},"gauges":{...},"histograms":{name:
+    /// {"bounds":[...],"counts":[...],"sum":n,"count":n}}}`.
+    pub fn to_json(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::from("{\n  \"counters\": {");
+        append_map(&mut out, &inner.counters, |o, v| {
+            let _ = write!(o, "{v}");
+        });
+        out.push_str("},\n  \"gauges\": {");
+        append_map(&mut out, &inner.gauges, |o, v| {
+            let _ = write!(o, "{v}");
+        });
+        out.push_str("},\n  \"histograms\": {");
+        append_map(&mut out, &inner.histograms, |o, h| {
+            o.push_str("{\"bounds\": [");
+            push_joined(o, h.bounds.iter());
+            o.push_str("], \"counts\": [");
+            push_joined(o, h.counts.iter());
+            let _ = write!(o, "], \"sum\": {}, \"count\": {}}}", h.sum, h.total);
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Maps characters outside `[A-Za-z0-9_:]` to `_` (Prometheus name rule).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub(crate) fn escape_json(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn append_map<V>(out: &mut String, map: &BTreeMap<String, V>, emit: impl Fn(&mut String, &V)) {
+    let mut first = true;
+    for (key, value) in map {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    \"{}\": ", escape_json(key));
+        emit(out, value);
+    }
+    if !map.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+fn push_joined<T: std::fmt::Display>(out: &mut String, items: impl Iterator<Item = T>) {
+    let mut first = true;
+    for item in items {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "{item}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[10, 100]);
+        for v in [1, 10, 11, 100, 101, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[2, 2, 2]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1 + 10 + 11 + 100 + 101 + 5000);
+    }
+
+    #[test]
+    fn histogram_merge_requires_matching_bounds() {
+        let mut a = Histogram::new(&[10]);
+        a.observe(3);
+        let mut b = Histogram::new(&[10]);
+        b.observe(30);
+        assert!(a.merge(&b));
+        assert_eq!(a.counts(), &[1, 1]);
+        let other = Histogram::new(&[20]);
+        assert!(!a.merge(&other));
+        assert_eq!(a.count(), 2, "failed merge must not mutate");
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.inc("records", 3);
+        reg.inc("records", 4);
+        reg.set_gauge("chosen_k", 5);
+        reg.observe("latency", &[1, 10], 7);
+        assert_eq!(reg.counter("records"), 7);
+        assert_eq!(reg.counter("missing"), 0);
+        assert_eq!(reg.gauge("chosen_k"), Some(5));
+        let hist = reg.histogram("latency").expect("observed");
+        assert_eq!(hist.count(), 1);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets() {
+        let total = MetricsRegistry::new();
+        let shard_a = MetricsRegistry::new();
+        let shard_b = MetricsRegistry::new();
+        shard_a.inc("n", 2);
+        shard_b.inc("n", 5);
+        shard_a.observe("h", &[10], 3);
+        shard_b.observe("h", &[10], 30);
+        total.merge(&shard_a.snapshot());
+        total.merge(&shard_b.snapshot());
+        assert_eq!(total.counter("n"), 7);
+        let hist = total.histogram("h").expect("merged");
+        assert_eq!(hist.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn merge_records_bucket_mismatch() {
+        let total = MetricsRegistry::new();
+        total.observe("h", &[10], 1);
+        let shard = MetricsRegistry::new();
+        shard.observe("h", &[99], 1);
+        total.merge(&shard.snapshot());
+        assert_eq!(total.counter("obs_merge_bucket_mismatch"), 1);
+    }
+
+    #[test]
+    fn text_exposition_is_sorted_and_cumulative() {
+        let reg = MetricsRegistry::new();
+        reg.inc("zulu", 1);
+        reg.inc("alpha", 2);
+        reg.observe("lat.ms", &[10], 3);
+        reg.observe("lat.ms", &[10], 300);
+        let text = reg.expose_text();
+        let alpha = text.find("alpha 2").expect("alpha");
+        let zulu = text.find("zulu 1").expect("zulu");
+        assert!(alpha < zulu, "sorted order:\n{text}");
+        assert!(text.contains("lat_ms_bucket{le=\"10\"} 1"), "{text}");
+        assert!(text.contains("lat_ms_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("lat_ms_count 2"), "{text}");
+    }
+
+    #[test]
+    fn json_exposition_shape() {
+        let reg = MetricsRegistry::new();
+        reg.inc("a", 1);
+        reg.set_gauge("g", -2);
+        reg.observe("h", &[5], 9);
+        let json = reg.to_json();
+        assert!(json.contains("\"a\": 1"), "{json}");
+        assert!(json.contains("\"g\": -2"), "{json}");
+        assert!(
+            json.contains("{\"bounds\": [5], \"counts\": [0, 1], \"sum\": 9, \"count\": 1}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn escape_json_handles_controls() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

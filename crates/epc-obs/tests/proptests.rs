@@ -1,0 +1,117 @@
+//! Property tests for the metrics registry, mirroring the epc-runtime
+//! determinism proptests: histogram merge is associative and commutative
+//! and conserves bucket counts; counter aggregation across arbitrary
+//! shard splits equals the sequential sum.
+// Test code: panicking on malformed setup is the desired behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use epc_obs::{Histogram, MetricsRegistry};
+use proptest::prelude::*;
+
+const BOUNDS: [u64; 4] = [10, 100, 1_000, 10_000];
+
+fn filled(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new(&BOUNDS);
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_merge_is_commutative(
+        a in prop::collection::vec(0u64..100_000, 0..64),
+        b in prop::collection::vec(0u64..100_000, 0..64),
+    ) {
+        let mut ab = filled(&a);
+        prop_assert!(ab.merge(&filled(&b)));
+        let mut ba = filled(&b);
+        prop_assert!(ba.merge(&filled(&a)));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(
+        a in prop::collection::vec(0u64..100_000, 0..64),
+        b in prop::collection::vec(0u64..100_000, 0..64),
+        c in prop::collection::vec(0u64..100_000, 0..64),
+    ) {
+        // (a ⊕ b) ⊕ c
+        let mut left = filled(&a);
+        prop_assert!(left.merge(&filled(&b)));
+        prop_assert!(left.merge(&filled(&c)));
+        // a ⊕ (b ⊕ c)
+        let mut bc = filled(&b);
+        prop_assert!(bc.merge(&filled(&c)));
+        let mut right = filled(&a);
+        prop_assert!(right.merge(&bc));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn histogram_merge_conserves_counts(
+        a in prop::collection::vec(0u64..100_000, 0..64),
+        b in prop::collection::vec(0u64..100_000, 0..64),
+    ) {
+        let mut merged = filled(&a);
+        prop_assert!(merged.merge(&filled(&b)));
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(
+            merged.counts().iter().sum::<u64>(),
+            (a.len() + b.len()) as u64,
+            "every observation lands in exactly one bucket"
+        );
+        let direct: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(merged, filled(&direct), "merge equals re-observation");
+    }
+
+    #[test]
+    fn sharded_counters_equal_sequential_sum(
+        increments in prop::collection::vec((0usize..4, 0u64..1_000), 0..128),
+        n_shards in 1usize..5,
+    ) {
+        let names = ["a", "b", "c", "d"];
+        // Sequential reference: one registry sees every increment.
+        let sequential = MetricsRegistry::new();
+        for &(which, by) in &increments {
+            sequential.inc(names[which], by);
+        }
+        // Sharded: increments split round-robin across shards (the split
+        // is arbitrary — any partition must aggregate to the same sums),
+        // then folded into one aggregate.
+        let shards: Vec<MetricsRegistry> =
+            (0..n_shards).map(|_| MetricsRegistry::new()).collect();
+        for (i, &(which, by)) in increments.iter().enumerate() {
+            shards[i % n_shards].inc(names[which], by);
+        }
+        let aggregate = MetricsRegistry::new();
+        for shard in &shards {
+            aggregate.merge(&shard.snapshot());
+        }
+        prop_assert_eq!(aggregate.snapshot(), sequential.snapshot());
+    }
+
+    #[test]
+    fn sharded_histograms_equal_sequential(
+        values in prop::collection::vec(0u64..100_000, 0..128),
+        n_shards in 1usize..5,
+    ) {
+        let sequential = MetricsRegistry::new();
+        for &v in &values {
+            sequential.observe("h", &BOUNDS, v);
+        }
+        let shards: Vec<MetricsRegistry> =
+            (0..n_shards).map(|_| MetricsRegistry::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % n_shards].observe("h", &BOUNDS, v);
+        }
+        let aggregate = MetricsRegistry::new();
+        for shard in &shards {
+            aggregate.merge(&shard.snapshot());
+        }
+        prop_assert_eq!(aggregate.snapshot(), sequential.snapshot());
+    }
+}

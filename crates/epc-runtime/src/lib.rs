@@ -28,7 +28,9 @@
 
 mod report;
 
-pub use report::{Clock, ManualClock, PipelineReport, StageReport, StageTimer, WallClock};
+pub use report::{
+    wall_clock, Clock, ManualClock, PipelineReport, StageReport, StageTimer, WallClock,
+};
 
 use std::num::NonZeroUsize;
 
@@ -254,6 +256,26 @@ where
         .expect("non-empty input yields at least one partial")
 }
 
+/// The chunk sizes [`par_map`] would use for `len` items under `config`.
+///
+/// Exposes the decomposition for observability: the ratio of the largest
+/// shard to the mean is the *shard imbalance* reported by `indice bench`
+/// (a perfectly balanced split reports 1.0). Returns one entry per chunk
+/// actually spawned; a sequential run yields a single chunk of `len`.
+pub fn shard_sizes(config: &RuntimeConfig, len: usize) -> Vec<usize> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = effective_threads(config, len);
+    let chunk_len = len.div_ceil(threads);
+    let full = len / chunk_len;
+    let mut sizes = vec![chunk_len; full];
+    if !len.is_multiple_of(chunk_len) {
+        sizes.push(len % chunk_len);
+    }
+    sizes
+}
+
 /// Thread count actually worth spawning for `len` items.
 fn effective_threads(config: &RuntimeConfig, len: usize) -> usize {
     // Spawning a thread for a handful of items costs more than it saves.
@@ -387,6 +409,23 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn shard_sizes_match_par_map_chunking() {
+        assert!(shard_sizes(&RuntimeConfig::new(4), 0).is_empty());
+        // Below the per-thread minimum: one sequential chunk.
+        assert_eq!(shard_sizes(&RuntimeConfig::new(4), 10), vec![10]);
+        // 100 items at 4 threads → ceil(100/4) = 25 per chunk.
+        assert_eq!(shard_sizes(&RuntimeConfig::new(4), 100), vec![25; 4]);
+        // Uneven tail chunk.
+        assert_eq!(
+            shard_sizes(&RuntimeConfig::new(4), 99),
+            vec![25, 25, 25, 24]
+        );
+        for (cfg, len) in [(RuntimeConfig::new(3), 1000), (RuntimeConfig::new(8), 77)] {
+            assert_eq!(shard_sizes(&cfg, len).iter().sum::<usize>(), len);
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// A monotonic millisecond clock. The pipeline's deadline watchdog only
@@ -46,6 +47,16 @@ impl Clock for WallClock {
     fn now_ms(&self) -> u64 {
         self.origin.elapsed().as_millis() as u64
     }
+}
+
+/// The process-wide shared [`WallClock`] (origin fixed at first use).
+///
+/// Default time source for [`StageTimer::start`] — having one shared
+/// instance keeps every uninjected sample on a single origin, so readings
+/// from different call sites are mutually comparable.
+pub fn wall_clock() -> &'static WallClock {
+    static WALL: OnceLock<WallClock> = OnceLock::new();
+    WALL.get_or_init(WallClock::new)
 }
 
 /// A deterministic scripted clock: every [`Clock::now_ms`] call returns
@@ -102,18 +113,41 @@ pub struct StageReport {
 }
 
 /// Running stopwatch for one stage; finish it into a [`StageReport`].
-#[derive(Debug)]
-pub struct StageTimer {
+///
+/// Time is sampled exclusively through the [`Clock`] trait — once at
+/// start, once at finish. [`StageTimer::start`] uses the process-wide
+/// [`wall_clock`]; [`StageTimer::start_with`] injects any clock, so
+/// stage timing, the deadline watchdog, and trace events can share one
+/// scripted [`ManualClock`] in determinism tests.
+pub struct StageTimer<'a> {
     name: String,
-    start: Instant,
+    clock: &'a dyn Clock,
+    started_ms: u64,
 }
 
-impl StageTimer {
-    /// Starts timing a stage.
+impl fmt::Debug for StageTimer<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StageTimer")
+            .field("name", &self.name)
+            .field("started_ms", &self.started_ms)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StageTimer<'static> {
+    /// Starts timing a stage against the process-wide wall clock.
     pub fn start(name: impl Into<String>) -> Self {
+        StageTimer::start_with(name, wall_clock())
+    }
+}
+
+impl<'a> StageTimer<'a> {
+    /// Starts timing a stage against an injected clock.
+    pub fn start_with(name: impl Into<String>, clock: &'a dyn Clock) -> Self {
         StageTimer {
             name: name.into(),
-            start: Instant::now(),
+            clock,
+            started_ms: clock.now_ms(),
         }
     }
 
@@ -130,9 +164,10 @@ impl StageTimer {
         quarantined: usize,
         faults: BTreeMap<String, usize>,
     ) -> StageReport {
+        let wall = Duration::from_millis(self.clock.now_ms().saturating_sub(self.started_ms));
         StageReport {
             name: self.name,
-            wall: self.start.elapsed(),
+            wall,
             records_in,
             records_out,
             quarantined,
@@ -297,6 +332,21 @@ mod tests {
         assert_eq!(c.now_ms(), 10_000);
         let frozen = ManualClock::frozen();
         assert_eq!(frozen.now_ms(), frozen.now_ms());
+    }
+
+    #[test]
+    fn timer_reads_through_injected_clock() {
+        let clock = ManualClock::advancing(125);
+        let r = StageTimer::start_with("analytics", &clock).finish(10, 10);
+        // advancing(125): start samples 0, finish samples 125.
+        assert_eq!(r.wall, Duration::from_millis(125));
+    }
+
+    #[test]
+    fn shared_wall_clock_is_single_origin_and_monotone() {
+        let a = wall_clock().now_ms();
+        let b = wall_clock().now_ms();
+        assert!(b >= a);
     }
 
     #[test]

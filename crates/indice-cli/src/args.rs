@@ -63,6 +63,20 @@ pub enum Command {
         max_quarantine_frac: Option<f64>,
         /// Injected crash point for durability testing (`stage:point`).
         crash_at: Option<CrashSpec>,
+        /// Write a metrics snapshot here after the run (`.json` selects
+        /// the JSON codec, anything else the Prometheus-style text).
+        metrics_out: Option<String>,
+        /// Write the structured span/point trace here (JSON Lines).
+        trace_out: Option<String>,
+    },
+    /// Run an in-memory synthetic pipeline and emit a benchmark snapshot.
+    Bench {
+        /// Number of synthetic certificates.
+        records: usize,
+        /// RNG seed for the synthetic collection.
+        seed: u64,
+        /// Output path for the BENCH_5.json-shaped snapshot.
+        out: String,
     },
     /// Print the auto-configuration advice for a collection.
     SuggestConfig {
@@ -92,7 +106,9 @@ USAGE:
   indice run --data epcs.csv --streets street_map.txt --regions regions.json \\
              [--stakeholder pa|citizen|scientist] (--out-dir DIR | --resume DIR) \\
              [--max-quarantine-frac F] [--fault-seed S] [--fault-rate R] \\
-             [--geocode-fail-rate R] [--crash-at STAGE:POINT]
+             [--geocode-fail-rate R] [--crash-at STAGE:POINT] \\
+             [--metrics-out FILE] [--trace-out FILE]
+  indice bench --records N [--seed S] --out bench.json
   indice suggest-config --data epcs.csv
   indice clean --data epcs.csv --streets street_map.txt --out cleaned.csv
   indice help
@@ -113,6 +129,19 @@ byte-identical to an uninterrupted run.
 `--max-quarantine-frac F` aborts the run (exit 1) when more than the
 given fraction of input records ends up quarantined — a data-quality
 circuit breaker for unattended pipelines.
+
+`--metrics-out FILE` writes a metrics snapshot after the run: counters,
+gauges, and histograms from every stage (quarantine rules, geocoder
+retries, K-means rounds, Apriori levels, dashboard markers, checkpoint
+bytes). A `.json` extension selects the JSON codec; any other extension
+the Prometheus-style text exposition. `--trace-out FILE` writes the
+structured span/point trace as JSON Lines; every event carries a logical
+sequence number, so the stream (minus wall-clock fields) is bitwise
+identical at any thread count.
+
+`bench` generates a synthetic collection in memory, runs the full
+observed pipeline, and writes a benchmark snapshot (per-stage wall
+milliseconds, records/sec, peak shard imbalance) to `--out`.
 
 `--fault-seed` / `--fault-rate` / `--geocode-fail-rate` attach a
 deterministic fault injector for chaos testing: the same seed and rates
@@ -222,6 +251,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 geocode_fail_rate,
                 max_quarantine_frac,
                 crash_at,
+                metrics_out: flags.get("metrics-out").cloned(),
+                trace_out: flags.get("trace-out").cloned(),
+            })
+        }
+        "bench" => {
+            let records: usize = get("records")?
+                .parse()
+                .map_err(|e| format!("--records: {e}"))?;
+            if records == 0 {
+                return Err("--records must be positive".into());
+            }
+            let seed: u64 = flags
+                .get("seed")
+                .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+                .transpose()?
+                .unwrap_or(2024);
+            Ok(Command::Bench {
+                records,
+                seed,
+                out: get("out")?.clone(),
             })
         }
         "suggest-config" => Ok(Command::SuggestConfig {
@@ -644,6 +693,75 @@ mod tests {
             let err = parse_stage_deadline_ms(Some(bad)).unwrap_err();
             assert!(err.contains(STAGE_DEADLINE_ENV_VAR), "{bad:?}: {err}");
         }
+    }
+
+    #[test]
+    fn run_parses_observability_outputs() {
+        match parse_args(&run_args(&[
+            "--out-dir",
+            "o",
+            "--metrics-out",
+            "m.prom",
+            "--trace-out",
+            "t.jsonl",
+        ]))
+        .unwrap()
+        {
+            Command::Run {
+                metrics_out,
+                trace_out,
+                ..
+            } => {
+                assert_eq!(metrics_out.as_deref(), Some("m.prom"));
+                assert_eq!(trace_out.as_deref(), Some("t.jsonl"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&run_args(&["--out-dir", "o"])).unwrap() {
+            Command::Run {
+                metrics_out,
+                trace_out,
+                ..
+            } => {
+                assert_eq!(metrics_out, None);
+                assert_eq!(trace_out, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bench_parses() {
+        let cmd = parse_args(&v(&["bench", "--records", "800", "--out", "b.json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Bench {
+                records: 800,
+                seed: 2024,
+                out: "b.json".into(),
+            }
+        );
+        let cmd = parse_args(&v(&[
+            "bench",
+            "--records",
+            "100",
+            "--seed",
+            "9",
+            "--out",
+            "b.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Bench {
+                records: 100,
+                seed: 9,
+                out: "b.json".into(),
+            }
+        );
+        assert!(parse_args(&v(&["bench", "--out", "b.json"])).is_err());
+        assert!(parse_args(&v(&["bench", "--records", "0", "--out", "b.json"])).is_err());
+        assert!(parse_args(&v(&["bench", "--records", "10"])).is_err());
     }
 
     #[test]

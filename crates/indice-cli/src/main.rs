@@ -78,6 +78,8 @@ fn execute(command: Command) -> Result<ExitCode, String> {
             geocode_fail_rate,
             max_quarantine_frac,
             crash_at,
+            metrics_out,
+            trace_out,
         } => run(
             &data,
             &streets,
@@ -90,7 +92,10 @@ fn execute(command: Command) -> Result<ExitCode, String> {
             geocode_fail_rate,
             max_quarantine_frac,
             crash_at.as_ref(),
+            metrics_out.as_deref(),
+            trace_out.as_deref(),
         ),
+        Command::Bench { records, seed, out } => bench(records, seed, &out),
         Command::Clean { data, streets, out } => {
             let runtime = epc_runtime::RuntimeConfig::try_from_env()?;
             let dataset = load_dataset(&data)?;
@@ -203,6 +208,8 @@ fn run(
     geocode_fail_rate: f64,
     max_quarantine_frac: Option<f64>,
     crash_at: Option<&CrashSpec>,
+    metrics_out: Option<&str>,
+    trace_out: Option<&str>,
 ) -> Result<ExitCode, String> {
     // Strict environment validation: a typo in a tuning knob must fail
     // loudly up front, not silently fall back to a default.
@@ -246,7 +253,8 @@ fn run(
     // directory and journaled, so an interrupted run resumes with
     // `--resume` and finishes byte-identical to an uninterrupted one.
     let clock = epc_runtime::WallClock::new();
-    let mut opts = DurableOptions::new(out_dir);
+    let obs = epc_obs::Obs::new(&clock);
+    let mut opts = DurableOptions::new(out_dir).with_obs(&obs);
     if resume {
         opts = opts.resuming();
     }
@@ -273,6 +281,15 @@ fn run(
         }
         Err(e) => return Err(format!("durable run failed: {e}")),
     };
+    // Observability snapshots are written for every non-crashed run,
+    // including failed ones — that is when they matter most.
+    if let Some(path) = metrics_out {
+        write_metrics(path, &obs)?;
+    }
+    if let Some(path) = trace_out {
+        write_atomic_path(Path::new(path), obs.tracer().to_jsonl().as_bytes())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
     quarantine.merge(output.quarantine.clone());
 
     if let RunOutcome::Failed(e) = &output.outcome {
@@ -341,6 +358,110 @@ fn run(
         println!("degraded stages: {}", output.degraded_stages.join(", "));
     }
     println!("outcome: {}", output.outcome);
+    Ok(ExitCode::from(output.outcome.exit_code()))
+}
+
+/// Writes the metrics snapshot: `.json` selects the JSON codec, anything
+/// else the Prometheus-style text exposition.
+fn write_metrics(path: &str, obs: &epc_obs::Obs<'_>) -> Result<(), String> {
+    let body = if path.ends_with(".json") {
+        obs.metrics().to_json()
+    } else {
+        obs.metrics().expose_text()
+    };
+    write_atomic_path(Path::new(path), body.as_bytes())
+        .map(|_| ())
+        .map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Runs the full observed pipeline over an in-memory synthetic collection
+/// and writes a benchmark snapshot.
+fn bench(records: usize, seed: u64, out: &str) -> Result<ExitCode, String> {
+    let runtime = epc_runtime::RuntimeConfig::try_from_env()?;
+    let mut collection = EpcGenerator::new(SynthConfig {
+        n_records: records,
+        seed,
+        ..SynthConfig::default()
+    })
+    .generate();
+    apply_noise(&mut collection, &NoiseConfig::default());
+
+    let engine = Indice::from_collection(collection, IndiceConfig::default()).with_runtime(runtime);
+    let clock = epc_runtime::WallClock::new();
+    let obs = epc_obs::Obs::new(&clock);
+    let output = engine.run_observed(epc_query::Stakeholder::PublicAdministration, &obs);
+
+    let total_ms = output.report.total_wall().as_millis() as u64;
+    let records_per_sec = if total_ms == 0 {
+        0.0
+    } else {
+        records as f64 * 1000.0 / total_ms as f64
+    };
+    // Peak shard imbalance of the deterministic chunking: largest shard
+    // over the mean shard (1.0 = perfectly even split).
+    let shards = epc_runtime::shard_sizes(&runtime, records);
+    let peak_shard_imbalance = if shards.is_empty() {
+        1.0
+    } else {
+        let mean = shards.iter().sum::<usize>() as f64 / shards.len() as f64;
+        shards.iter().copied().max().unwrap_or(0) as f64 / mean
+    };
+
+    let mut stages = String::new();
+    for (i, s) in output.report.stages.iter().enumerate() {
+        if i > 0 {
+            stages.push_str(",\n");
+        }
+        stages.push_str(&format!(
+            "    {{\"name\": \"{}\", \"records_in\": {}, \"records_out\": {}, \"wall_ms\": {}}}",
+            s.name,
+            s.records_in,
+            s.records_out,
+            s.wall.as_millis()
+        ));
+    }
+    let kept = output
+        .preprocess
+        .as_ref()
+        .map(|p| p.dataset.n_rows())
+        .unwrap_or(0);
+    let chosen_k = output.analytics.as_ref().map(|a| a.chosen_k).unwrap_or(0);
+    let rules = output
+        .analytics
+        .as_ref()
+        .map(|a| a.rules.len())
+        .unwrap_or(0);
+    let snapshot = format!(
+        "{{\n\
+         \x20 \"schema\": \"indice-bench/1\",\n\
+         \x20 \"records\": {records},\n\
+         \x20 \"seed\": {seed},\n\
+         \x20 \"threads\": {threads},\n\
+         \x20 \"stages\": [\n{stages}\n  ],\n\
+         \x20 \"total_wall_ms\": {total_ms},\n\
+         \x20 \"records_per_sec\": {records_per_sec:.1},\n\
+         \x20 \"peak_shard_imbalance\": {peak_shard_imbalance:.4},\n\
+         \x20 \"deterministic\": {{\n\
+         \x20   \"artifacts\": {artifacts},\n\
+         \x20   \"chosen_k\": {chosen_k},\n\
+         \x20   \"kept_records\": {kept},\n\
+         \x20   \"outcome\": \"{outcome}\",\n\
+         \x20   \"quarantined\": {quarantined},\n\
+         \x20   \"rules\": {rules}\n\
+         \x20 }}\n\
+         }}\n",
+        threads = output.report.threads,
+        artifacts = output.artifacts.len(),
+        outcome = output.outcome,
+        quarantined = output.quarantine.len(),
+    );
+    write_atomic_path(Path::new(out), snapshot.as_bytes())
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "bench: {records} records, {} threads, {total_ms} ms total \
+         ({records_per_sec:.1} records/sec); snapshot written to {out}",
+        output.report.threads
+    );
     Ok(ExitCode::from(output.outcome.exit_code()))
 }
 

@@ -11,8 +11,9 @@ use epc_mining::elbow::{elbow_k_by_distance, sse_curve_with_runtime};
 use epc_mining::kmeans::{KMeans, KMeansConfig, KMeansModel};
 use epc_mining::matrix::Matrix;
 use epc_mining::normalize::MinMaxScaler;
-use epc_mining::rules::{mine_rules, mine_rules_with_runtime, AssociationRule};
+use epc_mining::rules::{mine_rules, mine_rules_traced_with_runtime, AssociationRule};
 use epc_model::Dataset;
+use epc_obs::Obs;
 use epc_stats::correlation::{correlation_matrix, CorrelationMatrix};
 use epc_stats::quantile::quantile;
 
@@ -81,6 +82,21 @@ pub fn analyze_with_runtime(
     config: &IndiceConfig,
     runtime: &epc_runtime::RuntimeConfig,
 ) -> Result<AnalyticsOutput, IndiceError> {
+    analyze_observed(dataset, config, runtime, None)
+}
+
+/// [`analyze_with_runtime`] with an optional observability bundle:
+/// per-round K-means inertia, the elbow SSE curve, and per-level Apriori
+/// candidate/pruned/frequent counts are recorded as trace points and
+/// counters. The analytical output is exactly what the unobserved call
+/// produces; all emission happens orchestrator-side, after the kernels
+/// return.
+pub fn analyze_observed(
+    dataset: &Dataset,
+    config: &IndiceConfig,
+    runtime: &epc_runtime::RuntimeConfig,
+    obs: Option<&Obs<'_>>,
+) -> Result<AnalyticsOutput, IndiceError> {
     let a = &config.analytics;
     if a.features.is_empty() {
         return Err(IndiceError::Config(
@@ -109,6 +125,15 @@ pub fn analyze_with_runtime(
     let names: Vec<&str> = a.features.iter().map(String::as_str).collect();
     let correlation = correlation_matrix(&names, &col_refs);
     let eligible = correlation.eligible_for_analytics(a.correlation_threshold);
+    if let Some(obs) = obs {
+        obs.point(
+            "analytics:correlation",
+            &[
+                ("eligible", u64::from(eligible).into()),
+                ("features", names.len().into()),
+            ],
+        );
+    }
 
     // --- Feature matrix over complete rows ---
     let mut feature_rows = Vec::new();
@@ -144,6 +169,11 @@ pub fn analyze_with_runtime(
                 return Err(IndiceError::Config("elbow needs k_min < k_max".into()));
             }
             let curve = sse_curve_with_runtime(&scaled, k_min..=k_max, &base, runtime);
+            if let Some(obs) = obs {
+                for &(k, sse) in &curve {
+                    obs.point("kmeans:elbow", &[("k", k.into()), ("sse", sse.into())]);
+                }
+            }
             // Real SSE curves are smooth and convex; the geometric elbow
             // (max distance from the endpoint chord) is the stable reading
             // of the paper's "marginal decrease maximized" criterion. The
@@ -155,17 +185,28 @@ pub fn analyze_with_runtime(
             (k, curve)
         }
     };
-    let kmeans = KMeans::new(KMeansConfig {
+    let (kmeans, fit_trace) = KMeans::new(KMeansConfig {
         k: chosen_k,
         ..base
     })
-    .fit_with_runtime(&scaled, runtime)
+    .fit_traced(&scaled, runtime)
     .ok_or_else(|| {
         IndiceError::Clustering(format!(
             "cannot fit k = {chosen_k} on {} rows",
             feature_rows.len()
         ))
     })?;
+    if let Some(obs) = obs {
+        for (round, &inertia) in fit_trace.round_inertia.iter().enumerate() {
+            obs.point(
+                "kmeans:round",
+                &[("inertia", inertia.into()), ("round", round.into())],
+            );
+        }
+        let m = obs.metrics();
+        m.inc("kmeans_iterations", fit_trace.round_inertia.len() as u64);
+        m.set_gauge("kmeans_chosen_k", chosen_k as i64);
+    }
 
     // --- Cluster summaries in original units ---
     let mut response_sums = vec![(0.0f64, 0usize); chosen_k];
@@ -210,7 +251,26 @@ pub fn analyze_with_runtime(
         }
         transactions.push_owned(&items);
     }
-    let rules = mine_rules_with_runtime(&transactions, &config.rule_stage.rules, runtime);
+    let (rules, apriori_trace) =
+        mine_rules_traced_with_runtime(&transactions, &config.rule_stage.rules, runtime);
+    if let Some(obs) = obs {
+        let m = obs.metrics();
+        for level in &apriori_trace.levels {
+            obs.point(
+                "apriori:level",
+                &[
+                    ("candidates", level.candidates.into()),
+                    ("frequent", level.frequent.into()),
+                    ("level", level.level.into()),
+                    ("pruned", level.pruned.into()),
+                ],
+            );
+            m.inc("apriori_candidates", level.candidates as u64);
+            m.inc("apriori_frequent", level.frequent as u64);
+            m.inc("apriori_pruned", level.pruned as u64);
+        }
+        m.inc("rules_mined", rules.len() as u64);
+    }
 
     Ok(AnalyticsOutput {
         feature_names: a.features.clone(),

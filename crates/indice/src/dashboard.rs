@@ -29,6 +29,9 @@ pub struct DashboardOutput {
     /// Standalone artifacts: file name → content (SVG maps of Figure 2,
     /// GeoJSON layers, the rule table as text).
     pub artifacts: BTreeMap<String, String>,
+    /// Cluster-markers rendered on this dashboard's marker maps
+    /// (observability: the per-zoom marker count).
+    pub n_markers: usize,
 }
 
 /// Builds the dashboard for a stakeholder, following the automatically
@@ -87,6 +90,7 @@ fn build_dashboard_spec_core(
         &format!("{} · {} level", spec.stakeholder.name(), spec.granularity),
     );
     let mut artifacts = BTreeMap::new();
+    let mut n_markers = 0usize;
     let response_label = response_axis_label(dataset, &spec.response);
     let points = certificate_points(dataset, &spec.response)?;
 
@@ -174,10 +178,12 @@ fn build_dashboard_spec_core(
                     format!("clustermarkers_{}.svg", spec.granularity),
                     svg.clone(),
                 );
+                let markers = map.markers();
+                n_markers += markers.len();
                 artifacts.insert(
                     format!("clustermarkers_{}.geojson", spec.granularity),
                     serde_json::to_string_pretty(&epc_viz::geojson::markers_feature_collection(
-                        &map.markers(),
+                        &markers,
                     ))
                     .map_err(|e| IndiceError::Internal(format!("geojson serialization: {e}")))?,
                 );
@@ -287,6 +293,7 @@ fn build_dashboard_spec_core(
     Ok(DashboardOutput {
         dashboard,
         artifacts,
+        n_markers,
     })
 }
 
@@ -326,9 +333,46 @@ pub fn drilldown_series_with_runtime(
     top_k_rules: usize,
     runtime: &epc_runtime::RuntimeConfig,
 ) -> Result<BTreeMap<String, String>, IndiceError> {
-    let rendered: Vec<Result<(String, String), IndiceError>> =
+    Ok(drilldown_series_detailed_with_runtime(
+        dataset,
+        hierarchy,
+        analytics,
+        stakeholder,
+        top_k_rules,
+        runtime,
+    )?
+    .into_iter()
+    .map(|page| (page.file, page.html))
+    .collect())
+}
+
+/// One rendered page of the drill-down series, with its marker count.
+#[derive(Debug, Clone)]
+pub struct ZoomPage {
+    /// Zoom level the page renders.
+    pub level: Granularity,
+    /// Output file name (`dashboard_<granularity>.html`).
+    pub file: String,
+    /// The rendered page.
+    pub html: String,
+    /// Cluster-markers rendered on the page's marker maps.
+    pub markers: usize,
+}
+
+/// [`drilldown_series_with_runtime`], additionally reporting the per-zoom
+/// marker counts for observability. Pages come back in the fixed
+/// [`Granularity::ALL`] order, independent of the thread budget.
+pub fn drilldown_series_detailed_with_runtime(
+    dataset: &Dataset,
+    hierarchy: &RegionHierarchy,
+    analytics: &AnalyticsOutput,
+    stakeholder: Stakeholder,
+    top_k_rules: usize,
+    runtime: &epc_runtime::RuntimeConfig,
+) -> Result<Vec<ZoomPage>, IndiceError> {
+    let rendered: Vec<Result<ZoomPage, IndiceError>> =
         epc_runtime::par_map_coarse(runtime, &Granularity::ALL, |&level| {
-            let page = render_zoom_page(
+            let (page, markers) = render_zoom_page(
                 dataset,
                 hierarchy,
                 analytics,
@@ -336,13 +380,18 @@ pub fn drilldown_series_with_runtime(
                 top_k_rules,
                 level,
             )?;
-            Ok((format!("dashboard_{level}.html"), page))
+            Ok(ZoomPage {
+                level,
+                file: format!("dashboard_{level}.html"),
+                html: page,
+                markers,
+            })
         });
     rendered.into_iter().collect()
 }
 
 /// Renders the single zoom-level page of the drill-down series, nav bar
-/// included.
+/// included. Returns the page plus its marker count.
 fn render_zoom_page(
     dataset: &Dataset,
     hierarchy: &RegionHierarchy,
@@ -350,7 +399,7 @@ fn render_zoom_page(
     stakeholder: Stakeholder,
     top_k_rules: usize,
     level: Granularity,
-) -> Result<String, IndiceError> {
+) -> Result<(String, usize), IndiceError> {
     let spec = ReportSpec {
         granularity: level,
         ..default_report_spec(stakeholder)
@@ -377,7 +426,7 @@ fn render_zoom_page(
     if let Some(pos) = html.find("</header>") {
         html.insert_str(pos + "</header>".len(), &nav);
     }
-    Ok(html)
+    Ok((html, out.n_markers))
 }
 
 /// Renders the Figure-2 map series: choropleth + scatter at housing-unit

@@ -58,6 +58,9 @@ pub struct DurableOptions<'a> {
     pub crash: Option<&'a CrashSpec>,
     /// Optional fault injector (chaos testing).
     pub injector: Option<&'a dyn FaultInjector>,
+    /// Optional observability bundle: stage spans, journal hit/commit
+    /// points, and checkpoint byte counters land here.
+    pub obs: Option<&'a epc_obs::Obs<'a>>,
 }
 
 impl<'a> DurableOptions<'a> {
@@ -69,6 +72,7 @@ impl<'a> DurableOptions<'a> {
             deadline: None,
             crash: None,
             injector: None,
+            obs: None,
         }
     }
 
@@ -93,6 +97,12 @@ impl<'a> DurableOptions<'a> {
     /// Attaches a fault injector (builder style).
     pub fn with_injector(mut self, injector: &'a dyn FaultInjector) -> Self {
         self.injector = Some(injector);
+        self
+    }
+
+    /// Attaches an observability bundle (builder style).
+    pub fn with_obs(mut self, obs: &'a epc_obs::Obs<'a>) -> Self {
+        self.obs = Some(obs);
         self
     }
 }
@@ -358,6 +368,9 @@ pub(crate) fn run_durable_inner(
     if let Some(injector) = opts.injector {
         ctx = ctx.with_injector(injector);
     }
+    if let Some(obs) = opts.obs {
+        ctx = ctx.with_obs(obs);
+    }
     let mut report = PipelineReport::new(ctx.runtime.threads);
     let mut reasons: Vec<String> = Vec::new();
     let mut journal_hits = Vec::new();
@@ -373,6 +386,16 @@ pub(crate) fn run_durable_inner(
                 rehydrate(entry, &mut ctx, run_dir)?;
             }
             reasons.extend(entry.reasons.iter().cloned());
+            if let Some(obs) = ctx.obs {
+                let bytes: u64 = entry.checkpoints.iter().map(|r| r.bytes).sum();
+                obs.point(
+                    "journal:hit",
+                    &[("bytes", bytes.into()), ("stage", name.into())],
+                );
+                let m = obs.metrics();
+                m.inc("resume_journal_hits", 1);
+                m.inc("resume_rehydrated_bytes", bytes);
+            }
             report.push(StageReport {
                 name: name.to_owned(),
                 wall: Duration::ZERO,
@@ -401,6 +424,9 @@ pub(crate) fn run_durable_inner(
             opts.deadline.as_ref(),
         );
         replayed.push(name.to_owned());
+        if let Some(obs) = ctx.obs {
+            obs.metrics().inc("resume_replayed", 1);
+        }
         let stage_reasons = match &exec {
             StageExec::Succeeded => Vec::new(),
             StageExec::Degraded(reason) => vec![reason.clone()],
@@ -443,6 +469,20 @@ pub(crate) fn run_durable_inner(
             faults: sr.faults.clone(),
             checkpoints: checkpoints.unwrap_or_default(),
         };
+        if let Some(obs) = ctx.obs {
+            let bytes: u64 = entry.checkpoints.iter().map(|r| r.bytes).sum();
+            obs.point(
+                "journal:commit",
+                &[
+                    ("bytes", bytes.into()),
+                    ("files", entry.checkpoints.len().into()),
+                    ("stage", name.into()),
+                ],
+            );
+            let m = obs.metrics();
+            m.inc("checkpoint_files_total", entry.checkpoints.len() as u64);
+            m.inc("checkpoint_bytes_total", bytes);
+        }
         if let Some(spec @ CrashSpec::Torn { .. }) = crash_here {
             if let Some(first) = entry.checkpoints.first() {
                 tear_checkpoint(run_dir, first)?;

@@ -201,7 +201,7 @@ impl Indice {
     /// aborting, and quarantined records are accounted for. Never returns
     /// `Err` — failure is [`RunOutcome::Failed`] inside the output.
     pub fn run_supervised(&self, stakeholder: Stakeholder) -> SupervisedOutput {
-        self.run_supervised_inner(stakeholder, None)
+        self.run_supervised_inner(stakeholder, None, None)
     }
 
     /// Like [`Indice::run_supervised`], with a fault injector attached —
@@ -211,13 +211,26 @@ impl Indice {
         stakeholder: Stakeholder,
         injector: &dyn FaultInjector,
     ) -> SupervisedOutput {
-        self.run_supervised_inner(stakeholder, Some(injector))
+        self.run_supervised_inner(stakeholder, Some(injector), None)
     }
 
-    fn run_supervised_inner(
-        &self,
+    /// Like [`Indice::run_supervised`], with an observability bundle
+    /// attached: stage spans, kernel trace points, and metrics land in
+    /// `obs`, and stage timers read the bundle's clock. The pipeline
+    /// products are exactly what [`Indice::run_supervised`] produces.
+    pub fn run_observed<'a>(
+        &'a self,
         stakeholder: Stakeholder,
-        injector: Option<&dyn FaultInjector>,
+        obs: &'a epc_obs::Obs<'a>,
+    ) -> SupervisedOutput {
+        self.run_supervised_inner(stakeholder, None, Some(obs))
+    }
+
+    fn run_supervised_inner<'a>(
+        &'a self,
+        stakeholder: Stakeholder,
+        injector: Option<&'a dyn FaultInjector>,
+        obs: Option<&'a epc_obs::Obs<'a>>,
     ) -> SupervisedOutput {
         let config = self.config_with_suggestions();
         let mut ctx = PipelineContext::new(
@@ -230,6 +243,9 @@ impl Indice {
         );
         if let Some(injector) = injector {
             ctx = ctx.with_injector(injector);
+        }
+        if let Some(obs) = obs {
+            ctx = ctx.with_obs(obs);
         }
         let (outcome, report) = run_pipeline_supervised(&supervised_stages(), &mut ctx);
         SupervisedOutput {

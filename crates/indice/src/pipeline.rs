@@ -12,15 +12,18 @@
 //! through [`epc_runtime`]'s deterministic primitives, so a pipeline run
 //! produces bitwise-identical outputs for any thread budget.
 
-use crate::analytics::{analyze_with_runtime, AnalyticsOutput};
+use crate::analytics::{analyze_observed, AnalyticsOutput};
 use crate::config::IndiceConfig;
-use crate::dashboard::{build_dashboard, build_dashboard_degraded, drilldown_series_with_runtime};
+use crate::dashboard::{
+    build_dashboard, build_dashboard_degraded, drilldown_series_detailed_with_runtime,
+};
 use crate::error::IndiceError;
-use crate::preprocess::{preprocess_faulty, PreprocessOutput};
+use crate::preprocess::{preprocess_observed, PreprocessOutput};
 use epc_faults::FaultInjector;
 use epc_geo::region::RegionHierarchy;
 use epc_geo::streetmap::StreetMap;
 use epc_model::{wellknown as wk, Dataset, Quarantine};
+use epc_obs::{Obs, SpanGuard};
 use epc_query::predicate::Predicate;
 use epc_query::query::Query;
 use epc_query::stakeholder::Stakeholder;
@@ -62,6 +65,14 @@ pub struct PipelineContext<'a> {
     /// How many times each stage has been invoked on this context (drives
     /// the injector's Nth-invocation stage kills).
     pub stage_invocations: BTreeMap<&'static str, usize>,
+    /// The clock stage timers sample. Defaults to the shared process
+    /// [`epc_runtime::wall_clock`]; [`PipelineContext::with_obs`] swaps in
+    /// the observability bundle's clock so every time reading in a run
+    /// flows through one injectable source.
+    pub clock: &'a dyn Clock,
+    /// Observability bundle recording spans, points, and metrics
+    /// (`None`: no recording).
+    pub obs: Option<&'a Obs<'a>>,
 }
 
 impl<'a> PipelineContext<'a> {
@@ -89,6 +100,8 @@ impl<'a> PipelineContext<'a> {
             quarantine: Quarantine::new(),
             degraded_stages: Vec::new(),
             stage_invocations: BTreeMap::new(),
+            clock: epc_runtime::wall_clock(),
+            obs: None,
         }
     }
 
@@ -96,6 +109,22 @@ impl<'a> PipelineContext<'a> {
     /// and stage boundaries.
     pub fn with_injector(mut self, injector: &'a dyn FaultInjector) -> Self {
         self.injector = Some(injector);
+        self
+    }
+
+    /// Swaps the clock stage timers read (deterministic timing under
+    /// [`epc_runtime::ManualClock`]).
+    pub fn with_clock(mut self, clock: &'a dyn Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Attaches an observability bundle. The bundle's clock becomes the
+    /// context clock, so stage timers and trace events share one time
+    /// source.
+    pub fn with_obs(mut self, obs: &'a Obs<'a>) -> Self {
+        self.clock = obs.clock();
+        self.obs = Some(obs);
         self
     }
 
@@ -149,16 +178,24 @@ impl Stage for PreprocessStage {
             return Err(IndiceError::EmptyCollection("category selection"));
         }
         let records_in = selected.n_rows();
-        let (out, quarantine) = preprocess_faulty(
+        let quarantined_before = ctx.quarantine.len();
+        let (out, quarantine) = preprocess_observed(
             selected,
             ctx.street_map,
             &ctx.config,
             &ctx.runtime,
             ctx.injector,
+            ctx.obs,
         )?;
         let records_out = out.dataset.n_rows();
         ctx.preprocess = Some(out);
         ctx.quarantine.merge(quarantine);
+        if let Some(obs) = ctx.obs {
+            // Per-rule quarantine counters (kind → count this invocation).
+            for (kind, n) in ctx.quarantine.histogram_from(quarantined_before) {
+                obs.metrics().inc(&format!("quarantine_{kind}"), n as u64);
+            }
+        }
         Ok(StageStats {
             records_in,
             records_out,
@@ -178,7 +215,7 @@ impl Stage for AnalyticsStage {
     fn run(&self, ctx: &mut PipelineContext<'_>) -> Result<StageStats, IndiceError> {
         let cleaned = ctx.cleaned_dataset()?;
         let records_in = cleaned.n_rows();
-        let out = analyze_with_runtime(cleaned, &ctx.config, &ctx.runtime)?;
+        let out = analyze_observed(cleaned, &ctx.config, &ctx.runtime, ctx.obs)?;
         let records_out = out.feature_rows.len();
         ctx.analytics = Some(out);
         Ok(StageStats {
@@ -220,6 +257,11 @@ impl Stage for DashboardStage {
                 ctx.config.rule_stage.top_k,
                 &reasons,
             )?;
+            if let Some(obs) = ctx.obs {
+                obs.point("dashboard:main", &[("markers", out.n_markers.into())]);
+                obs.metrics()
+                    .inc("dashboard_markers_main", out.n_markers as u64);
+            }
             let records_out = out.artifacts.len();
             ctx.artifacts = out.artifacts;
             ctx.dashboard = Some(out.dashboard);
@@ -235,16 +277,35 @@ impl Stage for DashboardStage {
             ctx.stakeholder,
             ctx.config.rule_stage.top_k,
         )?;
+        if let Some(obs) = ctx.obs {
+            obs.point("dashboard:main", &[("markers", out.n_markers.into())]);
+            obs.metrics()
+                .inc("dashboard_markers_main", out.n_markers as u64);
+        }
         let mut artifacts = out.artifacts;
         // The drill-down zoom series (one coarse task per level).
-        artifacts.extend(drilldown_series_with_runtime(
+        let pages = drilldown_series_detailed_with_runtime(
             cleaned,
             ctx.hierarchy,
             analytics,
             ctx.stakeholder,
             ctx.config.rule_stage.top_k,
             &ctx.runtime,
-        )?);
+        )?;
+        for page in pages {
+            if let Some(obs) = ctx.obs {
+                obs.point(
+                    "dashboard:zoom",
+                    &[
+                        ("level", page.level.to_string().into()),
+                        ("markers", page.markers.into()),
+                    ],
+                );
+                obs.metrics()
+                    .inc("dashboard_markers_zoom", page.markers as u64);
+            }
+            artifacts.insert(page.file, page.html);
+        }
         let records_out = artifacts.len();
         ctx.dashboard = Some(out.dashboard);
         ctx.artifacts = artifacts;
@@ -263,11 +324,57 @@ pub fn run_pipeline(
 ) -> Result<PipelineReport, IndiceError> {
     let mut report = PipelineReport::new(ctx.runtime.threads);
     for stage in stages {
-        let timer = StageTimer::start(stage.name());
-        let stats = stage.run(ctx)?;
+        let name = stage.name();
+        let span = open_stage_span(ctx, name);
+        let timer = StageTimer::start_with(name, ctx.clock);
+        let stats = match stage.run(ctx) {
+            Ok(stats) => stats,
+            Err(e) => {
+                if let Some(span) = span {
+                    span.finish("error", &[]);
+                }
+                return Err(e);
+            }
+        };
         report.push(timer.finish(stats.records_in, stats.records_out));
+        if let Some(obs) = ctx.obs {
+            record_stage_metrics(obs, name, stats);
+        }
+        if let Some(span) = span {
+            span.finish(
+                "ok",
+                &[
+                    ("records_in", stats.records_in.into()),
+                    ("records_out", stats.records_out.into()),
+                ],
+            );
+        }
     }
     Ok(report)
+}
+
+/// Opens the `stage:<name>` span when the context carries an
+/// observability bundle.
+fn open_stage_span<'a>(ctx: &PipelineContext<'a>, name: &str) -> Option<SpanGuard<'a, 'a>> {
+    ctx.obs.map(|o| o.span(&format!("stage:{name}")))
+}
+
+/// Histogram bounds for per-stage record counts (records leaving a stage).
+const STAGE_RECORDS_BOUNDS: &[u64] = &[10, 100, 1_000, 10_000, 100_000];
+
+/// Records the per-stage counters and the stage-size histogram.
+fn record_stage_metrics(obs: &Obs<'_>, name: &str, stats: StageStats) {
+    let m = obs.metrics();
+    m.inc(&format!("stage_{name}_records_in"), stats.records_in as u64);
+    m.inc(
+        &format!("stage_{name}_records_out"),
+        stats.records_out as u64,
+    );
+    m.observe(
+        "stage_records_out",
+        STAGE_RECORDS_BOUNDS,
+        stats.records_out as u64,
+    );
 }
 
 /// The standard three-block sequence of Figure 1.
@@ -397,7 +504,8 @@ pub(crate) fn execute_stage_supervised(
         .and_then(|inj| inj.fail_stage(name, *invocation));
     let quarantined_before = ctx.quarantine.len();
     let started_ms = deadline.map(|d| d.clock.now_ms());
-    let timer = StageTimer::start(name);
+    let span = open_stage_span(ctx, name);
+    let timer = StageTimer::start_with(name, ctx.clock);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         if let Some(msg) = kill {
             panic!("{msg}");
@@ -414,9 +522,24 @@ pub(crate) fn execute_stage_supervised(
                 quarantine_delta,
                 faults,
             ));
+            if let Some(obs) = ctx.obs {
+                record_stage_metrics(obs, name, stats);
+                obs.metrics().inc(
+                    &format!("stage_{name}_quarantined"),
+                    quarantine_delta as u64,
+                );
+            }
+            let span_fields = [
+                ("quarantined", quarantine_delta.into()),
+                ("records_in", stats.records_in.into()),
+                ("records_out", stats.records_out.into()),
+            ];
             if let (Some(d), Some(started)) = (deadline, started_ms) {
                 let elapsed = d.clock.now_ms().saturating_sub(started);
                 if elapsed > d.budget_ms {
+                    if let Some(span) = span {
+                        span.finish("deadline_overrun", &span_fields);
+                    }
                     return match policy {
                         StagePolicy::Degradable => {
                             discard_product(ctx, name);
@@ -435,10 +558,16 @@ pub(crate) fn execute_stage_supervised(
                     };
                 }
             }
+            if let Some(span) = span {
+                span.finish("ok", &span_fields);
+            }
             StageExec::Succeeded
         }
         Ok(Err(e)) => {
             report.push(timer.finish_detailed(0, 0, quarantine_delta, faults));
+            if let Some(span) = span {
+                span.finish("error", &[("quarantined", quarantine_delta.into())]);
+            }
             match policy {
                 StagePolicy::Required => StageExec::Failed(e),
                 StagePolicy::Degradable => {
@@ -450,6 +579,9 @@ pub(crate) fn execute_stage_supervised(
         Err(payload) => {
             let message = panic_message(payload);
             report.push(timer.finish_detailed(0, 0, quarantine_delta, faults));
+            if let Some(span) = span {
+                span.finish("panicked", &[("quarantined", quarantine_delta.into())]);
+            }
             match policy {
                 StagePolicy::Required => StageExec::Failed(IndiceError::StagePanicked {
                     stage: name.to_owned(),

@@ -25,6 +25,7 @@ use epc_mining::matrix::Matrix;
 use epc_model::{
     scan_faults, wellknown as wk, Dataset, Quarantine, RecordFault, ValidationPolicy, Value,
 };
+use epc_obs::Obs;
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
@@ -81,7 +82,7 @@ pub fn preprocess_with_runtime(
     config: &IndiceConfig,
     runtime: &epc_runtime::RuntimeConfig,
 ) -> Result<PreprocessOutput, IndiceError> {
-    preprocess_core(dataset, street_map, config, runtime, None).map(|(out, _)| out)
+    preprocess_core(dataset, street_map, config, runtime, None, None).map(|(out, _)| out)
 }
 
 /// The fault-tolerant stage-1 entry point.
@@ -98,11 +99,27 @@ pub fn preprocess_with_runtime(
 /// With `injector = None` and a clean input, the output is bitwise
 /// identical to [`preprocess_with_runtime`].
 pub fn preprocess_faulty(
+    dataset: Dataset,
+    street_map: &StreetMap,
+    config: &IndiceConfig,
+    runtime: &epc_runtime::RuntimeConfig,
+    injector: Option<&dyn FaultInjector>,
+) -> Result<(PreprocessOutput, Quarantine), IndiceError> {
+    preprocess_observed(dataset, street_map, config, runtime, injector, None)
+}
+
+/// [`preprocess_faulty`] with an optional observability bundle: cleaning,
+/// univariate, and DBSCAN statistics are recorded as trace points and
+/// counters. All emission happens orchestrator-side, after the
+/// data-parallel kernels return, so the logical event stream is identical
+/// for any thread budget.
+pub fn preprocess_observed(
     mut dataset: Dataset,
     street_map: &StreetMap,
     config: &IndiceConfig,
     runtime: &epc_runtime::RuntimeConfig,
     injector: Option<&dyn FaultInjector>,
+    obs: Option<&Obs<'_>>,
 ) -> Result<(PreprocessOutput, Quarantine), IndiceError> {
     if dataset.is_empty() {
         return Err(IndiceError::EmptyCollection("preprocess"));
@@ -144,7 +161,8 @@ pub fn preprocess_faulty(
         return Err(IndiceError::EmptyCollection("record validation"));
     }
 
-    let (mut out, unresolved) = preprocess_core(dataset, street_map, config, runtime, injector)?;
+    let (mut out, unresolved) =
+        preprocess_core(dataset, street_map, config, runtime, injector, obs)?;
 
     // Unresolved-address quarantine (opt-in): rows the cleaning pass
     // could not place anywhere, now also flagged in `removed_rows`.
@@ -193,12 +211,16 @@ fn preprocess_core(
     config: &IndiceConfig,
     runtime: &epc_runtime::RuntimeConfig,
     injector: Option<&dyn FaultInjector>,
+    obs: Option<&Obs<'_>>,
 ) -> Result<(PreprocessOutput, Vec<(usize, String)>), IndiceError> {
     if dataset.is_empty() {
         return Err(IndiceError::EmptyCollection("preprocess"));
     }
     let (cleaning, degraded_rows, unresolved_rows) =
         clean_geospatial(&mut dataset, street_map, config, runtime, injector)?;
+    if let Some(obs) = obs {
+        record_cleaning(obs, &cleaning);
+    }
 
     // --- Univariate outliers ---
     let mut flagged: BTreeSet<usize> = BTreeSet::new();
@@ -213,6 +235,17 @@ fn preprocess_core(
             .collect();
         flagged.extend(hits.iter().copied());
         univariate_flagged.insert(attr.clone(), hits);
+    }
+    if let Some(obs) = obs {
+        obs.point(
+            "preprocess:univariate",
+            &[
+                ("attrs", univariate_flagged.len().into()),
+                ("flagged", flagged.len().into()),
+            ],
+        );
+        obs.metrics()
+            .inc("outliers_univariate_flagged", flagged.len() as u64);
     }
 
     // --- Multivariate outliers (DBSCAN, §2.1.2) ---
@@ -258,6 +291,26 @@ fn preprocess_core(
             };
             if let Some(params) = params {
                 let result = dbscan_with_runtime(&scaled, &params, runtime);
+                if let Some(obs) = obs {
+                    obs.point(
+                        "preprocess:dbscan",
+                        &[
+                            ("eps", params.eps.into()),
+                            ("min_points", params.min_points.into()),
+                            ("neighbour_links", result.neighbour_links.into()),
+                            ("noise", result.noise_indices().len().into()),
+                            ("points", result.labels.len().into()),
+                            ("region_queries", result.region_queries.into()),
+                        ],
+                    );
+                    let m = obs.metrics();
+                    m.inc("dbscan_region_queries", result.region_queries as u64);
+                    m.inc("dbscan_neighbour_links", result.neighbour_links as u64);
+                    m.inc(
+                        "outliers_multivariate_flagged",
+                        result.noise_indices().len() as u64,
+                    );
+                }
                 multivariate_flagged = result
                     .noise_indices()
                     .into_iter()
@@ -305,6 +358,31 @@ fn preprocess_core(
         },
         quarantined_unresolved,
     ))
+}
+
+/// Records the cleaning report as one trace point plus geocoder counters.
+fn record_cleaning(obs: &Obs<'_>, report: &CleaningReport) {
+    obs.point(
+        "preprocess:cleaning",
+        &[
+            ("by_geocoder", report.by_geocoder.into()),
+            ("by_reference", report.by_reference.into()),
+            ("coords_fixed", report.coords_fixed.into()),
+            ("degraded", report.degraded.into()),
+            ("exact_matches", report.exact_matches.into()),
+            ("geocoder_requests", report.geocoder_requests.into()),
+            ("geocoder_retries", report.geocoder_retries.into()),
+            ("streets_fixed", report.streets_fixed.into()),
+            ("total", report.total.into()),
+            ("unresolved", report.unresolved.into()),
+            ("zips_fixed", report.zips_fixed.into()),
+        ],
+    );
+    let m = obs.metrics();
+    m.inc("geocoder_requests", report.geocoder_requests as u64);
+    m.inc("geocoder_retries", report.geocoder_retries as u64);
+    m.inc("geocode_degraded", report.degraded as u64);
+    m.inc("geocode_unresolved", report.unresolved as u64);
 }
 
 /// The §2.1.1 geospatial-cleaning pass, applied in place. Returns the
