@@ -4,15 +4,16 @@
 # external dependencies are local path shims (see shims/README.md).
 #
 # Usage: ./ci.sh [stage]
-#   stage: lint | fmt | clippy | tier1 | chaos | crash | obs   (default: all, in order)
+#   stage: lint | fmt | clippy | tier1 | chaos | crash | obs | fleet
+#   (default: all, in order)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 stage="${1:-all}"
 case "$stage" in
-  all|lint|fmt|clippy|tier1|chaos|crash|obs) ;;
+  all|lint|fmt|clippy|tier1|chaos|crash|obs|fleet) ;;
   *)
-    echo "usage: $0 [lint|fmt|clippy|tier1|chaos|crash|obs]" >&2
+    echo "usage: $0 [lint|fmt|clippy|tier1|chaos|crash|obs|fleet]" >&2
     exit 2
     ;;
 esac
@@ -197,6 +198,76 @@ if want obs; then
   if [ "$(normalise_bench "$OBS_DIR/bench1.json")" != \
        "$(normalise_bench "$OBS_DIR/bench2.json")" ]; then
     echo "FAIL: bench snapshots differ in deterministic fields" >&2
+    exit 1
+  fi
+fi
+
+if want fleet; then
+  echo "== fleet: coordinator unit + chaos suites =="
+  cargo test -q --offline -p epc-coord
+  cargo test -q --offline -p indice --test fleet
+
+  echo "== fleet: CLI kill/resume loop at two coordinator crash points =="
+  # Kill the coordinator between shard commits (exit 70), resume the
+  # fleet directory, and require the whole fleet tree — fleet journal,
+  # per-city run dirs, merged metrics, dashboard — to be byte-identical
+  # to an uninterrupted fleet's.
+  cargo build -q --release --offline -p indice-cli
+  INDICE="$(pwd)/target/release/indice"
+  FLEET_DIR="$(mktemp -d)"
+  trap 'rm -rf ${CHAOS_DIR:+"$CHAOS_DIR"} ${CRASH_DIR:+"$CRASH_DIR"} \
+    ${OBS_DIR:+"$OBS_DIR"} "$FLEET_DIR"' EXIT
+
+  fleet_args=(fleet run --cities 3 --records 400 --seed 5)
+
+  "$INDICE" "${fleet_args[@]}" --out-dir "$FLEET_DIR/baseline" >/dev/null
+  baseline_hash="$(tree_hash "$FLEET_DIR/baseline")"
+  baseline_metrics="$FLEET_DIR/baseline/fleet.metrics.json"
+
+  for point in 0:after 1:before; do
+    dir="$FLEET_DIR/run-${point//:/-}"
+    set +e
+    "$INDICE" "${fleet_args[@]}" --out-dir "$dir" --crash-at-city "$point" \
+      >/dev/null 2>&1
+    code=$?
+    set -e
+    if [ "$code" -ne 70 ]; then
+      echo "FAIL: --crash-at-city $point exited $code (expected 70)" >&2
+      exit 1
+    fi
+    "$INDICE" "${fleet_args[@]}" --resume "$dir" >/dev/null
+    if ! cmp -s "$dir/fleet.metrics.json" "$baseline_metrics"; then
+      echo "FAIL: merged metrics after $point differ from baseline" >&2
+      exit 1
+    fi
+    if [ "$(tree_hash "$dir")" != "$baseline_hash" ]; then
+      echo "FAIL: resume after $point is not byte-identical to baseline" >&2
+      exit 1
+    fi
+  done
+
+  echo "== fleet: degraded fleet keeps surviving cities byte-identical =="
+  set +e
+  "$INDICE" "${fleet_args[@]}" --out-dir "$FLEET_DIR/degraded" \
+    --kill-city 1 --kill-stage preprocess --kill-attempt all \
+    >/dev/null 2>&1
+  code=$?
+  set -e
+  if [ "$code" -ne 3 ]; then
+    echo "FAIL: exhausted city exited $code (expected 3 = degraded)" >&2
+    exit 1
+  fi
+  for city_dir in "$FLEET_DIR/baseline/cities/"*/; do
+    city="$(basename "$city_dir")"
+    [ "$city" = "01-milano" ] && continue
+    if [ "$(tree_hash "$city_dir")" != \
+         "$(tree_hash "$FLEET_DIR/degraded/cities/$city")" ]; then
+      echo "FAIL: surviving city $city differs from fault-free baseline" >&2
+      exit 1
+    fi
+  done
+  if ! grep -q "city unavailable" "$FLEET_DIR/degraded/fleet_dashboard.html"; then
+    echo "FAIL: degraded dashboard lacks the unavailable panel" >&2
     exit 1
   fi
 fi

@@ -1,0 +1,150 @@
+//! Deterministic seedable retry backoff, keyed on `(city_id, attempt)`.
+//!
+//! Same discipline as the geocoder's `RetryGeocoder` backoff: exponential
+//! growth capped at a ceiling, with deterministic jitter drawn by hashing
+//! the key — never from OS entropy or the clock. Two coordinators with the
+//! same seed produce the same schedule for the same city, regardless of
+//! thread count or the order cities are (re)tried in.
+
+/// Retry budget and backoff schedule for shard supervision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per shard (1 = no retry). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Backoff schedule between failed attempts.
+    pub backoff: Backoff,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 2,
+            backoff: Backoff::default(),
+        }
+    }
+}
+
+/// Deterministic backoff schedule: `delay(attempt) ≈ base · factor^(attempt-1)`
+/// capped at `max_ms`, jittered into `[half, full]` by hashing
+/// `(seed, city_id, attempt)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Backoff {
+    /// Base delay in milliseconds. The default is 0: schedules are
+    /// computed and journaled but never slept, which keeps chaos tests
+    /// instant while still pinning the schedule bytes.
+    pub base_ms: u64,
+    /// Exponential growth factor per attempt.
+    pub factor: u64,
+    /// Ceiling on any single delay.
+    pub max_ms: u64,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            base_ms: 0,
+            factor: 2,
+            max_ms: 10_000,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl Backoff {
+    /// The delay before retrying `city_id` after its `attempt`-th failed
+    /// attempt (1-based). A pure function of `(seed, city_id, attempt)`.
+    pub fn delay_ms(&self, city_id: &str, attempt: u32) -> u64 {
+        if self.base_ms == 0 {
+            return 0;
+        }
+        let exp = attempt.saturating_sub(1).min(20);
+        let full = self
+            .base_ms
+            .saturating_mul(self.factor.saturating_pow(exp))
+            .min(self.max_ms);
+        let half = full / 2;
+        let h = splitmix64(self.seed ^ fnv1a(city_id) ^ splitmix64(attempt as u64));
+        half + h % (full - half + 1)
+    }
+
+    /// The full schedule for `city_id` under a budget of `max_attempts`:
+    /// one delay per failed attempt that still has a retry left.
+    pub fn schedule(&self, city_id: &str, max_attempts: u32) -> Vec<u64> {
+        (1..max_attempts)
+            .map(|attempt| self.delay_ms(city_id, attempt))
+            .collect()
+    }
+}
+
+/// FNV-1a over a city id.
+fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// SplitMix64 avalanche mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_base_zero_never_sleeps() {
+        let b = Backoff::default();
+        assert_eq!(b.delay_ms("torino", 1), 0);
+        assert_eq!(b.schedule("torino", 4), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_city_and_attempt() {
+        let b = Backoff {
+            base_ms: 100,
+            ..Backoff::default()
+        };
+        assert_eq!(b.delay_ms("milano", 2), b.delay_ms("milano", 2));
+        assert_ne!(
+            b.schedule("milano", 5),
+            b.schedule("genova", 5),
+            "different cities draw different jitter"
+        );
+    }
+
+    #[test]
+    fn delays_grow_exponentially_and_cap() {
+        let b = Backoff {
+            base_ms: 100,
+            factor: 2,
+            max_ms: 500,
+            seed: 1,
+        };
+        for attempt in 1..10 {
+            let d = b.delay_ms("x", attempt);
+            let full = (100u64 * 2u64.pow(attempt.saturating_sub(1).min(20))).min(500);
+            assert!(d >= full / 2 && d <= full, "attempt {attempt}: {d}");
+        }
+        assert!(b.delay_ms("x", 9) <= 500);
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let b = Backoff {
+            base_ms: u64::MAX / 2,
+            factor: u64::MAX,
+            max_ms: u64::MAX,
+            seed: 0,
+        };
+        let _ = b.delay_ms("x", u32::MAX);
+    }
+}

@@ -171,7 +171,7 @@ impl FaultInjector for DeterministicInjector {
 }
 
 /// FNV-1a over a record key string.
-fn fnv1a(key: &str) -> u64 {
+pub(crate) fn fnv1a(key: &str) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for b in key.bytes() {
         h ^= b as u64;
@@ -181,7 +181,7 @@ fn fnv1a(key: &str) -> u64 {
 }
 
 /// SplitMix64 avalanche mixer.
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e3779b97f4a7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);

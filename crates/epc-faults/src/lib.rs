@@ -26,10 +26,12 @@
 
 mod corrupt;
 mod crash;
+mod fleet;
 mod geocoder;
 mod injector;
 
 pub use corrupt::corrupt_dataset;
 pub use crash::CrashSpec;
+pub use fleet::{CityFaultSpec, FleetFaults, StageKillSpec};
 pub use geocoder::FaultyGeocoder;
 pub use injector::{Corruption, DeterministicInjector, FaultInjector, NoFaults};

@@ -53,6 +53,34 @@ impl Histogram {
         }
     }
 
+    /// Rebuilds a histogram from previously exposed parts (the JSON
+    /// shape's `bounds`/`counts`/`sum`/`count`), for merging snapshots
+    /// that round-tripped through disk. Returns `None` when the parts are
+    /// inconsistent: unsorted/duplicated bounds, a counts length other
+    /// than `bounds.len() + 1`, or a total that disagrees with the bucket
+    /// counts.
+    pub fn from_parts(bounds: Vec<u64>, counts: Vec<u64>, sum: u64, count: u64) -> Option<Self> {
+        if counts.len() != bounds.len() + 1 {
+            return None;
+        }
+        if bounds.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        let mut total = 0u64;
+        for &c in &counts {
+            total = total.checked_add(c)?;
+        }
+        if total != count {
+            return None;
+        }
+        Some(Histogram {
+            bounds,
+            counts,
+            sum,
+            total,
+        })
+    }
+
     /// Records one observation into the first bucket whose edge admits it.
     pub fn observe(&mut self, value: u64) {
         let idx = self
@@ -337,6 +365,21 @@ mod tests {
         assert_eq!(h.counts(), &[2, 2, 2]);
         assert_eq!(h.count(), 6);
         assert_eq!(h.sum(), 1 + 10 + 11 + 100 + 101 + 5000);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_garbage() {
+        let mut h = Histogram::new(&[10, 100]);
+        for v in [1, 50, 999] {
+            h.observe(v);
+        }
+        let rebuilt =
+            Histogram::from_parts(h.bounds().to_vec(), h.counts().to_vec(), h.sum(), h.count())
+                .expect("round trip");
+        assert_eq!(rebuilt, h);
+        assert!(Histogram::from_parts(vec![10], vec![1], 0, 1).is_none());
+        assert!(Histogram::from_parts(vec![10, 5], vec![0, 0, 0], 0, 0).is_none());
+        assert!(Histogram::from_parts(vec![10], vec![1, 1], 0, 3).is_none());
     }
 
     #[test]

@@ -29,6 +29,15 @@ pub struct SynthConfig {
     /// Fraction of certificates with intended use `E.1.1` (permanent
     /// residences — the case-study filter).
     pub e11_fraction: f64,
+    /// Climate multiplier applied to degree-days and the EPH demand —
+    /// 1.0 reproduces Turin; colder fleet cities use > 1.0. The default
+    /// keeps single-city output byte-identical to earlier versions.
+    pub climate_factor: f64,
+    /// Additive shift of the normalized radial position fed to archetype
+    /// sampling, clamped to [0, 1]. Positive values skew the stock
+    /// towards peripheral (modern) archetypes, negative towards the
+    /// historic centre; 0.0 is the unskewed Turin mix.
+    pub archetype_skew: f64,
     /// RNG seed (independent of the city seed).
     pub seed: u64,
 }
@@ -39,6 +48,8 @@ impl Default for SynthConfig {
             n_records: 25_000,
             city: CityConfig::default(),
             e11_fraction: 0.8,
+            climate_factor: 1.0,
+            archetype_skew: 0.0,
             seed: 2024,
         }
     }
@@ -111,7 +122,8 @@ impl EpcGenerator {
 
         for i in 0..self.config.n_records {
             let entry = &entries[rng.gen_range(0..entries.len())];
-            let radial = entry.point.haversine_m(&center) / max_dist;
+            let radial = (entry.point.haversine_m(&center) / max_dist + self.config.archetype_skew)
+                .clamp(0.0, 1.0);
             let arche_id = sample_archetype(radial, &mut rng);
             let arche = &ARCHETYPES[arche_id];
             let record = self.make_record(&dataset, i, entry, arche, &mut rng);
@@ -195,7 +207,12 @@ impl EpcGenerator {
         let sr = arche.sample_heat_surface(rng);
         let eph_noise: f64 = LogNormal::new(0.0f64, 0.12).unwrap().sample(rng);
         // Round here so the stored EPH and the class derived from it agree.
-        let eph = round1((eph_model(sv, uo, uw, eta_h) * eph_noise).clamp(10.0, 500.0));
+        // `climate_factor` scales the demand the same way degree-days do;
+        // at the default 1.0 the multiplication is an exact identity.
+        let eph = round1(
+            (eph_model(sv, uo, uw, eta_h) * eph_noise * self.config.climate_factor)
+                .clamp(10.0, 500.0),
+        );
 
         // --- Identification & geography ---
         set(
@@ -398,7 +415,9 @@ impl EpcGenerator {
         set(
             &mut rec,
             "degree_days",
-            Value::num(round1(TURIN_DEGREE_DAYS * rng.gen_range(0.98..1.02))),
+            Value::num(round1(
+                TURIN_DEGREE_DAYS * self.config.climate_factor * rng.gen_range(0.98..1.02),
+            )),
         );
         set(
             &mut rec,

@@ -21,17 +21,22 @@
 //!   [`epc_model::Dataset`] plus per-record ground truth;
 //! * [`noise`] — the corruption model: address typos, missing ZIP codes,
 //!   wrong or missing coordinates, attribute outliers, so the cleaning and
-//!   outlier-removal stages have real work to do *and* measurable accuracy.
+//!   outlier-removal stages have real work to do *and* measurable accuracy;
+//! * [`fleet`] — one seed expanded into N per-city configurations
+//!   (size/climate/archetype mix per city) for multi-city coordinator
+//!   runs.
 //!
 //! Everything is seeded and fully deterministic.
 
 pub mod archetype;
 pub mod city;
 pub mod epcgen;
+pub mod fleet;
 pub mod names;
 pub mod noise;
 
 pub use archetype::{Archetype, ArchetypeId, ARCHETYPES};
 pub use city::{CityConfig, CityPlan};
 pub use epcgen::{EpcGenerator, GroundTruth, SynthConfig, SyntheticCollection};
+pub use fleet::{CitySpec, FleetConfig};
 pub use noise::NoiseConfig;

@@ -92,6 +92,42 @@ pub enum Command {
         /// Output CSV path.
         out: String,
     },
+    /// Run a multi-city fleet under the shard coordinator.
+    Fleet {
+        /// Number of cities in the fleet plan.
+        cities: usize,
+        /// Base records per city (scaled by each city's size class).
+        records: usize,
+        /// Fleet seed (city plans and synthesis derive from it).
+        seed: u64,
+        /// The fleet directory (fleet journal, per-city run dirs, merged
+        /// artifacts).
+        out_dir: String,
+        /// Resume from the fleet journal instead of starting fresh.
+        resume: bool,
+        /// Target stakeholder for every shard.
+        stakeholder: Stakeholder,
+        /// Tolerate at most this many abandoned cities before the fleet
+        /// fails outright (exit 1 instead of 3).
+        max_failed_cities: Option<usize>,
+        /// Shard attempts per city (>= 1).
+        retry_budget: u32,
+        /// Kill a stage of this city's shard (chaos testing).
+        kill_city: Option<usize>,
+        /// Stage to kill (`preprocess`/`analytics`/`dashboard`).
+        kill_stage: String,
+        /// Kill only on this attempt; `None` kills every attempt.
+        kill_attempt: Option<u32>,
+        /// Corrupt only this city's records (chaos testing).
+        corrupt_city: Option<usize>,
+        /// Record-corruption rate for the corrupted city.
+        fault_rate: f64,
+        /// Fault-plan seed.
+        fault_seed: u64,
+        /// Crash the coordinator at a city boundary
+        /// (`IDX:before` / `IDX:after`; durability testing, exit 70).
+        crash_at_city: Option<(usize, String)>,
+    },
     /// Print usage.
     Help,
 }
@@ -108,6 +144,12 @@ USAGE:
              [--max-quarantine-frac F] [--fault-seed S] [--fault-rate R] \\
              [--geocode-fail-rate R] [--crash-at STAGE:POINT] \\
              [--metrics-out FILE] [--trace-out FILE]
+  indice fleet run --cities N [--records N] [--seed S] \\
+             (--out-dir DIR | --resume DIR) [--stakeholder pa|citizen|scientist] \\
+             [--max-failed-cities K] [--retry-budget N] \\
+             [--kill-city IDX [--kill-stage STAGE] [--kill-attempt N|all]] \\
+             [--corrupt-city IDX [--fault-rate R]] [--fault-seed S] \\
+             [--crash-at-city IDX:before|after]
   indice bench --records N [--seed S] --out bench.json
   indice suggest-config --data epcs.csv
   indice clean --data epcs.csv --streets street_map.txt --out cleaned.csv
@@ -139,6 +181,24 @@ structured span/point trace as JSON Lines; every event carries a logical
 sequence number, so the stream (minus wall-clock fields) is bitwise
 identical at any thread count.
 
+`fleet run` expands a seeded multi-city plan and runs every city's full
+durable pipeline as a supervised shard: a panicking or failing shard is
+retried within `--retry-budget` attempts (deterministic backoff), a city
+that exhausts its budget degrades the fleet to a partial result instead
+of sinking it, and shard lifecycle events are journaled so a crashed
+fleet resumes replaying only unfinished cities — byte-identical to an
+uninterrupted run. Merged cross-city metrics land in fleet.metrics.json
+and the comparison dashboard in fleet_dashboard.html (failed cities as
+explicit \"unavailable\" panels).
+
+  exit code  meaning
+  ---------  -------------------------------------------------------
+  0          complete — every city committed
+  3          degraded — some cities unavailable, partial fleet output
+  1          failed — all cities failed, or more than
+             --max-failed-cities were abandoned
+  70         injected coordinator crash (resume with --resume DIR)
+
 `bench` generates a synthetic collection in memory, runs the full
 observed pipeline, and writes a benchmark snapshot (per-stage wall
 milliseconds, records/sec, peak shard imbalance) to `--out`.
@@ -165,6 +225,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let Some(cmd) = args.first() else {
         return Ok(Command::Help);
     };
+    // `fleet` takes a sub-command word before its flags.
+    if cmd == "fleet" {
+        return parse_fleet(&args[1..]);
+    }
     let flags = parse_flags(&args[1..])?;
     let get = |name: &str| -> Result<&String, String> {
         flags
@@ -283,6 +347,162 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         }),
         other => Err(format!("unknown command {other:?}; try `indice help`")),
     }
+}
+
+/// Parses the `fleet` sub-commands (`args` starts at the sub-command
+/// word).
+fn parse_fleet(args: &[String]) -> Result<Command, String> {
+    match args.first().map(String::as_str) {
+        Some("run") => {}
+        Some(other) => {
+            return Err(format!(
+                "unknown fleet sub-command {other:?}; try `indice fleet run`"
+            ))
+        }
+        None => return Err("fleet needs a sub-command: `indice fleet run ...`".into()),
+    }
+    let flags = parse_flags(&args[1..])?;
+    let cities: usize = flags
+        .get("cities")
+        .ok_or("missing required flag --cities")?
+        .parse()
+        .map_err(|e| format!("--cities: {e}"))?;
+    if cities == 0 {
+        return Err("--cities must be positive".into());
+    }
+    let records: usize = flags
+        .get("records")
+        .map(|s| s.parse().map_err(|e| format!("--records: {e}")))
+        .transpose()?
+        .unwrap_or(1200);
+    if records == 0 {
+        return Err("--records must be positive".into());
+    }
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(2024);
+    let stakeholder = match flags.get("stakeholder").map(String::as_str) {
+        None | Some("pa") | Some("public-administration") => Stakeholder::PublicAdministration,
+        Some("citizen") => Stakeholder::Citizen,
+        Some("scientist") | Some("energy-scientist") => Stakeholder::EnergyScientist,
+        Some(other) => return Err(format!("unknown --stakeholder {other:?}")),
+    };
+    let (out_dir, resume) = match (flags.get("out-dir"), flags.get("resume")) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "--out-dir and --resume are mutually exclusive (both name the fleet \
+                 directory; --resume continues from its journal)"
+                    .into(),
+            )
+        }
+        (Some(dir), None) => (dir.clone(), false),
+        (None, Some(dir)) => (dir.clone(), true),
+        (None, None) => return Err("missing required flag --out-dir (or --resume DIR)".into()),
+    };
+    let max_failed_cities = flags
+        .get("max-failed-cities")
+        .map(|s| s.parse().map_err(|e| format!("--max-failed-cities: {e}")))
+        .transpose()?;
+    let retry_budget: u32 = flags
+        .get("retry-budget")
+        .map(|s| s.parse().map_err(|e| format!("--retry-budget: {e}")))
+        .transpose()?
+        .unwrap_or(2);
+    if retry_budget == 0 {
+        return Err("--retry-budget must be at least 1".into());
+    }
+    let kill_city: Option<usize> = flags
+        .get("kill-city")
+        .map(|s| s.parse().map_err(|e| format!("--kill-city: {e}")))
+        .transpose()?;
+    let kill_stage = flags
+        .get("kill-stage")
+        .cloned()
+        .unwrap_or_else(|| "preprocess".to_owned());
+    if !matches!(
+        kill_stage.as_str(),
+        "preprocess" | "analytics" | "dashboard"
+    ) {
+        return Err(format!(
+            "--kill-stage must be preprocess, analytics, or dashboard, got {kill_stage:?}"
+        ));
+    }
+    let kill_attempt = match flags.get("kill-attempt").map(String::as_str) {
+        None | Some("all") => None,
+        Some(raw) => Some(raw.parse().map_err(|e| format!("--kill-attempt: {e}"))?),
+    };
+    if kill_city.is_none()
+        && (flags.contains_key("kill-stage") || flags.contains_key("kill-attempt"))
+    {
+        return Err("--kill-stage/--kill-attempt need --kill-city".into());
+    }
+    let corrupt_city: Option<usize> = flags
+        .get("corrupt-city")
+        .map(|s| s.parse().map_err(|e| format!("--corrupt-city: {e}")))
+        .transpose()?;
+    let fault_rate = if flags.contains_key("fault-rate") {
+        if corrupt_city.is_none() {
+            return Err("--fault-rate needs --corrupt-city".into());
+        }
+        parse_rate(&flags, "fault-rate")?
+    } else if corrupt_city.is_some() {
+        0.2
+    } else {
+        0.0
+    };
+    let fault_seed: u64 = flags
+        .get("fault-seed")
+        .map(|s| s.parse().map_err(|e| format!("--fault-seed: {e}")))
+        .transpose()?
+        .unwrap_or(2024);
+    let crash_at_city = flags
+        .get("crash-at-city")
+        .map(|raw| -> Result<(usize, String), String> {
+            let (idx, point) = raw.split_once(':').ok_or_else(|| {
+                format!("--crash-at-city: expected IDX:before|after, got {raw:?}")
+            })?;
+            let idx: usize = idx
+                .parse()
+                .map_err(|e| format!("--crash-at-city index: {e}"))?;
+            if !matches!(point, "before" | "after") {
+                return Err(format!(
+                    "--crash-at-city point must be before or after, got {point:?}"
+                ));
+            }
+            Ok((idx, point.to_owned()))
+        })
+        .transpose()?;
+    for (flag, idx) in [
+        ("kill-city", kill_city),
+        ("corrupt-city", corrupt_city),
+        ("crash-at-city", crash_at_city.as_ref().map(|(i, _)| *i)),
+    ] {
+        if idx.is_some_and(|i| i >= cities) {
+            return Err(format!(
+                "--{flag} index out of range (fleet has {cities} cities, indices 0..{})",
+                cities - 1
+            ));
+        }
+    }
+    Ok(Command::Fleet {
+        cities,
+        records,
+        seed,
+        out_dir,
+        resume,
+        stakeholder,
+        max_failed_cities,
+        retry_budget,
+        kill_city,
+        kill_stage,
+        kill_attempt,
+        corrupt_city,
+        fault_rate,
+        fault_seed,
+        crash_at_city,
+    })
 }
 
 /// Strictly validates an `INDICE_STAGE_DEADLINE_MS` value: `None` (unset)
@@ -762,6 +982,108 @@ mod tests {
         assert!(parse_args(&v(&["bench", "--out", "b.json"])).is_err());
         assert!(parse_args(&v(&["bench", "--records", "0", "--out", "b.json"])).is_err());
         assert!(parse_args(&v(&["bench", "--records", "10"])).is_err());
+    }
+
+    #[test]
+    fn fleet_run_parses_with_defaults() {
+        let cmd = parse_args(&v(&["fleet", "run", "--cities", "3", "--out-dir", "f"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Fleet {
+                cities: 3,
+                records: 1200,
+                seed: 2024,
+                out_dir: "f".into(),
+                resume: false,
+                stakeholder: Stakeholder::PublicAdministration,
+                max_failed_cities: None,
+                retry_budget: 2,
+                kill_city: None,
+                kill_stage: "preprocess".into(),
+                kill_attempt: None,
+                corrupt_city: None,
+                fault_rate: 0.0,
+                fault_seed: 2024,
+                crash_at_city: None,
+            }
+        );
+    }
+
+    #[test]
+    fn fleet_run_parses_chaos_flags() {
+        let cmd = parse_args(&v(&[
+            "fleet",
+            "run",
+            "--cities",
+            "4",
+            "--resume",
+            "f",
+            "--retry-budget",
+            "3",
+            "--max-failed-cities",
+            "1",
+            "--kill-city",
+            "2",
+            "--kill-stage",
+            "analytics",
+            "--kill-attempt",
+            "1",
+            "--corrupt-city",
+            "3",
+            "--crash-at-city",
+            "1:after",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Fleet {
+                resume,
+                retry_budget,
+                max_failed_cities,
+                kill_city,
+                kill_stage,
+                kill_attempt,
+                corrupt_city,
+                fault_rate,
+                crash_at_city,
+                ..
+            } => {
+                assert!(resume);
+                assert_eq!(retry_budget, 3);
+                assert_eq!(max_failed_cities, Some(1));
+                assert_eq!(kill_city, Some(2));
+                assert_eq!(kill_stage, "analytics");
+                assert_eq!(kill_attempt, Some(1));
+                assert_eq!(corrupt_city, Some(3));
+                assert_eq!(fault_rate, 0.2, "corrupt-city defaults the rate on");
+                assert_eq!(crash_at_city, Some((1, "after".into())));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fleet_run_rejects_bad_flags() {
+        let f = |extra: &[&str]| {
+            let mut base = v(&["fleet", "run", "--cities", "3", "--out-dir", "f"]);
+            base.extend(extra.iter().map(|s| s.to_string()));
+            parse_args(&base)
+        };
+        assert!(parse_args(&v(&["fleet"])).is_err(), "missing sub-command");
+        assert!(parse_args(&v(&["fleet", "stop"])).is_err());
+        assert!(parse_args(&v(&["fleet", "run", "--out-dir", "f"])).is_err());
+        assert!(parse_args(&v(&["fleet", "run", "--cities", "0", "--out-dir", "f"])).is_err());
+        assert!(f(&["--resume", "f"]).is_err(), "out-dir xor resume");
+        assert!(f(&["--retry-budget", "0"]).is_err());
+        assert!(
+            f(&["--kill-stage", "analytics"]).is_err(),
+            "needs kill-city"
+        );
+        assert!(f(&["--kill-city", "1", "--kill-stage", "geocode"]).is_err());
+        assert!(f(&["--fault-rate", "0.5"]).is_err(), "needs corrupt-city");
+        assert!(f(&["--kill-city", "7"]).is_err(), "index out of range");
+        assert!(f(&["--crash-at-city", "1"]).is_err());
+        assert!(f(&["--crash-at-city", "1:during"]).is_err());
+        assert!(f(&["--crash-at-city", "9:after"]).is_err());
     }
 
     #[test]

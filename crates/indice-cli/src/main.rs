@@ -11,13 +11,16 @@
 mod args;
 
 use args::{parse_args, Command, NoisePreset, STAGE_DEADLINE_ENV_VAR, USAGE};
-use epc_faults::{Corruption, CrashSpec, DeterministicInjector};
+use epc_coord::{CoordCrash, RetryPolicy, ShardStatus};
+use epc_faults::{
+    CityFaultSpec, Corruption, CrashSpec, DeterministicInjector, FleetFaults, StageKillSpec,
+};
 use epc_geo::region::RegionHierarchy;
 use epc_geo::streetmap::StreetMap;
 use epc_journal::write_atomic_path;
 use epc_model::{Dataset, Quarantine};
 use epc_synth::noise::{apply_noise, NoiseConfig};
-use epc_synth::{EpcGenerator, SynthConfig};
+use epc_synth::{EpcGenerator, FleetConfig, SynthConfig};
 use indice::autoconfig::suggest_config;
 use indice::config::IndiceConfig;
 use indice::durable::DurableOptions;
@@ -94,6 +97,39 @@ fn execute(command: Command) -> Result<ExitCode, String> {
             crash_at.as_ref(),
             metrics_out.as_deref(),
             trace_out.as_deref(),
+        ),
+        Command::Fleet {
+            cities,
+            records,
+            seed,
+            out_dir,
+            resume,
+            stakeholder,
+            max_failed_cities,
+            retry_budget,
+            kill_city,
+            kill_stage,
+            kill_attempt,
+            corrupt_city,
+            fault_rate,
+            fault_seed,
+            crash_at_city,
+        } => fleet(
+            cities,
+            records,
+            seed,
+            &out_dir,
+            resume,
+            stakeholder,
+            max_failed_cities,
+            retry_budget,
+            kill_city,
+            &kill_stage,
+            kill_attempt,
+            corrupt_city,
+            fault_rate,
+            fault_seed,
+            crash_at_city,
         ),
         Command::Bench { records, seed, out } => bench(records, seed, &out),
         Command::Clean { data, streets, out } => {
@@ -359,6 +395,131 @@ fn run(
     }
     println!("outcome: {}", output.outcome);
     Ok(ExitCode::from(output.outcome.exit_code()))
+}
+
+/// Runs a multi-city fleet under the shard coordinator.
+#[allow(clippy::too_many_arguments)]
+fn fleet(
+    cities: usize,
+    records: usize,
+    seed: u64,
+    out_dir: &str,
+    resume: bool,
+    stakeholder: epc_query::Stakeholder,
+    max_failed_cities: Option<usize>,
+    retry_budget: u32,
+    kill_city: Option<usize>,
+    kill_stage: &str,
+    kill_attempt: Option<u32>,
+    corrupt_city: Option<usize>,
+    fault_rate: f64,
+    fault_seed: u64,
+    crash_at_city: Option<(usize, String)>,
+) -> Result<ExitCode, String> {
+    let runtime = epc_runtime::RuntimeConfig::try_from_env()?;
+    let plan = FleetConfig {
+        n_cities: cities,
+        records_per_city: records,
+        seed,
+    };
+
+    // Chaos flags build a per-city fault plan; kill and corrupt specs
+    // aimed at the same city compose into one spec.
+    let mut specs: std::collections::BTreeMap<usize, CityFaultSpec> =
+        std::collections::BTreeMap::new();
+    if let Some(idx) = kill_city {
+        specs.entry(idx).or_default().kill = Some(StageKillSpec {
+            stage: kill_stage.to_owned(),
+            attempt: kill_attempt,
+        });
+    }
+    if let Some(idx) = corrupt_city {
+        specs.entry(idx).or_default().record_rate = fault_rate;
+    }
+    let faults = if specs.is_empty() {
+        None
+    } else {
+        let mut plan_faults = FleetFaults::new(fault_seed);
+        for (idx, spec) in specs {
+            plan_faults = plan_faults.with_city(&plan.city(idx).id, spec);
+        }
+        Some(plan_faults)
+    };
+
+    let crash = crash_at_city.map(|(idx, point)| {
+        if point == "before" {
+            CoordCrash::BeforeCity(idx)
+        } else {
+            CoordCrash::AfterCommit(idx)
+        }
+    });
+
+    let clock = epc_runtime::WallClock::new();
+    let mut opts = indice::FleetRunOptions::new(out_dir, plan, &clock);
+    opts.resume = resume;
+    opts.stakeholder = stakeholder;
+    opts.policy = RetryPolicy {
+        max_attempts: retry_budget,
+        ..RetryPolicy::default()
+    };
+    opts.max_failed = max_failed_cities;
+    opts.faults = faults.as_ref();
+    opts.crash = crash;
+    opts.runtime = runtime;
+
+    let output = match indice::run_fleet(&opts) {
+        Ok(output) => output,
+        Err(IndiceError::CrashInjected { point, .. }) => {
+            eprintln!(
+                "injected coordinator crash fired ({point}); resume with \
+                 `indice fleet run --cities {cities} --resume {out_dir}`"
+            );
+            return Ok(ExitCode::from(CRASH_EXIT_CODE));
+        }
+        Err(e) => return Err(format!("fleet run failed: {e}")),
+    };
+
+    let result = &output.result;
+    if !result.journal_hits.is_empty() {
+        println!(
+            "resumed from fleet journal: {} city(ies) validated and skipped ({}), {} replayed",
+            result.journal_hits.len(),
+            result.journal_hits.join(", "),
+            result.replayed.len()
+        );
+    }
+    for shard in &result.shards {
+        match &shard.status {
+            ShardStatus::Committed => {
+                let dash = "-".to_owned();
+                let kept = shard.summary.get("kept").unwrap_or(&dash);
+                let k = shard.summary.get("chosen_k").unwrap_or(&dash);
+                let degraded = if shard.degraded { ", degraded" } else { "" };
+                println!(
+                    "  {}: committed after {} attempt(s){degraded} — {kept} records kept, K = {k}",
+                    shard.city, shard.attempts
+                );
+            }
+            ShardStatus::Abandoned { reason } => println!(
+                "  {}: UNAVAILABLE after {} attempt(s) — {reason}",
+                shard.city, shard.attempts
+            ),
+        }
+    }
+    match &result.outcome {
+        epc_coord::FleetOutcome::Complete => println!(
+            "fleet complete: {} cities committed; merged metrics + dashboard in {out_dir}/",
+            result.shards.len()
+        ),
+        epc_coord::FleetOutcome::Degraded { failed_cities, .. } => println!(
+            "fleet degraded: {} of {} cities unavailable ({}); partial merge in {out_dir}/",
+            failed_cities.len(),
+            result.shards.len(),
+            failed_cities.join(", ")
+        ),
+        epc_coord::FleetOutcome::Failed(reason) => eprintln!("fleet failed: {reason}"),
+    }
+    Ok(ExitCode::from(result.outcome.exit_code()))
 }
 
 /// Writes the metrics snapshot: `.json` selects the JSON codec, anything

@@ -132,6 +132,9 @@ pub struct DurableOutput {
     pub journal_hits: Vec<String>,
     /// Stages actually executed by this process.
     pub replayed: Vec<String>,
+    /// Why resume validation dropped a journal suffix, when it did — the
+    /// message names the run directory and the offending seq.
+    pub resume_rejection: Option<String>,
 }
 
 /// Borrowed engine state a durable run needs ([`crate::engine::Indice`]
@@ -168,30 +171,52 @@ fn config_fingerprint(
 }
 
 /// Validates journal entries against the expected stage sequence and the
-/// current inputs; returns the length of the longest trustworthy prefix.
+/// current inputs; returns the length of the longest trustworthy prefix
+/// plus, when a suffix is dropped, a rejection message naming the run
+/// directory and the offending seq — multi-directory fleet runs are
+/// undebuggable when the message only says *why*, not *where*.
 fn validate_prefix(
     entries: &[StageEntry],
     expected: &[&str],
     config_fp: &str,
     input_hash: &str,
     run_dir: &Path,
-) -> usize {
+) -> (usize, Option<String>) {
+    let reject = |i: usize, entry: &StageEntry, why: String| {
+        (
+            i,
+            Some(format!(
+                "run {}: journal entry seq {} ({}) rejected: {why}",
+                run_dir.display(),
+                entry.seq,
+                entry.stage
+            )),
+        )
+    };
     for (i, entry) in entries.iter().enumerate() {
-        let positional_ok = i < expected.len()
-            && entry.seq == i
-            && entry.stage == expected[i]
-            && entry.config_fingerprint == config_fp
-            && entry.input_hash == input_hash;
-        if !positional_ok {
-            return i;
+        if i >= expected.len() || entry.seq != i {
+            return reject(
+                i,
+                entry,
+                format!("expected seq {i} of {} stages", expected.len()),
+            );
+        }
+        if entry.stage != expected[i] {
+            return reject(i, entry, format!("expected stage '{}'", expected[i]));
+        }
+        if entry.config_fingerprint != config_fp {
+            return reject(i, entry, "stale config fingerprint".to_owned());
+        }
+        if entry.input_hash != input_hash {
+            return reject(i, entry, "stale input hash".to_owned());
         }
         for rec in &entry.checkpoints {
-            if rec.read_verified(run_dir).is_err() {
-                return i;
+            if let Err(e) = rec.read_verified(run_dir) {
+                return reject(i, entry, e.to_string());
             }
         }
     }
-    entries.len()
+    (entries.len(), None)
 }
 
 /// Writes the checkpoints capturing a stage's product, if the product is
@@ -273,13 +298,20 @@ fn rehydrate(
     ctx: &mut PipelineContext<'_>,
     run_dir: &Path,
 ) -> Result<(), IndiceError> {
+    let where_ = format!("seq {} of run {}", entry.seq, run_dir.display());
     let read = |rec: &ArtifactRecord| -> Result<String, IndiceError> {
-        let bytes = dur(rec.read_verified(run_dir), "re-reading checkpoint")?;
+        let bytes = dur(
+            rec.read_verified(run_dir),
+            &format!("re-reading checkpoint for {where_}"),
+        )?;
         String::from_utf8(bytes)
-            .map_err(|e| IndiceError::Durability(format!("checkpoint not UTF-8: {e}")))
+            .map_err(|e| IndiceError::Durability(format!("checkpoint for {where_} not UTF-8: {e}")))
     };
     let decode_err = |e: serde::Error| {
-        IndiceError::Durability(format!("decoding {} checkpoint: {e}", entry.stage))
+        IndiceError::Durability(format!(
+            "decoding {} checkpoint at {where_}: {e}",
+            entry.stage
+        ))
     };
     match entry.stage.as_str() {
         "preprocess" => {
@@ -347,14 +379,23 @@ pub(crate) fn run_durable_inner(
     let expected: Vec<&str> = stages.iter().map(|(s, _)| s.name()).collect();
 
     let journal = Journal::at(run_dir);
-    let entries = dur(journal.load(), "loading journal")?;
-    let valid = if opts.resume {
+    let entries = dur(
+        journal.load(),
+        &format!("loading journal of run {}", run_dir.display()),
+    )?;
+    let (valid, resume_rejection) = if opts.resume {
         validate_prefix(&entries, &expected, &config_fp, &input_hash, run_dir)
     } else {
-        0
+        (0, None)
     };
     if valid < entries.len() {
-        dur(journal.rewrite(&entries[..valid]), "rewriting journal")?;
+        dur(
+            journal.rewrite(&entries[..valid]),
+            &format!(
+                "rewriting journal of run {} to drop entries from seq {valid}",
+                run_dir.display()
+            ),
+        )?;
     }
 
     let mut ctx = PipelineContext::new(
@@ -445,6 +486,7 @@ pub(crate) fn run_durable_inner(
                     degraded_stages: ctx.degraded_stages,
                     journal_hits,
                     replayed,
+                    resume_rejection: resume_rejection.clone(),
                 });
             }
         };
@@ -514,5 +556,6 @@ pub(crate) fn run_durable_inner(
         degraded_stages: ctx.degraded_stages,
         journal_hits,
         replayed,
+        resume_rejection,
     })
 }

@@ -68,6 +68,7 @@ pub mod dashboard;
 pub mod durable;
 pub mod engine;
 pub mod error;
+pub mod fleet;
 pub mod outliers;
 pub mod pipeline;
 pub mod preprocess;
@@ -79,6 +80,10 @@ pub use config::{
 pub use durable::{DurableOptions, DurableOutput};
 pub use engine::{Indice, IndiceOutput, SupervisedOutput};
 pub use error::IndiceError;
+pub use fleet::{
+    run_fleet, FleetRunOptions, FleetRunOutput, CITIES_DIR, CITY_METRICS_FILE,
+    FLEET_DASHBOARD_FILE, FLEET_METRICS_FILE,
+};
 pub use outliers::UnivariateMethod;
 pub use pipeline::{
     run_pipeline, run_pipeline_supervised, run_pipeline_supervised_with, supervised_stages,
