@@ -6,6 +6,10 @@
 # Usage: ./ci.sh [stage]
 #   stage: lint | fmt | clippy | tier1 | chaos | crash | obs | fleet
 #   (default: all, in order)
+#   lint = the two-phase epc-lint audit: per-line rules D1-D6, then the
+#   call-graph taint rules D7-D9 (transitive panic / wall-clock / entropy
+#   reachability with witness chains), plus a --format json diff against
+#   tests/golden/lint_report.json.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -27,8 +31,26 @@ tree_hash() {
 }
 
 if want lint; then
-  echo "== epc-lint: determinism & panic-surface audit =="
+  echo "== epc-lint: two-phase audit (line rules D1-D6, graph rules D7-D9) =="
   cargo run -q --release -p epc-lint --offline
+
+  echo "== epc-lint: json report vs checked-in expectation =="
+  # The volatile counters (files_scanned/functions/call_edges) churn with
+  # every unrelated file change; filter them from both sides so the diff
+  # locks the diagnostics (must be none) and the exact reasoned allow set.
+  lint_json="$(mktemp)"
+  cargo run -q --release -p epc-lint --offline -- --format json > "$lint_json"
+  filter_counts() {
+    grep -vE '^  "(files_scanned|functions|call_edges)": [0-9]+,$' "$1"
+  }
+  if ! diff <(filter_counts tests/golden/lint_report.json) \
+            <(filter_counts "$lint_json"); then
+    echo "FAIL: lint --format json drifted from tests/golden/lint_report.json" >&2
+    echo "      (regenerate with: cargo run -q --release -p epc-lint --offline -- --format json > tests/golden/lint_report.json)" >&2
+    rm -f "$lint_json"
+    exit 1
+  fi
+  rm -f "$lint_json"
 fi
 
 if want fmt; then

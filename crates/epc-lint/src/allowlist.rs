@@ -35,22 +35,32 @@ pub fn collect(toks: &[Tok]) -> (Vec<AllowDirective>, Vec<Violation>) {
         if !matches!(tok.kind, TokKind::LineComment | TokKind::BlockComment) {
             continue;
         }
-        let body = tok.text.trim_start_matches(['/', '*', '!']).trim_start();
-        if !body.starts_with("lint:allow") {
-            continue;
-        }
-        match parse_directive(body) {
-            Ok((rules, reason)) => directives.push(AllowDirective {
-                rules,
-                reason,
-                line: tok.line,
-                used: 0,
-            }),
-            Err(msg) => malformed.push(Violation {
-                rule: "allow".into(),
-                line: tok.line,
-                message: msg,
-            }),
+        // A block comment may span lines; a directive can sit on any of
+        // them (the multi-line justification idiom puts prose first). Each
+        // line is examined on its own so the directive anchors to the line
+        // it is written on, not the comment's opening line.
+        for (offset, raw_line) in tok.text.lines().enumerate() {
+            let body = raw_line
+                .trim_start()
+                .trim_start_matches(['/', '*', '!'])
+                .trim_start();
+            if !body.starts_with("lint:allow") {
+                continue;
+            }
+            let line = tok.line + offset as u32;
+            match parse_directive(body) {
+                Ok((rules, reason)) => directives.push(AllowDirective {
+                    rules,
+                    reason,
+                    line,
+                    used: 0,
+                }),
+                Err(msg) => malformed.push(Violation {
+                    rule: "allow".into(),
+                    line,
+                    message: msg,
+                }),
+            }
         }
     }
     (directives, malformed)
@@ -155,9 +165,34 @@ mod tests {
 
     #[test]
     fn unknown_rule_is_a_violation() {
-        let (_, bad) = collect(&scan("// lint:allow(D7): nope\n"));
+        let (_, bad) = collect(&scan("// lint:allow(D12): nope\n"));
         assert_eq!(bad.len(), 1);
         assert!(bad[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn directive_inside_multiline_block_comment_anchors_to_its_line() {
+        let src = "/* The indexing below is justified at length:\n\
+                   \x20  lint:allow(D4): bounds were checked two lines up */\n\
+                   let v = data[i];\n";
+        let (dirs, bad) = collect(&scan(src));
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(dirs.len(), 1);
+        assert_eq!(dirs[0].line, 2, "anchors to the directive's own line");
+        assert_eq!(dirs[0].rules, vec!["D4"]);
+        assert_eq!(dirs[0].reason, "bounds were checked two lines up");
+    }
+
+    #[test]
+    fn malformed_directive_deep_in_block_comment_is_reported_there() {
+        let src = "/* prose first\n\
+                   \x20  lint:allow(D4)\n\
+                   \x20  more prose */\n";
+        let (dirs, bad) = collect(&scan(src));
+        assert!(dirs.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].line, 2);
+        assert!(bad[0].message.contains("without a reason"));
     }
 
     #[test]

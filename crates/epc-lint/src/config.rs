@@ -47,8 +47,11 @@ impl RuleScope {
 pub struct Config {
     /// Which files the auditor walks at all.
     pub include: Vec<String>,
-    /// One scope per rule; parsing fails unless all of D1–D6 are present,
+    /// One scope per rule; parsing fails unless all of D1–D9 are present,
     /// so a rule cannot be disabled by silently dropping its table.
+    /// For the graph rules D7–D9, `scope` names the *root* files (entry
+    /// points audited for reachability) and `exempt` names *trusted*
+    /// files whose functions neither originate nor transmit taint.
     pub rules: Vec<RuleScope>,
 }
 
@@ -346,6 +349,16 @@ mod tests {
 
             [rules.D6]
             scope = ["crates/indice/src/**", "crates/indice-cli/src/**"]
+
+            [rules.D7]
+            scope = ["crates/epc-model/src/csv.rs"]
+
+            [rules.D8]
+            scope = ["crates/epc-*/**"]
+            exempt = ["crates/epc-runtime/src/report.rs"]
+
+            [rules.D9]
+            scope = ["crates/indice/src/**"]
             "#,
         )
         .unwrap();
@@ -368,7 +381,7 @@ mod tests {
 
     #[test]
     fn unknown_rule_is_an_error() {
-        let err = Config::parse("[files]\ninclude = [\"a\"]\n[rules.D9]\nscope = [\"**\"]\n")
+        let err = Config::parse("[files]\ninclude = [\"a\"]\n[rules.D12]\nscope = [\"**\"]\n")
             .unwrap_err();
         assert!(err.contains("unknown rule"), "{err}");
     }

@@ -37,6 +37,10 @@ pub struct AllowRecord {
 #[derive(Debug, Clone, Default)]
 pub struct Report {
     pub files_scanned: usize,
+    /// Function items in the phase-2 call graph.
+    pub functions: usize,
+    /// Resolved call edges in the phase-2 call graph.
+    pub call_edges: usize,
     /// Violations that survived the allowlist, sorted by (path, line, rule).
     pub diagnostics: Vec<Diagnostic>,
     /// Every well-formed `lint:allow` in the scanned tree.
@@ -57,9 +61,11 @@ impl Report {
     /// The one-line summary printed after diagnostics.
     pub fn summary(&self) -> String {
         format!(
-            "epc-lint: {} file(s) scanned; {} violation(s); {} lint:allow directive(s) \
-             ({} diagnostic(s) suppressed)",
+            "epc-lint: {} file(s) scanned, {} fn(s), {} call edge(s); {} violation(s); \
+             {} lint:allow directive(s) ({} diagnostic(s) suppressed)",
             self.files_scanned,
+            self.functions,
+            self.call_edges,
             self.diagnostics.len(),
             self.allows.len(),
             self.suppressed
@@ -70,6 +76,74 @@ impl Report {
     pub fn clean(&self) -> bool {
         self.diagnostics.is_empty()
     }
+
+    /// The machine-readable report (`--format json`). Pretty-printed with
+    /// one scalar per line so CI can filter volatile counters
+    /// (`files_scanned`, `functions`, `call_edges`) before diffing
+    /// against a checked-in expectation; array entries are one line each.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"epc-lint-report/1\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"functions\": {},\n", self.functions));
+        out.push_str(&format!("  \"call_edges\": {},\n", self.call_edges));
+        out.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                json_str(&d.path),
+                d.line,
+                json_str(&d.rule),
+                json_str(&d.message)
+            ));
+        }
+        out.push_str(if self.diagnostics.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let rules: Vec<String> = a.rules.iter().map(|r| json_str(r)).collect();
+            out.push_str(&format!(
+                "    {{\"path\": {}, \"line\": {}, \"rules\": [{}], \"reason\": {}, \"used\": {}}}",
+                json_str(&a.path),
+                a.line,
+                rules.join(", "),
+                json_str(&a.reason),
+                a.used
+            ));
+        }
+        out.push_str(if self.allows.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -113,5 +187,43 @@ mod tests {
             order,
             vec![("a.rs".into(), 2), ("a.rs".into(), 9), ("b.rs".into(), 1)]
         );
+    }
+
+    #[test]
+    fn json_report_is_escaped_and_line_filterable() {
+        let report = Report {
+            files_scanned: 2,
+            functions: 7,
+            call_edges: 11,
+            suppressed: 1,
+            diagnostics: vec![Diagnostic {
+                path: "a.rs".into(),
+                line: 3,
+                rule: "D7".into(),
+                message: "chain with \"quotes\" → arrow".into(),
+            }],
+            allows: vec![AllowRecord {
+                path: "b.rs".into(),
+                line: 9,
+                rules: vec!["D4".into(), "D7".into()],
+                reason: "bounds checked".into(),
+                used: 1,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"schema\": \"epc-lint-report/1\",\n"));
+        // Volatile counters sit alone on their lines for CI filtering.
+        assert!(json.contains("\n  \"files_scanned\": 2,\n"));
+        assert!(json.contains("\n  \"functions\": 7,\n"));
+        assert!(json.contains("\n  \"call_edges\": 11,\n"));
+        assert!(json.contains(r#"\"quotes\" → arrow"#));
+        assert!(json.contains(r#""rules": ["D4", "D7"]"#));
+    }
+
+    #[test]
+    fn empty_report_renders_empty_arrays() {
+        let json = Report::default().to_json();
+        assert!(json.contains("\"diagnostics\": [],"));
+        assert!(json.contains("\"allows\": []\n"));
     }
 }

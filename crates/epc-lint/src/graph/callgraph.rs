@@ -1,0 +1,209 @@
+//! Crate-aware call-graph construction over the parsed function items.
+//!
+//! Resolution is *name-based and conservative*: without types, a call may
+//! resolve to several candidates, and the graph keeps an edge to every one
+//! of them — ambiguity widens the audit surface, it never shrinks it.
+//!
+//! | call shape | candidate set |
+//! |---|---|
+//! | `recv.name(…)` | every workspace *method* named `name` (any impl — the receiver type is unknown) |
+//! | `Type::name(…)` | methods of a workspace impl/trait block named `Type`; else functions defined in a crate or file (module) named `Type` |
+//! | `name(…)` | every workspace *free function* named `name` (bare calls reach `use`-imported items, so same-crate narrowing would be unsound) |
+//!
+//! Calls that resolve to nothing are external (`std`, shims) and carry no
+//! edge: the audit's primitive matchers already cover what externals can
+//! do (a `.unwrap()` is flagged at the call site itself, not in `core`).
+
+use super::parse::FnDef;
+use std::collections::BTreeMap;
+
+/// One function in the workspace-wide graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index of the defining file in the analyzer's file list.
+    pub file: usize,
+    pub def: FnDef,
+}
+
+/// The resolved call graph: `edges[caller]` lists callee ids, sorted and
+/// deduplicated, so every traversal is deterministic.
+#[derive(Debug)]
+pub struct CallGraph {
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// Builds the graph. `crate_of[file]`/`stem_of[file]` give each file's
+/// owning crate (normalized, `-` → `_`) and module stem for qualifier
+/// narrowing.
+pub fn build(fns: &[FnNode], crate_of: &[Option<String>], stem_of: &[String]) -> CallGraph {
+    let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut any: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (id, node) in fns.iter().enumerate() {
+        let bucket = if node.def.is_method {
+            &mut methods
+        } else {
+            &mut free
+        };
+        bucket.entry(node.def.name.as_str()).or_default().push(id);
+        any.entry(node.def.name.as_str()).or_default().push(id);
+    }
+
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+    for (caller, node) in fns.iter().enumerate() {
+        for call in &node.def.calls {
+            let out = &mut edges[caller];
+            if call.is_method {
+                if let Some(cands) = methods.get(call.name.as_str()) {
+                    out.extend_from_slice(cands);
+                }
+            } else if let Some(q) = &call.qualifier {
+                let Some(cands) = any.get(call.name.as_str()) else {
+                    continue;
+                };
+                let norm = q.replace('-', "_");
+                // Type-qualified first (`StreetMap::from_text`), then
+                // crate- or module-qualified (`epc_stats::quantile`,
+                // `levenshtein::levenshtein`). An unmatched qualifier is
+                // an external path (`String::from`) — no edge.
+                let by_type: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&c| fns[c].def.type_ctx.as_deref() == Some(q.as_str()))
+                    .collect();
+                if !by_type.is_empty() {
+                    out.extend_from_slice(&by_type);
+                } else {
+                    out.extend(cands.iter().copied().filter(|&c| {
+                        crate_of[fns[c].file].as_deref() == Some(norm.as_str())
+                            || stem_of[fns[c].file] == norm
+                    }));
+                }
+            } else if let Some(cands) = free.get(call.name.as_str()) {
+                out.extend_from_slice(cands);
+            }
+        }
+        edges[caller].sort_unstable();
+        edges[caller].dedup();
+    }
+    CallGraph { edges }
+}
+
+/// The owning crate of a repo-relative path (`crates/<name>/…`),
+/// normalized to identifier form.
+pub fn crate_of_path(path: &str) -> Option<String> {
+    let mut segs = path.split('/');
+    if segs.next() == Some("crates") {
+        segs.next().map(|c| c.replace('-', "_"))
+    } else {
+        None
+    }
+}
+
+/// The module stem of a path (`quantile` for `…/quantile.rs`).
+pub fn stem_of_path(path: &str) -> String {
+    path.rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".rs")
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::parse::parse_file;
+    use crate::scanner::{scan, test_block_mask};
+
+    fn graph(files: &[(&str, &str)]) -> (Vec<FnNode>, CallGraph) {
+        let mut fns = Vec::new();
+        let mut crates = Vec::new();
+        let mut stems = Vec::new();
+        for (idx, (path, src)) in files.iter().enumerate() {
+            let toks = scan(src);
+            let mask = test_block_mask(&toks);
+            for def in parse_file(&toks, &mask).fns {
+                fns.push(FnNode { file: idx, def });
+            }
+            crates.push(crate_of_path(path));
+            stems.push(stem_of_path(path));
+        }
+        let g = build(&fns, &crates, &stems);
+        (fns, g)
+    }
+
+    fn callees<'a>(fns: &'a [FnNode], g: &CallGraph, name: &str) -> Vec<&'a str> {
+        let id = fns.iter().position(|f| f.def.qual == name).unwrap();
+        g.edges[id]
+            .iter()
+            .map(|&c| fns[c].def.qual.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn bare_calls_link_across_crates_but_not_to_methods() {
+        let (fns, g) = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn entry() { helper(); }\nimpl T { fn helper(&self) {} }\n",
+            ),
+            ("crates/b/src/lib.rs", "pub fn helper() {}\n"),
+        ]);
+        assert_eq!(callees(&fns, &g, "entry"), vec!["helper"]);
+        let id = fns.iter().position(|f| f.def.qual == "entry").unwrap();
+        assert_eq!(
+            fns[g.edges[id][0]].file, 1,
+            "resolved to the free fn in crate b"
+        );
+    }
+
+    #[test]
+    fn method_calls_are_conservatively_ambiguous() {
+        let (fns, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn entry(x: X) { x.decode(); }\n\
+             impl Strict { pub fn decode(&self) {} }\n\
+             impl Lenient { pub fn decode(&self) {} }\n\
+             pub fn decode() {}\n",
+        )]);
+        assert_eq!(
+            callees(&fns, &g, "entry"),
+            vec!["Strict::decode", "Lenient::decode"],
+            "both impls, but never the free fn"
+        );
+    }
+
+    #[test]
+    fn qualified_calls_narrow_by_type_then_crate_then_module() {
+        let (fns, g) = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn entry() {\n\
+                     StreetMap::load(\"p\");\n\
+                     epc_stats::median(&[]);\n\
+                     quantile::cut(&[]);\n\
+                     String::from(\"external\");\n\
+                 }\n\
+                 impl StreetMap { pub fn load(p: &str) {} }\n",
+            ),
+            (
+                "crates/epc-stats/src/quantile.rs",
+                "pub fn median(v: &[f64]) {}\npub fn cut(v: &[f64]) {}\npub fn from(s: &str) {}\n",
+            ),
+        ]);
+        assert_eq!(
+            callees(&fns, &g, "entry"),
+            vec!["StreetMap::load", "median", "cut"],
+            "`String::from` must not reach the workspace `from`"
+        );
+    }
+
+    #[test]
+    fn unresolved_calls_are_external() {
+        let (fns, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn entry(v: Vec<u32>) { v.sort(); nothing_named_this(); }\n",
+        )]);
+        assert!(callees(&fns, &g, "entry").is_empty());
+    }
+}

@@ -1,0 +1,448 @@
+//! Phase-2 parser: function items, impl/trait context, and call sites,
+//! extracted from the scanner's token stream.
+//!
+//! This is deliberately *not* type-aware name resolution. The call-graph
+//! rules (D7–D9) only need a sound over-approximation of "who can call
+//! whom", so the parser recovers exactly three structural facts from the
+//! comment/string-masked token stream:
+//!
+//! 1. every `fn` item — its name, definition line, body token range, and
+//!    whether it sits inside an `impl`/`trait` block (a *method*),
+//! 2. the enclosing impl/trait type of each method, so `Self::helper(…)`
+//!    and `Type::helper(…)` calls can be narrowed,
+//! 3. every call site inside a body — bare (`helper(x)`), qualified
+//!    (`Type::helper(x)`, `module::helper(x)`), or method (`recv.helper(x)`),
+//!    including turbofish forms (`helper::<T>(x)`).
+//!
+//! Closure bodies belong to their enclosing function; nested `fn` items
+//! own their tokens exclusively (the innermost function wins), so a call
+//! or primitive is attributed to exactly one function.
+
+use crate::scanner::{Tok, TokKind};
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare name (`normalize`).
+    pub name: String,
+    /// Display name: `Type::normalize` for methods, else the bare name.
+    pub qual: String,
+    /// Enclosing impl/trait type, used to resolve `Self::` calls.
+    pub type_ctx: Option<String>,
+    /// `true` when defined directly inside an `impl` or `trait` block.
+    pub is_method: bool,
+    /// 1-based line of the function's name.
+    pub line: u32,
+    /// Token index range of the body braces, inclusive; `None` for
+    /// bodyless trait declarations.
+    pub body: Option<(usize, usize)>,
+    /// Call sites inside the body, deduplicated by callee shape.
+    pub calls: Vec<CallSite>,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee name (the identifier directly before the argument list).
+    pub name: String,
+    /// `Some("Type")` for `Type::name(…)` path calls, with `Self` already
+    /// substituted; `None` for bare and method calls (and for
+    /// `crate::`/`self::`/`super::` prefixes, which resolve like bare calls).
+    pub qualifier: Option<String>,
+    /// `true` for `.name(…)` method syntax.
+    pub is_method: bool,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// A file parsed for the graph pass: its functions plus a per-token map
+/// to the innermost owning function.
+#[derive(Debug)]
+pub struct ParsedFile {
+    pub fns: Vec<FnDef>,
+    /// `owner[k]` = index into `fns` of the innermost function whose body
+    /// contains token `k`, if any.
+    pub owner: Vec<Option<usize>>,
+}
+
+/// What a `{` being tracked on the context stack belongs to.
+enum Opened {
+    /// An `impl Type { … }` or `trait Name { … }` block.
+    TypeBlock(String),
+    /// A function body (index into the output list).
+    Fn(usize),
+    /// Any other brace: mod, struct/enum, match, block expression, …
+    Plain,
+}
+
+/// Parses one file's tokens (comment/test-masked) into function items
+/// with attributed call sites.
+pub fn parse_file(toks: &[Tok], test_mask: &[bool]) -> ParsedFile {
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&k| toks[k].is_code() && !test_mask[k])
+        .collect();
+    let t = |ci: usize| -> &Tok { &toks[code[ci]] };
+
+    let mut fns: Vec<FnDef> = Vec::new();
+    let mut stack: Vec<Opened> = Vec::new();
+    let mut ci = 0usize;
+    while ci < code.len() {
+        let tok = t(ci);
+        // `impl …` / `trait …` headers: find the implemented-on type (the
+        // last angle-depth-0 identifier before the brace — `Foo` in
+        // `impl Foo<T>`, in `impl fmt::Display for Foo`, and in
+        // `impl<'a> Iterator for Iter<'a>` alike) and open a type block.
+        if tok.is_ident("impl") || tok.is_ident("trait") {
+            let mut angle = 0i32;
+            let mut name = String::new();
+            let mut cj = ci + 1;
+            while cj < code.len() {
+                let h = t(cj);
+                if h.is_punct('<') {
+                    angle += 1;
+                } else if h.is_punct('>') {
+                    // `->` cannot appear in impl/trait headers, so a bare
+                    // `>` always closes a generic-argument list.
+                    angle -= 1;
+                } else if h.is_punct('{') && angle <= 0 {
+                    break;
+                } else if h.is_punct(';') && angle <= 0 {
+                    break; // `trait A: B;`-style degenerate forms
+                } else if h.kind == TokKind::Ident && angle == 0 && !is_header_keyword(&h.text) {
+                    name = h.text.clone();
+                }
+                cj += 1;
+            }
+            if cj < code.len() && t(cj).is_punct('{') {
+                stack.push(Opened::TypeBlock(name));
+            }
+            ci = cj + 1;
+            continue;
+        }
+        // `fn name …` items. A bare `fn` in type position (`fn(usize)`)
+        // has no following identifier and is skipped.
+        if tok.is_ident("fn") && ci + 1 < code.len() && t(ci + 1).kind == TokKind::Ident {
+            let name_tok = t(ci + 1);
+            let is_method = matches!(stack.last(), Some(Opened::TypeBlock(_)));
+            let type_ctx = stack.iter().rev().find_map(|o| match o {
+                Opened::TypeBlock(n) if !n.is_empty() => Some(n.clone()),
+                _ => None,
+            });
+            let qual = match (&type_ctx, is_method) {
+                (Some(ty), true) => format!("{ty}::{}", name_tok.text),
+                _ => name_tok.text.clone(),
+            };
+            let id = fns.len();
+            fns.push(FnDef {
+                name: name_tok.text.clone(),
+                qual,
+                type_ctx,
+                is_method,
+                line: name_tok.line,
+                body: None,
+                calls: Vec::new(),
+            });
+            // Header scan: the body is the first `{` at paren/bracket
+            // depth 0; a `;` there instead means a bodyless declaration.
+            let mut depth = 0i32;
+            let mut cj = ci + 2;
+            while cj < code.len() {
+                let h = t(cj);
+                if h.is_punct('(') || h.is_punct('[') {
+                    depth += 1;
+                } else if h.is_punct(')') || h.is_punct(']') {
+                    depth -= 1;
+                } else if h.is_punct('{') && depth == 0 {
+                    fns[id].body = Some((code[cj], code[cj]));
+                    stack.push(Opened::Fn(id));
+                    break;
+                } else if h.is_punct(';') && depth == 0 {
+                    break;
+                }
+                cj += 1;
+            }
+            ci = cj + 1;
+            continue;
+        }
+        if tok.is_punct('{') {
+            stack.push(Opened::Plain);
+        } else if tok.is_punct('}') {
+            if let Some(Opened::Fn(id)) = stack.pop() {
+                if let Some((start, _)) = fns[id].body {
+                    fns[id].body = Some((start, code[ci]));
+                }
+            }
+        }
+        ci += 1;
+    }
+    // Unbalanced input (truncated file): close any still-open bodies at
+    // the last token so attribution stays total.
+    for open in stack {
+        if let Opened::Fn(id) = open {
+            if let Some((start, _)) = fns[id].body {
+                fns[id].body = Some((start, toks.len().saturating_sub(1)));
+            }
+        }
+    }
+
+    // Innermost-function ownership: definition order puts outer functions
+    // first, so writing ranges in order leaves the innermost owner.
+    let mut owner: Vec<Option<usize>> = vec![None; toks.len()];
+    for (id, f) in fns.iter().enumerate() {
+        if let Some((start, end)) = f.body {
+            for slot in owner.iter_mut().take(end + 1).skip(start) {
+                *slot = Some(id);
+            }
+        }
+    }
+
+    collect_calls(toks, &code, &owner, &mut fns);
+    ParsedFile { fns, owner }
+}
+
+/// Identifiers that appear in impl/trait headers without naming the type.
+fn is_header_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "for" | "dyn" | "mut" | "const" | "unsafe" | "where" | "pub" | "crate" | "in"
+    )
+}
+
+/// Scans code tokens for call sites and attributes each to its owning
+/// function. Attribute ranges (`#[…]`) are skipped so `#[derive(Debug)]`
+/// never reads as a call to `derive`.
+fn collect_calls(toks: &[Tok], code: &[usize], owner: &[Option<usize>], fns: &mut [FnDef]) {
+    let t = |ci: usize| -> &Tok { &toks[code[ci]] };
+    let mut ci = 0usize;
+    while ci < code.len() {
+        // Skip `#[…]` / `#![…]` attribute ranges.
+        if t(ci).is_punct('#') {
+            let mut cj = ci + 1;
+            if cj < code.len() && t(cj).is_punct('!') {
+                cj += 1;
+            }
+            if cj < code.len() && t(cj).is_punct('[') {
+                let mut depth = 0i32;
+                while cj < code.len() {
+                    if t(cj).is_punct('[') {
+                        depth += 1;
+                    } else if t(cj).is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    cj += 1;
+                }
+                ci = cj + 1;
+                continue;
+            }
+        }
+        let tok = t(ci);
+        if tok.kind != TokKind::Ident || crate::rules::is_keyword(&tok.text) {
+            ci += 1;
+            continue;
+        }
+        let Some(fn_id) = owner[code[ci]] else {
+            ci += 1;
+            continue;
+        };
+        // The argument list: directly (`name(`) or behind a turbofish
+        // (`name::<T>(`).
+        let mut args_ci = None;
+        if ci + 1 < code.len() && t(ci + 1).is_punct('(') {
+            args_ci = Some(ci + 1);
+        } else if ci + 3 < code.len()
+            && t(ci + 1).is_punct(':')
+            && t(ci + 2).is_punct(':')
+            && t(ci + 3).is_punct('<')
+        {
+            if let Some(close) = matching_angle(toks, code, ci + 3) {
+                if close + 1 < code.len() && t(close + 1).is_punct('(') {
+                    args_ci = Some(close + 1);
+                }
+            }
+        }
+        let Some(_) = args_ci else {
+            ci += 1;
+            continue;
+        };
+        // `fn name(` is the definition, not a call.
+        if ci > 0 && t(ci - 1).is_ident("fn") {
+            ci += 1;
+            continue;
+        }
+        // Method call: `recv.name(…)` — but `0..name(…)` is a range whose
+        // end happens to be a call, not method syntax.
+        let is_method = ci > 0 && t(ci - 1).is_punct('.') && !(ci > 1 && t(ci - 2).is_punct('.'));
+        let mut qualifier = None;
+        if !is_method
+            && ci > 2
+            && t(ci - 1).is_punct(':')
+            && t(ci - 2).is_punct(':')
+            && t(ci - 3).kind == TokKind::Ident
+        {
+            let q = &t(ci - 3).text;
+            qualifier = match q.as_str() {
+                // Path roots that mean "this crate": resolve like bare calls.
+                "crate" | "self" | "super" => None,
+                "Self" => fns[fn_id].type_ctx.clone().or_else(|| Some(q.clone())),
+                _ => Some(q.clone()),
+            };
+        }
+        let site = CallSite {
+            name: tok.text.clone(),
+            qualifier,
+            is_method,
+            line: tok.line,
+        };
+        let f = &mut fns[fn_id];
+        if !f.calls.iter().any(|c| {
+            c.name == site.name && c.qualifier == site.qualifier && c.is_method == site.is_method
+        }) {
+            f.calls.push(site);
+        }
+        ci += 1;
+    }
+}
+
+/// From `open` at `<`, returns the index of the matching `>`. Handles
+/// nested generics; `->` inside function-pointer types is skipped so its
+/// `>` is not miscounted.
+fn matching_angle(toks: &[Tok], code: &[usize], open: usize) -> Option<usize> {
+    let t = |ci: usize| -> &Tok { &toks[code[ci]] };
+    let len = code.len();
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < len {
+        if t(k).is_punct('-') && k + 1 < len && t(k + 1).is_punct('>') {
+            k += 2;
+            continue;
+        }
+        if t(k).is_punct('<') {
+            depth += 1;
+        } else if t(k).is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::{scan, test_block_mask};
+
+    fn parse(src: &str) -> ParsedFile {
+        let toks = scan(src);
+        let mask = test_block_mask(&toks);
+        parse_file(&toks, &mask)
+    }
+
+    #[test]
+    fn free_fns_methods_and_type_context() {
+        let p = parse(
+            "pub fn free(x: u32) -> u32 { x }\n\
+             struct S { v: u32 }\n\
+             impl S {\n    pub fn method(&self) -> u32 { self.v }\n}\n\
+             impl std::fmt::Display for S {\n    fn fmt(&self, f: &mut F) -> R { todo(f) }\n}\n",
+        );
+        let names: Vec<(&str, bool)> = p
+            .fns
+            .iter()
+            .map(|f| (f.qual.as_str(), f.is_method))
+            .collect();
+        assert_eq!(
+            names,
+            vec![("free", false), ("S::method", true), ("S::fmt", true)]
+        );
+        assert_eq!(p.fns[1].type_ctx.as_deref(), Some("S"));
+    }
+
+    #[test]
+    fn impl_trait_for_type_binds_to_the_type() {
+        let p = parse("trait Clock { fn now_ms(&self) -> u64; }\nimpl Clock for WallClock { fn now_ms(&self) -> u64 { 0 } }\n");
+        let quals: Vec<&str> = p.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(quals, vec!["Clock::now_ms", "WallClock::now_ms"]);
+        assert!(p.fns[0].body.is_none(), "trait decl has no body");
+        assert!(p.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn calls_are_classified_and_attributed() {
+        let p = parse(
+            "fn outer(v: &[u32]) -> u32 {\n\
+                 helper(v);\n\
+                 epc_stats::quantile(v, 0.5);\n\
+                 v.iter().sum()\n\
+             }\n\
+             fn helper(v: &[u32]) {}\n",
+        );
+        let calls = &p.fns[0].calls;
+        assert!(calls
+            .iter()
+            .any(|c| c.name == "helper" && !c.is_method && c.qualifier.is_none()));
+        assert!(calls
+            .iter()
+            .any(|c| c.name == "quantile" && c.qualifier.as_deref() == Some("epc_stats")));
+        assert!(calls.iter().any(|c| c.name == "iter" && c.is_method));
+        assert!(calls.iter().any(|c| c.name == "sum" && c.is_method));
+    }
+
+    #[test]
+    fn self_calls_resolve_to_the_impl_type() {
+        let p =
+            parse("impl Engine {\n  fn run(&self) { Self::validate(); }\n  fn validate() {}\n}\n");
+        let call = &p.fns[0].calls[0];
+        assert_eq!(call.name, "validate");
+        assert_eq!(call.qualifier.as_deref(), Some("Engine"));
+    }
+
+    #[test]
+    fn turbofish_calls_are_still_calls() {
+        let p = parse(
+            "fn f(s: &str) -> u32 { parse_as::<u32>(s) }\nfn parse_as(s: &str) -> u32 { 0 }\n",
+        );
+        assert!(p.fns[0].calls.iter().any(|c| c.name == "parse_as"));
+    }
+
+    #[test]
+    fn attributes_and_macros_are_not_calls() {
+        let p = parse("#[derive(Debug, Clone)]\nstruct S;\nfn f() { println!(\"x\"); vec![1]; }\n");
+        assert!(p.fns[0].calls.is_empty(), "{:?}", p.fns[0].calls);
+    }
+
+    #[test]
+    fn closures_belong_to_the_enclosing_fn_and_nested_fns_to_themselves() {
+        let src = "fn outer(v: Vec<u32>) -> Vec<u32> {\n\
+                       fn inner(x: u32) -> u32 { deep(x) }\n\
+                       v.into_iter().map(|x| shallow(x)).collect()\n\
+                   }\n\
+                   fn shallow(x: u32) -> u32 { x }\n\
+                   fn deep(x: u32) -> u32 { x }\n";
+        let p = parse(src);
+        let outer = p.fns.iter().find(|f| f.name == "outer").unwrap();
+        let inner = p.fns.iter().find(|f| f.name == "inner").unwrap();
+        assert!(outer.calls.iter().any(|c| c.name == "shallow"));
+        assert!(!outer.calls.iter().any(|c| c.name == "deep"));
+        assert!(inner.calls.iter().any(|c| c.name == "deep"));
+    }
+
+    #[test]
+    fn range_end_calls_are_not_method_calls() {
+        let p = parse("fn f(v: &[u32]) -> &[u32] { &v[..limit(v)] }\nfn limit(v: &[u32]) -> usize { v.len() }\n");
+        let c = p.fns[0].calls.iter().find(|c| c.name == "limit").unwrap();
+        assert!(!c.is_method, "`..limit(v)` is a range, not method syntax");
+    }
+
+    #[test]
+    fn test_modules_are_invisible_to_the_graph() {
+        let p = parse("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { lib(); }\n}\n");
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "lib");
+    }
+}

@@ -1,0 +1,131 @@
+//! Taint facts and their propagation over the call graph.
+//!
+//! A *source* is a primitive token the line rules already know how to
+//! recognise — an `unwrap()`, an `Instant::now()`, a `thread_rng()` —
+//! attributed to the function whose body contains it. Propagation answers
+//! one question per source: *which functions can transitively reach it?*
+//!
+//! The search runs backwards (callee → caller) as a breadth-first sweep
+//! from the source's owning function, so the hop recorded for every
+//! reached function lies on a **shortest** call chain — witnesses stay
+//! minimal. Functions in a rule's `exempt` files are *trusted*: they are
+//! never enqueued, so taint neither originates in nor flows through them.
+
+use crate::rules::{self, Site};
+use crate::scanner::Tok;
+
+/// The three facts D7–D9 propagate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaintKind {
+    /// May panic: `unwrap`/`expect`/`panic!`-family/indexing (rule D4's matchers).
+    Panic,
+    /// Reads the wall clock (rule D2's matchers).
+    Clock,
+    /// Draws OS entropy (rule D1's matchers).
+    Entropy,
+}
+
+impl TaintKind {
+    /// The primitive sites of this kind in one file's token stream.
+    pub fn sites(self, toks: &[Tok], test_mask: &[bool]) -> Vec<Site> {
+        match self {
+            TaintKind::Panic => rules::panic_sites(toks, test_mask),
+            TaintKind::Clock => rules::clock_sites(toks, test_mask),
+            TaintKind::Entropy => rules::entropy_sites(toks, test_mask),
+        }
+    }
+}
+
+/// One taint source: a primitive site attributed to its owning function.
+#[derive(Debug)]
+pub struct Source {
+    /// Global id of the function whose body contains the primitive.
+    pub fn_id: usize,
+    /// Index of the defining file in the analyzer's file list.
+    pub file: usize,
+    pub line: u32,
+    /// Human label for the chain tail (`unwrap()`, `Instant::now`, …).
+    pub label: String,
+}
+
+/// Callee → callers adjacency, derived from the call graph's edges.
+pub fn reverse(edges: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); edges.len()];
+    for (caller, callees) in edges.iter().enumerate() {
+        for &callee in callees {
+            rev[callee].push(caller);
+        }
+    }
+    rev
+}
+
+/// Shortest-path tree toward one source function.
+#[derive(Debug)]
+pub struct Reach {
+    /// `next[f]` = the callee `f` invokes on its shortest chain to the
+    /// source; `None` at the source itself and for unreached functions.
+    pub next: Vec<Option<usize>>,
+    /// Hops to the source; `u32::MAX` when unreached.
+    pub dist: Vec<u32>,
+}
+
+/// BFS from `source_fn` along `rev` (callee → caller). `trusted[f]`
+/// excludes `f` from the sweep entirely.
+pub fn reach_to(source_fn: usize, rev: &[Vec<usize>], trusted: &[bool]) -> Reach {
+    let mut next: Vec<Option<usize>> = vec![None; rev.len()];
+    let mut dist: Vec<u32> = vec![u32::MAX; rev.len()];
+    dist[source_fn] = 0;
+    let mut queue = std::collections::VecDeque::from([source_fn]);
+    while let Some(f) = queue.pop_front() {
+        for &caller in &rev[f] {
+            if trusted[caller] || dist[caller] != u32::MAX {
+                continue;
+            }
+            dist[caller] = dist[f] + 1;
+            next[caller] = Some(f);
+            queue.push_back(caller);
+        }
+    }
+    Reach { next, dist }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    //        0 ──► 1 ──► 3 (source)
+    //        0 ──► 2 ──► 3
+    //        4 ──► 0
+    fn diamond() -> Vec<Vec<usize>> {
+        vec![vec![1, 2], vec![3], vec![3], vec![], vec![0]]
+    }
+
+    #[test]
+    fn bfs_finds_shortest_chains_backwards() {
+        let rev = reverse(&diamond());
+        let r = reach_to(3, &rev, &[false; 5]);
+        assert_eq!(r.dist, vec![2, 1, 1, 0, 3]);
+        assert_eq!(r.next[0], Some(1), "first-listed callee wins ties");
+        assert_eq!(r.next[4], Some(0));
+        assert_eq!(r.next[3], None, "the source has no next hop");
+    }
+
+    #[test]
+    fn trusted_fns_block_propagation() {
+        let rev = reverse(&diamond());
+        let mut trusted = [false; 5];
+        trusted[1] = true;
+        trusted[2] = true;
+        let r = reach_to(3, &rev, &trusted);
+        assert_eq!(r.dist[0], u32::MAX, "both paths run through trusted fns");
+        assert_eq!(r.dist[4], u32::MAX);
+    }
+
+    #[test]
+    fn unreachable_fns_stay_unreached() {
+        let rev = reverse(&[vec![], vec![]]);
+        let r = reach_to(0, &rev, &[false, false]);
+        assert_eq!(r.dist[1], u32::MAX);
+        assert_eq!(r.next[1], None);
+    }
+}

@@ -1,0 +1,106 @@
+//! Witness-chain reconstruction: the human-readable proof attached to
+//! every D7–D9 diagnostic.
+//!
+//! A witness walks a shortest call chain from a root function down to the
+//! primitive, one ` → `-joined segment per hop:
+//!
+//! ```text
+//! crates/epc-model/src/csv.rs:12 ingest_row → crates/indice/src/normalize.rs:40 normalize → crates/epc-stats/src/quantile.rs:7 unwrap()
+//! ```
+//!
+//! Function segments point at the *definition* line (where the reviewer
+//! must go to break the chain); the final segment points at the primitive
+//! itself. The chain is what makes a transitive finding actionable — the
+//! diagnostic line alone only says where the panic lives, not why ingest
+//! code can reach it.
+
+use super::callgraph::FnNode;
+use super::taint::{Reach, Source};
+
+/// Formats the chain from `root` to `source`, following the shortest-path
+/// tree in `reach`. `paths[file]` gives each file's repo-relative path.
+pub fn chain(
+    root: usize,
+    source: &Source,
+    reach: &Reach,
+    fns: &[FnNode],
+    paths: &[String],
+) -> String {
+    let mut segments = Vec::new();
+    let mut at = root;
+    // dist strictly decreases along `next`, so this terminates.
+    loop {
+        let f = &fns[at];
+        segments.push(format!("{}:{} {}", paths[f.file], f.def.line, f.def.qual));
+        match reach.next[at] {
+            Some(n) => at = n,
+            None => break,
+        }
+    }
+    segments.push(format!(
+        "{}:{} {}",
+        paths[source.file], source.line, source.label
+    ));
+    segments.join(" → ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::parse::FnDef;
+
+    fn node(file: usize, line: u32, qual: &str) -> FnNode {
+        FnNode {
+            file,
+            def: FnDef {
+                name: qual.rsplit("::").next().unwrap().to_string(),
+                qual: qual.to_string(),
+                type_ctx: None,
+                is_method: false,
+                line,
+                body: None,
+                calls: Vec::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn chain_lists_defs_then_primitive() {
+        let fns = vec![node(0, 12, "ingest_row"), node(1, 40, "normalize")];
+        let reach = Reach {
+            next: vec![Some(1), None],
+            dist: vec![1, 0],
+        };
+        let source = Source {
+            fn_id: 1,
+            file: 1,
+            line: 44,
+            label: "unwrap()".into(),
+        };
+        let paths = vec!["a.rs".to_string(), "b.rs".to_string()];
+        assert_eq!(
+            chain(0, &source, &reach, &fns, &paths),
+            "a.rs:12 ingest_row → b.rs:40 normalize → b.rs:44 unwrap()"
+        );
+    }
+
+    #[test]
+    fn zero_hop_chain_is_root_then_primitive() {
+        let fns = vec![node(0, 3, "Csv::parse")];
+        let reach = Reach {
+            next: vec![None],
+            dist: vec![0],
+        };
+        let source = Source {
+            fn_id: 0,
+            file: 0,
+            line: 9,
+            label: "panic!".into(),
+        };
+        let paths = vec!["csv.rs".to_string()];
+        assert_eq!(
+            chain(0, &source, &reach, &fns, &paths),
+            "csv.rs:3 Csv::parse → csv.rs:9 panic!"
+        );
+    }
+}

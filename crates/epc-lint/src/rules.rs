@@ -1,4 +1,4 @@
-//! The six repo-specific rules clippy cannot express.
+//! The nine repo-specific rules clippy cannot express.
 //!
 //! | id | invariant it protects |
 //! |----|----------------------|
@@ -8,16 +8,29 @@
 //! | D4 | no `unwrap`/`expect`/`panic!`-family/slice-indexing in quarantine-protected ingest code |
 //! | D5 | no `println!`/`eprintln!`/`dbg!` in library crates |
 //! | D6 | no direct `File::create`/`fs::write` in artifact-producing crates — artifacts go through epc-journal's atomic writers |
+//! | D7 | no *transitive* panic reachability from the ingest entry points (call-graph closure of D4) |
+//! | D8 | no *transitive* wall-clock reach from chaos-hashed artifact code (call-graph closure of D2) |
+//! | D9 | no *transitive* OS-entropy RNG reach from result-producing code (call-graph closure of D1) |
 //!
-//! Rules run over the scanner's token stream; tokens inside
-//! `#[cfg(test)] mod` blocks are exempt (see [`crate::scanner::test_block_mask`]).
-//! *Where* each rule applies is not decided here — `lint.toml` scopes each
-//! rule to path globs (see [`crate::config`]).
+//! D1–D6 are *line rules*: they run over a single file's token stream
+//! here; tokens inside `#[cfg(test)] mod` blocks are exempt (see
+//! [`crate::scanner::test_block_mask`]). D7–D9 are *graph rules*: they
+//! share this module's primitive matchers ([`entropy_sites`],
+//! [`clock_sites`], [`panic_sites`]) as taint sources but propagate them
+//! over the whole-workspace call graph built in [`crate::graph`]. *Where*
+//! each rule applies is not decided here — `lint.toml` scopes each rule to
+//! path globs (see [`crate::config`]).
 
 use crate::scanner::{Tok, TokKind};
 
 /// Every rule id, in severity-neutral display order.
-pub const RULE_IDS: [&str; 6] = ["D1", "D2", "D3", "D4", "D5", "D6"];
+pub const RULE_IDS: [&str; 9] = ["D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9"];
+
+/// The per-file line rules (phase 1).
+pub const LINE_RULE_IDS: [&str; 6] = ["D1", "D2", "D3", "D4", "D5", "D6"];
+
+/// The whole-workspace call-graph rules (phase 2, see [`crate::graph`]).
+pub const GRAPH_RULE_IDS: [&str; 3] = ["D7", "D8", "D9"];
 
 /// One rule hit inside a single file (path attached by the driver).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,7 +55,7 @@ const PRINT_MACROS: [&str; 5] = ["println", "print", "eprintln", "eprint", "dbg"
 
 /// Keywords that may directly precede `[` without it being an index
 /// expression (`return [a, b]`, `where [T]: Sized`, …).
-fn is_keyword(s: &str) -> bool {
+pub(crate) fn is_keyword(s: &str) -> bool {
     matches!(
         s,
         "as" | "async"
@@ -80,13 +93,125 @@ fn is_keyword(s: &str) -> bool {
     )
 }
 
-/// Runs rule `rule_id` over a file's tokens. `test_mask[i]` exempts
-/// token `i` (inside a `#[cfg(test)]` module).
+/// One primitive-source site inside a file: the anchor token index, its
+/// line, and a short label (`unwrap()`, `Instant::now`, `thread_rng`) used
+/// both in line-rule messages and as the tail of a D7–D9 witness chain.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Index of the anchor token in the scanned stream.
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// Short display label for the primitive.
+    pub label: String,
+}
+
+/// Code-token indices outside test modules, in order.
+fn code_indices(toks: &[Tok], test_mask: &[bool]) -> Vec<usize> {
+    (0..toks.len())
+        .filter(|&k| toks[k].is_code() && !test_mask[k])
+        .collect()
+}
+
+/// Entropy-seeded RNG construction sites (the D1 primitive matcher).
+pub fn entropy_sites(toks: &[Tok], test_mask: &[bool]) -> Vec<Site> {
+    let code = code_indices(toks, test_mask);
+    let mut out = Vec::new();
+    for &k in &code {
+        let tok = &toks[k];
+        if tok.kind == TokKind::Ident && ENTROPY_IDENTS.contains(&tok.text.as_str()) {
+            out.push(Site {
+                tok: k,
+                line: tok.line,
+                label: tok.text.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Wall-clock read sites — `<ClockType>::now` (the D2 primitive matcher).
+pub fn clock_sites(toks: &[Tok], test_mask: &[bool]) -> Vec<Site> {
+    let code = code_indices(toks, test_mask);
+    let t = |ci: usize| -> &Tok { &toks[code[ci]] };
+    let mut out = Vec::new();
+    for (ci, &k) in code.iter().enumerate().take(code.len().saturating_sub(3)) {
+        let tok = &toks[k];
+        if tok.kind == TokKind::Ident
+            && CLOCK_TYPES.contains(&tok.text.as_str())
+            && t(ci + 1).is_punct(':')
+            && t(ci + 2).is_punct(':')
+            && t(ci + 3).is_ident("now")
+        {
+            out.push(Site {
+                tok: code[ci],
+                line: tok.line,
+                label: format!("{}::now", tok.text),
+            });
+        }
+    }
+    out
+}
+
+/// May-panic sites — `.unwrap()`/`.expect(`, `panic!`-family macros, and
+/// index expressions (the D4 primitive matcher). `expr[..]` full-range
+/// slices never panic and are skipped.
+pub fn panic_sites(toks: &[Tok], test_mask: &[bool]) -> Vec<Site> {
+    let code = code_indices(toks, test_mask);
+    let t = |ci: usize| -> &Tok { &toks[code[ci]] };
+    let mut out = Vec::new();
+    for ci in 0..code.len() {
+        let tok = t(ci);
+        // `.unwrap()` / `.expect(` — exact method names only.
+        if tok.kind == TokKind::Ident
+            && (tok.text == "unwrap" || tok.text == "expect")
+            && ci > 0
+            && t(ci - 1).is_punct('.')
+            && ci + 1 < code.len()
+            && t(ci + 1).is_punct('(')
+        {
+            out.push(Site {
+                tok: code[ci],
+                line: tok.line,
+                label: format!("{}()", tok.text),
+            });
+        }
+        // panic!-family macros.
+        if tok.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&tok.text.as_str())
+            && ci + 1 < code.len()
+            && t(ci + 1).is_punct('!')
+        {
+            out.push(Site {
+                tok: code[ci],
+                line: tok.line,
+                label: format!("{}!", tok.text),
+            });
+        }
+        // Index expressions: `expr[…]` can panic out-of-bounds.
+        if tok.is_punct('[') && ci > 0 {
+            let prev = t(ci - 1);
+            let is_index_base = (prev.kind == TokKind::Ident && !is_keyword(&prev.text))
+                || prev.is_punct(')')
+                || prev.is_punct(']');
+            if is_index_base && !is_full_range_slice(&code, toks, ci) {
+                out.push(Site {
+                    tok: code[ci],
+                    line: tok.line,
+                    label: "index expression".to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Runs line rule `rule_id` over a file's tokens. `test_mask[i]` exempts
+/// token `i` (inside a `#[cfg(test)]` module). Graph rules (D7–D9) never
+/// reach here — they need the whole workspace, see [`crate::graph`].
 pub fn check(rule_id: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<Violation> {
     // Indices of code tokens outside test modules, in order.
-    let code: Vec<usize> = (0..toks.len())
-        .filter(|&k| toks[k].is_code() && !test_mask[k])
-        .collect();
+    let code: Vec<usize> = code_indices(toks, test_mask);
     let t = |ci: usize| -> &Tok { &toks[code[ci]] };
     let mut out = Vec::new();
     let mut push = |line: u32, message: String| {
@@ -99,39 +224,28 @@ pub fn check(rule_id: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<Violation> 
 
     match rule_id {
         "D1" => {
-            for ci in 0..code.len() {
-                let tok = t(ci);
-                if tok.kind == TokKind::Ident && ENTROPY_IDENTS.contains(&tok.text.as_str()) {
-                    push(
-                        tok.line,
-                        format!(
-                            "entropy-seeded RNG (`{}`): runs must reproduce — construct RNGs \
-                             with seed_from_u64/from_seed from a recorded seed",
-                            tok.text
-                        ),
-                    );
-                }
+            for site in entropy_sites(toks, test_mask) {
+                push(
+                    site.line,
+                    format!(
+                        "entropy-seeded RNG (`{}`): runs must reproduce — construct RNGs \
+                         with seed_from_u64/from_seed from a recorded seed",
+                        site.label
+                    ),
+                );
             }
         }
         "D2" => {
-            for ci in 0..code.len().saturating_sub(3) {
-                let tok = t(ci);
-                if tok.kind == TokKind::Ident
-                    && CLOCK_TYPES.contains(&tok.text.as_str())
-                    && t(ci + 1).is_punct(':')
-                    && t(ci + 2).is_punct(':')
-                    && t(ci + 3).is_ident("now")
-                {
-                    push(
-                        tok.line,
-                        format!(
-                            "wall-clock read (`{}::now`) in a chaos-hashed crate: timestamps \
-                             make artifacts differ run-to-run — timing belongs in \
-                             epc-runtime::report or the bench crate",
-                            tok.text
-                        ),
-                    );
-                }
+            for site in clock_sites(toks, test_mask) {
+                push(
+                    site.line,
+                    format!(
+                        "wall-clock read (`{}`) in a chaos-hashed crate: timestamps \
+                         make artifacts differ run-to-run — timing belongs in \
+                         epc-runtime::report or the bench crate",
+                        site.label
+                    ),
+                );
             }
         }
         "D3" => {
@@ -151,56 +265,24 @@ pub fn check(rule_id: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<Violation> 
             }
         }
         "D4" => {
-            for ci in 0..code.len() {
-                let tok = t(ci);
-                // `.unwrap()` / `.expect(` — exact method names only.
-                if tok.kind == TokKind::Ident
-                    && (tok.text == "unwrap" || tok.text == "expect")
-                    && ci > 0
-                    && t(ci - 1).is_punct('.')
-                    && ci + 1 < code.len()
-                    && t(ci + 1).is_punct('(')
-                {
-                    push(
-                        tok.line,
-                        format!(
-                            "`.{}()` in quarantine-protected ingest code: malformed input \
-                             must become a RecordFault, not a panic",
-                            tok.text
-                        ),
-                    );
-                }
-                // panic!-family macros.
-                if tok.kind == TokKind::Ident
-                    && PANIC_MACROS.contains(&tok.text.as_str())
-                    && ci + 1 < code.len()
-                    && t(ci + 1).is_punct('!')
-                {
-                    push(
-                        tok.line,
-                        format!(
-                            "`{}!` in quarantine-protected ingest code: malformed input \
-                             must become a RecordFault, not a panic",
-                            tok.text
-                        ),
-                    );
-                }
-                // Index expressions: `expr[…]` can panic out-of-bounds.
-                if tok.is_punct('[') && ci > 0 {
-                    let prev = t(ci - 1);
-                    let is_index_base = (prev.kind == TokKind::Ident && !is_keyword(&prev.text))
-                        || prev.is_punct(')')
-                        || prev.is_punct(']');
-                    if is_index_base && !is_full_range_slice(&code, toks, ci) {
-                        push(
-                            tok.line,
-                            "index expression (`…[…]`) in quarantine-protected ingest code \
-                             can panic out-of-bounds — use .get()/.get_mut() or a slice \
-                             pattern"
-                                .to_string(),
-                        );
-                    }
-                }
+            for site in panic_sites(toks, test_mask) {
+                let message = if site.label == "index expression" {
+                    "index expression (`…[…]`) in quarantine-protected ingest code \
+                     can panic out-of-bounds — use .get()/.get_mut() or a slice \
+                     pattern"
+                        .to_string()
+                } else {
+                    let spelled = if site.label.ends_with('!') {
+                        format!("`{}`", site.label)
+                    } else {
+                        format!("`.{}`", site.label)
+                    };
+                    format!(
+                        "{spelled} in quarantine-protected ingest code: malformed input \
+                         must become a RecordFault, not a panic"
+                    )
+                };
+                push(site.line, message);
             }
         }
         "D5" => {
@@ -248,8 +330,9 @@ pub fn check(rule_id: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<Violation> 
             }
         }
         other => {
-            // Config validation rejects unknown ids before we get here.
-            debug_assert!(false, "unknown rule id {other}");
+            // Config validation rejects unknown ids, and the driver routes
+            // graph rules (D7–D9) to `crate::graph` instead of here.
+            debug_assert!(false, "rule id {other} is not a line rule");
         }
     }
     out
@@ -395,8 +478,17 @@ mod tests {
     fn test_modules_are_exempt_everywhere() {
         let src = "#[cfg(test)]\nmod tests {\n use std::collections::HashMap;\n\
                    fn t() { v.unwrap(); println!(\"ok\"); }\n}";
-        for rule in RULE_IDS {
+        for rule in LINE_RULE_IDS {
             assert!(run(rule, src).is_empty(), "{rule} leaked into tests");
         }
+    }
+
+    #[test]
+    fn primitive_sites_carry_witness_labels() {
+        let toks = scan("fn f() { let t = Instant::now(); let r = thread_rng(); v.unwrap(); }");
+        let mask = test_block_mask(&toks);
+        assert_eq!(clock_sites(&toks, &mask)[0].label, "Instant::now");
+        assert_eq!(entropy_sites(&toks, &mask)[0].label, "thread_rng");
+        assert_eq!(panic_sites(&toks, &mask)[0].label, "unwrap()");
     }
 }

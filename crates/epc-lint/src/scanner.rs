@@ -164,11 +164,14 @@ pub fn scan(src: &str) -> Vec<Tok> {
             }
             let ident: String = chars[start..i].iter().collect();
             if (ident == "r" || ident == "br") && i < n && (chars[i] == '"' || chars[i] == '#') {
+                // Capture the line *before* consuming: a multi-line raw
+                // string must report its opening line, like plain strings.
+                let start_line = line;
                 if let Some(end) = raw_string_end(&chars, i, &mut line) {
                     toks.push(Tok {
                         kind: TokKind::Literal,
                         text: "r\"…\"".into(),
-                        line,
+                        line: start_line,
                     });
                     i = end;
                     continue;
@@ -413,6 +416,38 @@ mod tests {
         let toks = scan(src);
         let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
         assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn nested_raw_strings_mask_content_and_keep_lines() {
+        // `r##"…"##` may contain `"#` without terminating; everything
+        // inside is literal, and tokens after it land on the right line.
+        let src = "let a = r##\"\nthread_rng() \"# not the end\n\"##;\nlet after = thread_rng();\n";
+        let toks = scan(src);
+        let raw: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text == "r\"…\"")
+            .collect();
+        assert_eq!(raw.len(), 1, "{toks:?}");
+        assert_eq!(raw[0].line, 1, "raw string reports its opening line");
+        let rng: Vec<u32> = toks
+            .iter()
+            .filter(|t| t.is_ident("thread_rng"))
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(rng, vec![4], "only the code mention, on the right line");
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let toks = scan("let r#type = 1; let x = r#\"lit\"#;");
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokKind::Literal && t.text == "r\"…\"")
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! CLI contract: exit codes and `--format json` output shape, exercised
+//! against the built binary exactly as ci.sh invokes it.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixtures() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_epc-lint"))
+        .args(args)
+        .output()
+        .expect("spawn epc-lint")
+}
+
+#[test]
+fn violating_tree_exits_1_in_both_formats() {
+    let root = fixtures().join("graph");
+    let cfg = fixtures().join("graph/lint_graph.toml");
+    for format in ["text", "json"] {
+        let out = run(&[
+            "--root",
+            root.to_str().unwrap(),
+            "--config",
+            cfg.to_str().unwrap(),
+            "--format",
+            format,
+        ]);
+        assert_eq!(out.status.code(), Some(1), "format {format}");
+    }
+}
+
+#[test]
+fn json_report_carries_the_witness_chain() {
+    let out = run(&[
+        "--root",
+        fixtures().join("graph").to_str().unwrap(),
+        "--config",
+        fixtures().join("graph/lint_graph.toml").to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.starts_with("{\n  \"schema\": \"epc-lint-report/1\","),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"rule\": \"D7\""), "{stdout}");
+    assert!(
+        stdout.contains(
+            "entry.rs:3 ingest_row → middle.rs:3 normalize → util.rs:3 widen → util.rs:4 unwrap()"
+        ),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"files_scanned\": 7,"), "{stdout}");
+}
+
+#[test]
+fn clean_tree_exits_0_with_empty_json_diagnostics() {
+    let out = run(&[
+        "--root",
+        fixtures().join("good").to_str().unwrap(),
+        "--config",
+        fixtures().join("lint_all.toml").to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"diagnostics\": [],"), "{stdout}");
+}
+
+#[test]
+fn bad_format_value_exits_2() {
+    let out = run(&["--format", "yaml"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--format"), "{stderr}");
+}

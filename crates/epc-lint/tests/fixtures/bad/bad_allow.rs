@@ -1,4 +1,4 @@
 // Fixture: malformed directives are violations wherever they appear.
 // lint:allow(D3)
 pub fn f() {}
-// lint:allow(D9): not a rule
+// lint:allow(D12): not a rule

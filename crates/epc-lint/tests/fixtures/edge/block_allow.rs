@@ -1,0 +1,9 @@
+//! A directive deep inside a multi-line block comment still applies.
+
+pub fn tally() -> usize {
+    /* Display order is irrelevant here: the counts are summed, never
+       iterated for output.
+       lint:allow(D3): the map is reduced to a scalar before reporting */
+    let m = std::collections::HashMap::<u32, u32>::new();
+    m.len()
+}

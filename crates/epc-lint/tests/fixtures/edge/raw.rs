@@ -1,0 +1,12 @@
+//! Nested raw strings must mask their content and keep line numbers.
+
+pub fn doc() -> &'static str {
+    r##"
+    thread_rng() and OsRng inside a raw string are prose, not code;
+    even "quotes" and r"inner raw strings" stay masked.
+    "##
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,13 @@
+//! D7 roots: every function here is an ingest entry point.
+
+pub fn ingest_row(s: &str) -> u32 {
+    normalize(s)
+}
+
+pub fn ingest_checked(s: &str) -> u32 {
+    audited(s)
+}
+
+pub fn ingest_trusted(s: &str) -> u32 {
+    checked_widen(s)
+}

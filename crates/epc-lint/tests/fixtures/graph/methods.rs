@@ -1,0 +1,19 @@
+//! Method ambiguity: two impls share `refresh`; the conservative graph
+//! keeps an edge to both, so the entropy in `Sampler::refresh` is reached.
+
+pub struct Deterministic;
+
+impl Deterministic {
+    pub fn refresh(&self) -> u32 {
+        7
+    }
+}
+
+pub struct Sampler;
+
+impl Sampler {
+    pub fn refresh(&self) -> u32 {
+        let _rng = rand::thread_rng();
+        0
+    }
+}

@@ -1,0 +1,10 @@
+//! Transit code: not a root, not trusted — taint flows through.
+
+pub fn normalize(s: &str) -> u32 {
+    widen(s) + 1
+}
+
+pub fn stamp(n: usize) -> String {
+    let t = std::time::SystemTime::now();
+    format!("{n}@{t:?}")
+}

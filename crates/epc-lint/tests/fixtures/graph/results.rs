@@ -1,0 +1,5 @@
+//! D9 root: result-producing code.
+
+pub fn produce(sampler: Sampler) -> u32 {
+    sampler.refresh()
+}

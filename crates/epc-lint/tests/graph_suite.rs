@@ -1,0 +1,169 @@
+//! Call-graph rule suite: exact witness chains on the graph fixture
+//! tree, trusted-file and allowlist interactions, scanner edge-case
+//! trees, and the repo-wide D7–D9 gate.
+
+use epc_lint::config::Config;
+use epc_lint::lint_root;
+use std::path::PathBuf;
+
+fn fixtures() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn config(name: &str) -> Config {
+    let text = std::fs::read_to_string(fixtures().join(name)).unwrap();
+    Config::parse(&text).unwrap()
+}
+
+#[test]
+fn graph_fixtures_produce_exact_witness_chains() {
+    let report = lint_root(&fixtures().join("graph"), &config("graph/lint_graph.toml")).unwrap();
+    let got: Vec<(String, u32, String, String)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.path.clone(), d.line, d.rule.clone(), d.message.clone()))
+        .collect();
+    assert_eq!(got.len(), 3, "{got:#?}");
+
+    // Sorted by (path, line, rule): D9, D8, D7.
+    assert_eq!(
+        (&got[0].0[..], got[0].1, &got[0].2[..]),
+        ("methods.rs", 16, "D9")
+    );
+    assert_eq!(
+        got[0].3,
+        "OS-entropy RNG reachable from result-producing code: \
+         results.rs:3 produce → methods.rs:15 Sampler::refresh → methods.rs:16 thread_rng",
+        "ambiguous method call still reaches the entropy impl"
+    );
+
+    assert_eq!(
+        (&got[1].0[..], got[1].1, &got[1].2[..]),
+        ("middle.rs", 8, "D8")
+    );
+    assert_eq!(
+        got[1].3,
+        "wall-clock read reachable from hash-gated artifact code: \
+         render.rs:3 render_artifact → middle.rs:7 stamp → middle.rs:8 SystemTime::now"
+    );
+
+    assert_eq!(
+        (&got[2].0[..], got[2].1, &got[2].2[..]),
+        ("util.rs", 4, "D7")
+    );
+    assert_eq!(
+        got[2].3,
+        "may-panic call path reachable from ingest entry point: \
+         entry.rs:3 ingest_row → middle.rs:3 normalize → util.rs:3 widen → util.rs:4 unwrap()",
+        "two-hop transitive chain, primitive last"
+    );
+}
+
+#[test]
+fn trusted_files_are_neither_sources_nor_transit() {
+    let report = lint_root(&fixtures().join("graph"), &config("graph/lint_graph.toml")).unwrap();
+    // trusted.rs holds an unwrap reachable from entry.rs::ingest_trusted,
+    // but the file is exempt for D7 — no diagnostic may anchor there.
+    assert!(
+        report.diagnostics.iter().all(|d| d.path != "trusted.rs"),
+        "{:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn source_line_allow_suppresses_the_transitive_chain() {
+    let report = lint_root(&fixtures().join("graph"), &config("graph/lint_graph.toml")).unwrap();
+    // util.rs:9 `expect(` is reachable from entry.rs::ingest_checked, but
+    // the lint:allow(D7) on the line above the primitive covers it.
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| d.line != 9 || d.path != "util.rs"),
+        "{:#?}",
+        report.diagnostics
+    );
+    assert_eq!(report.suppressed, 1);
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].path, "util.rs");
+    assert_eq!(report.allows[0].rules, vec!["D7"]);
+    assert_eq!(report.allows[0].used, 1);
+}
+
+#[test]
+fn graph_counts_are_reported() {
+    let report = lint_root(&fixtures().join("graph"), &config("graph/lint_graph.toml")).unwrap();
+    assert_eq!(report.files_scanned, 7);
+    // 12 fns: 3 entry + 2 middle + 2 util + 1 trusted + 1 render +
+    // 1 results + 2 methods refreshes.
+    assert_eq!(report.functions, 12);
+    assert!(report.call_edges >= 5, "got {}", report.call_edges);
+}
+
+#[test]
+fn nested_raw_strings_stay_masked_with_correct_lines() {
+    let report = lint_root(&fixtures().join("edge"), &config("lint_all.toml")).unwrap();
+    // raw.rs mentions thread_rng/OsRng inside an r##"…"## literal — no D1
+    // may fire — and the real clock read after it must keep its true line.
+    let got: Vec<(String, u32, String)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.path.clone(), d.line, d.rule.clone()))
+        .collect();
+    assert_eq!(got, vec![("raw.rs".to_string(), 11, "D2".to_string())]);
+}
+
+#[test]
+fn allow_inside_block_comment_suppresses_its_neighbour() {
+    let report = lint_root(&fixtures().join("edge"), &config("lint_all.toml")).unwrap();
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.path != "block_allow.rs"));
+    let allow = report
+        .allows
+        .iter()
+        .find(|a| a.path == "block_allow.rs")
+        .expect("directive surfaced");
+    assert_eq!(allow.line, 6, "anchored to the directive's own line");
+    assert_eq!(allow.used, 1);
+}
+
+#[test]
+fn the_repo_is_clean_under_the_graph_rules() {
+    // Companion to fixture_suite::the_repo_itself_is_clean, asserting the
+    // graph pass actually ran over the workspace (non-trivial graph) and
+    // D7–D9 hold with every exemption carrying a reason.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .unwrap()
+        .to_path_buf();
+    let text = std::fs::read_to_string(root.join("lint.toml")).unwrap();
+    let cfg = Config::parse(&text).unwrap();
+    for id in ["D7", "D8", "D9"] {
+        let rule = cfg
+            .rule(id)
+            .unwrap_or_else(|| panic!("lint.toml lacks {id}"));
+        assert!(!rule.scope.is_empty(), "{id} must have roots in lint.toml");
+    }
+    let report = lint_root(&root, &cfg).unwrap();
+    let graph_hits: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| ["D7", "D8", "D9"].contains(&d.rule.as_str()))
+        .map(|d| d.to_string())
+        .collect();
+    assert!(
+        graph_hits.is_empty(),
+        "repo violates its own graph rules:\n{}",
+        graph_hits.join("\n")
+    );
+    assert!(report.functions > 100, "graph saw {} fns", report.functions);
+    assert!(
+        report.call_edges > 100,
+        "graph saw {} edges",
+        report.call_edges
+    );
+}

@@ -149,14 +149,17 @@ impl Column {
 
     fn set(&mut self, row: usize, value: Value, attr_name: &str) -> Result<(), ModelError> {
         let was_missing = self.get(row).is_missing();
+        // Column::set is only reached through Dataset::set_value, which
+        // rejects row >= n_rows before delegating; every column stores
+        // exactly n_rows entries, so the arm indexing below cannot panic.
         match (&mut self.data, value) {
-            (ColumnData::Numeric(v), Value::Num(x)) => v[row] = Some(x),
+            (ColumnData::Numeric(v), Value::Num(x)) => v[row] = Some(x), // lint:allow(D7): row < n_rows == v.len(), guarded in set_value — covers both numeric arms
             (ColumnData::Numeric(v), Value::Missing) => v[row] = None,
             (ColumnData::Categorical(c), Value::Cat(s)) => {
                 let code = c.intern(&s);
-                c.codes[row] = Some(code);
+                c.codes[row] = Some(code); // lint:allow(D7): row < n_rows == codes.len(), guarded in set_value
             }
-            (ColumnData::Categorical(c), Value::Missing) => c.codes[row] = None,
+            (ColumnData::Categorical(c), Value::Missing) => c.codes[row] = None, // lint:allow(D7): row < n_rows == codes.len(), guarded in set_value
             (_, v) => {
                 return Err(ModelError::KindMismatch {
                     attribute: attr_name.to_owned(),
@@ -414,6 +417,7 @@ impl Dataset {
             .ok_or(ModelError::InvalidAttrId(id.0))?
             .name
             .clone();
+        // lint:allow(D7): schema.def(id) above proves id indexes a live column
         self.columns[id.index()].set(row, value, &name)
     }
 

@@ -83,10 +83,11 @@ impl ColorRamp {
     pub fn sample(&self, t: f64) -> Color {
         let t = if t.is_nan() { 0.0 } else { t.clamp(0.0, 1.0) };
         if self.stops.len() == 1 {
-            return self.stops[0];
+            return self.stops[0]; // lint:allow(D7): len() == 1 checked on this branch
         }
         let scaled = t * (self.stops.len() - 1) as f64;
         let i = (scaled.floor() as usize).min(self.stops.len() - 2);
+        // lint:allow(D7): new() rejects empty stop lists and i is clamped to len - 2
         Color::lerp(self.stops[i], self.stops[i + 1], scaled - i as f64)
     }
 
