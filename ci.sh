@@ -4,7 +4,8 @@
 # external dependencies are local path shims (see shims/README.md).
 #
 # Usage: ./ci.sh [stage]
-#   stage: lint | fmt | clippy | tier1 | chaos | crash | obs | fleet
+#   stage: lint | fmt | clippy | tier1 | chaos | crash | obs | fleet |
+#          ingest
 #   (default: all, in order)
 #   lint = the two-phase epc-lint audit: per-line rules D1-D6, then the
 #   call-graph taint rules D7-D9 (transitive panic / wall-clock / entropy
@@ -15,9 +16,9 @@ cd "$(dirname "$0")"
 
 stage="${1:-all}"
 case "$stage" in
-  all|lint|fmt|clippy|tier1|chaos|crash|obs|fleet) ;;
+  all|lint|fmt|clippy|tier1|chaos|crash|obs|fleet|ingest) ;;
   *)
-    echo "usage: $0 [lint|fmt|clippy|tier1|chaos|crash|obs|fleet]" >&2
+    echo "usage: $0 [lint|fmt|clippy|tier1|chaos|crash|obs|fleet|ingest]" >&2
     exit 2
     ;;
 esac
@@ -292,6 +293,74 @@ if want fleet; then
     echo "FAIL: degraded dashboard lacks the unavailable panel" >&2
     exit 1
   fi
+fi
+
+if want ingest; then
+  echo "== ingest: generation-journaled micro-batch suite =="
+  cargo test -q --offline -p indice --test ingest
+
+  echo "== ingest: batched == one-shot equivalence gate =="
+  # Fold the input in three micro-batches and require `current/` to be
+  # byte-identical to a one-shot run over the concatenated CSV.
+  cargo build -q --release --offline -p indice-cli
+  INDICE="$(pwd)/target/release/indice"
+  INGEST_DIR="$(mktemp -d)"
+  trap 'rm -rf ${CHAOS_DIR:+"$CHAOS_DIR"} ${CRASH_DIR:+"$CRASH_DIR"} \
+    ${OBS_DIR:+"$OBS_DIR"} ${FLEET_DIR:+"$FLEET_DIR"} "$INGEST_DIR"' EXIT
+  "$INDICE" generate --records 900 --seed 5 --out-dir "$INGEST_DIR/data" \
+    >/dev/null
+
+  # Split the CSV into three batches (header repeated per batch file).
+  # sed reads the file to the end, so pipefail never sees a SIGPIPE.
+  csv="$INGEST_DIR/data/epcs.csv"
+  total=$(($(wc -l < "$csv") - 1))
+  third=$((total / 3))
+  sed -n "1p; 2,$((third + 1))p" "$csv" > "$INGEST_DIR/b0.csv"
+  sed -n "1p; $((third + 2)),$((2 * third + 1))p" "$csv" > "$INGEST_DIR/b1.csv"
+  sed -n "1p; $((2 * third + 2)),\$p" "$csv" > "$INGEST_DIR/b2.csv"
+
+  ingest_args=(ingest
+    --append "$INGEST_DIR/b0.csv,$INGEST_DIR/b1.csv,$INGEST_DIR/b2.csv"
+    --streets "$INGEST_DIR/data/street_map.txt"
+    --regions "$INGEST_DIR/data/regions.json"
+    --stakeholder citizen)
+
+  "$INDICE" run \
+    --data "$csv" \
+    --streets "$INGEST_DIR/data/street_map.txt" \
+    --regions "$INGEST_DIR/data/regions.json" \
+    --stakeholder citizen --out-dir "$INGEST_DIR/oneshot" >/dev/null
+  oneshot_hash="$(tree_hash "$INGEST_DIR/oneshot")"
+
+  "$INDICE" "${ingest_args[@]}" --into "$INGEST_DIR/batched" >/dev/null
+  if [ "$(tree_hash "$INGEST_DIR/batched/current")" != "$oneshot_hash" ]; then
+    echo "FAIL: batched current/ is not byte-identical to the one-shot run" >&2
+    exit 1
+  fi
+  batched_hash="$(tree_hash "$INGEST_DIR/batched")"
+
+  echo "== ingest: CLI kill/resume loop at three batch-boundary points =="
+  # Kill the ingest at an injected batch boundary (exit 70), resume the
+  # run directory, and require the whole ingest tree — generation
+  # manifest, sealed deltas, current/ — to be byte-identical to an
+  # uninterrupted ingest's.
+  for point in 1:before 1:after 1:torn; do
+    dir="$INGEST_DIR/run-${point//:/-}"
+    set +e
+    "$INDICE" "${ingest_args[@]}" --into "$dir" --crash-at-batch "$point" \
+      >/dev/null 2>&1
+    code=$?
+    set -e
+    if [ "$code" -ne 70 ]; then
+      echo "FAIL: --crash-at-batch $point exited $code (expected 70)" >&2
+      exit 1
+    fi
+    "$INDICE" "${ingest_args[@]}" --resume "$dir" >/dev/null
+    if [ "$(tree_hash "$dir")" != "$batched_hash" ]; then
+      echo "FAIL: resume after $point is not byte-identical to baseline" >&2
+      exit 1
+    fi
+  done
 fi
 
 echo "CI OK ($stage)"

@@ -92,6 +92,151 @@ impl fmt::Display for CrashSpec {
     }
 }
 
+/// Where in an incremental-ingest run an injected crash fires.
+///
+/// Incremental ingest processes an ordered list of batches; each batch
+/// boundary is a first-class crash point, mirroring [`CrashSpec`]'s
+/// before/after/torn grammar but keyed by 0-based batch index instead of
+/// stage name (CLI `--crash-at-batch`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestCrash {
+    /// Die before the batch's generation commits anything: no checkpoint
+    /// deltas, no manifest line. Resume must re-ingest the batch.
+    BeforeBatch {
+        /// 0-based index into the ordered batch list.
+        batch: usize,
+    },
+    /// Die immediately after the batch's generation manifest line is
+    /// durable. Resume must recognize the sealed generation and skip it.
+    AfterCommit {
+        /// 0-based index into the ordered batch list.
+        batch: usize,
+    },
+    /// Die mid-seal: the generation's first checkpoint file is truncated
+    /// to half its length, but the manifest line records the full content
+    /// hash. Resume must detect the mismatch and re-ingest the batch.
+    TornBatch {
+        /// 0-based index into the ordered batch list.
+        batch: usize,
+    },
+}
+
+impl IngestCrash {
+    /// Parses a `batch:point` spec, where batch is a 0-based index and
+    /// point is `before`, `after`, or `torn` (e.g. `1:after`).
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let err = || {
+            format!(
+                "invalid ingest crash spec {raw:?}: expected <batch>:<before|after|torn>, \
+                 e.g. \"1:after\""
+            )
+        };
+        let (batch, point) = raw.split_once(':').ok_or_else(err)?;
+        let batch: usize = batch.trim().parse().map_err(|_| err())?;
+        match point.trim() {
+            "before" => Ok(IngestCrash::BeforeBatch { batch }),
+            "after" => Ok(IngestCrash::AfterCommit { batch }),
+            "torn" => Ok(IngestCrash::TornBatch { batch }),
+            _ => Err(err()),
+        }
+    }
+
+    /// The 0-based batch index this spec targets.
+    pub fn batch(&self) -> usize {
+        match self {
+            IngestCrash::BeforeBatch { batch }
+            | IngestCrash::AfterCommit { batch }
+            | IngestCrash::TornBatch { batch } => *batch,
+        }
+    }
+
+    /// Short label for the crash point (`before`, `after`, `torn`).
+    pub fn point(&self) -> &'static str {
+        match self {
+            IngestCrash::BeforeBatch { .. } => "before",
+            IngestCrash::AfterCommit { .. } => "after",
+            IngestCrash::TornBatch { .. } => "torn",
+        }
+    }
+}
+
+impl fmt::Display for IngestCrash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.batch(), self.point())
+    }
+}
+
+/// Which batches of an incremental-ingest run receive injected record
+/// corruption — the batch-scoped analogue of running the whole pipeline
+/// under a [`crate::FaultInjector`].
+///
+/// Parsed from a comma-separated list of 0-based indices and inclusive
+/// ranges (`"0,2-4"`), or `"all"`. The chaos suite uses this to poison
+/// exactly one batch and prove the damage stays inside that generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchScope {
+    /// Corrupt every batch.
+    All,
+    /// Corrupt only the listed 0-based batch indices (sorted, deduped).
+    Only(Vec<usize>),
+}
+
+impl BatchScope {
+    /// Parses `"all"` or a list like `"0,2-4,7"`.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let raw = raw.trim();
+        if raw.eq_ignore_ascii_case("all") {
+            return Ok(BatchScope::All);
+        }
+        let err = |part: &str| {
+            format!(
+                "invalid batch scope {raw:?}: part {part:?} is not an index or \
+                 inclusive range (expected e.g. \"all\" or \"0,2-4\")"
+            )
+        };
+        let mut indices = Vec::new();
+        for part in raw.split(',') {
+            let part = part.trim();
+            if let Some((lo, hi)) = part.split_once('-') {
+                let lo: usize = lo.trim().parse().map_err(|_| err(part))?;
+                let hi: usize = hi.trim().parse().map_err(|_| err(part))?;
+                if lo > hi {
+                    return Err(err(part));
+                }
+                indices.extend(lo..=hi);
+            } else {
+                indices.push(part.parse().map_err(|_| err(part))?);
+            }
+        }
+        if indices.is_empty() {
+            return Err(format!("invalid batch scope {raw:?}: empty"));
+        }
+        indices.sort_unstable();
+        indices.dedup();
+        Ok(BatchScope::Only(indices))
+    }
+
+    /// `true` when batch `index` should receive injected corruption.
+    pub fn applies_to(&self, index: usize) -> bool {
+        match self {
+            BatchScope::All => true,
+            BatchScope::Only(indices) => indices.binary_search(&index).is_ok(),
+        }
+    }
+}
+
+impl fmt::Display for BatchScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchScope::All => write!(f, "all"),
+            BatchScope::Only(indices) => {
+                let parts: Vec<String> = indices.iter().map(|i| i.to_string()).collect();
+                write!(f, "{}", parts.join(","))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +284,64 @@ mod tests {
         ] {
             let err = CrashSpec::parse(bad).unwrap_err();
             assert!(err.contains("invalid crash spec"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn ingest_crash_parses_all_three_points() {
+        assert_eq!(
+            IngestCrash::parse("0:before").unwrap(),
+            IngestCrash::BeforeBatch { batch: 0 }
+        );
+        assert_eq!(
+            IngestCrash::parse("3:after").unwrap(),
+            IngestCrash::AfterCommit { batch: 3 }
+        );
+        assert_eq!(
+            IngestCrash::parse(" 12 : torn ").unwrap(),
+            IngestCrash::TornBatch { batch: 12 }
+        );
+    }
+
+    #[test]
+    fn ingest_crash_accessors_and_display_round_trip() {
+        let spec = IngestCrash::parse("2:torn").unwrap();
+        assert_eq!(spec.batch(), 2);
+        assert_eq!(spec.point(), "torn");
+        assert_eq!(spec.to_string(), "2:torn");
+        assert_eq!(IngestCrash::parse(&spec.to_string()).unwrap(), spec);
+    }
+
+    #[test]
+    fn ingest_crash_rejects_malformed_specs() {
+        for bad in ["", "1", ":before", "x:before", "1:", "1:during", "-1:torn"] {
+            let err = IngestCrash::parse(bad).unwrap_err();
+            assert!(err.contains("invalid ingest crash spec"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn batch_scope_parses_lists_ranges_and_all() {
+        assert_eq!(BatchScope::parse("all").unwrap(), BatchScope::All);
+        assert_eq!(BatchScope::parse("ALL").unwrap(), BatchScope::All);
+        assert_eq!(
+            BatchScope::parse("0,2-4,7,2").unwrap(),
+            BatchScope::Only(vec![0, 2, 3, 4, 7])
+        );
+        let scope = BatchScope::parse("1-2").unwrap();
+        assert!(!scope.applies_to(0));
+        assert!(scope.applies_to(1));
+        assert!(scope.applies_to(2));
+        assert!(!scope.applies_to(3));
+        assert!(BatchScope::All.applies_to(usize::MAX));
+        assert_eq!(scope.to_string(), "1,2");
+        assert_eq!(BatchScope::All.to_string(), "all");
+    }
+
+    #[test]
+    fn batch_scope_rejects_malformed() {
+        for bad in ["", "x", "1,", "3-1", "1-x", ","] {
+            assert!(BatchScope::parse(bad).is_err(), "{bad:?} should fail");
         }
     }
 }

@@ -136,6 +136,25 @@ pub struct CleaningReport {
     pub streets_fixed: usize,
 }
 
+impl CleaningReport {
+    /// Adds `other`'s counts field-wise. Every field is a per-record
+    /// tally, so the report of a concatenated input equals the merged
+    /// reports of its chunks — the property incremental ingest builds on.
+    pub fn merge(&mut self, other: &CleaningReport) {
+        self.total += other.total;
+        self.by_reference += other.by_reference;
+        self.exact_matches += other.exact_matches;
+        self.by_geocoder += other.by_geocoder;
+        self.degraded += other.degraded;
+        self.unresolved += other.unresolved;
+        self.geocoder_requests += other.geocoder_requests;
+        self.geocoder_retries += other.geocoder_retries;
+        self.zips_fixed += other.zips_fixed;
+        self.coords_fixed += other.coords_fixed;
+        self.streets_fixed += other.streets_fixed;
+    }
+}
+
 /// Last-resort coordinates for records whose geocoding keeps failing
 /// transiently: the centroid of the district the record claims to belong
 /// to.

@@ -53,6 +53,24 @@ pub struct StageEntry {
     pub checkpoints: Vec<ArtifactRecord>,
 }
 
+/// What [`Journal::load`] recovered: the parsable prefix plus a flag
+/// telling the caller whether anything was silently lost getting there.
+///
+/// A torn tail is the *expected* crash-during-append artifact and the
+/// recovery is sound — but it must be surfaced, not swallowed: the CLI
+/// warns, the observability layer counts it, and operators can tell a
+/// clean resume from one that discarded a half-written commit line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedJournal {
+    /// The valid entry prefix (everything up to the first unparsable
+    /// line).
+    pub entries: Vec<StageEntry>,
+    /// `true` when the file held trailing bytes that did not parse as an
+    /// entry — a torn append (or interior corruption) was discarded to
+    /// recover `entries`.
+    pub recovered_torn_tail: bool,
+}
+
 /// Handle to a run directory's journal file.
 #[derive(Debug, Clone)]
 pub struct Journal {
@@ -73,24 +91,38 @@ impl Journal {
     }
 
     /// Loads all parsable entries. A missing file is an empty journal;
-    /// the first unparsable line truncates the result (torn tail).
-    pub fn load(&self) -> io::Result<Vec<StageEntry>> {
+    /// the first unparsable line truncates the result (torn tail) and
+    /// sets [`LoadedJournal::recovered_torn_tail`] so the recovery is
+    /// visible to the caller instead of silently discarded.
+    pub fn load(&self) -> io::Result<LoadedJournal> {
         let text = match std::fs::read_to_string(self.path()) {
             Ok(t) => t,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Ok(LoadedJournal {
+                    entries: Vec::new(),
+                    recovered_torn_tail: false,
+                })
+            }
             Err(e) => return Err(e),
         };
         let mut entries = Vec::new();
+        let mut recovered_torn_tail = false;
         for line in text.lines() {
             if line.trim().is_empty() {
                 continue;
             }
             match serde_json::from_str::<StageEntry>(line) {
                 Ok(entry) => entries.push(entry),
-                Err(_) => break,
+                Err(_) => {
+                    recovered_torn_tail = true;
+                    break;
+                }
             }
         }
-        Ok(entries)
+        Ok(LoadedJournal {
+            entries,
+            recovered_torn_tail,
+        })
     }
 
     /// Appends one entry (one JSON line) and fsyncs — the stage's commit
@@ -167,18 +199,21 @@ mod tests {
     fn append_then_load_round_trips() {
         let dir = temp_dir();
         let j = Journal::at(&dir);
-        assert!(j.load().unwrap().is_empty(), "missing file = empty journal");
+        let loaded = j.load().unwrap();
+        assert!(loaded.entries.is_empty(), "missing file = empty journal");
+        assert!(!loaded.recovered_torn_tail);
         j.append(&entry(0, "preprocess")).unwrap();
         j.append(&entry(1, "analytics")).unwrap();
-        let got = j.load().unwrap();
-        assert_eq!(got.len(), 2);
-        assert_eq!(got[0], entry(0, "preprocess"));
-        assert_eq!(got[1], entry(1, "analytics"));
+        let loaded = j.load().unwrap();
+        assert_eq!(loaded.entries.len(), 2);
+        assert_eq!(loaded.entries[0], entry(0, "preprocess"));
+        assert_eq!(loaded.entries[1], entry(1, "analytics"));
+        assert!(!loaded.recovered_torn_tail, "clean journal reports no tear");
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn torn_tail_is_discarded() {
+    fn torn_tail_is_discarded_and_reported() {
         let dir = temp_dir();
         let j = Journal::at(&dir);
         j.append(&entry(0, "preprocess")).unwrap();
@@ -186,9 +221,13 @@ mod tests {
         // Simulate a crash mid-append: chop the last line in half.
         let text = fs::read_to_string(j.path()).unwrap();
         fs::write(j.path(), &text[..text.len() - 40]).unwrap();
-        let got = j.load().unwrap();
-        assert_eq!(got.len(), 1);
-        assert_eq!(got[0].stage, "preprocess");
+        let loaded = j.load().unwrap();
+        assert_eq!(loaded.entries.len(), 1);
+        assert_eq!(loaded.entries[0].stage, "preprocess");
+        assert!(
+            loaded.recovered_torn_tail,
+            "discarding a torn tail must be surfaced, not silent"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -202,7 +241,9 @@ mod tests {
         fs::write(j.path(), &text).unwrap();
         j.append(&entry(2, "dashboard")).unwrap();
         // The entry after the garbage line is unreachable.
-        assert_eq!(j.load().unwrap().len(), 1);
+        let loaded = j.load().unwrap();
+        assert_eq!(loaded.entries.len(), 1);
+        assert!(loaded.recovered_torn_tail, "interior garbage is a tear too");
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -213,12 +254,85 @@ mod tests {
         j.append(&entry(0, "preprocess")).unwrap();
         j.append(&entry(1, "analytics")).unwrap();
         j.append(&entry(2, "dashboard")).unwrap();
-        let all = j.load().unwrap();
+        let all = j.load().unwrap().entries;
         j.rewrite(&all[..1]).unwrap();
-        let got = j.load().unwrap();
-        assert_eq!(got.len(), 1);
-        assert_eq!(got[0].stage, "preprocess");
+        let loaded = j.load().unwrap();
+        assert_eq!(loaded.entries.len(), 1);
+        assert_eq!(loaded.entries[0].stage, "preprocess");
+        assert!(!loaded.recovered_torn_tail);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A crash *during* `rewrite` must never lose committed entries.
+    /// `rewrite` goes through `write_atomic` (tmp + fsync + rename), so
+    /// every intermediate state a kill can leave behind is either the old
+    /// journal or the new one. This test walks the protocol's crash
+    /// windows explicitly.
+    #[test]
+    fn rewrite_interrupted_midway_never_loses_committed_entries() {
+        let dir = temp_dir();
+        let j = Journal::at(&dir);
+        j.append(&entry(0, "preprocess")).unwrap();
+        j.append(&entry(1, "analytics")).unwrap();
+        j.append(&entry(2, "dashboard")).unwrap();
+        let committed = j.load().unwrap().entries;
+
+        // Crash window 1: the replacement text was written to the tmp
+        // file (possibly torn), but the rename never happened. The live
+        // journal must still hold every committed entry.
+        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        fs::write(&tmp, b"{\"seq\":0,\"stage\":\"prep").unwrap();
+        let loaded = j.load().unwrap();
+        assert_eq!(
+            loaded.entries, committed,
+            "tmp file must not shadow the journal"
+        );
+        assert!(!loaded.recovered_torn_tail);
+
+        // Crash window 2: the kill landed after the rename. The journal
+        // is exactly the rewritten prefix — complete lines, no tear.
+        j.rewrite(&committed[..2]).unwrap();
+        let loaded = j.load().unwrap();
+        assert_eq!(loaded.entries, committed[..2]);
+        assert!(!loaded.recovered_torn_tail);
+
+        // A stale tmp from window 1 must not break later appends either.
+        fs::write(&tmp, b"stale garbage").unwrap();
+        j.append(&entry(2, "dashboard")).unwrap();
+        assert_eq!(j.load().unwrap().entries, committed);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Re-running an interrupted rewrite (the resume path re-validates
+    /// and rewrites again) converges to the same bytes as a rewrite that
+    /// was never interrupted.
+    #[test]
+    fn rewrite_after_interrupted_rewrite_is_byte_identical() {
+        let dir_clean = temp_dir();
+        let dir_crashed = temp_dir();
+        for dir in [&dir_clean, &dir_crashed] {
+            let j = Journal::at(dir);
+            j.append(&entry(0, "preprocess")).unwrap();
+            j.append(&entry(1, "analytics")).unwrap();
+        }
+        let j_crashed = Journal::at(&dir_crashed);
+        let prefix = j_crashed.load().unwrap().entries;
+        // Interrupted attempt: tmp written, rename lost.
+        fs::write(
+            dir_crashed.join(format!("{MANIFEST_FILE}.tmp")),
+            b"half a li",
+        )
+        .unwrap();
+        // Both sides now perform the rewrite to the same prefix.
+        j_crashed.rewrite(&prefix[..1]).unwrap();
+        let j_clean = Journal::at(&dir_clean);
+        let clean_prefix = j_clean.load().unwrap().entries;
+        j_clean.rewrite(&clean_prefix[..1]).unwrap();
+        let a = fs::read(j_clean.path()).unwrap();
+        let b = fs::read(j_crashed.path()).unwrap();
+        assert_eq!(a, b);
+        fs::remove_dir_all(&dir_clean).unwrap();
+        fs::remove_dir_all(&dir_crashed).unwrap();
     }
 
     #[test]

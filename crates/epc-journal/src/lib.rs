@@ -30,5 +30,5 @@ mod journal;
 mod sha256;
 
 pub use atomic::{write_atomic, write_atomic_path, ArtifactRecord};
-pub use journal::{Journal, StageEntry, MANIFEST_FILE};
+pub use journal::{Journal, LoadedJournal, StageEntry, MANIFEST_FILE};
 pub use sha256::hash_hex;

@@ -19,7 +19,9 @@
 //!   categories for rule mining;
 //! * [`apriori`] — frequent-itemset mining (Apriori);
 //! * [`rules`] — association-rule generation with the four quality indices
-//!   the paper uses: support, confidence, lift, conviction.
+//!   the paper uses: support, confidence, lift, conviction;
+//! * [`support`] — mergeable per-region support counts, so incremental
+//!   ingest can fold sealed generations' frequencies without re-scanning.
 //!
 //! The future-work section of the paper (§4) plans "other analytics
 //! techniques (both supervised and unsupervised)"; this crate ships two:
@@ -43,6 +45,7 @@ pub mod naive_bayes;
 pub mod normalize;
 pub mod rules;
 pub mod silhouette;
+pub mod support;
 
 pub use apriori::{Apriori, ItemDictionary, Itemset, TransactionSet};
 pub use cart::{CartConfig, RegressionTree};
@@ -56,3 +59,4 @@ pub use naive_bayes::GaussianNb;
 pub use normalize::{MinMaxScaler, ZScoreScaler};
 pub use rules::{AssociationRule, RuleConfig};
 pub use silhouette::silhouette_score;
+pub use support::{RegionSupport, SupportLedger};

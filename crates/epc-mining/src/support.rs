@@ -1,0 +1,214 @@
+//! Mergeable per-region support counts for incremental rule mining.
+//!
+//! Association-rule support is a pure frequency: `support(X) = count(X) /
+//! n_transactions`. Counts over disjoint record batches are exactly
+//! additive, so a [`SupportLedger`] accumulated per sealed generation can
+//! be merged with earlier generations' ledgers in any order and reproduce
+//! the counts a one-shot pass over the concatenated data would produce —
+//! **provided the item labels are data-independent** (the footnote-4 fixed
+//! discretization bins, not CART splits re-estimated on each batch).
+//!
+//! Everything is keyed by item *name* (`"u_windows=High"`), not dictionary
+//! id: interning order differs between a chunked and a one-shot run, and
+//! names are the representation-stable identity.
+
+use crate::apriori::TransactionSet;
+use std::collections::BTreeMap;
+
+/// Support counts for one region: transaction total plus per-item counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegionSupport {
+    /// Number of transactions observed for the region.
+    pub transactions: u64,
+    /// Occurrences per item name (each transaction counts an item once).
+    pub items: BTreeMap<String, u64>,
+}
+
+impl RegionSupport {
+    /// Relative support of `item` (0 when no transactions were seen).
+    pub fn support(&self, item: &str) -> f64 {
+        if self.transactions == 0 {
+            return 0.0;
+        }
+        *self.items.get(item).unwrap_or(&0) as f64 / self.transactions as f64
+    }
+}
+
+/// Per-region item-support counts, exactly additive across batches.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SupportLedger {
+    regions: BTreeMap<String, RegionSupport>,
+}
+
+impl SupportLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        SupportLedger::default()
+    }
+
+    /// Records one transaction of item names under `region`. Duplicate
+    /// items within a transaction collapse (set semantics, matching
+    /// [`TransactionSet::push`]).
+    pub fn record(&mut self, region: &str, items: &[&str]) {
+        let entry = self.regions.entry(region.to_owned()).or_default();
+        entry.transactions += 1;
+        let mut seen: Vec<&str> = items.to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        for item in seen {
+            *entry.items.entry(item.to_owned()).or_insert(0) += 1;
+        }
+    }
+
+    /// Records every transaction of `set` under `region`, resolving item
+    /// ids back to names through the set's own dictionary.
+    pub fn record_transactions(&mut self, region: &str, set: &TransactionSet) {
+        for t in set.transactions() {
+            let names: Vec<&str> = t.iter().filter_map(|&id| set.dict.name(id)).collect();
+            self.record(region, &names);
+        }
+    }
+
+    /// Builds a ledger from one region's transaction set.
+    pub fn from_transactions(region: &str, set: &TransactionSet) -> Self {
+        let mut ledger = SupportLedger::new();
+        ledger.record_transactions(region, set);
+        ledger
+    }
+
+    /// Adds `other`'s counts into `self`. Addition is commutative and
+    /// associative, so merging sealed generations in any order yields the
+    /// same ledger.
+    pub fn merge(&mut self, other: &SupportLedger) {
+        for (region, rs) in &other.regions {
+            let entry = self.regions.entry(region.clone()).or_default();
+            entry.transactions += rs.transactions;
+            for (item, count) in &rs.items {
+                *entry.items.entry(item.clone()).or_insert(0) += count;
+            }
+        }
+    }
+
+    /// The per-region counts, ordered by region name.
+    pub fn regions(&self) -> &BTreeMap<String, RegionSupport> {
+        &self.regions
+    }
+
+    /// Counts for one region, if any transactions were recorded.
+    pub fn region(&self, region: &str) -> Option<&RegionSupport> {
+        self.regions.get(region)
+    }
+
+    /// Total transactions across all regions.
+    pub fn total_transactions(&self) -> u64 {
+        self.regions.values().map(|r| r.transactions).sum()
+    }
+
+    /// `true` when no transactions have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn sample_transactions() -> Vec<(&'static str, Vec<&'static str>)> {
+        vec![
+            ("north", vec!["heat=High", "win=Low"]),
+            ("north", vec!["heat=High", "win=High"]),
+            ("north", vec!["heat=Low"]),
+            ("south", vec!["heat=High", "win=Low", "heat=High"]), // dup collapses
+            ("south", vec!["win=Low"]),
+        ]
+    }
+
+    fn ledger_of(rows: &[(&str, Vec<&str>)]) -> SupportLedger {
+        let mut l = SupportLedger::new();
+        for (region, items) in rows {
+            l.record(region, items);
+        }
+        l
+    }
+
+    #[test]
+    fn counts_and_supports_are_per_region() {
+        let l = ledger_of(&sample_transactions());
+        let north = l.region("north").unwrap();
+        assert_eq!(north.transactions, 3);
+        assert_eq!(north.items["heat=High"], 2);
+        assert!((north.support("heat=High") - 2.0 / 3.0).abs() < 1e-15);
+        let south = l.region("south").unwrap();
+        assert_eq!(south.transactions, 2);
+        assert_eq!(south.items["heat=High"], 1, "duplicates collapse");
+        assert_eq!(south.support("missing"), 0.0);
+        assert_eq!(l.total_transactions(), 5);
+    }
+
+    #[test]
+    fn chunked_merge_equals_one_shot() {
+        let rows = sample_transactions();
+        let one = ledger_of(&rows);
+        for split in 1..rows.len() {
+            let mut merged = ledger_of(&rows[..split]);
+            merged.merge(&ledger_of(&rows[split..]));
+            assert_eq!(merged, one, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn merge_is_order_invariant() {
+        let rows = sample_transactions();
+        let parts: Vec<SupportLedger> = rows.chunks(2).map(ledger_of).collect();
+        let fold = |order: &[usize]| {
+            let mut acc = SupportLedger::new();
+            for &i in order {
+                acc.merge(&parts[i]);
+            }
+            acc
+        };
+        let baseline = fold(&[0, 1, 2]);
+        for order in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            assert_eq!(fold(&order), baseline, "order {order:?}");
+        }
+        assert_eq!(baseline, ledger_of(&rows));
+    }
+
+    #[test]
+    fn merging_empty_is_identity() {
+        let l = ledger_of(&sample_transactions());
+        let mut with_empty = l.clone();
+        with_empty.merge(&SupportLedger::new());
+        assert_eq!(with_empty, l);
+        let mut from_empty = SupportLedger::new();
+        from_empty.merge(&l);
+        assert_eq!(from_empty, l);
+        assert!(SupportLedger::new().is_empty());
+    }
+
+    #[test]
+    fn from_transactions_matches_apriori_item_counts() {
+        let mut set = TransactionSet::new();
+        set.push(&["a=1", "b=2"]);
+        set.push(&["a=1"]);
+        set.push(&["b=2", "c=3"]);
+        let ledger = SupportLedger::from_transactions("r", &set);
+        let r = ledger.region("r").unwrap();
+        assert_eq!(r.transactions, 3);
+        assert_eq!(r.items["a=1"], 2);
+        assert_eq!(r.items["b=2"], 2);
+        assert_eq!(r.items["c=3"], 1);
+        // Interning order does not matter: a set built in a different
+        // insertion order produces the identical ledger.
+        let mut reordered = TransactionSet::new();
+        reordered.push(&["b=2", "c=3"]);
+        reordered.push(&["a=1"]);
+        reordered.push(&["b=2", "a=1"]);
+        let mut again = SupportLedger::from_transactions("r", &reordered);
+        assert_eq!(again.region("r").unwrap().items, r.items);
+        again.merge(&ledger);
+        assert_eq!(again.region("r").unwrap().transactions, 6);
+    }
+}

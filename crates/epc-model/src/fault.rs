@@ -300,6 +300,29 @@ impl Quarantine {
     pub fn merge(&mut self, other: Quarantine) {
         self.records.extend(other.records);
     }
+
+    /// Shifts every record's row index (and synthetic `row:<n>` fallback
+    /// key) by `offset`. Batch ingest quarantines records against
+    /// batch-local row numbers; rebasing them onto the cumulative input
+    /// makes the merged quarantine identical to a one-shot run's over the
+    /// concatenated data.
+    pub fn rebase_rows(&mut self, offset: usize) {
+        if offset == 0 {
+            return;
+        }
+        for r in &mut self.records {
+            if let Some(row) = r.row.as_mut() {
+                *row += offset;
+            }
+            if let Some(n) = r
+                .key
+                .strip_prefix("row:")
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                r.key = format!("row:{}", n + offset);
+            }
+        }
+    }
 }
 
 impl fmt::Display for Quarantine {
@@ -410,6 +433,30 @@ mod tests {
     use crate::dataset::Dataset;
     use crate::schema::Schema;
     use std::sync::Arc;
+
+    #[test]
+    fn rebase_rows_shifts_indices_and_synthetic_keys() {
+        let mut q = Quarantine::new();
+        q.push("cert-7", Some(2), RecordFault::UnresolvableAddress);
+        q.push(
+            "row:5",
+            Some(5),
+            RecordFault::NonFinite {
+                attribute: "x".into(),
+            },
+        );
+        q.push("row:abc", None, RecordFault::UnresolvableAddress);
+        let mut unshifted = q.clone();
+        unshifted.rebase_rows(0);
+        assert_eq!(unshifted, q, "offset 0 is the identity");
+        q.rebase_rows(100);
+        assert_eq!(q.records()[0].key, "cert-7", "real keys stay put");
+        assert_eq!(q.records()[0].row, Some(102));
+        assert_eq!(q.records()[1].key, "row:105", "synthetic keys shift");
+        assert_eq!(q.records()[1].row, Some(105));
+        assert_eq!(q.records()[2].key, "row:abc", "non-numeric suffix kept");
+        assert_eq!(q.records()[2].row, None);
+    }
 
     #[test]
     fn quarantine_serde_round_trips_every_fault_kind() {

@@ -95,6 +95,76 @@ proptest! {
     }
 
     #[test]
+    fn merge_conserves_mixed_metrics_over_any_partition_in_any_order(
+        // Each event carries its own shard slot: the partition is
+        // arbitrary, not round-robin — skewed and empty shards included.
+        events in prop::collection::vec(
+            (0usize..6, 0usize..4, 1u64..1_000, 0u64..100_000),
+            0..128,
+        ),
+        n_shards in 1usize..6,
+        // Random sort keys induce an arbitrary permutation of the fold
+        // order (argsort; ties break by index, still covering all orders).
+        order_keys in prop::collection::vec(0u64..1_000_000, 6),
+    ) {
+        let mut order: Vec<usize> = (0..6).collect();
+        order.sort_by_key(|&i| (order_keys[i], i));
+        let names = ["a", "b", "c", "d"];
+        let sequential = MetricsRegistry::new();
+        for &(_, which, by, v) in &events {
+            sequential.inc(names[which], by);
+            sequential.observe(names[which], &BOUNDS, v);
+        }
+        let shards: Vec<MetricsRegistry> =
+            (0..n_shards).map(|_| MetricsRegistry::new()).collect();
+        for &(slot, which, by, v) in &events {
+            let shard = &shards[slot % n_shards];
+            shard.inc(names[which], by);
+            shard.observe(names[which], &BOUNDS, v);
+        }
+        // Fold the shards in an arbitrary permutation: the aggregate
+        // must not depend on merge order.
+        let aggregate = MetricsRegistry::new();
+        for &slot in order.iter().filter(|&&s| s < n_shards) {
+            aggregate.merge(&shards[slot].snapshot());
+        }
+        let merged = aggregate.snapshot();
+        prop_assert_eq!(&merged, &sequential.snapshot());
+        // Conservation, stated directly: every increment and every
+        // observation is accounted for exactly once.
+        let total_incs: u64 = events.iter().map(|&(_, _, by, _)| by).sum();
+        prop_assert_eq!(merged.counters.values().sum::<u64>(), total_incs);
+        let total_obs: u64 = merged
+            .histograms
+            .values()
+            .map(|h| h.count())
+            .sum();
+        prop_assert_eq!(total_obs, events.len() as u64);
+    }
+
+    #[test]
+    fn merge_is_additive_not_idempotent(
+        events in prop::collection::vec((0usize..4, 1u64..1_000), 1..64),
+    ) {
+        // Double-merging a shard double-counts: merge is a sum, so a
+        // coordinator must fold each shard exactly once — this pins the
+        // contract the generation/fleet aggregators rely on.
+        let names = ["a", "b", "c", "d"];
+        let shard = MetricsRegistry::new();
+        for &(which, by) in &events {
+            shard.inc(names[which], by);
+        }
+        let aggregate = MetricsRegistry::new();
+        aggregate.merge(&shard.snapshot());
+        aggregate.merge(&shard.snapshot());
+        let total: u64 = events.iter().map(|&(_, by)| by).sum();
+        prop_assert_eq!(
+            aggregate.snapshot().counters.values().sum::<u64>(),
+            2 * total
+        );
+    }
+
+    #[test]
     fn sharded_histograms_equal_sequential(
         values in prop::collection::vec(0u64..100_000, 0..128),
         n_shards in 1usize..5,

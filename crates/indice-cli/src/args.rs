@@ -1,7 +1,8 @@
 //! Dependency-free command-line argument parsing for the `indice` binary.
 
-use epc_faults::CrashSpec;
+use epc_faults::{BatchScope, CrashSpec, IngestCrash};
 use epc_query::Stakeholder;
+use indice::generations::RecomputeMode;
 use std::collections::HashMap;
 
 /// Environment variable holding the per-stage deadline budget (ms).
@@ -92,6 +93,33 @@ pub enum Command {
         /// Output CSV path.
         out: String,
     },
+    /// Fold micro-batches into a generation-journaled run directory.
+    Ingest {
+        /// Batch CSV paths in ingest order (from `--append a.csv,b.csv`).
+        append: Vec<String>,
+        /// Path to the referenced street map.
+        streets: String,
+        /// Path to the region-hierarchy JSON.
+        regions: String,
+        /// Target stakeholder.
+        stakeholder: Stakeholder,
+        /// The ingest run directory (`gens/`, manifest, and `current/`).
+        run_dir: String,
+        /// Fold into a directory that already holds sealed generations
+        /// (`--resume DIR` instead of `--into DIR`).
+        resume: bool,
+        /// Analytics recompute mode across generations.
+        recompute: RecomputeMode,
+        /// Injected crash at a batch boundary (`N:before|after|torn`).
+        crash_at_batch: Option<IngestCrash>,
+        /// Seed of the deterministic fault injector (chaos testing).
+        fault_seed: u64,
+        /// Fraction of records the injector corrupts (0 disables).
+        fault_rate: f64,
+        /// Restrict the injector to these batch indices (`all` or
+        /// `0,2-4`); `None` corrupts every batch when a rate is set.
+        corrupt_batches: Option<BatchScope>,
+    },
     /// Run a multi-city fleet under the shard coordinator.
     Fleet {
         /// Number of cities in the fleet plan.
@@ -144,6 +172,11 @@ USAGE:
              [--max-quarantine-frac F] [--fault-seed S] [--fault-rate R] \\
              [--geocode-fail-rate R] [--crash-at STAGE:POINT] \\
              [--metrics-out FILE] [--trace-out FILE]
+  indice ingest --append a.csv,b.csv,... --streets street_map.txt \\
+             --regions regions.json (--into DIR | --resume DIR) \\
+             [--stakeholder pa|citizen|scientist] [--recompute exact|warm] \\
+             [--crash-at-batch N:before|after|torn] \\
+             [--fault-seed S] [--fault-rate R] [--corrupt-batches all|0,2-4]
   indice fleet run --cities N [--records N] [--seed S] \\
              (--out-dir DIR | --resume DIR) [--stakeholder pa|citizen|scientist] \\
              [--max-failed-cities K] [--retry-budget N] \\
@@ -180,6 +213,29 @@ the Prometheus-style text exposition. `--trace-out FILE` writes the
 structured span/point trace as JSON Lines; every event carries a logical
 sequence number, so the stream (minus wall-clock fields) is bitwise
 identical at any thread count.
+
+`ingest` folds micro-batches into a crash-safe incremental run: each
+batch becomes a sealed *generation*, committed by an append-fsync'd line
+in generations.manifest.jsonl only after its cleaning delta and
+the regenerated `current/` artifacts are durably checkpointed. Killing
+an ingest at any batch boundary and re-running with `--resume DIR`
+finishes byte-identical to an uninterrupted ingest, and the final
+`current/` directory is byte-identical to a one-shot `indice run` over
+the concatenated input (`--recompute warm` relaxes only the K-means
+seeding to a bounded-drift warm start; everything else stays exact).
+A batch whose records cannot be selected or cleaned is *abandoned*:
+recorded in the manifest, skipped, and the sealed generations before it
+stay untouched.
+
+  exit code  meaning
+  ---------  -------------------------------------------------------
+  0          complete — every batch sealed cleanly
+  3          degraded — all batches sealed, some with degraded
+             cleaning or analytics
+  1          failed — at least one batch abandoned or a required
+             stage failed
+  70         injected crash at a batch boundary (resume with
+             --resume DIR)
 
 `fleet run` expands a seeded multi-city plan and runs every city's full
 durable pipeline as a supervised shard: a panicking or failing shard is
@@ -335,6 +391,75 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 records,
                 seed,
                 out: get("out")?.clone(),
+            })
+        }
+        "ingest" => {
+            let append: Vec<String> = get("append")?
+                .split(',')
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if append.is_empty() {
+                return Err("--append needs at least one batch CSV path".into());
+            }
+            let stakeholder = match flags.get("stakeholder").map(String::as_str) {
+                None | Some("pa") | Some("public-administration") => {
+                    Stakeholder::PublicAdministration
+                }
+                Some("citizen") => Stakeholder::Citizen,
+                Some("scientist") | Some("energy-scientist") => Stakeholder::EnergyScientist,
+                Some(other) => return Err(format!("unknown --stakeholder {other:?}")),
+            };
+            let (run_dir, resume) = match (flags.get("into"), flags.get("resume")) {
+                (Some(_), Some(_)) => {
+                    return Err(
+                        "--into and --resume are mutually exclusive (both name the ingest \
+                         directory; --resume folds onto its sealed generations)"
+                            .into(),
+                    )
+                }
+                (Some(dir), None) => (dir.clone(), false),
+                (None, Some(dir)) => (dir.clone(), true),
+                (None, None) => return Err("missing required flag --into (or --resume DIR)".into()),
+            };
+            let recompute = match flags.get("recompute") {
+                None => RecomputeMode::Exact,
+                Some(raw) => RecomputeMode::parse(raw).map_err(|e| format!("--recompute: {e}"))?,
+            };
+            let crash_at_batch = flags
+                .get("crash-at-batch")
+                .map(|raw| IngestCrash::parse(raw).map_err(|e| format!("--crash-at-batch: {e}")))
+                .transpose()?;
+            let fault_seed: u64 = flags
+                .get("fault-seed")
+                .map(|s| s.parse().map_err(|e| format!("--fault-seed: {e}")))
+                .transpose()?
+                .unwrap_or(2024);
+            let corrupt_batches = flags
+                .get("corrupt-batches")
+                .map(|raw| BatchScope::parse(raw).map_err(|e| format!("--corrupt-batches: {e}")))
+                .transpose()?;
+            // `--corrupt-batches` alone turns a default rate on, mirroring
+            // the fleet's `--corrupt-city`.
+            let fault_rate = if flags.contains_key("fault-rate") {
+                parse_rate(&flags, "fault-rate")?
+            } else if corrupt_batches.is_some() {
+                0.2
+            } else {
+                0.0
+            };
+            Ok(Command::Ingest {
+                append,
+                streets: get("streets")?.clone(),
+                regions: get("regions")?.clone(),
+                stakeholder,
+                run_dir,
+                resume,
+                recompute,
+                crash_at_batch,
+                fault_seed,
+                fault_rate,
+                corrupt_batches,
             })
         }
         "suggest-config" => Ok(Command::SuggestConfig {
@@ -1084,6 +1209,111 @@ mod tests {
         assert!(f(&["--crash-at-city", "1"]).is_err());
         assert!(f(&["--crash-at-city", "1:during"]).is_err());
         assert!(f(&["--crash-at-city", "9:after"]).is_err());
+    }
+
+    fn ingest_args(extra: &[&str]) -> Vec<String> {
+        let mut base = v(&[
+            "ingest",
+            "--append",
+            "a.csv,b.csv",
+            "--streets",
+            "s.txt",
+            "--regions",
+            "r.json",
+        ]);
+        base.extend(extra.iter().map(|s| s.to_string()));
+        base
+    }
+
+    #[test]
+    fn ingest_parses_with_defaults() {
+        let cmd = parse_args(&ingest_args(&["--into", "runs/x"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Ingest {
+                append: vec!["a.csv".into(), "b.csv".into()],
+                streets: "s.txt".into(),
+                regions: "r.json".into(),
+                stakeholder: Stakeholder::PublicAdministration,
+                run_dir: "runs/x".into(),
+                resume: false,
+                recompute: RecomputeMode::Exact,
+                crash_at_batch: None,
+                fault_seed: 2024,
+                fault_rate: 0.0,
+                corrupt_batches: None,
+            }
+        );
+    }
+
+    #[test]
+    fn ingest_parses_chaos_and_resume_flags() {
+        match parse_args(&ingest_args(&[
+            "--resume",
+            "runs/x",
+            "--recompute",
+            "warm",
+            "--crash-at-batch",
+            "2:torn",
+            "--corrupt-batches",
+            "1-2",
+        ]))
+        .unwrap()
+        {
+            Command::Ingest {
+                resume,
+                recompute,
+                crash_at_batch,
+                fault_rate,
+                corrupt_batches,
+                ..
+            } => {
+                assert!(resume);
+                assert_eq!(recompute, RecomputeMode::Warm);
+                assert_eq!(crash_at_batch, Some(IngestCrash::TornBatch { batch: 2 }));
+                assert_eq!(fault_rate, 0.2, "corrupt-batches defaults the rate on");
+                assert_eq!(corrupt_batches, Some(BatchScope::Only(vec![1, 2])));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ingest_rejects_bad_flags() {
+        assert!(parse_args(&ingest_args(&[])).is_err(), "needs --into");
+        assert!(
+            parse_args(&ingest_args(&["--into", "x", "--resume", "x"])).is_err(),
+            "into xor resume"
+        );
+        assert!(
+            parse_args(&ingest_args(&["--into", "x", "--recompute", "lazy"])).is_err(),
+            "bad recompute mode"
+        );
+        assert!(
+            parse_args(&ingest_args(&[
+                "--into",
+                "x",
+                "--crash-at-batch",
+                "1:during"
+            ]))
+            .is_err(),
+            "bad crash point"
+        );
+        assert!(
+            parse_args(&ingest_args(&["--into", "x", "--corrupt-batches", "4-1"])).is_err(),
+            "bad scope"
+        );
+        let mut empty = v(&[
+            "ingest",
+            "--append",
+            " , ",
+            "--streets",
+            "s",
+            "--regions",
+            "r",
+        ]);
+        empty.extend(v(&["--into", "x"]));
+        assert!(parse_args(&empty).is_err(), "empty append list");
     }
 
     #[test]

@@ -98,6 +98,31 @@ fn execute(command: Command) -> Result<ExitCode, String> {
             metrics_out.as_deref(),
             trace_out.as_deref(),
         ),
+        Command::Ingest {
+            append,
+            streets,
+            regions,
+            stakeholder,
+            run_dir,
+            resume,
+            recompute,
+            crash_at_batch,
+            fault_seed,
+            fault_rate,
+            corrupt_batches,
+        } => ingest(
+            &append,
+            &streets,
+            &regions,
+            stakeholder,
+            &run_dir,
+            resume,
+            recompute,
+            crash_at_batch.as_ref(),
+            fault_seed,
+            fault_rate,
+            corrupt_batches.as_ref(),
+        ),
         Command::Fleet {
             cities,
             records,
@@ -328,6 +353,13 @@ fn run(
     }
     quarantine.merge(output.quarantine.clone());
 
+    if output.recovered_torn_tail {
+        eprintln!(
+            "warning: run journal in {out_dir}/ had a torn trailing line (crash during \
+             append); it was discarded and the affected stage replayed"
+        );
+    }
+
     if let RunOutcome::Failed(e) = &output.outcome {
         print!("{}", output.report);
         eprintln!("pipeline failed: {e}");
@@ -394,6 +426,144 @@ fn run(
         println!("degraded stages: {}", output.degraded_stages.join(", "));
     }
     println!("outcome: {}", output.outcome);
+    Ok(ExitCode::from(output.outcome.exit_code()))
+}
+
+/// Folds micro-batches into a generation-journaled ingest directory.
+#[allow(clippy::too_many_arguments)]
+fn ingest(
+    append: &[String],
+    streets: &str,
+    regions: &str,
+    stakeholder: epc_query::Stakeholder,
+    run_dir: &str,
+    resume: bool,
+    recompute: indice::RecomputeMode,
+    crash_at_batch: Option<&epc_faults::IngestCrash>,
+    fault_seed: u64,
+    fault_rate: f64,
+    corrupt_batches: Option<&epc_faults::BatchScope>,
+) -> Result<ExitCode, String> {
+    let runtime = epc_runtime::RuntimeConfig::try_from_env()?;
+    let geocode_retries = epc_geo::geocode::try_geocode_retries_from_env()?;
+
+    // Lenient batch loads: unparsable CSV rows are quarantined per batch,
+    // not fatal — the batch still ingests whatever survives.
+    let mut parse_quarantine = Quarantine::new();
+    let mut batches = Vec::with_capacity(append.len());
+    for path in append {
+        let (dataset, q) = load_dataset_lenient(path)?;
+        parse_quarantine.merge(q);
+        batches.push(indice::IngestBatch::new(path.clone(), dataset));
+    }
+    let street_text = fs::read_to_string(streets).map_err(|e| format!("reading {streets}: {e}"))?;
+    let street_map = StreetMap::from_text(&street_text)?;
+    let regions_text =
+        fs::read_to_string(regions).map_err(|e| format!("reading {regions}: {e}"))?;
+    let hierarchy: RegionHierarchy =
+        serde_json::from_str(&regions_text).map_err(|e| format!("parsing {regions}: {e}"))?;
+
+    let mut config = IndiceConfig::default();
+    config.fault_tolerance.geocode_retries = geocode_retries;
+
+    let injector = (fault_rate > 0.0).then(|| {
+        DeterministicInjector::new(fault_seed)
+            .with_record_rate(fault_rate)
+            .with_corruption(Corruption::NonFinite {
+                attribute: epc_model::wellknown::ASPECT_RATIO.to_owned(),
+            })
+    });
+
+    let clock = epc_runtime::WallClock::new();
+    let obs = epc_obs::Obs::new(&clock);
+    let mut opts = indice::IngestOptions::new(run_dir)
+        .with_recompute(recompute)
+        .with_obs(&obs);
+    if resume {
+        opts = opts.resuming();
+    }
+    if let Some(spec) = crash_at_batch {
+        opts = opts.with_crash(spec);
+    }
+    if let Some(inj) = &injector {
+        opts = opts.with_injector(inj);
+    }
+    if let Some(scope) = corrupt_batches {
+        opts = opts.scoped_to(scope);
+    }
+
+    let inputs = indice::IngestInputs {
+        street_map: &street_map,
+        hierarchy: &hierarchy,
+        config,
+        runtime,
+    };
+    let output = match indice::ingest(&batches, inputs, stakeholder, &opts) {
+        Ok(output) => output,
+        Err(IndiceError::CrashInjected { stage, point }) => {
+            eprintln!(
+                "injected crash fired at '{stage}' ({point} commit); \
+                 resume with `indice ingest --resume {run_dir} ...`"
+            );
+            return Ok(ExitCode::from(CRASH_EXIT_CODE));
+        }
+        Err(e) => return Err(format!("ingest failed: {e}")),
+    };
+
+    if output.recovered_torn_tail {
+        eprintln!(
+            "warning: generation manifest in {run_dir}/ had a torn trailing line (crash \
+             during append); it was discarded and the affected batch re-ingested"
+        );
+    }
+    if let Some(why) = &output.resume_rejection {
+        eprintln!("resume: {why}");
+    }
+    if !output.sealed_skipped.is_empty() {
+        println!(
+            "resumed from generation manifest: {} batch(es) sealed and skipped ({}), {} folded",
+            output.sealed_skipped.len(),
+            output.sealed_skipped.join(", "),
+            output.processed.len()
+        );
+    }
+    for entry in &output.entries {
+        let outcome = match entry.outcome {
+            epc_ingest::GenerationOutcome::Complete => "complete",
+            epc_ingest::GenerationOutcome::Degraded => "degraded",
+            epc_ingest::GenerationOutcome::Abandoned => "ABANDONED",
+        };
+        println!(
+            "  gen {:>3} {}: {outcome} — {} in, {} kept, {} quarantined; \
+             {} artifact(s) written, {} carried",
+            entry.seq,
+            entry.batch,
+            entry.records_in,
+            entry.records_kept,
+            entry.quarantined,
+            entry.artifacts_written,
+            entry.artifacts_carried
+        );
+        for reason in &entry.reasons {
+            println!("        {reason}");
+        }
+    }
+    if !parse_quarantine.is_empty() {
+        println!("{parse_quarantine}");
+    }
+    match &output.outcome {
+        indice::IngestOutcome::Complete => println!(
+            "ingest complete: {} generation(s) sealed; cumulative artifacts in {run_dir}/current/",
+            output.entries.len()
+        ),
+        indice::IngestOutcome::Degraded(reasons) => println!(
+            "ingest degraded: {}; partial analytics in {run_dir}/current/",
+            reasons.join("; ")
+        ),
+        indice::IngestOutcome::Failed(reasons) => {
+            eprintln!("ingest failed: {}", reasons.join("; "))
+        }
+    }
     Ok(ExitCode::from(output.outcome.exit_code()))
 }
 

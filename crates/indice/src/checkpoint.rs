@@ -15,7 +15,7 @@
 //! CI tree-hash a resumed run directory against an uninterrupted one.
 
 use crate::analytics::{AnalyticsOutput, ClusterSummary};
-use crate::preprocess::PreprocessOutput;
+use crate::preprocess::{CleanPhase, PreprocessOutput};
 use epc_mining::{AssociationRule, DbscanConfig, Discretizer, KMeansModel, Matrix};
 use epc_model::jsonnum::{decode_f64, decode_opt_f64, encode_f64, encode_opt_f64};
 use epc_model::{Dataset, Quarantine};
@@ -247,6 +247,39 @@ pub fn decode_preprocess(text: &str) -> Result<(PreprocessOutput, Quarantine), E
     };
     let quarantine = Quarantine::from_json_value(field(&v, "quarantine")?)?;
     Ok((out, quarantine))
+}
+
+/// Serializes a sealed generation's clean-phase delta (incremental
+/// ingest). Everything a resuming ingest needs to re-merge the batch
+/// without re-cleaning it: the validated dataset, the row provenance, the
+/// additive cleaning counters, and the batch's quarantine.
+pub fn encode_clean_phase(phase: &CleanPhase) -> String {
+    let v = obj(vec![
+        ("cleaning", phase.cleaning.to_json_value()),
+        ("dataset", phase.dataset.to_json_value()),
+        ("degraded_rows", phase.degraded_rows.to_json_value()),
+        ("format", Value::Str(FORMAT.to_owned())),
+        ("input_rows", Value::Num(phase.input_rows as f64)),
+        ("orig_of", phase.orig_of.to_json_value()),
+        ("quarantine", phase.quarantine.to_json_value()),
+        ("unresolved_rows", phase.unresolved_rows.to_json_value()),
+    ]);
+    v.to_compact_string()
+}
+
+/// Rehydrates a clean-phase delta written by [`encode_clean_phase`].
+pub fn decode_clean_phase(text: &str) -> Result<CleanPhase, Error> {
+    let v = serde_json::from_str::<Value>(text)?;
+    check_format(&v)?;
+    Ok(CleanPhase {
+        dataset: Dataset::from_json_value(field(&v, "dataset")?)?,
+        orig_of: Deserialize::from_json_value(field(&v, "orig_of")?)?,
+        input_rows: usize_field(&v, "input_rows")?,
+        cleaning: Deserialize::from_json_value(field(&v, "cleaning")?)?,
+        degraded_rows: Deserialize::from_json_value(field(&v, "degraded_rows")?)?,
+        unresolved_rows: Deserialize::from_json_value(field(&v, "unresolved_rows")?)?,
+        quarantine: Quarantine::from_json_value(field(&v, "quarantine")?)?,
+    })
 }
 
 /// Serializes the analytics product.

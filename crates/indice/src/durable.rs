@@ -135,6 +135,11 @@ pub struct DurableOutput {
     /// Why resume validation dropped a journal suffix, when it did — the
     /// message names the run directory and the offending seq.
     pub resume_rejection: Option<String>,
+    /// `true` when loading the journal discarded a torn trailing line (a
+    /// crash-during-append artifact). The recovery is sound — the run
+    /// replays from the last committed stage — but it is surfaced here so
+    /// the CLI can warn instead of swallowing it.
+    pub recovered_torn_tail: bool,
 }
 
 /// Borrowed engine state a durable run needs ([`crate::engine::Indice`]
@@ -155,7 +160,7 @@ fn dur<T>(r: std::io::Result<T>, what: &str) -> Result<T, IndiceError> {
 /// and the reference inputs (street map, hierarchy). Deliberately excludes
 /// the runtime thread budget — outputs are bitwise thread-count-invariant,
 /// so a run may be resumed at a different parallelism.
-fn config_fingerprint(
+pub(crate) fn config_fingerprint(
     config: &IndiceConfig,
     stakeholder: Stakeholder,
     street_map: &StreetMap,
@@ -281,7 +286,7 @@ fn commit_checkpoints(
 /// Truncates a committed checkpoint to half its recorded length — the torn
 /// write a [`CrashSpec::Torn`] leaves behind. The journal entry keeps the
 /// full-content hash, so resume validation must catch the mismatch.
-fn tear_checkpoint(run_dir: &Path, rec: &ArtifactRecord) -> Result<(), IndiceError> {
+pub(crate) fn tear_checkpoint(run_dir: &Path, rec: &ArtifactRecord) -> Result<(), IndiceError> {
     let path = run_dir.join(&rec.file);
     let f = dur(
         fs::OpenOptions::new().write(true).open(&path),
@@ -347,7 +352,7 @@ fn rehydrate(
 
 /// Whether the stage's product is present in the context (used to decide
 /// between a checkpointed and a product-less degraded journal entry).
-fn product_present(ctx: &PipelineContext<'_>, name: &str) -> bool {
+pub(crate) fn product_present(ctx: &PipelineContext<'_>, name: &str) -> bool {
     match name {
         "preprocess" => ctx.preprocess.is_some(),
         "analytics" => ctx.analytics.is_some(),
@@ -379,10 +384,17 @@ pub(crate) fn run_durable_inner(
     let expected: Vec<&str> = stages.iter().map(|(s, _)| s.name()).collect();
 
     let journal = Journal::at(run_dir);
-    let entries = dur(
+    let loaded = dur(
         journal.load(),
         &format!("loading journal of run {}", run_dir.display()),
     )?;
+    let entries = loaded.entries;
+    let recovered_torn_tail = loaded.recovered_torn_tail;
+    if recovered_torn_tail {
+        if let Some(obs) = opts.obs {
+            obs.metrics().inc("journal_torn_tail_recovered", 1);
+        }
+    }
     let (valid, resume_rejection) = if opts.resume {
         validate_prefix(&entries, &expected, &config_fp, &input_hash, run_dir)
     } else {
@@ -487,6 +499,7 @@ pub(crate) fn run_durable_inner(
                     journal_hits,
                     replayed,
                     resume_rejection: resume_rejection.clone(),
+                    recovered_torn_tail,
                 });
             }
         };
@@ -557,5 +570,6 @@ pub(crate) fn run_durable_inner(
         journal_hits,
         replayed,
         resume_rejection,
+        recovered_torn_tail,
     })
 }

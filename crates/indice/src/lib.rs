@@ -69,6 +69,7 @@ pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod fleet;
+pub mod generations;
 pub mod outliers;
 pub mod pipeline;
 pub mod preprocess;
@@ -83,6 +84,10 @@ pub use error::IndiceError;
 pub use fleet::{
     run_fleet, FleetRunOptions, FleetRunOutput, CITIES_DIR, CITY_METRICS_FILE,
     FLEET_DASHBOARD_FILE, FLEET_METRICS_FILE,
+};
+pub use generations::{
+    ingest, IngestBatch, IngestInputs, IngestOptions, IngestOutcome, IngestOutput, RecomputeMode,
+    CLEAN_DELTA_FILE,
 };
 pub use outliers::UnivariateMethod;
 pub use pipeline::{

@@ -12,7 +12,7 @@
 //! through [`epc_runtime`]'s deterministic primitives, so a pipeline run
 //! produces bitwise-identical outputs for any thread budget.
 
-use crate::analytics::{analyze_observed, AnalyticsOutput};
+use crate::analytics::AnalyticsOutput;
 use crate::config::IndiceConfig;
 use crate::dashboard::{
     build_dashboard, build_dashboard_degraded, drilldown_series_detailed_with_runtime,
@@ -73,6 +73,11 @@ pub struct PipelineContext<'a> {
     /// Observability bundle recording spans, points, and metrics
     /// (`None`: no recording).
     pub obs: Option<&'a Obs<'a>>,
+    /// Centroids from a previous generation's K-means fit. When set (and
+    /// shape-compatible with the chosen K), the analytics stage
+    /// warm-starts Lloyd's algorithm from them instead of re-seeding —
+    /// the incremental-ingest `warm` recompute mode.
+    pub warm_centroids: Option<epc_mining::Matrix>,
 }
 
 impl<'a> PipelineContext<'a> {
@@ -102,6 +107,7 @@ impl<'a> PipelineContext<'a> {
             stage_invocations: BTreeMap::new(),
             clock: epc_runtime::wall_clock(),
             obs: None,
+            warm_centroids: None,
         }
     }
 
@@ -215,7 +221,14 @@ impl Stage for AnalyticsStage {
     fn run(&self, ctx: &mut PipelineContext<'_>) -> Result<StageStats, IndiceError> {
         let cleaned = ctx.cleaned_dataset()?;
         let records_in = cleaned.n_rows();
-        let out = analyze_observed(cleaned, &ctx.config, &ctx.runtime, ctx.obs)?;
+        let warm = ctx.warm_centroids.as_ref();
+        let out = crate::analytics::analyze_observed_from(
+            cleaned,
+            &ctx.config,
+            &ctx.runtime,
+            ctx.obs,
+            warm,
+        )?;
         let records_out = out.feature_rows.len();
         ctx.analytics = Some(out);
         Ok(StageStats {

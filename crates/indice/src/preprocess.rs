@@ -82,7 +82,20 @@ pub fn preprocess_with_runtime(
     config: &IndiceConfig,
     runtime: &epc_runtime::RuntimeConfig,
 ) -> Result<PreprocessOutput, IndiceError> {
-    preprocess_core(dataset, street_map, config, runtime, None, None).map(|(out, _)| out)
+    // The plain path deliberately skips the validation quarantine — it
+    // predates fault tolerance and callers rely on row indices matching
+    // the raw input.
+    let clean = clean_phase_inner(
+        dataset,
+        street_map,
+        config,
+        runtime,
+        None,
+        None,
+        config.geocoder_quota,
+        false,
+    )?;
+    outlier_phase(clean, config, runtime, None).map(|(out, _)| out)
 }
 
 /// The fault-tolerant stage-1 entry point.
@@ -114,55 +127,214 @@ pub fn preprocess_faulty(
 /// data-parallel kernels return, so the logical event stream is identical
 /// for any thread budget.
 pub fn preprocess_observed(
-    mut dataset: Dataset,
+    dataset: Dataset,
     street_map: &StreetMap,
     config: &IndiceConfig,
     runtime: &epc_runtime::RuntimeConfig,
     injector: Option<&dyn FaultInjector>,
     obs: Option<&Obs<'_>>,
 ) -> Result<(PreprocessOutput, Quarantine), IndiceError> {
+    // Stage 1 is literally the composition of its two phases; incremental
+    // ingest runs the clean phase per batch and the outlier phase over the
+    // merged cumulative data, which is what makes batched == one-shot.
+    let clean = clean_phase(
+        dataset,
+        street_map,
+        config,
+        runtime,
+        injector,
+        obs,
+        config.geocoder_quota,
+    )?;
+    outlier_phase(clean, config, runtime, obs)
+}
+
+/// Output of [`clean_phase`]: the per-record, batch-composable first half
+/// of stage 1 (fault corruption hook, validation quarantine, §2.1.1
+/// geospatial cleaning). Outlier detection is a *global* property of the
+/// cumulative data and deliberately lives in [`outlier_phase`].
+///
+/// Clean phases over consecutive input chunks compose: merging their
+/// outputs ([`merge_clean_phases`]) equals one clean phase over the
+/// concatenated input, provided each later phase's geocoder `quota` is
+/// reduced by the requests earlier phases consumed — the quota counter is
+/// the only cross-record state in the phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleanPhase {
+    /// The validated, geospatially cleaned dataset (quarantined rows
+    /// removed; outliers still present).
+    pub dataset: Dataset,
+    /// For each row of `dataset`, its index in the phase's input.
+    pub orig_of: Vec<usize>,
+    /// Rows in the phase's input (before validation filtering).
+    pub input_rows: usize,
+    /// Cleaning statistics (§2.1.1); every field is additive across
+    /// batches.
+    pub cleaning: CleaningReport,
+    /// Rows of `dataset` resolved with degraded provenance (district
+    /// centroids after exhausted retries), ascending.
+    pub degraded_rows: Vec<usize>,
+    /// Rows of `dataset` whose address stayed unresolved, ascending.
+    pub unresolved_rows: Vec<usize>,
+    /// Validation faults diverted out of the phase (row indices and
+    /// synthetic keys are in input coordinates).
+    pub quarantine: Quarantine,
+}
+
+/// Runs the batch-composable first half of stage 1. `quota` is the
+/// geocoder budget granted to *this* phase — the full
+/// `config.geocoder_quota` for a one-shot run, the remaining balance for
+/// an ingest batch.
+pub fn clean_phase(
+    dataset: Dataset,
+    street_map: &StreetMap,
+    config: &IndiceConfig,
+    runtime: &epc_runtime::RuntimeConfig,
+    injector: Option<&dyn FaultInjector>,
+    obs: Option<&Obs<'_>>,
+    quota: usize,
+) -> Result<CleanPhase, IndiceError> {
+    clean_phase_inner(
+        dataset, street_map, config, runtime, injector, obs, quota, true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn clean_phase_inner(
+    mut dataset: Dataset,
+    street_map: &StreetMap,
+    config: &IndiceConfig,
+    runtime: &epc_runtime::RuntimeConfig,
+    injector: Option<&dyn FaultInjector>,
+    obs: Option<&Obs<'_>>,
+    quota: usize,
+    validate: bool,
+) -> Result<CleanPhase, IndiceError> {
     if dataset.is_empty() {
         return Err(IndiceError::EmptyCollection("preprocess"));
     }
+    let input_rows = dataset.n_rows();
     let mut quarantine = Quarantine::new();
 
-    // Record-boundary fault hook: corrupt before validation so every
-    // injected fault flows through the same quarantine path real bad
-    // input would.
-    if let Some(inj) = injector {
-        corrupt_dataset(&mut dataset, inj)?;
-    }
+    let (mut dataset, orig_of) = if validate {
+        // Record-boundary fault hook: corrupt before validation so every
+        // injected fault flows through the same quarantine path real bad
+        // input would.
+        if let Some(inj) = injector {
+            corrupt_dataset(&mut dataset, inj)?;
+        }
 
-    // Validation scan: non-finite values are always faults (they would
-    // poison means, distances, and histograms downstream).
-    let faults = scan_faults(&dataset, &ValidationPolicy::minimal());
-    let bad_rows: BTreeSet<usize> = faults.iter().map(|(row, _)| *row).collect();
-    for (row, fault) in faults {
-        quarantine.push(record_key(&dataset, row), Some(row), fault);
-    }
+        // Validation scan: non-finite values are always faults (they would
+        // poison means, distances, and histograms downstream).
+        let faults = scan_faults(&dataset, &ValidationPolicy::minimal());
+        let bad_rows: BTreeSet<usize> = faults.iter().map(|(row, _)| *row).collect();
+        for (row, fault) in faults {
+            quarantine.push(record_key(&dataset, row), Some(row), fault);
+        }
 
-    // Divert quarantined rows out of the pipeline; remember the original
-    // index of every surviving row so reports stay in input coordinates.
-    let (dataset, orig_of) = if bad_rows.is_empty() {
+        // Divert quarantined rows out of the pipeline; remember the
+        // original index of every surviving row so reports stay in input
+        // coordinates.
+        if bad_rows.is_empty() {
+            let n = dataset.n_rows();
+            (dataset, (0..n).collect::<Vec<usize>>())
+        } else {
+            let mask: Vec<bool> = (0..dataset.n_rows())
+                .map(|r| !bad_rows.contains(&r))
+                .collect();
+            let orig_of: Vec<usize> = mask
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &keep)| keep.then_some(i))
+                .collect();
+            (dataset.filter_mask(&mask)?, orig_of)
+        }
+    } else {
         let n = dataset.n_rows();
         (dataset, (0..n).collect::<Vec<usize>>())
-    } else {
-        let mask: Vec<bool> = (0..dataset.n_rows())
-            .map(|r| !bad_rows.contains(&r))
-            .collect();
-        let orig_of: Vec<usize> = mask
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &keep)| keep.then_some(i))
-            .collect();
-        (dataset.filter_mask(&mask)?, orig_of)
     };
     if dataset.is_empty() {
         return Err(IndiceError::EmptyCollection("record validation"));
     }
 
-    let (mut out, unresolved) =
-        preprocess_core(dataset, street_map, config, runtime, injector, obs)?;
+    let (cleaning, degraded_rows, unresolved_rows) =
+        clean_geospatial(&mut dataset, street_map, config, runtime, injector, quota)?;
+    if let Some(obs) = obs {
+        record_cleaning(obs, &cleaning);
+    }
+    Ok(CleanPhase {
+        dataset,
+        orig_of,
+        input_rows,
+        cleaning,
+        degraded_rows,
+        unresolved_rows,
+        quarantine,
+    })
+}
+
+/// Merges clean phases of consecutive input chunks into the clean phase
+/// of the concatenated input: datasets are appended, row indices and
+/// synthetic quarantine keys are rebased onto cumulative coordinates, and
+/// the cleaning report is summed field-wise.
+pub fn merge_clean_phases(parts: Vec<CleanPhase>) -> Result<CleanPhase, IndiceError> {
+    let mut iter = parts.into_iter();
+    let Some(mut merged) = iter.next() else {
+        return Err(IndiceError::EmptyCollection("merge_clean_phases"));
+    };
+    for part in iter {
+        let input_offset = merged.input_rows;
+        let row_offset = merged.dataset.n_rows();
+        merged.dataset.append(&part.dataset)?;
+        merged
+            .orig_of
+            .extend(part.orig_of.iter().map(|&r| r + input_offset));
+        merged.input_rows += part.input_rows;
+        merged.cleaning.merge(&part.cleaning);
+        merged
+            .degraded_rows
+            .extend(part.degraded_rows.iter().map(|&r| r + row_offset));
+        merged
+            .unresolved_rows
+            .extend(part.unresolved_rows.iter().map(|&r| r + row_offset));
+        let mut q = part.quarantine;
+        q.rebase_rows(input_offset);
+        merged.quarantine.merge(q);
+    }
+    Ok(merged)
+}
+
+/// Runs the global second half of stage 1 over a (possibly merged) clean
+/// phase: univariate and multivariate outlier detection, opt-in
+/// unresolved-address quarantine, and the final row filter. Returns the
+/// stage output (row indices in input coordinates) plus the full
+/// quarantine — the phase's validation faults followed by any unresolved
+/// addresses, exactly the order a one-shot run produces.
+pub fn outlier_phase(
+    clean: CleanPhase,
+    config: &IndiceConfig,
+    runtime: &epc_runtime::RuntimeConfig,
+    obs: Option<&Obs<'_>>,
+) -> Result<(PreprocessOutput, Quarantine), IndiceError> {
+    let CleanPhase {
+        dataset,
+        orig_of,
+        input_rows: _,
+        cleaning,
+        degraded_rows,
+        unresolved_rows,
+        mut quarantine,
+    } = clean;
+
+    let (mut out, unresolved) = detect_and_remove_outliers(
+        dataset,
+        cleaning,
+        degraded_rows,
+        unresolved_rows,
+        config,
+        runtime,
+        obs,
+    )?;
 
     // Unresolved-address quarantine (opt-in): rows the cleaning pass
     // could not place anywhere, now also flagged in `removed_rows`.
@@ -177,7 +349,7 @@ pub fn preprocess_observed(
     // Map every row index in the output back to input coordinates.
     let remap = |rows: &mut Vec<usize>| {
         for r in rows.iter_mut() {
-            // lint:allow(D4, D7): preprocess_core only emits row indices of the filtered dataset, orig_of has exactly one entry per filtered row, and the closure calls nothing — no callee can widen the panic surface
+            // lint:allow(D4, D7): the outlier pass only emits row indices of the filtered dataset, orig_of has exactly one entry per filtered row, and the closure calls nothing — no callee can widen the panic surface
             *r = orig_of[*r];
         }
     };
@@ -201,25 +373,21 @@ fn record_key(dataset: &Dataset, row: usize) -> String {
         .unwrap_or_else(|| format!("row:{row}"))
 }
 
-/// Shared stage-1 body: cleaning (with optional fault injection on the
-/// geocoder), univariate + multivariate outlier removal. Returns the
+/// The outlier half of stage 1: univariate + multivariate detection and
+/// the final row filter over an already-cleaned dataset. Returns the
 /// output (row indices relative to *this* input) plus the rows whose
 /// address stayed unresolved, when the configuration quarantines them.
-fn preprocess_core(
-    mut dataset: Dataset,
-    street_map: &StreetMap,
+fn detect_and_remove_outliers(
+    dataset: Dataset,
+    cleaning: CleaningReport,
+    degraded_rows: Vec<usize>,
+    unresolved_rows: Vec<usize>,
     config: &IndiceConfig,
     runtime: &epc_runtime::RuntimeConfig,
-    injector: Option<&dyn FaultInjector>,
     obs: Option<&Obs<'_>>,
 ) -> Result<(PreprocessOutput, Vec<(usize, String)>), IndiceError> {
     if dataset.is_empty() {
         return Err(IndiceError::EmptyCollection("preprocess"));
-    }
-    let (cleaning, degraded_rows, unresolved_rows) =
-        clean_geospatial(&mut dataset, street_map, config, runtime, injector)?;
-    if let Some(obs) = obs {
-        record_cleaning(obs, &cleaning);
     }
 
     // --- Univariate outliers ---
@@ -387,13 +555,18 @@ fn record_cleaning(obs: &Obs<'_>, report: &CleaningReport) {
 
 /// The §2.1.1 geospatial-cleaning pass, applied in place. Returns the
 /// cleaning report plus the rows resolved with degraded provenance and the
-/// rows left unresolved (both relative to `dataset`).
+/// rows left unresolved (both relative to `dataset`). `quota` is the
+/// geocoder budget granted to this pass; `config.geocoder_quota` stays the
+/// on/off switch, so an exhausted quota (0 remaining) still routes through
+/// a `QuotaGeocoder` — exactly how a one-shot run behaves after using up
+/// its budget mid-stream.
 fn clean_geospatial(
     dataset: &mut Dataset,
     street_map: &StreetMap,
     config: &IndiceConfig,
     runtime: &epc_runtime::RuntimeConfig,
     injector: Option<&dyn FaultInjector>,
+    quota: usize,
 ) -> Result<(CleaningReport, Vec<usize>, Vec<usize>), IndiceError> {
     let schema = dataset.schema_arc();
     let addr_id = schema.require(wk::ADDRESS)?;
@@ -430,7 +603,7 @@ fn clean_geospatial(
     // what a production geocoder effectively holds.
     let geocoder = QuotaGeocoder::new(
         SimulatedGeocoder::new(street_map.clone(), 0.55, 0.02),
-        config.geocoder_quota,
+        quota,
     );
     let (cleaned, report) = match injector {
         Some(inj) => {
@@ -834,6 +1007,162 @@ mod tests {
             quarantine.histogram().get("unresolvable_address").copied(),
             (!quarantine.is_empty()).then_some(quarantine.len())
         );
+    }
+
+    /// Splits a dataset into `k` contiguous chunks.
+    fn chunks_of(dataset: &Dataset, k: usize) -> Vec<Dataset> {
+        let n = dataset.n_rows();
+        (0..k)
+            .map(|i| {
+                let (a, b) = (i * n / k, (i + 1) * n / k);
+                let mask: Vec<bool> = (0..n).map(|r| r >= a && r < b).collect();
+                dataset.filter_mask(&mask).unwrap()
+            })
+            .collect()
+    }
+
+    /// Field-wise equality of two clean phases. The dataset is compared
+    /// through its CSV projection: the columnar dictionary *order* is an
+    /// interning artifact (a one-shot clean keeps dict entries for dirty
+    /// strings later repaired in place; a merged clean re-interns only
+    /// final values) that the outlier phase's row filter canonicalizes
+    /// away before anything is persisted.
+    fn assert_clean_phases_equivalent(merged: &CleanPhase, one: &CleanPhase) {
+        assert_eq!(
+            epc_model::csv::to_csv(&merged.dataset),
+            epc_model::csv::to_csv(&one.dataset)
+        );
+        assert_eq!(merged.orig_of, one.orig_of);
+        assert_eq!(merged.input_rows, one.input_rows);
+        assert_eq!(merged.cleaning, one.cleaning);
+        assert_eq!(merged.degraded_rows, one.degraded_rows);
+        assert_eq!(merged.unresolved_rows, one.unresolved_rows);
+        assert_eq!(merged.quarantine, one.quarantine);
+    }
+
+    /// The load-bearing ingest invariant at the phase level: clean phases
+    /// over chunks, merged, equal one clean phase over the whole input —
+    /// provided the geocoder quota is carried across chunks.
+    #[test]
+    fn clean_phases_compose_across_chunks() {
+        let c = collection(true);
+        let cfg = IndiceConfig::default();
+        let rt = epc_runtime::RuntimeConfig::sequential();
+        let one = clean_phase(
+            c.dataset.clone(),
+            &c.city.street_map,
+            &cfg,
+            &rt,
+            None,
+            None,
+            cfg.geocoder_quota,
+        )
+        .unwrap();
+        let mut parts = Vec::new();
+        let mut used = 0;
+        for chunk in chunks_of(&c.dataset, 3) {
+            let part = clean_phase(
+                chunk,
+                &c.city.street_map,
+                &cfg,
+                &rt,
+                None,
+                None,
+                cfg.geocoder_quota.saturating_sub(used),
+            )
+            .unwrap();
+            used += part.cleaning.geocoder_requests;
+            parts.push(part);
+        }
+        let merged = merge_clean_phases(parts).unwrap();
+        assert_clean_phases_equivalent(&merged, &one);
+    }
+
+    /// Composition holds even when the quota runs dry mid-stream: the
+    /// carried balance makes a later batch's exhausted geocoder behave
+    /// exactly like the one-shot run's exhausted geocoder.
+    #[test]
+    fn clean_phases_compose_when_quota_exhausts_mid_stream() {
+        let mut c = collection(false);
+        apply_noise(
+            &mut c,
+            &NoiseConfig {
+                typo_rate: 0.5,
+                ..NoiseConfig::none()
+            },
+        );
+        let cfg = IndiceConfig {
+            geocoder_quota: 20,
+            ..IndiceConfig::default()
+        };
+        let rt = epc_runtime::RuntimeConfig::sequential();
+        let one = clean_phase(
+            c.dataset.clone(),
+            &c.city.street_map,
+            &cfg,
+            &rt,
+            None,
+            None,
+            cfg.geocoder_quota,
+        )
+        .unwrap();
+        assert_eq!(
+            one.cleaning.geocoder_requests, 20,
+            "test needs the one-shot quota to exhaust"
+        );
+        let mut parts = Vec::new();
+        let mut used = 0;
+        for chunk in chunks_of(&c.dataset, 4) {
+            let part = clean_phase(
+                chunk,
+                &c.city.street_map,
+                &cfg,
+                &rt,
+                None,
+                None,
+                cfg.geocoder_quota.saturating_sub(used),
+            )
+            .unwrap();
+            used += part.cleaning.geocoder_requests;
+            parts.push(part);
+        }
+        let merged = merge_clean_phases(parts).unwrap();
+        assert_clean_phases_equivalent(&merged, &one);
+    }
+
+    /// The full stage composes too: clean per chunk, merge, one outlier
+    /// pass — identical to `preprocess_observed` over the whole input.
+    #[test]
+    fn chunked_clean_plus_merged_outliers_equals_one_shot() {
+        let c = collection(true);
+        let cfg = IndiceConfig::default();
+        let rt = epc_runtime::RuntimeConfig::sequential();
+        let (one, one_q) =
+            preprocess_observed(c.dataset.clone(), &c.city.street_map, &cfg, &rt, None, None)
+                .unwrap();
+        let mut parts = Vec::new();
+        let mut used = 0;
+        for chunk in chunks_of(&c.dataset, 3) {
+            let part = clean_phase(
+                chunk,
+                &c.city.street_map,
+                &cfg,
+                &rt,
+                None,
+                None,
+                cfg.geocoder_quota.saturating_sub(used),
+            )
+            .unwrap();
+            used += part.cleaning.geocoder_requests;
+            parts.push(part);
+        }
+        let merged = merge_clean_phases(parts).unwrap();
+        let (batched, batched_q) = outlier_phase(merged, &cfg, &rt, None).unwrap();
+        assert_eq!(batched.dataset, one.dataset);
+        assert_eq!(batched.kept_rows, one.kept_rows);
+        assert_eq!(batched.removed_rows, one.removed_rows);
+        assert_eq!(batched.cleaning, one.cleaning);
+        assert_eq!(batched_q, one_q);
     }
 
     #[test]

@@ -120,7 +120,9 @@ fn uninterrupted_durable_run_journals_every_stage() {
     assert!(out.journal_hits.is_empty());
     assert_eq!(out.replayed, STAGES);
 
-    let entries = Journal::at(&dir).load().expect("journal loads");
+    let loaded = Journal::at(&dir).load().expect("journal loads");
+    assert!(!loaded.recovered_torn_tail);
+    let entries = loaded.entries;
     assert_eq!(entries.len(), 3);
     for (i, (entry, stage)) in entries.iter().zip(STAGES).enumerate() {
         assert_eq!(entry.seq, i);
@@ -186,7 +188,7 @@ fn crash_resume_matrix_restores_byte_identical_runs() {
                 "before" => si,
                 _ => si + 1,
             };
-            assert_eq!(committed.len(), expect_committed, "{context}");
+            assert_eq!(committed.entries.len(), expect_committed, "{context}");
 
             // Resume replays from the first invalid entry.
             let out = engine
@@ -214,7 +216,11 @@ fn crash_resume_matrix_restores_byte_identical_runs() {
             // crashed attempt — and bitwise equality with the baseline,
             // journal included.
             assert_eq!(
-                Journal::at(&dir).load().expect("journal loads").len(),
+                Journal::at(&dir)
+                    .load()
+                    .expect("journal loads")
+                    .entries
+                    .len(),
                 3,
                 "{context}"
             );
@@ -402,6 +408,13 @@ fn resume_rejects_a_journal_from_different_inputs() {
         .expect("resume succeeds");
     assert!(out.journal_hits.is_empty(), "stale journal must not hit");
     assert_eq!(out.replayed, STAGES);
-    assert_eq!(Journal::at(&dir).load().expect("journal loads").len(), 3);
+    assert_eq!(
+        Journal::at(&dir)
+            .load()
+            .expect("journal loads")
+            .entries
+            .len(),
+        3
+    );
     let _ = fs::remove_dir_all(&dir);
 }
