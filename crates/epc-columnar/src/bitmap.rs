@@ -1,0 +1,208 @@
+//! Fixed-length bitmaps over `u64` words.
+//!
+//! The same type serves two roles: a *validity* bitmap (bit set = value
+//! present at that row slot) and a *selection* bitmap (bit set = row
+//! matches a predicate). Word storage makes the boolean algebra
+//! (`and` / `or` / `not`) process 64 rows per instruction, and the
+//! `ones()` iterator skips all-zero words, so sparse selections cost
+//! close to nothing to walk.
+//!
+//! Invariant: bits at positions `len..` of the last word are always zero,
+//! so `count_ones` and word-wise combination never see garbage tails.
+
+/// A fixed-length bit vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-zero bitmap of `len` bits.
+    pub fn empty(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// All-one bitmap of `len` bits (tail bits beyond `len` stay zero).
+    pub fn full(len: usize) -> Self {
+        let mut b = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        b.mask_tail();
+        b
+    }
+
+    /// Bitmap with exactly the bits of `bits` set.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut b = Bitmap::empty(bits.len());
+        for (i, &set) in bits.iter().enumerate() {
+            if set {
+                b.set(i);
+            }
+        }
+        b
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the bitmap covers zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at `i`. Panics if `i >= len` (caller bug, like slice OOB).
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range ({} bits)", self.len);
+        (self.words[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    /// Sets the bit at `i`. Panics if `i >= len`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range ({} bits)", self.len);
+        self.words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Bitwise AND. Panics on length mismatch (caller bug).
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        Bitmap {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Bitwise OR. Panics on length mismatch (caller bug).
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        Bitmap {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Bitwise NOT over the `len` covered bits.
+    pub fn not(&self) -> Bitmap {
+        let mut b = Bitmap {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        b.mask_tail();
+        b
+    }
+
+    /// Indices of set bits, ascending. Skips all-zero words.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Expands to one `bool` per bit.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Heap bytes held by the word storage (for compression accounting).
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len & 63;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+/// Iterator over set-bit indices of a [`Bitmap`].
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            self.current = *self.words.get(self.word_idx)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count_roundtrip() {
+        let mut b = Bitmap::empty(130);
+        for i in [0, 63, 64, 65, 129] {
+            b.set(i);
+        }
+        assert_eq!(b.count_ones(), 5);
+        assert!(b.get(64) && !b.get(66));
+        assert_eq!(b.ones().collect::<Vec<_>>(), vec![0, 63, 64, 65, 129]);
+    }
+
+    #[test]
+    fn not_masks_the_tail() {
+        let b = Bitmap::empty(70).not();
+        assert_eq!(b.count_ones(), 70);
+        assert_eq!(b.not().count_ones(), 0);
+        assert_eq!(Bitmap::full(70), b);
+    }
+
+    #[test]
+    fn algebra_matches_bools() {
+        let x: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        let y: Vec<bool> = (0..200).map(|i| i % 5 == 0).collect();
+        let (bx, by) = (Bitmap::from_bools(&x), Bitmap::from_bools(&y));
+        let and: Vec<bool> = x.iter().zip(&y).map(|(a, b)| *a && *b).collect();
+        let or: Vec<bool> = x.iter().zip(&y).map(|(a, b)| *a || *b).collect();
+        let not: Vec<bool> = x.iter().map(|a| !a).collect();
+        assert_eq!(bx.and(&by).to_bools(), and);
+        assert_eq!(bx.or(&by).to_bools(), or);
+        assert_eq!(bx.not().to_bools(), not);
+    }
+
+    #[test]
+    fn empty_bitmap_is_harmless() {
+        let b = Bitmap::empty(0);
+        assert!(b.is_empty());
+        assert_eq!(b.ones().count(), 0);
+        assert_eq!(b.not(), b);
+    }
+}

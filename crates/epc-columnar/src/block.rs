@@ -1,0 +1,574 @@
+//! Per-block encodings for numeric values and dictionary codes.
+//!
+//! Columns are chunked into blocks of up to [`BLOCK_LEN`] row slots. Each
+//! block stores a validity bitmap, the *present* values under the cheapest
+//! of several encodings, and a min/max zone map used by the filter kernels
+//! to skip whole blocks that provably contain no match.
+//!
+//! Numeric encodings (selected per block by encoded byte size, ties broken
+//! in a fixed order so selection is deterministic):
+//!
+//! * **RLE** over IEEE-754 bit patterns — exact for every value including
+//!   NaN payloads and `-0.0`; wins on constant-ish blocks.
+//! * **Delta + zig-zag + bit-pack** — only for blocks whose values all
+//!   round-trip exactly through `i64` (`v.to_bits() == (v as i64 as
+//!   f64).to_bits()`, which rejects NaN, ±inf, fractions, `-0.0`, and
+//!   out-of-range magnitudes); wins on slowly-varying integral columns
+//!   such as construction years and floor counts.
+//! * **Plain** bit patterns — the fallback; always exact.
+//!
+//! Dictionary-code encodings mirror the same idea over `u32` ids: RLE,
+//! fixed-width bit-packing, or plain.
+//!
+//! Zone-map soundness contract (proptested in `tests/columnar.rs`): a
+//! block's zone map covers every present, non-NaN value. NaN never
+//! satisfies a range predicate and missing slots never match, so a block
+//! whose zone map does not intersect the query range — or whose zone map
+//! is `None` because no comparable value exists — can be skipped without
+//! changing any result.
+
+use crate::bitmap::Bitmap;
+
+/// Row slots per block.
+pub const BLOCK_LEN: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// Bit-packing primitives (LSB-first, fixed width 0..=64).
+// ---------------------------------------------------------------------------
+
+fn pack_bits(values: &[u64], width: u8) -> Vec<u64> {
+    debug_assert!(width <= 64);
+    if width == 0 {
+        return Vec::new();
+    }
+    let w = width as usize;
+    let total_bits = values.len() * w;
+    let mut out = vec![0u64; total_bits.div_ceil(64)];
+    for (i, &v) in values.iter().enumerate() {
+        let bit = i * w;
+        let (word, off) = (bit / 64, bit % 64);
+        out[word] |= v << off;
+        if off + w > 64 {
+            out[word + 1] |= v >> (64 - off);
+        }
+    }
+    out
+}
+
+fn unpack_bits(packed: &[u64], width: u8, n: usize) -> Vec<u64> {
+    debug_assert!(width <= 64);
+    if width == 0 {
+        return vec![0; n];
+    }
+    let w = width as usize;
+    let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let bit = i * w;
+        let (word, off) = (bit / 64, bit % 64);
+        let mut v = packed[word] >> off;
+        if off + w > 64 {
+            v |= packed[word + 1] << (64 - off);
+        }
+        out.push(v & mask);
+    }
+    out
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Bits needed to represent `v` (0 for 0).
+fn bit_width(v: u64) -> u8 {
+    (64 - v.leading_zeros()) as u8
+}
+
+// ---------------------------------------------------------------------------
+// Numeric blocks.
+// ---------------------------------------------------------------------------
+
+/// How the present values of one numeric block are stored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumEncoding {
+    /// Raw IEEE-754 bit patterns, one per present value, in row order.
+    Plain(Vec<u64>),
+    /// Run-length over bit patterns: `(bits, run_length)`.
+    Rle(Vec<(u64, u32)>),
+    /// First value as `i64`, then zig-zag deltas bit-packed at `width`.
+    Delta {
+        /// First present value.
+        first: i64,
+        /// Fixed bit width of each packed delta.
+        width: u8,
+        /// LSB-first packed zig-zag deltas (`n - 1` of them).
+        packed: Vec<u64>,
+    },
+}
+
+/// One block of a numeric column: validity + encoded values + zone map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumBlock {
+    len: usize,
+    present: Bitmap,
+    n_present: usize,
+    encoding: NumEncoding,
+    /// `(min, max)` over present non-NaN values; `None` when no such value
+    /// exists (all-null or all-NaN block).
+    zone: Option<(f64, f64)>,
+}
+
+impl NumBlock {
+    /// Encodes one block worth of row slots (at most [`BLOCK_LEN`]).
+    pub fn encode(slots: &[Option<f64>]) -> Self {
+        assert!(slots.len() <= BLOCK_LEN, "block over-full");
+        let mut present = Bitmap::empty(slots.len());
+        let mut vals: Vec<f64> = Vec::with_capacity(slots.len());
+        for (i, v) in slots.iter().enumerate() {
+            if let Some(v) = v {
+                present.set(i);
+                vals.push(*v);
+            }
+        }
+        let zone = vals
+            .iter()
+            .filter(|v| !v.is_nan())
+            .fold(None, |acc: Option<(f64, f64)>, &v| match acc {
+                None => Some((v, v)),
+                Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
+            });
+        NumBlock {
+            len: slots.len(),
+            n_present: vals.len(),
+            encoding: choose_num_encoding(&vals),
+            present,
+            zone,
+        }
+    }
+
+    /// Row slots covered by this block.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the block covers zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Validity bitmap (bit set = slot holds a value).
+    pub fn present(&self) -> &Bitmap {
+        &self.present
+    }
+
+    /// Min/max zone map over present non-NaN values.
+    pub fn zone(&self) -> Option<(f64, f64)> {
+        self.zone
+    }
+
+    /// The chosen encoding (exposed for tests and stats).
+    pub fn encoding(&self) -> &NumEncoding {
+        &self.encoding
+    }
+
+    /// Decodes the present values, in row order. Exact: every value round
+    /// trips bit-for-bit, including NaN payloads and `-0.0`.
+    pub fn decode_present(&self) -> Vec<f64> {
+        match &self.encoding {
+            NumEncoding::Plain(bits) => bits.iter().map(|&b| f64::from_bits(b)).collect(),
+            NumEncoding::Rle(runs) => {
+                let mut out = Vec::with_capacity(self.n_present);
+                for &(bits, run) in runs {
+                    out.extend(std::iter::repeat_n(f64::from_bits(bits), run as usize));
+                }
+                out
+            }
+            NumEncoding::Delta {
+                first,
+                width,
+                packed,
+            } => {
+                let mut out = Vec::with_capacity(self.n_present);
+                if self.n_present == 0 {
+                    return out;
+                }
+                let mut acc = *first;
+                out.push(acc as f64);
+                for d in unpack_bits(packed, *width, self.n_present - 1) {
+                    acc = acc.wrapping_add(unzigzag(d));
+                    out.push(acc as f64);
+                }
+                out
+            }
+        }
+    }
+
+    /// Writes the block back into `slots` (one `Option<f64>` per row slot).
+    pub fn decode_into(&self, slots: &mut Vec<Option<f64>>) {
+        let vals = self.decode_present();
+        let mut next = 0usize;
+        for i in 0..self.len {
+            if self.present.get(i) {
+                slots.push(Some(vals[next]));
+                next += 1;
+            } else {
+                slots.push(None);
+            }
+        }
+    }
+
+    /// Encoded payload bytes (values + validity bitmap).
+    pub fn bytes_encoded(&self) -> usize {
+        let values = match &self.encoding {
+            NumEncoding::Plain(bits) => bits.len() * 8,
+            NumEncoding::Rle(runs) => runs.len() * 12,
+            NumEncoding::Delta { packed, .. } => 9 + packed.len() * 8,
+        };
+        values + self.present.bytes()
+    }
+
+    /// Bytes of the uncompressed row representation (`Option<f64>` slots
+    /// modelled as 8 value bytes + 1 validity byte per slot).
+    pub fn bytes_plain(&self) -> usize {
+        self.len * 9
+    }
+}
+
+/// `true` when `v` survives `f64 → i64 → f64` bit-exactly (rejects NaN,
+/// infinities, fractional values, `-0.0`, and out-of-range magnitudes).
+fn is_exact_integral(v: f64) -> bool {
+    v.to_bits() == ((v as i64) as f64).to_bits()
+}
+
+fn choose_num_encoding(vals: &[f64]) -> NumEncoding {
+    let plain_cost = vals.len() * 8;
+
+    // Candidate: RLE over bit patterns.
+    let mut runs: Vec<(u64, u32)> = Vec::new();
+    for &v in vals {
+        let bits = v.to_bits();
+        match runs.last_mut() {
+            Some((b, run)) if *b == bits && *run < u32::MAX => *run += 1,
+            _ => runs.push((bits, 1)),
+        }
+    }
+    let rle_cost = runs.len() * 12;
+
+    // Candidate: delta + zig-zag + bit-pack, integral blocks only.
+    let delta = if !vals.is_empty() && vals.iter().all(|&v| is_exact_integral(v)) {
+        let ints: Vec<i64> = vals.iter().map(|&v| v as i64).collect();
+        let deltas: Vec<i128> = ints
+            .windows(2)
+            .map(|w| w[1] as i128 - w[0] as i128)
+            .collect();
+        if deltas
+            .iter()
+            .all(|&d| d >= i64::MIN as i128 && d <= i64::MAX as i128)
+        {
+            let zz: Vec<u64> = deltas.iter().map(|&d| zigzag(d as i64)).collect();
+            let width = zz.iter().copied().map(bit_width).max().unwrap_or(0);
+            let packed = pack_bits(&zz, width);
+            let cost = 9 + packed.len() * 8;
+            Some((ints[0], width, packed, cost))
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
+    // Cheapest wins; ties break RLE < Delta < Plain, so selection is a
+    // pure function of the block's values.
+    let delta_cost = delta.as_ref().map_or(usize::MAX, |d| d.3);
+    if rle_cost <= delta_cost && rle_cost <= plain_cost {
+        NumEncoding::Rle(runs)
+    } else if let Some((first, width, packed, cost)) = delta {
+        if cost <= plain_cost {
+            return NumEncoding::Delta {
+                first,
+                width,
+                packed,
+            };
+        }
+        NumEncoding::Plain(vals.iter().map(|v| v.to_bits()).collect())
+    } else {
+        NumEncoding::Plain(vals.iter().map(|v| v.to_bits()).collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dictionary-code blocks.
+// ---------------------------------------------------------------------------
+
+/// How the present dictionary codes of one block are stored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeEncoding {
+    /// One `u32` code per present value, in row order.
+    Plain(Vec<u32>),
+    /// Run-length over codes: `(code, run_length)`.
+    Rle(Vec<(u32, u32)>),
+    /// LSB-first fixed-width bit-packed codes.
+    Packed {
+        /// Fixed bit width of each packed code.
+        width: u8,
+        /// Packed payload.
+        packed: Vec<u64>,
+    },
+}
+
+/// One block of a categorical column: validity + encoded codes + zone map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeBlock {
+    len: usize,
+    present: Bitmap,
+    n_present: usize,
+    encoding: CodeEncoding,
+    /// `(min, max)` code range; with a sorted dictionary this is also a
+    /// lexicographic label range. `None` when the block is all-null.
+    zone: Option<(u32, u32)>,
+}
+
+impl CodeBlock {
+    /// Encodes one block worth of code slots (at most [`BLOCK_LEN`]).
+    pub fn encode(slots: &[Option<u32>]) -> Self {
+        assert!(slots.len() <= BLOCK_LEN, "block over-full");
+        let mut present = Bitmap::empty(slots.len());
+        let mut codes: Vec<u32> = Vec::with_capacity(slots.len());
+        for (i, c) in slots.iter().enumerate() {
+            if let Some(c) = c {
+                present.set(i);
+                codes.push(*c);
+            }
+        }
+        let zone = codes
+            .iter()
+            .fold(None, |acc: Option<(u32, u32)>, &c| match acc {
+                None => Some((c, c)),
+                Some((lo, hi)) => Some((lo.min(c), hi.max(c))),
+            });
+        CodeBlock {
+            len: slots.len(),
+            n_present: codes.len(),
+            encoding: choose_code_encoding(&codes),
+            present,
+            zone,
+        }
+    }
+
+    /// Row slots covered by this block.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the block covers zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Validity bitmap (bit set = slot holds a code).
+    pub fn present(&self) -> &Bitmap {
+        &self.present
+    }
+
+    /// Min/max zone map over present codes.
+    pub fn zone(&self) -> Option<(u32, u32)> {
+        self.zone
+    }
+
+    /// The chosen encoding (exposed for tests and stats).
+    pub fn encoding(&self) -> &CodeEncoding {
+        &self.encoding
+    }
+
+    /// Decodes the present codes, in row order.
+    pub fn decode_present(&self) -> Vec<u32> {
+        match &self.encoding {
+            CodeEncoding::Plain(codes) => codes.clone(),
+            CodeEncoding::Rle(runs) => {
+                let mut out = Vec::with_capacity(self.n_present);
+                for &(code, run) in runs {
+                    out.extend(std::iter::repeat_n(code, run as usize));
+                }
+                out
+            }
+            CodeEncoding::Packed { width, packed } => unpack_bits(packed, *width, self.n_present)
+                .into_iter()
+                .map(|v| v as u32)
+                .collect(),
+        }
+    }
+
+    /// Writes the block back into `slots` (one `Option<u32>` per row slot).
+    pub fn decode_into(&self, slots: &mut Vec<Option<u32>>) {
+        let codes = self.decode_present();
+        let mut next = 0usize;
+        for i in 0..self.len {
+            if self.present.get(i) {
+                slots.push(Some(codes[next]));
+                next += 1;
+            } else {
+                slots.push(None);
+            }
+        }
+    }
+
+    /// Encoded payload bytes (codes + validity bitmap).
+    pub fn bytes_encoded(&self) -> usize {
+        let values = match &self.encoding {
+            CodeEncoding::Plain(codes) => codes.len() * 4,
+            CodeEncoding::Rle(runs) => runs.len() * 8,
+            CodeEncoding::Packed { packed, .. } => 1 + packed.len() * 8,
+        };
+        values + self.present.bytes()
+    }
+
+    /// Bytes of the uncompressed row representation (4 code bytes + 1
+    /// validity byte per slot).
+    pub fn bytes_plain(&self) -> usize {
+        self.len * 5
+    }
+}
+
+fn choose_code_encoding(codes: &[u32]) -> CodeEncoding {
+    let plain_cost = codes.len() * 4;
+
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    for &c in codes {
+        match runs.last_mut() {
+            Some((rc, run)) if *rc == c && *run < u32::MAX => *run += 1,
+            _ => runs.push((c, 1)),
+        }
+    }
+    let rle_cost = runs.len() * 8;
+
+    let width = codes
+        .iter()
+        .map(|&c| bit_width(c as u64))
+        .max()
+        .unwrap_or(0);
+    let packed = pack_bits(&codes.iter().map(|&c| c as u64).collect::<Vec<_>>(), width);
+    let packed_cost = 1 + packed.len() * 8;
+
+    if rle_cost <= packed_cost && rle_cost <= plain_cost {
+        CodeEncoding::Rle(runs)
+    } else if packed_cost <= plain_cost {
+        CodeEncoding::Packed { width, packed }
+    } else {
+        CodeEncoding::Plain(codes.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(slots: &[Option<f64>]) {
+        let block = NumBlock::encode(slots);
+        let mut out = Vec::new();
+        block.decode_into(&mut out);
+        let same = slots
+            .iter()
+            .zip(&out)
+            .all(|(a, b)| a.map(f64::to_bits) == b.map(f64::to_bits));
+        assert!(same, "round-trip mismatch: {slots:?} -> {out:?}");
+    }
+
+    #[test]
+    fn constant_block_picks_rle() {
+        let slots = vec![Some(2.5); 100];
+        let block = NumBlock::encode(&slots);
+        assert!(matches!(block.encoding(), NumEncoding::Rle(_)));
+        roundtrip(&slots);
+    }
+
+    #[test]
+    fn integral_ramp_picks_delta() {
+        let slots: Vec<Option<f64>> = (0..200).map(|i| Some(1990.0 + i as f64)).collect();
+        let block = NumBlock::encode(&slots);
+        assert!(matches!(block.encoding(), NumEncoding::Delta { .. }));
+        roundtrip(&slots);
+    }
+
+    #[test]
+    fn awkward_floats_roundtrip_exactly() {
+        let slots = vec![
+            Some(f64::NAN),
+            Some(-0.0),
+            Some(0.0),
+            None,
+            Some(f64::INFINITY),
+            Some(f64::NEG_INFINITY),
+            Some(1.0e300),
+            Some(-1.0e-300),
+            Some(0.1),
+            None,
+        ];
+        roundtrip(&slots);
+        // -0.0 and NaN must not be mistaken for integral values.
+        assert!(!is_exact_integral(-0.0));
+        assert!(!is_exact_integral(f64::NAN));
+        assert!(is_exact_integral(0.0));
+        assert!(is_exact_integral(-3.0));
+        assert!(!is_exact_integral(1.0e300));
+    }
+
+    #[test]
+    fn zone_map_ignores_nan_and_nulls() {
+        let block = NumBlock::encode(&[Some(3.0), None, Some(f64::NAN), Some(-1.0)]);
+        assert_eq!(block.zone(), Some((-1.0, 3.0)));
+        let allnan = NumBlock::encode(&[Some(f64::NAN), None]);
+        assert_eq!(allnan.zone(), None);
+    }
+
+    #[test]
+    fn extreme_deltas_fall_back_safely() {
+        // i64::MIN..MAX style jumps whose deltas overflow i64.
+        let slots = vec![
+            Some(-9.0e18),
+            Some(9.0e18),
+            Some(-9.0e18),
+            Some(42.0),
+            Some(-7.0),
+        ];
+        roundtrip(&slots);
+    }
+
+    #[test]
+    fn code_blocks_roundtrip_and_pick_cheap_encodings() {
+        let constant: Vec<Option<u32>> = vec![Some(7); 64];
+        let b = CodeBlock::encode(&constant);
+        assert!(matches!(b.encoding(), CodeEncoding::Rle(_)));
+        let mut out = Vec::new();
+        b.decode_into(&mut out);
+        assert_eq!(out, constant);
+
+        let varied: Vec<Option<u32>> = (0..100)
+            .map(|i| if i % 7 == 0 { None } else { Some(i % 13) })
+            .collect();
+        let b = CodeBlock::encode(&varied);
+        let mut out = Vec::new();
+        b.decode_into(&mut out);
+        assert_eq!(out, varied);
+        assert!(b.bytes_encoded() < b.bytes_plain());
+        assert_eq!(b.zone(), Some((0, 12)));
+    }
+
+    #[test]
+    fn packing_handles_all_widths() {
+        for width in [0u8, 1, 7, 31, 32, 33, 63, 64] {
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let vals: Vec<u64> = (0..50)
+                .map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)
+                .collect();
+            assert_eq!(unpack_bits(&pack_bits(&vals, width), width, 50), vals);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Sorted-insertion dictionary for categorical attributes.
+//!
+//! Unlike `epc_model::dataset::CatColumn`, which interns labels in
+//! first-occurrence order (so two datasets holding the same rows in a
+//! different order get different codes), this dictionary sorts its label
+//! set before assigning ids. Encodings are therefore *input-order
+//! invariant*: any permutation of the same rows produces the same
+//! dictionary and the same per-label id — which is what lets zone maps
+//! over code ranges double as lexicographic label ranges, and lets two
+//! stores built from differently-ordered ingests share comparisons.
+
+use std::collections::BTreeSet;
+
+/// An immutable, lexicographically sorted label dictionary.
+///
+/// Ids are the `u32` positions in the sorted label list; `id_of` is a
+/// binary search and `label` an index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortedDict {
+    labels: Vec<String>,
+}
+
+impl SortedDict {
+    /// Builds the dictionary from any label sequence; duplicates collapse
+    /// and order does not matter.
+    pub fn from_labels<'a, I>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let set: BTreeSet<&str> = labels.into_iter().collect();
+        SortedDict {
+            labels: set.into_iter().map(String::from).collect(),
+        }
+    }
+
+    /// The id of a label, if interned.
+    pub fn id_of(&self, label: &str) -> Option<u32> {
+        self.labels
+            .binary_search_by(|probe| probe.as_str().cmp(label))
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// The label behind an id, if in range.
+    pub fn label(&self, id: u32) -> Option<&str> {
+        self.labels.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when no labels are interned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// All labels in id order (i.e. sorted).
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Heap bytes held by the label storage (for compression accounting).
+    pub fn bytes(&self) -> usize {
+        self.labels.iter().map(|l| l.len() + 24).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sorted_positions() {
+        let d = SortedDict::from_labels(["b", "a", "c", "a"]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.id_of("a"), Some(0));
+        assert_eq!(d.id_of("b"), Some(1));
+        assert_eq!(d.id_of("c"), Some(2));
+        assert_eq!(d.id_of("d"), None);
+        assert_eq!(d.label(2), Some("c"));
+        assert_eq!(d.label(3), None);
+    }
+
+    #[test]
+    fn encoding_is_input_order_invariant() {
+        let fwd = SortedDict::from_labels(["x", "y", "z"]);
+        let rev = SortedDict::from_labels(["z", "y", "x", "z"]);
+        assert_eq!(fwd, rev);
+    }
+}

@@ -1,0 +1,49 @@
+//! # epc-columnar
+//!
+//! The columnar storage engine of INDICE (ROADMAP item 1): per-attribute
+//! typed columns behind the `epc-model` row façade.
+//!
+//! The paper's EPC collections carry 89 categorical and 43 quantitative
+//! attributes per certificate; iterating them row-shaped wastes an order
+//! of magnitude of memory and cache on the hot loops (predicate scans,
+//! group-bys, Levenshtein cleaning, K-means / DBSCAN distance kernels).
+//! This crate stores each attribute separately:
+//!
+//! * **Categoricals** — a [`dict::SortedDict`] (stable `u32` ids assigned
+//!   in sorted label order, so encodings are *input-order invariant*) plus
+//!   RLE / bit-packed code blocks with per-block min/max code zone maps.
+//! * **Numerics** — per-block encodings chosen by byte cost (RLE over
+//!   IEEE-754 bit patterns, delta + zig-zag + bit-pack for integral
+//!   blocks, plain fallback), null bitmaps, and per-block min/max zone
+//!   maps ([`block`]).
+//! * **Kernels** — filter-to-selection-bitmap with zone-map block
+//!   skipping, and dense gathers for distance loops ([`kernels`]).
+//!
+//! The row façade ([`store::ColumnStore::materialize_dataset`] /
+//! [`store::DatasetColumnarExt::to_columns`]) round-trips every cell
+//! value bit-for-bit, so checkpoints, golden traces, journals, and
+//! dashboard artifacts are byte-identical whichever engine produced them
+//! — the invariant gated by the differential harness in
+//! `tests/columnar.rs` and `./ci.sh columnar`.
+//!
+//! Determinism: this crate uses no clocks, no OS entropy, no HashMap
+//! iteration — every structure and kernel is a pure function of its
+//! input values (not even their order, for dictionaries).
+
+pub mod bitmap;
+pub mod block;
+pub mod column;
+pub mod dict;
+pub mod kernels;
+pub mod store;
+
+pub use bitmap::Bitmap;
+pub use block::{CodeBlock, CodeEncoding, NumBlock, NumEncoding, BLOCK_LEN};
+pub use column::{CategoricalColumn, NumericColumn};
+pub use dict::SortedDict;
+pub use kernels::ScanStats;
+pub use store::{ColumnStore, DatasetColumnarExt, StoreColumn, StoreStats};
+
+// Re-exported so downstream crates (e.g. `epc-mining`) can name attribute
+// ids without a direct `epc-model` dependency.
+pub use epc_model::AttrId;

@@ -1,0 +1,77 @@
+//! Feature-matrix assembly from the columnar store.
+//!
+//! The clustering and outlier-detection algorithms in this crate consume a
+//! dense row-major [`Matrix`]. The row path assembles it with one
+//! point-lookup per (row, feature) cell; this module gathers each feature
+//! column once, contiguously, via
+//! [`epc_columnar::kernels::gather_complete_rows`] — same complete-rows
+//! semantics (a row participates only when *every* feature is present),
+//! same row order, bit-identical cell values.
+
+use crate::matrix::Matrix;
+use epc_columnar::{kernels, AttrId, ColumnStore};
+
+/// Gathers the complete rows of `feature_ids` into a dense matrix.
+///
+/// Returns the original store row index of each matrix row plus the matrix
+/// itself (`rows.len() × feature_ids.len()`). Mirrors the row path's
+/// "skip any row with a missing feature" loop bit-for-bit, so K-means
+/// centroids and DBSCAN labels computed from the result are identical to
+/// the row engine's.
+pub fn feature_matrix(store: &ColumnStore, feature_ids: &[AttrId]) -> (Vec<usize>, Matrix) {
+    let (rows, data) = kernels::gather_complete_rows(store, feature_ids);
+    let n_rows = rows.len();
+    (rows, Matrix::from_vec(data, n_rows, feature_ids.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epc_columnar::DatasetColumnarExt;
+    use epc_model::{AttributeDef, Dataset, Schema, Value};
+    use std::sync::Arc;
+
+    #[test]
+    fn feature_matrix_matches_row_path_assembly() {
+        let schema = Arc::new(
+            Schema::new(vec![
+                AttributeDef::numeric("a", "", ""),
+                AttributeDef::numeric("b", "", ""),
+            ])
+            .unwrap(),
+        );
+        let ids = [AttrId(0), AttrId(1)];
+        let mut ds = Dataset::new(Arc::clone(&schema));
+        for i in 0..50 {
+            let mut r = ds.empty_record();
+            if i % 7 != 3 {
+                r.set(ids[0], Value::Num(i as f64 * 0.5)).unwrap();
+            }
+            if i % 11 != 5 {
+                r.set(ids[1], Value::Num(-(i as f64))).unwrap();
+            }
+            ds.push_record(r).unwrap();
+        }
+
+        // Row-path assembly, as `indice` does it.
+        let mut want_rows = Vec::new();
+        let mut want_data = Vec::new();
+        for r in 0..ds.n_rows() {
+            if let Some(v) = ids
+                .iter()
+                .map(|&id| ds.num(r, id))
+                .collect::<Option<Vec<f64>>>()
+            {
+                want_rows.push(r);
+                want_data.extend(v);
+            }
+        }
+
+        let (rows, matrix) = feature_matrix(&ds.to_columns(), &ids);
+        assert_eq!(rows, want_rows);
+        assert_eq!(matrix.n_rows(), want_rows.len());
+        assert_eq!(matrix.n_cols(), ids.len());
+        let want = Matrix::from_vec(want_data, want_rows.len(), ids.len());
+        assert_eq!(matrix, want);
+    }
+}

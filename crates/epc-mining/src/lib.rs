@@ -34,6 +34,7 @@
 
 pub mod apriori;
 pub mod cart;
+pub mod columnar;
 pub mod dbscan;
 pub mod discretize;
 pub mod elbow;
@@ -49,6 +50,7 @@ pub mod support;
 
 pub use apriori::{Apriori, ItemDictionary, Itemset, TransactionSet};
 pub use cart::{CartConfig, RegressionTree};
+pub use columnar::feature_matrix;
 pub use dbscan::{dbscan, DbscanConfig, DbscanLabel, DbscanResult};
 pub use discretize::Discretizer;
 pub use elbow::{elbow_k, sse_curve};

@@ -1,0 +1,258 @@
+//! Columnar twins of the row-path query operations.
+//!
+//! Each function here mirrors a row-path sibling *exactly* — same missing
+//! semantics, same group ordering, same aggregate application — but runs
+//! over an [`epc_columnar::ColumnStore`]: predicates become selection
+//! bitmaps with zone-map block skipping, and group-by walks dictionary
+//! codes instead of owned label strings. Bitwise output equivalence with
+//! the row path is gated by the differential harness in
+//! `tests/columnar.rs`.
+
+use epc_columnar::{kernels, Bitmap, ColumnStore, ScanStats, StoreColumn};
+use epc_model::ModelError;
+
+use crate::aggregate::{AggFn, GroupRow};
+use crate::predicate::{BoundPredicate, Predicate};
+use crate::query::{Query, QueryError};
+
+/// The label the row path files missing group values under.
+const MISSING_LABEL: &str = "(missing)";
+
+/// Evaluates a bound predicate into a selection bitmap.
+///
+/// Leaf semantics mirror [`BoundPredicate::eval`]: a missing value (or a
+/// type-mismatched attribute) satisfies no comparison, so the leaf bitmap
+/// holds exactly the rows where the row path would return `true` — which
+/// makes the word-wise `and`/`or`/`not` algebra equivalent to per-row
+/// boolean evaluation.
+pub fn selection_bitmap(
+    pred: &BoundPredicate,
+    store: &ColumnStore,
+    stats: &mut ScanStats,
+) -> Bitmap {
+    let n = store.n_rows();
+    match pred {
+        BoundPredicate::NumRange { attr, min, max } => match store.column(*attr) {
+            Some(StoreColumn::Numeric(c)) => kernels::num_range(c, *min, *max, stats),
+            _ => Bitmap::empty(n),
+        },
+        BoundPredicate::CatEq { attr, value } => match store.column(*attr) {
+            Some(StoreColumn::Categorical(c)) => kernels::cat_eq(c, value, stats),
+            _ => Bitmap::empty(n),
+        },
+        BoundPredicate::CatIn { attr, values } => match store.column(*attr) {
+            Some(StoreColumn::Categorical(c)) => kernels::cat_in(c, values, stats),
+            _ => Bitmap::empty(n),
+        },
+        BoundPredicate::IsMissing(attr) => kernels::is_missing(store, *attr),
+        BoundPredicate::IsPresent(attr) => kernels::is_present(store, *attr),
+        BoundPredicate::And(a, b) => {
+            let left = selection_bitmap(a, store, stats);
+            left.and(&selection_bitmap(b, store, stats))
+        }
+        BoundPredicate::Or(a, b) => {
+            let left = selection_bitmap(a, store, stats);
+            left.or(&selection_bitmap(b, store, stats))
+        }
+        BoundPredicate::Not(p) => selection_bitmap(p, store, stats).not(),
+        BoundPredicate::True => Bitmap::full(n),
+    }
+}
+
+/// Columnar twin of [`BoundPredicate::mask`]: binds and evaluates the
+/// predicate, returning the keep-mask plus block-skip accounting.
+pub fn mask_columnar(
+    pred: &Predicate,
+    store: &ColumnStore,
+) -> Result<(Vec<bool>, ScanStats), ModelError> {
+    let bound = pred.bind(store.schema())?;
+    let mut stats = ScanStats::default();
+    let bitmap = selection_bitmap(&bound, store, &mut stats);
+    Ok((bitmap.to_bools(), stats))
+}
+
+/// Columnar twin of [`Query::matching_rows`]: matching row indices in
+/// dataset order, respecting the limit.
+pub fn matching_rows_columnar(
+    query: &Query,
+    store: &ColumnStore,
+    stats: &mut ScanStats,
+) -> Result<Vec<usize>, QueryError> {
+    let bound = query.filter.bind(store.schema())?;
+    let bitmap = selection_bitmap(&bound, store, stats);
+    let rows = match query.limit {
+        Some(limit) => bitmap.ones().take(limit).collect(),
+        None => bitmap.ones().collect(),
+    };
+    Ok(rows)
+}
+
+/// Columnar twin of [`crate::aggregate::group_by`]: groups by a
+/// categorical attribute over dictionary ids and aggregates a numeric
+/// attribute. Output rows, ordering (label-sorted with `"(missing)"`
+/// collated in place), group counts, and aggregate values are identical
+/// to the row path.
+pub fn group_by_columnar(
+    store: &ColumnStore,
+    group_attr: &str,
+    value_attr: &str,
+    aggs: &[AggFn],
+) -> Result<Vec<GroupRow>, ModelError> {
+    let gid = store.schema().require(group_attr)?;
+    let vid = store.schema().require(value_attr)?;
+    let n = store.n_rows();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let values: Vec<Option<f64>> = match store.numeric(vid) {
+        Some(c) => c.to_slots(),
+        None => vec![None; n],
+    };
+
+    let emit = |group: &str, count: usize, vals: &[f64]| GroupRow {
+        group: group.to_owned(),
+        n_rows: count,
+        values: aggs.iter().map(|a| a.apply(vals)).collect(),
+    };
+
+    match store.categorical(gid) {
+        Some(cat) => {
+            let codes = cat.to_code_slots();
+            let dict = cat.dict();
+            // A literal "(missing)" label shares its bucket with null rows
+            // in the row path; route nulls to it so interleaved value
+            // order (and therefore Median/Std) matches exactly.
+            let missing_as = dict.id_of(MISSING_LABEL);
+            let mut buckets: Vec<(usize, Vec<f64>)> = vec![(0, Vec::new()); dict.len()];
+            let mut null_bucket: (usize, Vec<f64>) = (0, Vec::new());
+            for (row, code) in codes.iter().enumerate() {
+                let bucket = match code.or(missing_as) {
+                    Some(c) => &mut buckets[c as usize],
+                    None => &mut null_bucket,
+                };
+                bucket.0 += 1;
+                if let Some(v) = values[row] {
+                    bucket.1.push(v);
+                }
+            }
+            // Dictionary ids are sorted label order, so emitting used
+            // buckets in id order reproduces the row path's BTreeMap
+            // order; the null bucket collates at "(missing)"'s sort
+            // position among the labels.
+            let mut out = Vec::new();
+            let mut null_pending = null_bucket.0 > 0;
+            for (id, (count, vals)) in buckets.iter().enumerate() {
+                let label = dict.label(id as u32).unwrap_or(MISSING_LABEL);
+                if null_pending && MISSING_LABEL < label {
+                    out.push(emit(MISSING_LABEL, null_bucket.0, &null_bucket.1));
+                    null_pending = false;
+                }
+                if *count > 0 {
+                    out.push(emit(label, *count, vals));
+                }
+            }
+            if null_pending {
+                out.push(emit(MISSING_LABEL, null_bucket.0, &null_bucket.1));
+            }
+            Ok(out)
+        }
+        // Group attribute is not categorical: the row path sees every
+        // label as missing and produces one "(missing)" group.
+        None => {
+            let vals: Vec<f64> = values.iter().copied().flatten().collect();
+            Ok(vec![emit(MISSING_LABEL, n, &vals)])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::group_by;
+    use epc_columnar::DatasetColumnarExt;
+    use epc_model::{AttrId, AttributeDef, Dataset, Schema, Value};
+    use std::sync::Arc;
+
+    fn dataset() -> Dataset {
+        let schema = Arc::new(
+            Schema::new(vec![
+                AttributeDef::categorical("district", ""),
+                AttributeDef::numeric("eph", "", ""),
+            ])
+            .unwrap(),
+        );
+        let mut ds = Dataset::new(schema);
+        for (d, e) in [
+            (Some("D1"), Some(100.0)),
+            (None, Some(75.0)),
+            (Some("(missing)"), Some(10.0)),
+            (Some("D2"), Some(50.0)),
+            (Some("D1"), Some(200.0)),
+            (Some("D2"), None),
+            (None, Some(33.0)),
+            (Some("A-first"), Some(1.0)),
+        ] {
+            let mut r = ds.empty_record();
+            r.set(AttrId(0), d.map(Value::cat).unwrap_or(Value::Missing))
+                .unwrap();
+            r.set(AttrId(1), e.map(Value::Num).unwrap_or(Value::Missing))
+                .unwrap();
+            ds.push_record(r).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn group_by_matches_row_path_including_missing_collation() {
+        let ds = dataset();
+        let store = ds.to_columns();
+        let aggs = [
+            AggFn::Mean,
+            AggFn::Count,
+            AggFn::Min,
+            AggFn::Max,
+            AggFn::Median,
+            AggFn::Std,
+        ];
+        let row = group_by(&ds, "district", "eph", &aggs).unwrap();
+        let col = group_by_columnar(&store, "district", "eph", &aggs).unwrap();
+        assert_eq!(row, col);
+        // The literal "(missing)" label merged with the null rows.
+        assert_eq!(col.iter().filter(|g| g.group == "(missing)").count(), 1);
+    }
+
+    #[test]
+    fn group_by_on_numeric_group_attr_matches_row_path() {
+        let ds = dataset();
+        let store = ds.to_columns();
+        let row = group_by(&ds, "eph", "eph", &[AggFn::Count]).unwrap();
+        let col = group_by_columnar(&store, "eph", "eph", &[AggFn::Count]).unwrap();
+        assert_eq!(row, col);
+    }
+
+    #[test]
+    fn mask_and_matching_rows_match_row_path() {
+        let ds = dataset();
+        let store = ds.to_columns();
+        let pred = Predicate::eq("district", "D1")
+            .or(Predicate::between("eph", 0.0, 60.0))
+            .and(Predicate::IsPresent("eph".into()).not().not());
+        let bound = pred.bind(ds.schema()).unwrap();
+        let (mask, _) = mask_columnar(&pred, &store).unwrap();
+        assert_eq!(mask, bound.mask(&ds));
+
+        let q = Query::filtered(pred).with_limit(3);
+        let mut stats = ScanStats::default();
+        assert_eq!(
+            matching_rows_columnar(&q, &store, &mut stats).unwrap(),
+            q.matching_rows(&ds).unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_attributes_error_like_the_row_path() {
+        let store = dataset().to_columns();
+        assert!(mask_columnar(&Predicate::eq("ghost", "x"), &store).is_err());
+        assert!(group_by_columnar(&store, "ghost", "eph", &[AggFn::Mean]).is_err());
+    }
+}

@@ -72,11 +72,15 @@ pub enum Command {
     },
     /// Run an in-memory synthetic pipeline and emit a benchmark snapshot.
     Bench {
-        /// Number of synthetic certificates.
-        records: usize,
+        /// Collection sizes to benchmark (from `--records N[,M...]`).
+        records: Vec<usize>,
         /// RNG seed for the synthetic collection.
         seed: u64,
-        /// Output path for the BENCH_5.json-shaped snapshot.
+        /// Engines to run at each size (from `--engines row[,columnar]`).
+        /// With more than one, the snapshot carries a side-by-side
+        /// comparison and the run fails if their outputs diverge.
+        engines: Vec<epc_runtime::Engine>,
+        /// Output path for the indice-bench/2 snapshot.
         out: String,
     },
     /// Print the auto-configuration advice for a collection.
@@ -183,7 +187,8 @@ USAGE:
              [--kill-city IDX [--kill-stage STAGE] [--kill-attempt N|all]] \\
              [--corrupt-city IDX [--fault-rate R]] [--fault-seed S] \\
              [--crash-at-city IDX:before|after]
-  indice bench --records N [--seed S] --out bench.json
+  indice bench --records N[,M...] [--seed S] \\
+             [--engines row[,columnar]] --out bench.json
   indice suggest-config --data epcs.csv
   indice clean --data epcs.csv --streets street_map.txt --out cleaned.csv
   indice help
@@ -256,8 +261,11 @@ explicit \"unavailable\" panels).
   70         injected coordinator crash (resume with --resume DIR)
 
 `bench` generates a synthetic collection in memory, runs the full
-observed pipeline, and writes a benchmark snapshot (per-stage wall
-milliseconds, records/sec, peak shard imbalance) to `--out`.
+observed pipeline at each `--records` size, and writes a benchmark
+snapshot (per-stage wall milliseconds and records/sec, peak shard
+imbalance) to `--out`. With `--engines row,columnar` every size runs
+once per engine; the snapshot carries the side-by-side numbers and the
+command fails if the engines' outputs are not identical.
 
 `--fault-seed` / `--fault-rate` / `--geocode-fail-rate` attach a
 deterministic fault injector for chaos testing: the same seed and rates
@@ -269,6 +277,11 @@ ENVIRONMENT:
   INDICE_THREADS           thread budget for run/clean (default: all
                            hardware threads); outputs are identical for
                            any value
+  INDICE_ENGINE            execution engine, `row` (default) or
+                           `columnar`; outputs are byte-identical for
+                           either — the columnar engine only changes how
+                           scans, group-bys, cleaning, and clustering
+                           gather their data
   INDICE_GEOCODE_RETRIES   retry budget for transient geocoder failures
                            (default: 3)
   INDICE_STAGE_DEADLINE_MS per-stage wall-clock budget in milliseconds;
@@ -376,20 +389,38 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             })
         }
         "bench" => {
-            let records: usize = get("records")?
-                .parse()
-                .map_err(|e| format!("--records: {e}"))?;
-            if records == 0 {
-                return Err("--records must be positive".into());
+            let records: Vec<usize> = get("records")?
+                .split(',')
+                .map(|s| s.trim().parse().map_err(|e| format!("--records: {e}")))
+                .collect::<Result<_, _>>()?;
+            if records.is_empty() || records.contains(&0) {
+                return Err("--records must be a comma list of positive sizes".into());
             }
             let seed: u64 = flags
                 .get("seed")
                 .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
                 .transpose()?
                 .unwrap_or(2024);
+            let engines: Vec<epc_runtime::Engine> = match flags.get("engines") {
+                None => vec![epc_runtime::Engine::Row],
+                Some(raw) => {
+                    let engines: Vec<epc_runtime::Engine> = raw
+                        .split(',')
+                        .map(|s| {
+                            epc_runtime::Engine::parse(Some(s.trim()))
+                                .map_err(|e| format!("--engines: {e}"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if engines.is_empty() {
+                        return Err("--engines must name at least one engine".into());
+                    }
+                    engines
+                }
+            };
             Ok(Command::Bench {
                 records,
                 seed,
+                engines,
                 out: get("out")?.clone(),
             })
         }
@@ -1081,17 +1112,20 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Bench {
-                records: 800,
+                records: vec![800],
                 seed: 2024,
+                engines: vec![epc_runtime::Engine::Row],
                 out: "b.json".into(),
             }
         );
         let cmd = parse_args(&v(&[
             "bench",
             "--records",
-            "100",
+            "100,2500",
             "--seed",
             "9",
+            "--engines",
+            "row,columnar",
             "--out",
             "b.json",
         ]))
@@ -1099,14 +1133,26 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Bench {
-                records: 100,
+                records: vec![100, 2500],
                 seed: 9,
+                engines: vec![epc_runtime::Engine::Row, epc_runtime::Engine::Columnar],
                 out: "b.json".into(),
             }
         );
         assert!(parse_args(&v(&["bench", "--out", "b.json"])).is_err());
         assert!(parse_args(&v(&["bench", "--records", "0", "--out", "b.json"])).is_err());
+        assert!(parse_args(&v(&["bench", "--records", "10,0", "--out", "b.json"])).is_err());
         assert!(parse_args(&v(&["bench", "--records", "10"])).is_err());
+        assert!(parse_args(&v(&[
+            "bench",
+            "--records",
+            "10",
+            "--engines",
+            "vector",
+            "--out",
+            "b.json"
+        ]))
+        .is_err());
     }
 
     #[test]

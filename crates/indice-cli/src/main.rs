@@ -156,7 +156,12 @@ fn execute(command: Command) -> Result<ExitCode, String> {
             fault_seed,
             crash_at_city,
         ),
-        Command::Bench { records, seed, out } => bench(records, seed, &out),
+        Command::Bench {
+            records,
+            seed,
+            engines,
+            out,
+        } => bench(&records, seed, &engines, &out),
         Command::Clean { data, streets, out } => {
             let runtime = epc_runtime::RuntimeConfig::try_from_env()?;
             let dataset = load_dataset(&data)?;
@@ -705,10 +710,22 @@ fn write_metrics(path: &str, obs: &epc_obs::Obs<'_>) -> Result<(), String> {
         .map_err(|e| format!("writing {path}: {e}"))
 }
 
-/// Runs the full observed pipeline over an in-memory synthetic collection
-/// and writes a benchmark snapshot.
-fn bench(records: usize, seed: u64, out: &str) -> Result<ExitCode, String> {
-    let runtime = epc_runtime::RuntimeConfig::try_from_env()?;
+/// One engine's measured numbers at one collection size, plus the
+/// deterministic output fingerprint the cross-engine gate compares.
+struct BenchRun {
+    json: String,
+    exit_code: u8,
+    fingerprint: String,
+    artifacts: std::collections::BTreeMap<String, String>,
+    threads: usize,
+    total_ms: u64,
+    records_per_sec: f64,
+}
+
+/// Runs the observed pipeline once for `engine` at `records` and formats
+/// its per-stage snapshot block.
+fn bench_one(records: usize, seed: u64, engine: epc_runtime::Engine) -> Result<BenchRun, String> {
+    let runtime = epc_runtime::RuntimeConfig::try_from_env()?.with_engine(engine);
     let mut collection = EpcGenerator::new(SynthConfig {
         n_records: records,
         seed,
@@ -717,17 +734,20 @@ fn bench(records: usize, seed: u64, out: &str) -> Result<ExitCode, String> {
     .generate();
     apply_noise(&mut collection, &NoiseConfig::default());
 
-    let engine = Indice::from_collection(collection, IndiceConfig::default()).with_runtime(runtime);
+    let indice = Indice::from_collection(collection, IndiceConfig::default()).with_runtime(runtime);
     let clock = epc_runtime::WallClock::new();
     let obs = epc_obs::Obs::new(&clock);
-    let output = engine.run_observed(epc_query::Stakeholder::PublicAdministration, &obs);
+    let output = indice.run_observed(epc_query::Stakeholder::PublicAdministration, &obs);
 
     let total_ms = output.report.total_wall().as_millis() as u64;
-    let records_per_sec = if total_ms == 0 {
-        0.0
-    } else {
-        records as f64 * 1000.0 / total_ms as f64
+    let per_sec = |n: usize, ms: u64| {
+        if ms == 0 {
+            0.0
+        } else {
+            n as f64 * 1000.0 / ms as f64
+        }
     };
+    let records_per_sec = per_sec(records, total_ms);
     // Peak shard imbalance of the deterministic chunking: largest shard
     // over the mean shard (1.0 = perfectly even split).
     let shards = epc_runtime::shard_sizes(&runtime, records);
@@ -743,12 +763,14 @@ fn bench(records: usize, seed: u64, out: &str) -> Result<ExitCode, String> {
         if i > 0 {
             stages.push_str(",\n");
         }
+        let wall_ms = s.wall.as_millis() as u64;
         stages.push_str(&format!(
-            "    {{\"name\": \"{}\", \"records_in\": {}, \"records_out\": {}, \"wall_ms\": {}}}",
+            "        {{\"name\": \"{}\", \"records_in\": {}, \"records_out\": {}, \
+             \"wall_ms\": {wall_ms}, \"records_per_sec\": {:.1}}}",
             s.name,
             s.records_in,
             s.records_out,
-            s.wall.as_millis()
+            per_sec(s.records_in, wall_ms),
         ));
     }
     let kept = output
@@ -762,38 +784,110 @@ fn bench(records: usize, seed: u64, out: &str) -> Result<ExitCode, String> {
         .as_ref()
         .map(|a| a.rules.len())
         .unwrap_or(0);
-    let snapshot = format!(
+    // Everything in the fingerprint (and the artifact bytes, compared
+    // separately) must be engine-independent; wall times must not.
+    let fingerprint = format!(
         "{{\n\
-         \x20 \"schema\": \"indice-bench/1\",\n\
-         \x20 \"records\": {records},\n\
-         \x20 \"seed\": {seed},\n\
-         \x20 \"threads\": {threads},\n\
-         \x20 \"stages\": [\n{stages}\n  ],\n\
-         \x20 \"total_wall_ms\": {total_ms},\n\
-         \x20 \"records_per_sec\": {records_per_sec:.1},\n\
-         \x20 \"peak_shard_imbalance\": {peak_shard_imbalance:.4},\n\
-         \x20 \"deterministic\": {{\n\
-         \x20   \"artifacts\": {artifacts},\n\
-         \x20   \"chosen_k\": {chosen_k},\n\
-         \x20   \"kept_records\": {kept},\n\
-         \x20   \"outcome\": \"{outcome}\",\n\
-         \x20   \"quarantined\": {quarantined},\n\
-         \x20   \"rules\": {rules}\n\
-         \x20 }}\n\
-         }}\n",
-        threads = output.report.threads,
+         \x20       \"artifacts\": {artifacts},\n\
+         \x20       \"chosen_k\": {chosen_k},\n\
+         \x20       \"kept_records\": {kept},\n\
+         \x20       \"outcome\": \"{outcome}\",\n\
+         \x20       \"quarantined\": {quarantined},\n\
+         \x20       \"rules\": {rules}\n\
+         \x20     }}",
         artifacts = output.artifacts.len(),
         outcome = output.outcome,
         quarantined = output.quarantine.len(),
     );
+    let json = format!(
+        "      {{\n\
+         \x20       \"engine\": \"{engine}\",\n\
+         \x20       \"stages\": [\n{stages}\n      ],\n\
+         \x20       \"total_wall_ms\": {total_ms},\n\
+         \x20       \"records_per_sec\": {records_per_sec:.1},\n\
+         \x20       \"peak_shard_imbalance\": {peak_shard_imbalance:.4},\n\
+         \x20       \"deterministic\": {fingerprint}\n\
+         \x20     }}",
+        engine = engine.label(),
+    );
+    Ok(BenchRun {
+        json,
+        exit_code: output.outcome.exit_code(),
+        fingerprint,
+        artifacts: output.artifacts,
+        threads: output.report.threads,
+        total_ms,
+        records_per_sec,
+    })
+}
+
+/// Runs the full observed pipeline over in-memory synthetic collections —
+/// once per (size, engine) pair — and writes an indice-bench/2 snapshot.
+/// With several engines, every pair of runs at the same size must produce
+/// an identical deterministic fingerprint and byte-identical artifacts;
+/// a divergence fails the command.
+fn bench(
+    records_list: &[usize],
+    seed: u64,
+    engines: &[epc_runtime::Engine],
+    out: &str,
+) -> Result<ExitCode, String> {
+    let mut worst_exit = 0u8;
+    let mut threads = 0usize;
+    let mut runs = String::new();
+    for (ri, &records) in records_list.iter().enumerate() {
+        if ri > 0 {
+            runs.push_str(",\n");
+        }
+        let mut blocks = String::new();
+        let mut baseline: Option<BenchRun> = None;
+        for (ei, &engine) in engines.iter().enumerate() {
+            if ei > 0 {
+                blocks.push_str(",\n");
+            }
+            let run = bench_one(records, seed, engine)?;
+            threads = run.threads;
+            worst_exit = worst_exit.max(run.exit_code);
+            println!(
+                "bench: {records} records, engine {}, {} threads, {} ms total \
+                 ({:.1} records/sec)",
+                engine.label(),
+                run.threads,
+                run.total_ms,
+                run.records_per_sec
+            );
+            blocks.push_str(&run.json);
+            match &baseline {
+                None => baseline = Some(run),
+                Some(base) => {
+                    if base.fingerprint != run.fingerprint || base.artifacts != run.artifacts {
+                        return Err(format!(
+                            "engine divergence at {records} records: {} and {} \
+                             produced different outputs",
+                            engines[0].label(),
+                            engine.label()
+                        ));
+                    }
+                }
+            }
+        }
+        runs.push_str(&format!(
+            "    {{\n      \"records\": {records},\n      \"engines\": [\n{blocks}\n      ]\n    }}"
+        ));
+    }
+    let snapshot = format!(
+        "{{\n\
+         \x20 \"schema\": \"indice-bench/2\",\n\
+         \x20 \"seed\": {seed},\n\
+         \x20 \"threads\": {threads},\n\
+         \x20 \"engines_match\": true,\n\
+         \x20 \"runs\": [\n{runs}\n  ]\n\
+         }}\n"
+    );
     write_atomic_path(Path::new(out), snapshot.as_bytes())
         .map_err(|e| format!("writing {out}: {e}"))?;
-    println!(
-        "bench: {records} records, {} threads, {total_ms} ms total \
-         ({records_per_sec:.1} records/sec); snapshot written to {out}",
-        output.report.threads
-    );
-    Ok(ExitCode::from(output.outcome.exit_code()))
+    println!("bench: snapshot written to {out}");
+    Ok(ExitCode::from(worst_exit))
 }
 
 /// Writes to stdout ignoring broken pipes (`indice describe | head` must

@@ -208,8 +208,10 @@ fn bench_emits_snapshot_and_exits_by_outcome() {
     assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
     let snap = std::fs::read_to_string(&out).unwrap();
     for key in [
-        "\"schema\": \"indice-bench/1\"",
+        "\"schema\": \"indice-bench/2\"",
+        "\"engines_match\": true",
         "\"records\": 500",
+        "\"engine\": \"row\"",
         "\"stages\": [",
         "\"name\": \"preprocess\"",
         "\"name\": \"analytics\"",
@@ -219,6 +221,34 @@ fn bench_emits_snapshot_and_exits_by_outcome() {
         "\"peak_shard_imbalance\":",
         "\"kept_records\":",
         "\"outcome\": \"complete\"",
+    ] {
+        assert!(snap.contains(key), "missing {key} in snapshot:\n{snap}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_multi_engine_runs_match() {
+    let dir = tmp_dir("bench-engines");
+    let out = dir.join("BENCH_ENGINES.json");
+    let o = run_cli(&[
+        "bench",
+        "--records",
+        "400",
+        "--seed",
+        "5",
+        "--engines",
+        "row,columnar",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
+    let snap = std::fs::read_to_string(&out).unwrap();
+    for key in [
+        "\"schema\": \"indice-bench/2\"",
+        "\"engines_match\": true",
+        "\"engine\": \"row\"",
+        "\"engine\": \"columnar\"",
     ] {
         assert!(snap.contains(key), "missing {key} in snapshot:\n{snap}");
     }

@@ -1,0 +1,40 @@
+//! Columnar-engine glue: observability counters for the columnar paths.
+//!
+//! The engine choice ([`epc_runtime::Engine`]) is an execution knob like
+//! the thread budget: it must never change what the pipeline computes,
+//! only how. These helpers therefore emit **metrics only** — no trace
+//! points — and are called exclusively from columnar branches, so the
+//! golden logical traces and every row-engine artifact stay byte-identical.
+
+use epc_columnar::{ScanStats, StoreStats};
+use epc_geo::StreetDedupStats;
+use epc_obs::Obs;
+
+/// Counters describing a [`epc_columnar::ColumnStore`] built for a stage:
+/// compression effectiveness and dictionary width.
+pub(crate) fn record_store_stats(obs: &Obs<'_>, stats: &StoreStats) {
+    let m = obs.metrics();
+    m.inc("columnar_stores_built", 1);
+    m.inc("columnar_columns", stats.columns as u64);
+    m.inc("columnar_blocks", stats.blocks as u64);
+    m.inc("columnar_dict_entries", stats.dict_entries);
+    m.inc("columnar_bytes_plain", stats.bytes_plain);
+    m.inc("columnar_bytes_encoded", stats.bytes_encoded);
+}
+
+/// Zone-map pushdown effectiveness of the filter kernels.
+pub(crate) fn record_scan_stats(obs: &Obs<'_>, stats: &ScanStats) {
+    let m = obs.metrics();
+    m.inc("columnar_blocks_scanned", stats.blocks_scanned);
+    m.inc("columnar_blocks_skipped", stats.blocks_skipped);
+}
+
+/// Street-string deduplication of the columnar cleaning pass.
+pub(crate) fn record_dedup_stats(obs: &Obs<'_>, stats: &StreetDedupStats) {
+    let m = obs.metrics();
+    m.inc("columnar_clean_streets_total", stats.total as u64);
+    m.inc(
+        "columnar_clean_streets_distinct",
+        stats.distinct_streets as u64,
+    );
+}

@@ -14,7 +14,8 @@ use crate::error::IndiceError;
 use epc_faults::{corrupt_dataset, FaultInjector, FaultyGeocoder};
 use epc_geo::address::Address;
 use epc_geo::cleaning::{
-    clean_addresses_degradable, AddressQuery, CleaningOutcome, CleaningReport, DegradedFallback,
+    clean_addresses_columnar, clean_addresses_degradable, AddressQuery, CleanedAddress,
+    CleaningOutcome, CleaningReport, DegradedFallback, StreetDedupStats,
 };
 use epc_geo::geocode::{Backoff, Geocoder, QuotaGeocoder, RetryGeocoder, SimulatedGeocoder};
 use epc_geo::point::GeoPoint;
@@ -257,10 +258,13 @@ fn clean_phase_inner(
         return Err(IndiceError::EmptyCollection("record validation"));
     }
 
-    let (cleaning, degraded_rows, unresolved_rows) =
+    let (cleaning, degraded_rows, unresolved_rows, dedup) =
         clean_geospatial(&mut dataset, street_map, config, runtime, injector, quota)?;
     if let Some(obs) = obs {
         record_cleaning(obs, &cleaning);
+        if let Some(dedup) = &dedup {
+            crate::columnar::record_dedup_stats(obs, dedup);
+        }
     }
     Ok(CleanPhase {
         dataset,
@@ -426,16 +430,31 @@ fn detect_and_remove_outliers(
             .iter()
             .map(|f| dataset.schema().require(f))
             .collect::<Result<_, _>>()?;
-        // Complete rows only.
-        let mut rows = Vec::new();
-        let mut data = Vec::new();
-        for r in 0..dataset.n_rows() {
-            let vals: Option<Vec<f64>> = feature_ids.iter().map(|&id| dataset.num(r, id)).collect();
-            if let Some(v) = vals {
-                rows.push(r);
-                data.extend(v);
+        // Complete rows only. The columnar engine gathers each feature
+        // column contiguously instead of one point-lookup per cell; both
+        // paths produce the same rows and data bit-for-bit.
+        let (rows, data) = match runtime.engine {
+            epc_runtime::Engine::Row => {
+                let mut rows = Vec::new();
+                let mut data = Vec::new();
+                for r in 0..dataset.n_rows() {
+                    let vals: Option<Vec<f64>> =
+                        feature_ids.iter().map(|&id| dataset.num(r, id)).collect();
+                    if let Some(v) = vals {
+                        rows.push(r);
+                        data.extend(v);
+                    }
+                }
+                (rows, data)
             }
-        }
+            epc_runtime::Engine::Columnar => {
+                let store = epc_columnar::DatasetColumnarExt::to_columns(&dataset);
+                if let Some(obs) = obs {
+                    crate::columnar::record_store_stats(obs, &store.stats());
+                }
+                epc_columnar::kernels::gather_complete_rows(&store, &feature_ids)
+            }
+        };
         if rows.len() >= 10 {
             let matrix = Matrix::from_vec(data, rows.len(), feature_ids.len());
             // Scale features so DBSCAN's Euclidean radius is meaningful.
@@ -553,6 +572,17 @@ fn record_cleaning(obs: &Obs<'_>, report: &CleaningReport) {
     m.inc("geocode_unresolved", report.unresolved as u64);
 }
 
+/// What [`clean_geospatial`] reports back: the cleaning report, the rows
+/// resolved with degraded provenance, the rows left unresolved (both
+/// relative to the dataset), and — columnar engine only — the
+/// street-dedup accounting.
+type CleanedGeo = (
+    CleaningReport,
+    Vec<usize>,
+    Vec<usize>,
+    Option<StreetDedupStats>,
+);
+
 /// The §2.1.1 geospatial-cleaning pass, applied in place. Returns the
 /// cleaning report plus the rows resolved with degraded provenance and the
 /// rows left unresolved (both relative to `dataset`). `quota` is the
@@ -567,7 +597,7 @@ fn clean_geospatial(
     runtime: &epc_runtime::RuntimeConfig,
     injector: Option<&dyn FaultInjector>,
     quota: usize,
-) -> Result<(CleaningReport, Vec<usize>, Vec<usize>), IndiceError> {
+) -> Result<CleanedGeo, IndiceError> {
     let schema = dataset.schema_arc();
     let addr_id = schema.require(wk::ADDRESS)?;
     let hn_id = schema.require(wk::HOUSE_NUMBER)?;
@@ -605,7 +635,42 @@ fn clean_geospatial(
         SimulatedGeocoder::new(street_map.clone(), 0.55, 0.02),
         quota,
     );
-    let (cleaned, report) = match injector {
+    // Engine dispatch: the columnar path deduplicates the Levenshtein
+    // scan per distinct street string; its output is bitwise identical
+    // (gated by tests/columnar.rs), so the choice never leaks downstream.
+    let clean_with_engine = |geocoder_ref: Option<&dyn Geocoder>,
+                             fallback: Option<&DegradedFallback>|
+     -> (
+        Vec<CleanedAddress>,
+        CleaningReport,
+        Option<StreetDedupStats>,
+    ) {
+        match runtime.engine {
+            epc_runtime::Engine::Row => {
+                let (cleaned, report) = clean_addresses_degradable(
+                    &queries,
+                    street_map,
+                    geocoder_ref,
+                    &config.cleaning,
+                    runtime,
+                    fallback,
+                );
+                (cleaned, report, None)
+            }
+            epc_runtime::Engine::Columnar => {
+                let (cleaned, report, stats) = clean_addresses_columnar(
+                    &queries,
+                    street_map,
+                    geocoder_ref,
+                    &config.cleaning,
+                    runtime,
+                    fallback,
+                );
+                (cleaned, report, Some(stats))
+            }
+        }
+    };
+    let (cleaned, report, dedup) = match injector {
         Some(inj) => {
             // Under fault injection, calls may fail transiently: retry
             // them with the deterministic backoff, and degrade exhausted
@@ -621,14 +686,7 @@ fn clean_geospatial(
                 None
             };
             let fallback = district_fallback(dataset, street_map, district_id);
-            clean_addresses_degradable(
-                &queries,
-                street_map,
-                geocoder_ref,
-                &config.cleaning,
-                runtime,
-                Some(&fallback),
-            )
+            clean_with_engine(geocoder_ref, Some(&fallback))
         }
         None => {
             let geocoder_ref: Option<&dyn Geocoder> = if config.geocoder_quota > 0 {
@@ -636,14 +694,7 @@ fn clean_geospatial(
             } else {
                 None
             };
-            clean_addresses_degradable(
-                &queries,
-                street_map,
-                geocoder_ref,
-                &config.cleaning,
-                runtime,
-                None,
-            )
+            clean_with_engine(geocoder_ref, None)
         }
     };
 
@@ -679,7 +730,7 @@ fn clean_geospatial(
     }
     degraded_rows.sort_unstable();
     unresolved_rows.sort_unstable();
-    Ok((report, degraded_rows, unresolved_rows))
+    Ok((report, degraded_rows, unresolved_rows, dedup))
 }
 
 /// District-centroid fallback for degraded geocoding: centroids averaged
